@@ -1,0 +1,133 @@
+// Ablation: WATA* (purely online, 2-competitive on index size) vs KB-WATA
+// (the Kleinberg et al. [KMRV97] refinement that assumes the maximum window
+// size B is known in advance, improving the ratio toward n/(n-1)).
+//
+// Both schemes run over the same 200-day Usenet-shaped volume stream; we
+// measure each one's maximum index size relative to the offline optimum.
+
+#include "bench/common.h"
+
+#include "storage/store.h"
+#include "wave/scheme_factory.h"
+#include "workload/usenet_trace.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+DayBatch SizedBatch(Day day, uint64_t entries) {
+  DayBatch batch;
+  batch.day = day;
+  uint64_t rid = static_cast<uint64_t>(day) * 1000000;
+  for (uint64_t i = 0; i < entries; ++i) {
+    Record record;
+    record.record_id = rid++;
+    record.day = day;
+    record.values = {"v" + std::to_string(i % 11)};
+    batch.records.push_back(std::move(record));
+  }
+  return batch;
+}
+
+uint64_t EagerMax(const std::vector<uint64_t>& volumes, int window) {
+  uint64_t best = 0;
+  for (size_t s = 0; s + static_cast<size_t>(window) <= volumes.size(); ++s) {
+    uint64_t sum = 0;
+    for (int k = 0; k < window; ++k) sum += volumes[s + static_cast<size_t>(k)];
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double SizeRatio(SchemeKind kind, const std::vector<uint64_t>& volumes,
+                 int window, int n, uint64_t bound) {
+  Store store;
+  DayStore day_store;
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = n;
+  config.technique = UpdateTechniqueKind::kInPlace;
+  config.size_bound_entries = bound;
+  auto made = MakeScheme(kind, SchemeEnv{store.device(), store.allocator(),
+                                         &day_store},
+                         config);
+  if (!made.ok()) made.status().Abort("MakeScheme");
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= window; ++d) {
+    first.push_back(SizedBatch(d, volumes[static_cast<size_t>(d - 1)]));
+  }
+  scheme->Start(std::move(first)).Abort("Start");
+  uint64_t max_entries = scheme->wave().EntryCount();
+  for (size_t i = static_cast<size_t>(window); i < volumes.size(); ++i) {
+    scheme->Transition(SizedBatch(static_cast<Day>(i + 1), volumes[i]))
+        .Abort("Transition");
+    max_entries = std::max(max_entries, scheme->wave().EntryCount());
+  }
+  return static_cast<double>(max_entries) /
+         static_cast<double>(EagerMax(volumes, window));
+}
+
+int Run() {
+  Banner("Ablation: WATA* vs KB-WATA (known size bound) on index size",
+         "Kleinberg et al. improve WATA's competitive ratio from 2.0 to "
+         "n/(n-1) by assuming the max window size B is known ahead of time; "
+         "WATA* stays purely online.");
+
+  workload::UsenetTraceConfig trace_config;
+  trace_config.scale = 0.002;
+  workload::UsenetVolumeTrace trace(trace_config);
+  const int days = 200;
+  const int window = 28;  // larger window: day-granularity slack is small vs B
+  const std::vector<uint64_t> volumes = trace.Series(days);
+  const uint64_t bound = EagerMax(volumes, window);
+
+  uint64_t max_day = 0;
+  for (uint64_t v : volumes) max_day = std::max(max_day, v);
+  // KB-WATA's guarantee: <= n slices alive, each at most
+  // ceil(B/(n-1)) + one day's overshoot.
+  auto kb_bound = [&](int n) {
+    return (static_cast<double>(n) / (n - 1)) +
+           static_cast<double>(n) * max_day / bound;
+  };
+
+  sim::TablePrinter table({"n", "WATA* ratio (guarantee 2.0)", "KB-WATA ratio",
+                           "KB-WATA guarantee"});
+  std::map<int, double> wata_ratio, kb_ratio;
+  for (int n : {2, 3, 4, 6}) {
+    wata_ratio[n] = SizeRatio(SchemeKind::kWata, volumes, window, n, 0);
+    kb_ratio[n] =
+        SizeRatio(SchemeKind::kKnownBoundWata, volumes, window, n, bound);
+    table.AddRow({std::to_string(n), Fmt(wata_ratio[n], 3),
+                  Fmt(kb_ratio[n], 3), Fmt(kb_bound(n), 3)});
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  for (int n : {2, 3, 4, 6}) {
+    checks.Check(kb_ratio[n] <= kb_bound(n) + 0.02,
+                 "KB-WATA (n=" + std::to_string(n) +
+                     ") honours its n/(n-1)-style guarantee");
+    checks.Check(wata_ratio[n] <= 2.0,
+                 "WATA* (n=" + std::to_string(n) +
+                     ") honours its 2-competitive guarantee");
+  }
+  // The refinement's value: for n >= 3 the KB guarantee is strictly tighter
+  // than WATA*'s worst case, and the measured ratios stay comparable to
+  // WATA*'s on this benign trace.
+  for (int n : {3, 4, 6}) {
+    checks.Check(kb_bound(n) < 1.9,
+                 "KB-WATA's guarantee at n=" + std::to_string(n) +
+                     " is strictly tighter than WATA*'s 2.0");
+    checks.Check(kb_ratio[n] <= wata_ratio[n] + 0.25,
+                 "KB-WATA's measured size stays close to WATA*'s at n=" +
+                     std::to_string(n));
+  }
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

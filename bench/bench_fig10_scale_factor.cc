@@ -1,0 +1,71 @@
+// Figure 10: how total daily work scales when the daily data volume grows by
+// a scale factor SF in [0.5, 5] (W = 14, n = 4, SCAM).
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Figure 10: SCAM work per day vs data scale factor SF (W=14, n=4)",
+         "REINDEX scales best with data volume (no CONTIGUOUS Add); WATA* "
+         "still wins while SF <= ~3; past that REINDEX becomes the better "
+         "choice — the paper's 'consider future data growth' lesson.");
+
+  const int window = 14;
+  const int n = 4;
+  const std::vector<double> factors = {0.5, 1, 2, 3, 4, 5};
+
+  std::vector<std::string> headers = {"SF"};
+  for (SchemeKind kind : PaperSchemes()) headers.push_back(SchemeKindName(kind));
+  sim::TablePrinter table(headers);
+  table.SetTitle("Total work seconds/day (modeled, simple shadowing)");
+
+  std::map<SchemeKind, std::map<double, double>> series;
+  for (double sf : factors) {
+    const model::CaseParams params = model::CaseParams::Scam().Scaled(sf);
+    std::vector<std::string> row = {Fmt(sf, 1)};
+    for (SchemeKind kind : PaperSchemes()) {
+      series[kind][sf] = TotalWorkOrDie(
+          kind, UpdateTechniqueKind::kSimpleShadow, params, window, n)
+                             .total();
+      row.push_back(Fmt(series[kind][sf], 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  checks.Check(series[SchemeKind::kWata][1.0] <
+                   series[SchemeKind::kReindex][1.0],
+               "WATA* beats REINDEX at SF = 1");
+  checks.Check(series[SchemeKind::kWata][5.0] >
+                   series[SchemeKind::kReindex][5.0],
+               "REINDEX beats WATA* at SF = 5 (it avoids the expensive "
+               "CONTIGUOUS Adds that scale with volume)");
+  // Crossover near SF ~ 3.
+  double crossover = 0;
+  for (double sf : factors) {
+    if (series[SchemeKind::kReindex][sf] < series[SchemeKind::kWata][sf]) {
+      crossover = sf;
+      break;
+    }
+  }
+  checks.Check(crossover >= 2.0 && crossover <= 4.0,
+               "the WATA*/REINDEX crossover falls near SF = 3 (paper: WATA* "
+               "best while SF <= 3); observed SF = " + Fmt(crossover, 1));
+  const double reindex_growth =
+      series[SchemeKind::kReindex][5.0] / series[SchemeKind::kReindex][0.5];
+  const double wata_growth =
+      series[SchemeKind::kWata][5.0] / series[SchemeKind::kWata][0.5];
+  checks.Check(reindex_growth < wata_growth,
+               "REINDEX scales best as data volume grows");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

@@ -1,0 +1,75 @@
+// Figure 3: average space required by SCAM (operation + transition) as the
+// number of constituent indexes n varies, W = 7, simple shadow updating.
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Figure 3: SCAM average space (operation + transition) vs n (W=7)",
+         "REINDEX requires the minimal space (packed, no temporaries); all "
+         "schemes need less space as n increases.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int window = 7;
+
+  std::vector<std::string> headers = {"n"};
+  for (SchemeKind kind : PaperSchemes()) headers.push_back(SchemeKindName(kind));
+  sim::TablePrinter table(headers);
+  table.SetTitle("Average total space (GB)");
+
+  std::map<SchemeKind, std::vector<double>> series;
+  for (int n = 1; n <= window; ++n) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (SchemeKind kind : PaperSchemes()) {
+      if (!SchemeValid(kind, n)) {
+        row.push_back("-");
+        continue;
+      }
+      const model::SpaceEstimate space = model::EstimateSpace(
+          kind, UpdateTechniqueKind::kSimpleShadow, params, window, n);
+      const double gb = space.avg_total() / 1e9;
+      series[kind].push_back(gb);
+      row.push_back(Fmt(gb, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  // REINDEX minimal at every n.
+  bool reindex_min = true;
+  for (int n = 2; n <= window; ++n) {
+    const double reindex = model::EstimateSpace(SchemeKind::kReindex,
+                                                UpdateTechniqueKind::kSimpleShadow,
+                                                params, window, n)
+                               .avg_total();
+    for (SchemeKind kind : PaperSchemes()) {
+      if (!SchemeValid(kind, n) || kind == SchemeKind::kReindex) continue;
+      reindex_min &= reindex <= model::EstimateSpace(
+                                    kind, UpdateTechniqueKind::kSimpleShadow,
+                                    params, window, n)
+                                    .avg_total() +
+                                1.0;
+    }
+  }
+  checks.Check(reindex_min, "REINDEX requires the minimal amount of space");
+  for (SchemeKind kind : PaperSchemes()) {
+    const auto& values = series[kind];
+    bool decreasing = true;
+    for (size_t i = 1; i < values.size(); ++i) {
+      decreasing &= values[i] <= values[i - 1] + 1e-9;
+    }
+    checks.Check(decreasing, std::string(SchemeKindName(kind)) +
+                                 " needs less space as n increases");
+  }
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

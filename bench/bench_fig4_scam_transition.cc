@@ -1,0 +1,89 @@
+// Figure 4: SCAM transition time (how fast a new day becomes queryable) as
+// n varies, W = 7, simple shadow updating, priced with Table 12 parameters.
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Figure 4: SCAM transition time vs n (W=7, simple shadowing)",
+         "DEL/WATA/RATA/REINDEX++ are flat (one AddToIndex regardless of n); "
+         "REINDEX starts terrible at small n (re-builds W/n days) but drops "
+         "below the Add-based schemes around n >= 4; REINDEX+ is the worst.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int window = 7;
+
+  std::vector<std::string> headers = {"n"};
+  for (SchemeKind kind : PaperSchemes()) headers.push_back(SchemeKindName(kind));
+  sim::TablePrinter table(headers);
+  table.SetTitle("Transition seconds (modeled, SCAM Table 12 parameters)");
+
+  std::map<SchemeKind, std::map<int, double>> series;
+  for (int n = 1; n <= window; ++n) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (SchemeKind kind : PaperSchemes()) {
+      if (!SchemeValid(kind, n)) {
+        row.push_back("-");
+        continue;
+      }
+      auto cost = model::MeasureMaintenance(
+          kind, UpdateTechniqueKind::kSimpleShadow, params, window, n);
+      if (!cost.ok()) cost.status().Abort("MeasureMaintenance");
+      series[kind][n] = cost.ValueOrDie().transition_seconds;
+      row.push_back(Fmt(series[kind][n], 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  // Flat-in-n schemes: transition varies < 15% across n.
+  for (SchemeKind kind : {SchemeKind::kDel, SchemeKind::kReindexPlusPlus}) {
+    double lo = 1e18, hi = 0;
+    for (const auto& [n, v] : series[kind]) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    checks.Check(hi <= 1.15 * lo, std::string(SchemeKindName(kind)) +
+                                      " transition time does not depend on n");
+  }
+  checks.Check(series[SchemeKind::kReindex][1] >
+                   3 * series[SchemeKind::kDel][1],
+               "REINDEX is far worse than DEL at n = 1 (rebuilds W days)");
+  checks.Check(series[SchemeKind::kReindex][window] <
+                   series[SchemeKind::kDel][window],
+               "REINDEX beats the Add-based schemes at large n (Build < Add)");
+  // Crossover location: REINDEX dips below DEL somewhere in 2..W.
+  int crossover = 0;
+  for (int n = 2; n <= window; ++n) {
+    if (series[SchemeKind::kReindex][n] < series[SchemeKind::kDel][n]) {
+      crossover = n;
+      break;
+    }
+  }
+  checks.Check(crossover >= 3 && crossover <= 5,
+               "the REINDEX/DEL crossover falls near n = 4 (paper: n >= 4), "
+               "observed n = " + std::to_string(crossover));
+  // REINDEX+ worst where clusters are big enough for Temp to matter (at
+  // large n its X/2-day tail shrinks below one Add).
+  bool plus_worst = true;
+  for (int n = 1; n <= 4; ++n) {
+    for (SchemeKind kind : PaperSchemes()) {
+      if (kind == SchemeKind::kReindexPlus || !SchemeValid(kind, n)) continue;
+      plus_worst &= series[SchemeKind::kReindexPlus][n] >= series[kind][n] * 0.99;
+    }
+  }
+  checks.Check(plus_worst,
+               "REINDEX+ has the worst transition time (n <= 4: it adds "
+               "~1 + X/2 days on the critical path)");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

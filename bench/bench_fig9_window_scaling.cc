@@ -1,0 +1,62 @@
+// Figure 9: how total daily work scales with the window size W (4 days to 6
+// weeks) at fixed n = 4, SCAM parameters.
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Figure 9: SCAM work per day vs window size W (n=4)",
+         "Reindexing-based schemes index O(W/n) days per day and do NOT "
+         "scale with W; DEL, WATA and RATA index a small constant number of "
+         "days and scale very well.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int n = 4;
+  const std::vector<int> windows = {4, 7, 14, 21, 28, 42};
+
+  std::vector<std::string> headers = {"W"};
+  for (SchemeKind kind : PaperSchemes()) headers.push_back(SchemeKindName(kind));
+  sim::TablePrinter table(headers);
+  table.SetTitle("Total work seconds/day (modeled, simple shadowing)");
+
+  std::map<SchemeKind, std::map<int, double>> series;
+  for (int window : windows) {
+    std::vector<std::string> row = {std::to_string(window)};
+    for (SchemeKind kind : PaperSchemes()) {
+      series[kind][window] = TotalWorkOrDie(
+          kind, UpdateTechniqueKind::kSimpleShadow, params, window, n)
+                                 .total();
+      row.push_back(Fmt(series[kind][window], 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  auto growth = [&](SchemeKind kind) {
+    return series[kind][42] / series[kind][4];
+  };
+  checks.Check(growth(SchemeKind::kReindex) > 3.0,
+               "REINDEX's work grows steeply with W (O(W/n) rebuild)");
+  checks.Check(growth(SchemeKind::kReindexPlus) > 2.0,
+               "REINDEX+ also fails to scale with W");
+  for (SchemeKind kind :
+       {SchemeKind::kDel, SchemeKind::kWata, SchemeKind::kRata}) {
+    checks.Check(growth(kind) < 2.0,
+                 std::string(SchemeKindName(kind)) +
+                     " scales well with W (constant days indexed per day)");
+  }
+  checks.Check(growth(SchemeKind::kReindex) > 2 * growth(SchemeKind::kWata),
+               "the scaling gap is large: worth choosing WATA over REINDEX "
+               "if the window may grow (paper's W=14 advice)");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

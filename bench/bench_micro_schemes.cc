@@ -1,0 +1,75 @@
+// Micro-benchmarks of daily transitions for every maintenance scheme
+// (real wall-clock time of the library on a scaled Netnews stream).
+
+#include <benchmark/benchmark.h>
+
+#include "storage/store.h"
+#include "wave/scheme_factory.h"
+#include "workload/netnews.h"
+
+namespace wavekit {
+namespace {
+
+void BM_Transition(benchmark::State& state) {
+  const SchemeKind kind = static_cast<SchemeKind>(state.range(0));
+  const auto technique = static_cast<UpdateTechniqueKind>(state.range(1));
+  const int window = 7;
+  const int n = 3;
+
+  workload::NetnewsConfig netnews_config;
+  netnews_config.articles_per_day = 100;
+  netnews_config.words_per_article = 15;
+  netnews_config.vocabulary_size = 2000;
+
+  Store store;
+  DayStore day_store;
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = n;
+  config.technique = technique;
+  auto made = MakeScheme(kind, SchemeEnv{store.device(), store.allocator(),
+                                         &day_store},
+                         config);
+  if (!made.ok()) made.status().Abort("MakeScheme");
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+  workload::NetnewsGenerator gen(netnews_config);
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= window; ++d) first.push_back(gen.GenerateDay(d));
+  scheme->Start(std::move(first)).Abort("Start");
+
+  uint64_t entries_per_day = 0;
+  for (auto _ : state) {
+    DayBatch batch = gen.GenerateDay(scheme->current_day() + 1);
+    entries_per_day = batch.EntryCount();
+    scheme->Transition(std::move(batch)).Abort("Transition");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(entries_per_day) *
+                          state.iterations());
+  state.SetLabel(std::string(SchemeKindName(kind)) + "/" +
+                 UpdateTechniqueKindName(technique));
+}
+
+void RegisterAll() {
+  for (SchemeKind kind : kAllSchemeKinds) {
+    for (UpdateTechniqueKind technique :
+         {UpdateTechniqueKind::kInPlace, UpdateTechniqueKind::kSimpleShadow,
+          UpdateTechniqueKind::kPackedShadow}) {
+      ::benchmark::RegisterBenchmark(
+          (std::string("BM_Transition/") + SchemeKindName(kind) + "/" +
+           UpdateTechniqueKindName(technique))
+              .c_str(),
+          BM_Transition)
+          ->Args({static_cast<long>(kind), static_cast<long>(technique)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavekit
+
+int main(int argc, char** argv) {
+  wavekit::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

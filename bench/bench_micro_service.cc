@@ -1,0 +1,96 @@
+// Micro-benchmark of the concurrent serving layer: probe throughput as the
+// number of reader threads grows, with and without a concurrent writer.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "wave/wave_service.h"
+#include "workload/netnews.h"
+
+namespace wavekit {
+namespace {
+
+std::unique_ptr<WaveService> MakeService() {
+  WaveService::Options options;
+  options.scheme = SchemeKind::kWata;
+  options.config.window = 7;
+  options.config.num_indexes = 3;
+  options.config.technique = UpdateTechniqueKind::kSimpleShadow;
+  auto created = WaveService::Create(options);
+  if (!created.ok()) created.status().Abort("Create");
+  std::unique_ptr<WaveService> service = std::move(created).ValueOrDie();
+  workload::NetnewsConfig config;
+  config.articles_per_day = 150;
+  config.words_per_article = 15;
+  workload::NetnewsGenerator gen(config);
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= 7; ++d) first.push_back(gen.GenerateDay(d));
+  service->Start(std::move(first)).Abort("Start");
+  return service;
+}
+
+// Shared across benchmark threads of one run.
+WaveService* g_service = nullptr;
+std::unique_ptr<WaveService> g_service_owner;
+
+void BM_ServiceProbe(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_service_owner = MakeService();
+    g_service = g_service_owner.get();
+  }
+  workload::NetnewsGenerator gen({});
+  Rng rng(static_cast<uint64_t>(state.thread_index()) + 1);
+  std::vector<Entry> out;
+  for (auto _ : state) {
+    out.clear();
+    g_service->IndexProbe(gen.SampleWord(rng), &out).Abort("probe");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    g_service = nullptr;
+    g_service_owner.reset();
+  }
+}
+BENCHMARK(BM_ServiceProbe)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_ServiceProbeWithConcurrentWriter(benchmark::State& state) {
+  std::unique_ptr<WaveService> service = MakeService();
+  workload::NetnewsConfig config;
+  config.articles_per_day = 150;
+  config.words_per_article = 15;
+  workload::NetnewsGenerator gen(config);
+  // Skip to the serving day so the writer can continue the stream.
+  for (Day d = 1; d <= 7; ++d) (void)gen.GenerateDay(d);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    Day d = 7;
+    while (!stop.load()) {
+      service->AdvanceDay(gen.GenerateDay(++d)).Abort("advance");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Rng rng(11);
+  workload::NetnewsGenerator sampler({});
+  std::vector<Entry> out;
+  for (auto _ : state) {
+    out.clear();
+    service->IndexProbe(sampler.SampleWord(rng), &out).Abort("probe");
+    benchmark::DoNotOptimize(out);
+  }
+  stop.store(true);
+  writer.join();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("1 reader + live writer");
+}
+BENCHMARK(BM_ServiceProbeWithConcurrentWriter)->UseRealTime();
+
+}  // namespace
+}  // namespace wavekit
+
+BENCHMARK_MAIN();

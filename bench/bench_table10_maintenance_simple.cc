@@ -1,0 +1,77 @@
+// Table 10: daily maintenance work (pre-computation + transition) under
+// simple shadow updating, priced with the SCAM Table 12 parameters.
+//
+// The "measured" columns come from running the real schemes at count level
+// and pricing their operation logs; the "closed form" columns are the
+// paper's Table 10 formulas where stated.
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Table 10: maintenance performance, simple shadow updating "
+         "(SCAM parameters, W=10, n=2)",
+         "DEL: pre = X*CP + Del, trans = Add. REINDEX: trans = X*Build. "
+         "REINDEX++ and RATA push work into pre-computation so the "
+         "transition critical path is a single Add.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int window = 10;
+  const int n = 2;
+
+  sim::TablePrinter table({"scheme", "measured pre (s)", "measured trans (s)",
+                           "closed-form pre (s)", "closed-form trans (s)"});
+  std::vector<std::pair<SchemeKind, model::MaintenanceCost>> measured;
+  for (SchemeKind kind : PaperSchemes()) {
+    auto cost = model::MeasureMaintenance(
+        kind, UpdateTechniqueKind::kSimpleShadow, params, window, n);
+    if (!cost.ok()) cost.status().Abort("MeasureMaintenance");
+    measured.emplace_back(kind, cost.ValueOrDie());
+    auto closed = model::ClosedFormMaintenance(
+        kind, UpdateTechniqueKind::kSimpleShadow, params, window, n);
+    table.AddRow(
+        {std::string(SchemeKindName(kind)),
+         Fmt(measured.back().second.precompute_seconds),
+         Fmt(measured.back().second.transition_seconds),
+         closed ? Fmt(closed->precompute_seconds) : std::string("-"),
+         closed ? Fmt(closed->transition_seconds) : std::string("-")});
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  auto find = [&](SchemeKind kind) {
+    for (const auto& [k, cost] : measured) {
+      if (k == kind) return cost;
+    }
+    std::abort();
+  };
+  checks.Check(
+      std::abs(find(SchemeKind::kDel).transition_seconds -
+               params.add_seconds) < 1.0,
+      "DEL's transition critical path is one Add");
+  checks.Check(
+      std::abs(find(SchemeKind::kReindex).transition_seconds -
+               (window / n) * params.build_seconds) < 1.0,
+      "REINDEX's transition is (W/n) Builds");
+  checks.Check(
+      std::abs(find(SchemeKind::kReindexPlusPlus).transition_seconds -
+               params.add_seconds) < 1.0,
+      "REINDEX++'s transition is a single Add (new data queryable fastest)");
+  checks.Check(find(SchemeKind::kReindexPlus).transition_seconds >
+                   find(SchemeKind::kReindex).transition_seconds,
+               "REINDEX+ has the worst transition time at n=2 (Figure 4's "
+               "observation: it Adds ~1 + X/2 days on the critical path)");
+  checks.Check(find(SchemeKind::kRata).transition_seconds <
+                   find(SchemeKind::kReindexPlus).transition_seconds,
+               "RATA transitions as fast as WATA, far faster than REINDEX+");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

@@ -1,0 +1,142 @@
+// Table 12: the case-study parameters — printed as adopted from the paper,
+// plus a re-derivation of the implementation-dependent parameters (S'/S and
+// Add/Build behaviour under CONTIGUOUS) from wavekit's own index
+// implementation, the way the paper derived them from its C implementation.
+
+#include "bench/common.h"
+
+#include "index/index_builder.h"
+#include "storage/store.h"
+#include "workload/netnews.h"
+#include "workload/tpcd.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+struct Derived {
+  double s_prime_over_s = 0;  // space overhead of incremental maintenance
+  // Ratio of bytes moved by an incremental Add vs a packed Build of the
+  // same day. At the paper's scale (tens of MB/day) transfer time dominates
+  // seeks, so the byte ratio is the faithful analogue of Add/Build.
+  double add_over_build = 0;
+};
+
+// Measures S'/S and Add/Build on wavekit's index for growth factor `g`:
+// builds one packed index over `days` batches vs. growing an index
+// incrementally day by day (deleting the expired day, DEL-style).
+template <typename Generator>
+Derived Measure(Generator& gen, double g, int days) {
+  Store store;
+  ConstituentIndex::Options options;
+  options.growth.g = g;
+
+  // Packed build over the window -> S.
+  std::vector<DayBatch> batches;
+  for (Day d = 1; d <= days; ++d) batches.push_back(gen.GenerateDay(d));
+  std::vector<const DayBatch*> ptrs;
+  for (const DayBatch& b : batches) ptrs.push_back(&b);
+  store.device()->Reset();
+  auto packed = IndexBuilder::BuildPacked(store.device(), store.allocator(),
+                                          options, ptrs, "packed");
+  if (!packed.ok()) packed.status().Abort("build");
+  const double build_bytes =
+      static_cast<double>(store.device()->total().bytes_transferred()) / days;
+  const uint64_t s_bytes = packed.ValueOrDie()->allocated_bytes();
+
+  // Incremental maintenance at steady state -> S' and Add.
+  auto grown = std::make_shared<ConstituentIndex>(
+      store.device(), store.allocator(), options, "grown");
+  for (const DayBatch& b : batches) grown->AddBatch(b).Abort("add");
+  // One more DEL-style rotation, metering the add.
+  DayBatch next = gen.GenerateDay(days + 1);
+  grown->DeleteDays({1}).Abort("delete");
+  store.device()->Reset();
+  grown->AddBatch(next).Abort("add");
+  const double add_bytes =
+      static_cast<double>(store.device()->total().bytes_transferred());
+  const uint64_t s_prime_bytes = grown->allocated_bytes();
+
+  Derived out;
+  out.s_prime_over_s =
+      static_cast<double>(s_prime_bytes) / static_cast<double>(s_bytes);
+  out.add_over_build = add_bytes / build_bytes;
+  return out;
+}
+
+int Run() {
+  Banner("Table 12: case-study parameters",
+         "SCAM/WSE: g=2 for Zipfian Netnews words (S'/S = 78.4/56 = 1.4, "
+         "Add/Build = 3341/1686 = 2.0). TPC-D: g=1.08 for uniform SUPPKEYs "
+         "(S'/S = 627/600 = 1.05, Add/Build = 11431/8406 = 1.36).");
+
+  sim::TablePrinter params_table(
+      {"parameter", "SCAM", "WSE", "TPC-D"});
+  params_table.SetTitle("Adopted Table 12 values");
+  const model::CaseParams scam = model::CaseParams::Scam();
+  const model::CaseParams wse = model::CaseParams::Wse();
+  const model::CaseParams tpcd = model::CaseParams::Tpcd();
+  auto add = [&](const std::string& name, auto get) {
+    params_table.AddRow({name, get(scam), get(wse), get(tpcd)});
+  };
+  add("seek", [](const auto& p) { return FormatSeconds(p.hardware.seek_seconds); });
+  add("Trans", [](const auto& p) {
+    return FormatBytes(static_cast<uint64_t>(p.hardware.transfer_bytes_per_second)) + "/s";
+  });
+  add("S", [](const auto& p) { return FormatBytes(static_cast<uint64_t>(p.packed_day_bytes)); });
+  add("S'", [](const auto& p) { return FormatBytes(static_cast<uint64_t>(p.unpacked_day_bytes)); });
+  add("c", [](const auto& p) { return FormatBytes(static_cast<uint64_t>(p.bucket_bytes_per_day)); });
+  add("Probe_num", [](const auto& p) { return FormatCount(static_cast<uint64_t>(p.probes_per_day)); });
+  add("Scan_num", [](const auto& p) { return FormatCount(static_cast<uint64_t>(p.scans_per_day)); });
+  add("g", [](const auto& p) { return FormatDouble(p.growth_factor, 2); });
+  add("Build", [](const auto& p) { return FormatCount(static_cast<uint64_t>(p.build_seconds)) + " s"; });
+  add("Add", [](const auto& p) { return FormatCount(static_cast<uint64_t>(p.add_seconds)) + " s"; });
+  add("Del", [](const auto& p) { return FormatCount(static_cast<uint64_t>(p.delete_seconds)) + " s"; });
+  add("W", [](const auto& p) { return std::to_string(p.window); });
+  params_table.Print(std::cout);
+
+  // Re-derive S'/S from wavekit's implementation.
+  workload::NetnewsConfig netnews_config;
+  netnews_config.articles_per_day = 120;
+  netnews_config.words_per_article = 25;
+  workload::NetnewsGenerator netnews(netnews_config);
+  const Derived scam_derived = Measure(netnews, 2.0, 7);
+
+  workload::TpcdConfig tpcd_config;
+  tpcd_config.rows_per_day = 3000;
+  tpcd_config.num_suppliers = 400;
+  workload::TpcdGenerator tpcd_gen(tpcd_config);
+  const Derived tpcd_derived = Measure(tpcd_gen, 1.08, 7);
+
+  sim::TablePrinter derived_table(
+      {"implementation parameter", "paper", "wavekit (derived)"});
+  derived_table.SetTitle("\nRe-derived implementation parameters");
+  derived_table.AddRow({"SCAM S'/S (g=2, Zipfian)", Fmt(78.4 / 56.0, 2),
+                        Fmt(scam_derived.s_prime_over_s, 2)});
+  derived_table.AddRow({"SCAM Add/Build (g=2)", Fmt(3341.0 / 1686.0, 2),
+                        Fmt(scam_derived.add_over_build, 2)});
+  derived_table.AddRow({"TPC-D S'/S (g=1.08, uniform)", Fmt(627.0 / 600.0, 2),
+                        Fmt(tpcd_derived.s_prime_over_s, 2)});
+  derived_table.AddRow({"TPC-D Add/Build (g=1.08)", Fmt(11431.0 / 8406.0, 2),
+                        Fmt(tpcd_derived.add_over_build, 2)});
+  derived_table.Print(std::cout);
+
+  ShapeChecks checks;
+  checks.Check(scam_derived.s_prime_over_s > 1.1 &&
+                   scam_derived.s_prime_over_s < 2.0,
+               "g=2 on Zipfian data wastes noticeable but bounded space "
+               "(paper: S'/S = 1.4)");
+  checks.Check(tpcd_derived.s_prime_over_s < scam_derived.s_prime_over_s,
+               "g=1.08 on uniform keys wastes much less space than g=2 on "
+               "Zipfian words (paper: 1.05 vs 1.4)");
+  checks.Check(scam_derived.add_over_build > 1.0,
+               "incremental Add costs more than packed Build (CONTIGUOUS "
+               "bucket copying), the premise of REINDEX's advantage");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

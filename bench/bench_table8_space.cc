@@ -1,0 +1,110 @@
+// Table 8: space utilization of the six wave-index schemes under simple
+// shadow updating — average/maximum space during operation and the extra
+// space during transitions.
+//
+// Two columns of evidence: the closed-form model (S / S' weighted day
+// counts, Table 8's own formulas) and the device simulation (actual bytes
+// allocated by the running schemes on a scaled-down Netnews workload).
+
+#include "bench/common.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+int Run() {
+  Banner("Table 8: space utilization (simple shadow updating, W=10, n=2)",
+         "REINDEX stores W*S (packed, least); REINDEX+/++/RATA pay for "
+         "temporaries; WATA pays the soft-window residual; shadows add a "
+         "cluster's worth of transient space.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int window = 10;
+  const int n = 2;
+
+  sim::TablePrinter table(
+      {"scheme", "model avg op", "model max op", "model avg trans",
+       "model max trans", "sim avg op", "sim max op", "sim avg trans"});
+  table.SetTitle("Space in units of S' (one unpacked day) [model] and bytes "
+                 "[sim, 70 articles/day scale]");
+
+  struct Row {
+    SchemeKind kind;
+    model::SpaceEstimate model;
+    sim::Aggregates sim;
+  };
+  std::vector<Row> rows;
+
+  for (SchemeKind kind : PaperSchemes()) {
+    Row row;
+    row.kind = kind;
+    row.model = model::EstimateSpace(kind, UpdateTechniqueKind::kSimpleShadow,
+                                     params, window, n);
+
+    sim::ExperimentConfig config;
+    config.scheme = kind;
+    config.scheme_config.window = window;
+    config.scheme_config.num_indexes = n;
+    config.scheme_config.technique = UpdateTechniqueKind::kSimpleShadow;
+    config.netnews.articles_per_day = 70;
+    config.netnews.words_per_article = 20;
+    config.days_to_run = 3 * window;
+    config.warmup_days = window;
+    config.query_mix = {};  // space experiment: no queries
+    config.paper = params;
+    auto run = sim::ExperimentDriver::Run(config);
+    if (!run.ok()) run.status().Abort("sim run");
+    row.sim = run.ValueOrDie().aggregates;
+    rows.push_back(row);
+  }
+
+  const double sprime = params.unpacked_day_bytes;
+  for (const Row& row : rows) {
+    table.AddRow({std::string(SchemeKindName(row.kind)),
+                  Fmt(row.model.avg_operation_bytes / sprime, 2) + " S'",
+                  Fmt(row.model.max_operation_bytes / sprime, 2) + " S'",
+                  Fmt(row.model.avg_transition_bytes / sprime, 2) + " S'",
+                  Fmt(row.model.max_transition_bytes / sprime, 2) + " S'",
+                  FormatBytes(static_cast<uint64_t>(row.sim.avg_operation_bytes)),
+                  FormatBytes(row.sim.max_operation_bytes),
+                  FormatBytes(static_cast<uint64_t>(
+                      row.sim.avg_transition_extra_bytes))});
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  auto find = [&](SchemeKind kind) -> const Row& {
+    for (const Row& row : rows) {
+      if (row.kind == kind) return row;
+    }
+    std::abort();
+  };
+  const Row& reindex = find(SchemeKind::kReindex);
+  bool reindex_min_model = true;
+  bool reindex_min_sim = true;
+  for (const Row& row : rows) {
+    if (row.kind == SchemeKind::kReindex) continue;
+    reindex_min_model &=
+        reindex.model.avg_operation_bytes <= row.model.avg_operation_bytes;
+    reindex_min_sim &=
+        reindex.sim.avg_operation_bytes <= row.sim.avg_operation_bytes;
+  }
+  checks.Check(reindex_min_model,
+               "REINDEX requires the minimal operation space (model)");
+  checks.Check(reindex_min_sim,
+               "REINDEX requires the minimal operation space (simulation)");
+  checks.Check(find(SchemeKind::kReindexPlusPlus).sim.avg_transition_extra_bytes <
+                   find(SchemeKind::kDel).sim.avg_transition_extra_bytes,
+               "REINDEX++ needs (almost) no transition space: it only touches "
+               "temporaries");
+  checks.Check(find(SchemeKind::kWata).sim.avg_operation_bytes >
+                   find(SchemeKind::kDel).sim.avg_operation_bytes,
+               "WATA's soft window costs extra operation space vs DEL");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

@@ -1,0 +1,128 @@
+// Table 9: query performance — the time of one TimedIndexProbe and one
+// TimedSegmentScan per scheme. Model (Table 9's formulas) next to the
+// device simulation's measured per-query costs.
+
+#include "bench/common.h"
+
+#include "storage/store.h"
+#include "wave/scheme_factory.h"
+#include "workload/netnews.h"
+#include "workload/query_workload.h"
+
+namespace wavekit {
+namespace bench {
+namespace {
+
+struct SimQueryCosts {
+  double per_probe = 0;
+  double per_scan = 0;
+};
+
+// Runs `kind` for 2W transitions on a scaled Netnews stream, then measures
+// the cost of single probes and scans against the steady-state wave index.
+SimQueryCosts MeasureSimQueries(SchemeKind kind, int window, int n) {
+  Store store;
+  DayStore day_store;
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = n;
+  config.technique = UpdateTechniqueKind::kSimpleShadow;
+  auto made = MakeScheme(kind, env, config);
+  if (!made.ok()) made.status().Abort("MakeScheme");
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+
+  workload::NetnewsConfig netnews_config;
+  netnews_config.articles_per_day = 70;
+  netnews_config.words_per_article = 20;
+  workload::NetnewsGenerator netnews(netnews_config);
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= window; ++d) first.push_back(netnews.GenerateDay(d));
+  scheme->Start(std::move(first)).Abort("Start");
+  for (int i = 0; i < 2 * window; ++i) {
+    scheme->Transition(netnews.GenerateDay(scheme->current_day() + 1))
+        .Abort("Transition");
+  }
+
+  workload::QueryMix mix;
+  mix.probes_per_day = 1;
+  mix.probe_sample = 32;
+  mix.scans_per_day = 1;
+  mix.scan_sample = 2;
+  auto costs = workload::RunDailyQueries(
+      scheme->wave(), store.device(), CostModel::Paper(), mix,
+      DayRange::Window(scheme->current_day(), window),
+      [&netnews](Rng& rng) { return netnews.SampleWord(rng); });
+  if (!costs.ok()) costs.status().Abort("RunDailyQueries");
+  return SimQueryCosts{costs.ValueOrDie().seconds_per_probe,
+                       costs.ValueOrDie().seconds_per_scan};
+}
+
+int Run() {
+  Banner("Table 9: query performance (simple shadow updating, W=10, n=2)",
+         "One probe costs Probe_idx * (seek + (W/n) * c/Trans); one scan "
+         "costs Scan_idx * (seek + (W/n) * S'/Trans) — S for packed REINDEX; "
+         "WATA scans also pay for residual expired days.");
+
+  const model::CaseParams params = model::CaseParams::Scam();
+  const int window = 10;
+  const int n = 2;
+
+  sim::TablePrinter table({"scheme", "model probe (n idx)",
+                           "model scan (1 idx)", "sim probe (n idx)",
+                           "sim scan (all idx)"});
+  table.SetTitle(
+      "Model at paper scale; sim at 70 articles/day (absolute values differ; "
+      "the ordering is what must match)");
+
+  struct Row {
+    SchemeKind kind;
+    double model_probe, model_scan;
+    SimQueryCosts sim;
+  };
+  std::vector<Row> rows;
+  for (SchemeKind kind : PaperSchemes()) {
+    Row row{kind, 0, 0, {}};
+    const model::QueryShape shape =
+        model::ShapeOf(kind, UpdateTechniqueKind::kSimpleShadow, window, n);
+    row.model_probe = model::TimedIndexProbeSeconds(params, shape, n);
+    row.model_scan = model::TimedSegmentScanSeconds(params, shape, 1);
+    row.sim = MeasureSimQueries(kind, window, n);
+    rows.push_back(row);
+    table.AddRow({std::string(SchemeKindName(kind)),
+                  FormatSeconds(row.model_probe),
+                  FormatSeconds(row.model_scan),
+                  FormatSeconds(row.sim.per_probe),
+                  FormatSeconds(row.sim.per_scan)});
+  }
+  table.Print(std::cout);
+
+  ShapeChecks checks;
+  auto find = [&](SchemeKind kind) -> const Row& {
+    for (const Row& row : rows) {
+      if (row.kind == kind) return row;
+    }
+    std::abort();
+  };
+  checks.Check(find(SchemeKind::kReindex).model_scan <
+                   find(SchemeKind::kDel).model_scan,
+               "model: REINDEX's packed indexes scan faster than DEL's "
+               "unpacked ones");
+  checks.Check(find(SchemeKind::kReindex).sim.per_scan <=
+                   find(SchemeKind::kDel).sim.per_scan,
+               "sim: REINDEX's packed indexes scan no slower than DEL's");
+  checks.Check(find(SchemeKind::kWata).sim.per_scan >=
+                   0.95 * find(SchemeKind::kRata).sim.per_scan,
+               "sim: WATA scans are no faster than RATA's (residual days)");
+  checks.Check(find(SchemeKind::kDel).model_probe ==
+                   find(SchemeKind::kReindexPlusPlus).model_probe,
+               "model: probe cost depends only on (W, n), not the "
+               "hard-window scheme");
+  return checks.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavekit
+
+int main() { return wavekit::bench::Run(); }

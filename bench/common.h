@@ -1,0 +1,99 @@
+// Shared helpers for the paper-reproduction experiment binaries.
+//
+// Every bench prints (1) what the paper's table/figure reports, (2) the
+// numbers this reproduction produces — from the analytic model (paper
+// parameters priced over the real schemes' operation logs) and, where
+// applicable, the device-level simulation — and (3) a SHAPE CHECK section
+// asserting the qualitative findings the paper draws from that experiment.
+
+#ifndef WAVEKIT_BENCH_COMMON_H_
+#define WAVEKIT_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/maintenance_model.h"
+#include "model/params.h"
+#include "model/query_model.h"
+#include "model/space_model.h"
+#include "model/total_work.h"
+#include "sim/driver.h"
+#include "sim/table_printer.h"
+#include "util/format.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+namespace bench {
+
+inline const std::vector<SchemeKind>& PaperSchemes() {
+  static const std::vector<SchemeKind> kSchemes = {
+      SchemeKind::kDel,          SchemeKind::kReindex,
+      SchemeKind::kReindexPlus,  SchemeKind::kReindexPlusPlus,
+      SchemeKind::kWata,         SchemeKind::kRata,
+  };
+  return kSchemes;
+}
+
+inline bool SchemeValid(SchemeKind kind, int num_indexes) {
+  if ((kind == SchemeKind::kWata || kind == SchemeKind::kRata) &&
+      num_indexes < 2) {
+    return false;
+  }
+  return true;
+}
+
+/// Prints a banner naming the experiment and the paper's claim.
+inline void Banner(const std::string& title, const std::string& paper_claim) {
+  std::cout << "=================================================================\n"
+            << title << "\n"
+            << "-----------------------------------------------------------------\n"
+            << "Paper: " << paper_claim << "\n"
+            << "=================================================================\n";
+}
+
+/// Tracks shape-check outcomes and prints a summary; returns an exit code.
+class ShapeChecks {
+ public:
+  void Check(bool ok, const std::string& description) {
+    results_.emplace_back(ok, description);
+  }
+
+  int Finish() const {
+    int failures = 0;
+    std::cout << "\nSHAPE CHECKS (paper findings reproduced?)\n";
+    for (const auto& [ok, description] : results_) {
+      std::cout << "  [" << (ok ? "OK" : "MISMATCH") << "] " << description
+                << "\n";
+      if (!ok) ++failures;
+    }
+    std::cout << (failures == 0 ? "All shape checks passed.\n"
+                                : "Some shape checks FAILED.\n");
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+};
+
+/// Total-work (model) for one configuration; aborts on config errors since
+/// bench inputs are static.
+inline model::TotalWork TotalWorkOrDie(SchemeKind scheme,
+                                       UpdateTechniqueKind technique,
+                                       const model::CaseParams& params,
+                                       int window, int num_indexes) {
+  auto work =
+      model::EstimateTotalWork(scheme, technique, params, window, num_indexes);
+  if (!work.ok()) work.status().Abort("EstimateTotalWork");
+  return std::move(work).ValueOrDie();
+}
+
+inline std::string Fmt(double v, int precision = 1) {
+  return FormatDouble(v, precision);
+}
+
+}  // namespace bench
+}  // namespace wavekit
+
+#endif  // WAVEKIT_BENCH_COMMON_H_

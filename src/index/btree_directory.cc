@@ -1,0 +1,392 @@
+#include "index/btree_directory.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/hash_directory.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+// A node is a leaf (values non-empty semantics) or internal (children
+// non-empty). For a leaf, keys[i] maps to values[i]. For an internal node
+// with k keys there are k+1 children; keys[i] is a separator: every key in
+// children[i] is < keys[i], every key in children[i+1] is >= keys[i].
+struct BTreeDirectory::Node {
+  bool is_leaf;
+  std::vector<Value> keys;
+  std::vector<BucketInfo> values;                 // leaf only, parallel to keys
+  std::vector<std::unique_ptr<Node>> children;    // internal only
+  Node* next_leaf = nullptr;                      // leaf chain
+  Node* prev_leaf = nullptr;
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTreeDirectory::SplitResult {
+  Value separator;
+  std::unique_ptr<Node> right;
+};
+
+BTreeDirectory::BTreeDirectory(size_t max_keys)
+    : max_keys_(std::max<size_t>(max_keys, 3)), min_keys_(max_keys_ / 2) {}
+
+BTreeDirectory::~BTreeDirectory() = default;
+
+BTreeDirectory::Node* BTreeDirectory::FindLeaf(const Value& value) const {
+  Node* node = root_.get();
+  if (node == nullptr) return nullptr;
+  while (!node->is_leaf) {
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), value) -
+        node->keys.begin());
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+BucketInfo* BTreeDirectory::Find(const Value& value) {
+  Node* leaf = FindLeaf(value);
+  if (leaf == nullptr) return nullptr;
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), value);
+  if (it == leaf->keys.end() || *it != value) return nullptr;
+  return &leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+}
+
+const BucketInfo* BTreeDirectory::Find(const Value& value) const {
+  return const_cast<BTreeDirectory*>(this)->Find(value);
+}
+
+Status BTreeDirectory::Insert(const Value& value, const BucketInfo& info) {
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+  SplitResult split;
+  bool did_split = false;
+  WAVEKIT_RETURN_NOT_OK(
+      InsertRecursive(root_.get(), value, info, &split, &did_split));
+  if (did_split) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(std::move(split.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status BTreeDirectory::InsertRecursive(Node* node, const Value& value,
+                                       const BucketInfo& info,
+                                       SplitResult* split, bool* did_split) {
+  *did_split = false;
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), value);
+    if (it != node->keys.end() && *it == value) {
+      return Status::AlreadyExists("directory already maps value '" + value +
+                                   "'");
+    }
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, value);
+    node->values.insert(node->values.begin() + static_cast<long>(pos), info);
+  } else {
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), value) -
+        node->keys.begin());
+    SplitResult child_split;
+    bool child_did_split = false;
+    WAVEKIT_RETURN_NOT_OK(InsertRecursive(node->children[idx].get(), value,
+                                          info, &child_split,
+                                          &child_did_split));
+    if (child_did_split) {
+      node->keys.insert(node->keys.begin() + static_cast<long>(idx),
+                        std::move(child_split.separator));
+      node->children.insert(node->children.begin() + static_cast<long>(idx) + 1,
+                            std::move(child_split.right));
+    }
+  }
+
+  if (node->keys.size() <= max_keys_) return Status::OK();
+
+  // Split: left keeps the first half, right takes the rest.
+  auto right = std::make_unique<Node>(node->is_leaf);
+  const size_t mid = node->keys.size() / 2;
+  if (node->is_leaf) {
+    // Leaf split: separator is a copy of the first right key (it stays in the
+    // leaf too — B+Tree leaves hold all mappings).
+    split->separator = node->keys[mid];
+    right->keys.assign(node->keys.begin() + static_cast<long>(mid),
+                       node->keys.end());
+    right->values.assign(node->values.begin() + static_cast<long>(mid),
+                         node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next_leaf = node->next_leaf;
+    right->prev_leaf = node;
+    if (node->next_leaf != nullptr) node->next_leaf->prev_leaf = right.get();
+    node->next_leaf = right.get();
+  } else {
+    // Internal split: the middle key moves up and is NOT kept in either half.
+    split->separator = std::move(node->keys[mid]);
+    right->keys.assign(
+        std::make_move_iterator(node->keys.begin() + static_cast<long>(mid) + 1),
+        std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() +
+                                static_cast<long>(mid) + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+  }
+  split->right = std::move(right);
+  *did_split = true;
+  return Status::OK();
+}
+
+Status BTreeDirectory::Remove(const Value& value) {
+  if (root_ == nullptr) {
+    return Status::NotFound("directory has no value '" + value + "'");
+  }
+  bool underflow = false;
+  WAVEKIT_RETURN_NOT_OK(RemoveRecursive(root_.get(), value, &underflow));
+  --size_;
+  // Shrink the root: an internal root with a single child is replaced by that
+  // child; an empty leaf root becomes the empty tree.
+  if (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  } else if (root_->is_leaf && root_->keys.empty()) {
+    root_.reset();
+  }
+  return Status::OK();
+}
+
+Status BTreeDirectory::RemoveRecursive(Node* node, const Value& value,
+                                       bool* underflow) {
+  *underflow = false;
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), value);
+    if (it == node->keys.end() || *it != value) {
+      return Status::NotFound("directory has no value '" + value + "'");
+    }
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.erase(it);
+    node->values.erase(node->values.begin() + static_cast<long>(pos));
+  } else {
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), value) -
+        node->keys.begin());
+    bool child_underflow = false;
+    WAVEKIT_RETURN_NOT_OK(
+        RemoveRecursive(node->children[idx].get(), value, &child_underflow));
+    if (child_underflow) RebalanceChild(node, idx);
+  }
+  *underflow = node->keys.size() < min_keys_;
+  return Status::OK();
+}
+
+void BTreeDirectory::RebalanceChild(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  Node* left = child_idx > 0 ? parent->children[child_idx - 1].get() : nullptr;
+  Node* right = child_idx + 1 < parent->children.size()
+                    ? parent->children[child_idx + 1].get()
+                    : nullptr;
+
+  // Borrow from the left sibling if it can spare a key.
+  if (left != nullptr && left->keys.size() > min_keys_) {
+    if (child->is_leaf) {
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->values.insert(child->values.begin(), left->values.back());
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[child_idx - 1] = child->keys.front();
+    } else {
+      // Rotate through the parent separator.
+      child->keys.insert(child->keys.begin(),
+                         std::move(parent->keys[child_idx - 1]));
+      parent->keys[child_idx - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+    return;
+  }
+
+  // Borrow from the right sibling.
+  if (right != nullptr && right->keys.size() > min_keys_) {
+    if (child->is_leaf) {
+      child->keys.push_back(std::move(right->keys.front()));
+      child->values.push_back(right->values.front());
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[child_idx] = right->keys.front();
+    } else {
+      child->keys.push_back(std::move(parent->keys[child_idx]));
+      parent->keys[child_idx] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge with a sibling. Normalize so we always merge `right_node` into
+  // `left_node`, removing separator `sep_idx` from the parent.
+  size_t sep_idx;
+  Node* left_node;
+  Node* right_node;
+  size_t right_slot;
+  if (left != nullptr) {
+    sep_idx = child_idx - 1;
+    left_node = left;
+    right_node = child;
+    right_slot = child_idx;
+  } else {
+    sep_idx = child_idx;
+    left_node = child;
+    right_node = right;
+    right_slot = child_idx + 1;
+  }
+
+  if (left_node->is_leaf) {
+    left_node->keys.insert(left_node->keys.end(),
+                           std::make_move_iterator(right_node->keys.begin()),
+                           std::make_move_iterator(right_node->keys.end()));
+    left_node->values.insert(left_node->values.end(),
+                             right_node->values.begin(),
+                             right_node->values.end());
+    left_node->next_leaf = right_node->next_leaf;
+    if (right_node->next_leaf != nullptr) {
+      right_node->next_leaf->prev_leaf = left_node;
+    }
+  } else {
+    left_node->keys.push_back(std::move(parent->keys[sep_idx]));
+    left_node->keys.insert(left_node->keys.end(),
+                           std::make_move_iterator(right_node->keys.begin()),
+                           std::make_move_iterator(right_node->keys.end()));
+    left_node->children.insert(
+        left_node->children.end(),
+        std::make_move_iterator(right_node->children.begin()),
+        std::make_move_iterator(right_node->children.end()));
+  }
+  parent->keys.erase(parent->keys.begin() + static_cast<long>(sep_idx));
+  parent->children.erase(parent->children.begin() +
+                         static_cast<long>(right_slot));
+}
+
+void BTreeDirectory::ForEach(
+    const std::function<void(const Value&, const BucketInfo&)>& fn) const {
+  // Walk to the leftmost leaf, then follow the chain.
+  Node* node = root_.get();
+  if (node == nullptr) return;
+  while (!node->is_leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next_leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      fn(node->keys[i], node->values[i]);
+    }
+  }
+}
+
+std::unique_ptr<Directory> BTreeDirectory::CloneEmpty() const {
+  return std::make_unique<BTreeDirectory>(max_keys_);
+}
+
+size_t BTreeDirectory::height() const {
+  size_t h = 0;
+  for (Node* node = root_.get(); node != nullptr;
+       node = node->is_leaf ? nullptr : node->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+size_t BTreeDirectory::LeafDepth() const {
+  size_t depth = 0;
+  Node* node = root_.get();
+  while (node != nullptr && !node->is_leaf) {
+    node = node->children.front().get();
+    ++depth;
+  }
+  return depth;
+}
+
+Status BTreeDirectory::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Internal("empty tree with nonzero size");
+  }
+  WAVEKIT_RETURN_NOT_OK(
+      CheckNode(root_.get(), nullptr, nullptr, 0, LeafDepth()));
+  // Leaf chain must visit exactly size_ mappings in sorted order.
+  size_t visited = 0;
+  const Value* prev = nullptr;
+  Status chain_status = Status::OK();
+  ForEach([&](const Value& v, const BucketInfo&) {
+    if (prev != nullptr && !(*prev < v)) {
+      chain_status = Status::Internal("leaf chain out of order");
+    }
+    prev = &v;
+    ++visited;
+  });
+  WAVEKIT_RETURN_NOT_OK(chain_status);
+  if (visited != size_) {
+    return Status::Internal("leaf chain size mismatch: visited " +
+                            std::to_string(visited) + " expected " +
+                            std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+Status BTreeDirectory::CheckNode(const Node* node, const Value* lower,
+                                 const Value* upper, size_t depth,
+                                 size_t leaf_depth) const {
+  const bool is_root = node == root_.get();
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+    return Status::Internal("node keys not sorted");
+  }
+  for (const Value& k : node->keys) {
+    if (lower != nullptr && k < *lower) return Status::Internal("key below bound");
+    if (upper != nullptr && !(k < *upper)) {
+      return Status::Internal("key above bound");
+    }
+  }
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return Status::Internal("leaves at unequal depth");
+    if (node->keys.size() != node->values.size()) {
+      return Status::Internal("leaf key/value count mismatch");
+    }
+    if (!is_root && node->keys.size() < min_keys_) {
+      return Status::Internal("leaf underflow");
+    }
+  } else {
+    if (node->children.size() != node->keys.size() + 1) {
+      return Status::Internal("internal fanout mismatch");
+    }
+    if (!is_root && node->keys.size() < min_keys_) {
+      return Status::Internal("internal underflow");
+    }
+    if (is_root && node->children.size() < 2) {
+      return Status::Internal("internal root with < 2 children");
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Value* lo = i == 0 ? lower : &node->keys[i - 1];
+      const Value* hi = i == node->keys.size() ? upper : &node->keys[i];
+      WAVEKIT_RETURN_NOT_OK(
+          CheckNode(node->children[i].get(), lo, hi, depth + 1, leaf_depth));
+    }
+  }
+  if (node->keys.size() > max_keys_) return Status::Internal("node overflow");
+  return Status::OK();
+}
+
+std::unique_ptr<Directory> MakeDirectory(DirectoryKind kind) {
+  switch (kind) {
+    case DirectoryKind::kHash:
+      return std::make_unique<HashDirectory>();
+    case DirectoryKind::kBTree:
+      return std::make_unique<BTreeDirectory>();
+  }
+  return nullptr;
+}
+
+}  // namespace wavekit

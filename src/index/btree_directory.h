@@ -1,0 +1,72 @@
+// BTreeDirectory: B+Tree-backed Directory with ordered iteration.
+//
+// Values are kept in sorted order, so packed builds that lay buckets out in
+// directory order produce an on-device layout sorted by value — useful for
+// prefix/range access patterns and deterministic layouts. The tree is a
+// textbook B+Tree: all mappings live in leaves, internal nodes hold
+// separators, leaves are chained for in-order traversal.
+
+#ifndef WAVEKIT_INDEX_BTREE_DIRECTORY_H_
+#define WAVEKIT_INDEX_BTREE_DIRECTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/directory.h"
+
+namespace wavekit {
+
+/// \brief Directory backed by an in-memory B+Tree.
+class BTreeDirectory : public Directory {
+ public:
+  /// `max_keys` is the maximum number of keys per node (order - 1); nodes
+  /// split when they exceed it and merge when they fall below max_keys / 2.
+  /// Must be >= 3.
+  explicit BTreeDirectory(size_t max_keys = 32);
+  ~BTreeDirectory() override;
+
+  DirectoryKind kind() const override { return DirectoryKind::kBTree; }
+  BucketInfo* Find(const Value& value) override;
+  const BucketInfo* Find(const Value& value) const override;
+  Status Insert(const Value& value, const BucketInfo& info) override;
+  Status Remove(const Value& value) override;
+  size_t size() const override { return size_; }
+  void ForEach(const std::function<void(const Value&, const BucketInfo&)>& fn)
+      const override;
+  std::unique_ptr<Directory> CloneEmpty() const override;
+  bool ordered() const override { return true; }
+
+  /// Height of the tree (0 for an empty tree, 1 when the root is a leaf).
+  size_t height() const;
+
+  /// Validates B+Tree invariants (key ordering, fanout bounds, uniform leaf
+  /// depth, leaf chain completeness). For tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  Node* FindLeaf(const Value& value) const;
+  // Inserts into the subtree at `node`; on split, returns the new right
+  // sibling and its separator key via `*split`.
+  Status InsertRecursive(Node* node, const Value& value, const BucketInfo& info,
+                         SplitResult* split, bool* did_split);
+  // Removes from the subtree at `node`; sets *underflow when `node` dropped
+  // below the minimum occupancy and its parent must rebalance.
+  Status RemoveRecursive(Node* node, const Value& value, bool* underflow);
+  void RebalanceChild(Node* parent, size_t child_idx);
+
+  Status CheckNode(const Node* node, const Value* lower, const Value* upper,
+                   size_t depth, size_t leaf_depth) const;
+  size_t LeafDepth() const;
+
+  size_t max_keys_;
+  size_t min_keys_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_BTREE_DIRECTORY_H_

@@ -1,0 +1,341 @@
+#include "index/constituent_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+ConstituentIndex::ConstituentIndex(Device* device, ExtentAllocator* allocator,
+                                   Options options, std::string name)
+    : device_(device),
+      allocator_(allocator),
+      options_(options),
+      name_(std::move(name)),
+      directory_(MakeDirectory(options.directory)) {}
+
+ConstituentIndex::~ConstituentIndex() {
+  Status status = Destroy();
+  if (!status.ok()) {
+    WAVEKIT_LOG(Error) << "destroying index " << name_ << ": "
+                       << status.ToString();
+  }
+}
+
+Status ConstituentIndex::ReadBucketEntries(const BucketInfo& info,
+                                           std::vector<Entry>* out) const {
+  const size_t previous = out->size();
+  out->resize(previous + info.count);
+  if (info.count == 0) return Status::OK();
+  auto* bytes = reinterpret_cast<std::byte*>(out->data() + previous);
+  return device_->Read(info.extent.offset,
+                       std::span<std::byte>(bytes, info.count * kEntrySize));
+}
+
+Status ConstituentIndex::WriteEntriesAt(uint64_t offset,
+                                        std::span<const Entry> entries) {
+  if (entries.empty()) return Status::OK();
+  auto* bytes = reinterpret_cast<const std::byte*>(entries.data());
+  return device_->Write(
+      offset, std::span<const std::byte>(bytes, entries.size() * kEntrySize));
+}
+
+Status ConstituentIndex::Probe(const Value& value,
+                               std::vector<Entry>* out) const {
+  return TimedProbe(value, DayRange::All(), out);
+}
+
+Status ConstituentIndex::TimedProbe(const Value& value, const DayRange& range,
+                                    std::vector<Entry>* out) const {
+  const BucketInfo* info = directory_->Find(value);
+  if (info == nullptr) return Status::OK();
+  if (range.Covers(time_set_)) {
+    // All entries qualify; no per-entry timestamp check needed.
+    return ReadBucketEntries(*info, out);
+  }
+  std::vector<Entry> bucket;
+  WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
+  for (const Entry& e : bucket) {
+    if (range.Contains(e.day)) out->push_back(e);
+  }
+  return Status::OK();
+}
+
+Status ConstituentIndex::Scan(const EntryCallback& callback) const {
+  return TimedScan(DayRange::All(), callback);
+}
+
+Status ConstituentIndex::TimedScan(const DayRange& range,
+                                   const EntryCallback& callback) const {
+  const bool covered = range.Covers(time_set_);
+  std::vector<Entry> bucket;
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) {
+      return Status::Internal("layout order lists unknown value '" + value +
+                              "' in index " + name_);
+    }
+    bucket.clear();
+    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
+    for (const Entry& e : bucket) {
+      if (covered || range.Contains(e.day)) callback(value, e);
+    }
+  }
+  return Status::OK();
+}
+
+Status ConstituentIndex::ForEachBucket(
+    const std::function<void(const Value&, const BucketInfo&)>& fn) const {
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) {
+      return Status::Internal("layout order lists unknown value '" + value +
+                              "' in index " + name_);
+    }
+    fn(value, *info);
+  }
+  return Status::OK();
+}
+
+Status ConstituentIndex::AppendEntries(const Value& value,
+                                       std::span<const Entry> entries) {
+  if (entries.empty()) return Status::OK();
+  BucketInfo* info = directory_->Find(value);
+  if (info == nullptr) {
+    const uint32_t capacity =
+        options_.growth.InitialCapacity(static_cast<uint32_t>(entries.size()));
+    WAVEKIT_ASSIGN_OR_RETURN(Extent extent,
+                             allocator_->Allocate(capacity * kEntrySize));
+    WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(extent.offset, entries));
+    WAVEKIT_RETURN_NOT_OK(directory_->Insert(
+        value, BucketInfo{extent, static_cast<uint32_t>(entries.size()),
+                          capacity}));
+    layout_order_.push_back(value);
+    allocated_bytes_ += extent.length;
+  } else if (info->count + entries.size() <= info->capacity) {
+    // Room in place: append after the existing entries.
+    WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(
+        info->extent.offset + info->count * kEntrySize, entries));
+    info->count += static_cast<uint32_t>(entries.size());
+  } else {
+    // CONTIGUOUS overflow: relocate to a g-times-larger extent.
+    const uint32_t needed =
+        info->count + static_cast<uint32_t>(entries.size());
+    const uint32_t new_capacity =
+        options_.growth.GrownCapacity(info->capacity, needed);
+    std::vector<Entry> existing;
+    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &existing));
+    WAVEKIT_ASSIGN_OR_RETURN(Extent new_extent,
+                             allocator_->Allocate(new_capacity * kEntrySize));
+    existing.insert(existing.end(), entries.begin(), entries.end());
+    WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(new_extent.offset, existing));
+    WAVEKIT_RETURN_NOT_OK(allocator_->Free(info->extent));
+    allocated_bytes_ += new_extent.length;
+    allocated_bytes_ -= info->extent.length;
+    info->extent = new_extent;
+    info->count = needed;
+    info->capacity = new_capacity;
+  }
+  entry_count_ += entries.size();
+  packed_ = false;
+  return Status::OK();
+}
+
+Status ConstituentIndex::AddBatch(const DayBatch& batch) {
+  // Group the batch per value (sorted for determinism), then append.
+  std::map<Value, std::vector<Entry>> grouped;
+  for (const Record& record : batch.records) {
+    for (size_t i = 0; i < record.values.size(); ++i) {
+      grouped[record.values[i]].push_back(
+          Entry{record.record_id, batch.day, record.AuxFor(i)});
+    }
+  }
+  for (const auto& [value, entries] : grouped) {
+    WAVEKIT_RETURN_NOT_OK(AppendEntries(value, entries));
+  }
+  time_set_.insert(batch.day);
+  return Status::OK();
+}
+
+Status ConstituentIndex::DeleteDays(const TimeSet& days) {
+  if (days.empty()) return Status::OK();
+  // Iterate over a copy: emptied values are removed from layout_order_.
+  const std::vector<Value> values = layout_order_;
+  std::vector<Entry> bucket;
+  std::vector<Entry> kept;
+  for (const Value& value : values) {
+    BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) {
+      return Status::Internal("layout order lists unknown value '" + value +
+                              "' in index " + name_);
+    }
+    bucket.clear();
+    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
+    kept.clear();
+    for (const Entry& e : bucket) {
+      if (!days.contains(e.day)) kept.push_back(e);
+    }
+    if (kept.size() == bucket.size()) continue;  // nothing expired here
+    entry_count_ -= bucket.size() - kept.size();
+    if (kept.empty()) {
+      WAVEKIT_RETURN_NOT_OK(RemoveValue(value));
+      continue;
+    }
+    const uint32_t live = static_cast<uint32_t>(kept.size());
+    const uint32_t shrunk =
+        options_.growth.ShrunkCapacity(info->capacity, live);
+    if (shrunk != info->capacity) {
+      // Worth relocating to a smaller extent (CONTIGUOUS shrink).
+      WAVEKIT_ASSIGN_OR_RETURN(Extent new_extent,
+                               allocator_->Allocate(shrunk * kEntrySize));
+      WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(new_extent.offset, kept));
+      WAVEKIT_RETURN_NOT_OK(allocator_->Free(info->extent));
+      allocated_bytes_ += new_extent.length;
+      allocated_bytes_ -= info->extent.length;
+      info->extent = new_extent;
+      info->capacity = shrunk;
+    } else {
+      // Compact in place.
+      WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(info->extent.offset, kept));
+    }
+    info->count = live;
+  }
+  for (Day d : days) time_set_.erase(d);
+  packed_ = false;
+  return Status::OK();
+}
+
+Status ConstituentIndex::RemoveValue(const Value& value) {
+  BucketInfo* info = directory_->Find(value);
+  if (info == nullptr) {
+    return Status::NotFound("no value '" + value + "' in index " + name_);
+  }
+  WAVEKIT_RETURN_NOT_OK(allocator_->Free(info->extent));
+  allocated_bytes_ -= info->extent.length;
+  WAVEKIT_RETURN_NOT_OK(directory_->Remove(value));
+  layout_order_.erase(
+      std::find(layout_order_.begin(), layout_order_.end(), value));
+  return Status::OK();
+}
+
+Status ConstituentIndex::InstallBucket(const Value& value, const Extent& extent,
+                                       uint32_t count, uint32_t capacity) {
+  if (extent.length != capacity * kEntrySize) {
+    return Status::InvalidArgument("bucket extent does not match capacity");
+  }
+  if (count > capacity) {
+    return Status::InvalidArgument("bucket count exceeds capacity");
+  }
+  WAVEKIT_RETURN_NOT_OK(
+      directory_->Insert(value, BucketInfo{extent, count, capacity}));
+  layout_order_.push_back(value);
+  allocated_bytes_ += extent.length;
+  entry_count_ += count;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::Clone(
+    std::string name) const {
+  return CloneTo(device_, allocator_, std::move(name));
+}
+
+Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
+    Device* device, ExtentAllocator* allocator, std::string name) const {
+  auto clone = std::make_unique<ConstituentIndex>(device, allocator, options_,
+                                                  std::move(name));
+  // One region for all buckets keeps the copy contiguous (and the copy I/O
+  // sequential), like the paper's CP: read everything, flush elsewhere.
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region,
+                           allocator->Allocate(allocated_bytes_));
+  uint64_t cursor = region.offset;
+  std::vector<std::byte> buffer;
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) {
+      WAVEKIT_RETURN_NOT_OK(allocator->Free(region));
+      return Status::Internal("layout order lists unknown value '" + value +
+                              "' in index " + name_);
+    }
+    // Copy the full capacity (slack included), preserving S' footprint.
+    buffer.resize(info->extent.length);
+    WAVEKIT_RETURN_NOT_OK(device_->Read(info->extent.offset, buffer));
+    WAVEKIT_RETURN_NOT_OK(device->Write(cursor, buffer));
+    WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
+        value, Extent{cursor, info->extent.length}, info->count,
+        info->capacity));
+    cursor += info->extent.length;
+  }
+  clone->time_set_ = time_set_;
+  clone->packed_ = packed_;
+  return clone;
+}
+
+Status ConstituentIndex::Destroy() {
+  Status first_error;
+  directory_->ForEach([&](const Value&, const BucketInfo& info) {
+    Status s = allocator_->Free(info.extent);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  });
+  WAVEKIT_RETURN_NOT_OK(first_error);
+  directory_ = MakeDirectory(options_.directory);
+  layout_order_.clear();
+  time_set_.clear();
+  entry_count_ = 0;
+  allocated_bytes_ = 0;
+  packed_ = false;
+  return Status::OK();
+}
+
+Status ConstituentIndex::CheckPacked() const {
+  uint64_t expected_offset = 0;
+  bool first = true;
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) return Status::Internal("layout/directory mismatch");
+    if (info->count != info->capacity) {
+      return Status::Internal("bucket for '" + value +
+                              "' is not exactly filled");
+    }
+    if (!first && info->extent.offset != expected_offset) {
+      return Status::Internal("bucket for '" + value +
+                              "' is not contiguous with its predecessor");
+    }
+    expected_offset = info->extent.end();
+    first = false;
+  }
+  return Status::OK();
+}
+
+Status ConstituentIndex::CheckConsistency() const {
+  if (layout_order_.size() != directory_->size()) {
+    return Status::Internal("layout order size != directory size");
+  }
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) return Status::Internal("layout/directory mismatch");
+    if (info->count > info->capacity) {
+      return Status::Internal("bucket count exceeds capacity");
+    }
+    if (info->count == 0) {
+      return Status::Internal("empty bucket retained for '" + value + "'");
+    }
+    if (info->extent.length != info->capacity * kEntrySize) {
+      return Status::Internal("extent length does not match capacity");
+    }
+    entries += info->count;
+    bytes += info->extent.length;
+  }
+  if (entries != entry_count_) return Status::Internal("entry count mismatch");
+  if (bytes != allocated_bytes_) {
+    return Status::Internal("allocated byte accounting mismatch");
+  }
+  if (packed_) WAVEKIT_RETURN_NOT_OK(CheckPacked());
+  return Status::OK();
+}
+
+}  // namespace wavekit

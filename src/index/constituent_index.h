@@ -1,0 +1,176 @@
+// ConstituentIndex: one "conventional" index of a wave index.
+//
+// Holds an in-memory Directory mapping values to on-device buckets of fixed
+// 16-byte entries. Supports the paper's access operations (probe / scan with
+// optional time restriction) and the mutation primitives the update
+// techniques of Section 2.1 are built from: CONTIGUOUS incremental append
+// and delete [FJ92], and whole-index copy (the CP operation).
+//
+// A packed index (Section 2) has every bucket filled exactly (count ==
+// capacity) and all buckets laid out contiguously on the device in layout
+// order, so a SegmentScan is one seek plus a sequential sweep.
+
+#ifndef WAVEKIT_INDEX_CONSTITUENT_INDEX_H_
+#define WAVEKIT_INDEX_CONSTITUENT_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/directory.h"
+#include "index/entry.h"
+#include "index/growth_policy.h"
+#include "index/record.h"
+#include "storage/extent_allocator.h"
+#include "util/day.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// Visitor for scans; called once per live entry.
+using EntryCallback = std::function<void(const Value&, const Entry&)>;
+
+/// \brief One constituent index over a cluster of days.
+class ConstituentIndex {
+ public:
+  struct Options {
+    DirectoryKind directory = DirectoryKind::kHash;
+    GrowthPolicy growth;
+  };
+
+  /// Creates an empty index. `device` and `allocator` must outlive it.
+  ConstituentIndex(Device* device, ExtentAllocator* allocator, Options options,
+                   std::string name);
+
+  /// Frees all bucket extents (best effort).
+  ~ConstituentIndex();
+
+  ConstituentIndex(const ConstituentIndex&) = delete;
+  ConstituentIndex& operator=(const ConstituentIndex&) = delete;
+
+  // --- Metadata ------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// The set of days this index covers (its cluster).
+  const TimeSet& time_set() const { return time_set_; }
+  TimeSet& mutable_time_set() { return time_set_; }
+
+  /// True when the packed invariant is expected to hold (set by packed
+  /// builds / packed shadow updates; cleared by incremental updates).
+  bool packed() const { return packed_; }
+  void set_packed(bool packed) { packed_ = packed; }
+
+  /// Device bytes reserved by this index (sum of bucket capacities).
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Device bytes holding live entries (sum of bucket counts).
+  uint64_t live_bytes() const { return entry_count_ * kEntrySize; }
+
+  /// Number of live entries.
+  uint64_t entry_count() const { return entry_count_; }
+
+  /// Number of distinct values.
+  size_t distinct_values() const { return directory_->size(); }
+
+  const Options& options() const { return options_; }
+  Device* device() const { return device_; }
+  ExtentAllocator* allocator() const { return allocator_; }
+
+  /// Values in on-device layout order (the order buckets were placed).
+  const std::vector<Value>& layout_order() const { return layout_order_; }
+
+  /// Visits every (value, bucket) pair in layout order — directory metadata
+  /// only, no device I/O (used by checkpointing).
+  Status ForEachBucket(
+      const std::function<void(const Value&, const BucketInfo&)>& fn) const;
+
+  // --- Access operations (paper Section 2.2) --------------------------------
+
+  /// IndexProbe: appends all entries for `value` to `*out`. A miss is OK with
+  /// nothing appended.
+  Status Probe(const Value& value, std::vector<Entry>* out) const;
+
+  /// TimedIndexProbe restricted to this constituent: appends entries for
+  /// `value` whose day lies in `range`. When `range` covers the whole
+  /// time-set the per-entry filter is skipped (paper: cluster-aligned timed
+  /// queries need no timestamps).
+  Status TimedProbe(const Value& value, const DayRange& range,
+                    std::vector<Entry>* out) const;
+
+  /// SegmentScan: visits every live entry, bucket by bucket in layout order.
+  Status Scan(const EntryCallback& callback) const;
+
+  /// TimedSegmentScan restricted to this constituent.
+  Status TimedScan(const DayRange& range, const EntryCallback& callback) const;
+
+  // --- Mutation primitives ---------------------------------------------------
+
+  /// Appends `entries` to `value`'s bucket, growing/relocating it per the
+  /// CONTIGUOUS policy. Clears the packed flag.
+  Status AppendEntries(const Value& value, std::span<const Entry> entries);
+
+  /// Adds all entries of `batch` (grouped per value) and adds the day to the
+  /// time-set. This is the in-place form of the paper's AddToIndex.
+  Status AddBatch(const DayBatch& batch);
+
+  /// Deletes every entry whose day is in `days`, shrinking buckets per the
+  /// CONTIGUOUS policy and dropping emptied values. Removes the days from
+  /// the time-set. This is the in-place form of DeleteFromIndex.
+  Status DeleteDays(const TimeSet& days);
+
+  /// Installs a pre-written bucket (used by the packed builder and packed
+  /// shadow updater). The extent must already contain `count` entries.
+  Status InstallBucket(const Value& value, const Extent& extent,
+                       uint32_t count, uint32_t capacity);
+
+  // --- Whole-index operations -------------------------------------------------
+
+  /// The CP operation: copies every bucket (full capacity, preserving slack)
+  /// into one fresh contiguous region and returns the copy. Reads and writes
+  /// allocated_bytes() each way.
+  Result<std::unique_ptr<ConstituentIndex>> Clone(std::string name) const;
+
+  /// Clone onto a DIFFERENT device (multi-disk deployments, paper Section 8:
+  /// "building new constituent indices on separate disks avoids contention").
+  Result<std::unique_ptr<ConstituentIndex>> CloneTo(
+      Device* device, ExtentAllocator* allocator, std::string name) const;
+
+  /// Releases every bucket extent and clears the index. Idempotent. This is
+  /// the space-reclaiming half of the paper's DropIndex.
+  Status Destroy();
+
+  // --- Invariants ---------------------------------------------------------------
+
+  /// Verifies the packed invariant: all buckets exactly filled and physically
+  /// contiguous in layout order.
+  Status CheckPacked() const;
+
+  /// Verifies internal consistency: directory and layout order agree, counts
+  /// and capacities are coherent, accounting sums match.
+  Status CheckConsistency() const;
+
+ private:
+  Status ReadBucketEntries(const BucketInfo& info,
+                           std::vector<Entry>* out) const;
+  Status WriteEntriesAt(uint64_t offset, std::span<const Entry> entries);
+  Status RemoveValue(const Value& value);
+
+  Device* device_;
+  ExtentAllocator* allocator_;
+  Options options_;
+  std::string name_;
+  std::unique_ptr<Directory> directory_;
+  std::vector<Value> layout_order_;
+  TimeSet time_set_;
+  bool packed_ = false;
+  uint64_t entry_count_ = 0;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_CONSTITUENT_INDEX_H_

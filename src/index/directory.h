@@ -1,0 +1,81 @@
+// Directory: the in-memory search structure mapping values to buckets.
+//
+// The paper assumes "the directory is in memory, and the buckets are on
+// disk" and allows "e.g., a B+Tree or a hash table". wavekit provides both:
+// HashDirectory (unordered, O(1) lookups) and BTreeDirectory (ordered
+// iteration, range-friendly). Directory operations are never charged device
+// I/O.
+
+#ifndef WAVEKIT_INDEX_DIRECTORY_H_
+#define WAVEKIT_INDEX_DIRECTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "index/record.h"
+#include "storage/device.h"
+#include "util/status.h"
+
+namespace wavekit {
+
+/// \brief Location and occupancy of one value's bucket on the device.
+///
+/// `capacity` is the number of entry slots the extent can hold; `count` is
+/// how many are live. A packed bucket has count == capacity.
+struct BucketInfo {
+  Extent extent;
+  uint32_t count = 0;
+  uint32_t capacity = 0;
+
+  bool operator==(const BucketInfo& other) const = default;
+};
+
+/// \brief Which directory implementation an index uses.
+enum class DirectoryKind {
+  kHash,
+  kBTree,
+};
+
+const char* DirectoryKindName(DirectoryKind kind);
+
+/// \brief Abstract value -> BucketInfo map.
+class Directory {
+ public:
+  virtual ~Directory() = default;
+
+  virtual DirectoryKind kind() const = 0;
+
+  /// Returns the bucket info for `value`, or nullptr if absent. The pointer
+  /// stays valid until the next mutation of the directory.
+  virtual BucketInfo* Find(const Value& value) = 0;
+  virtual const BucketInfo* Find(const Value& value) const = 0;
+
+  /// Inserts a new mapping. Fails with AlreadyExists if present.
+  virtual Status Insert(const Value& value, const BucketInfo& info) = 0;
+
+  /// Removes a mapping. Fails with NotFound if absent.
+  virtual Status Remove(const Value& value) = 0;
+
+  /// Number of distinct values.
+  virtual size_t size() const = 0;
+
+  /// Visits every (value, bucket) pair. BTreeDirectory visits in ascending
+  /// value order; HashDirectory order is unspecified but stable between
+  /// mutations.
+  virtual void ForEach(
+      const std::function<void(const Value&, const BucketInfo&)>& fn) const = 0;
+
+  /// A fresh, empty directory of the same kind.
+  virtual std::unique_ptr<Directory> CloneEmpty() const = 0;
+
+  /// True iff ForEach visits values in sorted order.
+  virtual bool ordered() const = 0;
+};
+
+/// Factory for the given kind.
+std::unique_ptr<Directory> MakeDirectory(DirectoryKind kind);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_DIRECTORY_H_

@@ -1,0 +1,38 @@
+// Entry: the fixed-size posting stored in index buckets.
+
+#ifndef WAVEKIT_INDEX_ENTRY_H_
+#define WAVEKIT_INDEX_ENTRY_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/day.h"
+
+namespace wavekit {
+
+/// \brief One posting: a record pointer plus associated information.
+///
+/// Per the paper's Section 2, each bucket entry is a pointer p_i to a record
+/// together with associated information a_i; for wave indexing a_i includes
+/// the timestamp (day) the record was inserted, which TimedIndexProbe /
+/// TimedSegmentScan filter on. `aux` carries application payload (e.g. a byte
+/// offset in IR usage, or an attribute for covering-index tricks in the
+/// relational usage).
+struct Entry {
+  uint64_t record_id = 0;
+  Day day = 0;
+  uint32_t aux = 0;
+
+  bool operator==(const Entry& other) const = default;
+};
+
+static_assert(std::is_trivially_copyable_v<Entry>,
+              "Entry is memcpy'd to and from the device");
+static_assert(sizeof(Entry) == 16, "on-device entry layout is 16 bytes");
+
+/// Bytes one entry occupies on the device.
+inline constexpr uint64_t kEntrySize = sizeof(Entry);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_ENTRY_H_

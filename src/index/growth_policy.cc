@@ -1,0 +1,33 @@
+#include "index/growth_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavekit {
+
+uint32_t GrowthPolicy::InitialCapacity(uint32_t needed) const {
+  return std::max(initial_capacity, needed);
+}
+
+uint32_t GrowthPolicy::GrownCapacity(uint32_t current, uint32_t needed) const {
+  double capacity = std::max<double>(current, 1.0);
+  const double factor = std::max(g, 1.0 + 1e-9);
+  while (capacity < static_cast<double>(needed)) {
+    capacity = std::ceil(capacity * factor);
+  }
+  return static_cast<uint32_t>(capacity);
+}
+
+uint32_t GrowthPolicy::ShrunkCapacity(uint32_t current, uint32_t live) const {
+  const double factor = std::max(g, 1.0 + 1e-9);
+  if (static_cast<double>(live) > current / (factor * factor)) return current;
+  double capacity = current;
+  while (capacity / factor >= std::max<double>(live, initial_capacity) &&
+         capacity / factor >= 1.0) {
+    capacity = std::floor(capacity / factor);
+  }
+  return static_cast<uint32_t>(
+      std::max<double>(capacity, std::max<uint32_t>(live, 1)));
+}
+
+}  // namespace wavekit

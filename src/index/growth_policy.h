@@ -1,0 +1,43 @@
+// GrowthPolicy: the CONTIGUOUS incremental-indexing scheme of Faloutsos &
+// Jagadish [FJ92], as adopted by the paper for AddToIndex/DeleteFromIndex.
+//
+// Each value's bucket occupies contiguous space. When an insert overflows the
+// bucket, a new extent `g` times larger is allocated, entries are copied
+// over, and the old extent is released. Deletion shrinks symmetrically when
+// occupancy drops far enough that a `g`-times-smaller extent suffices with
+// hysteresis, so add/delete sequences do not thrash.
+//
+// `g` trades space (S') for copy work: the paper's case studies pick g = 2.0
+// for the Zipfian Netnews workloads and g = 1.08 for the uniform TPC-D keys.
+
+#ifndef WAVEKIT_INDEX_GROWTH_POLICY_H_
+#define WAVEKIT_INDEX_GROWTH_POLICY_H_
+
+#include <cstdint>
+
+namespace wavekit {
+
+/// \brief Bucket sizing rules for incremental updates (CONTIGUOUS [FJ92]).
+struct GrowthPolicy {
+  /// Growth factor: a full bucket is relocated to ceil(capacity * g) slots.
+  double g = 2.0;
+  /// Entry slots allocated for a brand-new bucket.
+  uint32_t initial_capacity = 4;
+
+  /// Capacity for a new bucket that must hold `needed` entries now.
+  uint32_t InitialCapacity(uint32_t needed) const;
+
+  /// Capacity after growing a bucket of `current` slots so it can hold
+  /// `needed` entries ( > current ). Applies `g` repeatedly if one growth
+  /// step is not enough (bulk adds).
+  uint32_t GrownCapacity(uint32_t current, uint32_t needed) const;
+
+  /// Capacity after shrinking a bucket of `current` slots holding `live`
+  /// entries; returns `current` unchanged when shrinking is not worthwhile
+  /// (hysteresis: only shrink when live <= current / g^2).
+  uint32_t ShrunkCapacity(uint32_t current, uint32_t live) const;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_GROWTH_POLICY_H_

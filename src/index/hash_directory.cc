@@ -1,0 +1,50 @@
+#include "index/hash_directory.h"
+
+namespace wavekit {
+
+const char* DirectoryKindName(DirectoryKind kind) {
+  switch (kind) {
+    case DirectoryKind::kHash:
+      return "hash";
+    case DirectoryKind::kBTree:
+      return "btree";
+  }
+  return "?";
+}
+
+BucketInfo* HashDirectory::Find(const Value& value) {
+  auto it = map_.find(value);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+const BucketInfo* HashDirectory::Find(const Value& value) const {
+  auto it = map_.find(value);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Status HashDirectory::Insert(const Value& value, const BucketInfo& info) {
+  auto [it, inserted] = map_.emplace(value, info);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("directory already maps value '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status HashDirectory::Remove(const Value& value) {
+  if (map_.erase(value) == 0) {
+    return Status::NotFound("directory has no value '" + value + "'");
+  }
+  return Status::OK();
+}
+
+void HashDirectory::ForEach(
+    const std::function<void(const Value&, const BucketInfo&)>& fn) const {
+  for (const auto& [value, info] : map_) fn(value, info);
+}
+
+std::unique_ptr<Directory> HashDirectory::CloneEmpty() const {
+  return std::make_unique<HashDirectory>();
+}
+
+}  // namespace wavekit

@@ -1,0 +1,35 @@
+// HashDirectory: hash-table-backed Directory.
+
+#ifndef WAVEKIT_INDEX_HASH_DIRECTORY_H_
+#define WAVEKIT_INDEX_HASH_DIRECTORY_H_
+
+#include <unordered_map>
+
+#include "index/directory.h"
+
+namespace wavekit {
+
+/// \brief Directory backed by std::unordered_map. O(1) expected lookup;
+/// unordered iteration.
+class HashDirectory : public Directory {
+ public:
+  HashDirectory() = default;
+
+  DirectoryKind kind() const override { return DirectoryKind::kHash; }
+  BucketInfo* Find(const Value& value) override;
+  const BucketInfo* Find(const Value& value) const override;
+  Status Insert(const Value& value, const BucketInfo& info) override;
+  Status Remove(const Value& value) override;
+  size_t size() const override { return map_.size(); }
+  void ForEach(const std::function<void(const Value&, const BucketInfo&)>& fn)
+      const override;
+  std::unique_ptr<Directory> CloneEmpty() const override;
+  bool ordered() const override { return false; }
+
+ private:
+  std::unordered_map<Value, BucketInfo> map_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_HASH_DIRECTORY_H_

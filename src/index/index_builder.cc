@@ -1,0 +1,63 @@
+#include "index/index_builder.h"
+
+#include <map>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options,
+    std::span<const DayBatch* const> batches, std::string name) {
+  auto index = std::make_unique<ConstituentIndex>(device, allocator, options,
+                                                  std::move(name));
+  // Pass 1: group entries per value. std::map keeps buckets in sorted value
+  // order, which becomes the on-device layout order.
+  std::map<Value, std::vector<Entry>> grouped;
+  uint64_t total_entries = 0;
+  for (const DayBatch* batch : batches) {
+    for (const Record& record : batch->records) {
+      for (size_t i = 0; i < record.values.size(); ++i) {
+        grouped[record.values[i]].push_back(
+            Entry{record.record_id, batch->day, record.AuxFor(i)});
+        ++total_entries;
+      }
+    }
+  }
+
+  // Pass 2: one contiguous region; exactly-sized buckets written
+  // back-to-back, so the write stream is fully sequential (one seek).
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region,
+                           allocator->Allocate(total_entries * kEntrySize));
+  uint64_t cursor = region.offset;
+  for (const auto& [value, entries] : grouped) {
+    const uint64_t length = entries.size() * kEntrySize;
+    auto* bytes = reinterpret_cast<const std::byte*>(entries.data());
+    WAVEKIT_RETURN_NOT_OK(
+        device->Write(cursor, std::span<const std::byte>(bytes, length)));
+    WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
+        value, Extent{cursor, length}, static_cast<uint32_t>(entries.size()),
+        static_cast<uint32_t>(entries.size())));
+    cursor += length;
+  }
+
+  for (const DayBatch* batch : batches) {
+    index->mutable_time_set().insert(batch->day);
+  }
+  index->set_packed(true);
+  return index;
+}
+
+Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options, const DayBatch& batch,
+    std::string name) {
+  const DayBatch* ptr = &batch;
+  return BuildPacked(device, allocator, options,
+                     std::span<const DayBatch* const>(&ptr, 1),
+                     std::move(name));
+}
+
+}  // namespace wavekit

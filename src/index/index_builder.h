@@ -1,0 +1,40 @@
+// IndexBuilder: the paper's BuildIndex operation.
+//
+// "We assume here that a packed index is achieved by scanning the Days
+// records and counting the number of entries needed in each bucket. Then
+// contiguous buckets of the appropriate size are allocated on disk."
+// (Section 2.2.) The builder performs exactly that two-pass construction.
+
+#ifndef WAVEKIT_INDEX_INDEX_BUILDER_H_
+#define WAVEKIT_INDEX_INDEX_BUILDER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "index/constituent_index.h"
+
+namespace wavekit {
+
+/// \brief Builds packed constituent indexes from day batches.
+class IndexBuilder {
+ public:
+  /// Builds a packed index over `batches`. Pass 1 groups and counts entries
+  /// per value (in memory); pass 2 allocates one contiguous region and
+  /// writes buckets back-to-back in sorted value order. The result's
+  /// time-set is the set of batch days; its packed invariant holds.
+  static Result<std::unique_ptr<ConstituentIndex>> BuildPacked(
+      Device* device, ExtentAllocator* allocator,
+      ConstituentIndex::Options options,
+      std::span<const DayBatch* const> batches, std::string name);
+
+  /// Convenience overload for a single day.
+  static Result<std::unique_ptr<ConstituentIndex>> BuildPacked(
+      Device* device, ExtentAllocator* allocator,
+      ConstituentIndex::Options options, const DayBatch& batch,
+      std::string name);
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_INDEX_BUILDER_H_

@@ -1,0 +1,57 @@
+// Records and day batches: the data being indexed.
+//
+// Following the paper's Section 2, the data consists of records; each record
+// has a search field F that may hold multiple values (e.g. the words of a
+// Netnews article, or the SUPPKEY of a LINEITEM row). Records arrive in
+// daily batches.
+
+#ifndef WAVEKIT_INDEX_RECORD_H_
+#define WAVEKIT_INDEX_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/day.h"
+
+namespace wavekit {
+
+/// A search-field value (one word / key the index maps to postings).
+using Value = std::string;
+
+/// \brief One record of the evolving database.
+struct Record {
+  /// Stable identifier, unique across all days.
+  uint64_t record_id = 0;
+  /// The day this record was inserted (its timestamp in index entries).
+  Day day = 0;
+  /// Values of the search field F; one index entry is created per value.
+  std::vector<Value> values;
+  /// Optional associated information a_i per value (parallel to `values`):
+  /// e.g. a byte offset in IR usage, or an attribute (line quantity) in the
+  /// relational usage. When empty, the value's position is stored instead.
+  std::vector<uint32_t> aux;
+
+  /// The aux payload for the entry of values[i].
+  uint32_t AuxFor(size_t i) const {
+    return i < aux.size() ? aux[i] : static_cast<uint32_t>(i);
+  }
+};
+
+/// \brief All records generated during one day.
+struct DayBatch {
+  Day day = 0;
+  std::vector<Record> records;
+
+  /// Total number of index entries this batch will produce (sum of value
+  /// multiplicities over records).
+  uint64_t EntryCount() const {
+    uint64_t n = 0;
+    for (const Record& r : records) n += r.values.size();
+    return n;
+  }
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_RECORD_H_

@@ -1,0 +1,155 @@
+#include "model/maintenance_model.h"
+
+#include "storage/store.h"
+#include "util/macros.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace model {
+namespace {
+
+DayBatch TinyBatch(Day day) {
+  DayBatch batch;
+  batch.day = day;
+  Record record;
+  record.record_id = static_cast<uint64_t>(day);
+  record.day = day;
+  record.values = {"v" + std::to_string(day % 3)};
+  batch.records.push_back(std::move(record));
+  return batch;
+}
+
+}  // namespace
+
+Result<MaintenanceCost> MeasureMaintenance(SchemeKind scheme_kind,
+                                           UpdateTechniqueKind technique,
+                                           const CaseParams& params, int window,
+                                           int num_indexes, int warmup_days,
+                                           int measure_days) {
+  // Defaults: warm up long enough to pass every scheme's initial cycle, then
+  // average over several full cycles so cycle-boundary work amortizes the
+  // same way the paper's averages do.
+  if (warmup_days <= 0) warmup_days = 2 * window;
+  if (measure_days <= 0) measure_days = 6 * window;
+
+  Store store;
+  DayStore day_store;
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = num_indexes;
+  config.technique = technique;
+  if (scheme_kind == SchemeKind::kKnownBoundWata) {
+    config.size_bound_entries = static_cast<uint64_t>(window);
+  }
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<Scheme> scheme,
+                           MakeScheme(scheme_kind, env, config));
+
+  std::vector<DayBatch> first;
+  first.reserve(static_cast<size_t>(window));
+  for (Day d = 1; d <= window; ++d) first.push_back(TinyBatch(d));
+  WAVEKIT_RETURN_NOT_OK(scheme->Start(std::move(first)));
+
+  const Day measure_from = window + warmup_days;
+  const Day last_day = measure_from + measure_days;
+  for (Day d = window + 1; d <= last_day; ++d) {
+    WAVEKIT_RETURN_NOT_OK(scheme->Transition(TinyBatch(d)));
+  }
+  OpEvaluator evaluator(params);
+  return evaluator.AverageOverDays(scheme->op_log(), measure_from, last_day);
+}
+
+std::optional<MaintenanceCost> ClosedFormMaintenance(
+    SchemeKind scheme, UpdateTechniqueKind technique, const CaseParams& params,
+    int window, int num_indexes) {
+  const double x = static_cast<double>(window) / num_indexes;
+  const double y = num_indexes > 1
+                       ? static_cast<double>(window - 1) / (num_indexes - 1)
+                       : window;
+  const double build = params.build_seconds;
+  const double add = params.add_seconds;
+  const double del = params.delete_seconds;
+  const double cp = params.CpSeconds();
+  const double smcp = params.SmcpSeconds();
+
+  MaintenanceCost cost;
+  if (technique == UpdateTechniqueKind::kSimpleShadow) {
+    switch (scheme) {
+      case SchemeKind::kDel:
+        // Table 10: pre = X*CP + Del, trans = Add.
+        cost.precompute_seconds = x * cp + del;
+        cost.transition_seconds = add;
+        return cost;
+      case SchemeKind::kReindex:
+        // Table 10: pre = 0, trans = X*Build.
+        cost.transition_seconds = x * build;
+        return cost;
+      case SchemeKind::kReindexPlus:
+        // Per cycle of X days: one Build of the new cluster seed; copies of
+        // Temp at sizes 1,2,..,X-1 plus the final X-1-day copy; adds of the
+        // new day and the shrinking DaysToAdd tail.
+        cost.transition_seconds =
+            (build + cp * (x * (x - 1) / 2.0 + x - 1) +
+             add * (2 * x - 2 + (x - 2) * (x - 1) / 2.0)) /
+            x;
+        return cost;
+      case SchemeKind::kReindexPlusPlus:
+        // Transition is always one Add (then a free rename). Ladder rebuild
+        // plus daily rung top-ups run as pre-computation.
+        cost.transition_seconds = add;
+        cost.precompute_seconds =
+            (build + cp * (x - 2) * (x - 1) / 2.0 +
+             add * ((x - 2) + x * (x - 1) / 2.0)) /
+            x;
+        return cost;
+      case SchemeKind::kWata:
+        // Per cycle of Y days: one 1-day Build (throw-away day) and Y-1
+        // shadowed adds to I_last (its size ramping 1..Y-1).
+        cost.transition_seconds =
+            (build + cp * y * (y - 1) / 2.0 + (y - 1) * add) / y;
+        return cost;
+      case SchemeKind::kRata:
+        cost.transition_seconds =
+            (build + cp * y * (y - 1) / 2.0 + (y - 1) * add) / y;
+        cost.precompute_seconds =
+            (build + cp * (y - 2) * (y - 1) / 2.0 + (y - 2) * add) / y;
+        return cost;
+      default:
+        return std::nullopt;
+    }
+  }
+  if (technique == UpdateTechniqueKind::kPackedShadow) {
+    switch (scheme) {
+      case SchemeKind::kDel:
+        // Table 11: pre = 0, trans = X*SMCP + Build.
+        cost.transition_seconds = x * smcp + build;
+        return cost;
+      case SchemeKind::kReindex:
+        cost.transition_seconds = x * build;
+        return cost;
+      default:
+        return std::nullopt;
+    }
+  }
+  if (technique == UpdateTechniqueKind::kInPlace) {
+    switch (scheme) {
+      case SchemeKind::kDel:
+        // Like simple shadow minus the copy.
+        cost.precompute_seconds = del;
+        cost.transition_seconds = add;
+        return cost;
+      case SchemeKind::kReindex:
+        cost.transition_seconds = x * build;
+        return cost;
+      case SchemeKind::kWata:
+        cost.transition_seconds = (build + (y - 1) * add) / y;
+        return cost;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,47 @@
+// Maintenance-cost model (paper Tables 10 and 11).
+//
+// Rather than hard-coding per-scheme closed forms, the model executes the
+// real scheme at "count level" — day batches of a single tiny record, so the
+// device work is negligible — and prices the resulting operation log with
+// the Table 12 parameters. This yields exactly the per-day operation mix of
+// Appendix A for arbitrary (W, n), including the cases the paper's closed
+// forms gloss over (W not divisible by n, cycle boundaries).
+//
+// ClosedFormMaintenance provides the paper's headline closed forms for the
+// schemes where Table 10/11 states them unambiguously; tests cross-check the
+// two against each other.
+
+#ifndef WAVEKIT_MODEL_MAINTENANCE_MODEL_H_
+#define WAVEKIT_MODEL_MAINTENANCE_MODEL_H_
+
+#include <optional>
+
+#include "model/op_evaluator.h"
+#include "update/update_technique.h"
+#include "util/result.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief Runs `scheme_kind` for `measure_days` transitions (after warming up
+/// `warmup_days`) on count-level data and returns the average per-day
+/// maintenance cost priced with `params`.
+Result<MaintenanceCost> MeasureMaintenance(SchemeKind scheme_kind,
+                                           UpdateTechniqueKind technique,
+                                           const CaseParams& params, int window,
+                                           int num_indexes,
+                                           int warmup_days = 0,
+                                           int measure_days = 0);
+
+/// \brief Table 10 / Table 11 closed forms (average per day, equal clusters
+/// X = W/n). Returns nullopt for scheme/technique rows the paper does not
+/// state in closed form.
+std::optional<MaintenanceCost> ClosedFormMaintenance(
+    SchemeKind scheme, UpdateTechniqueKind technique, const CaseParams& params,
+    int window, int num_indexes);
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_MAINTENANCE_MODEL_H_

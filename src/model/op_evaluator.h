@@ -1,0 +1,54 @@
+// OpEvaluator: prices a scheme's operation log with the paper's per-day
+// operation costs (Build, Add, Del, CP, SMCP from Table 12), producing the
+// transition / pre-computation seconds of Tables 10 and 11.
+
+#ifndef WAVEKIT_MODEL_OP_EVALUATOR_H_
+#define WAVEKIT_MODEL_OP_EVALUATOR_H_
+
+#include "model/params.h"
+#include "wave/op_log.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief Modeled maintenance seconds for one day, split the way Section 5
+/// splits them.
+struct MaintenanceCost {
+  double transition_seconds = 0;  ///< Critical path until new data queryable.
+  double precompute_seconds = 0;  ///< Temporary-index preparation.
+
+  double total() const { return transition_seconds + precompute_seconds; }
+
+  MaintenanceCost& operator+=(const MaintenanceCost& other) {
+    transition_seconds += other.transition_seconds;
+    precompute_seconds += other.precompute_seconds;
+    return *this;
+  }
+};
+
+/// \brief Prices OpRecords with a CaseParams.
+class OpEvaluator {
+ public:
+  explicit OpEvaluator(CaseParams params) : params_(std::move(params)) {}
+
+  /// Modeled seconds of a single operation.
+  double PriceOp(const OpRecord& record) const;
+
+  /// Sums the records logged at `day`, split by phase. Records attributed to
+  /// Phase::kStart or Phase::kOther are folded into transition_seconds.
+  MaintenanceCost PriceDay(const OpLog& log, Day day) const;
+
+  /// Average per-day cost over days (first_day..last_day], inclusive.
+  MaintenanceCost AverageOverDays(const OpLog& log, Day first_day,
+                                  Day last_day) const;
+
+  const CaseParams& params() const { return params_; }
+
+ private:
+  CaseParams params_;
+};
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_OP_EVALUATOR_H_

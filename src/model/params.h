@@ -1,0 +1,80 @@
+// Case-study parameters (paper Table 12) and derived operation costs.
+//
+// These are the "coarse" parameters of Section 5: hardware (seek, Trans),
+// application (S, S', c, query volumes), and implementation (g, Build, Add,
+// Del). The model layer prices scheme operation logs with them, reproducing
+// the paper's analytic evaluation independently of the device simulation.
+
+#ifndef WAVEKIT_MODEL_PARAMS_H_
+#define WAVEKIT_MODEL_PARAMS_H_
+
+#include <string>
+
+#include "storage/cost_model.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief All Section 5 parameters for one application scenario.
+struct CaseParams {
+  std::string name;
+
+  // Hardware (Table 12: seek = 14 ms, Trans = 10 MB/s everywhere).
+  CostModel hardware;
+
+  // Application parameters, all for ONE day of data.
+  double packed_day_bytes = 0;    ///< S: packed index of one day.
+  double unpacked_day_bytes = 0;  ///< S': CONTIGUOUS-grown index of one day.
+  double bucket_bytes_per_day = 100;  ///< c: avg probe bucket size per day.
+  double probes_per_day = 0;          ///< Probe_num.
+  double scans_per_day = 0;           ///< Scan_num.
+  /// Probe_idx / Scan_idx: true => all n constituents, false => one.
+  bool probes_touch_all_indexes = true;
+  bool scans_touch_all_indexes = true;
+
+  // Implementation parameters (CONTIGUOUS with growth factor g).
+  double growth_factor = 2.0;  ///< g.
+  double build_seconds = 0;    ///< Build: packed build of one day.
+  double add_seconds = 0;      ///< Add: incremental insert of one day.
+  double delete_seconds = 0;   ///< Del: incremental delete of one day.
+
+  /// Default window of the case study.
+  int window = 7;
+
+  /// Main memory of the measurement machine (the paper's DEC 3000 had 96 MB
+  /// of RAM). Batch updates "lead to better performance, mainly due to
+  /// memory caching" (Section 2.1): once one day's working set outgrows RAM,
+  /// CONTIGUOUS bucket relocations stop being cache-resident and Add/Del
+  /// degrade superlinearly — the effect behind Figure 10's WATA*/REINDEX
+  /// crossover near SF = 3.
+  double memory_bytes = 96e6;
+
+  /// CP: copy one day's worth of an unpacked index to a new location
+  /// (read it all, flush it all). Derived: 2 * S' / Trans.
+  double CpSeconds() const {
+    return 2.0 * unpacked_day_bytes / hardware.transfer_bytes_per_second;
+  }
+
+  /// SMCP: smart-copy one day's worth — read the (possibly unpacked) index,
+  /// drop expired entries, flush packed. Derived: (S' + S) / Trans.
+  double SmcpSeconds() const {
+    return (unpacked_day_bytes + packed_day_bytes) /
+           hardware.transfer_bytes_per_second;
+  }
+
+  /// Scales data volume by `sf` (the SF axis of Figure 10): S, S', c, Build,
+  /// Add and Del all grow linearly with the daily volume.
+  CaseParams Scaled(double sf) const;
+
+  /// SCAM (copy detection over ~70k Netnews articles/day, W = 7).
+  static CaseParams Scam();
+  /// Generic Web search engine (~100k articles/day, W = 35).
+  static CaseParams Wse();
+  /// TPC-D warehousing (LINEITEM on SUPPKEY, W = 100).
+  static CaseParams Tpcd();
+};
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_PARAMS_H_

@@ -1,0 +1,62 @@
+#include "model/query_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavekit {
+namespace model {
+
+QueryShape ShapeOf(SchemeKind scheme, UpdateTechniqueKind technique, int window,
+                   int num_indexes) {
+  QueryShape shape;
+  const double w = window;
+  const double n = num_indexes;
+  double total_days = w;
+  if (scheme == SchemeKind::kWata || scheme == SchemeKind::kKnownBoundWata) {
+    // Soft window: on average about (Y - 1) / 2 residual expired days are
+    // still indexed (the residual ramps 0..Y-1 over a drop cycle).
+    const double y = n > 1 ? (w - 1) / (n - 1) : w;
+    total_days += (y - 1) / 2.0;
+  }
+  shape.days_per_index = total_days / n;
+  // REINDEX rebuilds packed every day; packed shadow updating keeps every
+  // scheme's constituents packed.
+  shape.packed = scheme == SchemeKind::kReindex ||
+                 technique == UpdateTechniqueKind::kPackedShadow;
+  return shape;
+}
+
+double TimedIndexProbeSeconds(const CaseParams& params, const QueryShape& shape,
+                              int indexes_touched) {
+  const double per_index =
+      params.hardware.seek_seconds +
+      shape.days_per_index * params.bucket_bytes_per_day /
+          params.hardware.transfer_bytes_per_second;
+  return indexes_touched * per_index;
+}
+
+double TimedSegmentScanSeconds(const CaseParams& params,
+                               const QueryShape& shape, int indexes_touched) {
+  const double day_bytes =
+      shape.packed ? params.packed_day_bytes : params.unpacked_day_bytes;
+  const double per_index =
+      params.hardware.seek_seconds +
+      shape.days_per_index * day_bytes /
+          params.hardware.transfer_bytes_per_second;
+  return indexes_touched * per_index;
+}
+
+double DailyQuerySeconds(const CaseParams& params, SchemeKind scheme,
+                         UpdateTechniqueKind technique, int window,
+                         int num_indexes) {
+  const QueryShape shape = ShapeOf(scheme, technique, window, num_indexes);
+  const int probe_idx = params.probes_touch_all_indexes ? num_indexes : 1;
+  const int scan_idx = params.scans_touch_all_indexes ? num_indexes : 1;
+  return params.probes_per_day *
+             TimedIndexProbeSeconds(params, shape, probe_idx) +
+         params.scans_per_day *
+             TimedSegmentScanSeconds(params, shape, scan_idx);
+}
+
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,50 @@
+// Query-performance model (paper Table 9): closed-form TimedIndexProbe and
+// TimedSegmentScan times.
+
+#ifndef WAVEKIT_MODEL_QUERY_MODEL_H_
+#define WAVEKIT_MODEL_QUERY_MODEL_H_
+
+#include "model/params.h"
+#include "update/update_technique.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief Static per-scheme query shape: how many days one constituent
+/// covers on average, and whether scans read packed (S) or unpacked (S')
+/// bytes.
+struct QueryShape {
+  double days_per_index = 0;
+  bool packed = false;
+};
+
+/// Derives the query shape of `scheme` with `technique` at (W, n). WATA's
+/// soft window adds its average residual days; REINDEX (and any scheme under
+/// packed shadow updating) reads packed bytes.
+QueryShape ShapeOf(SchemeKind scheme, UpdateTechniqueKind technique, int window,
+                   int num_indexes);
+
+/// Table 9, left column: seconds for one TimedIndexProbe touching
+/// `indexes_touched` constituents: each probe is one seek plus the bucket
+/// transfer of days_per_index days at c bytes/day.
+double TimedIndexProbeSeconds(const CaseParams& params, const QueryShape& shape,
+                              int indexes_touched);
+
+/// Table 9, right column: seconds for one TimedSegmentScan touching
+/// `indexes_touched` constituents: each scan is one seek plus a sweep of the
+/// constituent's S (packed) or S' (unpacked) bytes per day.
+double TimedSegmentScanSeconds(const CaseParams& params,
+                               const QueryShape& shape, int indexes_touched);
+
+/// Modeled seconds for one whole day of the case study's query workload
+/// (Probe_num probes + Scan_num scans, each touching the number of indexes
+/// the case study prescribes).
+double DailyQuerySeconds(const CaseParams& params, SchemeKind scheme,
+                         UpdateTechniqueKind technique, int window,
+                         int num_indexes);
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_QUERY_MODEL_H_

@@ -1,0 +1,114 @@
+#include "model/space_model.h"
+
+#include <algorithm>
+
+namespace wavekit {
+namespace model {
+namespace {
+
+/// Day counts a scheme holds beyond the W window days, plus its transition
+/// shadow, all in "days of data".
+struct DayFootprint {
+  double avg_temp_days = 0;
+  double max_temp_days = 0;
+  double avg_extra_window_days = 0;  // soft-window residual (WATA family)
+  double max_extra_window_days = 0;
+  double avg_shadow_days = 0;  // transient extra during updates
+  double max_shadow_days = 0;
+};
+
+DayFootprint FootprintOf(SchemeKind scheme, int window, int num_indexes) {
+  const double w = window;
+  const double n = num_indexes;
+  const double x = w / n;
+  const double y = n > 1 ? (w - 1) / (n - 1) : w;
+  DayFootprint f;
+  switch (scheme) {
+    case SchemeKind::kDel:
+      f.avg_shadow_days = x;
+      f.max_shadow_days = x;
+      break;
+    case SchemeKind::kReindex:
+      // The rebuilt cluster exists beside the old one until the swap.
+      f.avg_shadow_days = x;
+      f.max_shadow_days = x;
+      break;
+    case SchemeKind::kReindexPlus:
+      // Temp ramps 1..X-1 days over an X-day cycle, then is dropped.
+      f.avg_temp_days = (x - 1) / 2.0;
+      f.max_temp_days = std::max(0.0, x - 1);
+      f.avg_shadow_days = x;  // the aside copy of Temp that replaces I_j
+      f.max_shadow_days = x;
+      break;
+    case SchemeKind::kReindexPlusPlus:
+      // Ladder T_0..T_{X-1}: X(X-1)/2 days right after Initialize, draining
+      // as rungs are promoted; T_0 accumulates the new days meanwhile.
+      f.avg_temp_days = (x * x - 1) / 6.0 + (x - 1) / 2.0;
+      f.max_temp_days = x * (x - 1) / 2.0;
+      // Constituents are only replaced by renamed temporaries: no shadow.
+      break;
+    case SchemeKind::kWata:
+    case SchemeKind::kKnownBoundWata:
+      // Soft window: the residual of expired days ramps 0..Y-1.
+      f.avg_extra_window_days = (y - 1) / 2.0;
+      f.max_extra_window_days = y - 1;
+      // Appending to I_last shadows it (its size ramps 1..Y).
+      f.avg_shadow_days = (y + 1) / 2.0;
+      f.max_shadow_days = y;
+      break;
+    case SchemeKind::kRata:
+      // Ladder T_1..T_{Y-1}: Y(Y-1)/2 days after Initialize, draining.
+      f.avg_temp_days = (y * y - 1) / 6.0;
+      f.max_temp_days = y * (y - 1) / 2.0;
+      f.avg_shadow_days = (y + 1) / 2.0;
+      f.max_shadow_days = y;
+      break;
+  }
+  return f;
+}
+
+}  // namespace
+
+SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
+                            const CaseParams& params, int window,
+                            int num_indexes) {
+  const DayFootprint f = FootprintOf(scheme, window, num_indexes);
+  const bool packed_constituents =
+      scheme == SchemeKind::kReindex ||
+      technique == UpdateTechniqueKind::kPackedShadow;
+  const double cons_bytes = packed_constituents ? params.packed_day_bytes
+                                                : params.unpacked_day_bytes;
+  // Temporaries are grown incrementally, hence unpacked.
+  const double temp_bytes = params.unpacked_day_bytes;
+  // Shadows copy unpacked constituents (simple shadow) or write packed ones
+  // (packed shadow); in-place updating needs no transient space at all.
+  double shadow_bytes = 0;
+  switch (technique) {
+    case UpdateTechniqueKind::kInPlace:
+      shadow_bytes = 0;
+      break;
+    case UpdateTechniqueKind::kSimpleShadow:
+      shadow_bytes = params.unpacked_day_bytes;
+      break;
+    case UpdateTechniqueKind::kPackedShadow:
+      shadow_bytes = params.packed_day_bytes;
+      break;
+  }
+  // REINDEX always stages its rebuilt (packed) cluster regardless of the
+  // configured technique.
+  if (scheme == SchemeKind::kReindex) shadow_bytes = params.packed_day_bytes;
+
+  SpaceEstimate out;
+  out.avg_operation_bytes =
+      (window + f.avg_extra_window_days) * cons_bytes +
+      f.avg_temp_days * temp_bytes;
+  out.max_operation_bytes =
+      (window + f.max_extra_window_days) * cons_bytes +
+      f.max_temp_days * temp_bytes;
+  out.avg_transition_bytes = f.avg_shadow_days * shadow_bytes;
+  out.max_transition_bytes = f.max_shadow_days * shadow_bytes;
+  return out;
+}
+
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,38 @@
+// Space-utilization model (paper Table 8): closed-form operation and
+// transition space per scheme.
+//
+// The closed forms below assume n divides W (clusters of equal size
+// X = W/n), which is how the paper presents Table 8; the experiment driver
+// measures exact space for arbitrary (W, n) from the running schemes.
+
+#ifndef WAVEKIT_MODEL_SPACE_MODEL_H_
+#define WAVEKIT_MODEL_SPACE_MODEL_H_
+
+#include "model/params.h"
+#include "update/update_technique.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief Table 8's four columns, in bytes.
+struct SpaceEstimate {
+  double avg_operation_bytes = 0;   ///< Steady-state, averaged over days.
+  double max_operation_bytes = 0;   ///< Steady-state peak.
+  double avg_transition_bytes = 0;  ///< Extra space while updating, average.
+  double max_transition_bytes = 0;  ///< Extra space while updating, peak.
+
+  double avg_total() const { return avg_operation_bytes + avg_transition_bytes; }
+  double max_total() const { return max_operation_bytes + max_transition_bytes; }
+};
+
+/// Estimates Table 8 (extended to all three update techniques: in-place uses
+/// no transition space; packed shadow replaces S' with S).
+SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
+                            const CaseParams& params, int window,
+                            int num_indexes);
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_SPACE_MODEL_H_

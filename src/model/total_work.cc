@@ -1,0 +1,24 @@
+#include "model/total_work.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+namespace model {
+
+Result<TotalWork> EstimateTotalWork(SchemeKind scheme,
+                                    UpdateTechniqueKind technique,
+                                    const CaseParams& params, int window,
+                                    int num_indexes) {
+  WAVEKIT_ASSIGN_OR_RETURN(
+      MaintenanceCost maintenance,
+      MeasureMaintenance(scheme, technique, params, window, num_indexes));
+  TotalWork work;
+  work.transition_seconds = maintenance.transition_seconds;
+  work.precompute_seconds = maintenance.precompute_seconds;
+  work.query_seconds =
+      DailyQuerySeconds(params, scheme, technique, window, num_indexes);
+  return work;
+}
+
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,34 @@
+// Total-work model (paper Section 5, measure 5): transition time +
+// pre-transition time + the day's query stream executed serially.
+
+#ifndef WAVEKIT_MODEL_TOTAL_WORK_H_
+#define WAVEKIT_MODEL_TOTAL_WORK_H_
+
+#include "model/maintenance_model.h"
+#include "model/query_model.h"
+
+namespace wavekit {
+namespace model {
+
+/// \brief The components of a day's total work, in modeled seconds.
+struct TotalWork {
+  double transition_seconds = 0;
+  double precompute_seconds = 0;
+  double query_seconds = 0;
+
+  double total() const {
+    return transition_seconds + precompute_seconds + query_seconds;
+  }
+};
+
+/// Measures maintenance with a count-level run of the real scheme and adds
+/// the Table 9 query model for the case study's daily query volume.
+Result<TotalWork> EstimateTotalWork(SchemeKind scheme,
+                                    UpdateTechniqueKind technique,
+                                    const CaseParams& params, int window,
+                                    int num_indexes);
+
+}  // namespace model
+}  // namespace wavekit
+
+#endif  // WAVEKIT_MODEL_TOTAL_WORK_H_

@@ -1,0 +1,46 @@
+#include "sim/csv.h"
+
+#include <fstream>
+
+#include "util/format.h"
+
+namespace wavekit {
+namespace sim {
+
+std::string DayStatsToCsv(const ExperimentResult& result) {
+  std::string out =
+      "day,sim_transition_s,sim_precompute_s,sim_query_s,"
+      "sim_maintenance_parallel_s,sim_query_parallel_s,"
+      "model_transition_s,model_precompute_s,model_query_s,"
+      "operation_bytes,constituent_bytes,temporary_bytes,"
+      "transition_extra_bytes,wave_length_days,wave_entries\n";
+  for (const DayStats& d : result.days) {
+    out += std::to_string(d.day) + ",";
+    out += FormatDouble(d.sim_transition_seconds, 6) + ",";
+    out += FormatDouble(d.sim_precompute_seconds, 6) + ",";
+    out += FormatDouble(d.sim_query_seconds, 6) + ",";
+    out += FormatDouble(d.sim_maintenance_parallel_seconds, 6) + ",";
+    out += FormatDouble(d.sim_query_parallel_seconds, 6) + ",";
+    out += FormatDouble(d.model_transition_seconds, 6) + ",";
+    out += FormatDouble(d.model_precompute_seconds, 6) + ",";
+    out += FormatDouble(d.model_query_seconds, 6) + ",";
+    out += std::to_string(d.operation_bytes) + ",";
+    out += std::to_string(d.constituent_bytes) + ",";
+    out += std::to_string(d.temporary_bytes) + ",";
+    out += std::to_string(d.transition_extra_bytes) + ",";
+    out += std::to_string(d.wave_length_days) + ",";
+    out += std::to_string(d.wave_entries) + "\n";
+  }
+  return out;
+}
+
+Status WriteCsv(const ExperimentResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out << DayStatsToCsv(result);
+  if (!out.flush()) return Status::IOError("write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sim
+}  // namespace wavekit

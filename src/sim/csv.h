@@ -1,0 +1,25 @@
+// CSV export of experiment results, for plotting the reproduction's figures
+// with external tools.
+
+#ifndef WAVEKIT_SIM_CSV_H_
+#define WAVEKIT_SIM_CSV_H_
+
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/status.h"
+
+namespace wavekit {
+namespace sim {
+
+/// One CSV row per measured day: simulation and model costs, space, window
+/// length. Includes a header row.
+std::string DayStatsToCsv(const ExperimentResult& result);
+
+/// Writes DayStatsToCsv(result) to `path`.
+Status WriteCsv(const ExperimentResult& result, const std::string& path);
+
+}  // namespace sim
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SIM_CSV_H_

@@ -1,0 +1,223 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "model/op_evaluator.h"
+#include "model/query_model.h"
+#include "storage/disk_array.h"
+#include "util/macros.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace sim {
+namespace {
+
+Aggregates Aggregate(const std::vector<DayStats>& days, int warmup_days) {
+  Aggregates agg;
+  int counted = 0;
+  for (size_t i = 0; i < days.size(); ++i) {
+    const DayStats& d = days[i];
+    agg.max_operation_bytes =
+        std::max(agg.max_operation_bytes, d.operation_bytes);
+    agg.max_transition_extra_bytes =
+        std::max(agg.max_transition_extra_bytes, d.transition_extra_bytes);
+    agg.max_wave_length_days =
+        std::max(agg.max_wave_length_days, d.wave_length_days);
+    agg.max_wave_entries = std::max(agg.max_wave_entries, d.wave_entries);
+    if (i < static_cast<size_t>(warmup_days)) continue;
+    ++counted;
+    agg.avg_sim_transition_seconds += d.sim_transition_seconds;
+    agg.avg_sim_precompute_seconds += d.sim_precompute_seconds;
+    agg.avg_sim_query_seconds += d.sim_query_seconds;
+    agg.avg_sim_total_work += d.sim_total_work();
+    agg.avg_sim_maintenance_parallel_seconds +=
+        d.sim_maintenance_parallel_seconds;
+    agg.avg_sim_query_parallel_seconds += d.sim_query_parallel_seconds;
+    agg.avg_model_transition_seconds += d.model_transition_seconds;
+    agg.avg_model_precompute_seconds += d.model_precompute_seconds;
+    agg.avg_model_query_seconds += d.model_query_seconds;
+    agg.avg_model_total_work += d.model_total_work();
+    agg.avg_operation_bytes += static_cast<double>(d.operation_bytes);
+    agg.avg_transition_extra_bytes +=
+        static_cast<double>(d.transition_extra_bytes);
+    agg.avg_wave_length_days += d.wave_length_days;
+  }
+  if (counted > 0) {
+    const double n = counted;
+    agg.avg_sim_transition_seconds /= n;
+    agg.avg_sim_precompute_seconds /= n;
+    agg.avg_sim_query_seconds /= n;
+    agg.avg_sim_total_work /= n;
+    agg.avg_sim_maintenance_parallel_seconds /= n;
+    agg.avg_sim_query_parallel_seconds /= n;
+    agg.avg_model_transition_seconds /= n;
+    agg.avg_model_precompute_seconds /= n;
+    agg.avg_model_query_seconds /= n;
+    agg.avg_model_total_work /= n;
+    agg.avg_operation_bytes /= n;
+    agg.avg_transition_extra_bytes /= n;
+    agg.avg_wave_length_days /= n;
+  }
+  return agg;
+}
+
+// Per-disk counters for one phase, for delta-based per-day accounting.
+std::vector<IoCounters> SnapshotPhase(DiskArray& disks, Phase phase) {
+  std::vector<IoCounters> out;
+  out.reserve(static_cast<size_t>(disks.size()));
+  for (int i = 0; i < disks.size(); ++i) {
+    out.push_back(disks.device(i)->counters(phase));
+  }
+  return out;
+}
+
+// Serial seconds of the deltas (sum over disks).
+double SerialDelta(DiskArray& disks, Phase phase,
+                   const std::vector<IoCounters>& before,
+                   const CostModel& cost) {
+  IoCounters total;
+  for (int i = 0; i < disks.size(); ++i) {
+    total += disks.device(i)->counters(phase) - before[static_cast<size_t>(i)];
+  }
+  return cost.Seconds(total);
+}
+
+// Parallel seconds of the deltas (slowest disk).
+double ParallelDelta(DiskArray& disks, Phase phase,
+                     const std::vector<IoCounters>& before,
+                     const CostModel& cost) {
+  double slowest = 0;
+  for (int i = 0; i < disks.size(); ++i) {
+    slowest = std::max(
+        slowest, cost.Seconds(disks.device(i)->counters(phase) -
+                              before[static_cast<size_t>(i)]));
+  }
+  return slowest;
+}
+
+}  // namespace
+
+Result<ExperimentResult> ExperimentDriver::Run(const ExperimentConfig& config) {
+  DiskArray disks(std::max(config.num_disks, 1), config.device_capacity);
+  DayStore day_store;
+  SchemeEnv env{disks.device(0), disks.allocator(0), &day_store};
+  if (disks.size() > 1) {
+    for (int i = 0; i < disks.size(); ++i) {
+      env.disks.push_back(
+          SchemeEnv::Disk{disks.device(i), disks.allocator(i)});
+    }
+  }
+  WAVEKIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Scheme> scheme,
+      MakeScheme(config.scheme, env, config.scheme_config));
+
+  workload::NetnewsGenerator netnews(config.netnews);
+  workload::TpcdGenerator tpcd(config.tpcd);
+  auto generate_day = [&](Day day) -> DayBatch {
+    uint64_t override_count = 0;
+    const size_t trace_slot = static_cast<size_t>(day - 1);
+    if (trace_slot < config.volume_trace.size()) {
+      override_count = config.volume_trace[trace_slot];
+    }
+    switch (config.workload) {
+      case WorkloadKind::kNetnews:
+        return netnews.GenerateDay(day, override_count);
+      case WorkloadKind::kTpcd:
+        return tpcd.GenerateDay(day, override_count);
+    }
+    return DayBatch{day, {}};
+  };
+  std::function<Value(Rng&)> value_sampler;
+  switch (config.workload) {
+    case WorkloadKind::kNetnews:
+      value_sampler = [&netnews](Rng& rng) { return netnews.SampleWord(rng); };
+      break;
+    case WorkloadKind::kTpcd:
+      value_sampler = [&tpcd](Rng& rng) { return tpcd.SampleSuppkey(rng); };
+      break;
+  }
+
+  const int window = config.scheme_config.window;
+  std::vector<DayBatch> first;
+  first.reserve(static_cast<size_t>(window));
+  for (Day d = 1; d <= window; ++d) first.push_back(generate_day(d));
+  WAVEKIT_RETURN_NOT_OK(scheme->Start(std::move(first)));
+
+  model::OpEvaluator evaluator(config.paper);
+  ExperimentResult result;
+  result.days.reserve(static_cast<size_t>(config.days_to_run));
+
+  for (int i = 1; i <= config.days_to_run; ++i) {
+    const Day day = window + i;
+    DayStats stats;
+    stats.day = day;
+
+    const auto transition_before = SnapshotPhase(disks, Phase::kTransition);
+    const auto precompute_before = SnapshotPhase(disks, Phase::kPrecompute);
+    for (int disk = 0; disk < disks.size(); ++disk) {
+      disks.allocator(disk)->ResetPeak();
+    }
+
+    WAVEKIT_RETURN_NOT_OK(scheme->Transition(generate_day(day)));
+
+    stats.sim_transition_seconds =
+        SerialDelta(disks, Phase::kTransition, transition_before, config.cost);
+    stats.sim_precompute_seconds =
+        SerialDelta(disks, Phase::kPrecompute, precompute_before, config.cost);
+    stats.sim_maintenance_parallel_seconds =
+        ParallelDelta(disks, Phase::kTransition, transition_before,
+                      config.cost) +
+        ParallelDelta(disks, Phase::kPrecompute, precompute_before,
+                      config.cost);
+
+    const model::MaintenanceCost model_cost =
+        evaluator.PriceDay(scheme->op_log(), day);
+    stats.model_transition_seconds = model_cost.transition_seconds;
+    stats.model_precompute_seconds = model_cost.precompute_seconds;
+
+    stats.constituent_bytes = scheme->ConstituentBytes();
+    stats.temporary_bytes = scheme->TemporaryBytes();
+    stats.operation_bytes = stats.constituent_bytes + stats.temporary_bytes;
+    uint64_t transition_extra = 0;
+    for (int disk = 0; disk < disks.size(); ++disk) {
+      const uint64_t peak = disks.allocator(disk)->peak_allocated_bytes();
+      const uint64_t steady = disks.allocator(disk)->allocated_bytes();
+      transition_extra += peak > steady ? peak - steady : 0;
+    }
+    stats.transition_extra_bytes = transition_extra;
+
+    stats.wave_length_days = scheme->WaveLength();
+    stats.wave_entries = scheme->wave().EntryCount();
+
+    // The day's query stream: sampled on the device, full volume via model.
+    const DayRange query_window = DayRange::Window(day, window);
+    const auto query_before = SnapshotPhase(disks, Phase::kQuery);
+    WAVEKIT_ASSIGN_OR_RETURN(
+        workload::QueryCosts query_costs,
+        workload::RunDailyQueries(scheme->wave(), disks.devices(), config.cost,
+                                  config.query_mix, query_window,
+                                  value_sampler));
+    stats.sim_query_seconds = query_costs.seconds;
+    // Scale the sampled parallel elapsed by the same factor serial was
+    // scaled: full_volume_serial / sampled_serial.
+    const double sampled_serial =
+        SerialDelta(disks, Phase::kQuery, query_before, config.cost);
+    const double sampled_parallel =
+        ParallelDelta(disks, Phase::kQuery, query_before, config.cost);
+    stats.sim_query_parallel_seconds =
+        sampled_serial > 0
+            ? query_costs.seconds * (sampled_parallel / sampled_serial)
+            : 0;
+    stats.model_query_seconds = model::DailyQuerySeconds(
+        config.paper, config.scheme, config.scheme_config.technique, window,
+        config.scheme_config.num_indexes);
+
+    result.days.push_back(stats);
+  }
+  result.aggregates = Aggregate(result.days, config.warmup_days);
+  return result;
+}
+
+}  // namespace sim
+}  // namespace wavekit

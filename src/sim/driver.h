@@ -1,0 +1,25 @@
+// ExperimentDriver: runs one scheme day-by-day over a generated workload on
+// a metered device, collecting per-day simulation and model measurements.
+
+#ifndef WAVEKIT_SIM_DRIVER_H_
+#define WAVEKIT_SIM_DRIVER_H_
+
+#include "sim/experiment.h"
+#include "util/result.h"
+
+namespace wavekit {
+namespace sim {
+
+/// \brief Executes an ExperimentConfig end to end.
+class ExperimentDriver {
+ public:
+  /// Runs Start over days 1..W, then `days_to_run` transitions, measuring
+  /// each day: maintenance I/O split by phase (simulation), the priced
+  /// operation log (model), the sampled query stream, and space.
+  static Result<ExperimentResult> Run(const ExperimentConfig& config);
+};
+
+}  // namespace sim
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SIM_DRIVER_H_

@@ -1,0 +1,117 @@
+// Experiment configuration and results for the paper-reproduction benches.
+
+#ifndef WAVEKIT_SIM_EXPERIMENT_H_
+#define WAVEKIT_SIM_EXPERIMENT_H_
+
+#include <vector>
+
+#include "model/params.h"
+#include "util/day.h"
+#include "wave/scheme.h"
+#include "workload/netnews.h"
+#include "workload/query_workload.h"
+#include "workload/tpcd.h"
+
+namespace wavekit {
+namespace sim {
+
+enum class WorkloadKind { kNetnews, kTpcd };
+
+/// \brief Everything one experiment run needs.
+struct ExperimentConfig {
+  SchemeKind scheme = SchemeKind::kDel;
+  SchemeConfig scheme_config;
+
+  WorkloadKind workload = WorkloadKind::kNetnews;
+  workload::NetnewsConfig netnews;
+  workload::TpcdConfig tpcd;
+  /// Optional per-day record-count overrides (1-based day -> trace[day-1]);
+  /// used for non-uniform volume experiments (Figure 11).
+  std::vector<uint64_t> volume_trace;
+
+  /// Transitions executed after Start.
+  int days_to_run = 30;
+  /// Transitions excluded from the aggregates (cycle warm-up).
+  int warmup_days = 0;
+
+  workload::QueryMix query_mix;
+  CostModel cost;
+  /// Paper parameters used to price the operation log and the query model.
+  model::CaseParams paper = model::CaseParams::Scam();
+
+  uint64_t device_capacity = uint64_t{4} << 30;
+  /// Disks in the array (paper Section 8). With > 1, constituents are placed
+  /// slot-stable across disks and the per-day stats additionally report the
+  /// PARALLEL elapsed times (slowest disk).
+  int num_disks = 1;
+};
+
+/// \brief Per-day measurements: simulation (metered device) and model
+/// (priced op log + Table 9) side by side.
+struct DayStats {
+  Day day = 0;
+
+  double sim_transition_seconds = 0;
+  double sim_precompute_seconds = 0;
+  double sim_query_seconds = 0;
+
+  /// Multi-disk parallel elapsed times (slowest disk); equal to the serial
+  /// times above when num_disks == 1.
+  double sim_maintenance_parallel_seconds = 0;
+  double sim_query_parallel_seconds = 0;
+
+  double model_transition_seconds = 0;
+  double model_precompute_seconds = 0;
+  double model_query_seconds = 0;
+
+  uint64_t operation_bytes = 0;    ///< Constituents + temporaries, steady.
+  uint64_t constituent_bytes = 0;
+  uint64_t temporary_bytes = 0;
+  uint64_t transition_extra_bytes = 0;  ///< Transient peak above steady.
+
+  int wave_length_days = 0;  ///< Total days indexed (soft window residual).
+  uint64_t wave_entries = 0;
+
+  double sim_total_work() const {
+    return sim_transition_seconds + sim_precompute_seconds +
+           sim_query_seconds;
+  }
+  double model_total_work() const {
+    return model_transition_seconds + model_precompute_seconds +
+           model_query_seconds;
+  }
+};
+
+/// \brief Averages/maxima over the measured (post-warm-up) days.
+struct Aggregates {
+  double avg_sim_transition_seconds = 0;
+  double avg_sim_precompute_seconds = 0;
+  double avg_sim_query_seconds = 0;
+  double avg_sim_total_work = 0;
+  double avg_sim_maintenance_parallel_seconds = 0;
+  double avg_sim_query_parallel_seconds = 0;
+
+  double avg_model_transition_seconds = 0;
+  double avg_model_precompute_seconds = 0;
+  double avg_model_query_seconds = 0;
+  double avg_model_total_work = 0;
+
+  double avg_operation_bytes = 0;
+  uint64_t max_operation_bytes = 0;
+  double avg_transition_extra_bytes = 0;
+  uint64_t max_transition_extra_bytes = 0;
+
+  double avg_wave_length_days = 0;
+  int max_wave_length_days = 0;
+  uint64_t max_wave_entries = 0;
+};
+
+struct ExperimentResult {
+  std::vector<DayStats> days;
+  Aggregates aggregates;
+};
+
+}  // namespace sim
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SIM_EXPERIMENT_H_

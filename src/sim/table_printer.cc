@@ -1,0 +1,47 @@
+#include "sim/table_printer.h"
+
+#include <algorithm>
+
+namespace wavekit {
+namespace sim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace sim
+}  // namespace wavekit

@@ -1,0 +1,36 @@
+// TablePrinter: aligned, monospace tables for bench output.
+
+#ifndef WAVEKIT_SIM_TABLE_PRINTER_H_
+#define WAVEKIT_SIM_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wavekit {
+namespace sim {
+
+/// \brief Collects rows of cells and renders them with aligned columns, so
+/// every bench prints its paper table/figure in the same readable format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  void AddRow(std::vector<std::string> cells);
+
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sim
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SIM_TABLE_PRINTER_H_

@@ -1,0 +1,88 @@
+#include "storage/cached_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+CachedDevice::CachedDevice(Device* inner, size_t capacity_blocks,
+                           uint64_t block_size)
+    : inner_(inner),
+      capacity_blocks_(std::max<size_t>(capacity_blocks, 1)),
+      block_size_(std::max<uint64_t>(block_size, 1)) {}
+
+Result<CachedDevice::LruList::iterator> CachedDevice::GetBlock(
+    uint64_t block_id) {
+  auto hit = index_.find(block_id);
+  if (hit != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, hit->second);  // move to MRU
+    return lru_.begin();
+  }
+  ++stats_.misses;
+  // Load from the device. The final block of the address range may be
+  // partial; clamp the read and zero-fill the tail.
+  CachedBlock block;
+  block.block_id = block_id;
+  block.bytes.assign(block_size_, std::byte{0});
+  const uint64_t offset = block_id * block_size_;
+  const uint64_t readable =
+      std::min<uint64_t>(block_size_, inner_->capacity() - offset);
+  WAVEKIT_RETURN_NOT_OK(inner_->Read(
+      offset, std::span<std::byte>(block.bytes.data(),
+                                   static_cast<size_t>(readable))));
+  if (lru_.size() >= capacity_blocks_) {
+    index_.erase(lru_.back().block_id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(std::move(block));
+  index_[block_id] = lru_.begin();
+  return lru_.begin();
+}
+
+Status CachedDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  if (offset > capacity() || out.size() > capacity() - offset) {
+    return Status::OutOfRange("cached device read out of range");
+  }
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t position = offset + done;
+    const uint64_t block_id = position / block_size_;
+    const uint64_t within = position % block_size_;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - within, out.size() - done));
+    WAVEKIT_ASSIGN_OR_RETURN(auto block, GetBlock(block_id));
+    std::memcpy(out.data() + done, block->bytes.data() + within, chunk);
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  // Write-through: update any cached blocks, then the device.
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t position = offset + done;
+    const uint64_t block_id = position / block_size_;
+    const uint64_t within = position % block_size_;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - within, data.size() - done));
+    auto cached = index_.find(block_id);
+    if (cached != index_.end()) {
+      std::memcpy(cached->second->bytes.data() + within, data.data() + done,
+                  chunk);
+    }
+    done += chunk;
+  }
+  return inner_->Write(offset, data);
+}
+
+void CachedDevice::Invalidate() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace wavekit

@@ -1,0 +1,33 @@
+#include "storage/cost_model.h"
+
+#include "util/format.h"
+
+namespace wavekit {
+
+IoCounters& IoCounters::operator+=(const IoCounters& other) {
+  seeks += other.seeks;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  read_ops += other.read_ops;
+  write_ops += other.write_ops;
+  return *this;
+}
+
+IoCounters operator-(const IoCounters& a, const IoCounters& b) {
+  IoCounters out;
+  out.seeks = a.seeks - b.seeks;
+  out.bytes_read = a.bytes_read - b.bytes_read;
+  out.bytes_written = a.bytes_written - b.bytes_written;
+  out.read_ops = a.read_ops - b.read_ops;
+  out.write_ops = a.write_ops - b.write_ops;
+  return out;
+}
+
+std::string IoCounters::ToString() const {
+  return "seeks=" + FormatCount(seeks) +
+         " read=" + FormatBytes(bytes_read) +
+         " written=" + FormatBytes(bytes_written) +
+         " ops=" + FormatCount(read_ops + write_ops);
+}
+
+}  // namespace wavekit

@@ -1,0 +1,57 @@
+// CostModel: converts metered I/O counters into modeled seconds.
+//
+// Matches the disk parameters of the paper's Section 5: `seek` (time for one
+// seek) and `Trans` (transfer rate). Table 12 instantiates seek = 14 ms and
+// Trans = 10 MB/s for all three case studies.
+
+#ifndef WAVEKIT_STORAGE_COST_MODEL_H_
+#define WAVEKIT_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wavekit {
+
+/// \brief I/O activity counters accumulated by a MeteredDevice.
+struct IoCounters {
+  uint64_t seeks = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+
+  uint64_t bytes_transferred() const { return bytes_read + bytes_written; }
+
+  IoCounters& operator+=(const IoCounters& other);
+  friend IoCounters operator+(IoCounters a, const IoCounters& b) {
+    a += b;
+    return a;
+  }
+  friend IoCounters operator-(const IoCounters& a, const IoCounters& b);
+  bool operator==(const IoCounters& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// \brief Hardware cost parameters (paper Section 5, "Disk Parameters").
+struct CostModel {
+  /// Time for one disk seek, seconds. Table 12: 14 ms.
+  double seek_seconds = 0.014;
+  /// Sustained transfer rate, bytes per second. Table 12: 10 MB/s.
+  double transfer_bytes_per_second = 10.0e6;
+
+  /// Modeled wall-clock seconds for the given activity:
+  /// seeks * seek + bytes / Trans.
+  double Seconds(const IoCounters& io) const {
+    return static_cast<double>(io.seeks) * seek_seconds +
+           static_cast<double>(io.bytes_transferred()) /
+               transfer_bytes_per_second;
+  }
+
+  /// The Table 12 hardware configuration.
+  static CostModel Paper() { return CostModel{}; }
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_COST_MODEL_H_

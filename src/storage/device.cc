@@ -1,0 +1,45 @@
+#include "storage/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+MemoryDevice::MemoryDevice(uint64_t capacity) : capacity_(capacity) {}
+
+Status MemoryDevice::CheckRange(uint64_t offset, size_t length) const {
+  if (offset > capacity_ || length > capacity_ - offset) {
+    return Status::OutOfRange(
+        "device access [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") exceeds capacity " +
+        std::to_string(capacity_));
+  }
+  return Status::OK();
+}
+
+Status MemoryDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
+  if (out.empty()) return Status::OK();
+  // Bytes beyond the materialized high-water mark read as zero.
+  const uint64_t materialized = bytes_.size();
+  const uint64_t end = offset + out.size();
+  std::memset(out.data(), 0, out.size());
+  if (offset < materialized) {
+    const size_t n = static_cast<size_t>(std::min(end, materialized) - offset);
+    std::memcpy(out.data(), bytes_.data() + offset, n);
+  }
+  return Status::OK();
+}
+
+Status MemoryDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
+  if (data.empty()) return Status::OK();
+  const uint64_t end = offset + data.size();
+  if (end > bytes_.size()) bytes_.resize(end);
+  std::memcpy(bytes_.data() + offset, data.data(), data.size());
+  return Status::OK();
+}
+
+}  // namespace wavekit

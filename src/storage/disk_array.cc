@@ -1,0 +1,53 @@
+#include "storage/disk_array.h"
+
+#include <algorithm>
+
+namespace wavekit {
+
+DiskArray::DiskArray(int num_disks, uint64_t capacity_per_disk) {
+  disks_.reserve(static_cast<size_t>(std::max(num_disks, 1)));
+  for (int i = 0; i < std::max(num_disks, 1); ++i) {
+    disks_.push_back(std::make_unique<Store>(capacity_per_disk));
+  }
+}
+
+std::vector<MeteredDevice*> DiskArray::devices() {
+  std::vector<MeteredDevice*> out;
+  out.reserve(disks_.size());
+  for (auto& disk : disks_) out.push_back(disk->device());
+  return out;
+}
+
+void DiskArray::SetPhaseAll(Phase phase) {
+  for (auto& disk : disks_) disk->device()->set_phase(phase);
+}
+
+void DiskArray::ResetAll() {
+  for (auto& disk : disks_) disk->device()->Reset();
+}
+
+IoCounters DiskArray::TotalCounters(Phase phase) const {
+  IoCounters total;
+  for (const auto& disk : disks_) total += disk->device()->counters(phase);
+  return total;
+}
+
+double DiskArray::ParallelSeconds(const CostModel& cost, Phase phase) const {
+  double slowest = 0;
+  for (const auto& disk : disks_) {
+    slowest = std::max(slowest, cost.Seconds(disk->device()->counters(phase)));
+  }
+  return slowest;
+}
+
+double DiskArray::SerialSeconds(const CostModel& cost, Phase phase) const {
+  return cost.Seconds(TotalCounters(phase));
+}
+
+uint64_t DiskArray::AllocatedBytes() const {
+  uint64_t total = 0;
+  for (const auto& disk : disks_) total += disk->allocator()->allocated_bytes();
+  return total;
+}
+
+}  // namespace wavekit

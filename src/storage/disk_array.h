@@ -1,0 +1,58 @@
+// DiskArray: several independent metered disks, for the multi-disk
+// deployments the paper's Section 8 anticipates ("if n matches the number of
+// disks, indexing can be parallelized easily... building new constituent
+// indices on separate disks avoids contention").
+
+#ifndef WAVEKIT_STORAGE_DISK_ARRAY_H_
+#define WAVEKIT_STORAGE_DISK_ARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace wavekit {
+
+/// \brief Owns `num_disks` independent Stores and provides aggregate and
+/// parallel-time accounting across them.
+class DiskArray {
+ public:
+  explicit DiskArray(int num_disks,
+                     uint64_t capacity_per_disk = uint64_t{4} << 30);
+
+  int size() const { return static_cast<int>(disks_.size()); }
+
+  MeteredDevice* device(int i) { return disks_[static_cast<size_t>(i)]->device(); }
+  ExtentAllocator* allocator(int i) {
+    return disks_[static_cast<size_t>(i)]->allocator();
+  }
+
+  /// All devices (for MultiPhaseScope and scheme environments).
+  std::vector<MeteredDevice*> devices();
+
+  /// Sets the phase on every disk.
+  void SetPhaseAll(Phase phase);
+
+  /// Zeroes the counters of every disk.
+  void ResetAll();
+
+  /// Sum of one phase's counters over all disks.
+  IoCounters TotalCounters(Phase phase) const;
+
+  /// Elapsed seconds of one phase if all disks operate in PARALLEL: the
+  /// slowest disk's modeled time.
+  double ParallelSeconds(const CostModel& cost, Phase phase) const;
+
+  /// Elapsed seconds if the same traffic went through ONE disk serially.
+  double SerialSeconds(const CostModel& cost, Phase phase) const;
+
+  /// Total allocated bytes across disks.
+  uint64_t AllocatedBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Store>> disks_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_DISK_ARRAY_H_

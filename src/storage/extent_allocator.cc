@@ -1,0 +1,141 @@
+#include "storage/extent_allocator.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+ExtentAllocator::ExtentAllocator(uint64_t capacity_bytes)
+    : capacity_(capacity_bytes), free_bytes_(capacity_bytes) {
+  if (capacity_ > 0) free_.emplace(0, capacity_);
+}
+
+Result<Extent> ExtentAllocator::Allocate(uint64_t length) {
+  if (length == 0) return Extent{0, 0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= length) {
+      Extent out{it->first, length};
+      const uint64_t remaining = it->second - length;
+      const uint64_t new_offset = it->first + length;
+      free_.erase(it);
+      if (remaining > 0) free_.emplace(new_offset, remaining);
+      free_bytes_ -= length;
+      peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
+      return out;
+    }
+  }
+  return Status::ResourceExhausted(
+      "no contiguous free extent of " + std::to_string(length) +
+      " bytes (free=" + std::to_string(free_bytes_) +
+      ", largest=" + std::to_string(LargestFreeExtentLocked()) + ")");
+}
+
+Status ExtentAllocator::Reserve(const Extent& extent) {
+  if (extent.length == 0) return Status::OK();
+  if (extent.end() > capacity_) {
+    return Status::InvalidArgument("reserved extent exceeds capacity");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The containing free extent is the one starting at or before offset.
+  auto it = free_.upper_bound(extent.offset);
+  if (it == free_.begin()) {
+    return Status::FailedPrecondition("range is already allocated");
+  }
+  --it;
+  const uint64_t free_offset = it->first;
+  const uint64_t free_length = it->second;
+  if (free_offset + free_length < extent.end()) {
+    return Status::FailedPrecondition(
+        "range is not entirely free: cannot reserve [" +
+        std::to_string(extent.offset) + ", " + std::to_string(extent.end()) +
+        ")");
+  }
+  free_.erase(it);
+  if (extent.offset > free_offset) {
+    free_.emplace(free_offset, extent.offset - free_offset);
+  }
+  if (free_offset + free_length > extent.end()) {
+    free_.emplace(extent.end(), free_offset + free_length - extent.end());
+  }
+  free_bytes_ -= extent.length;
+  peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
+  return Status::OK();
+}
+
+Status ExtentAllocator::Free(const Extent& extent) {
+  if (extent.length == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (extent.end() > capacity_) {
+    return Status::InvalidArgument("freed extent exceeds capacity");
+  }
+  // Find the free extent at or after the freed range, and its predecessor.
+  auto next = free_.lower_bound(extent.offset);
+  if (next != free_.end() && next->first < extent.end()) {
+    return Status::InvalidArgument("double free: overlaps following free extent");
+  }
+  auto prev = next;
+  if (prev != free_.begin()) {
+    --prev;
+    if (prev->first + prev->second > extent.offset) {
+      return Status::InvalidArgument("double free: overlaps preceding free extent");
+    }
+  } else {
+    prev = free_.end();
+  }
+
+  uint64_t merged_offset = extent.offset;
+  uint64_t merged_length = extent.length;
+  if (prev != free_.end() && prev->first + prev->second == extent.offset) {
+    merged_offset = prev->first;
+    merged_length += prev->second;
+    free_.erase(prev);
+  }
+  if (next != free_.end() && next->first == extent.end()) {
+    merged_length += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(merged_offset, merged_length);
+  free_bytes_ += extent.length;
+  return Status::OK();
+}
+
+uint64_t ExtentAllocator::largest_free_extent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LargestFreeExtentLocked();
+}
+
+uint64_t ExtentAllocator::LargestFreeExtentLocked() const {
+  uint64_t largest = 0;
+  for (const auto& [offset, length] : free_) {
+    largest = std::max(largest, length);
+  }
+  return largest;
+}
+
+Status ExtentAllocator::CheckConsistency() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t sum = 0;
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [offset, length] : free_) {
+    if (length == 0) return Status::Internal("zero-length free extent");
+    if (offset + length > capacity_) {
+      return Status::Internal("free extent exceeds capacity");
+    }
+    if (!first) {
+      if (offset < prev_end) return Status::Internal("overlapping free extents");
+      if (offset == prev_end) return Status::Internal("uncoalesced free extents");
+    }
+    prev_end = offset + length;
+    sum += length;
+    first = false;
+  }
+  if (sum != free_bytes_) {
+    return Status::Internal("free byte count does not match free list");
+  }
+  return Status::OK();
+}
+
+}  // namespace wavekit

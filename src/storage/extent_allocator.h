@@ -1,0 +1,98 @@
+// ExtentAllocator: first-fit free-list allocation of contiguous byte extents.
+//
+// Constituent indexes place their buckets through this allocator. Packed
+// builds request one large extent so all buckets land contiguously (enabling
+// single-seek SegmentScans); the CONTIGUOUS incremental scheme [FJ92]
+// relocates buckets into fresh, larger extents as they grow.
+
+#ifndef WAVEKIT_STORAGE_EXTENT_ALLOCATOR_H_
+#define WAVEKIT_STORAGE_EXTENT_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "storage/device.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief Manages the free space of a Device's address range.
+///
+/// First-fit with eager coalescing of adjacent free extents. Byte-granular:
+/// the paper sizes indexes in bytes (S, S'), so no alignment padding is added.
+///
+/// Thread-safe: shadow-updated indexes may be released by whichever query
+/// thread drops the last reference (see wave/wave_service.h), so Allocate and
+/// Free may race; an internal mutex serializes them.
+class ExtentAllocator {
+ public:
+  /// Manages [0, capacity_bytes).
+  explicit ExtentAllocator(uint64_t capacity_bytes);
+
+  /// Allocates a contiguous extent of exactly `length` bytes.
+  /// Fails with ResourceExhausted if no single free extent is large enough.
+  Result<Extent> Allocate(uint64_t length);
+
+  /// Marks a SPECIFIC byte range as allocated (checkpoint restore: buckets
+  /// already persisted on the device reclaim their exact locations). Fails
+  /// with FailedPrecondition if any part of the range is already allocated.
+  Status Reserve(const Extent& extent);
+
+  /// Returns an extent to the free list. The extent must have come from
+  /// Allocate and not have been freed already; overlapping frees are detected
+  /// and rejected with InvalidArgument.
+  Status Free(const Extent& extent);
+
+  /// Total bytes currently free (may be fragmented).
+  uint64_t free_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_bytes_;
+  }
+
+  /// Total bytes currently allocated.
+  uint64_t allocated_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ - free_bytes_;
+  }
+
+  /// High-water mark of allocated_bytes() since the last ResetPeak(). Used
+  /// to measure the transient extra space of shadow updates.
+  uint64_t peak_allocated_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_allocated_;
+  }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peak_allocated_ = capacity_ - free_bytes_;
+  }
+
+  /// Largest single free extent (what the next Allocate can satisfy).
+  uint64_t largest_free_extent() const;
+
+  /// Number of free-list fragments (1 when completely unfragmented & empty).
+  size_t fragment_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+  uint64_t capacity() const { return capacity_; }
+
+  /// Internal-consistency check: free extents are sorted, non-overlapping,
+  /// non-adjacent (coalesced) and within capacity. For tests.
+  Status CheckConsistency() const;
+
+ private:
+  uint64_t LargestFreeExtentLocked() const;
+
+  mutable std::mutex mutex_;
+  uint64_t capacity_;
+  uint64_t free_bytes_;
+  uint64_t peak_allocated_ = 0;
+  // offset -> length of each free extent, keyed by offset.
+  std::map<uint64_t, uint64_t> free_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_EXTENT_ALLOCATOR_H_

@@ -1,0 +1,81 @@
+#include "storage/file_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
+                                                     uint64_t capacity) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileDevice>(new FileDevice(path, fd, capacity));
+}
+
+FileDevice::FileDevice(std::string path, int fd, uint64_t capacity)
+    : path_(std::move(path)), fd_(fd), capacity_(capacity) {}
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDevice::CheckRange(uint64_t offset, size_t length) const {
+  if (offset > capacity_ || length > capacity_ - offset) {
+    return Status::OutOfRange("file device access [" + std::to_string(offset) +
+                              ", " + std::to_string(offset + length) +
+                              ") exceeds capacity " + std::to_string(capacity_));
+  }
+  return Status::OK();
+}
+
+Status FileDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
+  size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread '" + path_ + "': " + std::strerror(errno));
+    }
+    if (n == 0) {
+      // Past EOF of a sparse file: unwritten bytes read as zero.
+      std::memset(out.data() + done, 0, out.size() - done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite '" + path_ + "': " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync '" + path_ + "': " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace wavekit

@@ -1,0 +1,52 @@
+// FileDevice: a Device backed by a real file, for deployments that want the
+// wave index persisted rather than simulated. Wrap it in a MeteredDevice
+// exactly like a MemoryDevice; all higher layers are device-agnostic.
+
+#ifndef WAVEKIT_STORAGE_FILE_DEVICE_H_
+#define WAVEKIT_STORAGE_FILE_DEVICE_H_
+
+#include <string>
+
+#include "storage/device.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief Device over one file, accessed with positional reads/writes.
+///
+/// The file is created (sparse) if absent and sized lazily up to `capacity`.
+/// Reads of never-written ranges return zeros, matching MemoryDevice
+/// semantics. Not thread-safe (like every wavekit Device).
+class FileDevice : public Device {
+ public:
+  /// Opens (or creates) `path` with the given logical capacity.
+  static Result<std::unique_ptr<FileDevice>> Open(const std::string& path,
+                                                  uint64_t capacity);
+
+  ~FileDevice() override;
+
+  FileDevice(const FileDevice&) = delete;
+  FileDevice& operator=(const FileDevice&) = delete;
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override;
+  Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  uint64_t capacity() const override { return capacity_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Flushes written data to stable storage (fdatasync).
+  Status Sync();
+
+ private:
+  FileDevice(std::string path, int fd, uint64_t capacity);
+
+  Status CheckRange(uint64_t offset, size_t length) const;
+
+  std::string path_;
+  int fd_;
+  uint64_t capacity_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_FILE_DEVICE_H_

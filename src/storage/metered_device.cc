@@ -1,0 +1,63 @@
+#include "storage/metered_device.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kStart:
+      return "start";
+    case Phase::kTransition:
+      return "transition";
+    case Phase::kPrecompute:
+      return "precompute";
+    case Phase::kQuery:
+      return "query";
+    case Phase::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+MeteredDevice::MeteredDevice(Device* inner) : inner_(inner) {}
+
+void MeteredDevice::Account(uint64_t offset, uint64_t length, bool is_write) {
+  IoCounters& io = counters_[static_cast<int>(phase_)];
+  if (!head_valid_ || offset != head_position_) {
+    ++io.seeks;
+  }
+  head_position_ = offset + length;
+  head_valid_ = true;
+  if (is_write) {
+    io.bytes_written += length;
+    ++io.write_ops;
+  } else {
+    io.bytes_read += length;
+    ++io.read_ops;
+  }
+}
+
+Status MeteredDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(inner_->Read(offset, out));
+  Account(offset, out.size(), /*is_write=*/false);
+  return Status::OK();
+}
+
+Status MeteredDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  WAVEKIT_RETURN_NOT_OK(inner_->Write(offset, data));
+  Account(offset, data.size(), /*is_write=*/true);
+  return Status::OK();
+}
+
+IoCounters MeteredDevice::total() const {
+  IoCounters out;
+  for (const IoCounters& c : counters_) out += c;
+  return out;
+}
+
+void MeteredDevice::Reset() {
+  for (IoCounters& c : counters_) c = IoCounters{};
+}
+
+}  // namespace wavekit

@@ -1,0 +1,119 @@
+// MeteredDevice: wraps a Device and records the seek/transfer pattern,
+// attributed to workload phases.
+//
+// A "seek" is charged whenever an access does not continue sequentially from
+// the end of the previous access — the same head-movement model the paper's
+// analysis uses (e.g., an IndexProbe is "one seek followed by a transfer of
+// the corresponding bucket", a SegmentScan over a packed index is one seek
+// plus a sequential sweep).
+
+#ifndef WAVEKIT_STORAGE_METERED_DEVICE_H_
+#define WAVEKIT_STORAGE_METERED_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "storage/cost_model.h"
+#include "storage/device.h"
+
+namespace wavekit {
+
+/// \brief What a piece of I/O was done for. Maintenance work is split the way
+/// the paper's Section 5 splits it: transition (critical path until the new
+/// day is queryable) vs. pre-computation (temporary-index preparation).
+enum class Phase : int {
+  kStart = 0,       ///< Initial build of the first W days.
+  kTransition = 1,  ///< Daily work before new data is queryable.
+  kPrecompute = 2,  ///< Daily work preparing temporary indexes.
+  kQuery = 3,       ///< TimedIndexProbe / TimedSegmentScan traffic.
+  kOther = 4,       ///< Anything not explicitly attributed.
+};
+
+inline constexpr int kNumPhases = 5;
+
+const char* PhaseName(Phase phase);
+
+/// \brief Device decorator that counts seeks and transferred bytes per Phase.
+class MeteredDevice : public Device {
+ public:
+  /// Does not take ownership of `inner`, which must outlive this object.
+  explicit MeteredDevice(Device* inner);
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override;
+  Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  uint64_t capacity() const override { return inner_->capacity(); }
+
+  /// Sets the phase subsequent I/O is attributed to.
+  void set_phase(Phase phase) { phase_ = phase; }
+  Phase phase() const { return phase_; }
+
+  /// Counters for one phase since the last Reset.
+  const IoCounters& counters(Phase phase) const {
+    return counters_[static_cast<int>(phase)];
+  }
+
+  /// Sum over all phases.
+  IoCounters total() const;
+
+  /// Zeroes all counters (head position is kept).
+  void Reset();
+
+ private:
+  void Account(uint64_t offset, uint64_t length, bool is_write);
+
+  Device* inner_;
+  Phase phase_ = Phase::kOther;
+  std::array<IoCounters, kNumPhases> counters_;
+  // One past the last byte touched; next access starting here is sequential.
+  uint64_t head_position_ = 0;
+  bool head_valid_ = false;
+};
+
+/// \brief RAII phase setter over several devices at once (multi-disk
+/// deployments): switches every device's phase and restores them all.
+class MultiPhaseScope {
+ public:
+  MultiPhaseScope(const std::vector<MeteredDevice*>& devices, Phase phase)
+      : devices_(devices) {
+    previous_.reserve(devices_.size());
+    for (MeteredDevice* device : devices_) {
+      previous_.push_back(device->phase());
+      device->set_phase(phase);
+    }
+  }
+  ~MultiPhaseScope() {
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      devices_[i]->set_phase(previous_[i]);
+    }
+  }
+
+  MultiPhaseScope(const MultiPhaseScope&) = delete;
+  MultiPhaseScope& operator=(const MultiPhaseScope&) = delete;
+
+ private:
+  std::vector<MeteredDevice*> devices_;
+  std::vector<Phase> previous_;
+};
+
+/// \brief RAII phase setter: switches a MeteredDevice's phase and restores the
+/// previous one on destruction.
+class PhaseScope {
+ public:
+  PhaseScope(MeteredDevice* device, Phase phase)
+      : device_(device), previous_(device->phase()) {
+    device_->set_phase(phase);
+  }
+  ~PhaseScope() { device_->set_phase(previous_); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  MeteredDevice* device_;
+  Phase previous_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_METERED_DEVICE_H_

@@ -1,0 +1,43 @@
+// Store: convenience bundle of the storage substrate — an in-memory device,
+// its metering wrapper, and an extent allocator over the same address range.
+
+#ifndef WAVEKIT_STORAGE_STORE_H_
+#define WAVEKIT_STORAGE_STORE_H_
+
+#include "storage/device.h"
+#include "storage/extent_allocator.h"
+#include "storage/metered_device.h"
+#include "storage/synchronized_device.h"
+
+namespace wavekit {
+
+/// \brief One self-contained simulated disk. Examples, tests, and the
+/// experiment driver all start from a Store.
+///
+/// The device is the synchronized (thread-safe) metered variant, so stores
+/// can back concurrent serving and parallel query fan-out out of the box; an
+/// uncontended mutex costs nothing measurable next to the simulated I/O.
+class Store {
+ public:
+  explicit Store(uint64_t capacity_bytes = uint64_t{16} << 30)
+      : memory_(capacity_bytes),
+        metered_(&memory_),
+        allocator_(capacity_bytes) {}
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  MeteredDevice* device() { return &metered_; }
+  ExtentAllocator* allocator() { return &allocator_; }
+  const MeteredDevice& device() const { return metered_; }
+  const ExtentAllocator& allocator() const { return allocator_; }
+
+ private:
+  MemoryDevice memory_;
+  SynchronizedMeteredDevice metered_;
+  ExtentAllocator allocator_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_STORE_H_

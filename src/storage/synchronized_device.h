@@ -1,0 +1,38 @@
+// SynchronizedMeteredDevice: a MeteredDevice whose Read/Write are serialized
+// by a mutex, for serving deployments where query threads read while the
+// maintenance thread writes (wave/wave_service.h). Serializing I/O matches
+// how a single real disk behaves anyway.
+
+#ifndef WAVEKIT_STORAGE_SYNCHRONIZED_DEVICE_H_
+#define WAVEKIT_STORAGE_SYNCHRONIZED_DEVICE_H_
+
+#include <mutex>
+
+#include "storage/metered_device.h"
+
+namespace wavekit {
+
+/// \brief Thread-safe MeteredDevice. Phase changes (set_phase / PhaseScope)
+/// remain writer-only by convention: metering attribution is advisory under
+/// concurrency, but counters and data are always consistent.
+class SynchronizedMeteredDevice : public MeteredDevice {
+ public:
+  using MeteredDevice::MeteredDevice;
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return MeteredDevice::Read(offset, out);
+  }
+
+  Status Write(uint64_t offset, std::span<const std::byte> data) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return MeteredDevice::Write(offset, data);
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_SYNCHRONIZED_DEVICE_H_

@@ -1,0 +1,18 @@
+#include "update/in_place_updater.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+Status InPlaceUpdater::Apply(std::shared_ptr<ConstituentIndex>* index,
+                             std::span<const DayBatch* const> adds,
+                             const TimeSet& deletes) {
+  ConstituentIndex* idx = index->get();
+  WAVEKIT_RETURN_NOT_OK(idx->DeleteDays(deletes));
+  for (const DayBatch* batch : adds) {
+    WAVEKIT_RETURN_NOT_OK(idx->AddBatch(*batch));
+  }
+  return Status::OK();
+}
+
+}  // namespace wavekit

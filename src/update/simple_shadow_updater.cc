@@ -1,0 +1,22 @@
+#include "update/simple_shadow_updater.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+Status SimpleShadowUpdater::Apply(std::shared_ptr<ConstituentIndex>* index,
+                                  std::span<const DayBatch* const> adds,
+                                  const TimeSet& deletes) {
+  ConstituentIndex* old_index = index->get();
+  WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> shadow,
+                           old_index->Clone(old_index->name()));
+  WAVEKIT_RETURN_NOT_OK(shadow->DeleteDays(deletes));
+  for (const DayBatch* batch : adds) {
+    WAVEKIT_RETURN_NOT_OK(shadow->AddBatch(*batch));
+  }
+  // Swap: the old version lives on until the last query reference drops.
+  *index = std::move(shadow);
+  return Status::OK();
+}
+
+}  // namespace wavekit

@@ -1,0 +1,65 @@
+// Day arithmetic for sliding windows.
+//
+// Following the paper, a "day" is one time interval of the evolving database
+// (not necessarily 24 hours); days are identified by consecutive positive
+// integers starting at 1.
+
+#ifndef WAVEKIT_UTIL_DAY_H_
+#define WAVEKIT_UTIL_DAY_H_
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+
+namespace wavekit {
+
+/// Identifier of one time interval; day 1 is the first day of the system.
+using Day = int32_t;
+
+/// Sentinel bounds for timed queries: TimedIndexProbe(-inf, +inf, v) is a
+/// plain IndexProbe (paper Section 2.2).
+inline constexpr Day kDayNegInf = std::numeric_limits<Day>::min();
+inline constexpr Day kDayPosInf = std::numeric_limits<Day>::max();
+
+/// A time-set: the (not necessarily contiguous) set of days covered by one
+/// constituent index. Ordered for deterministic iteration and printing.
+using TimeSet = std::set<Day>;
+
+/// \brief Closed day interval [lo, hi].
+struct DayRange {
+  Day lo = kDayNegInf;
+  Day hi = kDayPosInf;
+
+  /// The full range (-inf, +inf): untimed probes and scans.
+  static DayRange All() { return DayRange{kDayNegInf, kDayPosInf}; }
+
+  /// The hard window of width `w` ending at (and including) `latest`.
+  static DayRange Window(Day latest, Day w) {
+    return DayRange{static_cast<Day>(latest - w + 1), latest};
+  }
+
+  bool Contains(Day d) const { return lo <= d && d <= hi; }
+
+  /// True iff any day of `ts` falls in this range.
+  bool Intersects(const TimeSet& ts) const {
+    auto it = ts.lower_bound(lo);
+    return it != ts.end() && *it <= hi;
+  }
+
+  /// True iff every day of `ts` falls in this range (then per-entry timestamp
+  /// filtering can be skipped for that constituent).
+  bool Covers(const TimeSet& ts) const {
+    return !ts.empty() && lo <= *ts.begin() && *ts.rbegin() <= hi;
+  }
+
+  bool operator==(const DayRange& other) const = default;
+};
+
+/// "{2, 3, 4, 11}" — rendering used by tests that replicate the paper's
+/// transition tables.
+std::string TimeSetToString(const TimeSet& ts);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_DAY_H_

@@ -1,0 +1,82 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/day.h"
+
+namespace wavekit {
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  double abs = std::fabs(seconds);
+  if (abs >= 1.0 || abs == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string TimeSetToString(const TimeSet& ts) {
+  std::string out = "{";
+  bool first = true;
+  for (Day d : ts) {
+    if (!first) out += ", ";
+    out += std::to_string(d);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,29 @@
+// Small string-formatting helpers used by table printers and error messages.
+
+#ifndef WAVEKIT_UTIL_FORMAT_H_
+#define WAVEKIT_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavekit {
+
+/// "1.50 KiB", "23.4 MiB", ... with two or three significant digits.
+std::string FormatBytes(uint64_t bytes);
+
+/// "1234.5 s", "12.3 ms", ... choosing a readable unit.
+std::string FormatSeconds(double seconds);
+
+/// Fixed-precision double, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision);
+
+/// Thousands-separated integer: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_FORMAT_H_

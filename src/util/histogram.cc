@@ -1,0 +1,56 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace wavekit {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return std::min(kBuckets - 1, 64 - std::countl_zero(value) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    seen += buckets_[static_cast<size_t>(k)];
+    if (seen >= target && buckets_[static_cast<size_t>(k)] > 0) {
+      // Upper bucket bound, clamped into the observed range.
+      const uint64_t upper =
+          k >= 63 ? ~uint64_t{0} : (uint64_t{1} << (k + 1)) - 1;
+      return std::clamp(upper, min(), max());
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+std::string Histogram::ToString() const {
+  return "count=" + std::to_string(count_) +
+         " mean=" + std::to_string(static_cast<uint64_t>(mean())) +
+         " p50=" + std::to_string(Percentile(0.5)) +
+         " p99=" + std::to_string(Percentile(0.99)) +
+         " max=" + std::to_string(max_);
+}
+
+}  // namespace wavekit

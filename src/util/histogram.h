@@ -1,0 +1,53 @@
+// Histogram: log-bucketed latency/size histogram with percentile queries.
+// Used by WaveService metrics; general-purpose otherwise.
+
+#ifndef WAVEKIT_UTIL_HISTOGRAM_H_
+#define WAVEKIT_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wavekit {
+
+/// \brief Fixed-footprint histogram over positive values with
+/// half-decade-ish resolution: bucket k covers [2^k, 2^(k+1)).
+///
+/// Records are O(1); percentiles are approximate (upper bucket bound).
+/// Not thread-safe; callers synchronize (see WaveService).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Approximate value at quantile q in [0, 1] (upper bound of the bucket
+  /// containing the q-th sample). 0 when empty.
+  uint64_t Percentile(double q) const;
+
+  void Reset();
+
+  /// "count=... mean=... p50=... p99=... max=..."
+  std::string ToString() const;
+
+ private:
+  static int BucketFor(uint64_t value);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_HISTOGRAM_H_

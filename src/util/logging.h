@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: WAVEKIT_LOG(INFO) << "built index for day " << day;
+// The default threshold is WARNING so library users see nothing unless they
+// opt in via SetLogLevel.
+
+#ifndef WAVEKIT_UTIL_LOGGING_H_
+#define WAVEKIT_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace wavekit {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. Created by the WAVEKIT_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wavekit
+
+#define WAVEKIT_LOG(level)                                    \
+  ::wavekit::internal::LogMessage(                            \
+      ::wavekit::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // WAVEKIT_UTIL_LOGGING_H_

@@ -1,0 +1,38 @@
+// Error-propagation macros for Status / Result<T>.
+
+#ifndef WAVEKIT_UTIL_MACROS_H_
+#define WAVEKIT_UTIL_MACROS_H_
+
+#include "util/result.h"
+#include "util/status.h"
+
+#define WAVEKIT_CONCAT_IMPL(x, y) x##y
+#define WAVEKIT_CONCAT(x, y) WAVEKIT_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define WAVEKIT_RETURN_NOT_OK(expr)                           \
+  do {                                                        \
+    ::wavekit::Status _wavekit_status = (expr);               \
+    if (!_wavekit_status.ok()) return _wavekit_status;        \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); if it holds an error, returns
+/// the error Status; otherwise declares `lhs` initialized from the value.
+#define WAVEKIT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WAVEKIT_ASSIGN_OR_RETURN_IMPL(             \
+      WAVEKIT_CONCAT(_wavekit_result_, __LINE__), lhs, rexpr)
+
+#define WAVEKIT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Aborts the process when `expr` is not OK. For invariants, not user errors.
+#define WAVEKIT_CHECK_OK(expr)                   \
+  do {                                           \
+    ::wavekit::Status _wavekit_status = (expr);  \
+    _wavekit_status.Abort(#expr);                \
+  } while (false)
+
+#endif  // WAVEKIT_UTIL_MACROS_H_

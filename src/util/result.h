@@ -1,0 +1,79 @@
+// Result<T>: a Status or a value of type T.
+
+#ifndef WAVEKIT_UTIL_RESULT_H_
+#define WAVEKIT_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace wavekit {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why no
+/// value was produced.
+///
+/// Typical usage:
+/// \code
+///   Result<Extent> r = allocator.Allocate(1024);
+///   if (!r.ok()) return r.status();
+///   Extent e = std::move(r).ValueOrDie();
+/// \endcode
+/// or, with the macro from util/macros.h:
+/// \code
+///   WAVEKIT_ASSIGN_OR_RETURN(Extent e, allocator.Allocate(1024));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return std::move(*value_);
+  }
+
+  /// Alias for ValueOrDie, matching the Arrow spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` if this holds an error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_RESULT_H_

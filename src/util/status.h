@@ -1,0 +1,136 @@
+// Status: lightweight error propagation without exceptions.
+//
+// wavekit follows the Status/Result idiom used by Arrow and RocksDB: functions
+// that can fail return a Status (or a Result<T> when they also produce a
+// value), and callers propagate failures with the WAVEKIT_RETURN_NOT_OK /
+// WAVEKIT_ASSIGN_OR_RETURN macros declared in util/macros.h.
+
+#ifndef WAVEKIT_UTIL_STATUS_H_
+#define WAVEKIT_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wavekit {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kIOError = 9,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode
+/// (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (a null pointer); error state is
+/// heap-allocated and shared. A Status is contextually convertible to bool
+/// (true == ok) via ok().
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// StatusCode::kOk; use the default constructor (or Status::OK()) for that.
+  Status(StatusCode code, std::string msg);
+
+  /// \brief The OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk for an OK status.
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty for an OK status.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with `context` prefixed to the message, for adding
+  /// call-site information while propagating an error. OK stays OK.
+  Status WithContext(const std::string& context) const;
+
+  /// Aborts the process if the status is not OK (used at places where an
+  /// error indicates a library bug rather than a caller mistake).
+  void Abort(const std::string& context = "") const;
+
+  bool Equals(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  friend bool operator==(const Status& a, const Status& b) { return a.Equals(b); }
+  friend bool operator!=(const Status& a, const Status& b) { return !a.Equals(b); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_STATUS_H_

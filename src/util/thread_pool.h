@@ -1,0 +1,51 @@
+// ThreadPool: a small fixed-size worker pool for parallel query fan-out.
+//
+// The paper (Introduction and Section 8): "if multiple disks and computers
+// are available, the queries across indexes can be easily parallelized."
+// WaveIndex::ParallelTimedIndexProbe uses this pool to probe constituents
+// concurrently.
+
+#ifndef WAVEKIT_UTIL_THREAD_POOL_H_
+#define WAVEKIT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wavekit {
+
+/// \brief Fixed set of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,137 @@
+#include "wave/advisor.h"
+
+#include <algorithm>
+
+#include "model/query_model.h"
+#include "util/format.h"
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+bool SchemeAdmissible(SchemeKind scheme, int n,
+                      const AdvisorConstraints& constraints) {
+  const bool soft =
+      scheme == SchemeKind::kWata || scheme == SchemeKind::kKnownBoundWata;
+  if (constraints.require_hard_window && soft) return false;
+  if (!constraints.can_implement_delete && scheme == SchemeKind::kDel) {
+    return false;
+  }
+  if ((scheme == SchemeKind::kWata || scheme == SchemeKind::kRata) && n < 2) {
+    return false;
+  }
+  // KB-WATA needs the future size bound — not something the advisor can
+  // assume; it stays an opt-in extension.
+  if (scheme == SchemeKind::kKnownBoundWata) return false;
+  return true;
+}
+
+std::string BuildRationale(const Recommendation& r,
+                           const model::CaseParams& params) {
+  std::string out = std::string(SchemeKindName(r.scheme)) + " with n=" +
+                    std::to_string(r.num_indexes) + " and " +
+                    UpdateTechniqueKindName(r.technique) + " updating: " +
+                    FormatSeconds(r.work.total()) + " of work/day (" +
+                    FormatSeconds(r.work.transition_seconds) +
+                    " until new data is queryable), " +
+                    FormatBytes(static_cast<uint64_t>(r.space.avg_total())) +
+                    " average space, " + FormatSeconds(r.probe_seconds) +
+                    " per whole-window probe";
+  (void)params;
+  switch (r.scheme) {
+    case SchemeKind::kReindex:
+      out += "; daily rebuilds keep every index packed and need no deletion "
+             "code";
+      break;
+    case SchemeKind::kDel:
+      out += "; requires incremental deletion support";
+      break;
+    case SchemeKind::kWata:
+      out += "; note the SOFT window (up to ceil((W-1)/(n-1))-1 residual "
+             "days)";
+      break;
+    case SchemeKind::kRata:
+      out += "; hard windows at WATA-like transition latency, paid for with "
+             "the precomputed ladder";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Recommendation>> RankWaveIndexOptions(
+    const model::CaseParams& params, int window,
+    const AdvisorConstraints& constraints) {
+  if (window < 1) return Status::InvalidArgument("window must be >= 1");
+  if (constraints.max_indexes < 1) {
+    return Status::InvalidArgument("max_indexes must be >= 1");
+  }
+
+  std::vector<UpdateTechniqueKind> techniques = {
+      UpdateTechniqueKind::kSimpleShadow};
+  if (constraints.can_implement_packed_shadow &&
+      constraints.can_implement_delete) {
+    // The packed smart copy rewrites buckets and merges deletions: it needs
+    // both layout control and delete semantics.
+    techniques.push_back(UpdateTechniqueKind::kPackedShadow);
+  }
+
+  std::vector<Recommendation> candidates;
+  for (SchemeKind scheme : kAllSchemeKinds) {
+    for (int n = 1; n <= std::min(constraints.max_indexes, window); ++n) {
+      if (!SchemeAdmissible(scheme, n, constraints)) continue;
+      for (UpdateTechniqueKind technique : techniques) {
+        Recommendation candidate;
+        candidate.scheme = scheme;
+        candidate.num_indexes = n;
+        candidate.technique = technique;
+        WAVEKIT_ASSIGN_OR_RETURN(
+            candidate.work,
+            model::EstimateTotalWork(scheme, technique, params, window, n));
+        candidate.space =
+            model::EstimateSpace(scheme, technique, params, window, n);
+        const model::QueryShape shape =
+            model::ShapeOf(scheme, technique, window, n);
+        candidate.probe_seconds =
+            model::TimedIndexProbeSeconds(params, shape, n);
+        if (candidate.probe_seconds > constraints.max_probe_seconds) continue;
+        if (candidate.space.avg_total() > constraints.max_space_bytes) {
+          continue;
+        }
+        candidate.objective =
+            candidate.work.total() +
+            constraints.space_weight * candidate.space.avg_total() /
+                params.packed_day_bytes;
+        candidate.rationale = BuildRationale(candidate, params);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.objective != b.objective) return a.objective < b.objective;
+              // Tiebreakers: less space, then fewer indexes (lower latency).
+              if (a.space.avg_total() != b.space.avg_total()) {
+                return a.space.avg_total() < b.space.avg_total();
+              }
+              return a.num_indexes < b.num_indexes;
+            });
+  return candidates;
+}
+
+Result<Recommendation> AdviseWaveIndex(const model::CaseParams& params,
+                                       int window,
+                                       const AdvisorConstraints& constraints) {
+  WAVEKIT_ASSIGN_OR_RETURN(std::vector<Recommendation> ranked,
+                           RankWaveIndexOptions(params, window, constraints));
+  if (ranked.empty()) {
+    return Status::InvalidArgument(
+        "no wave-index configuration satisfies the given constraints");
+  }
+  return ranked.front();
+}
+
+}  // namespace wavekit

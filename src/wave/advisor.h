@@ -1,0 +1,85 @@
+// Advisor: the paper's Section 6 selection process as code.
+//
+// "Our results ... can help an application designer in selecting a wave
+// index." Given a scenario's parameters (Table 12 style) and the designer's
+// constraints — does the application need hard windows? can packed shadowing
+// / deletion code be implemented (legacy packages like WAIS and SMART cannot
+// delete)? how slow may a probe get? — the advisor evaluates every
+// (scheme, n, technique) candidate with the analytic model and ranks them by
+// daily total work, using space as the tiebreaker.
+
+#ifndef WAVEKIT_WAVE_ADVISOR_H_
+#define WAVEKIT_WAVE_ADVISOR_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+#include "model/space_model.h"
+#include "model/total_work.h"
+#include "update/update_technique.h"
+#include "util/result.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+
+/// \brief What the application designer can and cannot live with.
+struct AdvisorConstraints {
+  /// Application semantics require exactly the last W days (Section 1's
+  /// credit-card example); soft-window WATA-family schemes are excluded.
+  bool require_hard_window = false;
+
+  /// Packed shadow updating is implementable (it needs control over bucket
+  /// layout; rule it out when running atop a closed index package).
+  bool can_implement_packed_shadow = true;
+
+  /// Incremental deletion is available. "Some information retrieval indexing
+  /// packages such as WAIS and SMART do not implement deletes at all" —
+  /// without it, DEL is off the table (and so is packed shadowing's
+  /// delete-merging smart copy when the package owns the buckets).
+  bool can_implement_delete = true;
+
+  /// Upper bound on one TimedIndexProbe across the whole window (user-facing
+  /// latency). Unlimited by default.
+  double max_probe_seconds = std::numeric_limits<double>::infinity();
+
+  /// Upper bound on average total space (operation + transition).
+  double max_space_bytes = std::numeric_limits<double>::infinity();
+
+  /// Largest n to consider.
+  int max_indexes = 10;
+
+  /// Weight of space (bytes, in units of one packed day S) added to the
+  /// work objective; 0 ranks purely by daily work.
+  double space_weight = 0.0;
+};
+
+/// \brief One evaluated candidate configuration.
+struct Recommendation {
+  SchemeKind scheme = SchemeKind::kDel;
+  int num_indexes = 1;
+  UpdateTechniqueKind technique = UpdateTechniqueKind::kSimpleShadow;
+
+  model::TotalWork work;
+  model::SpaceEstimate space;
+  double probe_seconds = 0;  ///< One whole-window TimedIndexProbe.
+  double objective = 0;      ///< What the ranking minimizes.
+
+  std::string rationale;  ///< One-line human-readable justification.
+};
+
+/// Evaluates and ranks every admissible candidate, best first. Empty only if
+/// the constraints exclude everything.
+Result<std::vector<Recommendation>> RankWaveIndexOptions(
+    const model::CaseParams& params, int window,
+    const AdvisorConstraints& constraints);
+
+/// The top-ranked candidate; InvalidArgument if nothing is admissible.
+Result<Recommendation> AdviseWaveIndex(const model::CaseParams& params,
+                                       int window,
+                                       const AdvisorConstraints& constraints);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_ADVISOR_H_

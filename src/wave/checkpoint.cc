@@ -1,0 +1,198 @@
+#include "wave/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+// Line-oriented text format. Values are written length-prefixed so any byte
+// except '\n' is safe (and wavekit values never contain newlines):
+//
+//   wavekit-checkpoint 1
+//   constituents <n>
+//   constituent <len>:<name> packed <0|1> days <d1,d2,...> buckets <m>
+//   bucket <len>:<value> <offset> <count> <capacity>
+//   ...
+
+void AppendLengthPrefixed(std::string* out, const std::string& s) {
+  *out += std::to_string(s.size());
+  *out += ':';
+  *out += s;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& contents) : in_(contents) {}
+
+  Result<std::string> Token() {
+    std::string token;
+    if (!(in_ >> token)) return Status::InvalidArgument("truncated checkpoint");
+    return token;
+  }
+
+  Result<int64_t> Int() {
+    int64_t value;
+    if (!(in_ >> value)) {
+      return Status::InvalidArgument("expected integer in checkpoint");
+    }
+    return value;
+  }
+
+  Result<std::string> LengthPrefixed() {
+    size_t length;
+    char colon;
+    if (!(in_ >> length >> colon) || colon != ':') {
+      return Status::InvalidArgument("malformed length-prefixed string");
+    }
+    std::string out(length, '\0');
+    if (!in_.read(out.data(), static_cast<std::streamsize>(length))) {
+      return Status::InvalidArgument("truncated length-prefixed string");
+    }
+    return out;
+  }
+
+  Status Expect(const std::string& expected) {
+    WAVEKIT_ASSIGN_OR_RETURN(std::string token, Token());
+    if (token != expected) {
+      return Status::InvalidArgument("expected '" + expected + "', found '" +
+                                     token + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+Result<TimeSet> ParseDays(const std::string& csv) {
+  TimeSet days;
+  std::istringstream in(csv);
+  std::string piece;
+  while (std::getline(in, piece, ',')) {
+    if (piece.empty()) continue;
+    days.insert(static_cast<Day>(std::stol(piece)));
+  }
+  return days;
+}
+
+}  // namespace
+
+Result<std::string> SerializeCheckpoint(const WaveIndex& wave) {
+  std::string out;
+  out += "wavekit-checkpoint " + std::to_string(kCheckpointVersion) + "\n";
+  out += "constituents " + std::to_string(wave.num_constituents()) + "\n";
+  for (const auto& constituent : wave.constituents()) {
+    out += "constituent ";
+    AppendLengthPrefixed(&out, constituent->name());
+    out += std::string(" packed ") + (constituent->packed() ? "1" : "0");
+    out += " days ";
+    bool first = true;
+    for (Day d : constituent->time_set()) {
+      if (!first) out += ",";
+      out += std::to_string(d);
+      first = false;
+    }
+    if (constituent->time_set().empty()) out += "-";
+    out += " buckets " + std::to_string(constituent->distinct_values()) + "\n";
+    Status status = constituent->ForEachBucket(
+        [&out](const Value& value, const BucketInfo& info) {
+          out += "bucket ";
+          AppendLengthPrefixed(&out, value);
+          out += " " + std::to_string(info.extent.offset) + " " +
+                 std::to_string(info.count) + " " +
+                 std::to_string(info.capacity) + "\n";
+        });
+    WAVEKIT_RETURN_NOT_OK(status);
+  }
+  return out;
+}
+
+Status WriteCheckpoint(const WaveIndex& wave, const std::string& path) {
+  WAVEKIT_ASSIGN_OR_RETURN(std::string contents, SerializeCheckpoint(wave));
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + temp_path + "'");
+    out << contents;
+    if (!out.flush()) return Status::IOError("write to '" + temp_path + "'");
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename '" + temp_path + "' -> '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
+                                        Device* device,
+                                        ExtentAllocator* allocator,
+                                        ConstituentIndex::Options options) {
+  Parser parser(contents);
+  WAVEKIT_RETURN_NOT_OK(parser.Expect("wavekit-checkpoint"));
+  WAVEKIT_ASSIGN_OR_RETURN(int64_t version, parser.Int());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  WAVEKIT_RETURN_NOT_OK(parser.Expect("constituents"));
+  WAVEKIT_ASSIGN_OR_RETURN(int64_t num_constituents, parser.Int());
+  if (num_constituents < 0) {
+    return Status::InvalidArgument("negative constituent count");
+  }
+
+  WaveIndex wave;
+  for (int64_t i = 0; i < num_constituents; ++i) {
+    WAVEKIT_RETURN_NOT_OK(parser.Expect("constituent"));
+    WAVEKIT_ASSIGN_OR_RETURN(std::string name, parser.LengthPrefixed());
+    WAVEKIT_RETURN_NOT_OK(parser.Expect("packed"));
+    WAVEKIT_ASSIGN_OR_RETURN(int64_t packed, parser.Int());
+    WAVEKIT_RETURN_NOT_OK(parser.Expect("days"));
+    WAVEKIT_ASSIGN_OR_RETURN(std::string days_csv, parser.Token());
+    WAVEKIT_RETURN_NOT_OK(parser.Expect("buckets"));
+    WAVEKIT_ASSIGN_OR_RETURN(int64_t num_buckets, parser.Int());
+
+    auto index = std::make_shared<ConstituentIndex>(device, allocator, options,
+                                                    name);
+    for (int64_t b = 0; b < num_buckets; ++b) {
+      WAVEKIT_RETURN_NOT_OK(parser.Expect("bucket"));
+      WAVEKIT_ASSIGN_OR_RETURN(std::string value, parser.LengthPrefixed());
+      WAVEKIT_ASSIGN_OR_RETURN(int64_t offset, parser.Int());
+      WAVEKIT_ASSIGN_OR_RETURN(int64_t count, parser.Int());
+      WAVEKIT_ASSIGN_OR_RETURN(int64_t capacity, parser.Int());
+      if (count < 0 || capacity < count) {
+        return Status::InvalidArgument("corrupt bucket bounds for '" + value +
+                                       "'");
+      }
+      const Extent extent{static_cast<uint64_t>(offset),
+                          static_cast<uint64_t>(capacity) * kEntrySize};
+      WAVEKIT_RETURN_NOT_OK(
+          allocator->Reserve(extent).WithContext("reserving bucket of '" +
+                                                 value + "'"));
+      WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
+          value, extent, static_cast<uint32_t>(count),
+          static_cast<uint32_t>(capacity)));
+    }
+    if (days_csv != "-") {
+      WAVEKIT_ASSIGN_OR_RETURN(index->mutable_time_set(), ParseDays(days_csv));
+    }
+    index->set_packed(packed != 0);
+    WAVEKIT_RETURN_NOT_OK(index->CheckConsistency());
+    wave.AddIndex(std::move(index));
+  }
+  return wave;
+}
+
+Result<WaveIndex> LoadCheckpoint(const std::string& path, Device* device,
+                                 ExtentAllocator* allocator,
+                                 ConstituentIndex::Options options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open checkpoint '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeCheckpoint(buffer.str(), device, allocator, options);
+}
+
+}  // namespace wavekit

@@ -1,0 +1,59 @@
+// Checkpointing: persist a wave index's METADATA so that an index whose
+// buckets live on a durable device (storage/file_device.h) can be reopened
+// after a restart without rebuilding anything.
+//
+// A checkpoint records, for every constituent: its name, packed flag,
+// time-set, and each bucket's (value, device extent, count, capacity). The
+// bucket BYTES are not copied — they are already on the device; loading
+// re-reserves their extents with the allocator and re-registers them in
+// fresh directories.
+//
+// Scope: checkpoints capture the queryable wave index, not the maintenance
+// scheme's private state (temporary-index ladders, DaysToAdd). After a
+// restart the index serves queries immediately; to resume maintenance,
+// start a fresh scheme with Start() over retained day batches, or adopt a
+// scheme (like WATA*/DEL) whose state is exactly the constituent set.
+
+#ifndef WAVEKIT_WAVE_CHECKPOINT_H_
+#define WAVEKIT_WAVE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/constituent_index.h"
+#include "util/result.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+
+/// Current checkpoint format version.
+inline constexpr int kCheckpointVersion = 1;
+
+/// \brief Serializes `wave`'s metadata to a string (one checkpoint file's
+/// contents). Deterministic for a given wave index.
+Result<std::string> SerializeCheckpoint(const WaveIndex& wave);
+
+/// \brief Writes SerializeCheckpoint(wave) to `path` atomically (temp file +
+/// rename).
+Status WriteCheckpoint(const WaveIndex& wave, const std::string& path);
+
+/// \brief Reconstructs a wave index from checkpoint `contents`.
+///
+/// `device` must hold the bucket bytes the checkpoint refers to (the same
+/// device the wave index was built on); `allocator` must be freshly
+/// constructed over that device's range — every bucket extent is Reserved
+/// with it so subsequent maintenance cannot clobber live data.
+Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
+                                        Device* device,
+                                        ExtentAllocator* allocator,
+                                        ConstituentIndex::Options options);
+
+/// \brief Reads `path` and deserializes it.
+Result<WaveIndex> LoadCheckpoint(const std::string& path, Device* device,
+                                 ExtentAllocator* allocator,
+                                 ConstituentIndex::Options options);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_CHECKPOINT_H_

@@ -1,0 +1,28 @@
+#include "wave/day_store.h"
+
+namespace wavekit {
+
+Status DayStore::Put(DayBatch batch) {
+  const Day day = batch.day;
+  auto [it, inserted] = days_.emplace(day, std::move(batch));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("day " + std::to_string(day) +
+                                 " already stored");
+  }
+  return Status::OK();
+}
+
+Result<const DayBatch*> DayStore::Get(Day day) const {
+  auto it = days_.find(day);
+  if (it == days_.end()) {
+    return Status::NotFound("no stored batch for day " + std::to_string(day));
+  }
+  return &it->second;
+}
+
+void DayStore::Prune(Day oldest_needed) {
+  days_.erase(days_.begin(), days_.lower_bound(oldest_needed));
+}
+
+}  // namespace wavekit

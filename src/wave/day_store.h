@@ -1,0 +1,40 @@
+// DayStore: retains recent day batches so maintenance schemes can rebuild
+// indexes (BuildIndex needs the source records of the days it re-indexes).
+
+#ifndef WAVEKIT_WAVE_DAY_STORE_H_
+#define WAVEKIT_WAVE_DAY_STORE_H_
+
+#include <map>
+
+#include "index/record.h"
+#include "util/day.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief In-memory archive of the day batches still inside (or near) the
+/// window. The driving application Puts each day's batch; schemes Get the
+/// batches they re-index; Prune discards batches that can no longer be
+/// needed.
+class DayStore {
+ public:
+  /// Stores `batch` under its day. Fails with AlreadyExists on a duplicate.
+  Status Put(DayBatch batch);
+
+  /// The batch for `day`, or NotFound.
+  Result<const DayBatch*> Get(Day day) const;
+
+  bool Has(Day day) const { return days_.contains(day); }
+
+  /// Discards all batches older than `oldest_needed`.
+  void Prune(Day oldest_needed);
+
+  size_t size() const { return days_.size(); }
+
+ private:
+  std::map<Day, DayBatch> days_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_DAY_STORE_H_

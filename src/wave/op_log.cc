@@ -1,0 +1,64 @@
+#include "wave/op_log.h"
+
+namespace wavekit {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBuildIndex:
+      return "BuildIndex";
+    case OpKind::kAddToIndex:
+      return "AddToIndex";
+    case OpKind::kDeleteFromIndex:
+      return "DeleteFromIndex";
+    case OpKind::kCopyIndex:
+      return "CopyIndex";
+    case OpKind::kSmartCopyIndex:
+      return "SmartCopyIndex";
+    case OpKind::kDropIndex:
+      return "DropIndex";
+    case OpKind::kRename:
+      return "Rename";
+  }
+  return "?";
+}
+
+const char* ApplyModeName(ApplyMode mode) {
+  switch (mode) {
+    case ApplyMode::kIncremental:
+      return "incremental";
+    case ApplyMode::kRebuild:
+      return "rebuild";
+    case ApplyMode::kMerged:
+      return "merged";
+  }
+  return "?";
+}
+
+std::vector<OpRecord> OpLog::RecordsAtDay(Day day) const {
+  std::vector<OpRecord> out;
+  for (const OpRecord& r : records_) {
+    if (r.at_day == day) out.push_back(r);
+  }
+  return out;
+}
+
+int OpLog::TotalOpDays(OpKind kind) const {
+  int total = 0;
+  for (const OpRecord& r : records_) {
+    if (r.kind == kind) total += r.op_days;
+  }
+  return total;
+}
+
+std::string OpLog::ToString() const {
+  std::string out;
+  for (const OpRecord& r : records_) {
+    out += "day " + std::to_string(r.at_day) + ": " + OpKindName(r.kind) +
+           " days=" + std::to_string(r.op_days) +
+           " target=" + std::to_string(r.target_days) + " phase=" +
+           PhaseName(r.phase) + "\n";
+  }
+  return out;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,87 @@
+// OpLog: records the sequence of index operations a scheme performs.
+//
+// The analytic comparison of Section 5 prices each scheme by its operation
+// mix (how many days are Built, Added, Deleted, Copied per transition).
+// Schemes log every primitive here; model::OpEvaluator turns the log into
+// modeled seconds using the paper's Table 12 parameters, independently of
+// the device-level simulation.
+
+#ifndef WAVEKIT_WAVE_OP_LOG_H_
+#define WAVEKIT_WAVE_OP_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/metered_device.h"
+#include "util/day.h"
+
+namespace wavekit {
+
+enum class OpKind : int {
+  kBuildIndex,       ///< BuildIndex over a set of days.
+  kAddToIndex,       ///< Incremental add of a set of days to an index.
+  kDeleteFromIndex,  ///< Incremental delete of a set of days from an index.
+  kCopyIndex,        ///< Whole-index copy (CP) — shadow or "I_j <- Temp".
+  kSmartCopyIndex,   ///< Packed smart copy (SMCP): repack, dropping expired.
+  kDropIndex,        ///< Throwing an index away (O(1) in time).
+  kRename,           ///< Renaming a temporary as a constituent (free).
+};
+
+const char* OpKindName(OpKind kind);
+
+/// \brief How an AddToIndex / DeleteFromIndex was physically applied, which
+/// determines its price in the analytic model.
+enum class ApplyMode : int {
+  /// CONTIGUOUS incremental update: priced Add/Del per day.
+  kIncremental,
+  /// Applied by rebuilding packed buckets (packed shadow): the paper notes
+  /// inserts then "take time Build rather than Add".
+  kRebuild,
+  /// Folded into a smart copy logged separately: priced zero here.
+  kMerged,
+};
+
+const char* ApplyModeName(ApplyMode mode);
+
+/// \brief One logged operation.
+struct OpRecord {
+  OpKind kind;
+  /// Which maintenance phase the scheme attributes the op to.
+  Phase phase = Phase::kOther;
+  /// The transition day during which the op ran (0 during Start).
+  Day at_day = 0;
+  /// Days in the operand set: days built / added / deleted, or days covered
+  /// by the copied/dropped index.
+  int op_days = 0;
+  /// Days already in the target index before the op (AddToIndex only).
+  int target_days = 0;
+  /// Entries in the operand set (for non-uniform day-size accounting).
+  uint64_t op_entries = 0;
+  /// Pricing mode for Add/Delete records.
+  ApplyMode mode = ApplyMode::kIncremental;
+};
+
+/// \brief Append-only log of OpRecords with small aggregation helpers.
+class OpLog {
+ public:
+  void Record(OpRecord record) { records_.push_back(record); }
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  /// Records logged at `day`.
+  std::vector<OpRecord> RecordsAtDay(Day day) const;
+
+  /// Sum of op_days over records matching kind (and optionally phase).
+  int TotalOpDays(OpKind kind) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_OP_LOG_H_

@@ -1,0 +1,95 @@
+#include "wave/query_helpers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+// Gathers, per record, how many distinct query values it matched and its
+// newest matching day.
+Result<std::map<uint64_t, MatchResult>> GatherMatches(
+    const WaveIndex& wave, const std::vector<Value>& values,
+    const DayRange& range) {
+  // Deduplicate query values: "war war" matches like "war".
+  std::set<Value> distinct(values.begin(), values.end());
+  std::map<uint64_t, MatchResult> matches;
+  std::vector<Entry> entries;
+  for (const Value& value : distinct) {
+    entries.clear();
+    WAVEKIT_RETURN_NOT_OK(wave.TimedIndexProbe(range, value, &entries));
+    std::set<uint64_t> seen;  // one credit per (record, value) pair
+    for (const Entry& e : entries) {
+      MatchResult& match = matches[e.record_id];
+      match.record_id = e.record_id;
+      match.newest_day = std::max(match.newest_day, e.day);
+      if (seen.insert(e.record_id).second) ++match.matched_values;
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+Result<std::vector<MatchResult>> ConjunctiveProbe(
+    const WaveIndex& wave, const std::vector<Value>& values,
+    const DayRange& range) {
+  if (values.empty()) return std::vector<MatchResult>{};
+  const size_t need =
+      std::set<Value>(values.begin(), values.end()).size();
+  WAVEKIT_ASSIGN_OR_RETURN(auto matches, GatherMatches(wave, values, range));
+  std::vector<MatchResult> out;
+  for (const auto& [record_id, match] : matches) {
+    if (match.matched_values == need) out.push_back(match);
+  }
+  std::sort(out.begin(), out.end(), [](const MatchResult& a,
+                                       const MatchResult& b) {
+    return std::tie(b.newest_day, b.record_id) < std::tie(a.newest_day, a.record_id);
+  });
+  return out;
+}
+
+Result<std::vector<MatchResult>> OverlapProbe(const WaveIndex& wave,
+                                              const std::vector<Value>& values,
+                                              const DayRange& range,
+                                              size_t top_k) {
+  WAVEKIT_ASSIGN_OR_RETURN(auto matches, GatherMatches(wave, values, range));
+  std::vector<MatchResult> out;
+  out.reserve(matches.size());
+  for (const auto& [record_id, match] : matches) out.push_back(match);
+  std::sort(out.begin(), out.end(),
+            [](const MatchResult& a, const MatchResult& b) {
+              return std::tie(b.matched_values, b.newest_day, b.record_id) <
+                     std::tie(a.matched_values, a.newest_day, a.record_id);
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+Result<ScanAggregate> AggregateScan(const WaveIndex& wave,
+                                    const DayRange& range) {
+  ScanAggregate aggregate;
+  WAVEKIT_RETURN_NOT_OK(wave.TimedSegmentScan(
+      range, [&aggregate](const Value&, const Entry& e) {
+        ++aggregate.count;
+        aggregate.aux_sum += e.aux;
+      }));
+  return aggregate;
+}
+
+Result<ScanAggregate> AggregateProbe(const WaveIndex& wave, const Value& value,
+                                     const DayRange& range) {
+  std::vector<Entry> entries;
+  WAVEKIT_RETURN_NOT_OK(wave.TimedIndexProbe(range, value, &entries));
+  ScanAggregate aggregate;
+  for (const Entry& e : entries) {
+    ++aggregate.count;
+    aggregate.aux_sum += e.aux;
+  }
+  return aggregate;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,64 @@
+// Higher-level query helpers over a WaveIndex: conjunctive multi-value
+// probes (search-engine style), aggregates (warehouse style), and match
+// counting (copy-detection style). These capture the access patterns of the
+// paper's three case studies as reusable library calls.
+
+#ifndef WAVEKIT_WAVE_QUERY_HELPERS_H_
+#define WAVEKIT_WAVE_QUERY_HELPERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+
+/// \brief One record matched by a multi-value query.
+struct MatchResult {
+  uint64_t record_id = 0;
+  /// How many DISTINCT query values this record matched.
+  uint32_t matched_values = 0;
+  /// The newest day any of its matches was inserted.
+  Day newest_day = 0;
+
+  bool operator==(const MatchResult& other) const = default;
+};
+
+/// \brief Records within `range` containing EVERY value of `values`
+/// (conjunctive keyword search), newest first. The WSE case study's query.
+Result<std::vector<MatchResult>> ConjunctiveProbe(
+    const WaveIndex& wave, const std::vector<Value>& values,
+    const DayRange& range);
+
+/// \brief Records within `range` ranked by how many distinct `values` they
+/// contain (best-overlap first), truncated to `top_k`. The SCAM case study's
+/// copy-detection query: `values` is a document fingerprint.
+Result<std::vector<MatchResult>> OverlapProbe(const WaveIndex& wave,
+                                              const std::vector<Value>& values,
+                                              const DayRange& range,
+                                              size_t top_k);
+
+/// \brief Aggregate of one TimedSegmentScan: count and sum of the entries'
+/// aux payloads. The TPC-D case study's Q1-style scan.
+struct ScanAggregate {
+  uint64_t count = 0;
+  uint64_t aux_sum = 0;
+
+  double aux_mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(aux_sum) / count;
+  }
+};
+
+/// Aggregates every entry in `range` across the wave index.
+Result<ScanAggregate> AggregateScan(const WaveIndex& wave,
+                                    const DayRange& range);
+
+/// Aggregates the entries of a single value in `range` (a grouped drill-down
+/// without scanning: one probe per constituent).
+Result<ScanAggregate> AggregateProbe(const WaveIndex& wave, const Value& value,
+                                     const DayRange& range);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_QUERY_HELPERS_H_

@@ -1,0 +1,168 @@
+#include "wave/reindex_plus_plus_scheme.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+Status ReindexPlusPlusScheme::InitializeLadder(const TimeSet& days,
+                                               Phase phase) {
+  // Discard any leftover temporaries from the previous cycle.
+  for (auto& temp : temps_) {
+    if (temp != nullptr) WAVEKIT_RETURN_NOT_OK(DropIndex(temp));
+  }
+  temps_.clear();
+  days_to_add_.clear();
+
+  // T_0 <- phi (created empty; never built, so no logged cost).
+  temps_.push_back(NewEmptyIndex("T0"));
+  temp_used_ = 0;
+  if (days.empty()) return Status::OK();
+
+  // T_1 = BuildIndex({d_k}); T_i = copy(T_{i-1}) + d_{k-i+1}: T_i holds the
+  // i most recent days of `days`.
+  std::vector<Day> descending(days.rbegin(), days.rend());
+  WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> rung,
+                           BuildIndex({descending[0]}, "T1", phase));
+  temps_.push_back(rung);
+  for (size_t i = 1; i < descending.size(); ++i) {
+    WAVEKIT_ASSIGN_OR_RETURN(
+        std::shared_ptr<ConstituentIndex> next,
+        CopyIndex(*temps_.back(), "T" + std::to_string(i + 1), phase));
+    WAVEKIT_RETURN_NOT_OK(AddToIndex({descending[i]}, &next, phase));
+    temps_.push_back(std::move(next));
+  }
+  temp_used_ = static_cast<int>(descending.size());
+  return Status::OK();
+}
+
+Status ReindexPlusPlusScheme::PromoteTemp(
+    size_t j, std::shared_ptr<ConstituentIndex> temp) {
+  temp->set_name(slots_[j]->name());
+  LogRename(*temp);
+  if (config_.technique == UpdateTechniqueKind::kPackedShadow) {
+    WAVEKIT_RETURN_NOT_OK(PackIndex(&temp, Phase::kTransition));
+  }
+  return ReplaceSlot(j, std::move(temp));
+}
+
+Status ReindexPlusPlusScheme::DoStart() {
+  const std::vector<TimeSet> clusters =
+      SplitWindow(config_.window, config_.num_indexes);
+  for (size_t j = 0; j < clusters.size(); ++j) {
+    WAVEKIT_ASSIGN_OR_RETURN(
+        std::shared_ptr<ConstituentIndex> index,
+        BuildIndex(clusters[j], "I" + std::to_string(j + 1), Phase::kStart,
+                   static_cast<int>(j)));
+    slots_.push_back(std::move(index));
+  }
+  RegisterSlots();
+  // Prepare the ladder for the first cluster (its first day, day 1, expires
+  // first and is never re-added).
+  TimeSet init_days = slots_[0]->time_set();
+  init_days.erase(init_days.begin());
+  return InitializeLadder(init_days, Phase::kStart);
+}
+
+Status ReindexPlusPlusScheme::DoTransition(const DayBatch& new_day) {
+  const Day expired = new_day.day - config_.window;
+  WAVEKIT_ASSIGN_OR_RETURN(size_t j, FindSlotContaining(expired));
+
+  if (temp_used_ == 0) {
+    // Cluster rotation completes: T_0 (which accumulated DaysToAdd) gets the
+    // new day and becomes I_j; then precompute the next cluster's ladder.
+    WAVEKIT_RETURN_NOT_OK(
+        AddToIndex({new_day.day}, &temps_[0], Phase::kTransition));
+    std::shared_ptr<ConstituentIndex> promoted = std::move(temps_[0]);
+    temps_[0] = nullptr;
+    WAVEKIT_RETURN_NOT_OK(PromoteTemp(j, std::move(promoted)));
+    // The next cluster to rotate is the one holding tomorrow's expiring day.
+    WAVEKIT_ASSIGN_OR_RETURN(size_t j_next, FindSlotContaining(expired + 1));
+    TimeSet init_days = slots_[j_next]->time_set();
+    init_days.erase(expired + 1);
+    WAVEKIT_RETURN_NOT_OK(InitializeLadder(init_days, Phase::kPrecompute));
+  } else {
+    // Mid-rotation: the highest unused rung + the new day becomes I_j; the
+    // next rung is topped up with all accumulated new days for later.
+    days_to_add_.insert(new_day.day);
+    WAVEKIT_RETURN_NOT_OK(AddToIndex(
+        {new_day.day}, &temps_[static_cast<size_t>(temp_used_)],
+        Phase::kTransition));
+    std::shared_ptr<ConstituentIndex> promoted =
+        std::move(temps_[static_cast<size_t>(temp_used_)]);
+    temps_[static_cast<size_t>(temp_used_)] = nullptr;
+    WAVEKIT_RETURN_NOT_OK(PromoteTemp(j, std::move(promoted)));
+    --temp_used_;
+    WAVEKIT_RETURN_NOT_OK(AddToIndex(days_to_add_,
+                                     &temps_[static_cast<size_t>(temp_used_)],
+                                     Phase::kPrecompute));
+  }
+  return Status::OK();
+}
+
+Status ReindexPlusPlusScheme::DoAdopt() {
+  WAVEKIT_RETURN_NOT_OK(Scheme::DoAdopt());
+  // Reconstruct the mid-rotation ladder. Split the expiring cluster into OLD
+  // days (d < min + |cluster|, expiring during this rotation) and RECENT
+  // days (accumulated since the rotation began). The uninterrupted ladder at
+  // this point holds: T_i = the i most recent remaining old days for
+  // i < TempUsed; the top rung additionally carries every recent day; and
+  // once TempUsed reaches 0, T_0 carries exactly the recent days.
+  const Day oldest = current_day_ - config_.window + 1;
+  WAVEKIT_ASSIGN_OR_RETURN(size_t j, FindSlotContaining(oldest));
+  const TimeSet& cluster = slots_[j]->time_set();
+  const Day old_limit = *cluster.begin() + static_cast<Day>(cluster.size());
+  TimeSet recent;
+  std::vector<Day> old_rest_descending;
+  for (auto it = cluster.rbegin(); it != cluster.rend(); ++it) {
+    if (*it >= old_limit) {
+      recent.insert(*it);
+    } else if (*it != oldest) {
+      old_rest_descending.push_back(*it);
+    }
+  }
+
+  for (auto& temp : temps_) {
+    if (temp != nullptr) WAVEKIT_RETURN_NOT_OK(DropIndex(temp));
+  }
+  temps_.clear();
+  days_to_add_ = recent;
+  temp_used_ = static_cast<int>(old_rest_descending.size());
+
+  // T_0: empty mid-rotation; the accumulated recent days once the ladder is
+  // spent.
+  if (temp_used_ == 0) {
+    if (recent.empty()) {
+      temps_.push_back(NewEmptyIndex("T0"));
+    } else {
+      WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> t0,
+                               BuildIndex(recent, "T0", Phase::kPrecompute));
+      temps_.push_back(std::move(t0));
+    }
+    return Status::OK();
+  }
+  temps_.push_back(NewEmptyIndex("T0"));
+  TimeSet rung_days;
+  for (int i = 1; i <= temp_used_; ++i) {
+    rung_days.insert(old_rest_descending[static_cast<size_t>(i - 1)]);
+    TimeSet contents = rung_days;
+    if (i == temp_used_) {
+      contents.insert(recent.begin(), recent.end());  // the topped-up rung
+    }
+    WAVEKIT_ASSIGN_OR_RETURN(
+        std::shared_ptr<ConstituentIndex> rung,
+        BuildIndex(contents, "T" + std::to_string(i), Phase::kPrecompute));
+    temps_.push_back(std::move(rung));
+  }
+  return Status::OK();
+}
+
+std::vector<const ConstituentIndex*> ReindexPlusPlusScheme::TemporaryIndexes()
+    const {
+  std::vector<const ConstituentIndex*> out;
+  for (const auto& temp : temps_) {
+    if (temp != nullptr) out.push_back(temp.get());
+  }
+  return out;
+}
+
+}  // namespace wavekit

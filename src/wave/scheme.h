@@ -1,0 +1,258 @@
+// Scheme: the wave-index maintenance algorithm interface.
+//
+// A scheme is driven with one Start call (data of the first W days) followed
+// by one Transition call per subsequent day, exactly like the Start /
+// Transition states of the paper's Appendix A pseudocode. Concrete schemes
+// (DEL, REINDEX, REINDEX+, REINDEX++, WATA*, RATA*) express their logic in
+// terms of the Section 2.2 primitives exposed by this base class, which are
+// metered (device phase attribution) and logged (OpLog) so the benches can
+// price each scheme both by simulation and by the paper's analytic model.
+
+#ifndef WAVEKIT_WAVE_SCHEME_H_
+#define WAVEKIT_WAVE_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/constituent_index.h"
+#include "storage/metered_device.h"
+#include "update/update_technique.h"
+#include "wave/day_store.h"
+#include "wave/op_log.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+
+/// \brief Which maintenance algorithm to use.
+enum class SchemeKind {
+  kDel,
+  kReindex,
+  kReindexPlus,
+  kReindexPlusPlus,
+  kWata,
+  kRata,
+  kKnownBoundWata,
+};
+
+inline constexpr SchemeKind kAllSchemeKinds[] = {
+    SchemeKind::kDel,          SchemeKind::kReindex,
+    SchemeKind::kReindexPlus,  SchemeKind::kReindexPlusPlus,
+    SchemeKind::kWata,         SchemeKind::kRata,
+};
+
+const char* SchemeKindName(SchemeKind kind);
+
+/// \brief Static configuration of a wave index.
+struct SchemeConfig {
+  /// Window size in days (W >= 1).
+  int window = 7;
+  /// Number of constituent indexes (1 <= n <= W; WATA-family needs n >= 2).
+  int num_indexes = 1;
+  /// How constituent indexes are updated incrementally (Section 2.1).
+  UpdateTechniqueKind technique = UpdateTechniqueKind::kSimpleShadow;
+  /// Directory implementation for every index.
+  DirectoryKind directory = DirectoryKind::kHash;
+  /// CONTIGUOUS growth parameters [FJ92].
+  GrowthPolicy growth;
+  /// KB-WATA only: known upper bound on the total entries of any W-day
+  /// window (the future knowledge Kleinberg et al. [KMRV97] assume). Must be
+  /// > 0 for SchemeKind::kKnownBoundWata; ignored by every other scheme.
+  uint64_t size_bound_entries = 0;
+};
+
+/// \brief Everything a scheme operates on. All pointers must outlive the
+/// scheme.
+struct SchemeEnv {
+  SchemeEnv() = default;
+  SchemeEnv(MeteredDevice* device_in, ExtentAllocator* allocator_in,
+            DayStore* day_store_in)
+      : device(device_in), allocator(allocator_in), day_store(day_store_in) {}
+
+  MeteredDevice* device = nullptr;
+  ExtentAllocator* allocator = nullptr;
+  DayStore* day_store = nullptr;
+
+  /// \brief One disk of a multi-disk deployment.
+  struct Disk {
+    MeteredDevice* device = nullptr;
+    ExtentAllocator* allocator = nullptr;
+  };
+  /// When non-empty, newly built indexes are placed round-robin across these
+  /// disks (paper Section 8: parallel indexing and querying, no contention
+  /// between building and serving). When empty, everything lives on
+  /// `device`/`allocator`.
+  std::vector<Disk> disks;
+};
+
+/// \brief Base class of all wave-index maintenance schemes.
+class Scheme {
+ public:
+  Scheme(SchemeEnv env, SchemeConfig config);
+  virtual ~Scheme() = default;
+
+  Scheme(const Scheme&) = delete;
+  Scheme& operator=(const Scheme&) = delete;
+
+  virtual SchemeKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  /// True for schemes that index exactly the last W days after every
+  /// transition; false for soft-window (WATA-family) schemes.
+  virtual bool hard_window() const = 0;
+
+  /// Scheme-specific configuration validation (e.g. WATA needs n >= 2).
+  virtual Status ValidateConfig() const;
+
+  /// Builds the initial wave index from the batches of days 1..W (must be
+  /// exactly W batches with days 1..W in order). Call once.
+  Status Start(std::vector<DayBatch> first_window);
+
+  /// Incorporates a new day (must be current_day() + 1) and expires data per
+  /// the scheme's policy.
+  Status Transition(DayBatch new_day);
+
+  /// Resumes maintenance over an EXISTING wave index (e.g. one reloaded via
+  /// wave/checkpoint.h) instead of building from scratch. `wave` must cover
+  /// the window ending at `current_day` (exactly, for hard-window schemes;
+  /// at least, for the WATA family). Call instead of Start.
+  ///
+  /// Schemes that re-index (REINDEX family, RATA) additionally need the day
+  /// batches of the current window Put into the DayStore beforehand; they
+  /// rebuild their temporary-index state from them. Mid-rotation adoption is
+  /// supported: auxiliary state is reconstructed conservatively, so the few
+  /// transitions after adoption may do slightly more work than an
+  /// uninterrupted run, but serve exactly the same window.
+  Status Adopt(WaveIndex wave, Day current_day);
+
+  /// The queryable wave index.
+  const WaveIndex& wave() const { return wave_; }
+  WaveIndex& wave() { return wave_; }
+
+  /// Most recent day incorporated (W after Start).
+  Day current_day() const { return current_day_; }
+
+  const SchemeConfig& config() const { return config_; }
+  const OpLog& op_log() const { return op_log_; }
+  OpLog& op_log() { return op_log_; }
+
+  /// Temporary indexes currently held (for space accounting); not queryable.
+  virtual std::vector<const ConstituentIndex*> TemporaryIndexes() const {
+    return {};
+  }
+
+  /// Total days across constituents: the wave-index "length" of Appendix B.
+  int WaveLength() const { return wave_.TotalDays(); }
+
+  /// Device bytes used by constituents / temporaries right now.
+  uint64_t ConstituentBytes() const { return wave_.AllocatedBytes(); }
+  uint64_t TemporaryBytes() const;
+
+  /// Oldest day any future operation of this scheme may need from the
+  /// DayStore (the driver may Prune everything older).
+  virtual Day OldestDayNeeded() const;
+
+ protected:
+  virtual Status DoStart() = 0;
+  virtual Status DoTransition(const DayBatch& new_day) = 0;
+
+  /// Rebuilds scheme-specific auxiliary state after Adopt populated slots_
+  /// and wave_. The default accepts any adopted wave whose slot count equals
+  /// config_.num_indexes; schemes with temporaries or cursors override.
+  virtual Status DoAdopt();
+
+  // --- Logged & metered Section 2.2 primitives -------------------------------
+
+  /// BuildIndex(Days): packed build over the stored batches of `days`.
+  /// `placement_hint` >= 0 pins the index to disk (hint % #disks) in
+  /// multi-disk deployments (slot-stable placement keeps constituent j on
+  /// disk j across rebuilds); -1 places round-robin.
+  Result<std::shared_ptr<ConstituentIndex>> BuildIndex(const TimeSet& days,
+                                                       std::string name,
+                                                       Phase phase,
+                                                       int placement_hint = -1);
+
+  /// AddToIndex(Days, I): incremental add via the configured technique.
+  /// `*index` may be replaced (shadow techniques).
+  Status AddToIndex(const TimeSet& days,
+                    std::shared_ptr<ConstituentIndex>* index, Phase phase);
+
+  /// DeleteFromIndex(Days, I): incremental delete via the configured
+  /// technique. `*index` may be replaced.
+  Status DeleteFromIndex(const TimeSet& days,
+                         std::shared_ptr<ConstituentIndex>* index, Phase phase);
+
+  /// Combined add + delete in one pass of the configured technique (one
+  /// shadow copy / one smart copy instead of two).
+  Status UpdateIndex(const TimeSet& add_days, const TimeSet& delete_days,
+                     std::shared_ptr<ConstituentIndex>* index, Phase phase);
+
+  /// Repacks `*index` via a smart copy (packed shadow with no adds or
+  /// deletes). Schemes call this before promoting an incrementally built
+  /// index when the configured technique is packed shadow.
+  Status PackIndex(std::shared_ptr<ConstituentIndex>* index, Phase phase);
+
+  /// Whole-index copy (the "I_j <- Temp" of REINDEX+/REINDEX++): clones
+  /// `source` under `name`.
+  Result<std::shared_ptr<ConstituentIndex>> CopyIndex(
+      const ConstituentIndex& source, std::string name, Phase phase);
+
+  /// Destroys `index`, reclaiming its space; removes it from the wave index
+  /// first if it is a constituent. Logged as a (cheap) DropIndex.
+  Status DropIndex(const std::shared_ptr<ConstituentIndex>& index);
+
+  /// Logs a free rename (temporary promoted to constituent).
+  void LogRename(const ConstituentIndex& index);
+
+  /// Collects the DayBatch pointers for `days` from the day store.
+  Result<std::vector<const DayBatch*>> GetBatches(const TimeSet& days) const;
+
+  /// Splits days 1..W into n clusters; the first W mod n clusters get
+  /// ceil(W/n) days, the rest floor(W/n) (DEL/REINDEX Start, Appendix A).
+  static std::vector<TimeSet> SplitWindow(int window, int num_indexes);
+
+  /// WATA* Start split: days 1..W-1 over the first n-1 clusters (ceil/floor
+  /// as above), day W alone in the last cluster (Appendix A, Figure 16).
+  static std::vector<TimeSet> SplitWataWindow(int window, int num_indexes);
+
+  ConstituentIndex::Options IndexOptions() const;
+
+  /// The disk the next new index goes to (round-robin over env_.disks, or
+  /// the primary device when no disk array is configured). A non-negative
+  /// `placement_hint` selects disk (hint % #disks) deterministically.
+  SchemeEnv::Disk NextDisk(int placement_hint = -1);
+
+  /// A fresh, empty index on the next disk.
+  std::shared_ptr<ConstituentIndex> NewEmptyIndex(std::string name);
+
+  /// Every metered device the scheme touches (primary + disk array), for
+  /// phase attribution.
+  std::vector<MeteredDevice*> AllDevices() const;
+
+  /// Index of the slot whose time-set contains `day`.
+  Result<size_t> FindSlotContaining(Day day) const;
+
+  /// Replaces slot `j` (and its wave-index registration) with `with`. The
+  /// previous index is destroyed when its last reference drops.
+  Status ReplaceSlot(size_t j, std::shared_ptr<ConstituentIndex> with);
+
+  /// Registers every current slot as a wave-index constituent (end of Start).
+  void RegisterSlots();
+
+  /// The constituent slots I_1..I_n (index 0-based).
+  std::vector<std::shared_ptr<ConstituentIndex>> slots_;
+
+  SchemeEnv env_;
+  SchemeConfig config_;
+  WaveIndex wave_;
+  OpLog op_log_;
+  Day current_day_ = 0;
+  size_t next_disk_ = 0;
+  std::unique_ptr<Updater> updater_;
+  bool started_ = false;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_SCHEME_H_

@@ -1,0 +1,100 @@
+#include "wave/scheme_factory.h"
+
+#include <cctype>
+#include <string>
+#include "util/macros.h"
+#include "wave/del_scheme.h"
+#include "wave/known_bound_wata_scheme.h"
+#include "wave/rata_scheme.h"
+#include "wave/reindex_plus_plus_scheme.h"
+#include "wave/reindex_plus_scheme.h"
+#include "wave/reindex_scheme.h"
+#include "wave/wata_scheme.h"
+
+namespace wavekit {
+
+Result<std::unique_ptr<Scheme>> MakeScheme(SchemeKind kind, SchemeEnv env,
+                                           SchemeConfig config) {
+  std::unique_ptr<Scheme> scheme;
+  switch (kind) {
+    case SchemeKind::kDel:
+      scheme = std::make_unique<DelScheme>(env, config);
+      break;
+    case SchemeKind::kReindex:
+      scheme = std::make_unique<ReindexScheme>(env, config);
+      break;
+    case SchemeKind::kReindexPlus:
+      scheme = std::make_unique<ReindexPlusScheme>(env, config);
+      break;
+    case SchemeKind::kReindexPlusPlus:
+      scheme = std::make_unique<ReindexPlusPlusScheme>(env, config);
+      break;
+    case SchemeKind::kWata:
+      scheme = std::make_unique<WataScheme>(env, config);
+      break;
+    case SchemeKind::kRata:
+      scheme = std::make_unique<RataScheme>(env, config);
+      break;
+    case SchemeKind::kKnownBoundWata:
+      scheme = std::make_unique<KnownBoundWataScheme>(env, config);
+      break;
+  }
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("unknown scheme kind");
+  }
+  WAVEKIT_RETURN_NOT_OK(scheme->ValidateConfig());
+  return scheme;
+}
+
+namespace {
+
+std::string Canonicalize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == '*' || c == ' ') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemeKind> SchemeKindFromName(const std::string& name) {
+  const std::string canonical = Canonicalize(name);
+  if (canonical == "del") return SchemeKind::kDel;
+  if (canonical == "reindex") return SchemeKind::kReindex;
+  if (canonical == "reindex+" || canonical == "reindexplus") {
+    return SchemeKind::kReindexPlus;
+  }
+  if (canonical == "reindex++" || canonical == "reindexplusplus") {
+    return SchemeKind::kReindexPlusPlus;
+  }
+  if (canonical == "wata") return SchemeKind::kWata;
+  if (canonical == "rata") return SchemeKind::kRata;
+  if (canonical == "kb-wata" || canonical == "kbwata") {
+    return SchemeKind::kKnownBoundWata;
+  }
+  return Status::InvalidArgument(
+      "unknown scheme '" + name +
+      "' (expected DEL, REINDEX, REINDEX+, REINDEX++, WATA, RATA, KB-WATA)");
+}
+
+Result<UpdateTechniqueKind> UpdateTechniqueFromName(const std::string& name) {
+  const std::string canonical = Canonicalize(name);
+  if (canonical == "in-place" || canonical == "inplace") {
+    return UpdateTechniqueKind::kInPlace;
+  }
+  if (canonical == "simple-shadow" || canonical == "simpleshadow" ||
+      canonical == "shadow") {
+    return UpdateTechniqueKind::kSimpleShadow;
+  }
+  if (canonical == "packed-shadow" || canonical == "packedshadow" ||
+      canonical == "packed") {
+    return UpdateTechniqueKind::kPackedShadow;
+  }
+  return Status::InvalidArgument(
+      "unknown update technique '" + name +
+      "' (expected in-place, simple-shadow, packed-shadow)");
+}
+
+}  // namespace wavekit

@@ -1,0 +1,28 @@
+// Factory for wave-index maintenance schemes.
+
+#ifndef WAVEKIT_WAVE_SCHEME_FACTORY_H_
+#define WAVEKIT_WAVE_SCHEME_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+
+/// \brief Creates (and config-validates) a scheme of the given kind.
+Result<std::unique_ptr<Scheme>> MakeScheme(SchemeKind kind, SchemeEnv env,
+                                           SchemeConfig config);
+
+/// Parses a scheme name ("DEL", "reindex++", "wata*", "kb-wata", ...);
+/// case-insensitive, '*' optional.
+Result<SchemeKind> SchemeKindFromName(const std::string& name);
+
+/// Parses an update-technique name ("in-place", "simple-shadow",
+/// "packed-shadow"); case-insensitive.
+Result<UpdateTechniqueKind> UpdateTechniqueFromName(const std::string& name);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_SCHEME_FACTORY_H_

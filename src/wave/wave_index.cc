@@ -1,0 +1,224 @@
+#include "wave/wave_index.h"
+
+#include <algorithm>
+#include <latch>
+
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+template <typename Vector>
+auto FindConstituent(Vector& constituents, const ConstituentIndex* index) {
+  return std::find_if(
+      constituents.begin(), constituents.end(),
+      [index](const std::shared_ptr<ConstituentIndex>& c) {
+        return c.get() == index;
+      });
+}
+
+}  // namespace
+
+void WaveIndex::AddIndex(std::shared_ptr<ConstituentIndex> index) {
+  constituents_.push_back(std::move(index));
+}
+
+Status WaveIndex::RemoveIndex(const ConstituentIndex* index) {
+  auto it = FindConstituent(constituents_, index);
+  if (it == constituents_.end()) {
+    return Status::NotFound("index is not a constituent of this wave index");
+  }
+  constituents_.erase(it);
+  return Status::OK();
+}
+
+Status WaveIndex::DropIndex(const ConstituentIndex* index) {
+  auto it = FindConstituent(constituents_, index);
+  if (it == constituents_.end()) {
+    return Status::NotFound("index is not a constituent of this wave index");
+  }
+  std::shared_ptr<ConstituentIndex> held = *it;
+  constituents_.erase(it);
+  return held->Destroy();
+}
+
+Status WaveIndex::ReplaceIndex(const ConstituentIndex* old_index,
+                               std::shared_ptr<ConstituentIndex> with) {
+  auto it = FindConstituent(constituents_, old_index);
+  if (it == constituents_.end()) {
+    return Status::NotFound("index is not a constituent of this wave index");
+  }
+  *it = std::move(with);
+  return Status::OK();
+}
+
+bool WaveIndex::Contains(const ConstituentIndex* index) const {
+  return FindConstituent(constituents_, index) != constituents_.end();
+}
+
+Status WaveIndex::TimedIndexProbe(const DayRange& range, const Value& value,
+                                  std::vector<Entry>* out,
+                                  QueryStats* stats) const {
+  QueryStats local;
+  const size_t before = out->size();
+  for (const auto& constituent : constituents_) {
+    if (!range.Intersects(constituent->time_set())) {
+      ++local.indexes_skipped;
+      continue;
+    }
+    ++local.indexes_accessed;
+    WAVEKIT_RETURN_NOT_OK(constituent->TimedProbe(value, range, out));
+  }
+  local.entries_returned = out->size() - before;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WaveIndex::IndexProbe(const Value& value, std::vector<Entry>* out,
+                             QueryStats* stats) const {
+  return TimedIndexProbe(DayRange::All(), value, out, stats);
+}
+
+Status WaveIndex::TimedSegmentScan(const DayRange& range,
+                                   const EntryCallback& callback,
+                                   QueryStats* stats) const {
+  QueryStats local;
+  for (const auto& constituent : constituents_) {
+    if (!range.Intersects(constituent->time_set())) {
+      ++local.indexes_skipped;
+      continue;
+    }
+    ++local.indexes_accessed;
+    WAVEKIT_RETURN_NOT_OK(constituent->TimedScan(
+        range, [&](const Value& v, const Entry& e) {
+          ++local.entries_returned;
+          callback(v, e);
+        }));
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WaveIndex::SegmentScan(const EntryCallback& callback,
+                              QueryStats* stats) const {
+  return TimedSegmentScan(DayRange::All(), callback, stats);
+}
+
+namespace {
+
+struct ParallelSlot {
+  bool accessed = false;
+  Status status;
+  std::vector<std::pair<Value, Entry>> results;
+};
+
+}  // namespace
+
+Status WaveIndex::ParallelTimedIndexProbe(ThreadPool* pool,
+                                          const DayRange& range,
+                                          const Value& value,
+                                          std::vector<Entry>* out,
+                                          QueryStats* stats) const {
+  QueryStats local;
+  std::vector<ParallelSlot> slots(constituents_.size());
+  std::latch remaining(static_cast<ptrdiff_t>(constituents_.size()));
+  for (size_t i = 0; i < constituents_.size(); ++i) {
+    const ConstituentIndex* constituent = constituents_[i].get();
+    ParallelSlot* slot = &slots[i];
+    if (!range.Intersects(constituent->time_set())) {
+      ++local.indexes_skipped;
+      remaining.count_down();
+      continue;
+    }
+    slot->accessed = true;
+    ++local.indexes_accessed;
+    pool->Submit([constituent, slot, &range, &value, &remaining]() {
+      std::vector<Entry> entries;
+      slot->status = constituent->TimedProbe(value, range, &entries);
+      slot->results.reserve(entries.size());
+      for (const Entry& e : entries) slot->results.emplace_back(Value{}, e);
+      remaining.count_down();
+    });
+  }
+  remaining.wait();
+  for (const ParallelSlot& slot : slots) {
+    WAVEKIT_RETURN_NOT_OK(slot.status);
+    for (const auto& [v, e] : slot.results) {
+      out->push_back(e);
+      ++local.entries_returned;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
+                                           const DayRange& range,
+                                           const EntryCallback& callback,
+                                           QueryStats* stats) const {
+  QueryStats local;
+  std::vector<ParallelSlot> slots(constituents_.size());
+  std::latch remaining(static_cast<ptrdiff_t>(constituents_.size()));
+  for (size_t i = 0; i < constituents_.size(); ++i) {
+    const ConstituentIndex* constituent = constituents_[i].get();
+    ParallelSlot* slot = &slots[i];
+    if (!range.Intersects(constituent->time_set())) {
+      ++local.indexes_skipped;
+      remaining.count_down();
+      continue;
+    }
+    slot->accessed = true;
+    ++local.indexes_accessed;
+    pool->Submit([constituent, slot, &range, &remaining]() {
+      slot->status = constituent->TimedScan(
+          range, [slot](const Value& v, const Entry& e) {
+            slot->results.emplace_back(v, e);
+          });
+      remaining.count_down();
+    });
+  }
+  remaining.wait();
+  for (const ParallelSlot& slot : slots) {
+    WAVEKIT_RETURN_NOT_OK(slot.status);
+    for (const auto& [v, e] : slot.results) {
+      callback(v, e);
+      ++local.entries_returned;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+int WaveIndex::TotalDays() const {
+  int days = 0;
+  for (const auto& constituent : constituents_) {
+    days += static_cast<int>(constituent->time_set().size());
+  }
+  return days;
+}
+
+TimeSet WaveIndex::CoveredDays() const {
+  TimeSet all;
+  for (const auto& constituent : constituents_) {
+    all.insert(constituent->time_set().begin(), constituent->time_set().end());
+  }
+  return all;
+}
+
+uint64_t WaveIndex::AllocatedBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& constituent : constituents_) {
+    bytes += constituent->allocated_bytes();
+  }
+  return bytes;
+}
+
+uint64_t WaveIndex::EntryCount() const {
+  uint64_t entries = 0;
+  for (const auto& constituent : constituents_) {
+    entries += constituent->entry_count();
+  }
+  return entries;
+}
+
+}  // namespace wavekit

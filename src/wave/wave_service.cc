@@ -1,0 +1,127 @@
+#include "wave/wave_service.h"
+
+#include <chrono>
+
+#include "util/macros.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+/// Elapsed microseconds since `start` (clamped to >= 1 so histograms retain
+/// sub-microsecond events).
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return us <= 0 ? 1 : static_cast<uint64_t>(us);
+}
+
+}  // namespace
+
+WaveService::WaveService(Options options)
+    : options_(options),
+      memory_(options.device_capacity),
+      device_(&memory_),
+      allocator_(options.device_capacity) {}
+
+Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
+  if (options.config.technique == UpdateTechniqueKind::kInPlace) {
+    return Status::InvalidArgument(
+        "WaveService requires a shadow update technique: in-place updating "
+        "mutates buckets concurrent readers may be scanning");
+  }
+  std::unique_ptr<WaveService> service(new WaveService(options));
+  WAVEKIT_ASSIGN_OR_RETURN(
+      service->scheme_,
+      MakeScheme(options.scheme,
+                 SchemeEnv{&service->device_, &service->allocator_,
+                           &service->day_store_},
+                 options.config));
+  return service;
+}
+
+Status WaveService::Start(std::vector<DayBatch> first_window) {
+  WAVEKIT_RETURN_NOT_OK(scheme_->Start(std::move(first_window)));
+  Publish();
+  return Status::OK();
+}
+
+Status WaveService::AdvanceDay(DayBatch new_day) {
+  // The scheme's wave index is only touched by this (writer) thread; queries
+  // never see it directly — they use the published snapshot, whose
+  // constituents shadow updates never mutate in place.
+  WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
+  Publish();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.days_advanced;
+  }
+  return Status::OK();
+}
+
+void WaveService::Publish() {
+  // Snapshot = a WaveIndex holding shared_ptr copies of the current
+  // constituents. Retired constituents stay alive until the last in-flight
+  // query (or older snapshot) releases them.
+  auto snapshot = std::make_shared<WaveIndex>(scheme_->wave());
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+  published_day_.store(scheme_->current_day());
+}
+
+std::shared_ptr<const WaveIndex> WaveService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+ServiceMetrics WaveService::Metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return metrics_;
+}
+
+void WaveService::ResetMetrics() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_ = ServiceMetrics{};
+}
+
+Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,
+                                    std::vector<Entry>* out,
+                                    QueryStats* stats) const {
+  std::shared_ptr<const WaveIndex> snapshot = Snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("service not started");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status status = snapshot->TimedIndexProbe(range, value, out, stats);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.probes;
+    metrics_.probe_latency_us.Record(MicrosSince(start));
+  }
+  return status;
+}
+
+Status WaveService::IndexProbe(const Value& value, std::vector<Entry>* out,
+                               QueryStats* stats) const {
+  return TimedIndexProbe(DayRange::All(), value, out, stats);
+}
+
+Status WaveService::TimedSegmentScan(const DayRange& range,
+                                     const EntryCallback& callback,
+                                     QueryStats* stats) const {
+  std::shared_ptr<const WaveIndex> snapshot = Snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("service not started");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status status = snapshot->TimedSegmentScan(range, callback, stats);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.scans;
+    metrics_.scan_latency_us.Record(MicrosSince(start));
+  }
+  return status;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,116 @@
+// WaveService: a thread-safe serving wrapper around a wave index.
+//
+// This operationalizes the paper's shadow-updating story: "queries can be
+// serviced using the old index, while the new index is being updated. Hence
+// no concurrency control is required." A single maintenance thread calls
+// AdvanceDay; any number of query threads probe and scan concurrently. Each
+// query runs against an immutable snapshot of the constituent set — shadow
+// updates only ever create new ConstituentIndex objects and retire old ones,
+// so a snapshot stays valid (and internally consistent) for as long as a
+// query holds it.
+
+#ifndef WAVEKIT_WAVE_WAVE_SERVICE_H_
+#define WAVEKIT_WAVE_WAVE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "util/histogram.h"
+
+#include "storage/device.h"
+#include "storage/extent_allocator.h"
+#include "storage/synchronized_device.h"
+#include "util/result.h"
+#include "wave/day_store.h"
+#include "wave/scheme.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+
+/// \brief Operational metrics of a WaveService.
+struct ServiceMetrics {
+  uint64_t probes = 0;
+  uint64_t scans = 0;
+  uint64_t days_advanced = 0;
+  /// Wall-clock probe latency in microseconds (log-bucketed percentiles).
+  Histogram probe_latency_us;
+  /// Wall-clock scan latency in microseconds.
+  Histogram scan_latency_us;
+};
+
+/// \brief Concurrent wave-index server: one writer, many readers.
+class WaveService {
+ public:
+  struct Options {
+    SchemeKind scheme = SchemeKind::kWata;
+    SchemeConfig config;
+    uint64_t device_capacity = uint64_t{1} << 30;
+  };
+
+  /// Creates the service. Rejects in-place updating: readers would observe
+  /// buckets mutating underneath them (this is exactly the concurrency
+  /// control the paper's shadow techniques exist to avoid).
+  static Result<std::unique_ptr<WaveService>> Create(Options options);
+
+  // --- Maintenance (single writer thread) ----------------------------------
+
+  /// Builds the initial wave index from days 1..W.
+  Status Start(std::vector<DayBatch> first_window);
+
+  /// Incorporates the next day. Readers keep getting answers throughout —
+  /// from the pre-transition snapshot until the new one is published.
+  Status AdvanceDay(DayBatch new_day);
+
+  // --- Queries (any thread, any time after Start) ---------------------------
+
+  Status TimedIndexProbe(const DayRange& range, const Value& value,
+                         std::vector<Entry>* out,
+                         QueryStats* stats = nullptr) const;
+  Status IndexProbe(const Value& value, std::vector<Entry>* out,
+                    QueryStats* stats = nullptr) const;
+  Status TimedSegmentScan(const DayRange& range, const EntryCallback& callback,
+                          QueryStats* stats = nullptr) const;
+
+  /// The newest day readers may see (monotonic; readers racing with
+  /// AdvanceDay may still see the previous snapshot).
+  Day current_day() const { return published_day_.load(); }
+
+  int window() const { return options_.config.window; }
+
+  /// The snapshot queries would use right now (for inspection/tests).
+  std::shared_ptr<const WaveIndex> Snapshot() const;
+
+  /// A copy of the current operational metrics (thread-safe).
+  ServiceMetrics Metrics() const;
+
+  /// Zeroes the metrics (thread-safe).
+  void ResetMetrics();
+
+  /// Writer-side accessors (not thread-safe against AdvanceDay).
+  const Scheme& scheme() const { return *scheme_; }
+  MeteredDevice* device() { return &device_; }
+
+ private:
+  explicit WaveService(Options options);
+
+  void Publish();
+
+  Options options_;
+  MemoryDevice memory_;
+  SynchronizedMeteredDevice device_;
+  ExtentAllocator allocator_;
+  DayStore day_store_;
+  std::unique_ptr<Scheme> scheme_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const WaveIndex> snapshot_;
+  std::atomic<Day> published_day_{0};
+
+  mutable std::mutex metrics_mutex_;
+  mutable ServiceMetrics metrics_;  // updated by const query paths
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_WAVE_SERVICE_H_

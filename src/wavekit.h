@@ -1,0 +1,62 @@
+// wavekit: sliding-window ("wave") indexes over evolving databases.
+//
+// Umbrella header for the public API. Reproduction of Shivakumar &
+// Garcia-Molina, "Wave-Indices: Indexing Evolving Databases", SIGMOD 1997.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   wavekit::Store store;
+//   wavekit::DayStore day_store;
+//   wavekit::SchemeConfig config{.window = 7, .num_indexes = 3};
+//   auto scheme = wavekit::MakeScheme(
+//       wavekit::SchemeKind::kWata,
+//       {store.device(), store.allocator(), &day_store}, config);
+//   (*scheme)->Start(first_seven_batches);
+//   (*scheme)->Transition(day8_batch);
+//   (*scheme)->wave().IndexProbe("value", &entries);
+
+#ifndef WAVEKIT_WAVEKIT_H_
+#define WAVEKIT_WAVEKIT_H_
+
+// Error handling.
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+// Storage substrate.
+#include "storage/cost_model.h"
+#include "storage/device.h"
+#include "storage/disk_array.h"
+#include "storage/extent_allocator.h"
+#include "storage/file_device.h"
+#include "storage/metered_device.h"
+#include "storage/store.h"
+#include "storage/synchronized_device.h"
+
+// Index substrate.
+#include "index/constituent_index.h"
+#include "index/directory.h"
+#include "index/entry.h"
+#include "index/index_builder.h"
+#include "index/record.h"
+
+// Update techniques.
+#include "update/update_technique.h"
+
+// Wave indexes: the paper's contribution.
+#include "wave/checkpoint.h"
+#include "wave/day_store.h"
+#include "wave/query_helpers.h"
+#include "wave/scheme.h"
+#include "wave/scheme_factory.h"
+#include "wave/wave_index.h"
+#include "wave/wave_service.h"
+
+// Workloads and the analytic model (for experiments).
+#include "model/params.h"
+#include "model/total_work.h"
+#include "workload/netnews.h"
+#include "workload/tpcd.h"
+#include "workload/usenet_trace.h"
+
+#endif  // WAVEKIT_WAVEKIT_H_

@@ -1,0 +1,63 @@
+#include "workload/query_workload.h"
+
+#include "util/macros.h"
+
+namespace wavekit {
+namespace workload {
+
+Result<QueryCosts> RunDailyQueries(
+    const WaveIndex& wave, MeteredDevice* device, const CostModel& cost,
+    const QueryMix& mix, const DayRange& window,
+    const std::function<Value(Rng&)>& value_sampler) {
+  return RunDailyQueries(wave, std::vector<MeteredDevice*>{device}, cost, mix,
+                         window, value_sampler);
+}
+
+Result<QueryCosts> RunDailyQueries(
+    const WaveIndex& wave, const std::vector<MeteredDevice*>& devices,
+    const CostModel& cost, const QueryMix& mix, const DayRange& window,
+    const std::function<Value(Rng&)>& value_sampler) {
+  QueryCosts out;
+  Rng rng(mix.seed);
+  MultiPhaseScope scope(devices, Phase::kQuery);
+  auto query_counters = [&devices]() {
+    IoCounters total;
+    for (MeteredDevice* device : devices) {
+      total += device->counters(Phase::kQuery);
+    }
+    return total;
+  };
+
+  if (mix.probes_per_day > 0 && mix.probe_sample > 0) {
+    const IoCounters before = query_counters();
+    std::vector<Entry> entries;
+    for (int i = 0; i < mix.probe_sample; ++i) {
+      entries.clear();
+      WAVEKIT_RETURN_NOT_OK(
+          wave.TimedIndexProbe(window, value_sampler(rng), &entries));
+      out.probe_entries += entries.size();
+    }
+    const IoCounters spent = query_counters() - before;
+    out.seconds_per_probe = cost.Seconds(spent) / mix.probe_sample;
+    out.seconds += out.seconds_per_probe * mix.probes_per_day;
+  }
+
+  if (mix.scans_per_day > 0 && mix.scan_sample > 0) {
+    const IoCounters before = query_counters();
+    DayRange scan_range = window;
+    if (!mix.scans_whole_window) scan_range.lo = scan_range.hi;
+    uint64_t visited = 0;
+    for (int i = 0; i < mix.scan_sample; ++i) {
+      WAVEKIT_RETURN_NOT_OK(wave.TimedSegmentScan(
+          scan_range, [&visited](const Value&, const Entry&) { ++visited; }));
+    }
+    out.scan_entries = visited;
+    const IoCounters spent = query_counters() - before;
+    out.seconds_per_scan = cost.Seconds(spent) / mix.scan_sample;
+    out.seconds += out.seconds_per_scan * mix.scans_per_day;
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace wavekit

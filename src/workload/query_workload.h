@@ -1,0 +1,62 @@
+// QueryWorkload: executes a sampled slice of a case study's daily query
+// stream against a wave index and scales the metered cost to the full
+// volume.
+
+#ifndef WAVEKIT_WORKLOAD_QUERY_WORKLOAD_H_
+#define WAVEKIT_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <functional>
+
+#include "storage/metered_device.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+namespace workload {
+
+struct QueryMix {
+  /// TimedIndexProbes per day (Probe_num) and how many to actually execute.
+  double probes_per_day = 0;
+  int probe_sample = 32;
+  /// TimedSegmentScans per day (Scan_num) and how many to actually execute.
+  double scans_per_day = 0;
+  int scan_sample = 1;
+  /// When false, scans cover only the newest day (SCAM's registration
+  /// checks); when true, the whole window (TPC-D's Q1).
+  bool scans_whole_window = true;
+  uint64_t seed = 99;
+};
+
+/// \brief Metered query-cost measurement for one day.
+struct QueryCosts {
+  /// Device seconds for the full daily stream (sampled cost scaled up).
+  double seconds = 0;
+  /// Averages of the executed sample.
+  double seconds_per_probe = 0;
+  double seconds_per_scan = 0;
+  uint64_t probe_entries = 0;  // entries returned by the sampled probes
+  uint64_t scan_entries = 0;   // entries visited by the sampled scans
+};
+
+/// \brief Runs the sampled query mix against `wave`, charging Phase::kQuery.
+///
+/// `value_sampler` produces probe values (e.g. Zipf-popular words);
+/// `window` is the hard window the timed queries ask for.
+Result<QueryCosts> RunDailyQueries(
+    const WaveIndex& wave, MeteredDevice* device, const CostModel& cost,
+    const QueryMix& mix, const DayRange& window,
+    const std::function<Value(Rng&)>& value_sampler);
+
+/// Multi-disk overload: charges Phase::kQuery on every device and sums the
+/// traffic (a serialized-time measure; divide across disks for the parallel
+/// view, see DiskArray::ParallelSeconds).
+Result<QueryCosts> RunDailyQueries(
+    const WaveIndex& wave, const std::vector<MeteredDevice*>& devices,
+    const CostModel& cost, const QueryMix& mix, const DayRange& window,
+    const std::function<Value(Rng&)>& value_sampler);
+
+}  // namespace workload
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,53 @@
+// TpcdGenerator: TPC-D-shaped LINEITEM stream for the warehousing case
+// study.
+//
+// Substitution note (see DESIGN.md): the paper builds a wave index on
+// LINEITEM.SUPPKEY for the last 100 days and runs query Q1 (Pricing Summary
+// Report) as TimedSegmentScans. We generate LINEITEM-shaped rows with
+// uniformly distributed SUPPKEY — the distribution the TPC-D spec
+// prescribes, and the reason the paper picks g = 1.08 there: uniform keys
+// mean uniformly growing buckets, so little slack is needed.
+
+#ifndef WAVEKIT_WORKLOAD_TPCD_H_
+#define WAVEKIT_WORKLOAD_TPCD_H_
+
+#include "index/record.h"
+#include "util/random.h"
+
+namespace wavekit {
+namespace workload {
+
+struct TpcdConfig {
+  /// LINEITEM rows arriving per day.
+  uint64_t rows_per_day = 2000;
+  /// Number of distinct suppliers (SUPPKEY universe).
+  uint64_t num_suppliers = 500;
+  uint64_t seed = 7;
+};
+
+/// \brief Deterministic generator of daily LINEITEM batches. Each record has
+/// exactly one search value (its SUPPKEY); `aux` carries the line quantity
+/// so Q1-style aggregates can be computed from index entries alone.
+class TpcdGenerator {
+ public:
+  explicit TpcdGenerator(TpcdConfig config);
+
+  DayBatch GenerateDay(Day day, uint64_t rows_override = 0);
+
+  /// SUPPKEY value for supplier number `supplier` (0-based).
+  Value SuppkeyFor(uint64_t supplier) const;
+
+  /// Samples a SUPPKEY uniformly (probe value generation).
+  Value SampleSuppkey(Rng& rng) const;
+
+  const TpcdConfig& config() const { return config_; }
+
+ private:
+  TpcdConfig config_;
+  uint64_t next_record_id_ = 1;
+};
+
+}  // namespace workload
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WORKLOAD_TPCD_H_

@@ -1,0 +1,146 @@
+// B+Tree-specific structural tests: splits, borrows, merges, invariants.
+
+#include "index/btree_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "testing/test_env.h"
+#include "util/random.h"
+
+namespace wavekit {
+namespace {
+
+BucketInfo Info(uint32_t count) {
+  return BucketInfo{Extent{0, count * kEntrySize}, count, count};
+}
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+TEST(BTreeDirectoryTest, EmptyTree) {
+  BTreeDirectory tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.Find("x"), nullptr);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BTreeDirectoryTest, GrowsInHeightOnSplits) {
+  BTreeDirectory tree(/*max_keys=*/4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(tree.Insert(Key(i), Info(static_cast<uint32_t>(i + 1))));
+    ASSERT_OK(tree.CheckInvariants()) << "after inserting " << i;
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GE(tree.height(), 3u);
+  for (int i = 0; i < 100; ++i) {
+    const BucketInfo* info = tree.Find(Key(i));
+    ASSERT_NE(info, nullptr) << Key(i);
+    EXPECT_EQ(info->count, static_cast<uint32_t>(i + 1));
+  }
+}
+
+TEST(BTreeDirectoryTest, ReverseOrderInsertion) {
+  BTreeDirectory tree(4);
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_OK(tree.Insert(Key(i), Info(1)));
+    ASSERT_OK(tree.CheckInvariants());
+  }
+  EXPECT_EQ(tree.size(), 100u);
+}
+
+TEST(BTreeDirectoryTest, ShrinksOnRemovals) {
+  BTreeDirectory tree(4);
+  for (int i = 0; i < 200; ++i) ASSERT_OK(tree.Insert(Key(i), Info(1)));
+  const size_t full_height = tree.height();
+  // Remove in an order that exercises borrows and merges on both sides.
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_OK(tree.Remove(Key(i)));
+    ASSERT_OK(tree.CheckInvariants()) << "after removing even " << i;
+  }
+  for (int i = 199; i >= 1; i -= 2) {
+    ASSERT_OK(tree.Remove(Key(i)));
+    ASSERT_OK(tree.CheckInvariants()) << "after removing odd " << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_LE(tree.height(), full_height);
+}
+
+TEST(BTreeDirectoryTest, OrderedIterationViaLeafChain) {
+  BTreeDirectory tree(4);
+  Rng rng(3);
+  std::vector<int> keys(500);
+  for (int i = 0; i < 500; ++i) keys[static_cast<size_t>(i)] = i;
+  Shuffle(keys, rng);
+  for (int k : keys) ASSERT_OK(tree.Insert(Key(k), Info(1)));
+  int expected = 0;
+  tree.ForEach([&](const Value& v, const BucketInfo&) {
+    EXPECT_EQ(v, Key(expected));
+    ++expected;
+  });
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(BTreeDirectoryTest, MinimumFanoutEnforced) {
+  BTreeDirectory tree(/*max_keys=*/2);  // clamped up to 3 internally
+  for (int i = 0; i < 50; ++i) ASSERT_OK(tree.Insert(Key(i), Info(1)));
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BTreeDirectoryTest, RandomizedChurnAgainstStdMap) {
+  BTreeDirectory tree(6);
+  std::map<std::string, uint32_t> reference;
+  Rng rng(17);
+  for (int step = 0; step < 5000; ++step) {
+    const std::string key = Key(static_cast<int>(rng.Uniform(300)));
+    if (rng.Bernoulli(0.55)) {
+      uint32_t payload = static_cast<uint32_t>(step + 1);
+      Status s = tree.Insert(key, Info(payload));
+      if (reference.contains(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        EXPECT_OK(s);
+        reference[key] = payload;
+      }
+    } else {
+      Status s = tree.Remove(key);
+      if (reference.contains(key)) {
+        EXPECT_OK(s);
+        reference.erase(key);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    }
+    if (step % 250 == 0) {
+      ASSERT_OK(tree.CheckInvariants()) << "step " << step;
+      // Full content comparison.
+      auto it = reference.begin();
+      tree.ForEach([&](const Value& v, const BucketInfo& info) {
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(v, it->first);
+        EXPECT_EQ(info.count, it->second);
+        ++it;
+      });
+      EXPECT_EQ(it, reference.end());
+    }
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+TEST(BTreeDirectoryTest, LargeFanoutStaysShallow) {
+  BTreeDirectory tree(128);
+  for (int i = 0; i < 10000; ++i) ASSERT_OK(tree.Insert(Key(i), Info(1)));
+  EXPECT_LE(tree.height(), 3u);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,61 @@
+#include "index/growth_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace {
+
+TEST(GrowthPolicyTest, InitialCapacityRespectsMinimumAndNeed) {
+  GrowthPolicy policy;  // initial 4, g = 2
+  EXPECT_EQ(policy.InitialCapacity(1), 4u);
+  EXPECT_EQ(policy.InitialCapacity(4), 4u);
+  EXPECT_EQ(policy.InitialCapacity(9), 9u);
+}
+
+TEST(GrowthPolicyTest, GrowsByFactor) {
+  GrowthPolicy policy;
+  EXPECT_EQ(policy.GrownCapacity(4, 5), 8u);
+  EXPECT_EQ(policy.GrownCapacity(8, 9), 16u);
+}
+
+TEST(GrowthPolicyTest, GrowsRepeatedlyForBulkAdds) {
+  GrowthPolicy policy;
+  EXPECT_EQ(policy.GrownCapacity(4, 30), 32u);  // 4->8->16->32
+}
+
+TEST(GrowthPolicyTest, SmallGrowthFactor) {
+  GrowthPolicy policy;
+  policy.g = 1.08;  // the TPC-D choice: uniform keys need little slack
+  const uint32_t grown = policy.GrownCapacity(100, 101);
+  EXPECT_EQ(grown, 108u);
+  // Slack stays small relative to g=2.
+  EXPECT_LT(grown, policy.GrownCapacity(100, 101) + 1);
+  GrowthPolicy doubling;
+  EXPECT_GT(doubling.GrownCapacity(100, 101), grown);
+}
+
+TEST(GrowthPolicyTest, ShrinkOnlyPastHysteresis) {
+  GrowthPolicy policy;  // g = 2 => shrink when live <= capacity / 4
+  EXPECT_EQ(policy.ShrunkCapacity(64, 40), 64u);  // > 1/4: keep
+  EXPECT_EQ(policy.ShrunkCapacity(64, 17), 64u);  // just above 16: keep
+  EXPECT_LT(policy.ShrunkCapacity(64, 8), 64u);   // well under: shrink
+}
+
+TEST(GrowthPolicyTest, ShrinkNeverBelowLive) {
+  GrowthPolicy policy;
+  for (uint32_t live = 1; live <= 16; ++live) {
+    EXPECT_GE(policy.ShrunkCapacity(256, live), live);
+  }
+}
+
+TEST(GrowthPolicyTest, GrowShrinkDoesNotThrash) {
+  GrowthPolicy policy;
+  uint32_t cap = 4;
+  // Add one entry past capacity, then delete it: capacity must not shrink
+  // right back (hysteresis), or add/delete days would thrash buckets.
+  cap = policy.GrownCapacity(cap, 5);
+  EXPECT_EQ(policy.ShrunkCapacity(cap, 4), cap);
+}
+
+}  // namespace
+}  // namespace wavekit

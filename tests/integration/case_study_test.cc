@@ -1,0 +1,143 @@
+// Integration tests: the three case studies of Section 6 run end to end at
+// reduced scale, and the headline recommendations of the paper hold on the
+// analytic model.
+
+#include <gtest/gtest.h>
+
+#include "model/total_work.h"
+#include "sim/driver.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+sim::ExperimentConfig ScamConfig(SchemeKind scheme, int n) {
+  sim::ExperimentConfig config;
+  config.scheme = scheme;
+  config.scheme_config.window = 7;
+  config.scheme_config.num_indexes = n;
+  config.scheme_config.technique = UpdateTechniqueKind::kSimpleShadow;
+  config.workload = sim::WorkloadKind::kNetnews;
+  config.netnews.articles_per_day = 70;  // paper's 70k scaled 1000x down
+  config.netnews.words_per_article = 20;
+  config.netnews.vocabulary_size = 2000;
+  config.days_to_run = 14;
+  config.warmup_days = 7;
+  config.query_mix.probes_per_day = 1000;
+  config.query_mix.probe_sample = 8;
+  config.query_mix.scans_per_day = 10;
+  config.query_mix.scan_sample = 1;
+  config.query_mix.scans_whole_window = false;  // registration checks
+  config.paper = model::CaseParams::Scam();
+  return config;
+}
+
+TEST(CaseStudyTest, ScamPipelineRunsForAllSchemes) {
+  for (SchemeKind kind : kAllSchemeKinds) {
+    SCOPED_TRACE(SchemeKindName(kind));
+    const int n = 4;
+    auto run = sim::ExperimentDriver::Run(ScamConfig(kind, n));
+    ASSERT_TRUE(run.ok()) << run.status();
+    const sim::Aggregates& agg = run.ValueOrDie().aggregates;
+    EXPECT_GT(agg.avg_sim_total_work, 0.0);
+    EXPECT_GT(agg.avg_model_total_work, 0.0);
+  }
+}
+
+TEST(CaseStudyTest, ScamReindexWinsAtN4OnTotalWork) {
+  // Figure 5 + Section 6: "we recommend using REINDEX for SCAM with n = 4".
+  const model::CaseParams params = model::CaseParams::Scam();
+  auto reindex = model::EstimateTotalWork(
+      SchemeKind::kReindex, UpdateTechniqueKind::kSimpleShadow, params, 7, 4);
+  ASSERT_TRUE(reindex.ok()) << reindex.status();
+  for (SchemeKind other :
+       {SchemeKind::kDel, SchemeKind::kReindexPlus,
+        SchemeKind::kReindexPlusPlus, SchemeKind::kRata}) {
+    auto work = model::EstimateTotalWork(
+        other, UpdateTechniqueKind::kSimpleShadow, params, 7, 4);
+    ASSERT_TRUE(work.ok()) << work.status();
+    EXPECT_LT(reindex.ValueOrDie().total(), work.ValueOrDie().total())
+        << SchemeKindName(other);
+  }
+}
+
+TEST(CaseStudyTest, WseReindexLosesBadly) {
+  // Figure 6: "REINDEX that performed best in SCAM, now in fact performs the
+  // worst" under WSE's heavy query volume and W = 35.
+  const model::CaseParams params = model::CaseParams::Wse();
+  for (int n : {2, 5, 7}) {
+    auto reindex =
+        model::EstimateTotalWork(SchemeKind::kReindex,
+                                 UpdateTechniqueKind::kPackedShadow, params,
+                                 35, n);
+    auto del = model::EstimateTotalWork(
+        SchemeKind::kDel, UpdateTechniqueKind::kPackedShadow, params, 35, n);
+    ASSERT_TRUE(reindex.ok() && del.ok());
+    EXPECT_GT(reindex.ValueOrDie().total(), del.ValueOrDie().total())
+        << "n=" << n;
+  }
+}
+
+TEST(CaseStudyTest, WseRecommendationIsDelN1) {
+  // Section 6: "we recommend using DEL (n = 1) with packed shadow updating
+  // for a WSE".
+  const model::CaseParams params = model::CaseParams::Wse();
+  auto del1 = model::EstimateTotalWork(
+      SchemeKind::kDel, UpdateTechniqueKind::kPackedShadow, params, 35, 1);
+  ASSERT_TRUE(del1.ok());
+  for (int n : {2, 5}) {
+    auto deln = model::EstimateTotalWork(
+        SchemeKind::kDel, UpdateTechniqueKind::kPackedShadow, params, 35, n);
+    ASSERT_TRUE(deln.ok());
+    EXPECT_LT(del1.ValueOrDie().total(), deln.ValueOrDie().total());
+  }
+}
+
+TEST(CaseStudyTest, TpcdPackedShadowBeatsSimpleShadow) {
+  // Figures 7 vs 8: "the work done is significantly less in case of packed
+  // shadowing" (deletion folds into the copy; scans read packed indexes).
+  const model::CaseParams params = model::CaseParams::Tpcd();
+  for (SchemeKind kind : {SchemeKind::kDel, SchemeKind::kWata}) {
+    for (int n : {2, 5, 10}) {
+      auto packed = model::EstimateTotalWork(
+          kind, UpdateTechniqueKind::kPackedShadow, params, 100, n);
+      auto simple = model::EstimateTotalWork(
+          kind, UpdateTechniqueKind::kSimpleShadow, params, 100, n);
+      ASSERT_TRUE(packed.ok() && simple.ok());
+      EXPECT_LT(packed.ValueOrDie().total(), simple.ValueOrDie().total())
+          << SchemeKindName(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(CaseStudyTest, TpcdReindexIsWorst) {
+  // Figures 7/8: REINDEX performs the worst for TPC-D (W = 100).
+  const model::CaseParams params = model::CaseParams::Tpcd();
+  auto reindex = model::EstimateTotalWork(
+      SchemeKind::kReindex, UpdateTechniqueKind::kSimpleShadow, params, 100,
+      5);
+  auto wata = model::EstimateTotalWork(
+      SchemeKind::kWata, UpdateTechniqueKind::kSimpleShadow, params, 100, 5);
+  ASSERT_TRUE(reindex.ok() && wata.ok());
+  EXPECT_GT(reindex.ValueOrDie().total(), wata.ValueOrDie().total());
+}
+
+TEST(CaseStudyTest, SimulationAgreesWithModelOnWhoWins) {
+  // The device-level simulation must produce the same ordering as the
+  // analytic model for the SCAM scenario's headline comparison at n = 4:
+  // REINDEX does less maintenance I/O than REINDEX+.
+  auto reindex = sim::ExperimentDriver::Run(ScamConfig(SchemeKind::kReindex, 4));
+  auto plus =
+      sim::ExperimentDriver::Run(ScamConfig(SchemeKind::kReindexPlus, 4));
+  ASSERT_TRUE(reindex.ok() && plus.ok());
+  const double reindex_maint =
+      reindex.ValueOrDie().aggregates.avg_sim_transition_seconds +
+      reindex.ValueOrDie().aggregates.avg_sim_precompute_seconds;
+  const double plus_maint =
+      plus.ValueOrDie().aggregates.avg_sim_transition_seconds +
+      plus.ValueOrDie().aggregates.avg_sim_precompute_seconds;
+  EXPECT_LT(reindex_maint, plus_maint);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,101 @@
+#include "model/op_evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace model {
+namespace {
+
+OpRecord Rec(OpKind kind, Phase phase, Day day, int op_days,
+             ApplyMode mode = ApplyMode::kIncremental) {
+  return OpRecord{kind, phase, day, op_days, 0, 0, mode};
+}
+
+class OpEvaluatorTest : public ::testing::Test {
+ protected:
+  OpEvaluatorTest() : evaluator_(CaseParams::Scam()) {}
+  OpEvaluator evaluator_;
+};
+
+TEST_F(OpEvaluatorTest, BuildPricedPerDay) {
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kBuildIndex, Phase::kTransition, 1, 5)),
+      5 * 1686.0);
+}
+
+TEST_F(OpEvaluatorTest, AddModes) {
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kAddToIndex, Phase::kTransition, 1, 2)),
+      2 * 3341.0);
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(
+          Rec(OpKind::kAddToIndex, Phase::kTransition, 1, 2,
+              ApplyMode::kRebuild)),
+      2 * 1686.0);
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kAddToIndex, Phase::kTransition, 1, 2,
+                             ApplyMode::kMerged)),
+      0.0);
+}
+
+TEST_F(OpEvaluatorTest, DeleteModes) {
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(
+          Rec(OpKind::kDeleteFromIndex, Phase::kPrecompute, 1, 1)),
+      3341.0);
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kDeleteFromIndex, Phase::kTransition, 1,
+                             1, ApplyMode::kMerged)),
+      0.0);
+}
+
+TEST_F(OpEvaluatorTest, CopiesPricedByTargetSize) {
+  const CaseParams p = CaseParams::Scam();
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kCopyIndex, Phase::kPrecompute, 1, 4)),
+      4 * p.CpSeconds());
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(
+          Rec(OpKind::kSmartCopyIndex, Phase::kTransition, 1, 4)),
+      4 * p.SmcpSeconds());
+}
+
+TEST_F(OpEvaluatorTest, DropIsCheapRenameIsFree) {
+  EXPECT_LT(evaluator_.PriceOp(Rec(OpKind::kDropIndex, Phase::kTransition, 1,
+                                   100)),
+            0.1);
+  EXPECT_DOUBLE_EQ(
+      evaluator_.PriceOp(Rec(OpKind::kRename, Phase::kTransition, 1, 100)),
+      0.0);
+}
+
+TEST_F(OpEvaluatorTest, PriceDaySplitsPhases) {
+  OpLog log;
+  log.Record(Rec(OpKind::kAddToIndex, Phase::kTransition, 11, 1));
+  log.Record(Rec(OpKind::kAddToIndex, Phase::kPrecompute, 11, 2));
+  log.Record(Rec(OpKind::kAddToIndex, Phase::kTransition, 12, 1));
+  MaintenanceCost day11 = evaluator_.PriceDay(log, 11);
+  EXPECT_DOUBLE_EQ(day11.transition_seconds, 3341.0);
+  EXPECT_DOUBLE_EQ(day11.precompute_seconds, 2 * 3341.0);
+  EXPECT_DOUBLE_EQ(day11.total(), 3 * 3341.0);
+}
+
+TEST_F(OpEvaluatorTest, AverageOverDays) {
+  OpLog log;
+  for (Day d = 11; d <= 20; ++d) {
+    log.Record(Rec(OpKind::kAddToIndex, Phase::kTransition, d, 1));
+  }
+  log.Record(Rec(OpKind::kBuildIndex, Phase::kPrecompute, 15, 10));
+  // Days (10, 20]: 10 adds + one 10-day build amortized over 10 days.
+  MaintenanceCost avg = evaluator_.AverageOverDays(log, 10, 20);
+  EXPECT_DOUBLE_EQ(avg.transition_seconds, 3341.0);
+  EXPECT_DOUBLE_EQ(avg.precompute_seconds, 1686.0);
+  // Records outside the range (the Start ops at day <= first) are excluded.
+  log.Record(Rec(OpKind::kBuildIndex, Phase::kTransition, 10, 100));
+  MaintenanceCost unchanged = evaluator_.AverageOverDays(log, 10, 20);
+  EXPECT_DOUBLE_EQ(unchanged.transition_seconds, 3341.0);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,93 @@
+#include "model/params.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace model {
+namespace {
+
+TEST(ParamsTest, ScamMatchesTable12) {
+  CaseParams p = CaseParams::Scam();
+  EXPECT_EQ(p.name, "SCAM");
+  EXPECT_DOUBLE_EQ(p.hardware.seek_seconds, 0.014);
+  EXPECT_DOUBLE_EQ(p.hardware.transfer_bytes_per_second, 10e6);
+  EXPECT_DOUBLE_EQ(p.packed_day_bytes, 56e6);
+  EXPECT_DOUBLE_EQ(p.unpacked_day_bytes, 78.4e6);
+  EXPECT_DOUBLE_EQ(p.probes_per_day, 100000);
+  EXPECT_DOUBLE_EQ(p.scans_per_day, 10);
+  EXPECT_FALSE(p.scans_touch_all_indexes);
+  EXPECT_DOUBLE_EQ(p.growth_factor, 2.0);
+  EXPECT_DOUBLE_EQ(p.build_seconds, 1686);
+  EXPECT_DOUBLE_EQ(p.add_seconds, 3341);
+  EXPECT_DOUBLE_EQ(p.delete_seconds, 3341);
+  EXPECT_EQ(p.window, 7);
+}
+
+TEST(ParamsTest, WseMatchesTable12) {
+  CaseParams p = CaseParams::Wse();
+  EXPECT_DOUBLE_EQ(p.packed_day_bytes, 75e6);
+  EXPECT_DOUBLE_EQ(p.unpacked_day_bytes, 105e6);
+  EXPECT_DOUBLE_EQ(p.probes_per_day, 340000);
+  EXPECT_DOUBLE_EQ(p.scans_per_day, 0);
+  EXPECT_DOUBLE_EQ(p.build_seconds, 2276);
+  EXPECT_DOUBLE_EQ(p.add_seconds, 4678);
+  EXPECT_EQ(p.window, 35);
+}
+
+TEST(ParamsTest, TpcdMatchesTable12) {
+  CaseParams p = CaseParams::Tpcd();
+  EXPECT_DOUBLE_EQ(p.packed_day_bytes, 600e6);
+  EXPECT_DOUBLE_EQ(p.unpacked_day_bytes, 627e6);
+  EXPECT_DOUBLE_EQ(p.probes_per_day, 0);
+  EXPECT_DOUBLE_EQ(p.scans_per_day, 10);
+  EXPECT_TRUE(p.scans_touch_all_indexes);
+  EXPECT_DOUBLE_EQ(p.growth_factor, 1.08);
+  EXPECT_DOUBLE_EQ(p.build_seconds, 8406);
+  EXPECT_EQ(p.window, 100);
+}
+
+TEST(ParamsTest, DerivedCopyCosts) {
+  CaseParams p = CaseParams::Scam();
+  // CP: read + write S' at Trans = 10 MB/s.
+  EXPECT_NEAR(p.CpSeconds(), 2 * 78.4e6 / 10e6, 1e-9);
+  // SMCP: read S', write S.
+  EXPECT_NEAR(p.SmcpSeconds(), (78.4e6 + 56e6) / 10e6, 1e-9);
+  // Per the paper's Table 12 regime, copies are far cheaper than Add/Build
+  // (which include CPU-heavy tokenization).
+  EXPECT_LT(p.CpSeconds(), p.build_seconds);
+}
+
+TEST(ParamsTest, ScalingIsLinearWhileCacheResident) {
+  // At SF = 1, SCAM's S' (78.4 MB) fits the paper's 96 MB machine: Table 12
+  // values are reproduced exactly.
+  CaseParams p1 = CaseParams::Scam().Scaled(1.0);
+  EXPECT_DOUBLE_EQ(p1.add_seconds, 3341);
+  EXPECT_DOUBLE_EQ(p1.build_seconds, 1686);
+
+  CaseParams p3 = CaseParams::Scam().Scaled(3.0);
+  EXPECT_DOUBLE_EQ(p3.packed_day_bytes, 3 * 56e6);
+  // Builds (sequential two-pass) stay linear...
+  EXPECT_DOUBLE_EQ(p3.build_seconds, 3 * 1686);
+  // ...but incremental updates degrade once the working set outgrows RAM
+  // (the memory-pressure effect behind Figure 10).
+  EXPECT_GT(p3.add_seconds, 3 * 3341);
+  EXPECT_DOUBLE_EQ(p3.add_seconds, p3.delete_seconds);
+  // Hardware and query volumes are unchanged.
+  EXPECT_DOUBLE_EQ(p3.hardware.seek_seconds, 0.014);
+  EXPECT_DOUBLE_EQ(p3.probes_per_day, 100000);
+}
+
+TEST(ParamsTest, ScalingAmplificationIsMonotone) {
+  double previous_ratio = 0;
+  for (double sf : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    CaseParams p = CaseParams::Scam().Scaled(sf);
+    const double ratio = p.add_seconds / p.build_seconds;
+    EXPECT_GE(ratio, previous_ratio);
+    previous_ratio = ratio;
+  }
+  EXPECT_GT(previous_ratio, 2.0);  // thrashing: Add/Build grows past 2.0
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,89 @@
+#include "model/query_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace model {
+namespace {
+
+TEST(QueryModelTest, ShapeDaysPerIndex) {
+  QueryShape shape = ShapeOf(SchemeKind::kDel,
+                             UpdateTechniqueKind::kSimpleShadow, 10, 2);
+  EXPECT_DOUBLE_EQ(shape.days_per_index, 5.0);
+  EXPECT_FALSE(shape.packed);
+}
+
+TEST(QueryModelTest, WataShapeIncludesResidual) {
+  QueryShape wata =
+      ShapeOf(SchemeKind::kWata, UpdateTechniqueKind::kSimpleShadow, 10, 4);
+  QueryShape del =
+      ShapeOf(SchemeKind::kDel, UpdateTechniqueKind::kSimpleShadow, 10, 4);
+  EXPECT_GT(wata.days_per_index, del.days_per_index);
+  // Y = 3 => average residual 1 day => 11/4 days per index.
+  EXPECT_DOUBLE_EQ(wata.days_per_index, 11.0 / 4.0);
+}
+
+TEST(QueryModelTest, PackedShapes) {
+  EXPECT_TRUE(ShapeOf(SchemeKind::kReindex, UpdateTechniqueKind::kInPlace, 10,
+                      2)
+                  .packed);
+  EXPECT_TRUE(ShapeOf(SchemeKind::kDel, UpdateTechniqueKind::kPackedShadow,
+                      10, 2)
+                  .packed);
+  EXPECT_FALSE(
+      ShapeOf(SchemeKind::kDel, UpdateTechniqueKind::kInPlace, 10, 2).packed);
+}
+
+TEST(QueryModelTest, ProbeFormulaMatchesTable9) {
+  // Table 9: Probe_idx * (seek + (W/n) * c / Trans).
+  CaseParams p = CaseParams::Scam();
+  QueryShape shape{/*days_per_index=*/3.5, /*packed=*/false};
+  const double expected = 2 * (0.014 + 3.5 * 100 / 10e6);
+  EXPECT_NEAR(TimedIndexProbeSeconds(p, shape, 2), expected, 1e-12);
+}
+
+TEST(QueryModelTest, ScanFormulaUsesPackedOrUnpackedBytes) {
+  CaseParams p = CaseParams::Scam();
+  QueryShape unpacked{3.5, false};
+  QueryShape packed{3.5, true};
+  EXPECT_GT(TimedSegmentScanSeconds(p, unpacked, 1),
+            TimedSegmentScanSeconds(p, packed, 1));
+  const double expected_packed = 0.014 + 3.5 * 56e6 / 10e6;
+  EXPECT_NEAR(TimedSegmentScanSeconds(p, packed, 1), expected_packed, 1e-9);
+}
+
+TEST(QueryModelTest, DailyQuerySecondsGrowsWithN) {
+  // SCAM probes touch all n indexes: more indexes => more seeks per probe.
+  CaseParams p = CaseParams::Scam();
+  const double n1 = DailyQuerySeconds(p, SchemeKind::kDel,
+                                      UpdateTechniqueKind::kSimpleShadow, 7, 1);
+  const double n7 = DailyQuerySeconds(p, SchemeKind::kDel,
+                                      UpdateTechniqueKind::kSimpleShadow, 7, 7);
+  EXPECT_GT(n7, n1);
+}
+
+TEST(QueryModelTest, TpcdScansDominatedByBytesNotSeeks) {
+  // TPC-D: 10 scans over the window; the per-day byte volume dwarfs seeks,
+  // so total scan time is roughly flat in n.
+  CaseParams p = CaseParams::Tpcd();
+  const double n1 = DailyQuerySeconds(p, SchemeKind::kDel,
+                                      UpdateTechniqueKind::kSimpleShadow,
+                                      100, 1);
+  const double n10 = DailyQuerySeconds(p, SchemeKind::kDel,
+                                       UpdateTechniqueKind::kSimpleShadow,
+                                       100, 10);
+  EXPECT_NEAR(n10 / n1, 1.0, 0.01);
+}
+
+TEST(QueryModelTest, WseQueryLoadIsHuge) {
+  // 340k probes/day dominate WSE total work — the reason Figure 6 punishes
+  // large n so hard.
+  CaseParams p = CaseParams::Wse();
+  const double q = DailyQuerySeconds(p, SchemeKind::kDel,
+                                     UpdateTechniqueKind::kPackedShadow, 35, 5);
+  EXPECT_GT(q, 5 * 340000 * 0.014 * 0.99);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace wavekit

@@ -1,0 +1,108 @@
+#include "model/space_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace model {
+namespace {
+
+class SpaceModelTest : public ::testing::Test {
+ protected:
+  CaseParams params_ = CaseParams::Scam();  // S = 56 MB, S' = 78.4 MB
+};
+
+TEST_F(SpaceModelTest, DelTable8Row) {
+  SpaceEstimate e = EstimateSpace(SchemeKind::kDel,
+                                  UpdateTechniqueKind::kSimpleShadow, params_,
+                                  10, 2);
+  EXPECT_DOUBLE_EQ(e.avg_operation_bytes, 10 * 78.4e6);
+  EXPECT_DOUBLE_EQ(e.max_operation_bytes, 10 * 78.4e6);
+  EXPECT_DOUBLE_EQ(e.avg_transition_bytes, 5 * 78.4e6);
+  EXPECT_DOUBLE_EQ(e.max_transition_bytes, 5 * 78.4e6);
+}
+
+TEST_F(SpaceModelTest, ReindexUsesPackedBytes) {
+  SpaceEstimate e = EstimateSpace(SchemeKind::kReindex,
+                                  UpdateTechniqueKind::kSimpleShadow, params_,
+                                  10, 2);
+  EXPECT_DOUBLE_EQ(e.avg_operation_bytes, 10 * 56e6);
+  EXPECT_DOUBLE_EQ(e.max_transition_bytes, 5 * 56e6);
+  // REINDEX needs the least operation space of all schemes (Figure 3).
+  for (SchemeKind other :
+       {SchemeKind::kDel, SchemeKind::kReindexPlus,
+        SchemeKind::kReindexPlusPlus, SchemeKind::kWata, SchemeKind::kRata}) {
+    SpaceEstimate o = EstimateSpace(other, UpdateTechniqueKind::kSimpleShadow,
+                                    params_, 10, 2);
+    EXPECT_LE(e.avg_operation_bytes, o.avg_operation_bytes)
+        << SchemeKindName(other);
+  }
+}
+
+TEST_F(SpaceModelTest, ReindexPlusTempCosts) {
+  SpaceEstimate e = EstimateSpace(SchemeKind::kReindexPlus,
+                                  UpdateTechniqueKind::kSimpleShadow, params_,
+                                  10, 2);
+  // Temp averages (X-1)/2 = 2 days; max X-1 = 4 days (Table 8's W + X - 1).
+  EXPECT_DOUBLE_EQ(e.avg_operation_bytes, (10 + 2) * 78.4e6);
+  EXPECT_DOUBLE_EQ(e.max_operation_bytes, (10 + 4) * 78.4e6);
+}
+
+TEST_F(SpaceModelTest, ReindexPlusPlusLadderDominates) {
+  SpaceEstimate e = EstimateSpace(SchemeKind::kReindexPlusPlus,
+                                  UpdateTechniqueKind::kSimpleShadow, params_,
+                                  10, 2);
+  // Max ladder: X(X-1)/2 = 10 days on top of the window.
+  EXPECT_DOUBLE_EQ(e.max_operation_bytes, (10 + 10) * 78.4e6);
+  // No constituent shadowing: transitions only touch temporaries (Table 8).
+  EXPECT_DOUBLE_EQ(e.max_transition_bytes, 0.0);
+}
+
+TEST_F(SpaceModelTest, WataSoftWindowResidual) {
+  SpaceEstimate e = EstimateSpace(SchemeKind::kWata,
+                                  UpdateTechniqueKind::kSimpleShadow, params_,
+                                  10, 4);
+  // Y = 3: max residual Y - 1 = 2 days (Appendix B).
+  EXPECT_DOUBLE_EQ(e.max_operation_bytes, 12 * 78.4e6);
+}
+
+TEST_F(SpaceModelTest, InPlaceNeedsNoTransitionSpace) {
+  for (SchemeKind kind : {SchemeKind::kDel, SchemeKind::kWata}) {
+    SpaceEstimate e = EstimateSpace(kind, UpdateTechniqueKind::kInPlace,
+                                    params_, 10, 2);
+    EXPECT_DOUBLE_EQ(e.max_transition_bytes, 0.0) << SchemeKindName(kind);
+  }
+  // ...except REINDEX, which always stages its rebuild.
+  SpaceEstimate r = EstimateSpace(SchemeKind::kReindex,
+                                  UpdateTechniqueKind::kInPlace, params_, 10,
+                                  2);
+  EXPECT_GT(r.max_transition_bytes, 0.0);
+}
+
+TEST_F(SpaceModelTest, PackedShadowShrinksFootprint) {
+  SpaceEstimate simple = EstimateSpace(
+      SchemeKind::kDel, UpdateTechniqueKind::kSimpleShadow, params_, 10, 2);
+  SpaceEstimate packed = EstimateSpace(
+      SchemeKind::kDel, UpdateTechniqueKind::kPackedShadow, params_, 10, 2);
+  EXPECT_LT(packed.avg_operation_bytes, simple.avg_operation_bytes);
+  EXPECT_LT(packed.max_transition_bytes, simple.max_transition_bytes);
+}
+
+TEST_F(SpaceModelTest, SpaceShrinksWithMoreIndexes) {
+  // Figure 3: all schemes need less space as n grows.
+  for (SchemeKind kind :
+       {SchemeKind::kDel, SchemeKind::kReindex, SchemeKind::kReindexPlus,
+        SchemeKind::kReindexPlusPlus, SchemeKind::kWata, SchemeKind::kRata}) {
+    double previous = 1e18;
+    for (int n = 2; n <= 7; ++n) {
+      SpaceEstimate e = EstimateSpace(kind, UpdateTechniqueKind::kSimpleShadow,
+                                      params_, 7, n);
+      const double total = e.avg_total();
+      EXPECT_LE(total, previous + 1.0) << SchemeKindName(kind) << " n=" << n;
+      previous = total;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace wavekit

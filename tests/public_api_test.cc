@@ -1,0 +1,55 @@
+// Smoke test of the umbrella header: everything a downstream user touches
+// must be reachable through #include "wavekit.h" alone.
+
+#include "wavekit.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(PublicApiTest, EndToEndThroughUmbrellaHeader) {
+  wavekit::Store store;
+  wavekit::DayStore day_store;
+
+  wavekit::SchemeConfig config;
+  config.window = 4;
+  config.num_indexes = 2;
+  config.technique = wavekit::UpdateTechniqueKind::kSimpleShadow;
+  auto scheme = wavekit::MakeScheme(
+      wavekit::SchemeKind::kWata,
+      wavekit::SchemeEnv{store.device(), store.allocator(), &day_store},
+      config);
+  ASSERT_TRUE(scheme.ok()) << scheme.status();
+
+  std::vector<wavekit::DayBatch> first;
+  for (wavekit::Day d = 1; d <= 4; ++d) {
+    wavekit::DayBatch batch;
+    batch.day = d;
+    wavekit::Record record;
+    record.record_id = static_cast<uint64_t>(d);
+    record.day = d;
+    record.values = {"umbrella"};
+    batch.records.push_back(record);
+    first.push_back(std::move(batch));
+  }
+  ASSERT_TRUE((*scheme)->Start(std::move(first)).ok());
+
+  std::vector<wavekit::Entry> hits;
+  ASSERT_TRUE((*scheme)->wave().IndexProbe("umbrella", &hits).ok());
+  EXPECT_EQ(hits.size(), 4u);
+
+  // Query helpers, model, advisor and workloads are all visible too.
+  auto aggregate =
+      wavekit::AggregateScan((*scheme)->wave(), wavekit::DayRange::All());
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_EQ(aggregate.ValueOrDie().count, 4u);
+
+  const wavekit::model::CaseParams params =
+      wavekit::model::CaseParams::Scam();
+  EXPECT_GT(params.build_seconds, 0);
+
+  wavekit::workload::NetnewsGenerator netnews({});
+  EXPECT_FALSE(netnews.GenerateDay(1).records.empty());
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include "sim/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace sim {
+namespace {
+
+ExperimentResult FakeResult() {
+  ExperimentResult result;
+  DayStats day;
+  day.day = 11;
+  day.sim_transition_seconds = 1.5;
+  day.sim_query_seconds = 0.25;
+  day.model_transition_seconds = 3341;
+  day.operation_bytes = 1024;
+  day.constituent_bytes = 768;
+  day.temporary_bytes = 256;
+  day.wave_length_days = 7;
+  day.wave_entries = 99;
+  result.days.push_back(day);
+  day.day = 12;
+  result.days.push_back(day);
+  return result;
+}
+
+TEST(CsvTest, HeaderAndRows) {
+  const std::string csv = DayStatsToCsv(FakeResult());
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("day,sim_transition_s", 0), 0u);
+  // 15 columns in the header.
+  EXPECT_EQ(std::count(line.begin(), line.end(), ','), 14);
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 14);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  EXPECT_NE(csv.find("11,1.500000"), std::string::npos);
+  EXPECT_NE(csv.find(",1024,768,256,"), std::string::npos);
+}
+
+TEST(CsvTest, WriteCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "wavekit_csv_test.csv";
+  std::remove(path.c_str());
+  ASSERT_OK(WriteCsv(FakeResult(), path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), DayStatsToCsv(FakeResult()));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  EXPECT_TRUE(WriteCsv(FakeResult(), "/no/such/dir/x.csv").IsIOError());
+}
+
+TEST(CsvTest, EmptyResultIsHeaderOnly) {
+  ExperimentResult empty;
+  const std::string csv = DayStatsToCsv(empty);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace wavekit

@@ -1,0 +1,153 @@
+#include "sim/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace sim {
+namespace {
+
+ExperimentConfig SmallConfig(SchemeKind scheme, int window, int n) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  config.scheme_config.window = window;
+  config.scheme_config.num_indexes = n;
+  config.scheme_config.technique = UpdateTechniqueKind::kSimpleShadow;
+  config.workload = WorkloadKind::kNetnews;
+  config.netnews.articles_per_day = 20;
+  config.netnews.words_per_article = 10;
+  config.netnews.vocabulary_size = 500;
+  config.days_to_run = 2 * window;
+  config.warmup_days = window;
+  config.query_mix.probes_per_day = 100;
+  config.query_mix.probe_sample = 4;
+  config.query_mix.scans_per_day = 2;
+  config.query_mix.scan_sample = 1;
+  return config;
+}
+
+TEST(DriverTest, RunsAndCollectsPerDayStats) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kDel, 6, 2);
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const ExperimentResult result = std::move(run).ValueOrDie();
+  ASSERT_EQ(result.days.size(), 12u);
+  for (const DayStats& day : result.days) {
+    EXPECT_GT(day.sim_transition_seconds, 0.0);
+    EXPECT_GT(day.model_transition_seconds, 0.0);
+    EXPECT_GT(day.operation_bytes, 0u);
+    EXPECT_EQ(day.wave_length_days, 6);
+    EXPECT_GT(day.sim_query_seconds, 0.0);
+    EXPECT_GT(day.model_query_seconds, 0.0);
+  }
+  EXPECT_GT(result.aggregates.avg_sim_total_work, 0.0);
+  EXPECT_GT(result.aggregates.avg_model_total_work, 0.0);
+  EXPECT_GE(result.aggregates.max_operation_bytes,
+            static_cast<uint64_t>(result.aggregates.avg_operation_bytes));
+}
+
+TEST(DriverTest, SimpleShadowShowsTransitionExtraSpace) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kDel, 6, 2);
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run.ValueOrDie().aggregates.avg_transition_extra_bytes, 0.0);
+}
+
+TEST(DriverTest, WataHasSoftWindowLength) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kWata, 7, 3);
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const Aggregates& agg = run.ValueOrDie().aggregates;
+  EXPECT_GT(agg.max_wave_length_days, 7);
+  EXPECT_LE(agg.max_wave_length_days, 7 + 3 - 1);  // W + ceil(Y) - 1
+}
+
+TEST(DriverTest, VolumeTraceOverridesDailyCounts) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kDel, 4, 1);
+  config.days_to_run = 3;
+  config.volume_trace = {5, 5, 5, 5, 50, 5, 5};
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const ExperimentResult result = std::move(run).ValueOrDie();
+  // Day 5 (first transition) carries the 50-article spike.
+  EXPECT_GT(result.days[0].wave_entries, result.days[2].wave_entries);
+}
+
+TEST(DriverTest, TpcdWorkloadRuns) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kReindex, 5, 1);
+  config.workload = WorkloadKind::kTpcd;
+  config.tpcd.rows_per_day = 50;
+  config.tpcd.num_suppliers = 20;
+  config.paper = model::CaseParams::Tpcd();
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run.ValueOrDie().aggregates.avg_model_transition_seconds, 0.0);
+}
+
+TEST(DriverTest, MultiDiskParallelTimesAreConsistent) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kReindex, 8, 4);
+  config.num_disks = 4;
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const Aggregates& agg = run.ValueOrDie().aggregates;
+  // Parallel elapsed never exceeds the serialized time, and queries over
+  // slot-stable constituents actually parallelize.
+  EXPECT_LE(agg.avg_sim_query_parallel_seconds,
+            agg.avg_sim_query_seconds + 1e-12);
+  EXPECT_LT(agg.avg_sim_query_parallel_seconds,
+            0.7 * agg.avg_sim_query_seconds);
+  EXPECT_LE(agg.avg_sim_maintenance_parallel_seconds,
+            agg.avg_sim_transition_seconds + agg.avg_sim_precompute_seconds +
+                1e-12);
+}
+
+TEST(DriverTest, SingleDiskParallelEqualsSerial) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kDel, 6, 2);
+  auto run = ExperimentDriver::Run(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const Aggregates& agg = run.ValueOrDie().aggregates;
+  EXPECT_NEAR(agg.avg_sim_query_parallel_seconds, agg.avg_sim_query_seconds,
+              1e-9);
+  EXPECT_NEAR(agg.avg_sim_maintenance_parallel_seconds,
+              agg.avg_sim_transition_seconds + agg.avg_sim_precompute_seconds,
+              1e-9);
+}
+
+TEST(DriverTest, MultiDiskResultsMatchSingleDiskContent) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kWata, 7, 3);
+  auto one = ExperimentDriver::Run(config);
+  config.num_disks = 3;
+  auto three = ExperimentDriver::Run(config);
+  ASSERT_TRUE(one.ok() && three.ok());
+  // Same scheme, same data: the indexed content must be identical; only
+  // the physical placement differs.
+  ASSERT_EQ(one.ValueOrDie().days.size(), three.ValueOrDie().days.size());
+  for (size_t i = 0; i < one.ValueOrDie().days.size(); ++i) {
+    EXPECT_EQ(one.ValueOrDie().days[i].wave_entries,
+              three.ValueOrDie().days[i].wave_entries);
+    EXPECT_EQ(one.ValueOrDie().days[i].wave_length_days,
+              three.ValueOrDie().days[i].wave_length_days);
+  }
+}
+
+TEST(DriverTest, InvalidConfigSurfacesError) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kWata, 5, 1);  // n < 2
+  EXPECT_FALSE(ExperimentDriver::Run(config).ok());
+}
+
+TEST(DriverTest, DeterministicAcrossRuns) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kRata, 8, 3);
+  auto a = ExperimentDriver::Run(config);
+  auto b = ExperimentDriver::Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().aggregates.avg_sim_total_work,
+                   b.ValueOrDie().aggregates.avg_sim_total_work);
+  EXPECT_EQ(a.ValueOrDie().aggregates.max_operation_bytes,
+            b.ValueOrDie().aggregates.max_operation_bytes);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace wavekit

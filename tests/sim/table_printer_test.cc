@@ -1,0 +1,37 @@
+#include "sim/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace sim {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"scheme", "n", "work"});
+  table.AddRow({"DEL", "1", "12.5"});
+  table.AddRow({"REINDEX++", "10", "3.25"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| scheme    |"), std::string::npos);
+  EXPECT_NE(out.find("| REINDEX++ |"), std::string::npos);
+  EXPECT_NE(out.find("| DEL       |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TitleOnTop) {
+  TablePrinter table({"a"});
+  table.SetTitle("Figure 5: total work");
+  table.AddRow({"x"});
+  EXPECT_EQ(table.ToString().rfind("Figure 5: total work\n", 0), 0u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"only"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace wavekit

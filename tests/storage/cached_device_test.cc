@@ -1,0 +1,151 @@
+#include "storage/cached_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/metered_device.h"
+#include "testing/test_env.h"
+#include "util/random.h"
+
+namespace wavekit {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string AsString(const std::vector<std::byte>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+class CachedDeviceTest : public ::testing::Test {
+ protected:
+  CachedDeviceTest()
+      : memory_(1 << 20),
+        metered_(&memory_),
+        // Cache ABOVE the meter: hits are not charged as device traffic.
+        cached_(&metered_, /*capacity_blocks=*/4, /*block_size=*/64) {}
+
+  MemoryDevice memory_;
+  MeteredDevice metered_;
+  CachedDevice cached_;
+};
+
+TEST_F(CachedDeviceTest, ReadThroughAndHit) {
+  ASSERT_OK(cached_.Write(10, Bytes("hello")));
+  std::vector<std::byte> out(5);
+  ASSERT_OK(cached_.Read(10, out));
+  EXPECT_EQ(AsString(out), "hello");
+  EXPECT_EQ(cached_.stats().misses, 1u);  // block 0 loaded once
+  ASSERT_OK(cached_.Read(10, out));
+  ASSERT_OK(cached_.Read(12, std::span<std::byte>(out.data(), 3)));
+  EXPECT_EQ(cached_.stats().hits, 2u);
+  EXPECT_EQ(cached_.stats().misses, 1u);
+}
+
+TEST_F(CachedDeviceTest, HitsDoNotTouchTheMeteredDevice) {
+  ASSERT_OK(cached_.Write(0, Bytes("abcdef")));
+  std::vector<std::byte> out(6);
+  ASSERT_OK(cached_.Read(0, out));
+  const uint64_t bytes_after_first = metered_.total().bytes_read;
+  for (int i = 0; i < 10; ++i) ASSERT_OK(cached_.Read(0, out));
+  EXPECT_EQ(metered_.total().bytes_read, bytes_after_first)
+      << "cached reads must not be charged as disk traffic";
+}
+
+TEST_F(CachedDeviceTest, ReadsSpanningBlocks) {
+  std::string long_data(200, 'x');
+  for (size_t i = 0; i < long_data.size(); ++i) {
+    long_data[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_OK(cached_.Write(30, Bytes(long_data)));
+  std::vector<std::byte> out(200);
+  ASSERT_OK(cached_.Read(30, out));
+  EXPECT_EQ(AsString(out), long_data);
+}
+
+TEST_F(CachedDeviceTest, LruEviction) {
+  std::vector<std::byte> buf(1);
+  // Touch 5 distinct blocks with a 4-block cache: one eviction.
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_OK(cached_.Read(b * 64, buf));
+  }
+  EXPECT_EQ(cached_.stats().evictions, 1u);
+  EXPECT_EQ(cached_.cached_blocks(), 4u);
+  // Block 0 (LRU) was evicted: re-reading it misses; block 4 still hits.
+  const uint64_t misses_before = cached_.stats().misses;
+  ASSERT_OK(cached_.Read(4 * 64, buf));
+  EXPECT_EQ(cached_.stats().misses, misses_before);
+  ASSERT_OK(cached_.Read(0, buf));
+  EXPECT_EQ(cached_.stats().misses, misses_before + 1);
+}
+
+TEST_F(CachedDeviceTest, LruOrderUpdatedOnHit) {
+  std::vector<std::byte> buf(1);
+  for (uint64_t b = 0; b < 4; ++b) ASSERT_OK(cached_.Read(b * 64, buf));
+  // Touch block 0 so block 1 becomes LRU, then overflow.
+  ASSERT_OK(cached_.Read(0, buf));
+  ASSERT_OK(cached_.Read(4 * 64, buf));  // evicts block 1
+  const uint64_t misses_before = cached_.stats().misses;
+  ASSERT_OK(cached_.Read(0, buf));  // still cached
+  EXPECT_EQ(cached_.stats().misses, misses_before);
+  ASSERT_OK(cached_.Read(1 * 64, buf));  // was evicted
+  EXPECT_EQ(cached_.stats().misses, misses_before + 1);
+}
+
+TEST_F(CachedDeviceTest, WriteThroughUpdatesCachedBlocks) {
+  ASSERT_OK(cached_.Write(0, Bytes("aaaa")));
+  std::vector<std::byte> out(4);
+  ASSERT_OK(cached_.Read(0, out));  // block cached
+  ASSERT_OK(cached_.Write(1, Bytes("bb")));
+  ASSERT_OK(cached_.Read(0, out));  // served from cache
+  EXPECT_EQ(AsString(out), "abba");
+  // And the inner device has the same bytes (write-through).
+  std::vector<std::byte> direct(4);
+  ASSERT_OK(memory_.Read(0, direct));
+  EXPECT_EQ(AsString(direct), "abba");
+}
+
+TEST_F(CachedDeviceTest, InvalidateDropsBlocksKeepsStats) {
+  std::vector<std::byte> buf(1);
+  ASSERT_OK(cached_.Read(0, buf));
+  const CacheStats before = cached_.stats();
+  cached_.Invalidate();
+  EXPECT_EQ(cached_.cached_blocks(), 0u);
+  EXPECT_EQ(cached_.stats().misses, before.misses);
+  ASSERT_OK(cached_.Read(0, buf));
+  EXPECT_EQ(cached_.stats().misses, before.misses + 1);
+}
+
+TEST_F(CachedDeviceTest, OutOfRangeRejected) {
+  std::vector<std::byte> buf(16);
+  EXPECT_TRUE(cached_.Read((1 << 20) - 8, buf).IsOutOfRange());
+}
+
+TEST_F(CachedDeviceTest, RandomizedEquivalenceWithUncachedDevice) {
+  MemoryDevice plain(1 << 16);
+  Rng rng(12345);
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t offset = rng.Uniform((1 << 16) - 128);
+    const size_t length = 1 + rng.Uniform(127);
+    if (rng.Bernoulli(0.4)) {
+      std::vector<std::byte> data(length);
+      for (std::byte& b : data) b = static_cast<std::byte>(rng.Uniform(256));
+      ASSERT_OK(cached_.Write(offset, data));
+      ASSERT_OK(plain.Write(offset, data));
+    } else {
+      std::vector<std::byte> from_cache(length), from_plain(length);
+      ASSERT_OK(cached_.Read(offset, from_cache));
+      ASSERT_OK(plain.Read(offset, from_plain));
+      ASSERT_EQ(from_cache, from_plain) << "step " << step;
+    }
+  }
+  EXPECT_GT(cached_.stats().HitRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,83 @@
+#include "storage/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string AsString(const std::vector<std::byte>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+TEST(MemoryDeviceTest, WriteThenRead) {
+  MemoryDevice device(1024);
+  auto data = Bytes("hello");
+  ASSERT_OK(device.Write(100, data));
+  std::vector<std::byte> out(5);
+  ASSERT_OK(device.Read(100, out));
+  EXPECT_EQ(AsString(out), "hello");
+}
+
+TEST(MemoryDeviceTest, UnwrittenBytesReadZero) {
+  MemoryDevice device(1024);
+  std::vector<std::byte> out(4, std::byte{0xFF});
+  ASSERT_OK(device.Read(0, out));
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemoryDeviceTest, PartiallyMaterializedRead) {
+  MemoryDevice device(1024);
+  ASSERT_OK(device.Write(0, Bytes("abc")));
+  std::vector<std::byte> out(6, std::byte{0xFF});
+  ASSERT_OK(device.Read(0, out));
+  EXPECT_EQ(AsString(out), std::string("abc\0\0\0", 6));
+}
+
+TEST(MemoryDeviceTest, RejectsOutOfRangeAccess) {
+  MemoryDevice device(16);
+  std::vector<std::byte> buf(8);
+  EXPECT_TRUE(device.Write(10, buf).IsOutOfRange());
+  EXPECT_TRUE(device.Read(10, buf).IsOutOfRange());
+  EXPECT_TRUE(device.Read(17, std::span<std::byte>()).IsOutOfRange());
+  // Exactly at the edge is fine.
+  EXPECT_OK(device.Write(8, buf));
+  EXPECT_OK(device.Read(8, buf));
+}
+
+TEST(MemoryDeviceTest, LazyMaterialization) {
+  MemoryDevice device(uint64_t{1} << 30);
+  EXPECT_EQ(device.materialized_bytes(), 0u);
+  ASSERT_OK(device.Write(1000, Bytes("x")));
+  EXPECT_EQ(device.materialized_bytes(), 1001u);
+  EXPECT_EQ(device.capacity(), uint64_t{1} << 30);
+}
+
+TEST(MemoryDeviceTest, EmptyAccessesAreOk) {
+  MemoryDevice device(16);
+  EXPECT_OK(device.Write(4, std::span<const std::byte>()));
+  EXPECT_OK(device.Read(4, std::span<std::byte>()));
+}
+
+TEST(MemoryDeviceTest, OverwriteReplaces) {
+  MemoryDevice device(64);
+  ASSERT_OK(device.Write(0, Bytes("aaaa")));
+  ASSERT_OK(device.Write(1, Bytes("bb")));
+  std::vector<std::byte> out(4);
+  ASSERT_OK(device.Read(0, out));
+  EXPECT_EQ(AsString(out), "abba");
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,73 @@
+#include "storage/disk_array.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+TEST(DiskArrayTest, IndependentDisks) {
+  DiskArray disks(3, 1 << 20);
+  EXPECT_EQ(disks.size(), 3);
+  std::vector<std::byte> buf(100, std::byte{1});
+  ASSERT_OK(disks.device(0)->Write(0, buf));
+  ASSERT_OK(disks.device(2)->Write(0, buf));
+  EXPECT_EQ(disks.device(0)->total().bytes_written, 100u);
+  EXPECT_EQ(disks.device(1)->total().bytes_written, 0u);
+  EXPECT_EQ(disks.device(2)->total().bytes_written, 100u);
+}
+
+TEST(DiskArrayTest, PhaseBroadcast) {
+  DiskArray disks(2);
+  disks.SetPhaseAll(Phase::kQuery);
+  for (MeteredDevice* device : disks.devices()) {
+    EXPECT_EQ(device->phase(), Phase::kQuery);
+  }
+}
+
+TEST(DiskArrayTest, ParallelVsSerialSeconds) {
+  DiskArray disks(4, 1 << 20);
+  CostModel cost;
+  disks.SetPhaseAll(Phase::kQuery);
+  std::vector<std::byte> buf(1000, std::byte{1});
+  // Even traffic across 4 disks: parallel time ~ serial / 4.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(disks.device(i)->Write(0, buf));
+  }
+  const double parallel = disks.ParallelSeconds(cost, Phase::kQuery);
+  const double serial = disks.SerialSeconds(cost, Phase::kQuery);
+  EXPECT_NEAR(serial, 4 * parallel, 1e-9);
+  // Skewed traffic: parallel time tracks the hottest disk.
+  ASSERT_OK(disks.device(0)->Write(0, buf));
+  ASSERT_OK(disks.device(0)->Write(2000, buf));
+  EXPECT_GT(disks.ParallelSeconds(cost, Phase::kQuery), parallel);
+}
+
+TEST(DiskArrayTest, TotalsAndReset) {
+  DiskArray disks(2, 1 << 20);
+  disks.SetPhaseAll(Phase::kTransition);
+  std::vector<std::byte> buf(64, std::byte{1});
+  ASSERT_OK(disks.device(0)->Write(0, buf));
+  ASSERT_OK(disks.device(1)->Write(0, buf));
+  EXPECT_EQ(disks.TotalCounters(Phase::kTransition).bytes_written, 128u);
+  disks.ResetAll();
+  EXPECT_EQ(disks.TotalCounters(Phase::kTransition).bytes_written, 0u);
+}
+
+TEST(DiskArrayTest, MultiPhaseScopeRestoresAll) {
+  DiskArray disks(2);
+  disks.SetPhaseAll(Phase::kOther);
+  {
+    MultiPhaseScope scope(disks.devices(), Phase::kPrecompute);
+    for (MeteredDevice* device : disks.devices()) {
+      EXPECT_EQ(device->phase(), Phase::kPrecompute);
+    }
+  }
+  for (MeteredDevice* device : disks.devices()) {
+    EXPECT_EQ(device->phase(), Phase::kOther);
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

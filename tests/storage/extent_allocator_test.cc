@@ -1,0 +1,143 @@
+#include "storage/extent_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/test_env.h"
+#include "util/random.h"
+
+namespace wavekit {
+namespace {
+
+TEST(ExtentAllocatorTest, AllocatesFirstFit) {
+  ExtentAllocator alloc(1000);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(100));
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(a.length, 100u);
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(200));
+  EXPECT_EQ(b.offset, 100u);
+  EXPECT_EQ(alloc.allocated_bytes(), 300u);
+  EXPECT_EQ(alloc.free_bytes(), 700u);
+}
+
+TEST(ExtentAllocatorTest, ZeroLengthAllocationIsEmpty) {
+  ExtentAllocator alloc(100);
+  ASSERT_OK_AND_ASSIGN(Extent e, alloc.Allocate(0));
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(alloc.free_bytes(), 100u);
+  EXPECT_OK(alloc.Free(e));
+}
+
+TEST(ExtentAllocatorTest, ExhaustionFails) {
+  ExtentAllocator alloc(100);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(80));
+  (void)a;
+  Result<Extent> r = alloc.Allocate(50);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(ExtentAllocatorTest, FreeCoalescesWithNeighbors) {
+  ExtentAllocator alloc(300);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent c, alloc.Allocate(100));
+  ASSERT_OK(alloc.Free(a));
+  ASSERT_OK(alloc.Free(c));
+  EXPECT_EQ(alloc.fragment_count(), 2u);
+  ASSERT_OK(alloc.Free(b));  // merges both neighbors
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+  EXPECT_EQ(alloc.free_bytes(), 300u);
+  ASSERT_OK(alloc.CheckConsistency());
+  // The whole space is allocatable again as one extent.
+  ASSERT_OK_AND_ASSIGN(Extent all, alloc.Allocate(300));
+  EXPECT_EQ(all.offset, 0u);
+}
+
+TEST(ExtentAllocatorTest, FragmentationBlocksLargeAllocation) {
+  ExtentAllocator alloc(300);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent c, alloc.Allocate(100));
+  (void)b;
+  ASSERT_OK(alloc.Free(a));
+  ASSERT_OK(alloc.Free(c));
+  EXPECT_EQ(alloc.free_bytes(), 200u);
+  EXPECT_EQ(alloc.largest_free_extent(), 100u);
+  EXPECT_FALSE(alloc.Allocate(150).ok());  // free total would fit, but split
+  ASSERT_OK_AND_ASSIGN(Extent d, alloc.Allocate(100));
+  EXPECT_EQ(d.offset, 0u);  // first fit
+}
+
+TEST(ExtentAllocatorTest, DoubleFreeDetected) {
+  ExtentAllocator alloc(100);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(50));
+  ASSERT_OK(alloc.Free(a));
+  EXPECT_TRUE(alloc.Free(a).IsInvalidArgument());
+  // Overlapping partial free is also rejected.
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(50));
+  (void)b;
+  EXPECT_TRUE(alloc.Free(Extent{25, 50}).IsInvalidArgument());
+}
+
+TEST(ExtentAllocatorTest, FreeBeyondCapacityRejected) {
+  ExtentAllocator alloc(100);
+  EXPECT_TRUE(alloc.Free(Extent{90, 20}).IsInvalidArgument());
+}
+
+TEST(ExtentAllocatorTest, SubdividedFreeIsAllowed) {
+  // Callers may allocate one run and free sub-ranges (the packed build
+  // pattern): the allocator accepts any currently-allocated byte range.
+  ExtentAllocator alloc(100);
+  ASSERT_OK_AND_ASSIGN(Extent run, alloc.Allocate(90));
+  ASSERT_OK(alloc.Free(Extent{run.offset, 30}));
+  ASSERT_OK(alloc.Free(Extent{run.offset + 60, 30}));
+  ASSERT_OK(alloc.Free(Extent{run.offset + 30, 30}));
+  EXPECT_EQ(alloc.free_bytes(), 100u);
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+  ASSERT_OK(alloc.CheckConsistency());
+}
+
+TEST(ExtentAllocatorTest, PeakTracking) {
+  ExtentAllocator alloc(1000);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(100));
+  alloc.ResetPeak();
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(400));
+  ASSERT_OK(alloc.Free(a));
+  EXPECT_EQ(alloc.allocated_bytes(), 400u);
+  EXPECT_EQ(alloc.peak_allocated_bytes(), 500u);
+  alloc.ResetPeak();
+  EXPECT_EQ(alloc.peak_allocated_bytes(), 400u);
+  ASSERT_OK(alloc.Free(b));
+}
+
+TEST(ExtentAllocatorTest, RandomizedAllocFreeStaysConsistent) {
+  ExtentAllocator alloc(1 << 20);
+  Rng rng(99);
+  std::vector<Extent> live;
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      uint64_t size = 1 + rng.Uniform(4096);
+      Result<Extent> r = alloc.Allocate(size);
+      if (r.ok()) live.push_back(std::move(r).ValueOrDie());
+    } else {
+      size_t pick = rng.Uniform(live.size());
+      ASSERT_OK(alloc.Free(live[pick]));
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (i % 100 == 0) {
+      ASSERT_OK(alloc.CheckConsistency());
+    }
+  }
+  uint64_t live_bytes = 0;
+  for (const Extent& e : live) live_bytes += e.length;
+  EXPECT_EQ(alloc.allocated_bytes(), live_bytes);
+  for (const Extent& e : live) ASSERT_OK(alloc.Free(e));
+  EXPECT_EQ(alloc.free_bytes(), uint64_t{1} << 20);
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+  ASSERT_OK(alloc.CheckConsistency());
+}
+
+}  // namespace
+}  // namespace wavekit

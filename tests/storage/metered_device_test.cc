@@ -1,0 +1,118 @@
+#include "storage/metered_device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+class MeteredDeviceTest : public ::testing::Test {
+ protected:
+  MeteredDeviceTest() : inner_(4096), device_(&inner_) {}
+
+  void Write(uint64_t offset, size_t n) {
+    std::vector<std::byte> buf(n, std::byte{1});
+    ASSERT_OK(device_.Write(offset, buf));
+  }
+  void Read(uint64_t offset, size_t n) {
+    std::vector<std::byte> buf(n);
+    ASSERT_OK(device_.Read(offset, buf));
+  }
+
+  MemoryDevice inner_;
+  MeteredDevice device_;
+};
+
+TEST_F(MeteredDeviceTest, FirstAccessCostsOneSeek) {
+  Write(0, 100);
+  EXPECT_EQ(device_.total().seeks, 1u);
+  EXPECT_EQ(device_.total().bytes_written, 100u);
+}
+
+TEST_F(MeteredDeviceTest, SequentialAccessesCostOneSeekTotal) {
+  Write(0, 100);
+  Write(100, 50);
+  Read(150, 10);  // continues right after the last write
+  EXPECT_EQ(device_.total().seeks, 1u);
+  EXPECT_EQ(device_.total().bytes_written, 150u);
+  EXPECT_EQ(device_.total().bytes_read, 10u);
+}
+
+TEST_F(MeteredDeviceTest, NonSequentialAccessCostsExtraSeek) {
+  Write(0, 100);
+  Write(500, 100);  // jump
+  Write(600, 100);  // sequential again
+  Write(0, 10);     // jump back
+  EXPECT_EQ(device_.total().seeks, 3u);
+}
+
+TEST_F(MeteredDeviceTest, PhasesAccumulateSeparately) {
+  device_.set_phase(Phase::kTransition);
+  Write(0, 100);
+  device_.set_phase(Phase::kQuery);
+  Read(0, 100);
+  EXPECT_EQ(device_.counters(Phase::kTransition).bytes_written, 100u);
+  EXPECT_EQ(device_.counters(Phase::kTransition).bytes_read, 0u);
+  EXPECT_EQ(device_.counters(Phase::kQuery).bytes_read, 100u);
+  EXPECT_EQ(device_.total().bytes_transferred(), 200u);
+}
+
+TEST_F(MeteredDeviceTest, PhaseScopeRestores) {
+  device_.set_phase(Phase::kOther);
+  {
+    PhaseScope scope(&device_, Phase::kPrecompute);
+    EXPECT_EQ(device_.phase(), Phase::kPrecompute);
+    Write(0, 10);
+  }
+  EXPECT_EQ(device_.phase(), Phase::kOther);
+  EXPECT_EQ(device_.counters(Phase::kPrecompute).bytes_written, 10u);
+}
+
+TEST_F(MeteredDeviceTest, ResetClearsCountersKeepsHead) {
+  Write(0, 100);
+  device_.Reset();
+  EXPECT_EQ(device_.total().bytes_transferred(), 0u);
+  // Head position survives: continuing sequentially costs no seek.
+  Write(100, 10);
+  EXPECT_EQ(device_.total().seeks, 0u);
+}
+
+TEST_F(MeteredDeviceTest, ErrorsAreNotAccounted) {
+  std::vector<std::byte> buf(10);
+  EXPECT_TRUE(device_.Write(5000, buf).IsOutOfRange());
+  EXPECT_EQ(device_.total().bytes_written, 0u);
+  EXPECT_EQ(device_.total().seeks, 0u);
+}
+
+TEST_F(MeteredDeviceTest, OpCountsTracked) {
+  Write(0, 10);
+  Write(10, 10);
+  Read(0, 5);
+  EXPECT_EQ(device_.total().write_ops, 2u);
+  EXPECT_EQ(device_.total().read_ops, 1u);
+}
+
+TEST(CostModelTest, SecondsFormula) {
+  CostModel cost;  // 14 ms seek, 10 MB/s
+  IoCounters io;
+  io.seeks = 2;
+  io.bytes_read = 5'000'000;
+  io.bytes_written = 5'000'000;
+  EXPECT_NEAR(cost.Seconds(io), 2 * 0.014 + 1.0, 1e-9);
+}
+
+TEST(CostModelTest, CounterArithmetic) {
+  IoCounters a{2, 100, 50, 3, 1};
+  IoCounters b{1, 40, 20, 1, 1};
+  IoCounters sum = a + b;
+  EXPECT_EQ(sum.seeks, 3u);
+  EXPECT_EQ(sum.bytes_read, 140u);
+  IoCounters diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+}  // namespace
+}  // namespace wavekit

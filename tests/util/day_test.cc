@@ -1,0 +1,66 @@
+#include "util/day.h"
+
+#include <gtest/gtest.h>
+
+#include "util/format.h"
+
+namespace wavekit {
+namespace {
+
+TEST(DayRangeTest, AllContainsEverything) {
+  DayRange all = DayRange::All();
+  EXPECT_TRUE(all.Contains(kDayNegInf));
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(kDayPosInf));
+}
+
+TEST(DayRangeTest, WindowBounds) {
+  DayRange w = DayRange::Window(/*latest=*/10, /*w=*/7);
+  EXPECT_EQ(w.lo, 4);
+  EXPECT_EQ(w.hi, 10);
+  EXPECT_FALSE(w.Contains(3));
+  EXPECT_TRUE(w.Contains(4));
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_FALSE(w.Contains(11));
+}
+
+TEST(DayRangeTest, IntersectsTimeSet) {
+  DayRange r{5, 8};
+  EXPECT_TRUE(r.Intersects({5}));
+  EXPECT_TRUE(r.Intersects({1, 8}));
+  EXPECT_TRUE(r.Intersects({6, 20}));
+  EXPECT_FALSE(r.Intersects({1, 4}));
+  EXPECT_FALSE(r.Intersects({9, 10}));
+  EXPECT_FALSE(r.Intersects({}));
+}
+
+TEST(DayRangeTest, CoversTimeSet) {
+  DayRange r{5, 8};
+  EXPECT_TRUE(r.Covers({5, 8}));
+  EXPECT_TRUE(r.Covers({6}));
+  EXPECT_FALSE(r.Covers({4, 6}));
+  EXPECT_FALSE(r.Covers({6, 9}));
+  EXPECT_FALSE(r.Covers({}));  // an empty set is not "covered"
+}
+
+TEST(DayRangeTest, CoversImpliesIntersects) {
+  DayRange r{2, 9};
+  for (Day lo = 1; lo <= 10; ++lo) {
+    for (Day hi = lo; hi <= 10; ++hi) {
+      TimeSet ts;
+      for (Day d = lo; d <= hi; ++d) ts.insert(d);
+      if (r.Covers(ts)) {
+        EXPECT_TRUE(r.Intersects(ts));
+      }
+    }
+  }
+}
+
+TEST(TimeSetTest, ToStringFormatsSorted) {
+  EXPECT_EQ(TimeSetToString({}), "{}");
+  EXPECT_EQ(TimeSetToString({3}), "{3}");
+  EXPECT_EQ(TimeSetToString({11, 2, 5}), "{2, 5, 11}");
+}
+
+}  // namespace
+}  // namespace wavekit

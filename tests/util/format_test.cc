@@ -1,0 +1,45 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace {
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(uint64_t{5} << 20), "5.00 MiB");
+  EXPECT_EQ(FormatBytes(uint64_t{3} << 30), "3.00 GiB");
+  EXPECT_EQ(FormatBytes(uint64_t{2} << 40), "2.00 TiB");
+}
+
+TEST(FormatSecondsTest, Units) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.50 s");
+  EXPECT_EQ(FormatSeconds(0.25), "250.00 ms");
+  EXPECT_EQ(FormatSeconds(2e-5), "20.00 us");
+  EXPECT_EQ(FormatSeconds(3e-8), "30.00 ns");
+  EXPECT_EQ(FormatSeconds(0.0), "0.00 s");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.005, 1), "-1.0");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "|"), "a|b|c");
+}
+
+}  // namespace
+}  // namespace wavekit

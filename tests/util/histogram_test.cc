@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wavekit {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {10u, 20u, 30u, 40u}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, PercentilesAreBucketUpperBounds) {
+  Histogram h;
+  // 90 small values (bucket [8,16)), 10 large (bucket [1024,2048)).
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1500);
+  EXPECT_LE(h.Percentile(0.5), 15u);
+  EXPECT_GE(h.Percentile(0.95), 1024u);
+  EXPECT_LE(h.Percentile(0.95), 2047u);
+  EXPECT_EQ(h.Percentile(1.0), h.Percentile(0.999));
+}
+
+TEST(HistogramTest, PercentilesClampedToObservedRange) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.Percentile(0.5), 100u);  // upper bound 127 clamps to max=100
+  EXPECT_EQ(h.Percentile(0.0), 100u);
+}
+
+TEST(HistogramTest, ZeroAndHugeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(h.Percentile(1.0), ~uint64_t{0});
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, PercentileMonotoneInQ) {
+  Histogram h;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) h.Record(1 + rng.Uniform(100000));
+  uint64_t previous = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const uint64_t p = h.Percentile(q);
+    EXPECT_GE(p, previous) << "q=" << q;
+    previous = p;
+  }
+  // p50 of a uniform [1, 100k] sample lands within its bucket's factor-2
+  // error of 50k.
+  EXPECT_GE(h.Percentile(0.5), 32768u);
+  EXPECT_LE(h.Percentile(0.5), 131072u);
+}
+
+TEST(HistogramTest, ToStringMentionsEverything) {
+  Histogram h;
+  h.Record(42);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,140 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace wavekit {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(5), parent2(5);
+  Rng childa = parent1.Fork(1);
+  Rng childb = parent2.Fork(1);
+  EXPECT_EQ(childa.Next(), childb.Next());
+  Rng parent3(5);
+  Rng other = parent3.Fork(2);
+  EXPECT_NE(childa.Next(), other.Next());
+}
+
+TEST(ZipfTest, RanksWithinUniverse) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, SingleElementUniverse) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SkewMatchesTheta) {
+  // With theta = 1, P(rank 0) / P(rank 9) should be about 10.
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(31);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  ASSERT_GT(counts[0], 0);
+  ASSERT_GT(counts[9], 0);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng(37);
+  ZipfDistribution mild(1000, 0.8), sharp(1000, 1.4);
+  int mild_top = 0, sharp_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Sample(rng) < 10) ++mild_top;
+    if (sharp.Sample(rng) < 10) ++sharp_top;
+  }
+  EXPECT_GT(sharp_top, mild_top);
+}
+
+TEST(ZipfTest, NonOneThetaSupported) {
+  ZipfDistribution zipf(500, 1.2);
+  Rng rng(41);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) max_seen = std::max(max_seen, zipf.Sample(rng));
+  EXPECT_LT(max_seen, 500u);
+  EXPECT_GT(max_seen, 50u);  // the tail is reachable
+}
+
+TEST(ShuffleTest, PermutationPreserved) {
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  Rng rng(43);
+  Shuffle(items, rng);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,131 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace wavekit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad n");
+}
+
+TEST(StatusTest, AllCodePredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Status::NotFound("other"));
+  EXPECT_NE(a, Status::OK());
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = Status::IOError("device full").WithContext("writing bucket");
+  EXPECT_EQ(s.message(), "writing bucket: device full");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal error: boom");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  WAVEKIT_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_TRUE(Propagates(-1).IsInvalidArgument());
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  WAVEKIT_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = HalfOf(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = HalfOf(3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = QuarterOf(20);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_FALSE(QuarterOf(10).ok());  // 10/2 = 5, odd
+  EXPECT_FALSE(QuarterOf(7).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace wavekit {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter]() { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, MultipleWaitRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter]() { ++counter; });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> gate{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&]() {
+      ++gate;
+      // Hold until several tasks are in flight so distinct workers engage.
+      while (gate.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.Submit([&counter]() { ++counter; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran]() { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,153 @@
+// The advisor must reproduce the paper's Section 6 recommendations from the
+// same inputs the paper used.
+
+#include "wave/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+TEST(AdvisorTest, WseRecommendationIsDelN1Packed) {
+  // Section 6: "we recommend using DEL (n = 1) with packed shadow updating
+  // for a WSE. This is because for n = 1, the response time for user queries
+  // is low. Also, DEL performs minimal total work."
+  AdvisorConstraints constraints;
+  ASSERT_OK_AND_ASSIGN(
+      Recommendation best,
+      AdviseWaveIndex(model::CaseParams::Wse(), 35, constraints));
+  EXPECT_EQ(best.scheme, SchemeKind::kDel);
+  EXPECT_EQ(best.num_indexes, 1);
+  EXPECT_EQ(best.technique, UpdateTechniqueKind::kPackedShadow);
+}
+
+TEST(AdvisorTest, TpcdWithPackedShadowingPrefersDel) {
+  // Section 6: "If packed shadowing can be implemented, use DEL".
+  AdvisorConstraints constraints;
+  ASSERT_OK_AND_ASSIGN(
+      Recommendation best,
+      AdviseWaveIndex(model::CaseParams::Tpcd(), 100, constraints));
+  EXPECT_EQ(best.scheme, SchemeKind::kDel);
+  EXPECT_EQ(best.technique, UpdateTechniqueKind::kPackedShadow);
+}
+
+TEST(AdvisorTest, TpcdWithoutPackedShadowingPrefersWataAtLargeN) {
+  // Section 6: "If packed shadowing cannot be implemented (since some legacy
+  // system needs to be used), implement WATA (n = 10)."
+  AdvisorConstraints constraints;
+  constraints.can_implement_packed_shadow = false;
+  ASSERT_OK_AND_ASSIGN(
+      Recommendation best,
+      AdviseWaveIndex(model::CaseParams::Tpcd(), 100, constraints));
+  EXPECT_EQ(best.scheme, SchemeKind::kWata);
+  EXPECT_GE(best.num_indexes, 8);
+  EXPECT_EQ(best.technique, UpdateTechniqueKind::kSimpleShadow);
+}
+
+TEST(AdvisorTest, TpcdHardWindowsWithoutPackedShadowingPrefersRata) {
+  // Section 6: "If hard windows are required, we recommend RATA (n = 10)
+  // since it performs the same work as DEL, and is not as complex ... ".
+  AdvisorConstraints constraints;
+  constraints.can_implement_packed_shadow = false;
+  constraints.require_hard_window = true;
+  constraints.can_implement_delete = false;  // the legacy-package scenario
+  ASSERT_OK_AND_ASSIGN(
+      Recommendation best,
+      AdviseWaveIndex(model::CaseParams::Tpcd(), 100, constraints));
+  EXPECT_EQ(best.scheme, SchemeKind::kRata);
+  EXPECT_GE(best.num_indexes, 6);
+}
+
+TEST(AdvisorTest, ScamHardWindowSimpleShadowPrefersReindexMidN) {
+  // Section 6 picks REINDEX with n = 4 for SCAM (hard weekly window; the
+  // study reports simple shadowing), on work + space + response grounds.
+  AdvisorConstraints constraints;
+  constraints.require_hard_window = true;
+  constraints.can_implement_packed_shadow = false;
+  constraints.max_indexes = 7;
+  constraints.space_weight = 50.0;  // Figure 3's space argument
+  ASSERT_OK_AND_ASSIGN(
+      Recommendation best,
+      AdviseWaveIndex(model::CaseParams::Scam(), 7, constraints));
+  EXPECT_EQ(best.scheme, SchemeKind::kReindex);
+  EXPECT_GE(best.num_indexes, 3);
+  EXPECT_LE(best.num_indexes, 5);
+}
+
+TEST(AdvisorTest, LegacyPackageWithoutDeletesNeverPicksDel) {
+  AdvisorConstraints constraints;
+  constraints.can_implement_delete = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto ranked, RankWaveIndexOptions(model::CaseParams::Wse(), 35,
+                                        constraints));
+  ASSERT_FALSE(ranked.empty());
+  for (const Recommendation& r : ranked) {
+    EXPECT_NE(r.scheme, SchemeKind::kDel);
+    EXPECT_EQ(r.technique, UpdateTechniqueKind::kSimpleShadow);
+  }
+}
+
+TEST(AdvisorTest, HardWindowConstraintExcludesSoftSchemes) {
+  AdvisorConstraints constraints;
+  constraints.require_hard_window = true;
+  ASSERT_OK_AND_ASSIGN(
+      auto ranked, RankWaveIndexOptions(model::CaseParams::Scam(), 7,
+                                        constraints));
+  for (const Recommendation& r : ranked) {
+    EXPECT_NE(r.scheme, SchemeKind::kWata);
+    EXPECT_NE(r.scheme, SchemeKind::kKnownBoundWata);
+  }
+}
+
+TEST(AdvisorTest, ProbeLatencyCapLimitsN) {
+  // 100k probes/day make latency scale with n; cap it near the n=2 level.
+  const model::CaseParams params = model::CaseParams::Scam();
+  const model::QueryShape shape =
+      model::ShapeOf(SchemeKind::kDel, UpdateTechniqueKind::kSimpleShadow, 7,
+                     2);
+  AdvisorConstraints constraints;
+  constraints.max_probe_seconds =
+      model::TimedIndexProbeSeconds(params, shape, 2) * 1.01;
+  ASSERT_OK_AND_ASSIGN(auto ranked,
+                       RankWaveIndexOptions(params, 7, constraints));
+  ASSERT_FALSE(ranked.empty());
+  for (const Recommendation& r : ranked) EXPECT_LE(r.num_indexes, 2);
+}
+
+TEST(AdvisorTest, SpaceBudgetFilters) {
+  AdvisorConstraints constraints;
+  constraints.max_space_bytes = 8 * 56e6;  // 8 packed SCAM days: very tight
+  auto ranked =
+      RankWaveIndexOptions(model::CaseParams::Scam(), 7, constraints);
+  ASSERT_TRUE(ranked.ok());
+  for (const Recommendation& r : ranked.ValueOrDie()) {
+    EXPECT_LE(r.space.avg_total(), 8 * 56e6);
+  }
+}
+
+TEST(AdvisorTest, ImpossibleConstraintsError) {
+  AdvisorConstraints constraints;
+  constraints.max_space_bytes = 1;  // nothing fits
+  auto best = AdviseWaveIndex(model::CaseParams::Scam(), 7, constraints);
+  EXPECT_FALSE(best.ok());
+  EXPECT_TRUE(best.status().IsInvalidArgument());
+}
+
+TEST(AdvisorTest, RankingIsSortedAndJustified) {
+  ASSERT_OK_AND_ASSIGN(
+      auto ranked,
+      RankWaveIndexOptions(model::CaseParams::Wse(), 35, AdvisorConstraints{}));
+  ASSERT_GT(ranked.size(), 10u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].objective, ranked[i].objective);
+  }
+  for (const Recommendation& r : ranked) {
+    EXPECT_FALSE(r.rationale.empty());
+    EXPECT_NE(r.rationale.find(SchemeKindName(r.scheme)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,232 @@
+#include "wave/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "index/index_builder.h"
+#include "storage/file_device.h"
+#include "testing/test_env.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+using testing::ReferenceIndex;
+
+class CheckpointTest : public testing::StoreTest {
+ protected:
+  // A wave index of two constituents (one packed, one incrementally grown).
+  void BuildWave() {
+    std::vector<DayBatch> batches;
+    for (Day d = 1; d <= 3; ++d) {
+      batches.push_back(MakeMixedBatch(d));
+      reference_.Add(batches.back());
+    }
+    std::vector<const DayBatch*> ptrs;
+    for (const DayBatch& b : batches) ptrs.push_back(&b);
+    auto packed = IndexBuilder::BuildPacked(store_.device(),
+                                            store_.allocator(), Options(),
+                                            ptrs, "packed-part");
+    ASSERT_TRUE(packed.ok()) << packed.status();
+    wave_.AddIndex(std::move(packed).ValueOrDie());
+
+    auto grown = std::make_shared<ConstituentIndex>(
+        store_.device(), store_.allocator(), Options(), "grown-part");
+    for (Day d = 4; d <= 6; ++d) {
+      DayBatch batch = MakeMixedBatch(d);
+      reference_.Add(batch);
+      ASSERT_OK(grown->AddBatch(batch));
+    }
+    wave_.AddIndex(std::move(grown));
+  }
+
+  WaveIndex wave_;
+  ReferenceIndex reference_;
+};
+
+TEST_F(CheckpointTest, SerializeIsDeterministic) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string a, SerializeCheckpoint(wave_));
+  ASSERT_OK_AND_ASSIGN(std::string b, SerializeCheckpoint(wave_));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("wavekit-checkpoint 1"), std::string::npos);
+  EXPECT_NE(a.find("packed-part"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, RoundTripPreservesEverything) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  // Reopen against the same device with a FRESH allocator (as a restart
+  // would): every bucket extent must be re-reserved.
+  ExtentAllocator fresh_allocator(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(contents, store_.device(), &fresh_allocator,
+                            Options()));
+  ASSERT_EQ(reopened.num_constituents(), 2u);
+  EXPECT_EQ(reopened.CoveredDays(), (TimeSet{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(reopened.EntryCount(), wave_.EntryCount());
+
+  // Queries over the reopened index match brute force.
+  std::vector<Entry> out;
+  ASSERT_OK(reopened.IndexProbe("alpha", &out));
+  ReferenceIndex::Sort(&out);
+  EXPECT_EQ(out, reference_.Probe("alpha", kDayNegInf, kDayPosInf));
+  std::vector<Entry> scanned;
+  ASSERT_OK(reopened.TimedSegmentScan(
+      DayRange{2, 5},
+      [&](const Value&, const Entry& e) { scanned.push_back(e); }));
+  ReferenceIndex::Sort(&scanned);
+  EXPECT_EQ(scanned, reference_.ScanAll(2, 5));
+
+  // Packedness survived; so did structural invariants.
+  EXPECT_TRUE(reopened.constituents()[0]->packed());
+  ASSERT_OK(reopened.constituents()[0]->CheckPacked());
+  for (const auto& c : reopened.constituents()) {
+    ASSERT_OK(c->CheckConsistency());
+  }
+  // The fresh allocator accounts exactly the live bytes.
+  EXPECT_EQ(fresh_allocator.allocated_bytes(), wave_.AllocatedBytes());
+}
+
+TEST_F(CheckpointTest, ReopenedIndexSupportsFurtherMaintenance) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  ExtentAllocator fresh_allocator(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(contents, store_.device(), &fresh_allocator,
+                            Options()));
+  // New allocations must not clobber reserved buckets: add a day to the
+  // grown part and re-check both parts.
+  auto grown = reopened.constituents()[1];
+  DayBatch batch = MakeMixedBatch(7);
+  reference_.Add(batch);
+  ASSERT_OK(grown->AddBatch(batch));
+  ASSERT_OK(grown->CheckConsistency());
+  std::vector<Entry> out;
+  ASSERT_OK(reopened.IndexProbe("beta", &out));
+  ReferenceIndex::Sort(&out);
+  EXPECT_EQ(out, reference_.Probe("beta", kDayNegInf, kDayPosInf));
+}
+
+TEST_F(CheckpointTest, FileRoundTripOnDurableDevice) {
+  // Full restart simulation: build on a FileDevice, checkpoint to a second
+  // file, drop every in-memory object, reopen both files, query.
+  const std::string data_path = ::testing::TempDir() + "wavekit_ckpt_data";
+  const std::string ckpt_path = ::testing::TempDir() + "wavekit_ckpt_meta";
+  std::remove(data_path.c_str());
+  std::remove(ckpt_path.c_str());
+  ReferenceIndex reference;
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, FileDevice::Open(data_path, 1 << 24));
+    MeteredDevice device(file.get());
+    ExtentAllocator allocator(1 << 24);
+    WaveIndex wave;
+    for (Day d = 1; d <= 4; ++d) {
+      DayBatch batch = MakeMixedBatch(d);
+      reference.Add(batch);
+      auto built = IndexBuilder::BuildPacked(&device, &allocator, {}, batch,
+                                             "I" + std::to_string(d));
+      ASSERT_TRUE(built.ok()) << built.status();
+      wave.AddIndex(std::move(built).ValueOrDie());
+    }
+    ASSERT_OK(WriteCheckpoint(wave, ckpt_path));
+    ASSERT_OK(file->Sync());
+    // Prevent the destructors from freeing the (persisted) extents being a
+    // problem: allocator and indexes die here, the FILE keeps the bytes.
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, FileDevice::Open(data_path, 1 << 24));
+    MeteredDevice device(file.get());
+    ExtentAllocator allocator(1 << 24);
+    ASSERT_OK_AND_ASSIGN(WaveIndex wave,
+                         LoadCheckpoint(ckpt_path, &device, &allocator, {}));
+    EXPECT_EQ(wave.num_constituents(), 4u);
+    std::vector<Entry> out;
+    ASSERT_OK(wave.IndexProbe("gamma", &out));
+    ReferenceIndex::Sort(&out);
+    EXPECT_EQ(out, reference.Probe("gamma", kDayNegInf, kDayPosInf));
+  }
+  std::remove(data_path.c_str());
+  std::remove(ckpt_path.c_str());
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointsAreRejected) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  // Bad magic.
+  EXPECT_FALSE(DeserializeCheckpoint("not-a-checkpoint 1", store_.device(),
+                                     &fresh, Options())
+                   .ok());
+  // Bad version.
+  std::string bad_version = contents;
+  bad_version.replace(bad_version.find(" 1\n"), 3, " 9\n");
+  EXPECT_FALSE(DeserializeCheckpoint(bad_version, store_.device(), &fresh,
+                                     Options())
+                   .ok());
+  // Truncation.
+  EXPECT_FALSE(DeserializeCheckpoint(contents.substr(0, contents.size() / 2),
+                                     store_.device(), &fresh, Options())
+                   .ok());
+  // Overlapping buckets (same checkpoint loaded twice into one allocator).
+  // The first load must stay alive, or its destructor releases the
+  // reservations again.
+  ExtentAllocator once(store_.allocator()->capacity());
+  auto first_load =
+      DeserializeCheckpoint(contents, store_.device(), &once, Options());
+  ASSERT_TRUE(first_load.ok()) << first_load.status();
+  auto again =
+      DeserializeCheckpoint(contents, store_.device(), &once, Options());
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsFailedPrecondition());
+}
+
+TEST_F(CheckpointTest, LoadFromMissingFileFails) {
+  ExtentAllocator fresh(1024);
+  EXPECT_TRUE(LoadCheckpoint("/no/such/file", store_.device(), &fresh,
+                             Options())
+                  .status()
+                  .IsIOError());
+}
+
+TEST_F(CheckpointTest, SchemeWaveCanBeCheckpointed) {
+  // End to end with a real scheme: run WATA* for a while, checkpoint its
+  // wave, reload, compare query results.
+  DayStore day_store;
+  SchemeConfig config;
+  config.window = 6;
+  config.num_indexes = 3;
+  config.technique = UpdateTechniqueKind::kSimpleShadow;
+  auto made = MakeScheme(SchemeKind::kWata,
+                         SchemeEnv{store_.device(), store_.allocator(),
+                                   &day_store},
+                         config);
+  ASSERT_TRUE(made.ok()) << made.status();
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+  ReferenceIndex reference;
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= 6; ++d) first.push_back(MakeMixedBatch(d));
+  ASSERT_OK(scheme->Start(std::move(first)));
+  for (Day d = 7; d <= 15; ++d) {
+    ASSERT_OK(scheme->Transition(MakeMixedBatch(d)));
+  }
+  ASSERT_OK_AND_ASSIGN(std::string contents,
+                       SerializeCheckpoint(scheme->wave()));
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(contents, store_.device(), &fresh, Options()));
+  std::vector<Entry> original, reloaded;
+  ASSERT_OK(scheme->wave().IndexProbe("alpha", &original));
+  ASSERT_OK(reopened.IndexProbe("alpha", &reloaded));
+  ReferenceIndex::Sort(&original);
+  ReferenceIndex::Sort(&reloaded);
+  EXPECT_EQ(reloaded, original);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,45 @@
+#include "wave/day_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+
+TEST(DayStoreTest, PutGet) {
+  DayStore store;
+  ASSERT_OK(store.Put(MakeMixedBatch(3)));
+  ASSERT_OK_AND_ASSIGN(const DayBatch* batch, store.Get(3));
+  EXPECT_EQ(batch->day, 3);
+  EXPECT_TRUE(store.Has(3));
+  EXPECT_FALSE(store.Has(4));
+}
+
+TEST(DayStoreTest, DuplicatePutFails) {
+  DayStore store;
+  ASSERT_OK(store.Put(MakeMixedBatch(1)));
+  EXPECT_TRUE(store.Put(MakeMixedBatch(1)).IsAlreadyExists());
+}
+
+TEST(DayStoreTest, GetMissingFails) {
+  DayStore store;
+  EXPECT_TRUE(store.Get(9).status().IsNotFound());
+}
+
+TEST(DayStoreTest, PruneDropsOlderDays) {
+  DayStore store;
+  for (Day d = 1; d <= 10; ++d) ASSERT_OK(store.Put(MakeMixedBatch(d)));
+  EXPECT_EQ(store.size(), 10u);
+  store.Prune(/*oldest_needed=*/7);
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_FALSE(store.Has(6));
+  EXPECT_TRUE(store.Has(7));
+  // Re-inserting a pruned day is allowed (it is simply absent).
+  ASSERT_OK(store.Put(MakeMixedBatch(2)));
+}
+
+}  // namespace
+}  // namespace wavekit

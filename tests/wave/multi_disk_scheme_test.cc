@@ -1,0 +1,153 @@
+// Multi-disk wave indexes (paper Section 8): constituents spread across a
+// DiskArray, queries fan out over disks, correctness is unchanged.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/disk_array.h"
+#include "testing/test_env.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+using testing::ReferenceIndex;
+
+class MultiDiskSchemeTest : public ::testing::Test {
+ protected:
+  void StartScheme(SchemeKind kind, int window, int n, int num_disks) {
+    disks_ = std::make_unique<DiskArray>(num_disks, uint64_t{1} << 26);
+    SchemeEnv env;
+    env.device = disks_->device(0);
+    env.allocator = disks_->allocator(0);
+    env.day_store = &day_store_;
+    for (int i = 0; i < disks_->size(); ++i) {
+      env.disks.push_back(
+          SchemeEnv::Disk{disks_->device(i), disks_->allocator(i)});
+    }
+    SchemeConfig config;
+    config.window = window;
+    config.num_indexes = n;
+    config.technique = UpdateTechniqueKind::kSimpleShadow;
+    auto made = MakeScheme(kind, env, config);
+    ASSERT_TRUE(made.ok()) << made.status();
+    scheme_ = std::move(made).ValueOrDie();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) {
+      DayBatch batch = MakeMixedBatch(d);
+      reference_by_day_[d] = batch;
+      first.push_back(std::move(batch));
+    }
+    ASSERT_OK(scheme_->Start(std::move(first)));
+  }
+
+  void Advance() {
+    const Day d = scheme_->current_day() + 1;
+    DayBatch batch = MakeMixedBatch(d);
+    reference_by_day_[d] = batch;
+    ASSERT_OK(scheme_->Transition(std::move(batch)));
+  }
+
+  // Devices hosting at least one constituent right now.
+  std::set<const Device*> ConstituentDevices() const {
+    std::set<const Device*> devices;
+    for (const auto& c : scheme_->wave().constituents()) {
+      devices.insert(c->device());
+    }
+    return devices;
+  }
+
+  std::unique_ptr<DiskArray> disks_;
+  DayStore day_store_;
+  std::map<Day, DayBatch> reference_by_day_;
+  std::unique_ptr<Scheme> scheme_;
+};
+
+TEST_F(MultiDiskSchemeTest, ConstituentsSpreadAcrossDisks) {
+  StartScheme(SchemeKind::kReindex, 8, 4, 4);
+  EXPECT_EQ(ConstituentDevices().size(), 4u)
+      << "Start should place each of the 4 constituents on its own disk";
+  for (int i = 0; i < 16; ++i) Advance();
+  EXPECT_GE(ConstituentDevices().size(), 2u);
+}
+
+TEST_F(MultiDiskSchemeTest, QueriesAreCorrectAcrossDisks) {
+  StartScheme(SchemeKind::kReindex, 8, 4, 3);
+  for (int i = 0; i < 12; ++i) {
+    Advance();
+    const Day d = scheme_->current_day();
+    ReferenceIndex reference;
+    for (const auto& [day, batch] : reference_by_day_) {
+      if (day > d - 8 && day <= d) reference.Add(batch);
+    }
+    std::vector<Entry> got;
+    ASSERT_OK(scheme_->wave().TimedIndexProbe(DayRange::Window(d, 8), "alpha",
+                                              &got));
+    ReferenceIndex::Sort(&got);
+    ASSERT_EQ(got, reference.Probe("alpha", d - 7, d)) << "day " << d;
+  }
+}
+
+TEST_F(MultiDiskSchemeTest, QueryTrafficTouchesMultipleDisks) {
+  StartScheme(SchemeKind::kWata, 9, 3, 3);
+  for (int i = 0; i < 6; ++i) Advance();
+  disks_->ResetAll();
+  disks_->SetPhaseAll(Phase::kQuery);
+  std::vector<Entry> out;
+  ASSERT_OK(scheme_->wave().IndexProbe("alpha", &out));
+  int disks_with_reads = 0;
+  for (int i = 0; i < disks_->size(); ++i) {
+    if (disks_->device(i)->counters(Phase::kQuery).bytes_read > 0) {
+      ++disks_with_reads;
+    }
+  }
+  EXPECT_GE(disks_with_reads, 2)
+      << "probing all constituents should fan out over the disk array";
+  // Which is exactly why parallel elapsed < serial elapsed.
+  const CostModel cost;
+  EXPECT_LT(disks_->ParallelSeconds(cost, Phase::kQuery),
+            disks_->SerialSeconds(cost, Phase::kQuery));
+}
+
+TEST_F(MultiDiskSchemeTest, SingleDiskConfigIsUnchanged) {
+  // With no disk array every index lands on the primary device.
+  Store store;
+  DayStore day_store;
+  SchemeConfig config;
+  config.window = 6;
+  config.num_indexes = 3;
+  auto made = MakeScheme(SchemeKind::kDel,
+                         SchemeEnv{store.device(), store.allocator(),
+                                   &day_store},
+                         config);
+  ASSERT_TRUE(made.ok()) << made.status();
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= 6; ++d) first.push_back(MakeMixedBatch(d));
+  ASSERT_OK(scheme->Start(std::move(first)));
+  for (const auto& c : scheme->wave().constituents()) {
+    EXPECT_EQ(c->device(), store.device());
+  }
+}
+
+TEST_F(MultiDiskSchemeTest, AllSchemesRunOnDiskArrays) {
+  for (SchemeKind kind : kAllSchemeKinds) {
+    SCOPED_TRACE(SchemeKindName(kind));
+    reference_by_day_.clear();
+    day_store_.Prune(kDayPosInf);
+    scheme_.reset();
+    StartScheme(kind, 8, 4, 3);
+    for (int i = 0; i < 10; ++i) Advance();
+    for (const auto& c : scheme_->wave().constituents()) {
+      ASSERT_OK(c->CheckConsistency());
+    }
+    if (scheme_->hard_window()) {
+      ASSERT_EQ(scheme_->WaveLength(), 8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,55 @@
+#include "wave/op_log.h"
+
+#include <gtest/gtest.h>
+
+namespace wavekit {
+namespace {
+
+TEST(OpLogTest, RecordAndFilter) {
+  OpLog log;
+  log.Record(OpRecord{OpKind::kBuildIndex, Phase::kStart, 0, 5, 0, 50,
+                      ApplyMode::kIncremental});
+  log.Record(OpRecord{OpKind::kAddToIndex, Phase::kTransition, 11, 1, 4, 10,
+                      ApplyMode::kIncremental});
+  log.Record(OpRecord{OpKind::kAddToIndex, Phase::kPrecompute, 11, 2, 1, 20,
+                      ApplyMode::kIncremental});
+  log.Record(OpRecord{OpKind::kDropIndex, Phase::kTransition, 12, 3, 0, 30,
+                      ApplyMode::kIncremental});
+
+  EXPECT_EQ(log.records().size(), 4u);
+  EXPECT_EQ(log.RecordsAtDay(11).size(), 2u);
+  EXPECT_EQ(log.RecordsAtDay(99).size(), 0u);
+  EXPECT_EQ(log.TotalOpDays(OpKind::kAddToIndex), 3);
+  EXPECT_EQ(log.TotalOpDays(OpKind::kBuildIndex), 5);
+  EXPECT_EQ(log.TotalOpDays(OpKind::kCopyIndex), 0);
+}
+
+TEST(OpLogTest, ClearEmpties) {
+  OpLog log;
+  log.Record(OpRecord{OpKind::kRename, Phase::kTransition, 1, 1, 0, 0,
+                      ApplyMode::kIncremental});
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(OpLogTest, NamesAreStable) {
+  EXPECT_STREQ(OpKindName(OpKind::kBuildIndex), "BuildIndex");
+  EXPECT_STREQ(OpKindName(OpKind::kSmartCopyIndex), "SmartCopyIndex");
+  EXPECT_STREQ(ApplyModeName(ApplyMode::kRebuild), "rebuild");
+}
+
+TEST(OpLogTest, ToStringContainsAllRecords) {
+  OpLog log;
+  log.Record(OpRecord{OpKind::kBuildIndex, Phase::kTransition, 11, 5, 0, 0,
+                      ApplyMode::kIncremental});
+  log.Record(OpRecord{OpKind::kCopyIndex, Phase::kPrecompute, 12, 2, 0, 0,
+                      ApplyMode::kIncremental});
+  const std::string text = log.ToString();
+  EXPECT_NE(text.find("BuildIndex"), std::string::npos);
+  EXPECT_NE(text.find("CopyIndex"), std::string::npos);
+  EXPECT_NE(text.find("day 11"), std::string::npos);
+  EXPECT_NE(text.find("precompute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavekit

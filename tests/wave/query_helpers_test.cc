@@ -1,0 +1,137 @@
+#include "wave/query_helpers.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+class QueryHelpersTest : public testing::StoreTest {
+ protected:
+  // Three constituents covering days 1..6; records with controlled values.
+  void SetUp() override {
+    // Day 1: r1 {cat, dog}, r2 {cat}
+    // Day 2: r3 {dog, fish}
+    // Day 3: r4 {cat, dog, fish}         (aux = 10 each via position? no: set)
+    // Day 5: r5 {cat}
+    // Day 6: r6 {dog}
+    AddCluster({Rec(1, 1, {"cat", "dog"}), Rec(2, 1, {"cat"}),
+                Rec(3, 2, {"dog", "fish"})});
+    AddCluster({Rec(4, 3, {"cat", "dog", "fish"})});
+    AddCluster({Rec(5, 5, {"cat"}), Rec(6, 6, {"dog"})});
+  }
+
+  static Record Rec(uint64_t id, Day day, std::vector<Value> values) {
+    Record r;
+    r.record_id = id;
+    r.day = day;
+    r.values = std::move(values);
+    for (size_t i = 0; i < r.values.size(); ++i) {
+      r.aux.push_back(static_cast<uint32_t>(id * 10));  // aux = 10 * id
+    }
+    return r;
+  }
+
+  void AddCluster(std::vector<Record> records) {
+    std::map<Day, DayBatch> by_day;
+    for (Record& r : records) {
+      by_day[r.day].day = r.day;
+      by_day[r.day].records.push_back(std::move(r));
+    }
+    std::vector<DayBatch> batches;
+    for (auto& [day, batch] : by_day) batches.push_back(std::move(batch));
+    std::vector<const DayBatch*> ptrs;
+    for (const DayBatch& b : batches) ptrs.push_back(&b);
+    auto built = IndexBuilder::BuildPacked(store_.device(), store_.allocator(),
+                                           Options(), ptrs, "I");
+    ASSERT_TRUE(built.ok()) << built.status();
+    wave_.AddIndex(std::move(built).ValueOrDie());
+  }
+
+  WaveIndex wave_;
+};
+
+TEST_F(QueryHelpersTest, ConjunctiveProbeRequiresAllValues) {
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       ConjunctiveProbe(wave_, {"cat", "dog"},
+                                        DayRange::All()));
+  // Records with BOTH cat and dog: r1 (day 1) and r4 (day 3), newest first.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].record_id, 4u);
+  EXPECT_EQ(results[0].newest_day, 3);
+  EXPECT_EQ(results[1].record_id, 1u);
+}
+
+TEST_F(QueryHelpersTest, ConjunctiveProbeRespectsRange) {
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       ConjunctiveProbe(wave_, {"cat", "dog"}, DayRange{2, 6}));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].record_id, 4u);
+}
+
+TEST_F(QueryHelpersTest, ConjunctiveProbeDeduplicatesQueryValues) {
+  ASSERT_OK_AND_ASSIGN(
+      auto results,
+      ConjunctiveProbe(wave_, {"cat", "cat", "dog"}, DayRange::All()));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(QueryHelpersTest, ConjunctiveProbeEmptyQuery) {
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       ConjunctiveProbe(wave_, {}, DayRange::All()));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(QueryHelpersTest, OverlapProbeRanksByMatchedValues) {
+  ASSERT_OK_AND_ASSIGN(
+      auto results,
+      OverlapProbe(wave_, {"cat", "dog", "fish"}, DayRange::All(), 10));
+  // r4 matches 3, r1 and r3 match 2, r2/r5/r6 match 1.
+  ASSERT_GE(results.size(), 3u);
+  EXPECT_EQ(results[0].record_id, 4u);
+  EXPECT_EQ(results[0].matched_values, 3u);
+  EXPECT_EQ(results[1].matched_values, 2u);
+  EXPECT_EQ(results[2].matched_values, 2u);
+}
+
+TEST_F(QueryHelpersTest, OverlapProbeTruncatesToTopK) {
+  ASSERT_OK_AND_ASSIGN(
+      auto results,
+      OverlapProbe(wave_, {"cat", "dog", "fish"}, DayRange::All(), 2));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(QueryHelpersTest, AggregateScanSumsAux) {
+  ASSERT_OK_AND_ASSIGN(ScanAggregate agg, AggregateScan(wave_, DayRange::All()));
+  // Entries: r1 x2, r2 x1, r3 x2, r4 x3, r5 x1, r6 x1 = 10 entries.
+  EXPECT_EQ(agg.count, 10u);
+  // aux = 10 * id per entry.
+  EXPECT_EQ(agg.aux_sum, 2 * 10u + 1 * 20u + 2 * 30u + 3 * 40u + 50u + 60u);
+  EXPECT_NEAR(agg.aux_mean(), static_cast<double>(agg.aux_sum) / 10, 1e-9);
+}
+
+TEST_F(QueryHelpersTest, AggregateScanRange) {
+  ASSERT_OK_AND_ASSIGN(ScanAggregate agg, AggregateScan(wave_, DayRange{5, 6}));
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_EQ(agg.aux_sum, 50u + 60u);
+}
+
+TEST_F(QueryHelpersTest, AggregateProbeGroupsOneValue) {
+  ASSERT_OK_AND_ASSIGN(ScanAggregate agg,
+                       AggregateProbe(wave_, "cat", DayRange::All()));
+  // cat appears in r1, r2, r4, r5.
+  EXPECT_EQ(agg.count, 4u);
+  EXPECT_EQ(agg.aux_sum, 10u + 20u + 40u + 50u);
+}
+
+TEST_F(QueryHelpersTest, AggregateProbeMissingValue) {
+  ASSERT_OK_AND_ASSIGN(ScanAggregate agg,
+                       AggregateProbe(wave_, "unicorn", DayRange::All()));
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_EQ(agg.aux_mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,299 @@
+// Adopt: resuming maintenance over a checkpoint-reloaded wave index must be
+// indistinguishable (query-wise) from never having restarted.
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+#include "wave/checkpoint.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+using testing::ReferenceIndex;
+
+SchemeConfig Config(SchemeKind kind, int window, int n) {
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = n;
+  config.technique = UpdateTechniqueKind::kSimpleShadow;
+  if (kind == SchemeKind::kKnownBoundWata) {
+    config.size_bound_entries = 1000;
+  }
+  return config;
+}
+
+std::vector<Entry> Probe(const WaveIndex& wave, const Value& value,
+                         const DayRange& range) {
+  std::vector<Entry> out;
+  Status s = wave.TimedIndexProbe(range, value, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ReferenceIndex::Sort(&out);
+  return out;
+}
+
+class AdoptTest : public ::testing::TestWithParam<SchemeKind> {};
+
+void RunRestartEquivalence(SchemeKind kind, Day checkpoint_day,
+                           int continue_days);
+
+TEST_P(AdoptTest, RestartEquivalence) {
+  RunRestartEquivalence(GetParam(), /*checkpoint_day=*/8 + 9,
+                        /*continue_days=*/12);
+}
+
+TEST_P(AdoptTest, RestartEquivalenceAtEveryRotationPhase) {
+  // A rotation cycle is W/n (or (W-1)/(n-1)) days long; adopting must work
+  // whatever mid-cycle state the checkpoint caught.
+  for (Day checkpoint_day = 8 + 6; checkpoint_day <= 8 + 10; ++checkpoint_day) {
+    SCOPED_TRACE("checkpoint at day " + std::to_string(checkpoint_day));
+    RunRestartEquivalence(GetParam(), checkpoint_day, /*continue_days=*/8);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+void RunRestartEquivalence(SchemeKind kind, Day checkpoint_day,
+                           int continue_days) {
+  const int window = 8;
+  const int n = (kind == SchemeKind::kWata || kind == SchemeKind::kRata ||
+                 kind == SchemeKind::kKnownBoundWata)
+                    ? 3
+                    : 4;
+  const Day final_day = checkpoint_day + continue_days;
+
+  // --- Uninterrupted run ----------------------------------------------------
+  Store store_a(uint64_t{1} << 26);
+  DayStore day_store_a;
+  auto made_a = MakeScheme(kind,
+                           SchemeEnv{store_a.device(), store_a.allocator(),
+                                     &day_store_a},
+                           Config(kind, window, n));
+  ASSERT_TRUE(made_a.ok()) << made_a.status();
+  std::unique_ptr<Scheme> uninterrupted = std::move(made_a).ValueOrDie();
+  {
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+    ASSERT_OK(uninterrupted->Start(std::move(first)));
+  }
+  for (Day d = window + 1; d <= final_day; ++d) {
+    ASSERT_OK(uninterrupted->Transition(MakeMixedBatch(d)));
+  }
+
+  // --- Run to the checkpoint, serialize, "restart", adopt, continue ----------
+  Store store_b(uint64_t{1} << 26);
+  std::string checkpoint;
+  {
+    DayStore day_store_b;
+    auto made_b = MakeScheme(kind,
+                             SchemeEnv{store_b.device(), store_b.allocator(),
+                                       &day_store_b},
+                             Config(kind, window, n));
+    ASSERT_TRUE(made_b.ok()) << made_b.status();
+    std::unique_ptr<Scheme> before_restart = std::move(made_b).ValueOrDie();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+    ASSERT_OK(before_restart->Start(std::move(first)));
+    for (Day d = window + 1; d <= checkpoint_day; ++d) {
+      ASSERT_OK(before_restart->Transition(MakeMixedBatch(d)));
+    }
+    ASSERT_OK_AND_ASSIGN(checkpoint,
+                         SerializeCheckpoint(before_restart->wave()));
+    // The scheme (and its temporaries) die here; the "disk" (store_b's
+    // device) keeps the bucket bytes, exactly like a process restart over a
+    // durable device.
+  }
+  ExtentAllocator fresh_allocator(store_b.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reloaded,
+      DeserializeCheckpoint(checkpoint, store_b.device(), &fresh_allocator,
+                            ConstituentIndex::Options{}));
+  DayStore day_store_resumed;
+  // The re-indexing schemes need the window's batches back (a production
+  // system retains them on durable storage too).
+  for (Day d = checkpoint_day - window + 1; d <= checkpoint_day; ++d) {
+    ASSERT_OK(day_store_resumed.Put(MakeMixedBatch(d)));
+  }
+  SchemeEnv env_resumed{store_b.device(), &fresh_allocator, &day_store_resumed};
+  auto made_resumed = MakeScheme(kind, env_resumed, Config(kind, window, n));
+  ASSERT_TRUE(made_resumed.ok()) << made_resumed.status();
+  std::unique_ptr<Scheme> resumed = std::move(made_resumed).ValueOrDie();
+  ASSERT_OK(resumed->Adopt(std::move(reloaded), checkpoint_day));
+  EXPECT_EQ(resumed->current_day(), checkpoint_day);
+  for (Day d = checkpoint_day + 1; d <= final_day; ++d) {
+    ASSERT_OK(resumed->Transition(MakeMixedBatch(d))) << "day " << d;
+    if (resumed->hard_window()) {
+      ASSERT_EQ(resumed->WaveLength(), window) << "day " << d;
+    }
+  }
+
+  // --- Same answers as the uninterrupted run --------------------------------
+  const DayRange range = DayRange::Window(final_day, window);
+  for (const Value& value :
+       {Value("alpha"), Value("beta"), Value("gamma"),
+        Value("day" + std::to_string(final_day)),
+        Value("day" + std::to_string(final_day - window + 1))}) {
+    EXPECT_EQ(Probe(resumed->wave(), value, range),
+              Probe(uninterrupted->wave(), value, range))
+        << "value '" << value << "'";
+  }
+  for (const auto& c : resumed->wave().constituents()) {
+    ASSERT_OK(c->CheckConsistency());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AdoptTest,
+                         ::testing::Values(SchemeKind::kDel,
+                                           SchemeKind::kReindex,
+                                           SchemeKind::kReindexPlus,
+                                           SchemeKind::kReindexPlusPlus,
+                                           SchemeKind::kWata, SchemeKind::kRata,
+                                           SchemeKind::kKnownBoundWata),
+                         [](const auto& info) {
+                           std::string name = SchemeKindName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(AdoptTest, RestartEquivalenceDegenerateWEqualsN) {
+  // W == n: every cluster is one day; ladders and temps are all empty.
+  const SchemeKind kind = GetParam();
+  if (kind == SchemeKind::kKnownBoundWata) GTEST_SKIP();
+  // (WATA-family W==n is valid; REINDEX+ degenerates to REINDEX.)
+  const int window = 5;
+  const Day checkpoint_day = window + 7;
+
+  Store store_a(uint64_t{1} << 26);
+  DayStore day_store_a;
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = window;
+  config.technique = UpdateTechniqueKind::kSimpleShadow;
+  auto made_a = MakeScheme(kind,
+                           SchemeEnv{store_a.device(), store_a.allocator(),
+                                     &day_store_a},
+                           config);
+  ASSERT_TRUE(made_a.ok()) << made_a.status();
+  std::unique_ptr<Scheme> reference_run = std::move(made_a).ValueOrDie();
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+  ASSERT_OK(reference_run->Start(std::move(first)));
+  for (Day d = window + 1; d <= checkpoint_day + 6; ++d) {
+    ASSERT_OK(reference_run->Transition(MakeMixedBatch(d)));
+  }
+
+  Store store_b(uint64_t{1} << 26);
+  std::string checkpoint;
+  {
+    DayStore day_store_b;
+    auto made_b = MakeScheme(kind,
+                             SchemeEnv{store_b.device(), store_b.allocator(),
+                                       &day_store_b},
+                             config);
+    ASSERT_TRUE(made_b.ok()) << made_b.status();
+    std::unique_ptr<Scheme> before = std::move(made_b).ValueOrDie();
+    std::vector<DayBatch> start;
+    for (Day d = 1; d <= window; ++d) start.push_back(MakeMixedBatch(d));
+    ASSERT_OK(before->Start(std::move(start)));
+    for (Day d = window + 1; d <= checkpoint_day; ++d) {
+      ASSERT_OK(before->Transition(MakeMixedBatch(d)));
+    }
+    ASSERT_OK_AND_ASSIGN(checkpoint, SerializeCheckpoint(before->wave()));
+  }
+  ExtentAllocator fresh(store_b.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(WaveIndex reloaded,
+                       DeserializeCheckpoint(checkpoint, store_b.device(),
+                                             &fresh,
+                                             ConstituentIndex::Options{}));
+  DayStore resumed_days;
+  for (Day d = checkpoint_day - window + 1; d <= checkpoint_day; ++d) {
+    ASSERT_OK(resumed_days.Put(MakeMixedBatch(d)));
+  }
+  auto made_r = MakeScheme(kind, SchemeEnv{store_b.device(), &fresh,
+                                           &resumed_days},
+                           config);
+  ASSERT_TRUE(made_r.ok()) << made_r.status();
+  std::unique_ptr<Scheme> resumed = std::move(made_r).ValueOrDie();
+  ASSERT_OK(resumed->Adopt(std::move(reloaded), checkpoint_day));
+  for (Day d = checkpoint_day + 1; d <= checkpoint_day + 6; ++d) {
+    ASSERT_OK(resumed->Transition(MakeMixedBatch(d))) << "day " << d;
+  }
+  const Day final_day = checkpoint_day + 6;
+  const DayRange range = DayRange::Window(final_day, window);
+  for (const Value& value : {Value("alpha"), Value("beta")}) {
+    EXPECT_EQ(Probe(resumed->wave(), value, range),
+              Probe(reference_run->wave(), value, range));
+  }
+}
+
+TEST(AdoptValidationTest, RejectsBadAdoptions) {
+  Store store;
+  DayStore day_store;
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  SchemeConfig config;
+  config.window = 6;
+  config.num_indexes = 2;
+
+  auto make = [&]() {
+    auto made = MakeScheme(SchemeKind::kDel, env, config);
+    if (!made.ok()) made.status().Abort("make");
+    return std::move(made).ValueOrDie();
+  };
+
+  // Empty wave.
+  EXPECT_TRUE(make()->Adopt(WaveIndex{}, 10).IsInvalidArgument());
+
+  // A wave with a window gap.
+  {
+    WaveIndex wave;
+    auto index = std::make_shared<ConstituentIndex>(
+        store.device(), store.allocator(), ConstituentIndex::Options{}, "I1");
+    ASSERT_OK(index->AddBatch(testing::MakeMixedBatch(5)));
+    wave.AddIndex(index);
+    EXPECT_TRUE(make()->Adopt(std::move(wave), 10).IsInvalidArgument());
+  }
+
+  // Hard-window scheme adopting expired days.
+  {
+    WaveIndex wave;
+    auto index = std::make_shared<ConstituentIndex>(
+        store.device(), store.allocator(), ConstituentIndex::Options{}, "I1");
+    for (Day d = 1; d <= 10; ++d) {
+      ASSERT_OK(index->AddBatch(testing::MakeMixedBatch(d)));
+    }
+    auto other = std::make_shared<ConstituentIndex>(
+        store.device(), store.allocator(), ConstituentIndex::Options{}, "I2");
+    ASSERT_OK(other->AddBatch(testing::MakeMixedBatch(11)));
+    wave.AddIndex(index);
+    wave.AddIndex(other);
+    // Window [6, 11] is covered, but days 1..5 are expired: DEL must refuse.
+    EXPECT_TRUE(make()->Adopt(std::move(wave), 11).IsInvalidArgument());
+  }
+
+  // Wrong constituent count for the configured n.
+  {
+    WaveIndex wave;
+    auto index = std::make_shared<ConstituentIndex>(
+        store.device(), store.allocator(), ConstituentIndex::Options{}, "I1");
+    for (Day d = 5; d <= 10; ++d) {
+      ASSERT_OK(index->AddBatch(testing::MakeMixedBatch(d)));
+    }
+    wave.AddIndex(index);  // one constituent, n = 2
+    EXPECT_TRUE(make()->Adopt(std::move(wave), 10).IsInvalidArgument());
+  }
+
+  // Adopt after Start.
+  {
+    auto scheme = make();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= 6; ++d) first.push_back(testing::MakeMixedBatch(d));
+    ASSERT_OK(scheme->Start(std::move(first)));
+    EXPECT_TRUE(scheme->Adopt(WaveIndex{}, 6).IsFailedPrecondition());
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

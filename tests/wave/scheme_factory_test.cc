@@ -1,0 +1,63 @@
+#include "wave/scheme_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+TEST(SchemeFactoryTest, MakesEveryKind) {
+  Store store;
+  DayStore day_store;
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  for (SchemeKind kind : kAllSchemeKinds) {
+    SchemeConfig config;
+    config.window = 8;
+    config.num_indexes = 2;
+    auto made = MakeScheme(kind, env, config);
+    ASSERT_TRUE(made.ok()) << SchemeKindName(kind) << ": " << made.status();
+    EXPECT_EQ(made.ValueOrDie()->kind(), kind);
+  }
+}
+
+TEST(SchemeFactoryTest, SchemeNamesRoundTrip) {
+  for (SchemeKind kind : kAllSchemeKinds) {
+    auto parsed = SchemeKindFromName(SchemeKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << SchemeKindName(kind);
+    EXPECT_EQ(parsed.ValueOrDie(), kind);
+  }
+  auto kb = SchemeKindFromName(SchemeKindName(SchemeKind::kKnownBoundWata));
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(kb.ValueOrDie(), SchemeKind::kKnownBoundWata);
+}
+
+TEST(SchemeFactoryTest, SchemeNameParsingIsForgiving) {
+  EXPECT_EQ(SchemeKindFromName("del").ValueOrDie(), SchemeKind::kDel);
+  EXPECT_EQ(SchemeKindFromName("WATA").ValueOrDie(), SchemeKind::kWata);
+  EXPECT_EQ(SchemeKindFromName("wata*").ValueOrDie(), SchemeKind::kWata);
+  EXPECT_EQ(SchemeKindFromName("Reindex++").ValueOrDie(),
+            SchemeKind::kReindexPlusPlus);
+  EXPECT_EQ(SchemeKindFromName("reindexplus").ValueOrDie(),
+            SchemeKind::kReindexPlus);
+  EXPECT_EQ(SchemeKindFromName("kb-wata").ValueOrDie(),
+            SchemeKind::kKnownBoundWata);
+  EXPECT_TRUE(SchemeKindFromName("btree").status().IsInvalidArgument());
+}
+
+TEST(SchemeFactoryTest, TechniqueNameParsing) {
+  EXPECT_EQ(UpdateTechniqueFromName("in-place").ValueOrDie(),
+            UpdateTechniqueKind::kInPlace);
+  EXPECT_EQ(UpdateTechniqueFromName("InPlace").ValueOrDie(),
+            UpdateTechniqueKind::kInPlace);
+  EXPECT_EQ(UpdateTechniqueFromName("simple-shadow").ValueOrDie(),
+            UpdateTechniqueKind::kSimpleShadow);
+  EXPECT_EQ(UpdateTechniqueFromName("shadow").ValueOrDie(),
+            UpdateTechniqueKind::kSimpleShadow);
+  EXPECT_EQ(UpdateTechniqueFromName("packed").ValueOrDie(),
+            UpdateTechniqueKind::kPackedShadow);
+  EXPECT_TRUE(UpdateTechniqueFromName("wal").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wavekit

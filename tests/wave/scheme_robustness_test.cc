@@ -1,0 +1,219 @@
+// Robustness: error propagation (device exhaustion, lifecycle misuse,
+// missing data) and cross-scheme equivalence (every hard-window scheme must
+// serve byte-identical query results for the same input stream).
+
+#include <gtest/gtest.h>
+
+#include "testing/test_env.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+using testing::ReferenceIndex;
+
+SchemeConfig Cfg(int window, int n, UpdateTechniqueKind technique) {
+  SchemeConfig config;
+  config.window = window;
+  config.num_indexes = n;
+  config.technique = technique;
+  return config;
+}
+
+std::unique_ptr<Scheme> MustMake(SchemeKind kind, SchemeEnv env,
+                                 SchemeConfig config) {
+  auto made = MakeScheme(kind, env, config);
+  if (!made.ok()) made.status().Abort("MakeScheme");
+  return std::move(made).ValueOrDie();
+}
+
+TEST(SchemeLifecycleTest, TransitionBeforeStartFails) {
+  Store store;
+  DayStore day_store;
+  auto scheme =
+      MustMake(SchemeKind::kDel,
+               SchemeEnv{store.device(), store.allocator(), &day_store},
+               Cfg(4, 2, UpdateTechniqueKind::kInPlace));
+  EXPECT_TRUE(scheme->Transition(MakeMixedBatch(5)).IsFailedPrecondition());
+}
+
+TEST(SchemeLifecycleTest, DoubleStartFails) {
+  Store store;
+  DayStore day_store;
+  auto scheme =
+      MustMake(SchemeKind::kDel,
+               SchemeEnv{store.device(), store.allocator(), &day_store},
+               Cfg(3, 1, UpdateTechniqueKind::kInPlace));
+  std::vector<DayBatch> first = {MakeMixedBatch(1), MakeMixedBatch(2),
+                                 MakeMixedBatch(3)};
+  ASSERT_OK(scheme->Start(std::move(first)));
+  std::vector<DayBatch> again = {MakeMixedBatch(1), MakeMixedBatch(2),
+                                 MakeMixedBatch(3)};
+  EXPECT_TRUE(scheme->Start(std::move(again)).IsFailedPrecondition());
+}
+
+TEST(SchemeLifecycleTest, WrongStartShapeFails) {
+  Store store;
+  DayStore day_store;
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  SchemeConfig config = Cfg(4, 2, UpdateTechniqueKind::kInPlace);
+  {
+    auto scheme = MustMake(SchemeKind::kDel, env, config);
+    std::vector<DayBatch> too_few = {MakeMixedBatch(1)};
+    EXPECT_TRUE(scheme->Start(std::move(too_few)).IsInvalidArgument());
+  }
+  {
+    DayStore fresh;
+    env.day_store = &fresh;
+    auto scheme = MustMake(SchemeKind::kDel, env, config);
+    std::vector<DayBatch> wrong_days = {MakeMixedBatch(2), MakeMixedBatch(3),
+                                        MakeMixedBatch(4), MakeMixedBatch(5)};
+    EXPECT_TRUE(scheme->Start(std::move(wrong_days)).IsInvalidArgument());
+  }
+}
+
+TEST(SchemeLifecycleTest, NonConsecutiveTransitionFails) {
+  Store store;
+  DayStore day_store;
+  auto scheme =
+      MustMake(SchemeKind::kDel,
+               SchemeEnv{store.device(), store.allocator(), &day_store},
+               Cfg(3, 1, UpdateTechniqueKind::kInPlace));
+  std::vector<DayBatch> first = {MakeMixedBatch(1), MakeMixedBatch(2),
+                                 MakeMixedBatch(3)};
+  ASSERT_OK(scheme->Start(std::move(first)));
+  EXPECT_TRUE(scheme->Transition(MakeMixedBatch(6)).IsInvalidArgument());
+  EXPECT_TRUE(scheme->Transition(MakeMixedBatch(3)).IsInvalidArgument());
+  // The right day still works afterwards.
+  EXPECT_OK(scheme->Transition(MakeMixedBatch(4)));
+}
+
+TEST(SchemeLifecycleTest, InvalidConfigsRejectedByFactory) {
+  Store store;
+  DayStore day_store;
+  SchemeEnv env{store.device(), store.allocator(), &day_store};
+  EXPECT_FALSE(MakeScheme(SchemeKind::kDel, env,
+                          Cfg(0, 1, UpdateTechniqueKind::kInPlace))
+                   .ok());
+  EXPECT_FALSE(MakeScheme(SchemeKind::kDel, env,
+                          Cfg(4, 5, UpdateTechniqueKind::kInPlace))
+                   .ok());  // n > W
+  SchemeEnv incomplete;
+  EXPECT_FALSE(MakeScheme(SchemeKind::kDel, incomplete,
+                          Cfg(4, 2, UpdateTechniqueKind::kInPlace))
+                   .ok());
+}
+
+class ExhaustionTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ExhaustionTest, DeviceExhaustionSurfacesAsError) {
+  // A device far too small for the workload: the scheme must surface
+  // ResourceExhausted through Start or a Transition, never crash or corrupt.
+  Store store(/*capacity=*/4096);
+  DayStore day_store;
+  SchemeConfig config = Cfg(6, 2, UpdateTechniqueKind::kSimpleShadow);
+  auto made = MakeScheme(GetParam(), SchemeEnv{store.device(),
+                                               store.allocator(), &day_store},
+                         config);
+  ASSERT_TRUE(made.ok()) << made.status();
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= 6; ++d) {
+    first.push_back(MakeMixedBatch(d, /*num_records=*/40));
+  }
+  Status status = scheme->Start(std::move(first));
+  for (Day d = 7; status.ok() && d <= 30; ++d) {
+    status = scheme->Transition(MakeMixedBatch(d, 40));
+  }
+  ASSERT_FALSE(status.ok()) << "4 KiB cannot hold this workload";
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ExhaustionTest,
+                         ::testing::ValuesIn(kAllSchemeKinds),
+                         [](const auto& info) {
+                           std::string name = SchemeKindName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SchemeEquivalenceTest, AllHardWindowSchemesServeIdenticalResults) {
+  // Same input stream -> every hard-window scheme must return exactly the
+  // same probe and scan results every day, whatever its internal rotation.
+  const int window = 9;
+  const int days = 20;
+  const SchemeKind kinds[] = {SchemeKind::kDel, SchemeKind::kReindex,
+                              SchemeKind::kReindexPlus,
+                              SchemeKind::kReindexPlusPlus, SchemeKind::kRata};
+
+  struct Instance {
+    std::unique_ptr<Store> store;
+    std::unique_ptr<DayStore> day_store;
+    std::unique_ptr<Scheme> scheme;
+  };
+  std::vector<Instance> instances;
+  for (SchemeKind kind : kinds) {
+    Instance instance;
+    instance.store = std::make_unique<Store>(uint64_t{1} << 26);
+    instance.day_store = std::make_unique<DayStore>();
+    auto made = MakeScheme(
+        kind,
+        SchemeEnv{instance.store->device(), instance.store->allocator(),
+                  instance.day_store.get()},
+        Cfg(window, 3, UpdateTechniqueKind::kSimpleShadow));
+    ASSERT_TRUE(made.ok()) << made.status();
+    instance.scheme = std::move(made).ValueOrDie();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+    ASSERT_OK(instance.scheme->Start(std::move(first)));
+    instances.push_back(std::move(instance));
+  }
+
+  for (int i = 0; i < days; ++i) {
+    for (Instance& instance : instances) {
+      ASSERT_OK(instance.scheme->Transition(
+          MakeMixedBatch(instance.scheme->current_day() + 1)));
+    }
+    const Day d = instances[0].scheme->current_day();
+    const DayRange range = DayRange::Window(d, window);
+    // Compare every scheme's results against the first scheme's.
+    auto results_of = [&](const Instance& instance, const Value& value) {
+      std::vector<Entry> out;
+      Status s = instance.scheme->wave().TimedIndexProbe(range, value, &out);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      ReferenceIndex::Sort(&out);
+      return out;
+    };
+    for (const Value& value : {Value("alpha"), Value("beta"),
+                               Value("day" + std::to_string(d))}) {
+      const auto baseline = results_of(instances[0], value);
+      for (size_t k = 1; k < instances.size(); ++k) {
+        ASSERT_EQ(results_of(instances[k], value), baseline)
+            << SchemeKindName(kinds[k]) << " diverges on '" << value
+            << "' at day " << d;
+      }
+    }
+    // Scans must agree too.
+    auto scan_of = [&](const Instance& instance) {
+      std::vector<Entry> out;
+      Status s = instance.scheme->wave().TimedSegmentScan(
+          range, [&out](const Value&, const Entry& e) { out.push_back(e); });
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      ReferenceIndex::Sort(&out);
+      return out;
+    };
+    const auto scan_baseline = scan_of(instances[0]);
+    for (size_t k = 1; k < instances.size(); ++k) {
+      ASSERT_EQ(scan_of(instances[k]), scan_baseline)
+          << SchemeKindName(kinds[k]) << " scan diverges at day " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

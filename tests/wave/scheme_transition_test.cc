@@ -1,0 +1,230 @@
+// Replicates the paper's worked examples day by day:
+//   Table 1  - DEL,       W = 10, n = 2
+//   Table 2  - REINDEX,   W = 10, n = 2 (same time-sets as DEL)
+//   Table 3  - WATA*,     W = 10, n = 4
+//   Table 5  - REINDEX+,  W = 10, n = 2 (including Temp contents)
+//   Table 6  - REINDEX++, W = 10, n = 2 (including the T_i ladder)
+//   Table 7  - RATA*,     W = 10, n = 4 (including the ladder)
+// (Table 4 shows a deliberately WORSE WATA variant the paper argues against;
+// WATA* is the Table 3 behaviour, which Theorem 2 proves optimal.)
+//
+// Constituent order in the wave index may differ from the paper's column
+// order after drops/renames, so clusters are compared as unordered
+// collections of time-sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_env.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+
+class TransitionTest : public testing::StoreTest {
+ protected:
+  void StartScheme(SchemeKind kind, int window, int num_indexes) {
+    SchemeConfig config;
+    config.window = window;
+    config.num_indexes = num_indexes;
+    config.technique = UpdateTechniqueKind::kSimpleShadow;
+    auto made = MakeScheme(kind, Env(), config);
+    ASSERT_TRUE(made.ok()) << made.status();
+    scheme_ = std::move(made).ValueOrDie();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+    ASSERT_OK(scheme_->Start(std::move(first)));
+  }
+
+  void Advance() {
+    ASSERT_OK(scheme_->Transition(MakeMixedBatch(scheme_->current_day() + 1)));
+  }
+
+  // The constituents' time-sets, sorted for order-independent comparison.
+  std::vector<TimeSet> Clusters() const {
+    std::vector<TimeSet> out;
+    for (const auto& c : scheme_->wave().constituents()) {
+      out.push_back(c->time_set());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<TimeSet> Temps() const {
+    std::vector<TimeSet> out;
+    for (const ConstituentIndex* t : scheme_->TemporaryIndexes()) {
+      out.push_back(t->time_set());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static std::vector<TimeSet> Sorted(std::vector<TimeSet> clusters) {
+    std::sort(clusters.begin(), clusters.end());
+    return clusters;
+  }
+
+  std::unique_ptr<Scheme> scheme_;
+};
+
+TEST_F(TransitionTest, Table1Del) {
+  StartScheme(SchemeKind::kDel, 10, 2);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();  // day 11
+  EXPECT_EQ(Clusters(), Sorted({{11, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();  // day 12
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();  // day 13
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();  // day 14
+  Advance();  // day 15
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {6, 7, 8, 9, 10}}));
+  Advance();  // day 16: the second cluster starts rotating
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {16, 7, 8, 9, 10}}));
+}
+
+TEST_F(TransitionTest, Table2Reindex) {
+  StartScheme(SchemeKind::kReindex, 10, 2);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();
+  EXPECT_EQ(Clusters(), Sorted({{11, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  Advance();
+  Advance();
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 4, 5}, {6, 7, 8, 9, 10}}));
+  // REINDEX keeps every constituent packed at all times.
+  for (const auto& c : scheme_->wave().constituents()) {
+    EXPECT_TRUE(c->packed());
+    EXPECT_OK(c->CheckPacked());
+  }
+}
+
+TEST_F(TransitionTest, Table3WataStar) {
+  StartScheme(SchemeKind::kWata, 10, 4);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10}}));
+  Advance();  // day 11: wait
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11}}));
+  Advance();  // day 12: wait
+  EXPECT_EQ(Clusters(),
+            Sorted({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  Advance();  // day 13: I_1 fully expired -> throw away, rebuild with {13}
+  EXPECT_EQ(Clusters(), Sorted({{13}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  Advance();  // day 14
+  EXPECT_EQ(Clusters(), Sorted({{13, 14}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  Advance();  // day 15
+  Advance();  // day 16: {4,5,6} fully expired
+  EXPECT_EQ(Clusters(),
+            Sorted({{13, 14, 15}, {16}, {7, 8, 9}, {10, 11, 12}}));
+}
+
+TEST_F(TransitionTest, Table5ReindexPlus) {
+  StartScheme(SchemeKind::kReindexPlus, 10, 2);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{}));  // Temp = phi
+  Advance();  // day 11
+  EXPECT_EQ(Clusters(), Sorted({{11, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{{11}}));
+  Advance();  // day 12
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{{11, 12}}));
+  Advance();  // day 13
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 4, 5}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{{11, 12, 13}}));
+  Advance();  // day 14
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 5}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{{11, 12, 13, 14}}));
+  Advance();  // day 15: Temp absorbed, then dropped
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{}));
+  Advance();  // day 16: next cluster starts rotating
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {16, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{{16}}));
+}
+
+TEST_F(TransitionTest, Table6ReindexPlusPlus) {
+  StartScheme(SchemeKind::kReindexPlusPlus, 10, 2);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}));
+  // Ladder for cluster 1: T_0 = {}, T_1 = {5}, T_2 = {4,5}, T_3 = {3,4,5},
+  // T_4 = {2,3,4,5}.
+  EXPECT_EQ(Temps(),
+            Sorted({{}, {5}, {4, 5}, {3, 4, 5}, {2, 3, 4, 5}}));
+  Advance();  // day 11: T_4 + d11 promoted
+  EXPECT_EQ(Clusters(), Sorted({{2, 3, 4, 5, 11}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), Sorted({{}, {5}, {4, 5}, {3, 4, 5, 11}}));
+  Advance();  // day 12
+  EXPECT_EQ(Clusters(), Sorted({{3, 4, 5, 11, 12}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), Sorted({{}, {5}, {4, 5, 11, 12}}));
+  Advance();  // day 13
+  EXPECT_EQ(Clusters(), Sorted({{4, 5, 11, 12, 13}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), Sorted({{}, {5, 11, 12, 13}}));
+  Advance();  // day 14
+  EXPECT_EQ(Clusters(), Sorted({{5, 11, 12, 13, 14}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(), Sorted({{11, 12, 13, 14}}));
+  Advance();  // day 15: T_0 + d15 promoted; next ladder initialized
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {6, 7, 8, 9, 10}}));
+  EXPECT_EQ(Temps(),
+            Sorted({{}, {10}, {9, 10}, {8, 9, 10}, {7, 8, 9, 10}}));
+  Advance();  // day 16
+  EXPECT_EQ(Clusters(), Sorted({{11, 12, 13, 14, 15}, {7, 8, 9, 10, 16}}));
+  EXPECT_EQ(Temps(), Sorted({{}, {10}, {9, 10}, {8, 9, 10, 16}}));
+}
+
+TEST_F(TransitionTest, Table7RataStar) {
+  StartScheme(SchemeKind::kRata, 10, 4);
+  EXPECT_EQ(Clusters(), Sorted({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10}}));
+  // Ladder for the first cluster minus day 1: T_1 = {3}, T_2 = {2,3}.
+  EXPECT_EQ(Temps(), Sorted({{3}, {2, 3}}));
+  Advance();  // day 11: wait; I_1 replaced by {2,3} -> hard window 2..11
+  EXPECT_EQ(Clusters(), Sorted({{2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11}}));
+  EXPECT_EQ(Temps(), Sorted({{3}}));
+  Advance();  // day 12: window 3..12
+  EXPECT_EQ(Clusters(), Sorted({{3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  EXPECT_EQ(Temps(), (std::vector<TimeSet>{}));
+  Advance();  // day 13: throw away; new ladder for {4,5,6} minus day 4
+  EXPECT_EQ(Clusters(), Sorted({{13}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  EXPECT_EQ(Temps(), Sorted({{6}, {5, 6}}));
+  Advance();  // day 14: window 5..14
+  EXPECT_EQ(Clusters(), Sorted({{13, 14}, {5, 6}, {7, 8, 9}, {10, 11, 12}}));
+  EXPECT_EQ(Temps(), Sorted({{6}}));
+}
+
+TEST_F(TransitionTest, HardWindowSchemesCoverExactlyTheWindow) {
+  for (SchemeKind kind :
+       {SchemeKind::kDel, SchemeKind::kReindex, SchemeKind::kReindexPlus,
+        SchemeKind::kReindexPlusPlus, SchemeKind::kRata}) {
+    SCOPED_TRACE(SchemeKindName(kind));
+    StartScheme(kind, 10, 2);
+    ASSERT_TRUE(scheme_->hard_window());
+    for (int i = 0; i < 25; ++i) {
+      Advance();
+      const Day d = scheme_->current_day();
+      TimeSet expected;
+      for (Day k = d - 9; k <= d; ++k) expected.insert(k);
+      ASSERT_EQ(scheme_->wave().CoveredDays(), expected) << "day " << d;
+      ASSERT_EQ(scheme_->WaveLength(), 10) << "day " << d;
+    }
+    // Reset for the next scheme.
+    scheme_.reset();
+    day_store_.Prune(kDayPosInf);
+  }
+}
+
+TEST_F(TransitionTest, WataCoversWindowPlusResidual) {
+  StartScheme(SchemeKind::kWata, 10, 4);
+  EXPECT_FALSE(scheme_->hard_window());
+  for (int i = 0; i < 25; ++i) {
+    Advance();
+    const Day d = scheme_->current_day();
+    const TimeSet covered = scheme_->wave().CoveredDays();
+    // Every window day is covered...
+    for (Day k = d - 9; k <= d; ++k) ASSERT_TRUE(covered.contains(k));
+    // ...and anything extra is a residual OLDER day, never a gap or future.
+    ASSERT_EQ(*covered.rbegin(), d);
+    ASSERT_GE(*covered.begin(), d - 9 - 2);  // ceil(9/3) - 1 = 2 residual max
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,131 @@
+// Table 4: the paper's ALTERNATIVE (inferior) WATA variant — same lazy
+// throw-away transitions, but a worse initial split: days 1..W over the
+// first n-1 clusters, with I_n starting EMPTY. The paper uses it to motivate
+// the index-length measure: this variant's wave-index length reaches 13 for
+// (W=10, n=4) where WATA* (Table 3) peaks at 12 = W + ceil((W-1)/(n-1)) - 1,
+// the optimum of Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_env.h"
+#include "wave/wata_scheme.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+
+// WATA with Table 4's start split; transitions are inherited unchanged.
+class NaiveWataScheme : public WataScheme {
+ public:
+  using WataScheme::WataScheme;
+
+ protected:
+  Status DoStart() override {
+    // Days 1..W over the first n-1 clusters (ceil-first), I_n empty.
+    std::vector<TimeSet> clusters =
+        SplitWindow(config_.window, config_.num_indexes - 1);
+    clusters.emplace_back();  // I_n starts with no days
+    for (size_t j = 0; j < clusters.size(); ++j) {
+      WAVEKIT_ASSIGN_OR_RETURN(
+          std::shared_ptr<ConstituentIndex> index,
+          BuildIndex(clusters[j], "I" + std::to_string(j + 1), Phase::kStart,
+                     static_cast<int>(j)));
+      slots_.push_back(std::move(index));
+    }
+    RegisterSlots();
+    last_ = slots_.size() - 1;  // new days go to the (empty) last index
+    return Status::OK();
+  }
+};
+
+class Table4Test : public testing::StoreTest {
+ protected:
+  template <typename SchemeT>
+  std::unique_ptr<SchemeT> StartScheme(int window, int n) {
+    SchemeConfig config;
+    config.window = window;
+    config.num_indexes = n;
+    config.technique = UpdateTechniqueKind::kSimpleShadow;
+    auto scheme = std::make_unique<SchemeT>(Env(), config);
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(MakeMixedBatch(d));
+    Status s = scheme->Start(std::move(first));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return scheme;
+  }
+
+  std::vector<TimeSet> Clusters(const Scheme& scheme) const {
+    std::vector<TimeSet> out;
+    for (const auto& c : scheme.wave().constituents()) {
+      out.push_back(c->time_set());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static std::vector<TimeSet> Sorted(std::vector<TimeSet> clusters) {
+    std::sort(clusters.begin(), clusters.end());
+    return clusters;
+  }
+};
+
+TEST_F(Table4Test, ReplicatesTable4Transitions) {
+  auto scheme = StartScheme<NaiveWataScheme>(10, 4);
+  // Day 10 row: {1,2,3,4}, {5,6,7}, {8,9,10}, {} (the empty I_4 is real but
+  // covers no days).
+  EXPECT_EQ(Clusters(*scheme),
+            Sorted({{}, {1, 2, 3, 4}, {5, 6, 7}, {8, 9, 10}}));
+  ASSERT_OK(scheme->Transition(MakeMixedBatch(11)));
+  EXPECT_EQ(Clusters(*scheme),
+            Sorted({{11}, {1, 2, 3, 4}, {5, 6, 7}, {8, 9, 10}}));
+  ASSERT_OK(scheme->Transition(MakeMixedBatch(12)));
+  ASSERT_OK(scheme->Transition(MakeMixedBatch(13)));
+  // Day 13 row: total days indexed = 13 (the variant's peak).
+  EXPECT_EQ(Clusters(*scheme),
+            Sorted({{11, 12, 13}, {1, 2, 3, 4}, {5, 6, 7}, {8, 9, 10}}));
+  EXPECT_EQ(scheme->WaveLength(), 13);
+  // Day 14 row: I_1 <- phi.
+  ASSERT_OK(scheme->Transition(MakeMixedBatch(14)));
+  EXPECT_EQ(Clusters(*scheme),
+            Sorted({{14}, {11, 12, 13}, {5, 6, 7}, {8, 9, 10}}));
+}
+
+TEST_F(Table4Test, NaiveSplitHasWorseLengthThanWataStar) {
+  // "Since the example in Table 3 has a smaller length, it indexes fewer
+  // extra days thereby providing a tighter window."
+  auto naive = StartScheme<NaiveWataScheme>(10, 4);
+  int naive_max = naive->WaveLength();
+  for (Day d = 11; d <= 40; ++d) {
+    ASSERT_OK(naive->Transition(MakeMixedBatch(d)));
+    naive_max = std::max(naive_max, naive->WaveLength());
+  }
+
+  day_store_.Prune(kDayPosInf);
+  auto star = StartScheme<WataScheme>(10, 4);
+  int star_max = star->WaveLength();
+  for (Day d = 11; d <= 40; ++d) {
+    ASSERT_OK(star->Transition(MakeMixedBatch(d)));
+    star_max = std::max(star_max, star->WaveLength());
+  }
+
+  EXPECT_EQ(naive_max, 13);  // Table 4's length
+  EXPECT_EQ(star_max, 12);   // Table 3's length = Theorem 2's optimum
+  EXPECT_LT(star_max, naive_max);
+}
+
+TEST_F(Table4Test, NaiveVariantStillMaintainsASoftWindowCorrectly) {
+  auto scheme = StartScheme<NaiveWataScheme>(10, 4);
+  for (Day d = 11; d <= 35; ++d) {
+    ASSERT_OK(scheme->Transition(MakeMixedBatch(d)));
+    const TimeSet covered = scheme->wave().CoveredDays();
+    for (Day k = d - 9; k <= d; ++k) {
+      ASSERT_TRUE(covered.contains(k)) << "day " << k << " missing at " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

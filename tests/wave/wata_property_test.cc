@@ -1,0 +1,243 @@
+// Properties of the WATA family proved in Appendix B:
+//   Theorem 2: WATA*'s maximum wave-index length is W + ceil((W-1)/(n-1)) - 1
+//              (and that bound is tight).
+//   Theorem 3: WATA* is 2-competitive on index size against the offline
+//              optimum that knows all future data volumes.
+// Plus the KB-WATA extension's n/(n-1)-style size bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_env.h"
+#include "util/random.h"
+#include "wave/scheme_factory.h"
+#include "workload/usenet_trace.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeBatch;
+
+// A batch with exactly `entries` single-value records (size-controlled).
+DayBatch SizedBatch(Day day, uint64_t entries) {
+  DayBatch batch;
+  batch.day = day;
+  uint64_t rid = static_cast<uint64_t>(day) * 1000000;
+  for (uint64_t i = 0; i < entries; ++i) {
+    Record record;
+    record.record_id = rid++;
+    record.day = day;
+    record.values = {"v" + std::to_string(i % 7)};
+    batch.records.push_back(std::move(record));
+  }
+  return batch;
+}
+
+class WataPropertyTest : public testing::StoreTest {
+ protected:
+  void StartScheme(SchemeKind kind, int window, int num_indexes,
+                   const std::vector<uint64_t>& volumes,
+                   uint64_t size_bound = 0) {
+    SchemeConfig config;
+    config.window = window;
+    config.num_indexes = num_indexes;
+    config.technique = UpdateTechniqueKind::kInPlace;
+    config.size_bound_entries = size_bound;
+    volumes_ = volumes;
+    auto made = MakeScheme(kind, Env(), config);
+    ASSERT_TRUE(made.ok()) << made.status();
+    scheme_ = std::move(made).ValueOrDie();
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= window; ++d) first.push_back(Batch(d));
+    ASSERT_OK(scheme_->Start(std::move(first)));
+  }
+
+  DayBatch Batch(Day d) const {
+    const size_t slot = static_cast<size_t>(d - 1);
+    const uint64_t entries =
+        slot < volumes_.size() ? volumes_[slot] : 3;
+    return SizedBatch(d, entries);
+  }
+
+  void Advance() {
+    ASSERT_OK(scheme_->Transition(Batch(scheme_->current_day() + 1)));
+  }
+
+  // The offline lower bound M: the largest total entries of any W
+  // consecutive days (every algorithm must store at least that much at the
+  // moment that window is current).
+  static uint64_t MaxWindowEntries(const std::vector<uint64_t>& volumes,
+                                   int window) {
+    uint64_t best = 0;
+    for (size_t start = 0; start + static_cast<size_t>(window) <= volumes.size();
+         ++start) {
+      uint64_t sum = 0;
+      for (int k = 0; k < window; ++k) sum += volumes[start + static_cast<size_t>(k)];
+      best = std::max(best, sum);
+    }
+    return best;
+  }
+
+  std::vector<uint64_t> volumes_;
+  std::unique_ptr<Scheme> scheme_;
+};
+
+TEST_F(WataPropertyTest, Theorem2LengthBoundHoldsAndIsTight) {
+  for (int window : {4, 7, 10, 13, 20}) {
+    for (int n = 2; n <= std::min(window, 8); ++n) {
+      SCOPED_TRACE("W=" + std::to_string(window) + " n=" + std::to_string(n));
+      StartScheme(SchemeKind::kWata, window, n, {});
+      const int bound =
+          window + (window - 1 + (n - 1) - 1) / (n - 1) - 1;  // W + ceil(Y) - 1
+      int max_length = scheme_->WaveLength();
+      for (int i = 0; i < 5 * window; ++i) {
+        Advance();
+        max_length = std::max(max_length, scheme_->WaveLength());
+        ASSERT_LE(scheme_->WaveLength(), bound)
+            << "day " << scheme_->current_day();
+      }
+      // Tightness: the bound is actually reached during steady state.
+      EXPECT_EQ(max_length, bound);
+      scheme_.reset();
+      day_store_.Prune(kDayPosInf);
+    }
+  }
+}
+
+TEST_F(WataPropertyTest, SoftWindowAlwaysCoversHardWindow) {
+  StartScheme(SchemeKind::kWata, 9, 3, {});
+  for (int i = 0; i < 40; ++i) {
+    Advance();
+    const Day d = scheme_->current_day();
+    const TimeSet covered = scheme_->wave().CoveredDays();
+for (Day k = d - 8; k <= d; ++k) {
+      ASSERT_TRUE(covered.contains(k)) << "missing day " << k << " at " << d;
+    }
+  }
+}
+
+TEST_F(WataPropertyTest, Theorem3TwoCompetitiveOnRandomVolumes) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int window = 7;
+    const int n = 2 + static_cast<int>(rng.Uniform(4));
+    const int days = 80;
+    std::vector<uint64_t> volumes;
+    for (int d = 0; d < days; ++d) volumes.push_back(1 + rng.Uniform(40));
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" + std::to_string(n));
+    StartScheme(SchemeKind::kWata, window, n, volumes);
+    uint64_t max_size = scheme_->wave().EntryCount();
+    for (int i = 0; i < days - window; ++i) {
+      Advance();
+      max_size = std::max(max_size, scheme_->wave().EntryCount());
+    }
+    const uint64_t optimum = MaxWindowEntries(volumes, window);
+    EXPECT_LE(max_size, 2 * optimum)
+        << "WATA* used " << max_size << " vs offline bound " << optimum;
+    scheme_.reset();
+    day_store_.Prune(kDayPosInf);
+  }
+}
+
+TEST_F(WataPropertyTest, Theorem3OnAdversarialSpike) {
+  // One huge day inside an otherwise small stream: the residual copy of the
+  // spike is the worst case for lazy deletion.
+  const int window = 6;
+  std::vector<uint64_t> volumes(60, 2);
+  volumes[20] = 500;
+  StartScheme(SchemeKind::kWata, window, 3, volumes);
+  uint64_t max_size = scheme_->wave().EntryCount();
+  for (int i = 0; i < 50; ++i) {
+    Advance();
+    max_size = std::max(max_size, scheme_->wave().EntryCount());
+  }
+  const uint64_t optimum = MaxWindowEntries(volumes, window);
+  EXPECT_LE(max_size, 2 * optimum);
+}
+
+TEST_F(WataPropertyTest, UsenetTraceSizeRatioMatchesFigure11Shape) {
+  // Figure 11: with real weekly-varying volumes the WATA* size overhead over
+  // the eager optimum stays tolerable (<= 1.6x) and shrinks as n grows.
+  workload::UsenetTraceConfig trace_config;
+  trace_config.scale = 0.001;  // ~30..110 entries/day
+  workload::UsenetVolumeTrace trace(trace_config);
+  const int days = 120;
+  const int window = 7;
+  std::vector<uint64_t> volumes = trace.Series(days);
+  double previous_ratio = 10.0;
+  for (int n : {2, 4, 6}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    StartScheme(SchemeKind::kWata, window, n, volumes);
+    uint64_t max_size = scheme_->wave().EntryCount();
+    for (int i = 0; i < days - window; ++i) {
+      Advance();
+      max_size = std::max(max_size, scheme_->wave().EntryCount());
+    }
+    const double ratio = static_cast<double>(max_size) /
+                         static_cast<double>(MaxWindowEntries(volumes, window));
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, 2.0);  // Theorem 3 always holds
+    // Figure 11's "tolerable overhead" regime kicks in from n = 4 on (the
+    // paper reports 1.24 there); n = 2 carries the largest residual.
+    if (n >= 4) {
+      EXPECT_LE(ratio, 1.6);
+    }
+    EXPECT_LE(ratio, previous_ratio + 0.05) << "ratio should shrink with n";
+    previous_ratio = ratio;
+    scheme_.reset();
+    day_store_.Prune(kDayPosInf);
+  }
+}
+
+TEST_F(WataPropertyTest, KnownBoundWataBeatsTheTwoCompetitiveBound) {
+  Rng rng(7);
+  const int window = 7;
+  const int days = 90;
+  std::vector<uint64_t> volumes;
+  for (int d = 0; d < days; ++d) volumes.push_back(5 + rng.Uniform(30));
+  const uint64_t bound = MaxWindowEntries(volumes, window);
+  for (int n : {3, 5}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    StartScheme(SchemeKind::kKnownBoundWata, window, n, volumes,
+                /*size_bound=*/bound);
+    uint64_t max_size = scheme_->wave().EntryCount();
+    for (int i = 0; i < days - window; ++i) {
+      Advance();
+      max_size = std::max(max_size, scheme_->wave().EntryCount());
+    }
+    // At most n live slices, each at most ceil(B/(n-1)) plus one day's
+    // overshoot (slices close once they REACH the threshold).
+    uint64_t max_day = 0;
+    for (uint64_t v : volumes) max_day = std::max(max_day, v);
+    const double limit = static_cast<double>(bound) * n / (n - 1) +
+                         static_cast<double>(n) * (max_day + 1);
+    EXPECT_LE(static_cast<double>(max_size), limit);
+    scheme_.reset();
+    day_store_.Prune(kDayPosInf);
+  }
+}
+
+TEST_F(WataPropertyTest, KnownBoundWataRequiresBoundAndTwoIndexes) {
+  SchemeConfig config;
+  config.window = 7;
+  config.num_indexes = 3;
+  config.size_bound_entries = 0;
+  EXPECT_FALSE(
+      MakeScheme(SchemeKind::kKnownBoundWata, Env(), config).ok());
+  config.size_bound_entries = 100;
+  config.num_indexes = 1;
+  EXPECT_FALSE(
+      MakeScheme(SchemeKind::kKnownBoundWata, Env(), config).ok());
+}
+
+TEST_F(WataPropertyTest, WataRejectsSingleIndex) {
+  SchemeConfig config;
+  config.window = 7;
+  config.num_indexes = 1;
+  EXPECT_FALSE(MakeScheme(SchemeKind::kWata, Env(), config).ok());
+  EXPECT_FALSE(MakeScheme(SchemeKind::kRata, Env(), config).ok());
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -1,0 +1,95 @@
+#include "workload/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace workload {
+namespace {
+
+using ::wavekit::testing::MakeMixedBatch;
+
+class QueryWorkloadTest : public ::wavekit::testing::StoreTest {
+ protected:
+  void BuildWave(int days) {
+    for (Day d = 1; d <= days; ++d) {
+      auto built = IndexBuilder::BuildPacked(store_.device(),
+                                             store_.allocator(), Options(),
+                                             MakeMixedBatch(d, 20), "I");
+      ASSERT_TRUE(built.ok()) << built.status();
+      wave_.AddIndex(std::move(built).ValueOrDie());
+    }
+  }
+
+  WaveIndex wave_;
+  CostModel cost_;
+};
+
+TEST_F(QueryWorkloadTest, ScalesSampledProbeCostToFullVolume) {
+  BuildWave(4);
+  QueryMix mix;
+  mix.probes_per_day = 1000;
+  mix.probe_sample = 10;
+  auto result = RunDailyQueries(
+      wave_, store_.device(), cost_, mix, DayRange::Window(4, 4),
+      [](Rng&) { return Value("alpha"); });
+  ASSERT_TRUE(result.ok()) << result.status();
+  const QueryCosts& costs = std::move(result).ValueOrDie();
+  EXPECT_GT(costs.seconds_per_probe, 0.0);
+  EXPECT_NEAR(costs.seconds, costs.seconds_per_probe * 1000, 1e-9);
+  EXPECT_GT(costs.probe_entries, 0u);
+}
+
+TEST_F(QueryWorkloadTest, ScanCurrentDayOnlyIsCheaperThanWindow) {
+  BuildWave(6);
+  QueryMix window_mix;
+  window_mix.scans_per_day = 10;
+  window_mix.scan_sample = 1;
+  window_mix.scans_whole_window = true;
+  auto window_result = RunDailyQueries(
+      wave_, store_.device(), cost_, window_mix, DayRange::Window(6, 6),
+      [](Rng&) { return Value("alpha"); });
+  ASSERT_TRUE(window_result.ok());
+
+  QueryMix day_mix = window_mix;
+  day_mix.scans_whole_window = false;
+  auto day_result = RunDailyQueries(
+      wave_, store_.device(), cost_, day_mix, DayRange::Window(6, 6),
+      [](Rng&) { return Value("alpha"); });
+  ASSERT_TRUE(day_result.ok());
+
+  EXPECT_LT(day_result.ValueOrDie().seconds_per_scan,
+            window_result.ValueOrDie().seconds_per_scan);
+  EXPECT_LT(day_result.ValueOrDie().scan_entries,
+            window_result.ValueOrDie().scan_entries);
+}
+
+TEST_F(QueryWorkloadTest, ChargesQueryPhase) {
+  BuildWave(2);
+  QueryMix mix;
+  mix.probes_per_day = 10;
+  mix.probe_sample = 5;
+  store_.device()->Reset();
+  auto result = RunDailyQueries(
+      wave_, store_.device(), cost_, mix, DayRange::All(),
+      [](Rng&) { return Value("beta"); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(store_.device()->counters(Phase::kQuery).bytes_read, 0u);
+  EXPECT_EQ(store_.device()->counters(Phase::kTransition).bytes_read, 0u);
+}
+
+TEST_F(QueryWorkloadTest, EmptyMixCostsNothing) {
+  BuildWave(1);
+  QueryMix mix;  // zero volumes
+  auto result = RunDailyQueries(
+      wave_, store_.device(), cost_, mix, DayRange::All(),
+      [](Rng&) { return Value("alpha"); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.ValueOrDie().seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace wavekit

@@ -1,0 +1,69 @@
+#include "workload/tpcd.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wavekit {
+namespace workload {
+namespace {
+
+TEST(TpcdTest, GeneratesLineitemShapedRecords) {
+  TpcdConfig config;
+  config.rows_per_day = 300;
+  config.num_suppliers = 50;
+  TpcdGenerator gen(config);
+  DayBatch batch = gen.GenerateDay(1);
+  EXPECT_EQ(batch.records.size(), 300u);
+  for (const Record& r : batch.records) {
+    ASSERT_EQ(r.values.size(), 1u);  // exactly one SUPPKEY
+    EXPECT_EQ(r.values[0].substr(0, 4), "supp");
+    ASSERT_EQ(r.aux.size(), 1u);
+    EXPECT_GE(r.aux[0], 1u);  // L_QUANTITY in 1..50
+    EXPECT_LE(r.aux[0], 50u);
+  }
+}
+
+TEST(TpcdTest, SuppkeysAreUniformlyDistributed) {
+  TpcdConfig config;
+  config.rows_per_day = 5000;
+  config.num_suppliers = 10;
+  TpcdGenerator gen(config);
+  std::map<Value, int> counts;
+  for (const Record& r : gen.GenerateDay(1).records) ++counts[r.values[0]];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_GT(count, 350) << key;  // expected 500 each
+    EXPECT_LT(count, 650) << key;
+  }
+}
+
+TEST(TpcdTest, DeterministicPerDay) {
+  TpcdConfig config;
+  config.rows_per_day = 20;
+  TpcdGenerator a(config), b(config);
+  DayBatch da = a.GenerateDay(3), db = b.GenerateDay(3);
+  for (size_t i = 0; i < da.records.size(); ++i) {
+    EXPECT_EQ(da.records[i].values, db.records[i].values);
+    EXPECT_EQ(da.records[i].aux, db.records[i].aux);
+  }
+}
+
+TEST(TpcdTest, RowsOverride) {
+  TpcdGenerator gen(TpcdConfig{});
+  EXPECT_EQ(gen.GenerateDay(1, 7).records.size(), 7u);
+}
+
+TEST(TpcdTest, SuppkeyHelpers) {
+  TpcdGenerator gen(TpcdConfig{});
+  EXPECT_EQ(gen.SuppkeyFor(42), "supp000042");
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Value v = gen.SampleSuppkey(rng);
+    EXPECT_EQ(v.substr(0, 4), "supp");
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace wavekit

@@ -1,0 +1,68 @@
+#include "workload/usenet_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace wavekit {
+namespace workload {
+namespace {
+
+TEST(UsenetTraceTest, MagnitudesMatchFigure2) {
+  UsenetVolumeTrace trace;
+  std::vector<uint64_t> series = trace.Series(30);
+  const uint64_t low = *std::min_element(series.begin(), series.end());
+  const uint64_t high = *std::max_element(series.begin(), series.end());
+  // Figure 2: troughs around 30k on Sundays, peaks around 110k mid-week.
+  EXPECT_GT(low, 20000u);
+  EXPECT_LT(low, 40000u);
+  EXPECT_GT(high, 95000u);
+  EXPECT_LT(high, 130000u);
+}
+
+TEST(UsenetTraceTest, WeeklyPatternSundayTrough) {
+  UsenetTraceConfig config;
+  config.first_weekday = 0;  // day 1 = Monday => days 7, 14, ... are Sundays
+  config.noise = 0.0;
+  UsenetVolumeTrace trace(config);
+  for (int sunday : {7, 14, 21, 28}) {
+    const uint64_t sun = trace.PostingsOn(sunday);
+    const uint64_t wed = trace.PostingsOn(sunday - 4);
+    EXPECT_LT(sun, wed / 2) << "Sunday " << sunday;
+  }
+}
+
+TEST(UsenetTraceTest, DeterministicForSeed) {
+  UsenetVolumeTrace a, b;
+  EXPECT_EQ(a.Series(50), b.Series(50));
+  UsenetTraceConfig other;
+  other.seed = 2;
+  UsenetVolumeTrace c(other);
+  EXPECT_NE(a.Series(50), c.Series(50));
+}
+
+TEST(UsenetTraceTest, ScaleIsLinear) {
+  UsenetTraceConfig small;
+  small.scale = 0.01;
+  small.noise = 0.0;
+  UsenetTraceConfig big;
+  big.scale = 1.0;
+  big.noise = 0.0;
+  UsenetVolumeTrace s(small), b(big);
+  for (int d = 1; d <= 14; ++d) {
+    EXPECT_NEAR(static_cast<double>(s.PostingsOn(d)),
+                static_cast<double>(b.PostingsOn(d)) * 0.01, 2.0);
+  }
+}
+
+TEST(UsenetTraceTest, NeverZero) {
+  UsenetTraceConfig tiny;
+  tiny.scale = 1e-9;
+  UsenetVolumeTrace trace(tiny);
+  for (int d = 1; d <= 10; ++d) EXPECT_GE(trace.PostingsOn(d), 1u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace wavekit

@@ -1,0 +1,302 @@
+// wavectl: command-line experiment runner for wavekit.
+//
+//   wavectl schemes
+//       List the maintenance schemes and update techniques.
+//
+//   wavectl run [--scheme=wata] [--window=7] [--indexes=3]
+//               [--technique=simple-shadow] [--workload=netnews|tpcd]
+//               [--days=21] [--records=100] [--probes=1000] [--scans=5]
+//               [--case=scam|wse|tpcd] [--disks=N] [--per-day] [--csv=out.csv]
+//       Run a scheme day by day on a synthetic workload; print per-day and
+//       aggregate measurements (metered simulation + paper-priced model).
+//
+//   wavectl model [--case=scam] [--scheme=reindex] [--indexes=4]
+//                 [--technique=simple-shadow] [--window=<case default>]
+//       Analytic evaluation only (Tables 8-11 style numbers).
+//
+//   wavectl advise [--case=scam] [--window=<case default>] [--hard-window]
+//                  [--no-packed-shadow] [--no-delete] [--max-indexes=10]
+//                  [--max-probe-ms=...] [--top=5]
+//       Rank wave-index configurations for the scenario under the given
+//       constraints (the paper's Section 6 selection process).
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/space_model.h"
+#include "model/total_work.h"
+#include "sim/csv.h"
+#include "sim/driver.h"
+#include "sim/table_printer.h"
+#include "util/format.h"
+#include "wave/advisor.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return Get(key, "false") == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+model::CaseParams CaseByName(const std::string& name) {
+  if (name == "wse") return model::CaseParams::Wse();
+  if (name == "tpcd") return model::CaseParams::Tpcd();
+  return model::CaseParams::Scam();
+}
+
+int Schemes() {
+  sim::TablePrinter table({"scheme", "window", "daily critical path",
+                           "needs delete code"});
+  table.AddRow({"DEL", "hard", "one AddToIndex (after precomputed delete)",
+                "yes"});
+  table.AddRow({"REINDEX", "hard", "rebuild W/n days (always packed)", "no"});
+  table.AddRow({"REINDEX+", "hard", "copy Temp + re-add shrinking tail", "no"});
+  table.AddRow({"REINDEX++", "hard", "one AddToIndex (precomputed ladder)",
+                "no"});
+  table.AddRow({"WATA*", "soft", "one AddToIndex (bulk expiry by drop)",
+                "no"});
+  table.AddRow({"RATA*", "hard", "one AddToIndex + rename", "no"});
+  table.AddRow({"KB-WATA", "soft", "one AddToIndex (size-bounded slices)",
+                "no"});
+  table.Print(std::cout);
+  std::cout << "\nupdate techniques: in-place | simple-shadow | packed-shadow\n";
+  return 0;
+}
+
+int RunExperiment(const Args& args) {
+  sim::ExperimentConfig config;
+  auto scheme = SchemeKindFromName(args.Get("scheme", "wata"));
+  if (!scheme.ok()) {
+    std::cerr << scheme.status() << "\n";
+    return 2;
+  }
+  auto technique = UpdateTechniqueFromName(
+      args.Get("technique", "simple-shadow"));
+  if (!technique.ok()) {
+    std::cerr << technique.status() << "\n";
+    return 2;
+  }
+  config.scheme = scheme.ValueOrDie();
+  config.scheme_config.window = args.GetInt("window", 7);
+  config.scheme_config.num_indexes = args.GetInt("indexes", 3);
+  config.scheme_config.technique = technique.ValueOrDie();
+  config.workload = args.Get("workload", "netnews") == "tpcd"
+                        ? sim::WorkloadKind::kTpcd
+                        : sim::WorkloadKind::kNetnews;
+  config.netnews.articles_per_day =
+      static_cast<uint64_t>(args.GetInt("records", 100));
+  config.tpcd.rows_per_day = static_cast<uint64_t>(args.GetInt("records", 500));
+  config.days_to_run = args.GetInt("days", 3 * config.scheme_config.window);
+  config.warmup_days =
+      std::min(config.scheme_config.window, config.days_to_run / 2);
+  config.query_mix.probes_per_day = args.GetInt("probes", 1000);
+  config.query_mix.probe_sample = 8;
+  config.query_mix.scans_per_day = args.GetInt("scans", 5);
+  config.query_mix.scan_sample = 1;
+  config.paper = CaseByName(args.Get("case", "scam"));
+  config.num_disks = args.GetInt("disks", 1);
+  if (config.scheme == SchemeKind::kKnownBoundWata) {
+    config.scheme_config.size_bound_entries = static_cast<uint64_t>(
+        args.GetInt("records", 100) * 60 * config.scheme_config.window);
+  }
+
+  auto run = sim::ExperimentDriver::Run(config);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+  const sim::ExperimentResult result = std::move(run).ValueOrDie();
+
+  const std::string csv_path = args.Get("csv", "");
+  if (!csv_path.empty()) {
+    Status s = sim::WriteCsv(result, csv_path);
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    std::cout << "per-day measurements written to " << csv_path << "\n";
+  }
+
+  if (args.GetBool("per-day")) {
+    sim::TablePrinter days({"day", "sim trans", "sim pre", "sim query",
+                            "model trans", "model pre", "space", "length"});
+    for (const sim::DayStats& d : result.days) {
+      days.AddRow({std::to_string(d.day),
+                   FormatSeconds(d.sim_transition_seconds),
+                   FormatSeconds(d.sim_precompute_seconds),
+                   FormatSeconds(d.sim_query_seconds),
+                   FormatSeconds(d.model_transition_seconds),
+                   FormatSeconds(d.model_precompute_seconds),
+                   FormatBytes(d.operation_bytes),
+                   std::to_string(d.wave_length_days)});
+    }
+    days.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  const sim::Aggregates& agg = result.aggregates;
+  sim::TablePrinter table({"measure", "simulation (scaled data)",
+                           "model (paper parameters)"});
+  table.SetTitle(std::string(SchemeKindName(config.scheme)) + " W=" +
+                 std::to_string(config.scheme_config.window) + " n=" +
+                 std::to_string(config.scheme_config.num_indexes) + " (" +
+                 UpdateTechniqueKindName(config.scheme_config.technique) +
+                 "), averages over the last " +
+                 std::to_string(config.days_to_run - config.warmup_days) +
+                 " days");
+  table.AddRow({"transition/day", FormatSeconds(agg.avg_sim_transition_seconds),
+                FormatSeconds(agg.avg_model_transition_seconds)});
+  table.AddRow({"precompute/day", FormatSeconds(agg.avg_sim_precompute_seconds),
+                FormatSeconds(agg.avg_model_precompute_seconds)});
+  table.AddRow({"queries/day", FormatSeconds(agg.avg_sim_query_seconds),
+                FormatSeconds(agg.avg_model_query_seconds)});
+  table.AddRow({"total work/day", FormatSeconds(agg.avg_sim_total_work),
+                FormatSeconds(agg.avg_model_total_work)});
+  if (config.num_disks > 1) {
+    table.AddRow({"queries/day (parallel, " +
+                      std::to_string(config.num_disks) + " disks)",
+                  FormatSeconds(agg.avg_sim_query_parallel_seconds), "-"});
+  }
+  table.AddRow({"steady space",
+                FormatBytes(static_cast<uint64_t>(agg.avg_operation_bytes)),
+                "-"});
+  table.AddRow({"transition extra space",
+                FormatBytes(static_cast<uint64_t>(agg.avg_transition_extra_bytes)),
+                "-"});
+  table.AddRow({"max wave length (days)",
+                std::to_string(agg.max_wave_length_days), "-"});
+  table.Print(std::cout);
+  return 0;
+}
+
+int Model(const Args& args) {
+  const model::CaseParams params = CaseByName(args.Get("case", "scam"));
+  auto scheme = SchemeKindFromName(args.Get("scheme", "reindex"));
+  auto technique = UpdateTechniqueFromName(
+      args.Get("technique", "simple-shadow"));
+  if (!scheme.ok() || !technique.ok()) {
+    std::cerr << (scheme.ok() ? technique.status() : scheme.status()) << "\n";
+    return 2;
+  }
+  const int window = args.GetInt("window", params.window);
+  const int n = args.GetInt("indexes", 4);
+
+  auto work = model::EstimateTotalWork(scheme.ValueOrDie(),
+                                       technique.ValueOrDie(), params, window,
+                                       n);
+  if (!work.ok()) {
+    std::cerr << work.status() << "\n";
+    return 1;
+  }
+  const model::SpaceEstimate space = model::EstimateSpace(
+      scheme.ValueOrDie(), technique.ValueOrDie(), params, window, n);
+
+  sim::TablePrinter table({"measure", "value"});
+  table.SetTitle(params.name + " / " +
+                 std::string(SchemeKindName(scheme.ValueOrDie())) + " W=" +
+                 std::to_string(window) + " n=" + std::to_string(n));
+  table.AddRow({"transition/day",
+                FormatSeconds(work.ValueOrDie().transition_seconds)});
+  table.AddRow({"precompute/day",
+                FormatSeconds(work.ValueOrDie().precompute_seconds)});
+  table.AddRow({"queries/day", FormatSeconds(work.ValueOrDie().query_seconds)});
+  table.AddRow({"total work/day", FormatSeconds(work.ValueOrDie().total())});
+  table.AddRow({"avg operation space",
+                FormatBytes(static_cast<uint64_t>(space.avg_operation_bytes))});
+  table.AddRow({"max operation space",
+                FormatBytes(static_cast<uint64_t>(space.max_operation_bytes))});
+  table.AddRow({"avg transition space",
+                FormatBytes(static_cast<uint64_t>(space.avg_transition_bytes))});
+  table.Print(std::cout);
+  return 0;
+}
+
+int Advise(const Args& args) {
+  const model::CaseParams params = CaseByName(args.Get("case", "scam"));
+  const int window = args.GetInt("window", params.window);
+  AdvisorConstraints constraints;
+  constraints.require_hard_window = args.GetBool("hard-window");
+  constraints.can_implement_packed_shadow = !args.GetBool("no-packed-shadow");
+  constraints.can_implement_delete = !args.GetBool("no-delete");
+  constraints.max_indexes = args.GetInt("max-indexes", 10);
+  const int max_probe_ms = args.GetInt("max-probe-ms", 0);
+  if (max_probe_ms > 0) constraints.max_probe_seconds = max_probe_ms / 1000.0;
+
+  auto ranked = RankWaveIndexOptions(params, window, constraints);
+  if (!ranked.ok()) {
+    std::cerr << ranked.status() << "\n";
+    return 1;
+  }
+  if (ranked.ValueOrDie().empty()) {
+    std::cerr << "no configuration satisfies the constraints\n";
+    return 1;
+  }
+  const int top = args.GetInt("top", 5);
+  sim::TablePrinter table({"#", "scheme", "n", "technique", "work/day",
+                           "transition", "avg space", "probe"});
+  table.SetTitle(params.name + " (W=" + std::to_string(window) + ")");
+  int rank = 0;
+  for (const Recommendation& r : ranked.ValueOrDie()) {
+    if (++rank > top) break;
+    table.AddRow({std::to_string(rank), std::string(SchemeKindName(r.scheme)),
+                  std::to_string(r.num_indexes),
+                  UpdateTechniqueKindName(r.technique),
+                  FormatSeconds(r.work.total()),
+                  FormatSeconds(r.work.transition_seconds),
+                  FormatBytes(static_cast<uint64_t>(r.space.avg_total())),
+                  FormatSeconds(r.probe_seconds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nrecommendation: " << ranked.ValueOrDie().front().rationale
+            << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  Args args(argc, argv);
+  if (command == "schemes") return Schemes();
+  if (command == "run") return RunExperiment(args);
+  if (command == "model") return Model(args);
+  if (command == "advise") return Advise(args);
+  std::cerr << "usage: wavectl <schemes|run|model|advise> [--flag=value ...]\n"
+               "see the header of tools/wavectl.cc for the full flag list\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace wavekit
+
+int main(int argc, char** argv) { return wavekit::Main(argc, argv); }
