@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_growth_factor.dir/bench_ablation_growth_factor.cc.o"
+  "CMakeFiles/bench_ablation_growth_factor.dir/bench_ablation_growth_factor.cc.o.d"
+  "bench_ablation_growth_factor"
+  "bench_ablation_growth_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_growth_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kbwata.dir/bench_ablation_kbwata.cc.o"
+  "CMakeFiles/bench_ablation_kbwata.dir/bench_ablation_kbwata.cc.o.d"
+  "bench_ablation_kbwata"
+  "bench_ablation_kbwata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kbwata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

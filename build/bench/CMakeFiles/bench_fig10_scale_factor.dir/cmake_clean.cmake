@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scale_factor.dir/bench_fig10_scale_factor.cc.o"
+  "CMakeFiles/bench_fig10_scale_factor.dir/bench_fig10_scale_factor.cc.o.d"
+  "bench_fig10_scale_factor"
+  "bench_fig10_scale_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scale_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_wata_size_ratio.dir/bench_fig11_wata_size_ratio.cc.o"
+  "CMakeFiles/bench_fig11_wata_size_ratio.dir/bench_fig11_wata_size_ratio.cc.o.d"
+  "bench_fig11_wata_size_ratio"
+  "bench_fig11_wata_size_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_wata_size_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_scam_space.dir/bench_fig3_scam_space.cc.o"
+  "CMakeFiles/bench_fig3_scam_space.dir/bench_fig3_scam_space.cc.o.d"
+  "bench_fig3_scam_space"
+  "bench_fig3_scam_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_scam_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scam_transition.dir/bench_fig4_scam_transition.cc.o"
+  "CMakeFiles/bench_fig4_scam_transition.dir/bench_fig4_scam_transition.cc.o.d"
+  "bench_fig4_scam_transition"
+  "bench_fig4_scam_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scam_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

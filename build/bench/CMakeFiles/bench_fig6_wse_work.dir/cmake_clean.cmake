@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wse_work.dir/bench_fig6_wse_work.cc.o"
+  "CMakeFiles/bench_fig6_wse_work.dir/bench_fig6_wse_work.cc.o.d"
+  "bench_fig6_wse_work"
+  "bench_fig6_wse_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wse_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tpcd_work_packed.dir/bench_fig7_tpcd_work_packed.cc.o"
+  "CMakeFiles/bench_fig7_tpcd_work_packed.dir/bench_fig7_tpcd_work_packed.cc.o.d"
+  "bench_fig7_tpcd_work_packed"
+  "bench_fig7_tpcd_work_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tpcd_work_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tpcd_work_simple.dir/bench_fig8_tpcd_work_simple.cc.o"
+  "CMakeFiles/bench_fig8_tpcd_work_simple.dir/bench_fig8_tpcd_work_simple.cc.o.d"
+  "bench_fig8_tpcd_work_simple"
+  "bench_fig8_tpcd_work_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tpcd_work_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_tpcd_work_simple.
+# This may be replaced when dependencies are built.

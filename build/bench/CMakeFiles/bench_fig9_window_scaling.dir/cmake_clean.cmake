@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_window_scaling.dir/bench_fig9_window_scaling.cc.o"
+  "CMakeFiles/bench_fig9_window_scaling.dir/bench_fig9_window_scaling.cc.o.d"
+  "bench_fig9_window_scaling"
+  "bench_fig9_window_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_window_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_directory.dir/bench_micro_directory.cc.o"
+  "CMakeFiles/bench_micro_directory.dir/bench_micro_directory.cc.o.d"
+  "bench_micro_directory"
+  "bench_micro_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_schemes.dir/bench_micro_schemes.cc.o"
+  "CMakeFiles/bench_micro_schemes.dir/bench_micro_schemes.cc.o.d"
+  "bench_micro_schemes"
+  "bench_micro_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

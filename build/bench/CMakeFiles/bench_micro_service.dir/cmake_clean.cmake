@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_service.dir/bench_micro_service.cc.o"
+  "CMakeFiles/bench_micro_service.dir/bench_micro_service.cc.o.d"
+  "bench_micro_service"
+  "bench_micro_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

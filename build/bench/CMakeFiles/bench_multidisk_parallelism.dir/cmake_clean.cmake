@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multidisk_parallelism.dir/bench_multidisk_parallelism.cc.o"
+  "CMakeFiles/bench_multidisk_parallelism.dir/bench_multidisk_parallelism.cc.o.d"
+  "bench_multidisk_parallelism"
+  "bench_multidisk_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multidisk_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_maintenance_simple.dir/bench_table10_maintenance_simple.cc.o"
+  "CMakeFiles/bench_table10_maintenance_simple.dir/bench_table10_maintenance_simple.cc.o.d"
+  "bench_table10_maintenance_simple"
+  "bench_table10_maintenance_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_maintenance_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

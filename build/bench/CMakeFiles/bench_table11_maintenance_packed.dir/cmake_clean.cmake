@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_maintenance_packed.dir/bench_table11_maintenance_packed.cc.o"
+  "CMakeFiles/bench_table11_maintenance_packed.dir/bench_table11_maintenance_packed.cc.o.d"
+  "bench_table11_maintenance_packed"
+  "bench_table11_maintenance_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_maintenance_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_params.dir/bench_table12_params.cc.o"
+  "CMakeFiles/bench_table12_params.dir/bench_table12_params.cc.o.d"
+  "bench_table12_params"
+  "bench_table12_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

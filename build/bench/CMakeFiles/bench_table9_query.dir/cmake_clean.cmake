@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_query.dir/bench_table9_query.cc.o"
+  "CMakeFiles/bench_table9_query.dir/bench_table9_query.cc.o.d"
+  "bench_table9_query"
+  "bench_table9_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

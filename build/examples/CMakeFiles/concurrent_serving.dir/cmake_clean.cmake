@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_serving.dir/concurrent_serving.cc.o"
+  "CMakeFiles/concurrent_serving.dir/concurrent_serving.cc.o.d"
+  "concurrent_serving"
+  "concurrent_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_reopen.dir/persistent_reopen.cc.o"
+  "CMakeFiles/persistent_reopen.dir/persistent_reopen.cc.o.d"
+  "persistent_reopen"
+  "persistent_reopen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_reopen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for persistent_reopen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scam_copy_detection.dir/scam_copy_detection.cc.o"
+  "CMakeFiles/scam_copy_detection.dir/scam_copy_detection.cc.o.d"
+  "scam_copy_detection"
+  "scam_copy_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scam_copy_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

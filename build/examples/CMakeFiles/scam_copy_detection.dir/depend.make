@@ -1,0 +1,2 @@
+# Empty dependencies file for scam_copy_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_warehouse.dir/tpcd_warehouse.cc.o"
+  "CMakeFiles/tpcd_warehouse.dir/tpcd_warehouse.cc.o.d"
+  "tpcd_warehouse"
+  "tpcd_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tpcd_warehouse.
+# This may be replaced when dependencies are built.

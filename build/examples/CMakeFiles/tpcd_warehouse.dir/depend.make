@@ -1,0 +1,2 @@
+# Empty dependencies file for tpcd_warehouse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_search_engine.dir/web_search_engine.cc.o"
+  "CMakeFiles/web_search_engine.dir/web_search_engine.cc.o.d"
+  "web_search_engine"
+  "web_search_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_search_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

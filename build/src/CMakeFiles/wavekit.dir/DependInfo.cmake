@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree_directory.cc" "src/CMakeFiles/wavekit.dir/index/btree_directory.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/index/btree_directory.cc.o.d"
+  "/root/repo/src/index/constituent_index.cc" "src/CMakeFiles/wavekit.dir/index/constituent_index.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/index/constituent_index.cc.o.d"
+  "/root/repo/src/index/growth_policy.cc" "src/CMakeFiles/wavekit.dir/index/growth_policy.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/index/growth_policy.cc.o.d"
+  "/root/repo/src/index/hash_directory.cc" "src/CMakeFiles/wavekit.dir/index/hash_directory.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/index/hash_directory.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/CMakeFiles/wavekit.dir/index/index_builder.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/index/index_builder.cc.o.d"
+  "/root/repo/src/model/maintenance_model.cc" "src/CMakeFiles/wavekit.dir/model/maintenance_model.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/maintenance_model.cc.o.d"
+  "/root/repo/src/model/op_evaluator.cc" "src/CMakeFiles/wavekit.dir/model/op_evaluator.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/op_evaluator.cc.o.d"
+  "/root/repo/src/model/params.cc" "src/CMakeFiles/wavekit.dir/model/params.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/params.cc.o.d"
+  "/root/repo/src/model/query_model.cc" "src/CMakeFiles/wavekit.dir/model/query_model.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/query_model.cc.o.d"
+  "/root/repo/src/model/space_model.cc" "src/CMakeFiles/wavekit.dir/model/space_model.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/space_model.cc.o.d"
+  "/root/repo/src/model/total_work.cc" "src/CMakeFiles/wavekit.dir/model/total_work.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/model/total_work.cc.o.d"
+  "/root/repo/src/sim/csv.cc" "src/CMakeFiles/wavekit.dir/sim/csv.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/sim/csv.cc.o.d"
+  "/root/repo/src/sim/driver.cc" "src/CMakeFiles/wavekit.dir/sim/driver.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/sim/driver.cc.o.d"
+  "/root/repo/src/sim/table_printer.cc" "src/CMakeFiles/wavekit.dir/sim/table_printer.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/sim/table_printer.cc.o.d"
+  "/root/repo/src/storage/cached_device.cc" "src/CMakeFiles/wavekit.dir/storage/cached_device.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/cached_device.cc.o.d"
+  "/root/repo/src/storage/cost_model.cc" "src/CMakeFiles/wavekit.dir/storage/cost_model.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/cost_model.cc.o.d"
+  "/root/repo/src/storage/device.cc" "src/CMakeFiles/wavekit.dir/storage/device.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/device.cc.o.d"
+  "/root/repo/src/storage/disk_array.cc" "src/CMakeFiles/wavekit.dir/storage/disk_array.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/disk_array.cc.o.d"
+  "/root/repo/src/storage/extent_allocator.cc" "src/CMakeFiles/wavekit.dir/storage/extent_allocator.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/extent_allocator.cc.o.d"
+  "/root/repo/src/storage/file_device.cc" "src/CMakeFiles/wavekit.dir/storage/file_device.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/file_device.cc.o.d"
+  "/root/repo/src/storage/metered_device.cc" "src/CMakeFiles/wavekit.dir/storage/metered_device.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/storage/metered_device.cc.o.d"
+  "/root/repo/src/update/in_place_updater.cc" "src/CMakeFiles/wavekit.dir/update/in_place_updater.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/update/in_place_updater.cc.o.d"
+  "/root/repo/src/update/packed_shadow_updater.cc" "src/CMakeFiles/wavekit.dir/update/packed_shadow_updater.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/update/packed_shadow_updater.cc.o.d"
+  "/root/repo/src/update/simple_shadow_updater.cc" "src/CMakeFiles/wavekit.dir/update/simple_shadow_updater.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/update/simple_shadow_updater.cc.o.d"
+  "/root/repo/src/util/format.cc" "src/CMakeFiles/wavekit.dir/util/format.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/format.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/wavekit.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/wavekit.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/wavekit.dir/util/random.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/wavekit.dir/util/status.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/wavekit.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/wave/advisor.cc" "src/CMakeFiles/wavekit.dir/wave/advisor.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/advisor.cc.o.d"
+  "/root/repo/src/wave/checkpoint.cc" "src/CMakeFiles/wavekit.dir/wave/checkpoint.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/checkpoint.cc.o.d"
+  "/root/repo/src/wave/day_store.cc" "src/CMakeFiles/wavekit.dir/wave/day_store.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/day_store.cc.o.d"
+  "/root/repo/src/wave/del_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/del_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/del_scheme.cc.o.d"
+  "/root/repo/src/wave/known_bound_wata_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/known_bound_wata_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/known_bound_wata_scheme.cc.o.d"
+  "/root/repo/src/wave/op_log.cc" "src/CMakeFiles/wavekit.dir/wave/op_log.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/op_log.cc.o.d"
+  "/root/repo/src/wave/query_helpers.cc" "src/CMakeFiles/wavekit.dir/wave/query_helpers.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/query_helpers.cc.o.d"
+  "/root/repo/src/wave/rata_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/rata_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/rata_scheme.cc.o.d"
+  "/root/repo/src/wave/reindex_plus_plus_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/reindex_plus_plus_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/reindex_plus_plus_scheme.cc.o.d"
+  "/root/repo/src/wave/reindex_plus_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/reindex_plus_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/reindex_plus_scheme.cc.o.d"
+  "/root/repo/src/wave/reindex_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/reindex_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/reindex_scheme.cc.o.d"
+  "/root/repo/src/wave/scheme.cc" "src/CMakeFiles/wavekit.dir/wave/scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/scheme.cc.o.d"
+  "/root/repo/src/wave/scheme_factory.cc" "src/CMakeFiles/wavekit.dir/wave/scheme_factory.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/scheme_factory.cc.o.d"
+  "/root/repo/src/wave/wata_scheme.cc" "src/CMakeFiles/wavekit.dir/wave/wata_scheme.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/wata_scheme.cc.o.d"
+  "/root/repo/src/wave/wave_index.cc" "src/CMakeFiles/wavekit.dir/wave/wave_index.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/wave_index.cc.o.d"
+  "/root/repo/src/wave/wave_service.cc" "src/CMakeFiles/wavekit.dir/wave/wave_service.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/wave/wave_service.cc.o.d"
+  "/root/repo/src/workload/netnews.cc" "src/CMakeFiles/wavekit.dir/workload/netnews.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/workload/netnews.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/CMakeFiles/wavekit.dir/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/workload/query_workload.cc.o.d"
+  "/root/repo/src/workload/tpcd.cc" "src/CMakeFiles/wavekit.dir/workload/tpcd.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/workload/tpcd.cc.o.d"
+  "/root/repo/src/workload/usenet_trace.cc" "src/CMakeFiles/wavekit.dir/workload/usenet_trace.cc.o" "gcc" "src/CMakeFiles/wavekit.dir/workload/usenet_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

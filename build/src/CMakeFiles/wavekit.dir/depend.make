@@ -1,0 +1,2 @@
+# Empty dependencies file for wavekit.
+# This may be replaced when dependencies are built.

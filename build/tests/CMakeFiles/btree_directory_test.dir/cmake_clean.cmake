@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_directory_test.dir/index/btree_directory_test.cc.o"
+  "CMakeFiles/btree_directory_test.dir/index/btree_directory_test.cc.o.d"
+  "btree_directory_test"
+  "btree_directory_test.pdb"
+  "btree_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_device_test.dir/storage/cached_device_test.cc.o"
+  "CMakeFiles/cached_device_test.dir/storage/cached_device_test.cc.o.d"
+  "cached_device_test"
+  "cached_device_test.pdb"
+  "cached_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

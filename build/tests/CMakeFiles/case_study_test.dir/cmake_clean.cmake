@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_test.dir/integration/case_study_test.cc.o"
+  "CMakeFiles/case_study_test.dir/integration/case_study_test.cc.o.d"
+  "case_study_test"
+  "case_study_test.pdb"
+  "case_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constituent_index_test.dir/index/constituent_index_test.cc.o"
+  "CMakeFiles/constituent_index_test.dir/index/constituent_index_test.cc.o.d"
+  "constituent_index_test"
+  "constituent_index_test.pdb"
+  "constituent_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constituent_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

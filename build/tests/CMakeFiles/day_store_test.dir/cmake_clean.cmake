@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_store_test.dir/wave/day_store_test.cc.o"
+  "CMakeFiles/day_store_test.dir/wave/day_store_test.cc.o.d"
+  "day_store_test"
+  "day_store_test.pdb"
+  "day_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

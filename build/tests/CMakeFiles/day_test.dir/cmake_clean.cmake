@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_test.dir/util/day_test.cc.o"
+  "CMakeFiles/day_test.dir/util/day_test.cc.o.d"
+  "day_test"
+  "day_test.pdb"
+  "day_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_test.dir/index/directory_test.cc.o"
+  "CMakeFiles/directory_test.dir/index/directory_test.cc.o.d"
+  "directory_test"
+  "directory_test.pdb"
+  "directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

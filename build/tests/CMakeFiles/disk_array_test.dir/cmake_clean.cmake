@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_array_test.dir/storage/disk_array_test.cc.o"
+  "CMakeFiles/disk_array_test.dir/storage/disk_array_test.cc.o.d"
+  "disk_array_test"
+  "disk_array_test.pdb"
+  "disk_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_test.dir/sim/driver_test.cc.o"
+  "CMakeFiles/driver_test.dir/sim/driver_test.cc.o.d"
+  "driver_test"
+  "driver_test.pdb"
+  "driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

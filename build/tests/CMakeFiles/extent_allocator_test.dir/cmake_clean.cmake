@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_allocator_test.dir/storage/extent_allocator_test.cc.o"
+  "CMakeFiles/extent_allocator_test.dir/storage/extent_allocator_test.cc.o.d"
+  "extent_allocator_test"
+  "extent_allocator_test.pdb"
+  "extent_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

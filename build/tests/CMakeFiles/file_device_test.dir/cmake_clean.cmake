@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_device_test.dir/storage/file_device_test.cc.o"
+  "CMakeFiles/file_device_test.dir/storage/file_device_test.cc.o.d"
+  "file_device_test"
+  "file_device_test.pdb"
+  "file_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

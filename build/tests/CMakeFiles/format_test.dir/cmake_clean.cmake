@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_test.dir/util/format_test.cc.o"
+  "CMakeFiles/format_test.dir/util/format_test.cc.o.d"
+  "format_test"
+  "format_test.pdb"
+  "format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_policy_test.dir/index/growth_policy_test.cc.o"
+  "CMakeFiles/growth_policy_test.dir/index/growth_policy_test.cc.o.d"
+  "growth_policy_test"
+  "growth_policy_test.pdb"
+  "growth_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

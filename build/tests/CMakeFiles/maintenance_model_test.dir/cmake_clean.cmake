@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_model_test.dir/model/maintenance_model_test.cc.o"
+  "CMakeFiles/maintenance_model_test.dir/model/maintenance_model_test.cc.o.d"
+  "maintenance_model_test"
+  "maintenance_model_test.pdb"
+  "maintenance_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metered_device_test.dir/storage/metered_device_test.cc.o"
+  "CMakeFiles/metered_device_test.dir/storage/metered_device_test.cc.o.d"
+  "metered_device_test"
+  "metered_device_test.pdb"
+  "metered_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metered_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_disk_scheme_test.dir/wave/multi_disk_scheme_test.cc.o"
+  "CMakeFiles/multi_disk_scheme_test.dir/wave/multi_disk_scheme_test.cc.o.d"
+  "multi_disk_scheme_test"
+  "multi_disk_scheme_test.pdb"
+  "multi_disk_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_disk_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

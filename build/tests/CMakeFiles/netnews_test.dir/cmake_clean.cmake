@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netnews_test.dir/workload/netnews_test.cc.o"
+  "CMakeFiles/netnews_test.dir/workload/netnews_test.cc.o.d"
+  "netnews_test"
+  "netnews_test.pdb"
+  "netnews_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netnews_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_evaluator_test.dir/model/op_evaluator_test.cc.o"
+  "CMakeFiles/op_evaluator_test.dir/model/op_evaluator_test.cc.o.d"
+  "op_evaluator_test"
+  "op_evaluator_test.pdb"
+  "op_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

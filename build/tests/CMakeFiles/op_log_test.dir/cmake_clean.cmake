@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_log_test.dir/wave/op_log_test.cc.o"
+  "CMakeFiles/op_log_test.dir/wave/op_log_test.cc.o.d"
+  "op_log_test"
+  "op_log_test.pdb"
+  "op_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_query_test.dir/wave/parallel_query_test.cc.o"
+  "CMakeFiles/parallel_query_test.dir/wave/parallel_query_test.cc.o.d"
+  "parallel_query_test"
+  "parallel_query_test.pdb"
+  "parallel_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

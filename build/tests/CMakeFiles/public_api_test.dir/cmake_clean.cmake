@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_api_test.dir/public_api_test.cc.o"
+  "CMakeFiles/public_api_test.dir/public_api_test.cc.o.d"
+  "public_api_test"
+  "public_api_test.pdb"
+  "public_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

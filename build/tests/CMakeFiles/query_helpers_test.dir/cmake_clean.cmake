@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_helpers_test.dir/wave/query_helpers_test.cc.o"
+  "CMakeFiles/query_helpers_test.dir/wave/query_helpers_test.cc.o.d"
+  "query_helpers_test"
+  "query_helpers_test.pdb"
+  "query_helpers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_model_test.dir/model/query_model_test.cc.o"
+  "CMakeFiles/query_model_test.dir/model/query_model_test.cc.o.d"
+  "query_model_test"
+  "query_model_test.pdb"
+  "query_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

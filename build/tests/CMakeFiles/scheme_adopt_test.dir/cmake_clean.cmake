@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_adopt_test.dir/wave/scheme_adopt_test.cc.o"
+  "CMakeFiles/scheme_adopt_test.dir/wave/scheme_adopt_test.cc.o.d"
+  "scheme_adopt_test"
+  "scheme_adopt_test.pdb"
+  "scheme_adopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_adopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_factory_test.dir/wave/scheme_factory_test.cc.o"
+  "CMakeFiles/scheme_factory_test.dir/wave/scheme_factory_test.cc.o.d"
+  "scheme_factory_test"
+  "scheme_factory_test.pdb"
+  "scheme_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_property_test.dir/wave/scheme_property_test.cc.o"
+  "CMakeFiles/scheme_property_test.dir/wave/scheme_property_test.cc.o.d"
+  "scheme_property_test"
+  "scheme_property_test.pdb"
+  "scheme_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

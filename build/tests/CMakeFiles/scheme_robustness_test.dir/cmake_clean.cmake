@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_robustness_test.dir/wave/scheme_robustness_test.cc.o"
+  "CMakeFiles/scheme_robustness_test.dir/wave/scheme_robustness_test.cc.o.d"
+  "scheme_robustness_test"
+  "scheme_robustness_test.pdb"
+  "scheme_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

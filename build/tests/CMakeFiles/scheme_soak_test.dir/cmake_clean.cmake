@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_soak_test.dir/wave/scheme_soak_test.cc.o"
+  "CMakeFiles/scheme_soak_test.dir/wave/scheme_soak_test.cc.o.d"
+  "scheme_soak_test"
+  "scheme_soak_test.pdb"
+  "scheme_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_transition_test.dir/wave/scheme_transition_test.cc.o"
+  "CMakeFiles/scheme_transition_test.dir/wave/scheme_transition_test.cc.o.d"
+  "scheme_transition_test"
+  "scheme_transition_test.pdb"
+  "scheme_transition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_model_test.dir/model/space_model_test.cc.o"
+  "CMakeFiles/space_model_test.dir/model/space_model_test.cc.o.d"
+  "space_model_test"
+  "space_model_test.pdb"
+  "space_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

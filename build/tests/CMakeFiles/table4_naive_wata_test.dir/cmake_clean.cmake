@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_naive_wata_test.dir/wave/table4_naive_wata_test.cc.o"
+  "CMakeFiles/table4_naive_wata_test.dir/wave/table4_naive_wata_test.cc.o.d"
+  "table4_naive_wata_test"
+  "table4_naive_wata_test.pdb"
+  "table4_naive_wata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_naive_wata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

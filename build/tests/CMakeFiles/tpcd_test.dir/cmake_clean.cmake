@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_test.dir/workload/tpcd_test.cc.o"
+  "CMakeFiles/tpcd_test.dir/workload/tpcd_test.cc.o.d"
+  "tpcd_test"
+  "tpcd_test.pdb"
+  "tpcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

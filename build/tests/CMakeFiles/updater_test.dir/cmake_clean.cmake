@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updater_test.dir/update/updater_test.cc.o"
+  "CMakeFiles/updater_test.dir/update/updater_test.cc.o.d"
+  "updater_test"
+  "updater_test.pdb"
+  "updater_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updater_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usenet_trace_test.dir/workload/usenet_trace_test.cc.o"
+  "CMakeFiles/usenet_trace_test.dir/workload/usenet_trace_test.cc.o.d"
+  "usenet_trace_test"
+  "usenet_trace_test.pdb"
+  "usenet_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usenet_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wata_property_test.dir/wave/wata_property_test.cc.o"
+  "CMakeFiles/wata_property_test.dir/wave/wata_property_test.cc.o.d"
+  "wata_property_test"
+  "wata_property_test.pdb"
+  "wata_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wata_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_index_test.dir/wave/wave_index_test.cc.o"
+  "CMakeFiles/wave_index_test.dir/wave/wave_index_test.cc.o.d"
+  "wave_index_test"
+  "wave_index_test.pdb"
+  "wave_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

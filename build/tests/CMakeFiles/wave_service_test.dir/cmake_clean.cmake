@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_service_test.dir/wave/wave_service_test.cc.o"
+  "CMakeFiles/wave_service_test.dir/wave/wave_service_test.cc.o.d"
+  "wave_service_test"
+  "wave_service_test.pdb"
+  "wave_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[PublicApiTest.EndToEndThroughUmbrellaHeader]=]  /root/repo/build/tests/public_api_test [==[--gtest_filter=PublicApiTest.EndToEndThroughUmbrellaHeader]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PublicApiTest.EndToEndThroughUmbrellaHeader]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  public_api_test_TESTS PublicApiTest.EndToEndThroughUmbrellaHeader)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavectl.dir/wavectl.cc.o"
+  "CMakeFiles/wavectl.dir/wavectl.cc.o.d"
+  "wavectl"
+  "wavectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
