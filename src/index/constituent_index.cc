@@ -71,20 +71,59 @@ Status ConstituentIndex::Scan(const EntryCallback& callback) const {
 Status ConstituentIndex::TimedScan(const DayRange& range,
                                    const EntryCallback& callback) const {
   const bool covered = range.Covers(time_set_);
-  std::vector<Entry> bucket;
+  // Coalesce physically adjacent live regions into runs (a packed index is
+  // one run) and issue one ReadBatch per ~kScanBatchBytes of pending buckets
+  // — one device round-trip (and, in a serving stack, one metering round)
+  // per batch instead of per bucket.
+  static constexpr uint64_t kScanBatchBytes = uint64_t{4} << 20;
+  struct PendingBucket {
+    const Value* value;
+    uint32_t count;
+  };
+  std::vector<Extent> extents;
+  std::vector<PendingBucket> pending;
+  std::vector<Entry> buffer;
+  uint64_t pending_bytes = 0;
+
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    buffer.resize(static_cast<size_t>(pending_bytes / kEntrySize));
+    auto* bytes = reinterpret_cast<std::byte*>(buffer.data());
+    WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(
+        extents,
+        std::span<std::byte>(bytes, static_cast<size_t>(pending_bytes))));
+    size_t at = 0;
+    for (const PendingBucket& b : pending) {
+      for (uint32_t i = 0; i < b.count; ++i) {
+        const Entry& e = buffer[at + i];
+        if (covered || range.Contains(e.day)) callback(*b.value, e);
+      }
+      at += b.count;
+    }
+    extents.clear();
+    pending.clear();
+    pending_bytes = 0;
+    return Status::OK();
+  };
+
   for (const Value& value : layout_order_) {
     const BucketInfo* info = directory_->Find(value);
     if (info == nullptr) {
       return Status::Internal("layout order lists unknown value '" + value +
                               "' in index " + name_);
     }
-    bucket.clear();
-    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
-    for (const Entry& e : bucket) {
-      if (covered || range.Contains(e.day)) callback(value, e);
+    if (info->count == 0) continue;
+    const Extent live{info->extent.offset, info->count * kEntrySize};
+    if (!extents.empty() && extents.back().end() == live.offset) {
+      extents.back().length += live.length;  // adjacent: extend the run
+    } else {
+      extents.push_back(live);
     }
+    pending.push_back(PendingBucket{&value, info->count});
+    pending_bytes += live.length;
+    if (pending_bytes >= kScanBatchBytes) WAVEKIT_RETURN_NOT_OK(flush());
   }
-  return Status::OK();
+  return flush();
 }
 
 Status ConstituentIndex::ForEachBucket(

@@ -7,7 +7,35 @@
 
 namespace wavekit {
 
-MemoryDevice::MemoryDevice(uint64_t capacity) : capacity_(capacity) {}
+Status Device::ReadBatch(std::span<const Extent> extents,
+                         std::span<std::byte> out) {
+  size_t done = 0;
+  for (const Extent& extent : extents) {
+    if (extent.length > out.size() - done) {
+      return Status::InvalidArgument(
+          "ReadBatch output buffer smaller than the sum of extent lengths");
+    }
+    WAVEKIT_RETURN_NOT_OK(
+        Read(extent.offset,
+             out.subspan(done, static_cast<size_t>(extent.length))));
+    done += static_cast<size_t>(extent.length);
+  }
+  if (done != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatch output buffer larger than the sum of extent lengths");
+  }
+  return Status::OK();
+}
+
+MemoryDevice::MemoryDevice(uint64_t capacity)
+    : capacity_(capacity),
+      chunks_((capacity + kChunkBytes - 1) / kChunkBytes) {}
+
+MemoryDevice::~MemoryDevice() {
+  for (std::atomic<std::byte*>& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
 
 Status MemoryDevice::CheckRange(uint64_t offset, size_t length) const {
   if (offset > capacity_ || length > capacity_ - offset) {
@@ -19,16 +47,36 @@ Status MemoryDevice::CheckRange(uint64_t offset, size_t length) const {
   return Status::OK();
 }
 
+std::byte* MemoryDevice::EnsureChunk(size_t chunk_index) {
+  std::atomic<std::byte*>& slot = chunks_[chunk_index];
+  std::byte* chunk = slot.load(std::memory_order_acquire);
+  if (chunk != nullptr) return chunk;
+  auto fresh = std::make_unique<std::byte[]>(kChunkBytes);  // zeroed
+  std::byte* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel)) {
+    return fresh.release();
+  }
+  return expected;  // another writer installed first; ours is freed
+}
+
 Status MemoryDevice::Read(uint64_t offset, std::span<std::byte> out) {
   WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
-  if (out.empty()) return Status::OK();
-  // Bytes beyond the materialized high-water mark read as zero.
-  const uint64_t materialized = bytes_.size();
-  const uint64_t end = offset + out.size();
-  std::memset(out.data(), 0, out.size());
-  if (offset < materialized) {
-    const size_t n = static_cast<size_t>(std::min(end, materialized) - offset);
-    std::memcpy(out.data(), bytes_.data() + offset, n);
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t position = offset + done;
+    const size_t chunk_index = static_cast<size_t>(position / kChunkBytes);
+    const uint64_t within = position % kChunkBytes;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkBytes - within, out.size() - done));
+    const std::byte* chunk =
+        chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      std::memset(out.data() + done, 0, n);  // never written: zeros
+    } else {
+      std::memcpy(out.data() + done, chunk + within, n);
+    }
+    done += n;
   }
   return Status::OK();
 }
@@ -36,9 +84,21 @@ Status MemoryDevice::Read(uint64_t offset, std::span<std::byte> out) {
 Status MemoryDevice::Write(uint64_t offset, std::span<const std::byte> data) {
   WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
   if (data.empty()) return Status::OK();
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t position = offset + done;
+    const size_t chunk_index = static_cast<size_t>(position / kChunkBytes);
+    const uint64_t within = position % kChunkBytes;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkBytes - within, data.size() - done));
+    std::memcpy(EnsureChunk(chunk_index) + within, data.data() + done, n);
+    done += n;
+  }
   const uint64_t end = offset + data.size();
-  if (end > bytes_.size()) bytes_.resize(end);
-  std::memcpy(bytes_.data() + offset, data.data(), data.size());
+  uint64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (seen < end && !high_water_.compare_exchange_weak(
+                           seen, end, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 

@@ -11,8 +11,10 @@
 #ifndef WAVEKIT_STORAGE_DEVICE_H_
 #define WAVEKIT_STORAGE_DEVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,8 +34,11 @@ struct Extent {
 
 /// \brief Abstract random-access byte store.
 ///
-/// Reads and writes must lie entirely within [0, capacity()). Implementations
-/// are not required to be thread-safe; wavekit serializes device access.
+/// Reads and writes must lie entirely within [0, capacity()). Thread safety
+/// is per-implementation: MemoryDevice supports concurrent reads and
+/// concurrent writes to DISJOINT ranges; decorators document their own
+/// guarantees (see synchronized_device.h and sharded_cached_device.h for the
+/// serving stack).
 class Device {
  public:
   virtual ~Device() = default;
@@ -44,33 +49,63 @@ class Device {
   /// Writes `data` starting at `offset`.
   virtual Status Write(uint64_t offset, std::span<const std::byte> data) = 0;
 
+  /// Reads every extent of `extents`, packing the results back to back into
+  /// `out` (whose size must equal the sum of extent lengths). The default
+  /// implementation loops over Read; decorators override it to amortize
+  /// per-call overhead (one lock acquisition / one metering round per batch
+  /// instead of per extent). Adjacent extents should be pre-coalesced by the
+  /// caller so a sequential run costs one seek.
+  virtual Status ReadBatch(std::span<const Extent> extents,
+                           std::span<std::byte> out);
+
   /// Total addressable bytes.
   virtual uint64_t capacity() const = 0;
 };
 
 /// \brief Heap-backed Device with lazily grown storage.
 ///
-/// Storage is only materialized up to the highest byte ever written, so a
-/// large nominal capacity costs nothing until used. Reads of never-written
-/// bytes return zeros.
+/// Storage is materialized in fixed-size chunks on first write, so a large
+/// nominal capacity costs only a (tiny) chunk table until used. Reads of
+/// never-written bytes return zeros.
+///
+/// Thread safety: any number of concurrent Reads, concurrent with Writes to
+/// byte ranges that do not overlap them (wavekit's shadow-update discipline:
+/// writers fill fresh extents readers never touch). Overlapping concurrent
+/// Read/Write of the same bytes is a data race, exactly as on a real disk
+/// with no I/O scheduler.
 class MemoryDevice : public Device {
  public:
+  /// Bytes per lazily allocated chunk. Entries are 16-byte aligned, so
+  /// chunk boundaries never split an entry's 8-byte words across writers.
+  static constexpr uint64_t kChunkBytes = uint64_t{1} << 20;  // 1 MiB
+
   /// `capacity` defaults to 16 GiB — effectively unbounded for experiments
   /// while still exercising out-of-range error paths in tests.
   explicit MemoryDevice(uint64_t capacity = uint64_t{16} << 30);
+  ~MemoryDevice() override;
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
   uint64_t capacity() const override { return capacity_; }
 
-  /// Bytes actually materialized (high-water mark of writes).
-  uint64_t materialized_bytes() const { return bytes_.size(); }
+  /// High-water mark of writes (one past the last byte ever written).
+  uint64_t materialized_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status CheckRange(uint64_t offset, size_t length) const;
 
+  // Returns the chunk backing `chunk_index`, allocating (zeroed) on first
+  // write. Lock-free: losers of the install race free their copy.
+  std::byte* EnsureChunk(size_t chunk_index);
+
   uint64_t capacity_;
-  std::vector<std::byte> bytes_;
+  // One atomic pointer per chunk; null until first written. The table itself
+  // is sized once at construction and never reallocated, so readers can
+  // index it without synchronization.
+  std::vector<std::atomic<std::byte*>> chunks_;
+  std::atomic<uint64_t> high_water_{0};
 };
 
 }  // namespace wavekit

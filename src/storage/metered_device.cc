@@ -22,25 +22,56 @@ const char* PhaseName(Phase phase) {
 
 MeteredDevice::MeteredDevice(Device* inner) : inner_(inner) {}
 
+IoCounters MeteredDevice::AtomicIoCounters::Load() const {
+  IoCounters out;
+  out.seeks = seeks.load(std::memory_order_relaxed);
+  out.bytes_read = bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = bytes_written.load(std::memory_order_relaxed);
+  out.read_ops = read_ops.load(std::memory_order_relaxed);
+  out.write_ops = write_ops.load(std::memory_order_relaxed);
+  return out;
+}
+
+void MeteredDevice::AtomicIoCounters::ResetAll() {
+  seeks.store(0, std::memory_order_relaxed);
+  bytes_read.store(0, std::memory_order_relaxed);
+  bytes_written.store(0, std::memory_order_relaxed);
+  read_ops.store(0, std::memory_order_relaxed);
+  write_ops.store(0, std::memory_order_relaxed);
+}
+
 void MeteredDevice::Account(uint64_t offset, uint64_t length, bool is_write) {
-  IoCounters& io = counters_[static_cast<int>(phase_)];
-  if (!head_valid_ || offset != head_position_) {
-    ++io.seeks;
+  AtomicIoCounters& io =
+      counters_[static_cast<size_t>(phase_.load(std::memory_order_relaxed))];
+  // The shared head models one disk arm: whichever access lands next moves
+  // it. exchange() keeps the model race-free; interleaved readers simply see
+  // the seek pattern a real arm serving them in that order would produce.
+  const uint64_t previous =
+      head_position_.exchange(offset + length, std::memory_order_relaxed);
+  if (previous != offset) {
+    io.seeks.fetch_add(1, std::memory_order_relaxed);
   }
-  head_position_ = offset + length;
-  head_valid_ = true;
   if (is_write) {
-    io.bytes_written += length;
-    ++io.write_ops;
+    io.bytes_written.fetch_add(length, std::memory_order_relaxed);
+    io.write_ops.fetch_add(1, std::memory_order_relaxed);
   } else {
-    io.bytes_read += length;
-    ++io.read_ops;
+    io.bytes_read.fetch_add(length, std::memory_order_relaxed);
+    io.read_ops.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 Status MeteredDevice::Read(uint64_t offset, std::span<std::byte> out) {
   WAVEKIT_RETURN_NOT_OK(inner_->Read(offset, out));
   Account(offset, out.size(), /*is_write=*/false);
+  return Status::OK();
+}
+
+Status MeteredDevice::ReadBatch(std::span<const Extent> extents,
+                                std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(inner_->ReadBatch(extents, out));
+  for (const Extent& extent : extents) {
+    Account(extent.offset, extent.length, /*is_write=*/false);
+  }
   return Status::OK();
 }
 
@@ -52,12 +83,12 @@ Status MeteredDevice::Write(uint64_t offset, std::span<const std::byte> data) {
 
 IoCounters MeteredDevice::total() const {
   IoCounters out;
-  for (const IoCounters& c : counters_) out += c;
+  for (const AtomicIoCounters& c : counters_) out += c.Load();
   return out;
 }
 
 void MeteredDevice::Reset() {
-  for (IoCounters& c : counters_) c = IoCounters{};
+  for (AtomicIoCounters& c : counters_) c.ResetAll();
 }
 
 }  // namespace wavekit

@@ -11,6 +11,7 @@
 #define WAVEKIT_STORAGE_METERED_DEVICE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,13 @@ inline constexpr int kNumPhases = 5;
 const char* PhaseName(Phase phase);
 
 /// \brief Device decorator that counts seeks and transferred bytes per Phase.
+///
+/// Counters are relaxed atomics, so Read/ReadBatch are safe from any number
+/// of threads concurrently with the (single) writer — no outer lock is
+/// needed on the read path. Under concurrency the totals stay exact; seek
+/// attribution (which depends on the interleaving of the shared head
+/// position) and phase attribution (set_phase is writer-advisory) are
+/// best-effort, matching how a real disk arm would interleave anyway.
 class MeteredDevice : public Device {
  public:
   /// Does not take ownership of `inner`, which must outlive this object.
@@ -42,32 +50,50 @@ class MeteredDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status ReadBatch(std::span<const Extent> extents,
+                   std::span<std::byte> out) override;
   uint64_t capacity() const override { return inner_->capacity(); }
 
   /// Sets the phase subsequent I/O is attributed to.
-  void set_phase(Phase phase) { phase_ = phase; }
-  Phase phase() const { return phase_; }
+  void set_phase(Phase phase) { phase_.store(phase, std::memory_order_relaxed); }
+  Phase phase() const { return phase_.load(std::memory_order_relaxed); }
 
-  /// Counters for one phase since the last Reset.
-  const IoCounters& counters(Phase phase) const {
-    return counters_[static_cast<int>(phase)];
+  /// Counters for one phase since the last Reset (a consistent-enough copy;
+  /// each field is read atomically).
+  IoCounters counters(Phase phase) const {
+    return counters_[static_cast<size_t>(phase)].Load();
   }
 
   /// Sum over all phases.
   IoCounters total() const;
 
-  /// Zeroes all counters (head position is kept).
+  /// Zeroes all counters (head position is kept). Not linearizable against
+  /// in-flight I/O; quiesce first for exact accounting.
   void Reset();
 
  private:
+  /// IoCounters with each field a relaxed atomic; Load() materializes a
+  /// plain IoCounters snapshot.
+  struct AtomicIoCounters {
+    std::atomic<uint64_t> seeks{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> bytes_written{0};
+    std::atomic<uint64_t> read_ops{0};
+    std::atomic<uint64_t> write_ops{0};
+
+    IoCounters Load() const;
+    void ResetAll();
+  };
+
   void Account(uint64_t offset, uint64_t length, bool is_write);
 
   Device* inner_;
-  Phase phase_ = Phase::kOther;
-  std::array<IoCounters, kNumPhases> counters_;
+  std::atomic<Phase> phase_{Phase::kOther};
+  std::array<AtomicIoCounters, kNumPhases> counters_;
   // One past the last byte touched; next access starting here is sequential.
-  uint64_t head_position_ = 0;
-  bool head_valid_ = false;
+  // kHeadInvalid until the first access.
+  static constexpr uint64_t kHeadInvalid = ~uint64_t{0};
+  std::atomic<uint64_t> head_position_{kHeadInvalid};
 };
 
 /// \brief RAII phase setter over several devices at once (multi-disk

@@ -1,0 +1,151 @@
+#include "storage/sharded_cached_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+ShardedCachedDevice::ShardedCachedDevice(Device* inner, size_t capacity_blocks,
+                                         uint64_t block_size,
+                                         size_t num_shards)
+    : inner_(inner),
+      capacity_blocks_(std::max<size_t>(capacity_blocks, 1)),
+      block_size_(std::max<uint64_t>(block_size, 1)),
+      per_shard_capacity_(std::max<size_t>(
+          (capacity_blocks_ + std::max<size_t>(num_shards, 1) - 1) /
+              std::max<size_t>(num_shards, 1),
+          1)),
+      shards_(std::max<size_t>(num_shards, 1)) {}
+
+Status ShardedCachedDevice::ReadThroughBlock(uint64_t block_id,
+                                             uint64_t within,
+                                             std::span<std::byte> out) {
+  Shard& shard = ShardFor(block_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto hit = shard.index.find(block_id);
+  if (hit != shard.index.end()) {
+    ++shard.stats.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);  // MRU
+    std::memcpy(out.data(), hit->second->bytes.data() + within, out.size());
+    return Status::OK();
+  }
+  ++shard.stats.misses;
+  // Load from the device. The final block of the address range may be
+  // partial; clamp the read and zero-fill the tail. Holding the shard lock
+  // during the load serializes misses WITHIN one shard only; accesses to the
+  // other shards keep going.
+  CachedBlock block;
+  block.block_id = block_id;
+  block.bytes.assign(static_cast<size_t>(block_size_), std::byte{0});
+  const uint64_t offset = block_id * block_size_;
+  const uint64_t readable =
+      std::min<uint64_t>(block_size_, inner_->capacity() - offset);
+  WAVEKIT_RETURN_NOT_OK(inner_->Read(
+      offset,
+      std::span<std::byte>(block.bytes.data(), static_cast<size_t>(readable))));
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().block_id);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  shard.lru.push_front(std::move(block));
+  shard.index[block_id] = shard.lru.begin();
+  std::memcpy(out.data(), shard.lru.front().bytes.data() + within, out.size());
+  return Status::OK();
+}
+
+Status ShardedCachedDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  if (offset > capacity() || out.size() > capacity() - offset) {
+    return Status::OutOfRange("sharded cached device read out of range");
+  }
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t position = offset + done;
+    const uint64_t block_id = position / block_size_;
+    const uint64_t within = position % block_size_;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - within, out.size() - done));
+    WAVEKIT_RETURN_NOT_OK(
+        ReadThroughBlock(block_id, within, out.subspan(done, chunk)));
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+Status ShardedCachedDevice::Write(uint64_t offset,
+                                  std::span<const std::byte> data) {
+  // Write-through: update any cached blocks under their shard locks, then
+  // the device. A single maintenance writer plus the shadow-update
+  // discipline (readers never probe extents still being written) makes the
+  // cache-then-device order safe.
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t position = offset + done;
+    const uint64_t block_id = position / block_size_;
+    const uint64_t within = position % block_size_;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - within, data.size() - done));
+    Shard& shard = ShardFor(block_id);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto cached = shard.index.find(block_id);
+      if (cached != shard.index.end()) {
+        std::memcpy(cached->second->bytes.data() + within, data.data() + done,
+                    chunk);
+      }
+    }
+    done += chunk;
+  }
+  return inner_->Write(offset, data);
+}
+
+CacheStats ShardedCachedDevice::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+CacheStats ShardedCachedDevice::shard_stats(size_t shard) const {
+  const Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.stats;
+}
+
+void ShardedCachedDevice::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats = CacheStats{};
+  }
+}
+
+size_t ShardedCachedDevice::cached_blocks() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+size_t ShardedCachedDevice::shard_cached_blocks(size_t shard) const {
+  const Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.lru.size();
+}
+
+void ShardedCachedDevice::Invalidate() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace wavekit

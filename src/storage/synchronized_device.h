@@ -1,7 +1,15 @@
-// SynchronizedMeteredDevice: a MeteredDevice whose Read/Write are serialized
-// by a mutex, for serving deployments where query threads read while the
-// maintenance thread writes (wave/wave_service.h). Serializing I/O matches
-// how a single real disk behaves anyway.
+// SynchronizedMeteredDevice: a MeteredDevice for serving deployments where
+// query threads read while the maintenance thread writes
+// (wave/wave_service.h).
+//
+// Reads are LOCK-FREE: MeteredDevice's counters are relaxed atomics and the
+// underlying MemoryDevice tolerates concurrent reads, so concurrent probes
+// never contend here. Only writes take the writer-side mutex, serializing
+// the (single) maintenance thread against itself across the extent-allocator
+// and data write sequence. The shadow-update discipline — writers only fill
+// fresh extents that no published snapshot references — is what makes the
+// unlocked read/write overlap safe, exactly the paper's "no concurrency
+// control is required".
 
 #ifndef WAVEKIT_STORAGE_SYNCHRONIZED_DEVICE_H_
 #define WAVEKIT_STORAGE_SYNCHRONIZED_DEVICE_H_
@@ -12,17 +20,15 @@
 
 namespace wavekit {
 
-/// \brief Thread-safe MeteredDevice. Phase changes (set_phase / PhaseScope)
-/// remain writer-only by convention: metering attribution is advisory under
-/// concurrency, but counters and data are always consistent.
+/// \brief MeteredDevice with serialized writes and lock-free reads. Phase
+/// changes (set_phase / PhaseScope) remain writer-only by convention:
+/// metering attribution is advisory under concurrency, but counters and data
+/// are always consistent.
 class SynchronizedMeteredDevice : public MeteredDevice {
  public:
   using MeteredDevice::MeteredDevice;
 
-  Status Read(uint64_t offset, std::span<std::byte> out) override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return MeteredDevice::Read(offset, out);
-  }
+  // Read and ReadBatch are inherited unlocked: thread-safe by construction.
 
   Status Write(uint64_t offset, std::span<const std::byte> data) override {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -45,6 +45,42 @@ void Histogram::Reset() {
   max_ = 0;
 }
 
+void ConcurrentHistogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(Histogram::BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram out;
+  for (int k = 0; k < Histogram::kBuckets; ++k) {
+    out.buckets_[static_cast<size_t>(k)] =
+        buckets_[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+  }
+  out.count_ = count_.load(std::memory_order_relaxed);
+  out.sum_ = sum_.load(std::memory_order_relaxed);
+  out.min_ = min_.load(std::memory_order_relaxed);
+  out.max_ = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ConcurrentHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 std::string Histogram::ToString() const {
   return "count=" + std::to_string(count_) +
          " mean=" + std::to_string(static_cast<uint64_t>(mean())) +

@@ -5,6 +5,7 @@
 #define WAVEKIT_UTIL_HISTOGRAM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -39,6 +40,8 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  friend class ConcurrentHistogram;
+
   static int BucketFor(uint64_t value);
 
   std::array<uint64_t, kBuckets> buckets_{};
@@ -46,6 +49,32 @@ class Histogram {
   uint64_t sum_ = 0;
   uint64_t min_ = ~uint64_t{0};
   uint64_t max_ = 0;
+};
+
+/// \brief Lock-free Histogram twin: Record is wait-free (a handful of relaxed
+/// atomic adds), so any number of query threads can record latencies without
+/// sharing a mutex. Snapshot() materializes a plain Histogram for percentile
+/// queries; under concurrent Records the snapshot is a consistent-enough
+/// point-in-time view (each field read atomically).
+class ConcurrentHistogram {
+ public:
+  void Record(uint64_t value);
+
+  /// A plain Histogram copy of the current state.
+  Histogram Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Zeroes all buckets. Not linearizable against in-flight Records;
+  /// quiesce first for exact accounting.
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace wavekit

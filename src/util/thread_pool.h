@@ -18,6 +18,20 @@
 namespace wavekit {
 
 /// \brief Fixed set of worker threads executing submitted tasks FIFO.
+///
+/// Concurrency contract (relied on by WaveService, which shares one pool
+/// across all query threads):
+///  - Submit is safe from any thread at any time before destruction begins,
+///    INCLUDING from a task running on a worker (reentrant submits) and
+///    concurrently with Wait.
+///  - Wait blocks until the pool is idle: every task submitted
+///    happens-before the Wait call has finished, including children those
+///    tasks submitted transitively. Tasks submitted concurrently with Wait
+///    (from other threads) may or may not be covered — call Wait again.
+///  - Destruction drains: queued tasks (and tasks they submit) all execute
+///    before the destructor returns. No task is dropped.
+///  - Tasks must not throw (an escaping exception terminates the process)
+///    and must not call Wait (a worker waiting for itself deadlocks).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -29,7 +43,8 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every previously submitted task (and its transitive
+  /// reentrant children) has finished executing.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -42,6 +57,10 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  // Queued + currently executing tasks. A task's reentrant Submit increments
+  // this before the parent's own completion decrements it, so Wait (which
+  // waits for zero) cannot wake between a parent finishing and its children
+  // starting.
   int in_flight_ = 0;
   bool shutting_down_ = false;
 };

@@ -187,8 +187,8 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::BuildIndex(
   MultiPhaseScope scope(AllDevices(), phase);
   WAVEKIT_ASSIGN_OR_RETURN(
       std::shared_ptr<ConstituentIndex> index,
-      IndexBuilder::BuildPacked(disk.device, disk.allocator, IndexOptions(),
-                                batches, std::move(name)));
+      IndexBuilder::BuildPacked(IoDeviceFor(disk), disk.allocator,
+                                IndexOptions(), batches, std::move(name)));
   op_log_.Record(OpRecord{OpKind::kBuildIndex, phase, current_day_,
                           static_cast<int>(days.size()), 0, entries});
   return index;
@@ -378,9 +378,16 @@ SchemeEnv::Disk Scheme::NextDisk(int placement_hint) {
   return disk;
 }
 
+Device* Scheme::IoDeviceFor(const SchemeEnv::Disk& disk) const {
+  if (env_.io_device != nullptr && disk.device == env_.device) {
+    return env_.io_device;
+  }
+  return disk.device;
+}
+
 std::shared_ptr<ConstituentIndex> Scheme::NewEmptyIndex(std::string name) {
   const SchemeEnv::Disk disk = NextDisk();
-  return std::make_shared<ConstituentIndex>(disk.device, disk.allocator,
+  return std::make_shared<ConstituentIndex>(IoDeviceFor(disk), disk.allocator,
                                             IndexOptions(), std::move(name));
 }
 

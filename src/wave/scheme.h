@@ -74,6 +74,14 @@ struct SchemeEnv {
   ExtentAllocator* allocator = nullptr;
   DayStore* day_store = nullptr;
 
+  /// Optional: when set, constituent indexes perform their I/O through this
+  /// device instead of `device` — e.g. a ShardedCachedDevice layered ABOVE
+  /// the meter, so cached probe hits are not charged seek/transfer costs.
+  /// Phase attribution (PhaseScope) still targets `device`; `io_device` must
+  /// wrap it (or its inner device) and outlive the scheme. Applies to the
+  /// default disk only; ignored for indexes placed on `disks`.
+  Device* io_device = nullptr;
+
   /// \brief One disk of a multi-disk deployment.
   struct Disk {
     MeteredDevice* device = nullptr;
@@ -222,6 +230,11 @@ class Scheme {
   /// the primary device when no disk array is configured). A non-negative
   /// `placement_hint` selects disk (hint % #disks) deterministically.
   SchemeEnv::Disk NextDisk(int placement_hint = -1);
+
+  /// The device a constituent placed on `disk` should do its I/O through:
+  /// env_.io_device for the primary disk when configured, the disk's own
+  /// metered device otherwise.
+  Device* IoDeviceFor(const SchemeEnv::Disk& disk) const;
 
   /// A fresh, empty index on the next disk.
   std::shared_ptr<ConstituentIndex> NewEmptyIndex(std::string name);

@@ -23,7 +23,16 @@ WaveService::WaveService(Options options)
     : options_(options),
       memory_(options.device_capacity),
       device_(&memory_),
-      allocator_(options.device_capacity) {}
+      allocator_(options.device_capacity) {
+  if (options_.cache_blocks > 0) {
+    cache_ = std::make_unique<ShardedCachedDevice>(
+        &device_, options_.cache_blocks, options_.cache_block_size,
+        options_.cache_shards);
+  }
+  if (options_.num_query_threads > 1) {
+    query_pool_ = std::make_unique<ThreadPool>(options_.num_query_threads);
+  }
+}
 
 Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
   if (options.config.technique == UpdateTechniqueKind::kInPlace) {
@@ -32,12 +41,11 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
         "mutates buckets concurrent readers may be scanning");
   }
   std::unique_ptr<WaveService> service(new WaveService(options));
-  WAVEKIT_ASSIGN_OR_RETURN(
-      service->scheme_,
-      MakeScheme(options.scheme,
-                 SchemeEnv{&service->device_, &service->allocator_,
-                           &service->day_store_},
-                 options.config));
+  SchemeEnv env{&service->device_, &service->allocator_,
+                &service->day_store_};
+  env.io_device = service->cache_.get();  // nullptr = straight to the meter
+  WAVEKIT_ASSIGN_OR_RETURN(service->scheme_,
+                           MakeScheme(options.scheme, env, options.config));
   return service;
 }
 
@@ -53,10 +61,7 @@ Status WaveService::AdvanceDay(DayBatch new_day) {
   // constituents shadow updates never mutate in place.
   WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
   Publish();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.days_advanced;
-  }
+  days_advanced_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -76,13 +81,21 @@ std::shared_ptr<const WaveIndex> WaveService::Snapshot() const {
 }
 
 ServiceMetrics WaveService::Metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  return metrics_;
+  ServiceMetrics out;
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.scans = scans_.load(std::memory_order_relaxed);
+  out.days_advanced = days_advanced_.load(std::memory_order_relaxed);
+  out.probe_latency_us = probe_latency_us_.Snapshot();
+  out.scan_latency_us = scan_latency_us_.Snapshot();
+  return out;
 }
 
 void WaveService::ResetMetrics() {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  metrics_ = ServiceMetrics{};
+  probes_.store(0, std::memory_order_relaxed);
+  scans_.store(0, std::memory_order_relaxed);
+  days_advanced_.store(0, std::memory_order_relaxed);
+  probe_latency_us_.Reset();
+  scan_latency_us_.Reset();
 }
 
 Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,
@@ -93,12 +106,13 @@ Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,
     return Status::FailedPrecondition("service not started");
   }
   const auto start = std::chrono::steady_clock::now();
-  Status status = snapshot->TimedIndexProbe(range, value, out, stats);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.probes;
-    metrics_.probe_latency_us.Record(MicrosSince(start));
-  }
+  Status status =
+      query_pool_ != nullptr
+          ? snapshot->ParallelTimedIndexProbe(query_pool_.get(), range, value,
+                                              out, stats)
+          : snapshot->TimedIndexProbe(range, value, out, stats);
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  probe_latency_us_.Record(MicrosSince(start));
   return status;
 }
 
@@ -116,11 +130,8 @@ Status WaveService::TimedSegmentScan(const DayRange& range,
   }
   const auto start = std::chrono::steady_clock::now();
   Status status = snapshot->TimedSegmentScan(range, callback, stats);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.scans;
-    metrics_.scan_latency_us.Record(MicrosSince(start));
-  }
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  scan_latency_us_.Record(MicrosSince(start));
   return status;
 }
 

@@ -8,6 +8,11 @@
 // updates only ever create new ConstituentIndex objects and retire old ones,
 // so a snapshot stays valid (and internally consistent) for as long as a
 // query holds it.
+//
+// The read path is concurrent end to end: device reads are lock-free
+// (SynchronizedMeteredDevice locks writes only), the optional block cache is
+// lock-striped (ShardedCachedDevice), and metrics are relaxed atomics plus a
+// lock-free histogram — query threads never share a mutex.
 
 #ifndef WAVEKIT_WAVE_WAVE_SERVICE_H_
 #define WAVEKIT_WAVE_WAVE_SERVICE_H_
@@ -20,8 +25,10 @@
 
 #include "storage/device.h"
 #include "storage/extent_allocator.h"
+#include "storage/sharded_cached_device.h"
 #include "storage/synchronized_device.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "wave/day_store.h"
 #include "wave/scheme.h"
 #include "wave/wave_index.h"
@@ -46,6 +53,20 @@ class WaveService {
     SchemeKind scheme = SchemeKind::kWata;
     SchemeConfig config;
     uint64_t device_capacity = uint64_t{1} << 30;
+
+    /// When > 1, the service owns a ThreadPool of this many workers and
+    /// TimedIndexProbe / IndexProbe fan the per-constituent probes out over
+    /// it (paper Section 8: "the queries across indexes can be easily
+    /// parallelized"). 0 or 1 keeps probes on the calling thread.
+    int num_query_threads = 1;
+
+    /// When > 0, constituent I/O goes through a lock-striped block cache of
+    /// this many blocks layered above the meter, so hot-bucket hits cost no
+    /// modeled seeks and concurrent probes of distinct buckets do not
+    /// contend. 0 disables caching.
+    size_t cache_blocks = 0;
+    uint64_t cache_block_size = 4096;
+    size_t cache_shards = 16;
   };
 
   /// Creates the service. Rejects in-place updating: readers would observe
@@ -81,11 +102,18 @@ class WaveService {
   /// The snapshot queries would use right now (for inspection/tests).
   std::shared_ptr<const WaveIndex> Snapshot() const;
 
-  /// A copy of the current operational metrics (thread-safe).
+  /// A copy of the current operational metrics (thread-safe, lock-free).
   ServiceMetrics Metrics() const;
 
-  /// Zeroes the metrics (thread-safe).
+  /// Zeroes the metrics (thread-safe; not linearizable against in-flight
+  /// queries).
   void ResetMetrics();
+
+  /// The block cache, or nullptr when Options::cache_blocks == 0.
+  const ShardedCachedDevice* cache() const { return cache_.get(); }
+
+  /// The probe fan-out pool, or nullptr when num_query_threads <= 1.
+  ThreadPool* query_pool() const { return query_pool_.get(); }
 
   /// Writer-side accessors (not thread-safe against AdvanceDay).
   const Scheme& scheme() const { return *scheme_; }
@@ -99,16 +127,23 @@ class WaveService {
   Options options_;
   MemoryDevice memory_;
   SynchronizedMeteredDevice device_;
+  std::unique_ptr<ShardedCachedDevice> cache_;  // above device_, optional
   ExtentAllocator allocator_;
   DayStore day_store_;
+  std::unique_ptr<ThreadPool> query_pool_;  // optional probe fan-out
   std::unique_ptr<Scheme> scheme_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const WaveIndex> snapshot_;
   std::atomic<Day> published_day_{0};
 
-  mutable std::mutex metrics_mutex_;
-  mutable ServiceMetrics metrics_;  // updated by const query paths
+  // Metrics: relaxed atomics + lock-free histograms — the only state query
+  // threads write, and none of it is shared through a mutex.
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> days_advanced_{0};
+  mutable ConcurrentHistogram probe_latency_us_;
+  mutable ConcurrentHistogram scan_latency_us_;
 };
 
 }  // namespace wavekit

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -17,7 +19,10 @@ using testing::MakeMixedBatch;
 class FileDeviceTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per process AND per fixture: ctest runs tests in parallel
+    // processes whose heap layout can coincide, so `this` alone collides.
     path_ = ::testing::TempDir() + "wavekit_file_device_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".dat";
     std::remove(path_.c_str());
   }

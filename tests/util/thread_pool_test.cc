@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 namespace wavekit {
 namespace {
@@ -59,6 +62,78 @@ TEST(ThreadPoolTest, DestructionDrainsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // Destroying the pool with tasks still queued must execute every one of
+  // them, not drop them: a single slow task occupies the lone worker while
+  // the rest sit in the queue at destruction time.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int i = 0; i < 64; ++i) pool.Submit([&counter]() { ++counter; });
+    // No Wait: the destructor is responsible for the drain.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReentrantSubmitFromWorkerIsCoveredByWait) {
+  // A task fans out children from inside a worker; Wait must cover the whole
+  // tree, not just the directly submitted roots.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int root = 0; root < 8; ++root) {
+    pool.Submit([&pool, &counter]() {
+      ++counter;
+      for (int child = 0; child < 4; ++child) {
+        pool.Submit([&pool, &counter]() {
+          ++counter;
+          pool.Submit([&counter]() { ++counter; });  // grandchild
+        });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8 * (1 + 4 + 4));
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsReentrantSubmits) {
+  // Tasks that submit children during the destructor's drain must have those
+  // children executed too.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&pool, &counter]() {
+        ++counter;
+        pool.Submit([&counter]() { ++counter; });
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitConcurrentWithWaitIsSafe) {
+  // One thread Waits in a loop while others keep submitting: no deadlock, no
+  // lost task; a final Wait after the submitters join covers everything.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&pool, &counter]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Submit([&counter]() { ++counter; });
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) pool.Wait();  // racing Waits are legal
+  for (std::thread& s : submitters) s.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3 * kPerThread);
 }
 
 TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {

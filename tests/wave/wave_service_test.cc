@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <tuple>
 
 #include "testing/test_env.h"
 
@@ -116,6 +118,62 @@ TEST(WaveServiceTest, SpaceIsReclaimedOnceSnapshotsRelease) {
   // The service's live footprint is bounded: retired constituents are gone.
   ASSERT_OK(service->AdvanceDay(MakeMixedBatch(21)));
   EXPECT_LT(service->Snapshot()->AllocatedBytes(), 3 * with_held);
+}
+
+TEST(WaveServiceTest, ParallelProbeWithCacheMatchesSerial) {
+  // Same traffic through a plain serial service and one with the query pool
+  // and sharded block cache enabled: answers must be identical, and the cache
+  // must actually absorb repeat reads.
+  WaveService::Options serial = ServiceOptions(SchemeKind::kWata, 6, 3);
+  WaveService::Options parallel = serial;
+  parallel.num_query_threads = 4;
+  parallel.cache_blocks = 256;
+  parallel.cache_block_size = 4096;
+  parallel.cache_shards = 8;
+  ASSERT_OK_AND_ASSIGN(auto a, WaveService::Create(serial));
+  ASSERT_OK_AND_ASSIGN(auto b, WaveService::Create(parallel));
+  ASSERT_NE(b->cache(), nullptr);
+  ASSERT_NE(b->query_pool(), nullptr);
+
+  std::vector<DayBatch> first_a, first_b;
+  for (Day d = 1; d <= 6; ++d) {
+    first_a.push_back(MakeMixedBatch(d, /*num_records=*/20));
+    first_b.push_back(MakeMixedBatch(d, /*num_records=*/20));
+  }
+  ASSERT_OK(a->Start(std::move(first_a)));
+  ASSERT_OK(b->Start(std::move(first_b)));
+  for (Day d = 7; d <= 18; ++d) {
+    ASSERT_OK(a->AdvanceDay(MakeMixedBatch(d, 20)));
+    ASSERT_OK(b->AdvanceDay(MakeMixedBatch(d, 20)));
+  }
+
+  auto sorted = [](std::vector<Entry> entries) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& x, const Entry& y) {
+                return std::tie(x.day, x.record_id, x.aux) <
+                       std::tie(y.day, y.record_id, y.aux);
+              });
+    return entries;
+  };
+  const std::vector<Value> values = {"alpha", "beta", "day7", "day15", "zzz"};
+  for (int round = 0; round < 3; ++round) {
+    for (const Value& value : values) {
+      std::vector<Entry> got_a, got_b;
+      ASSERT_OK(a->IndexProbe(value, &got_a));
+      ASSERT_OK(b->IndexProbe(value, &got_b));
+      EXPECT_EQ(sorted(got_a), sorted(got_b)) << "value=" << value;
+    }
+  }
+  uint64_t visited_a = 0, visited_b = 0;
+  ASSERT_OK(a->TimedSegmentScan(
+      DayRange::All(), [&visited_a](const Value&, const Entry&) { ++visited_a; }));
+  ASSERT_OK(b->TimedSegmentScan(
+      DayRange::All(), [&visited_b](const Value&, const Entry&) { ++visited_b; }));
+  EXPECT_EQ(visited_a, visited_b);
+
+  const CacheStats stats = b->cache()->stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);  // repeated rounds re-read the same blocks
 }
 
 class WaveServiceConcurrencyTest : public ::testing::TestWithParam<SchemeKind> {};
