@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/attach.h"
 #include "storage/cached_device.h"
 #include "storage/device.h"
 #include "storage/extent_allocator.h"
@@ -293,6 +294,13 @@ int main() {
   ShardedCachedDevice sharded_cache(&device_b, kCacheBlocks, kBlockSize,
                                     kNumShards);
 
+  // Observability rides along at zero hot-path cost: callback metrics are
+  // polled only when the registry is snapshotted, after the timed runs.
+  obs::MetricsRegistry registry;
+  obs::AttachMeteredDevice(&registry, &device_a, "global_mutex");
+  obs::AttachMeteredDevice(&registry, &device_b, "sharded");
+  obs::AttachShardedCache(&registry, &sharded_cache, "sharded");
+
   const std::vector<Cell> baseline = BenchVariant(
       "global_mutex", &global_cache, &device_a, &allocator_a, &day_store_a);
   const std::vector<Cell> sharded = BenchVariant(
@@ -319,6 +327,7 @@ int main() {
 
   WriteJson(cells, probe_speedup, scan_speedup);
   std::printf("Wrote BENCH_concurrent.json\n");
+  bench::WriteMetricsJson(registry, "BENCH_concurrent_metrics.json");
 
   bench::ShapeChecks checks;
   checks.Check(probe_speedup >= 2.0,

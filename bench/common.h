@@ -10,6 +10,7 @@
 #define WAVEKIT_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "model/query_model.h"
 #include "model/space_model.h"
 #include "model/total_work.h"
+#include "obs/metrics.h"
 #include "sim/driver.h"
 #include "sim/table_printer.h"
 #include "util/format.h"
@@ -91,6 +93,16 @@ inline model::TotalWork TotalWorkOrDie(SchemeKind scheme,
 
 inline std::string Fmt(double v, int precision = 1) {
   return FormatDouble(v, precision);
+}
+
+/// Writes `registry` as a standalone JSON file next to the bench's main
+/// BENCH_*.json, so a run leaves the full metric state (device phase
+/// counters, cache shard stats, ...) behind for offline analysis.
+inline void WriteMetricsJson(const obs::MetricsRegistry& registry,
+                             const std::string& path) {
+  std::ofstream out(path);
+  out << registry.RenderJson();
+  std::printf("Wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

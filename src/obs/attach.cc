@@ -1,0 +1,81 @@
+#include "obs/attach.h"
+
+namespace wavekit {
+namespace obs {
+
+void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
+                         std::string device_label, const void* owner) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    const Labels labels = {{"device", device_label},
+                           {"phase", PhaseName(phase)}};
+    registry->AddCounterCallback(
+        "wavekit_device_seeks_total", "Modeled disk seeks per phase", labels,
+        [device, phase]() { return device->counters(phase).seeks; }, owner);
+    registry->AddCounterCallback(
+        "wavekit_device_bytes_read_total", "Bytes read per phase", labels,
+        [device, phase]() { return device->counters(phase).bytes_read; },
+        owner);
+    registry->AddCounterCallback(
+        "wavekit_device_bytes_written_total", "Bytes written per phase",
+        labels,
+        [device, phase]() { return device->counters(phase).bytes_written; },
+        owner);
+    registry->AddCounterCallback(
+        "wavekit_device_read_ops_total", "Read operations per phase", labels,
+        [device, phase]() { return device->counters(phase).read_ops; }, owner);
+    registry->AddCounterCallback(
+        "wavekit_device_write_ops_total", "Write operations per phase", labels,
+        [device, phase]() { return device->counters(phase).write_ops; },
+        owner);
+  }
+}
+
+void AttachShardedCache(MetricsRegistry* registry,
+                        const ShardedCachedDevice* cache,
+                        std::string cache_label, const void* owner) {
+  for (size_t shard = 0; shard < cache->num_shards(); ++shard) {
+    const Labels labels = {{"cache", cache_label},
+                           {"shard", std::to_string(shard)}};
+    registry->AddCounterCallback(
+        "wavekit_cache_hits_total", "Block reads served from cache, per shard",
+        labels, [cache, shard]() { return cache->shard_stats(shard).hits; },
+        owner);
+    registry->AddCounterCallback(
+        "wavekit_cache_misses_total",
+        "Block reads that went to the device, per shard", labels,
+        [cache, shard]() { return cache->shard_stats(shard).misses; }, owner);
+    registry->AddCounterCallback(
+        "wavekit_cache_evictions_total",
+        "Blocks evicted to make room, per shard", labels,
+        [cache, shard]() { return cache->shard_stats(shard).evictions; },
+        owner);
+  }
+  const Labels labels = {{"cache", cache_label}};
+  registry->AddGaugeCallback(
+      "wavekit_cache_cached_blocks", "Blocks currently cached across shards",
+      labels,
+      [cache]() { return static_cast<double>(cache->cached_blocks()); },
+      owner);
+  registry->AddGaugeCallback(
+      "wavekit_cache_hit_ratio", "Aggregate hit ratio since last reset",
+      labels, [cache]() { return cache->stats().HitRatio(); }, owner);
+}
+
+void AttachThreadPool(MetricsRegistry* registry, const ThreadPool* pool,
+                      std::string pool_label, const void* owner) {
+  const Labels labels = {{"pool", pool_label}};
+  registry->AddGaugeCallback(
+      "wavekit_pool_queue_depth",
+      "Tasks queued and not yet picked up by a worker", labels,
+      [pool]() { return static_cast<double>(pool->queue_depth()); }, owner);
+  registry->AddGaugeCallback(
+      "wavekit_pool_in_flight", "Tasks queued or currently executing", labels,
+      [pool]() { return static_cast<double>(pool->in_flight()); }, owner);
+  registry->AddGaugeCallback(
+      "wavekit_pool_threads", "Worker threads in the pool", labels,
+      [pool]() { return static_cast<double>(pool->num_threads()); }, owner);
+}
+
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,47 @@
+// Attach helpers: register the stats an existing wavekit component already
+// maintains as callback metrics in a MetricsRegistry.
+//
+// Each Attach* call adds callback counters/gauges polled at snapshot time, so
+// the instrumented component pays nothing on its hot path. All helpers take
+// an `owner` tag; callers must MetricsRegistry::Unregister(owner) before the
+// attached component is destroyed (WaveService does this in its destructor).
+
+#ifndef WAVEKIT_OBS_ATTACH_H_
+#define WAVEKIT_OBS_ATTACH_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "storage/metered_device.h"
+#include "storage/sharded_cached_device.h"
+#include "util/thread_pool.h"
+
+namespace wavekit {
+namespace obs {
+
+/// Per-phase seek/byte/op counters of `device`:
+///   wavekit_device_{seeks,bytes_read,bytes_written,read_ops,write_ops}_total
+///     {device=<label>, phase=<start|transition|precompute|query|other>}
+void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
+                         std::string device_label,
+                         const void* owner = nullptr);
+
+/// Per-shard hit/miss/eviction counters plus aggregate occupancy of `cache`:
+///   wavekit_cache_{hits,misses,evictions}_total{cache=<label>, shard=<i>}
+///   wavekit_cache_cached_blocks{cache=<label>}
+///   wavekit_cache_hit_ratio{cache=<label>}
+void AttachShardedCache(MetricsRegistry* registry,
+                        const ShardedCachedDevice* cache,
+                        std::string cache_label, const void* owner = nullptr);
+
+/// Queue depth and size of `pool`:
+///   wavekit_pool_queue_depth{pool=<label>}
+///   wavekit_pool_in_flight{pool=<label>}
+///   wavekit_pool_threads{pool=<label>}
+void AttachThreadPool(MetricsRegistry* registry, const ThreadPool* pool,
+                      std::string pool_label, const void* owner = nullptr);
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_ATTACH_H_

@@ -1,0 +1,310 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+/// Quantiles every renderer reports for a histogram.
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+
+/// Formats a metric value: integral values render without a decimal point so
+/// counters stay exact (and goldens stay stable); others get default
+/// precision.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.2e18) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Escapes a JSON string (quotes, backslashes, control characters).
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders `{key="value",...}` (with an optional extra label appended), or
+/// nothing when there are no labels.
+std::string PrometheusLabels(const Labels& labels,
+                             const std::string& extra_key = "",
+                             const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(key) + "\": \"" + EscapeJson(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string RegistrySnapshot::RenderPrometheus() const {
+  std::string out;
+  std::string previous_name;
+  for (const MetricSnapshot& metric : metrics) {
+    if (metric.name != previous_name) {
+      if (!metric.help.empty()) {
+        out += "# HELP " + metric.name + " " + metric.help + "\n";
+      }
+      // Log-bucketed histograms expose quantiles, so they are Prometheus
+      // summaries on the wire.
+      out += "# TYPE " + metric.name + " " +
+             (metric.type == MetricType::kHistogram
+                  ? "summary"
+                  : MetricTypeName(metric.type)) +
+             "\n";
+      previous_name = metric.name;
+    }
+    if (metric.type != MetricType::kHistogram) {
+      out += metric.name + PrometheusLabels(metric.labels) + " " +
+             FormatValue(metric.value) + "\n";
+      continue;
+    }
+    const Histogram& h = metric.histogram;
+    for (double q : kQuantiles) {
+      out += metric.name +
+             PrometheusLabels(metric.labels, "quantile", FormatValue(q)) +
+             " " + std::to_string(h.Percentile(q)) + "\n";
+    }
+    out += metric.name + "_sum" + PrometheusLabels(metric.labels) + " " +
+           std::to_string(h.sum()) + "\n";
+    out += metric.name + "_count" + PrometheusLabels(metric.labels) + " " +
+           std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::RenderJson() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& metric = metrics[i];
+    out += "    {\"name\": \"" + EscapeJson(metric.name) + "\", \"type\": \"" +
+           MetricTypeName(metric.type) + "\", \"labels\": " +
+           JsonLabels(metric.labels);
+    if (metric.type == MetricType::kHistogram) {
+      const Histogram& h = metric.histogram;
+      out += ", \"count\": " + std::to_string(h.count()) +
+             ", \"sum\": " + std::to_string(h.sum()) +
+             ", \"min\": " + std::to_string(h.min()) +
+             ", \"max\": " + std::to_string(h.max()) +
+             ", \"mean\": " + FormatValue(h.mean());
+      for (double q : kQuantiles) {
+        out += ", \"p" + FormatValue(q * 100) +
+               "\": " + std::to_string(h.Percentile(q));
+      }
+    } else {
+      out += ", \"value\": " + FormatValue(metric.value);
+    }
+    out += "}";
+    if (i + 1 < metrics.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::NewEntry(std::string name,
+                                                 std::string help,
+                                                 MetricType type,
+                                                 Labels labels,
+                                                 const void* owner) {
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->type = type;
+  entry->labels = std::move(labels);
+  entry->owner = owner;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help,
+                                     Labels labels, const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = NewEntry(std::move(name), std::move(help),
+                          MetricType::kCounter, std::move(labels), owner);
+  entry.counter = std::unique_ptr<Counter>(new Counter());
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                 Labels labels, const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = NewEntry(std::move(name), std::move(help), MetricType::kGauge,
+                          std::move(labels), owner);
+  entry.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return entry.gauge.get();
+}
+
+ConcurrentHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                                   std::string help,
+                                                   Labels labels,
+                                                   const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = NewEntry(std::move(name), std::move(help),
+                          MetricType::kHistogram, std::move(labels), owner);
+  entry.histogram = std::make_unique<ConcurrentHistogram>();
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::AddCounterCallback(std::string name, std::string help,
+                                         Labels labels,
+                                         std::function<uint64_t()> fn,
+                                         const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NewEntry(std::move(name), std::move(help), MetricType::kCounter,
+           std::move(labels), owner)
+      .counter_fn = std::move(fn);
+}
+
+void MetricsRegistry::AddGaugeCallback(std::string name, std::string help,
+                                       Labels labels,
+                                       std::function<double()> fn,
+                                       const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NewEntry(std::move(name), std::move(help), MetricType::kGauge,
+           std::move(labels), owner)
+      .gauge_fn = std::move(fn);
+}
+
+void MetricsRegistry::AddHistogramCallback(std::string name, std::string help,
+                                           Labels labels,
+                                           std::function<Histogram()> fn,
+                                           const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NewEntry(std::move(name), std::move(help), MetricType::kHistogram,
+           std::move(labels), owner)
+      .histogram_fn = std::move(fn);
+}
+
+void MetricsRegistry::Unregister(const void* owner) {
+  if (owner == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [owner](const std::unique_ptr<Entry>& entry) {
+                                  return entry->owner == owner;
+                                }),
+                 entries_.end());
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.metrics.reserve(entries_.size());
+    for (const std::unique_ptr<Entry>& entry : entries_) {
+      MetricSnapshot metric;
+      metric.name = entry->name;
+      metric.help = entry->help;
+      metric.type = entry->type;
+      metric.labels = entry->labels;
+      if (entry->counter != nullptr) {
+        metric.value = static_cast<double>(entry->counter->value());
+      } else if (entry->gauge != nullptr) {
+        metric.value = entry->gauge->value();
+      } else if (entry->histogram != nullptr) {
+        metric.histogram = entry->histogram->Snapshot();
+      } else if (entry->counter_fn) {
+        metric.value = static_cast<double>(entry->counter_fn());
+      } else if (entry->gauge_fn) {
+        metric.value = entry->gauge_fn();
+      } else if (entry->histogram_fn) {
+        metric.histogram = entry->histogram_fn();
+      }
+      out.metrics.push_back(std::move(metric));
+    }
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace wavekit

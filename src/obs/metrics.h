@@ -1,0 +1,169 @@
+// MetricsRegistry: one place for every operational counter, gauge, and
+// latency histogram in a wavekit deployment.
+//
+// The paper's whole evaluation (Sections 5-7) is an accounting exercise —
+// seeks and bytes per phase per scheme — but at serving time those numbers
+// were scattered over MeteredDevice, ShardedCachedDevice, and WaveService.
+// The registry consolidates them behind names and labels, snapshot-able
+// without stopping traffic and renderable as Prometheus text or JSON.
+//
+// Hot-path discipline: owned Counter/Gauge/ConcurrentHistogram instruments
+// update via relaxed atomics, never a registry lock. The registry mutex
+// guards only registration and snapshotting. Callback metrics (the usual way
+// to consolidate stats an existing component already counts, e.g. a
+// MeteredDevice's phase counters) are polled at snapshot time only, so
+// attaching them costs the instrumented code nothing.
+
+#ifndef WAVEKIT_OBS_METRICS_H_
+#define WAVEKIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace wavekit {
+namespace obs {
+
+/// Label key/value pairs attached to one metric instance (kept in the order
+/// given at registration; renderers emit them verbatim).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// \brief Monotonic counter. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Point-in-time value that can go up or down.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief One metric instance materialized at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  double value = 0.0;   ///< Counter / gauge value.
+  Histogram histogram;  ///< Histogram contents (type == kHistogram only).
+};
+
+/// \brief A consistent-enough point-in-time view of every registered metric,
+/// sorted by (name, labels) so renders are deterministic.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// Prometheus text exposition format. Histograms render as summaries
+  /// (quantile series plus _sum and _count).
+  std::string RenderPrometheus() const;
+
+  /// JSON object: {"metrics": [{name, type, labels, value | stats}, ...]}.
+  /// One metric per line; valid JSON for machine consumption.
+  std::string RenderJson() const;
+};
+
+/// \brief Named, labeled metric registry. Thread-safe: registration,
+/// snapshots, and instrument updates may all race.
+///
+/// Instruments returned by Add* are owned by the registry and stay valid
+/// until Unregister is called with their owner tag (or the registry dies).
+/// Callback metrics must outlive their owner's registration: components that
+/// register callbacks over their own state MUST call Unregister(owner) in
+/// their destructor (see WaveService).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(std::string name, std::string help, Labels labels = {},
+                      const void* owner = nullptr);
+  Gauge* AddGauge(std::string name, std::string help, Labels labels = {},
+                  const void* owner = nullptr);
+  ConcurrentHistogram* AddHistogram(std::string name, std::string help,
+                                    Labels labels = {},
+                                    const void* owner = nullptr);
+
+  /// Callback metrics: polled under the registry mutex at snapshot time.
+  /// Callbacks must be safe to invoke from any thread (read atomics, take
+  /// their own fine-grained locks) and must not re-enter the registry.
+  void AddCounterCallback(std::string name, std::string help, Labels labels,
+                          std::function<uint64_t()> fn,
+                          const void* owner = nullptr);
+  void AddGaugeCallback(std::string name, std::string help, Labels labels,
+                        std::function<double()> fn,
+                        const void* owner = nullptr);
+  void AddHistogramCallback(std::string name, std::string help, Labels labels,
+                            std::function<Histogram()> fn,
+                            const void* owner = nullptr);
+
+  /// Removes every metric registered with `owner` (instruments it holds
+  /// pointers to become invalid). No-op for nullptr or unknown owners.
+  void Unregister(const void* owner);
+
+  RegistrySnapshot Snapshot() const;
+  std::string RenderPrometheus() const { return Snapshot().RenderPrometheus(); }
+  std::string RenderJson() const { return Snapshot().RenderJson(); }
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    Labels labels;
+    const void* owner = nullptr;
+    // Exactly one of the following is set.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<ConcurrentHistogram> histogram;
+    std::function<uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+    std::function<Histogram()> histogram_fn;
+  };
+
+  Entry& NewEntry(std::string name, std::string help, MetricType type,
+                  Labels labels, const void* owner);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_METRICS_H_

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+/// The innermost span the calling thread is currently inside, or nullptr.
+thread_local Span* t_current_span = nullptr;
+
+}  // namespace
+
+Span::Span(Tracer* tracer, std::string name, Span* parent)
+    : tracer_(tracer), parent_(parent) {
+  record_.name = std::move(name);
+  record_.span_id = tracer_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  record_.trace_id = parent != nullptr ? parent->record_.trace_id : record_.span_id;
+  record_.parent_span_id = parent != nullptr ? parent->record_.span_id : 0;
+  start_ = std::chrono::steady_clock::now();
+  record_.start_us = tracer_->MicrosSinceEpoch(start_);
+  if (tracer_->options_.meter != nullptr) {
+    io_start_ = tracer_->options_.meter->total();
+  }
+  t_current_span = this;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this == &other) return *this;
+  Finish();
+  tracer_ = other.tracer_;
+  parent_ = other.parent_;
+  record_ = std::move(other.record_);
+  start_ = other.start_;
+  io_start_ = other.io_start_;
+  // The moved-from span may be the thread-current one (return-by-value from
+  // StartSpan without elision); keep the pointer alive across the move.
+  if (tracer_ != nullptr && t_current_span == &other) t_current_span = this;
+  other.tracer_ = nullptr;
+  return *this;
+}
+
+void Span::Finish() {
+  if (tracer_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  record_.duration_us = us < 0 ? 0 : static_cast<uint64_t>(us);
+  if (tracer_->options_.meter != nullptr) {
+    const IoCounters delta = tracer_->options_.meter->total() - io_start_;
+    record_.seeks = delta.seeks;
+    record_.bytes_read = delta.bytes_read;
+    record_.bytes_written = delta.bytes_written;
+  }
+  if (t_current_span == this) t_current_span = parent_;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->FinishSpan(std::move(record_));
+}
+
+Tracer::Tracer(Options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.sample_rate >= 1.0) {
+    sample_period_ = 1;
+  } else if (options_.sample_rate <= 0.0) {
+    sample_period_ = 0;
+  } else {
+    sample_period_ = static_cast<uint64_t>(
+        std::llround(1.0 / options_.sample_rate));
+    if (sample_period_ == 0) sample_period_ = 1;
+  }
+}
+
+bool Tracer::SampleRoot() {
+  const uint64_t n = roots_started_.fetch_add(1, std::memory_order_relaxed);
+  if (sample_period_ == 0) return false;
+  if (n % sample_period_ != 0) return false;
+  roots_sampled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Span Tracer::StartSpan(std::string_view name) {
+  Span* parent = t_current_span;
+  if (parent != nullptr && parent->tracer_ == this) {
+    return Span(this, std::string(name), parent);
+  }
+  if (!SampleRoot()) return Span();
+  return Span(this, std::string(name), nullptr);
+}
+
+void Tracer::FinishSpan(SpanRecord record) {
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.slow_op_threshold_us > 0 &&
+      record.duration_us >= options_.slow_op_threshold_us) {
+    WAVEKIT_LOG(Warning) << "slow op: " << record.name << " took "
+                         << record.duration_us << "us (seeks=" << record.seeks
+                         << " read=" << record.bytes_read
+                         << "B written=" << record.bytes_written
+                         << "B trace=" << record.trace_id << ")";
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(record));
+    ring_next_ = ring_.size() % options_.ring_capacity;
+    ring_full_ = ring_.size() == options_.ring_capacity;
+  } else {
+    ring_[ring_next_] = std::move(record);
+    ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+  }
+}
+
+std::vector<SpanRecord> Tracer::CompletedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: from the write cursor when the ring has wrapped.
+  const size_t start = ring_full_ ? ring_next_ : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  ring_next_ = 0;
+  ring_full_ = false;
+}
+
+uint64_t Tracer::MicrosSinceEpoch(
+    std::chrono::steady_clock::time_point t) const {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+          .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+}  // namespace obs
+}  // namespace wavekit

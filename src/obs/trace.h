@@ -1,0 +1,156 @@
+// Tracer/Span: lightweight maintenance-phase tracing for wave operations.
+//
+// Every AdvanceDay becomes a root span whose children are the Section 2.2
+// primitives the scheme actually ran (BuildIndex, AddToIndex, DropIndex,
+// CopyIndex, ...), each annotated with the seek/byte delta it drew from the
+// MeteredDevice — so a single trace shows where the paper's transition cost
+// physically went. Probes and scans can be sampled the same way.
+//
+// Design points:
+//  - Unsampled spans are inert: StartSpan costs one relaxed atomic add and
+//    returns a span that does nothing on Finish.
+//  - Parent/child linkage is a thread-local "current span" pointer; child
+//    spans of a sampled ancestor are always recorded (head-based sampling).
+//  - Completed spans land in a bounded in-memory ring (oldest evicted) and,
+//    above an optional latency threshold, in a WARNING slow-op log line.
+//  - I/O attribution is best-effort under concurrency: the span reads the
+//    meter's totals at start and finish, so traffic from concurrent threads
+//    within that window is attributed to the span too (same caveat as the
+//    metered head position; see DESIGN.md).
+
+#ifndef WAVEKIT_OBS_TRACE_H_
+#define WAVEKIT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/cost_model.h"
+#include "storage/metered_device.h"
+
+namespace wavekit {
+namespace obs {
+
+class Tracer;
+
+/// \brief One finished span as stored in the tracer's ring.
+struct SpanRecord {
+  uint64_t trace_id = 0;        ///< Root span id shared by the whole trace.
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 for root spans.
+  std::string name;
+  uint64_t start_us = 0;        ///< Microseconds since the tracer was created.
+  uint64_t duration_us = 0;
+  // Seek/byte delta of the attributed meter over the span's lifetime.
+  uint64_t seeks = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// \brief RAII span handle. Default-constructed (or unsampled) spans are
+/// inert. Finish() is idempotent and runs on destruction. Movable so
+/// Tracer::StartSpan can return by value; not copyable.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { Finish(); }
+
+  /// True when this span is sampled and will be recorded on Finish.
+  bool active() const { return tracer_ != nullptr; }
+
+  uint64_t span_id() const { return record_.span_id; }
+  uint64_t trace_id() const { return record_.trace_id; }
+
+  void Finish();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, Span* parent);
+
+  Tracer* tracer_ = nullptr;  ///< nullptr = inert.
+  Span* parent_ = nullptr;    ///< Restored as thread-current on Finish.
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point start_;
+  IoCounters io_start_;
+};
+
+/// \brief Span factory + bounded ring of completed spans. Thread-safe: any
+/// thread may start spans and read CompletedSpans concurrently.
+class Tracer {
+ public:
+  struct Options {
+    /// Fraction of ROOT spans recorded, in [0, 1]. Sampling is deterministic
+    /// (every round(1/rate)-th root), so tests and steady loads see an exact
+    /// fraction. Children of a sampled root are always recorded.
+    double sample_rate = 0.0;
+    /// Completed spans kept; the oldest is evicted when full.
+    size_t ring_capacity = 256;
+    /// When > 0, a finished span at least this slow emits one WARNING log
+    /// line (visible at the default log level, capturable via SetLogSink).
+    uint64_t slow_op_threshold_us = 0;
+    /// When set, spans record the seek/byte delta of this meter over their
+    /// lifetime (best-effort under concurrency).
+    MeteredDevice* meter = nullptr;
+  };
+
+  explicit Tracer(Options options);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a span. If the calling thread is inside a span of this tracer,
+  /// the new span is its (always-recorded) child; otherwise it is a root
+  /// subject to the sampling decision.
+  Span StartSpan(std::string_view name);
+
+  /// The completed-span ring, oldest first.
+  std::vector<SpanRecord> CompletedSpans() const;
+
+  /// Drops all completed spans (counters are kept).
+  void Clear();
+
+  uint64_t roots_started() const {
+    return roots_started_.load(std::memory_order_relaxed);
+  }
+  uint64_t roots_sampled() const {
+    return roots_sampled_.load(std::memory_order_relaxed);
+  }
+  uint64_t spans_recorded() const {
+    return spans_recorded_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  friend class Span;
+
+  /// Whether the next root span is sampled (deterministic counter-based).
+  bool SampleRoot();
+  void FinishSpan(SpanRecord record);
+  uint64_t MicrosSinceEpoch(std::chrono::steady_clock::time_point t) const;
+
+  Options options_;
+  uint64_t sample_period_;  ///< 0 = never, 1 = always, k = every k-th root.
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> roots_started_{0};
+  std::atomic<uint64_t> roots_sampled_{0};
+  std::atomic<uint64_t> spans_recorded_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;  ///< Circular; `ring_next_` is the write slot.
+  size_t ring_next_ = 0;
+  bool ring_full_ = false;
+};
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_TRACE_H_

@@ -87,6 +87,19 @@ IoCounters MeteredDevice::total() const {
   return out;
 }
 
+MeteredDevice::Snapshot MeteredDevice::snapshot() const {
+  Snapshot out;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    Snapshot::PhaseIo& slot = out.phases[static_cast<size_t>(p)];
+    slot.phase = phase;
+    slot.name = PhaseName(phase);
+    slot.io = counters_[static_cast<size_t>(p)].Load();
+    out.total += slot.io;
+  }
+  return out;
+}
+
 void MeteredDevice::Reset() {
   for (AtomicIoCounters& c : counters_) c.ResetAll();
 }

@@ -67,6 +67,23 @@ class MeteredDevice : public Device {
   /// Sum over all phases.
   IoCounters total() const;
 
+  /// \brief All phase counters plus their sum in one struct — the unit the
+  /// observability layer (obs/attach.h) and exporters consume, instead of
+  /// N ad-hoc counters() calls.
+  struct Snapshot {
+    struct PhaseIo {
+      Phase phase = Phase::kOther;
+      const char* name = "";  ///< PhaseName(phase).
+      IoCounters io;
+    };
+    std::array<PhaseIo, kNumPhases> phases;
+    IoCounters total;  ///< Sum over all phases.
+  };
+
+  /// A consistent-enough copy of every phase's counters (each field read
+  /// atomically; `total` summed from the same per-phase reads).
+  Snapshot snapshot() const;
+
   /// Zeroes all counters (head position is kept). Not linearizable against
   /// in-flight I/O; quiesce first for exact accounting.
   void Reset();

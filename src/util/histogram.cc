@@ -21,9 +21,12 @@ void Histogram::Record(uint64_t value) {
 
 uint64_t Histogram::Percentile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const uint64_t target = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Exact edges: p0 is the smallest observed value, p100 the largest —
+  // bucket upper bounds would overshoot both.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
   uint64_t seen = 0;
   for (int k = 0; k < kBuckets; ++k) {
     seen += buckets_[static_cast<size_t>(k)];
@@ -35,6 +38,17 @@ uint64_t Histogram::Percentile(double q) const {
     }
   }
   return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int k = 0; k < kBuckets; ++k) {
+    buckets_[static_cast<size_t>(k)] += other.buckets_[static_cast<size_t>(k)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // other.min_ keeps its ~0 sentinel when empty, so min/max merge safely.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 void Histogram::Reset() {

@@ -31,8 +31,14 @@ class Histogram {
   }
 
   /// Approximate value at quantile q in [0, 1] (upper bound of the bucket
-  /// containing the q-th sample). 0 when empty.
+  /// containing the q-th sample, clamped into [min, max]). Edge cases are
+  /// exact: 0 when empty, q <= 0 returns min(), q >= 1 returns max().
   uint64_t Percentile(double q) const;
+
+  /// Adds `other`'s samples to this histogram (bucket-wise; count/sum/min/max
+  /// combine exactly). Used to aggregate per-shard and per-thread histograms
+  /// into registry snapshots.
+  void Merge(const Histogram& other);
 
   void Reset();
 

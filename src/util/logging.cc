@@ -1,12 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <thread>
 
 namespace wavekit {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+// The sink is read on every emitted line and replaced rarely; a mutex around
+// the std::function keeps replacement safe without atomics gymnastics.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = stderr default
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,10 +33,33 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// "2026-08-05 12:34:56.789" in local time.
+void AppendTimestamp(std::ostream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&seconds, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%d %H:%M:%S", &tm);
+  char with_ms[40];
+  std::snprintf(with_ms, sizeof with_ms, "%s.%03d", buffer,
+                static_cast<int>(ms));
+  out << with_ms;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 namespace internal {
 
@@ -39,14 +71,25 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_) << " ";
+    AppendTimestamp(stream_);
+    stream_ << " tid=" << std::this_thread::get_id() << " " << base << ":"
+            << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+  if (!enabled_) return;
+  const std::string line = stream_.str();
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level_, line);
+  } else {
+    std::fputs((line + "\n").c_str(), stderr);
   }
 }
 

@@ -1,13 +1,18 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging to stderr (or an embedder-provided sink).
 //
 // Usage: WAVEKIT_LOG(INFO) << "built index for day " << day;
 // The default threshold is WARNING so library users see nothing unless they
-// opt in via SetLogLevel.
+// opt in via SetLogLevel. Lines carry a wall-clock timestamp and thread id:
+//   [WARN 2026-08-05 12:34:56.789 tid=140512 file.cc:42] message
+// Embedders can capture lines instead of losing them to stderr with
+// SetLogSink (used by the obs slow-op log and by tests).
 
 #ifndef WAVEKIT_UTIL_LOGGING_H_
 #define WAVEKIT_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
+#include <string_view>
 
 namespace wavekit {
 
@@ -22,6 +27,14 @@ enum class LogLevel : int {
 /// Sets the global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives each emitted log line (full prefix included, no trailing
+/// newline). Called after level filtering, from whichever thread logged.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the destination of log lines; pass an empty function (or
+/// nullptr) to restore the stderr default. The sink must not log.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -49,10 +49,17 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks queued and not yet picked up by a worker (point-in-time sample;
+  /// safe from any thread — used by the observability layer).
+  size_t queue_depth() const;
+
+  /// Queued + currently executing tasks (the count Wait waits to hit zero).
+  int in_flight() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

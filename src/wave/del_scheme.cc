@@ -22,15 +22,18 @@ Status DelScheme::DoTransition(const DayBatch& new_day) {
   const Day expired = new_day.day - config_.window;
   WAVEKIT_ASSIGN_OR_RETURN(size_t j, FindSlotContaining(expired));
   switch (config_.technique) {
-    case UpdateTechniqueKind::kInPlace:
+    case UpdateTechniqueKind::kInPlace: {
       // The delete does not need the new day's data: it runs as
       // pre-computation; the add is the transition critical path.
+      obs::Span span = TraceOp("DEL.in_place");
       WAVEKIT_RETURN_NOT_OK(
           DeleteFromIndex({expired}, &slots_[j], Phase::kPrecompute));
       WAVEKIT_RETURN_NOT_OK(
           AddToIndex({new_day.day}, &slots_[j], Phase::kTransition));
       break;
+    }
     case UpdateTechniqueKind::kSimpleShadow: {
+      obs::Span span = TraceOp("DEL.simple_shadow");
       // Shadow copy + delete as pre-computation; when the new data arrives,
       // add it to the shadow and swap (Table 10: pre = X*CP + Del,
       // transition = Add).
@@ -47,12 +50,14 @@ Status DelScheme::DoTransition(const DayBatch& new_day) {
       WAVEKIT_RETURN_NOT_OK(ReplaceSlot(j, std::move(shadow)));
       break;
     }
-    case UpdateTechniqueKind::kPackedShadow:
+    case UpdateTechniqueKind::kPackedShadow: {
       // The smart copy merges the insert and drops the expired entries in a
       // single pass; it needs the new data, so everything is transition.
+      obs::Span span = TraceOp("DEL.packed_shadow");
       WAVEKIT_RETURN_NOT_OK(UpdateIndex({new_day.day}, {expired}, &slots_[j],
                                         Phase::kTransition));
       break;
+    }
   }
   return Status::OK();
 }

@@ -96,6 +96,7 @@ Status KnownBoundWataScheme::DoTransition(const DayBatch& new_day) {
   const bool slot_free =
       static_cast<int>(slots_.size()) < config_.num_indexes;
   if (fill == nullptr || (fill_full && slot_free)) {
+    obs::Span span = TraceOp("KB-WATA.new_slice");
     WAVEKIT_ASSIGN_OR_RETURN(
         std::shared_ptr<ConstituentIndex> fresh,
         BuildIndex({new_day.day}, "I" + std::to_string(++next_name_),
@@ -103,6 +104,7 @@ Status KnownBoundWataScheme::DoTransition(const DayBatch& new_day) {
     slots_.push_back(fresh);
     wave_.AddIndex(std::move(fresh));
   } else {
+    obs::Span span = TraceOp("KB-WATA.fill_slice");
     if (fill_full) {
       // The promised bound was optimistic: degrade gracefully rather than
       // fail, as a production system must.

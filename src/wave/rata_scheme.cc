@@ -81,6 +81,7 @@ Status RataScheme::DoTransition(const DayBatch& new_day) {
   if (days_in_others == config_.window - 1) {
     // ThrowAway: as in WATA*, then precompute the ladder for the next
     // expiring cluster.
+    obs::Span span = TraceOp("RATA.throw_away");
     WAVEKIT_RETURN_NOT_OK(DropIndex(slots_[j]));
     WAVEKIT_ASSIGN_OR_RETURN(
         std::shared_ptr<ConstituentIndex> fresh,
@@ -97,6 +98,7 @@ Status RataScheme::DoTransition(const DayBatch& new_day) {
     // Wait: append the new day to the last-modified index, then simulate the
     // hard window by swapping the expiring constituent for the precomputed
     // suffix that excludes today's expired day.
+    obs::Span span = TraceOp("RATA.promote_rung");
     WAVEKIT_RETURN_NOT_OK(
         AddToIndex({new_day.day}, &slots_[last_], Phase::kTransition));
     if (temp_used_ <= 0) {

@@ -70,6 +70,7 @@ Status ReindexPlusPlusScheme::DoTransition(const DayBatch& new_day) {
   if (temp_used_ == 0) {
     // Cluster rotation completes: T_0 (which accumulated DaysToAdd) gets the
     // new day and becomes I_j; then precompute the next cluster's ladder.
+    obs::Span span = TraceOp("REINDEX++.finish_rotation");
     WAVEKIT_RETURN_NOT_OK(
         AddToIndex({new_day.day}, &temps_[0], Phase::kTransition));
     std::shared_ptr<ConstituentIndex> promoted = std::move(temps_[0]);
@@ -83,6 +84,7 @@ Status ReindexPlusPlusScheme::DoTransition(const DayBatch& new_day) {
   } else {
     // Mid-rotation: the highest unused rung + the new day becomes I_j; the
     // next rung is topped up with all accumulated new days for later.
+    obs::Span span = TraceOp("REINDEX++.mid_rotation");
     days_to_add_.insert(new_day.day);
     WAVEKIT_RETURN_NOT_OK(AddToIndex(
         {new_day.day}, &temps_[static_cast<size_t>(temp_used_)],

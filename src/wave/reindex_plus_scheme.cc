@@ -42,6 +42,7 @@ Status ReindexPlusScheme::DoTransition(const DayBatch& new_day) {
     if (slots_[j]->time_set().size() == 1) {
       // Degenerate single-day cluster: Temp cannot save anything; rebuild
       // directly (equivalent to REINDEX for this cluster).
+      obs::Span span = TraceOp("REINDEX+.rebuild_single_day");
       WAVEKIT_ASSIGN_OR_RETURN(
           std::shared_ptr<ConstituentIndex> rebuilt,
           BuildIndex({new_day.day}, slots_[j]->name(), Phase::kTransition));
@@ -49,6 +50,7 @@ Status ReindexPlusScheme::DoTransition(const DayBatch& new_day) {
     } else {
       // First day of a cluster rotation: Temp, I_j <- BuildIndex(d_new);
       // AddToIndex(DaysToAdd, I_j).
+      obs::Span span = TraceOp("REINDEX+.start_rotation");
       days_to_add_ = slots_[j]->time_set();
       days_to_add_.erase(expired);
       WAVEKIT_ASSIGN_OR_RETURN(
@@ -58,12 +60,14 @@ Status ReindexPlusScheme::DoTransition(const DayBatch& new_day) {
   } else if (days_to_add_.empty()) {
     // Last day of the rotation: I_j <- Temp; AddToIndex(d_new, I_j);
     // Temp <- phi.
+    obs::Span span = TraceOp("REINDEX+.finish_rotation");
     WAVEKIT_RETURN_NOT_OK(PromoteCopyOfTemp(j, {new_day.day}));
     WAVEKIT_RETURN_NOT_OK(DropIndex(temp_));
     temp_.reset();
   } else {
     // Middle of the rotation: AddToIndex(d_new, Temp); I_j <- Temp;
     // AddToIndex(DaysToAdd, I_j).
+    obs::Span span = TraceOp("REINDEX+.mid_rotation");
     WAVEKIT_RETURN_NOT_OK(
         AddToIndex({new_day.day}, &temp_, Phase::kTransition));
     WAVEKIT_RETURN_NOT_OK(PromoteCopyOfTemp(j, days_to_add_));

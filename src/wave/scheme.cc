@@ -166,6 +166,10 @@ uint64_t Scheme::TemporaryBytes() const {
   return bytes;
 }
 
+obs::Span Scheme::TraceOp(std::string_view name) const {
+  return env_.tracer != nullptr ? env_.tracer->StartSpan(name) : obs::Span();
+}
+
 Result<std::vector<const DayBatch*>> Scheme::GetBatches(
     const TimeSet& days) const {
   std::vector<const DayBatch*> batches;
@@ -179,6 +183,7 @@ Result<std::vector<const DayBatch*>> Scheme::GetBatches(
 
 Result<std::shared_ptr<ConstituentIndex>> Scheme::BuildIndex(
     const TimeSet& days, std::string name, Phase phase, int placement_hint) {
+  obs::Span span = TraceOp("BuildIndex");
   WAVEKIT_ASSIGN_OR_RETURN(std::vector<const DayBatch*> batches,
                            GetBatches(days));
   uint64_t entries = 0;
@@ -210,6 +215,9 @@ Status Scheme::UpdateIndex(const TimeSet& add_days, const TimeSet& delete_days,
                            std::shared_ptr<ConstituentIndex>* index,
                            Phase phase) {
   if (add_days.empty() && delete_days.empty()) return Status::OK();
+  obs::Span span = TraceOp(delete_days.empty()   ? "AddToIndex"
+                           : add_days.empty()    ? "DeleteFromIndex"
+                                                 : "UpdateIndex");
   WAVEKIT_ASSIGN_OR_RETURN(std::vector<const DayBatch*> batches,
                            GetBatches(add_days));
   uint64_t add_entries = 0;
@@ -273,6 +281,7 @@ Status Scheme::UpdateIndex(const TimeSet& add_days, const TimeSet& delete_days,
 
 Status Scheme::PackIndex(std::shared_ptr<ConstituentIndex>* index,
                          Phase phase) {
+  obs::Span span = TraceOp("PackIndex");
   const int op_days = static_cast<int>((*index)->time_set().size());
   const uint64_t entries = (*index)->entry_count();
   const ConstituentIndex* before = index->get();
@@ -291,6 +300,7 @@ Status Scheme::PackIndex(std::shared_ptr<ConstituentIndex>* index,
 
 Result<std::shared_ptr<ConstituentIndex>> Scheme::CopyIndex(
     const ConstituentIndex& source, std::string name, Phase phase) {
+  obs::Span span = TraceOp("CopyIndex");
   MultiPhaseScope scope(AllDevices(), phase);
   WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> copy,
                            source.Clone(std::move(name)));
@@ -301,6 +311,7 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::CopyIndex(
 }
 
 Status Scheme::DropIndex(const std::shared_ptr<ConstituentIndex>& index) {
+  obs::Span span = TraceOp("DropIndex");
   op_log_.Record(OpRecord{OpKind::kDropIndex, Phase::kTransition, current_day_,
                           static_cast<int>(index->time_set().size()), 0,
                           index->entry_count()});

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "index/constituent_index.h"
+#include "obs/trace.h"
 #include "storage/metered_device.h"
 #include "update/update_technique.h"
 #include "wave/day_store.h"
@@ -81,6 +82,12 @@ struct SchemeEnv {
   /// wrap it (or its inner device) and outlive the scheme. Applies to the
   /// default disk only; ignored for indexes placed on `disks`.
   Device* io_device = nullptr;
+
+  /// Optional: when set, every Section 2.2 primitive (BuildIndex,
+  /// AddToIndex, DropIndex, ...) and each scheme's transition branch emits a
+  /// span here, nested under whatever span the caller (e.g.
+  /// WaveService::AdvanceDay) has open. Must outlive the scheme.
+  obs::Tracer* tracer = nullptr;
 
   /// \brief One disk of a multi-disk deployment.
   struct Disk {
@@ -212,6 +219,11 @@ class Scheme {
 
   /// Logs a free rename (temporary promoted to constituent).
   void LogRename(const ConstituentIndex& index);
+
+  /// A span on env_.tracer (inert when no tracer is configured). The Section
+  /// 2.2 primitives above call this with their operation name; schemes use it
+  /// to mark which transition branch ran (e.g. "WATA.throw_away").
+  obs::Span TraceOp(std::string_view name) const;
 
   /// Collects the DayBatch pointers for `days` from the day store.
   Result<std::vector<const DayBatch*>> GetBatches(const TimeSet& days) const;

@@ -53,6 +53,7 @@ Status WataScheme::DoTransition(const DayBatch& new_day) {
   }
   if (days_in_others == config_.window - 1) {
     // ThrowAway: DropIndex(I_j); I_j <- BuildIndex({new}).
+    obs::Span span = TraceOp("WATA.throw_away");
     WAVEKIT_RETURN_NOT_OK(DropIndex(slots_[j]));
     WAVEKIT_ASSIGN_OR_RETURN(
         std::shared_ptr<ConstituentIndex> fresh,
@@ -63,6 +64,7 @@ Status WataScheme::DoTransition(const DayBatch& new_day) {
     last_ = j;
   } else {
     // Wait: append the new day to the last-modified index.
+    obs::Span span = TraceOp("WATA.wait");
     WAVEKIT_RETURN_NOT_OK(
         AddToIndex({new_day.day}, &slots_[last_], Phase::kTransition));
   }

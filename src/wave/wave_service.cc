@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/attach.h"
 #include "util/macros.h"
 #include "wave/scheme_factory.h"
 
@@ -32,6 +33,58 @@ WaveService::WaveService(Options options)
   if (options_.num_query_threads > 1) {
     query_pool_ = std::make_unique<ThreadPool>(options_.num_query_threads);
   }
+  obs::Tracer::Options trace_options;
+  trace_options.sample_rate = options_.trace_sample_rate;
+  trace_options.ring_capacity = options_.trace_ring_capacity;
+  trace_options.slow_op_threshold_us = options_.slow_op_threshold_us;
+  trace_options.meter = &device_;
+  tracer_ = std::make_unique<obs::Tracer>(trace_options);
+  if (options_.metrics_registry != nullptr) {
+    RegisterMetrics();
+  }
+}
+
+WaveService::~WaveService() {
+  if (options_.metrics_registry != nullptr) {
+    options_.metrics_registry->Unregister(this);
+  }
+}
+
+void WaveService::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics_registry;
+  obs::AttachMeteredDevice(registry, &device_, "primary", this);
+  if (cache_ != nullptr) {
+    obs::AttachShardedCache(registry, cache_.get(), "block_cache", this);
+  }
+  if (query_pool_ != nullptr) {
+    obs::AttachThreadPool(registry, query_pool_.get(), "query_pool", this);
+  }
+  registry->AddCounterCallback(
+      "wavekit_service_probes_total", "Index probes served.", {},
+      [this] { return probes_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_service_scans_total", "Segment scans served.", {},
+      [this] { return scans_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_service_days_advanced_total",
+      "Window transitions completed by AdvanceDay.", {},
+      [this] { return days_advanced_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_trace_roots_sampled_total",
+      "AdvanceDay traces sampled into the span ring.", {},
+      [this] { return tracer_->roots_sampled(); }, this);
+  registry->AddHistogramCallback(
+      "wavekit_service_probe_latency_us",
+      "Wall-clock probe latency in microseconds.", {},
+      [this] { return probe_latency_us_.Snapshot(); }, this);
+  registry->AddHistogramCallback(
+      "wavekit_service_scan_latency_us",
+      "Wall-clock scan latency in microseconds.", {},
+      [this] { return scan_latency_us_.Snapshot(); }, this);
+  registry->AddHistogramCallback(
+      "wavekit_service_advance_latency_us",
+      "Wall-clock AdvanceDay latency in microseconds.", {},
+      [this] { return advance_latency_us_.Snapshot(); }, this);
 }
 
 Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
@@ -44,6 +97,7 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
   SchemeEnv env{&service->device_, &service->allocator_,
                 &service->day_store_};
   env.io_device = service->cache_.get();  // nullptr = straight to the meter
+  env.tracer = service->tracer_.get();
   WAVEKIT_ASSIGN_OR_RETURN(service->scheme_,
                            MakeScheme(options.scheme, env, options.config));
   return service;
@@ -59,9 +113,15 @@ Status WaveService::AdvanceDay(DayBatch new_day) {
   // The scheme's wave index is only touched by this (writer) thread; queries
   // never see it directly — they use the published snapshot, whose
   // constituents shadow updates never mutate in place.
-  WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    // Root span: the scheme's primitives nest under it as children.
+    obs::Span span = tracer_->StartSpan("AdvanceDay");
+    WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
+  }
   Publish();
   days_advanced_.fetch_add(1, std::memory_order_relaxed);
+  advance_latency_us_.Record(MicrosSince(start));
   return Status::OK();
 }
 
@@ -87,6 +147,7 @@ ServiceMetrics WaveService::Metrics() const {
   out.days_advanced = days_advanced_.load(std::memory_order_relaxed);
   out.probe_latency_us = probe_latency_us_.Snapshot();
   out.scan_latency_us = scan_latency_us_.Snapshot();
+  out.advance_latency_us = advance_latency_us_.Snapshot();
   return out;
 }
 
@@ -96,6 +157,7 @@ void WaveService::ResetMetrics() {
   days_advanced_.store(0, std::memory_order_relaxed);
   probe_latency_us_.Reset();
   scan_latency_us_.Reset();
+  advance_latency_us_.Reset();
 }
 
 Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,

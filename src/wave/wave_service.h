@@ -23,6 +23,8 @@
 
 #include "util/histogram.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/device.h"
 #include "storage/extent_allocator.h"
 #include "storage/sharded_cached_device.h"
@@ -44,6 +46,8 @@ struct ServiceMetrics {
   Histogram probe_latency_us;
   /// Wall-clock scan latency in microseconds.
   Histogram scan_latency_us;
+  /// Wall-clock AdvanceDay latency in microseconds.
+  Histogram advance_latency_us;
 };
 
 /// \brief Concurrent wave-index server: one writer, many readers.
@@ -67,12 +71,32 @@ class WaveService {
     size_t cache_blocks = 0;
     uint64_t cache_block_size = 4096;
     size_t cache_shards = 16;
+
+    /// When set, the service registers all of its observability — device
+    /// phase counters, cache shard stats, pool depth, and the service
+    /// probe/scan/advance counters and latency histograms — with this
+    /// registry at construction and unregisters them in its destructor. The
+    /// registry must outlive the service.
+    obs::MetricsRegistry* metrics_registry = nullptr;
+
+    /// Fraction of AdvanceDay calls traced (root span + child spans for each
+    /// maintenance primitive the scheme ran). 0 disables tracing.
+    double trace_sample_rate = 0.0;
+
+    /// Completed spans kept in the tracer's in-memory ring.
+    size_t trace_ring_capacity = 256;
+
+    /// When > 0, any traced span at least this slow also emits one WARNING
+    /// log line.
+    uint64_t slow_op_threshold_us = 0;
   };
 
   /// Creates the service. Rejects in-place updating: readers would observe
   /// buckets mutating underneath them (this is exactly the concurrency
   /// control the paper's shadow techniques exist to avoid).
   static Result<std::unique_ptr<WaveService>> Create(Options options);
+
+  ~WaveService();
 
   // --- Maintenance (single writer thread) ----------------------------------
 
@@ -115,6 +139,9 @@ class WaveService {
   /// The probe fan-out pool, or nullptr when num_query_threads <= 1.
   ThreadPool* query_pool() const { return query_pool_.get(); }
 
+  /// The maintenance tracer (always present; inert at sample rate 0).
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
   /// Writer-side accessors (not thread-safe against AdvanceDay).
   const Scheme& scheme() const { return *scheme_; }
   MeteredDevice* device() { return &device_; }
@@ -123,6 +150,7 @@ class WaveService {
   explicit WaveService(Options options);
 
   void Publish();
+  void RegisterMetrics();
 
   Options options_;
   MemoryDevice memory_;
@@ -131,6 +159,7 @@ class WaveService {
   ExtentAllocator allocator_;
   DayStore day_store_;
   std::unique_ptr<ThreadPool> query_pool_;  // optional probe fan-out
+  std::unique_ptr<obs::Tracer> tracer_;     // before scheme_: schemes hold it
   std::unique_ptr<Scheme> scheme_;
 
   mutable std::mutex snapshot_mutex_;
@@ -144,6 +173,7 @@ class WaveService {
   std::atomic<uint64_t> days_advanced_{0};
   mutable ConcurrentHistogram probe_latency_us_;
   mutable ConcurrentHistogram scan_latency_us_;
+  ConcurrentHistogram advance_latency_us_;
 };
 
 }  // namespace wavekit

@@ -52,6 +52,11 @@
 #include "wave/wave_index.h"
 #include "wave/wave_service.h"
 
+// Observability: metrics registry, maintenance tracing, exporters.
+#include "obs/attach.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 // Workloads and the analytic model (for experiments).
 #include "model/params.h"
 #include "model/total_work.h"

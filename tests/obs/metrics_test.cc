@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, OwnedInstrumentsUpdateAndSnapshot) {
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("c_total", "A counter.");
+  Gauge* gauge = registry.AddGauge("g", "A gauge.");
+  ConcurrentHistogram* histogram = registry.AddHistogram("h_us", "A histogram.");
+  counter->Increment();
+  counter->Increment(4);
+  gauge->Set(2.5);
+  gauge->Add(-0.5);
+  histogram->Record(100);
+  histogram->Record(200);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  // Sorted by name: c_total, g, h_us.
+  EXPECT_EQ(snapshot.metrics[0].name, "c_total");
+  EXPECT_DOUBLE_EQ(snapshot.metrics[0].value, 5.0);
+  EXPECT_EQ(snapshot.metrics[1].name, "g");
+  EXPECT_DOUBLE_EQ(snapshot.metrics[1].value, 2.0);
+  EXPECT_EQ(snapshot.metrics[2].name, "h_us");
+  EXPECT_EQ(snapshot.metrics[2].histogram.count(), 2u);
+  EXPECT_EQ(snapshot.metrics[2].histogram.sum(), 300u);
+}
+
+TEST(MetricsRegistryTest, CallbacksArePolledAtSnapshotTime) {
+  MetricsRegistry registry;
+  uint64_t hits = 0;
+  registry.AddCounterCallback("hits_total", "Hits.", {},
+                              [&hits] { return hits; });
+  double depth = 0.0;
+  registry.AddGaugeCallback("depth", "Depth.", {}, [&depth] { return depth; });
+  registry.AddHistogramCallback("lat_us", "Latency.", {}, [] {
+    Histogram h;
+    h.Record(7);
+    return h;
+  });
+
+  hits = 42;
+  depth = 3.0;
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.metrics[0].value, 3.0);       // depth
+  EXPECT_DOUBLE_EQ(snapshot.metrics[1].value, 42.0);      // hits_total
+  EXPECT_EQ(snapshot.metrics[2].histogram.count(), 1u);   // lat_us
+}
+
+TEST(MetricsRegistryTest, UnregisterRemovesOnlyThatOwner) {
+  MetricsRegistry registry;
+  int owner_a = 0;
+  int owner_b = 0;
+  registry.AddCounter("a1_total", "", {}, &owner_a);
+  registry.AddCounter("a2_total", "", {}, &owner_a);
+  Counter* kept = registry.AddCounter("b_total", "", {}, &owner_b);
+  registry.AddCounter("unowned_total", "");
+  ASSERT_EQ(registry.size(), 4u);
+
+  registry.Unregister(&owner_a);
+  EXPECT_EQ(registry.size(), 2u);
+  kept->Increment();  // owner_b's instrument is still alive and usable
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.metrics[0].name, "b_total");
+  EXPECT_DOUBLE_EQ(snapshot.metrics[0].value, 1.0);
+  EXPECT_EQ(snapshot.metrics[1].name, "unowned_total");
+
+  registry.Unregister(nullptr);  // no-op, never removes untagged metrics
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortsByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.AddCounter("m_total", "", {{"shard", "1"}});
+  registry.AddCounter("a_total", "");
+  registry.AddCounter("m_total", "", {{"shard", "0"}});
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "a_total");
+  EXPECT_EQ(snapshot.metrics[1].labels[0].second, "0");
+  EXPECT_EQ(snapshot.metrics[2].labels[0].second, "1");
+}
+
+/// Fixed registry whose renders are compared verbatim below. Histogram
+/// values 10/20/30/40: p50 hits bucket [16,32) -> 31; p90/p99 hit bucket
+/// [32,64) whose bound 63 clamps to max=40.
+MetricsRegistry& GoldenRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->AddCounter("wavekit_test_requests_total", "Requests served.",
+                  {{"method", "get"}})
+        ->Increment(3);
+    r->AddCounter("wavekit_test_requests_total", "Requests served.",
+                  {{"method", "put"}})
+        ->Increment(1);
+    r->AddGauge("wavekit_test_queue_depth", "Queued requests.")->Set(7);
+    ConcurrentHistogram* h =
+        r->AddHistogram("wavekit_test_latency_us", "Request latency.");
+    for (uint64_t v : {10u, 20u, 30u, 40u}) h->Record(v);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(MetricsRenderTest, GoldenPrometheus) {
+  const std::string expected =
+      "# HELP wavekit_test_latency_us Request latency.\n"
+      "# TYPE wavekit_test_latency_us summary\n"
+      "wavekit_test_latency_us{quantile=\"0.5\"} 31\n"
+      "wavekit_test_latency_us{quantile=\"0.9\"} 40\n"
+      "wavekit_test_latency_us{quantile=\"0.99\"} 40\n"
+      "wavekit_test_latency_us_sum 100\n"
+      "wavekit_test_latency_us_count 4\n"
+      "# HELP wavekit_test_queue_depth Queued requests.\n"
+      "# TYPE wavekit_test_queue_depth gauge\n"
+      "wavekit_test_queue_depth 7\n"
+      "# HELP wavekit_test_requests_total Requests served.\n"
+      "# TYPE wavekit_test_requests_total counter\n"
+      "wavekit_test_requests_total{method=\"get\"} 3\n"
+      "wavekit_test_requests_total{method=\"put\"} 1\n";
+  EXPECT_EQ(GoldenRegistry().RenderPrometheus(), expected);
+}
+
+TEST(MetricsRenderTest, GoldenJson) {
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"wavekit_test_latency_us\", \"type\": \"histogram\", "
+      "\"labels\": {}, \"count\": 4, \"sum\": 100, \"min\": 10, \"max\": 40, "
+      "\"mean\": 25, \"p50\": 31, \"p90\": 40, \"p99\": 40},\n"
+      "    {\"name\": \"wavekit_test_queue_depth\", \"type\": \"gauge\", "
+      "\"labels\": {}, \"value\": 7},\n"
+      "    {\"name\": \"wavekit_test_requests_total\", \"type\": \"counter\", "
+      "\"labels\": {\"method\": \"get\"}, \"value\": 3},\n"
+      "    {\"name\": \"wavekit_test_requests_total\", \"type\": \"counter\", "
+      "\"labels\": {\"method\": \"put\"}, \"value\": 1}\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(GoldenRegistry().RenderJson(), expected);
+}
+
+TEST(MetricsRenderTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.AddCounter("esc_total", "", {{"path", "a\"b\\c\nd"}});
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRenderTest, JsonEscapesStrings) {
+  MetricsRegistry registry;
+  registry.AddCounter("esc_total", "", {{"path", "a\"b\\c"}});
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"path\": \"a\\\"b\\\\c\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/logging.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+Tracer::Options AlwaysSample() {
+  Tracer::Options options;
+  options.sample_rate = 1.0;
+  return options;
+}
+
+TEST(TracerTest, ZeroRateSpansAreInert) {
+  Tracer tracer(Tracer::Options{});  // sample_rate = 0
+  for (int i = 0; i < 5; ++i) {
+    Span span = tracer.StartSpan("op");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer.roots_started(), 5u);
+  EXPECT_EQ(tracer.roots_sampled(), 0u);
+  EXPECT_TRUE(tracer.CompletedSpans().empty());
+}
+
+TEST(TracerTest, FullRateRecordsEveryRoot) {
+  Tracer tracer(AlwaysSample());
+  for (int i = 0; i < 3; ++i) {
+    Span span = tracer.StartSpan("op" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.roots_sampled(), 3u);
+  const std::vector<SpanRecord> spans = tracer.CompletedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "op0");
+  EXPECT_EQ(spans[2].name, "op2");
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.parent_span_id, 0u);
+    EXPECT_EQ(span.trace_id, span.span_id);
+  }
+}
+
+TEST(TracerTest, FractionalSamplingIsDeterministic) {
+  Tracer::Options options;
+  options.sample_rate = 0.25;
+  Tracer tracer(options);
+  int active = 0;
+  for (int i = 0; i < 12; ++i) {
+    Span span = tracer.StartSpan("op");
+    if (span.active()) ++active;
+  }
+  // Every 4th root, starting with the first.
+  EXPECT_EQ(active, 3);
+  EXPECT_EQ(tracer.roots_started(), 12u);
+  EXPECT_EQ(tracer.roots_sampled(), 3u);
+}
+
+TEST(TracerTest, ChildrenNestUnderSampledRoot) {
+  Tracer tracer(AlwaysSample());
+  uint64_t root_id = 0;
+  uint64_t mid_id = 0;
+  {
+    Span root = tracer.StartSpan("root");
+    root_id = root.span_id();
+    {
+      Span mid = tracer.StartSpan("mid");
+      mid_id = mid.span_id();
+      Span leaf = tracer.StartSpan("leaf");
+      EXPECT_TRUE(leaf.active());
+      EXPECT_EQ(leaf.trace_id(), root_id);
+    }
+  }
+  const std::vector<SpanRecord> spans = tracer.CompletedSpans();
+  ASSERT_EQ(spans.size(), 3u);  // innermost finishes first
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[0].parent_span_id, mid_id);
+  EXPECT_EQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[1].parent_span_id, root_id);
+  EXPECT_EQ(spans[2].name, "root");
+  EXPECT_EQ(spans[2].parent_span_id, 0u);
+  for (const SpanRecord& span : spans) EXPECT_EQ(span.trace_id, root_id);
+}
+
+TEST(TracerTest, SequentialSpansOnOneThreadAreSeparateRoots) {
+  Tracer tracer(AlwaysSample());
+  { Span a = tracer.StartSpan("a"); }
+  { Span b = tracer.StartSpan("b"); }
+  const std::vector<SpanRecord> spans = tracer.CompletedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[1].parent_span_id, 0u);
+}
+
+TEST(TracerTest, RingEvictsOldestFirst) {
+  Tracer::Options options;
+  options.sample_rate = 1.0;
+  options.ring_capacity = 4;
+  Tracer tracer(options);
+  for (int i = 0; i < 6; ++i) {
+    Span span = tracer.StartSpan("op" + std::to_string(i));
+  }
+  const std::vector<SpanRecord> spans = tracer.CompletedSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "op2");  // op0, op1 evicted
+  EXPECT_EQ(spans[3].name, "op5");
+  EXPECT_EQ(tracer.spans_recorded(), 6u);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.CompletedSpans().empty());
+  EXPECT_EQ(tracer.spans_recorded(), 6u);  // counters survive Clear
+}
+
+TEST(TracerTest, SlowOpThresholdEmitsWarningLogLine) {
+  Tracer::Options options;
+  options.sample_rate = 1.0;
+  options.slow_op_threshold_us = 1;
+  Tracer tracer(options);
+  std::string captured;
+  SetLogSink([&captured](LogLevel level, std::string_view line) {
+    if (level == LogLevel::kWarning) captured.append(line);
+  });
+  {
+    Span span = tracer.StartSpan("glacial_op");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  SetLogSink(nullptr);
+  EXPECT_NE(captured.find("slow op: glacial_op"), std::string::npos)
+      << captured;
+}
+
+TEST(TracerTest, SpansAttributeMeterIoDeltas) {
+  MemoryDevice memory(1 << 20);
+  MeteredDevice device(&memory);
+  Tracer::Options options;
+  options.sample_rate = 1.0;
+  options.meter = &device;
+  Tracer tracer(options);
+
+  std::vector<std::byte> buf(512, std::byte{1});
+  ASSERT_TRUE(device.Write(0, buf).ok());  // before the span: not attributed
+  {
+    Span span = tracer.StartSpan("write_phase");
+    ASSERT_TRUE(device.Write(4096, buf).ok());  // jump: one seek
+    std::vector<std::byte> read_buf(128);
+    ASSERT_TRUE(device.Read(0, read_buf).ok());  // jump back: another seek
+  }
+  const std::vector<SpanRecord> spans = tracer.CompletedSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].seeks, 2u);
+  EXPECT_EQ(spans[0].bytes_written, 512u);
+  EXPECT_EQ(spans[0].bytes_read, 128u);
+}
+
+TEST(TracerTest, DistinctTracersDoNotNest) {
+  Tracer outer(AlwaysSample());
+  Tracer inner(AlwaysSample());
+  {
+    Span a = outer.StartSpan("outer_op");
+    Span b = inner.StartSpan("inner_op");  // different tracer: its own root
+    EXPECT_EQ(b.trace_id(), b.span_id());
+  }
+  ASSERT_EQ(inner.CompletedSpans().size(), 1u);
+  EXPECT_EQ(inner.CompletedSpans()[0].parent_span_id, 0u);
+  // The outer tracer's thread-current state was restored for its own span.
+  ASSERT_EQ(outer.CompletedSpans().size(), 1u);
+  EXPECT_EQ(outer.CompletedSpans()[0].name, "outer_op");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

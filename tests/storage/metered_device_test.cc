@@ -95,6 +95,41 @@ TEST_F(MeteredDeviceTest, OpCountsTracked) {
   EXPECT_EQ(device_.total().read_ops, 1u);
 }
 
+TEST_F(MeteredDeviceTest, UnattributedIoLandsInOtherPhase) {
+  // A fresh device has no phase set: everything must land in kOther, the
+  // catch-all the observability layer surfaces as phase="other".
+  EXPECT_EQ(device_.phase(), Phase::kOther);
+  Write(0, 64);
+  Read(0, 32);
+  const MeteredDevice::Snapshot snap = device_.snapshot();
+  for (const auto& phase : snap.phases) {
+    if (phase.phase == Phase::kOther) {
+      EXPECT_EQ(phase.io.bytes_written, 64u);
+      EXPECT_EQ(phase.io.bytes_read, 32u);
+    } else {
+      EXPECT_EQ(phase.io.bytes_transferred(), 0u);
+    }
+  }
+}
+
+TEST_F(MeteredDeviceTest, SnapshotCoversEveryPhaseWithNamesAndTotal) {
+  device_.set_phase(Phase::kStart);
+  Write(0, 100);
+  device_.set_phase(Phase::kQuery);
+  Read(0, 40);
+  const MeteredDevice::Snapshot snap = device_.snapshot();
+  ASSERT_EQ(snap.phases.size(), static_cast<size_t>(kNumPhases));
+  for (int p = 0; p < kNumPhases; ++p) {
+    const auto& phase = snap.phases[static_cast<size_t>(p)];
+    EXPECT_EQ(phase.phase, static_cast<Phase>(p));
+    EXPECT_STREQ(phase.name, PhaseName(static_cast<Phase>(p)));
+    EXPECT_EQ(phase.io, device_.counters(static_cast<Phase>(p)));
+  }
+  EXPECT_EQ(snap.total, device_.total());
+  EXPECT_EQ(snap.total.bytes_written, 100u);
+  EXPECT_EQ(snap.total.bytes_read, 40u);
+}
+
 TEST(CostModelTest, SecondsFormula) {
   CostModel cost;  // 14 ms seek, 10 MB/s
   IoCounters io;

@@ -79,6 +79,85 @@ TEST(HistogramTest, PercentileMonotoneInQ) {
   EXPECT_LE(h.Percentile(0.5), 131072u);
 }
 
+TEST(HistogramTest, QuantileEdgeCasesOnEmpty) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 1.0, -1.0, 2.0}) {
+    EXPECT_EQ(h.Percentile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileEdgesAreExactObservedBounds) {
+  Histogram h;
+  h.Record(100);
+  h.Record(9000);
+  // p0 / p100 must return the exact observed min / max, not the containing
+  // bucket's upper bound; out-of-range q clamps to them.
+  EXPECT_EQ(h.Percentile(0.0), 100u);
+  EXPECT_EQ(h.Percentile(-0.5), 100u);
+  EXPECT_EQ(h.Percentile(1.0), 9000u);
+  EXPECT_EQ(h.Percentile(1.5), 9000u);
+}
+
+TEST(HistogramTest, QuantileSingleBucket) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(33);  // all in bucket [32, 64)
+  for (double q : {0.001, 0.25, 0.5, 0.99, 1.0}) {
+    const uint64_t p = h.Percentile(q);
+    EXPECT_EQ(p, 33u) << "q=" << q;  // bound 63 clamps to max=33
+  }
+}
+
+TEST(HistogramTest, MergeCombinesCountsSumsAndBounds) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v : {10u, 20u}) a.Record(v);
+  for (uint64_t v : {5u, 4000u}) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 4035u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 4000u);
+  EXPECT_GE(a.Percentile(0.99), 2048u);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  Histogram a;
+  for (uint64_t v : {10u, 20u, 30u}) a.Record(v);
+  const uint64_t p50 = a.Percentile(0.5);
+
+  Histogram empty;
+  a.Merge(empty);  // empty's ~0 min sentinel must not leak in
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_EQ(a.Percentile(0.5), p50);
+
+  Histogram target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_EQ(target.min(), 10u);
+  EXPECT_EQ(target.max(), 30u);
+  EXPECT_EQ(target.Percentile(0.5), p50);
+}
+
+TEST(HistogramTest, MergeMatchesRecordingEverythingIntoOne) {
+  Rng rng(9);
+  Histogram combined;
+  Histogram parts[4];
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t v = 1 + rng.Uniform(1 << 20);
+    combined.Record(v);
+    parts[i % 4].Record(v);
+  }
+  Histogram merged;
+  for (const Histogram& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum(), combined.sum());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged.Percentile(q), combined.Percentile(q)) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, ToStringMentionsEverything) {
   Histogram h;
   h.Record(42);

@@ -19,22 +19,43 @@
 //                  [--max-probe-ms=...] [--top=5]
 //       Rank wave-index configurations for the scenario under the given
 //       constraints (the paper's Section 6 selection process).
+//
+//   wavectl metrics [--scheme=wata] [--window=7] [--indexes=3]
+//                   [--technique=simple-shadow] [--days=14] [--records=200]
+//                   [--probes=200] [--scans=5] [--threads=1]
+//                   [--cache-blocks=1024] [--format=prometheus|json]
+//       Serve a short synthetic workload through a WaveService with every
+//       observability hook registered, then dump the unified metrics
+//       registry (device phase counters, cache shard stats, service latency
+//       histograms) in Prometheus text or JSON.
+//
+//   wavectl trace [same workload flags] [--sample=1.0] [--ring=256]
+//                 [--slow-us=0]
+//       Same workload, but print the sampled AdvanceDay span trees: one root
+//       per transition with child spans for each maintenance primitive the
+//       scheme ran, annotated with the seek/byte delta each drew.
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "model/space_model.h"
 #include "model/total_work.h"
+#include "obs/metrics.h"
+#include "util/macros.h"
 #include "sim/csv.h"
 #include "sim/driver.h"
 #include "sim/table_printer.h"
 #include "util/format.h"
 #include "wave/advisor.h"
 #include "wave/scheme_factory.h"
+#include "wave/wave_service.h"
+#include "workload/netnews.h"
 
 namespace wavekit {
 namespace {
@@ -64,6 +85,10 @@ class Args {
   }
   bool GetBool(const std::string& key) const {
     return Get(key, "false") == "true";
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
 
  private:
@@ -284,6 +309,130 @@ int Advise(const Args& args) {
   return 0;
 }
 
+/// Builds a WaveService wired to `registry`, serves a short synthetic
+/// Netnews workload through it (start window + `--days` transitions,
+/// `--probes` probes and `--scans` scans per day), and returns the service so
+/// callers can inspect the registry or the tracer.
+Result<std::unique_ptr<WaveService>> ServeSyntheticWorkload(
+    const Args& args, obs::MetricsRegistry* registry, double sample_rate,
+    size_t ring_capacity, uint64_t slow_op_threshold_us) {
+  WaveService::Options options;
+  WAVEKIT_ASSIGN_OR_RETURN(options.scheme,
+                           SchemeKindFromName(args.Get("scheme", "wata")));
+  WAVEKIT_ASSIGN_OR_RETURN(
+      options.config.technique,
+      UpdateTechniqueFromName(args.Get("technique", "simple-shadow")));
+  options.config.window = args.GetInt("window", 7);
+  options.config.num_indexes = args.GetInt("indexes", 3);
+  const uint64_t records =
+      static_cast<uint64_t>(args.GetInt("records", 200));
+  if (options.scheme == SchemeKind::kKnownBoundWata) {
+    options.config.size_bound_entries =
+        records * 60 * static_cast<uint64_t>(options.config.window);
+  }
+  options.num_query_threads = args.GetInt("threads", 1);
+  options.cache_blocks = static_cast<size_t>(args.GetInt("cache-blocks", 1024));
+  options.metrics_registry = registry;
+  options.trace_sample_rate = sample_rate;
+  options.trace_ring_capacity = ring_capacity;
+  options.slow_op_threshold_us = slow_op_threshold_us;
+  WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<WaveService> service,
+                           WaveService::Create(options));
+
+  workload::NetnewsConfig netnews_config;
+  netnews_config.articles_per_day = records;
+  workload::NetnewsGenerator netnews(netnews_config);
+  Rng rng(7);
+
+  std::vector<DayBatch> first_window;
+  for (Day d = 1; d <= options.config.window; ++d) {
+    first_window.push_back(netnews.GenerateDay(d));
+  }
+  WAVEKIT_RETURN_NOT_OK(service->Start(std::move(first_window)));
+
+  const int probes_per_day = args.GetInt("probes", 200);
+  const int scans_per_day = args.GetInt("scans", 5);
+  const Day last_day = options.config.window + args.GetInt("days", 14);
+  for (Day d = options.config.window + 1; d <= last_day; ++d) {
+    WAVEKIT_RETURN_NOT_OK(service->AdvanceDay(netnews.GenerateDay(d)));
+    for (int i = 0; i < probes_per_day; ++i) {
+      std::vector<Entry> out;
+      WAVEKIT_RETURN_NOT_OK(service->IndexProbe(netnews.SampleWord(rng), &out));
+    }
+    for (int i = 0; i < scans_per_day; ++i) {
+      uint64_t entries = 0;
+      WAVEKIT_RETURN_NOT_OK(service->TimedSegmentScan(
+          DayRange::Window(service->current_day(), 3),
+          [&entries](const Value&, const Entry&) { ++entries; }));
+    }
+  }
+  return service;
+}
+
+int Metrics(const Args& args) {
+  obs::MetricsRegistry registry;
+  auto service = ServeSyntheticWorkload(args, &registry, /*sample_rate=*/0.0,
+                                        /*ring_capacity=*/256,
+                                        /*slow_op_threshold_us=*/0);
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  const std::string format = args.Get("format", "prometheus");
+  if (format == "json") {
+    std::cout << registry.RenderJson();
+  } else if (format == "prometheus") {
+    std::cout << registry.RenderPrometheus();
+  } else {
+    std::cerr << "unknown --format=" << format << " (prometheus|json)\n";
+    return 2;
+  }
+  return 0;
+}
+
+int Trace(const Args& args) {
+  obs::MetricsRegistry registry;
+  auto service = ServeSyntheticWorkload(
+      args, &registry, args.GetDouble("sample", 1.0),
+      static_cast<size_t>(args.GetInt("ring", 256)),
+      static_cast<uint64_t>(args.GetInt("slow-us", 0)));
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  const obs::Tracer* tracer = service.ValueOrDie()->tracer();
+  const std::vector<obs::SpanRecord> spans = tracer->CompletedSpans();
+
+  // Children finish before their parents, so group the flat ring into trees.
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> children;
+  std::vector<const obs::SpanRecord*> roots;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent_span_id == 0) {
+      roots.push_back(&span);
+    } else {
+      children[span.parent_span_id].push_back(&span);
+    }
+  }
+  const std::function<void(const obs::SpanRecord&, int)> print =
+      [&](const obs::SpanRecord& span, int depth) {
+        std::cout << std::string(static_cast<size_t>(depth) * 2, ' ')
+                  << span.name << "  " << span.duration_us << "us  seeks="
+                  << span.seeks << " read=" << FormatBytes(span.bytes_read)
+                  << " written=" << FormatBytes(span.bytes_written) << "\n";
+        auto it = children.find(span.span_id);
+        if (it == children.end()) return;
+        for (const obs::SpanRecord* child : it->second) print(*child, depth + 1);
+      };
+  for (const obs::SpanRecord* root : roots) {
+    std::cout << "trace " << root->trace_id << ":\n";
+    print(*root, 1);
+  }
+  std::cout << "roots started=" << tracer->roots_started()
+            << " sampled=" << tracer->roots_sampled()
+            << " spans recorded=" << tracer->spans_recorded() << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const std::string command = argc > 1 ? argv[1] : "";
   Args args(argc, argv);
@@ -291,7 +440,10 @@ int Main(int argc, char** argv) {
   if (command == "run") return RunExperiment(args);
   if (command == "model") return Model(args);
   if (command == "advise") return Advise(args);
-  std::cerr << "usage: wavectl <schemes|run|model|advise> [--flag=value ...]\n"
+  if (command == "metrics") return Metrics(args);
+  if (command == "trace") return Trace(args);
+  std::cerr << "usage: wavectl <schemes|run|model|advise|metrics|trace> "
+               "[--flag=value ...]\n"
                "see the header of tools/wavectl.cc for the full flag list\n";
   return 2;
 }
