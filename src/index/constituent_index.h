@@ -13,6 +13,7 @@
 #ifndef WAVEKIT_INDEX_CONSTITUENT_INDEX_H_
 #define WAVEKIT_INDEX_CONSTITUENT_INDEX_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <span>
@@ -63,6 +64,17 @@ class ConstituentIndex {
   /// builds / packed shadow updates; cleared by incremental updates).
   bool packed() const { return packed_; }
   void set_packed(bool packed) { packed_ = packed; }
+
+  /// Serving health (degraded-mode serving, wave/wave_index.h). Cleared by
+  /// the maintenance layer when an update or rebuild of this constituent
+  /// failed with an I/O error, so its contents are suspect (stale or
+  /// partially written). Queries skip unhealthy constituents and report a
+  /// partial result instead of failing. Atomic because published snapshots
+  /// share this object with the maintenance thread.
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+  void set_healthy(bool healthy) {
+    healthy_.store(healthy, std::memory_order_relaxed);
+  }
 
   /// Device bytes reserved by this index (sum of bucket capacities).
   uint64_t allocated_bytes() const { return allocated_bytes_; }
@@ -166,6 +178,7 @@ class ConstituentIndex {
   std::unique_ptr<Directory> directory_;
   std::vector<Value> layout_order_;
   TimeSet time_set_;
+  std::atomic<bool> healthy_{true};
   bool packed_ = false;
   uint64_t entry_count_ = 0;
   uint64_t allocated_bytes_ = 0;

@@ -62,7 +62,10 @@ Status CachedDevice::Read(uint64_t offset, std::span<std::byte> out) {
 }
 
 Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
-  // Write-through: update any cached blocks, then the device.
+  // Write-through, device first: on failure the affected blocks are evicted
+  // rather than updated, so the cache never serves bytes the device never
+  // accepted.
+  const Status written = inner_->Write(offset, data);
   size_t done = 0;
   while (done < data.size()) {
     const uint64_t position = offset + done;
@@ -72,12 +75,17 @@ Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
         std::min<uint64_t>(block_size_ - within, data.size() - done));
     auto cached = index_.find(block_id);
     if (cached != index_.end()) {
-      std::memcpy(cached->second->bytes.data() + within, data.data() + done,
-                  chunk);
+      if (written.ok()) {
+        std::memcpy(cached->second->bytes.data() + within, data.data() + done,
+                    chunk);
+      } else {
+        lru_.erase(cached->second);
+        index_.erase(cached);
+      }
     }
     done += chunk;
   }
-  return inner_->Write(offset, data);
+  return written;
 }
 
 void CachedDevice::Invalidate() {

@@ -1,0 +1,124 @@
+#include "storage/fault_injecting_device.h"
+
+#include <string>
+
+#include "util/crash_point.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+FaultInjectingDevice::FaultInjectingDevice(Device* inner, Options options)
+    : inner_(inner), options_(options), rng_(options.seed) {}
+
+bool FaultInjectingDevice::InBadRange(uint64_t offset, size_t length) const {
+  const uint64_t end = offset + length;
+  for (const Extent& bad : bad_ranges_) {
+    if (offset < bad.end() && bad.offset < end) return true;
+  }
+  return false;
+}
+
+Status FaultInjectingDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.reads;
+  if (crashed_) return InjectedCrash("read of crashed device");
+  if (InBadRange(offset, out.size())) {
+    return Status::IOError("bad device range: read at offset " +
+                           std::to_string(offset));
+  }
+  if (options_.read_error_rate > 0 && rng_.Bernoulli(options_.read_error_rate)) {
+    ++stats_.injected_read_errors;
+    return Status::IOError("injected transient read error at offset " +
+                           std::to_string(offset));
+  }
+  return inner_->Read(offset, out);
+}
+
+Status FaultInjectingDevice::Write(uint64_t offset,
+                                   std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  if (crashed_) return InjectedCrash("write to crashed device");
+  if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+    crashed_ = true;
+    ++stats_.crashes;
+    if (options_.torn_writes && !data.empty()) {
+      // The dying write persists a random prefix — the torn tail is what
+      // recovery must tolerate.
+      const size_t persisted =
+          static_cast<size_t>(rng_.Uniform(data.size() + 1));
+      if (persisted > 0) {
+        (void)inner_->Write(offset, data.first(persisted));
+      }
+      if (persisted < data.size()) ++stats_.torn_writes;
+    }
+    return InjectedCrash("write (crash-after-writes countdown hit zero)");
+  }
+  if (InBadRange(offset, data.size())) {
+    return Status::IOError("bad device range: write at offset " +
+                           std::to_string(offset));
+  }
+  if (options_.write_error_rate > 0 &&
+      rng_.Bernoulli(options_.write_error_rate)) {
+    ++stats_.injected_write_errors;
+    if (options_.torn_writes && !data.empty()) {
+      const size_t persisted =
+          static_cast<size_t>(rng_.Uniform(data.size() + 1));
+      if (persisted > 0) {
+        WAVEKIT_RETURN_NOT_OK(inner_->Write(offset, data.first(persisted)));
+      }
+      if (persisted < data.size()) ++stats_.torn_writes;
+    }
+    return Status::IOError("injected transient write error at offset " +
+                           std::to_string(offset));
+  }
+  return inner_->Write(offset, data);
+}
+
+void FaultInjectingDevice::set_read_error_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.read_error_rate = rate;
+}
+
+void FaultInjectingDevice::set_write_error_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.write_error_rate = rate;
+}
+
+void FaultInjectingDevice::AddBadRange(const Extent& extent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bad_ranges_.push_back(extent);
+}
+
+void FaultInjectingDevice::ClearBadRanges() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bad_ranges_.clear();
+}
+
+void FaultInjectingDevice::ArmCrashAfterWrites(uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_countdown_ = countdown;
+}
+
+void FaultInjectingDevice::DisarmCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_countdown_ = 0;
+}
+
+void FaultInjectingDevice::ClearCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+  crash_countdown_ = 0;
+}
+
+bool FaultInjectingDevice::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+FaultInjectingDevice::Stats FaultInjectingDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,104 @@
+// FaultInjectingDevice: a deterministic chaos decorator for Device.
+//
+// Wraps any Device and injects, under seeded pseudo-random control:
+//   - transient read/write errors (IOError; a retry may succeed),
+//   - permanent bad ranges (every access failing, like a dead sector),
+//   - torn writes (a crash mid-write persists a random prefix), and
+//   - crash-after-N-writes (the N-th write from arming "crashes the
+//     process": the triggering write is torn, and every subsequent I/O
+//     fails until ClearCrash() simulates a restart).
+//
+// Everything is driven by util/random.h's Rng, so a (seed, operation
+// sequence) pair replays exactly — torture tests iterate seeds and get
+// reproducible failures. Named crash points (util/crash_point.h) complement
+// this for protocol-level crash placement.
+
+#ifndef WAVEKIT_STORAGE_FAULT_INJECTING_DEVICE_H_
+#define WAVEKIT_STORAGE_FAULT_INJECTING_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/random.h"
+
+namespace wavekit {
+
+/// \brief Device decorator injecting deterministic, seeded faults.
+///
+/// Thread-safe: all state is guarded by one mutex (fault injection is a test
+/// harness; serialization keeps replay deterministic even under races).
+class FaultInjectingDevice : public Device {
+ public:
+  struct Options {
+    /// Seed for the fault stream (same seed + same op sequence = same
+    /// faults).
+    uint64_t seed = 1;
+    /// Probability that any given Read fails with a transient IOError.
+    double read_error_rate = 0.0;
+    /// Probability that any given Write fails with a transient IOError.
+    double write_error_rate = 0.0;
+    /// When true, a failed or crashing write first persists a random prefix
+    /// of the data (torn write), modeling a sector-granularity disk.
+    bool torn_writes = true;
+  };
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t injected_read_errors = 0;
+    uint64_t injected_write_errors = 0;
+    uint64_t torn_writes = 0;
+    uint64_t crashes = 0;
+  };
+
+  /// `inner` must outlive this device.
+  FaultInjectingDevice(Device* inner, Options options);
+  explicit FaultInjectingDevice(Device* inner)
+      : FaultInjectingDevice(inner, {}) {}
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override;
+  Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  uint64_t capacity() const override { return inner_->capacity(); }
+
+  /// Adjusts transient error rates on the fly (e.g. fail only during a
+  /// specific transition).
+  void set_read_error_rate(double rate);
+  void set_write_error_rate(double rate);
+
+  /// Marks `extent` permanently bad: every Read or Write touching it fails
+  /// (non-transient — retrying never helps).
+  void AddBadRange(const Extent& extent);
+  void ClearBadRanges();
+
+  /// Arms a crash on the `countdown`-th Write from now (countdown >= 1). The
+  /// triggering write persists a torn prefix (if Options::torn_writes), then
+  /// the device enters the crashed state: all subsequent I/O fails with an
+  /// injected-crash IOError until ClearCrash().
+  void ArmCrashAfterWrites(uint64_t countdown);
+  void DisarmCrash();
+
+  /// Simulates a restart: leaves whatever bytes were persisted, clears the
+  /// crashed state.
+  void ClearCrash();
+  bool crashed() const;
+
+  Stats stats() const;
+
+ private:
+  bool InBadRange(uint64_t offset, size_t length) const;  // mutex_ held
+
+  Device* inner_;
+  mutable std::mutex mutex_;
+  Options options_;
+  Rng rng_;
+  std::vector<Extent> bad_ranges_;
+  uint64_t crash_countdown_ = 0;  // 0 = disarmed
+  bool crashed_ = false;
+  Stats stats_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_FAULT_INJECTING_DEVICE_H_

@@ -6,15 +6,26 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fs.h"
 #include "util/macros.h"
 
 namespace wavekit {
 
 Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
                                                      uint64_t capacity) {
+  const bool existed = FileExists(path);
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  if (!existed) {
+    // Make the new directory entry durable: without the parent fsync a crash
+    // could lose the file itself even after its data was fdatasync'd.
+    const Status synced = SyncDirectoryOf(path);
+    if (!synced.ok()) {
+      ::close(fd);
+      return synced;
+    }
   }
   return std::unique_ptr<FileDevice>(new FileDevice(path, fd, capacity));
 }

@@ -76,10 +76,13 @@ Status ShardedCachedDevice::Read(uint64_t offset, std::span<std::byte> out) {
 
 Status ShardedCachedDevice::Write(uint64_t offset,
                                   std::span<const std::byte> data) {
-  // Write-through: update any cached blocks under their shard locks, then
-  // the device. A single maintenance writer plus the shadow-update
-  // discipline (readers never probe extents still being written) makes the
-  // cache-then-device order safe.
+  // Write-through, device first: if the device write fails, the cache must
+  // not keep serving bytes the device never accepted (phantom data), so the
+  // affected blocks are evicted instead of updated. On success any cached
+  // blocks are patched under their shard locks. A single maintenance writer
+  // plus the shadow-update discipline (readers never probe extents still
+  // being written) keeps this race-free for readers.
+  const Status written = inner_->Write(offset, data);
   size_t done = 0;
   while (done < data.size()) {
     const uint64_t position = offset + done;
@@ -92,13 +95,20 @@ Status ShardedCachedDevice::Write(uint64_t offset,
       std::lock_guard<std::mutex> lock(shard.mutex);
       auto cached = shard.index.find(block_id);
       if (cached != shard.index.end()) {
-        std::memcpy(cached->second->bytes.data() + within, data.data() + done,
-                    chunk);
+        if (written.ok()) {
+          std::memcpy(cached->second->bytes.data() + within,
+                      data.data() + done, chunk);
+        } else {
+          // The device's contents for this block are now unknown (possibly a
+          // torn write); drop it so the next read refetches the truth.
+          shard.lru.erase(cached->second);
+          shard.index.erase(cached);
+        }
       }
     }
     done += chunk;
   }
-  return inner_->Write(offset, data);
+  return written;
 }
 
 CacheStats ShardedCachedDevice::stats() const {

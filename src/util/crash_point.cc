@@ -1,0 +1,66 @@
+#include "util/crash_point.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+namespace wavekit {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::set<std::string, std::less<>> armed;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+std::atomic<size_t>& ArmedCount() {
+  static std::atomic<size_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+Status InjectedCrash(const std::string& where) {
+  return Status::IOError(std::string(kInjectedCrashMarker) + " at " + where);
+}
+
+bool IsInjectedCrash(const Status& status) {
+  return status.IsIOError() &&
+         status.message().find(kInjectedCrashMarker) != std::string::npos;
+}
+
+void CrashPoints::Arm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.armed.insert(name).second) {
+    ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CrashPoints::Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed.clear();
+  ArmedCount().store(0, std::memory_order_relaxed);
+}
+
+size_t CrashPoints::armed_count() {
+  return ArmedCount().load(std::memory_order_relaxed);
+}
+
+Status CrashPoints::Check(std::string_view name) {
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return Status::OK();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return Status::OK();
+  registry.armed.erase(it);  // fire once
+  ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  return InjectedCrash(std::string(name));
+}
+
+}  // namespace wavekit

@@ -1,0 +1,57 @@
+// Named crash points for crash-consistency testing.
+//
+// Production code threads CrashPoints::Check("some.point") calls through its
+// durability-critical sequences (e.g. the intent-journal protocol of
+// wave/recovery.h). In normal operation every armed-count check is a single
+// relaxed atomic load and the calls cost nothing. A torture test arms one
+// point, drives the system until the point fires (the Check returns an
+// "injected crash" IOError, exactly once), then simulates a restart and
+// verifies recovery. Because the error surfaces through the ordinary Status
+// channel, the code under test takes the same unwind path a real failure
+// would — without longjmp or process kills.
+
+#ifndef WAVEKIT_UTIL_CRASH_POINT_H_
+#define WAVEKIT_UTIL_CRASH_POINT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace wavekit {
+
+/// Message prefix of every injected crash Status (see IsInjectedCrash).
+inline constexpr std::string_view kInjectedCrashMarker = "injected crash";
+
+/// \brief An IOError representing a simulated crash at `where`. Retry layers
+/// must NOT retry these (a crashed process does not get another attempt);
+/// they are recognized via IsInjectedCrash.
+Status InjectedCrash(const std::string& where);
+
+/// \brief True for statuses produced by InjectedCrash (possibly wrapped in
+/// WithContext).
+bool IsInjectedCrash(const Status& status);
+
+/// \brief Process-wide registry of named crash points (test-only state;
+/// thread-safe).
+class CrashPoints {
+ public:
+  /// Arms `name`: the next Check(name) fires once and disarms it.
+  static void Arm(const std::string& name);
+
+  /// Disarms everything (call between torture iterations).
+  static void Reset();
+
+  /// Number of currently armed points.
+  static size_t armed_count();
+
+  /// Returns InjectedCrash(name) exactly once if `name` is armed, OK
+  /// otherwise. The fast path (nothing armed anywhere) is one relaxed atomic
+  /// load, so production call sites are free when no test is running.
+  static Status Check(std::string_view name);
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_CRASH_POINT_H_

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3) checksums, used to detect corrupt or truncated
+// metadata files (wave/checkpoint.h, wave/journal.h).
+
+#ifndef WAVEKIT_UTIL_CRC32_H_
+#define WAVEKIT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wavekit {
+
+/// \brief CRC-32 of `length` bytes at `data` (IEEE polynomial, reflected,
+/// initial and final XOR 0xFFFFFFFF — the zlib/PNG convention).
+uint32_t Crc32(const void* data, size_t length);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_CRC32_H_

@@ -1,0 +1,119 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crash_point.h"
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file '" + path + "'");
+    return Errno("open", path);
+  }
+  std::string contents;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status SyncDirectoryOf(const std::string& path) {
+  const std::string dir = ParentDirectory(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open directory", dir);
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Errno("fsync directory", dir);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const char* crash_scope) {
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", temp_path);
+  size_t done = 0;
+  while (done < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + done, contents.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write", temp_path);
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      return status;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Errno("fsync", temp_path);
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) return Errno("close", temp_path);
+  if (crash_scope != nullptr) {
+    WAVEKIT_RETURN_NOT_OK(
+        CrashPoints::Check(std::string(crash_scope) + ".before_rename"));
+  }
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return Errno("rename", temp_path);
+  }
+  if (crash_scope != nullptr) {
+    WAVEKIT_RETURN_NOT_OK(
+        CrashPoints::Check(std::string(crash_scope) + ".after_rename"));
+  }
+  return SyncDirectoryOf(path);
+}
+
+Status RemoveFileDurable(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("unlink", path);
+  }
+  return SyncDirectoryOf(path);
+}
+
+}  // namespace wavekit

@@ -1,0 +1,44 @@
+// Durable small-file helpers: atomic replace via temp-file + fsync + rename
+// + parent-directory fsync, and the matching durable remove. Used for the
+// checkpoint and intent-journal metadata files whose crash-atomicity the
+// recovery protocol (wave/recovery.h) depends on.
+
+#ifndef WAVEKIT_UTIL_FS_H_
+#define WAVEKIT_UTIL_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief Reads the whole file at `path`. NotFound if it does not exist,
+/// IOError for any other failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// \brief fsyncs the directory containing `path`, making a previous rename
+/// or unlink of `path` durable.
+Status SyncDirectoryOf(const std::string& path);
+
+/// \brief Atomically and durably replaces `path` with `contents`:
+/// write "<path>.tmp" + fsync, rename over `path`, fsync the parent
+/// directory. A crash leaves either the old complete file or the new
+/// complete file, never a mix.
+///
+/// When `crash_scope` is non-null, the crash points "<scope>.before_rename"
+/// and "<scope>.after_rename" (util/crash_point.h) are checked around the
+/// rename so torture tests can stop the protocol at both boundaries.
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const char* crash_scope = nullptr);
+
+/// \brief Durably removes `path`: unlink + parent-directory fsync. OK if the
+/// file does not exist.
+Status RemoveFileDurable(const std::string& path);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_FS_H_

@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kPartialResult:
+      return "Partial result";
   }
   return "Unknown";
 }

@@ -27,6 +27,9 @@ enum class StatusCode : int {
   kInternal = 7,
   kNotImplemented = 8,
   kIOError = 9,
+  /// The operation produced usable but incomplete results (degraded-mode
+  /// serving: some constituents were unhealthy or unreadable and skipped).
+  kPartialResult = 10,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode
@@ -77,6 +80,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status PartialResult(std::string msg) {
+    return Status(StatusCode::kPartialResult, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -103,6 +109,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsPartialResult() const { return code() == StatusCode::kPartialResult; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

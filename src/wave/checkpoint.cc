@@ -1,9 +1,9 @@
 #include "wave/checkpoint.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "util/crc32.h"
+#include "util/fs.h"
 #include "util/macros.h"
 
 namespace wavekit {
@@ -12,11 +12,15 @@ namespace {
 // Line-oriented text format. Values are written length-prefixed so any byte
 // except '\n' is safe (and wavekit values never contain newlines):
 //
-//   wavekit-checkpoint 1
+//   wavekit-checkpoint 2
 //   constituents <n>
 //   constituent <len>:<name> packed <0|1> days <d1,d2,...> buckets <m>
 //   bucket <len>:<value> <offset> <count> <capacity>
 //   ...
+//   footer <body-length> <crc32-of-body>
+//
+// The footer covers every byte before it; it is validated (length first,
+// then CRC) before the body is parsed at all.
 
 void AppendLengthPrefixed(std::string* out, const std::string& s) {
   *out += std::to_string(s.size());
@@ -79,6 +83,39 @@ Result<TimeSet> ParseDays(const std::string& csv) {
   return days;
 }
 
+// Validates the trailing "footer <body-length> <crc32>\n" line and returns
+// the body (everything before the footer line). The length check catches
+// truncation and appended garbage; the CRC catches bit flips.
+Result<std::string> CheckFooter(const std::string& contents) {
+  const size_t footer_at = contents.rfind("\nfooter ");
+  // The footer must be the complete last line: a file that lost even its
+  // final newline was not written out in full.
+  if (footer_at == std::string::npos || contents.back() != '\n') {
+    return Status::InvalidArgument(
+        "checkpoint footer missing (file truncated or corrupt)");
+  }
+  const std::string footer_line = contents.substr(footer_at + 1);
+  std::istringstream in(footer_line);
+  std::string tag;
+  uint64_t body_length = 0;
+  uint64_t crc = 0;
+  if (!(in >> tag >> body_length >> crc) || tag != "footer") {
+    return Status::InvalidArgument("malformed checkpoint footer");
+  }
+  if (body_length != footer_at + 1) {
+    return Status::InvalidArgument(
+        "checkpoint length mismatch: footer says " +
+        std::to_string(body_length) + " body bytes, file has " +
+        std::to_string(footer_at + 1) + " (file truncated or corrupt)");
+  }
+  std::string body = contents.substr(0, body_length);
+  if (Crc32(body) != crc) {
+    return Status::InvalidArgument(
+        "checkpoint CRC mismatch (file corrupt)");
+  }
+  return body;
+}
+
 }  // namespace
 
 Result<std::string> SerializeCheckpoint(const WaveIndex& wave) {
@@ -108,35 +145,35 @@ Result<std::string> SerializeCheckpoint(const WaveIndex& wave) {
         });
     WAVEKIT_RETURN_NOT_OK(status);
   }
+  out += "footer " + std::to_string(out.size()) + " " +
+         std::to_string(Crc32(out)) + "\n";
   return out;
 }
 
 Status WriteCheckpoint(const WaveIndex& wave, const std::string& path) {
   WAVEKIT_ASSIGN_OR_RETURN(std::string contents, SerializeCheckpoint(wave));
-  const std::string temp_path = path + ".tmp";
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open '" + temp_path + "'");
-    out << contents;
-    if (!out.flush()) return Status::IOError("write to '" + temp_path + "'");
-  }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename '" + temp_path + "' -> '" + path + "'");
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, contents, "checkpoint");
 }
 
 Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
                                         Device* device,
                                         ExtentAllocator* allocator,
                                         ConstituentIndex::Options options) {
-  Parser parser(contents);
-  WAVEKIT_RETURN_NOT_OK(parser.Expect("wavekit-checkpoint"));
-  WAVEKIT_ASSIGN_OR_RETURN(int64_t version, parser.Int());
-  if (version != kCheckpointVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version));
+  // Header first (so a checkpoint from another format version gets a clear
+  // version error, not a footer complaint), then footer integrity, then body.
+  {
+    Parser header(contents);
+    WAVEKIT_RETURN_NOT_OK(header.Expect("wavekit-checkpoint"));
+    WAVEKIT_ASSIGN_OR_RETURN(int64_t version, header.Int());
+    if (version != kCheckpointVersion) {
+      return Status::InvalidArgument("unsupported checkpoint version " +
+                                     std::to_string(version));
+    }
   }
+  WAVEKIT_ASSIGN_OR_RETURN(std::string body, CheckFooter(contents));
+  Parser parser(body);
+  WAVEKIT_RETURN_NOT_OK(parser.Expect("wavekit-checkpoint"));
+  WAVEKIT_RETURN_NOT_OK(parser.Int().status());
   WAVEKIT_RETURN_NOT_OK(parser.Expect("constituents"));
   WAVEKIT_ASSIGN_OR_RETURN(int64_t num_constituents, parser.Int());
   if (num_constituents < 0) {
@@ -188,11 +225,8 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
 Result<WaveIndex> LoadCheckpoint(const std::string& path, Device* device,
                                  ExtentAllocator* allocator,
                                  ConstituentIndex::Options options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open checkpoint '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeCheckpoint(buffer.str(), device, allocator, options);
+  WAVEKIT_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return DeserializeCheckpoint(contents, device, allocator, options);
 }
 
 }  // namespace wavekit

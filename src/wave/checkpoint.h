@@ -27,18 +27,24 @@
 
 namespace wavekit {
 
-/// Current checkpoint format version.
-inline constexpr int kCheckpointVersion = 1;
+/// Current checkpoint format version. Version 2 added a trailing
+/// "footer <body-length> <crc32>" line so corrupt or truncated files are
+/// rejected outright instead of partially parsed.
+inline constexpr int kCheckpointVersion = 2;
 
 /// \brief Serializes `wave`'s metadata to a string (one checkpoint file's
 /// contents). Deterministic for a given wave index.
 Result<std::string> SerializeCheckpoint(const WaveIndex& wave);
 
-/// \brief Writes SerializeCheckpoint(wave) to `path` atomically (temp file +
-/// rename).
+/// \brief Writes SerializeCheckpoint(wave) to `path` atomically AND durably
+/// (temp file + fsync + rename + parent-directory fsync): after a crash the
+/// path holds either the previous complete checkpoint or the new one.
 Status WriteCheckpoint(const WaveIndex& wave, const std::string& path);
 
-/// \brief Reconstructs a wave index from checkpoint `contents`.
+/// \brief Reconstructs a wave index from checkpoint `contents`. The footer
+/// (length + CRC32) is validated before anything is parsed, so a truncated
+/// or bit-flipped file fails with a clear InvalidArgument and no partial
+/// state.
 ///
 /// `device` must hold the bucket bytes the checkpoint refers to (the same
 /// device the wave index was built on); `allocator` must be freshly

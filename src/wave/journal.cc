@@ -1,0 +1,55 @@
+#include "wave/journal.h"
+
+#include <sstream>
+
+#include "util/crash_point.h"
+#include "util/crc32.h"
+#include "util/fs.h"
+#include "util/macros.h"
+
+namespace wavekit {
+namespace {
+
+// Single line: "wavekit-journal 1 intent <day> crc <crc32-of-prefix>".
+std::string JournalBody(Day day) {
+  return "wavekit-journal 1 intent " + std::to_string(day);
+}
+
+}  // namespace
+
+Status MaintenanceJournal::WriteIntent(Day day) {
+  const std::string body = JournalBody(day);
+  const std::string contents =
+      body + " crc " + std::to_string(Crc32(body)) + "\n";
+  return AtomicWriteFile(path_, contents, "journal.intent");
+}
+
+Status MaintenanceJournal::Commit() {
+  WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("journal.commit"));
+  return RemoveFileDurable(path_);
+}
+
+Result<std::optional<Day>> MaintenanceJournal::Read(const std::string& path) {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().IsNotFound()) return std::optional<Day>();
+    return contents.status();
+  }
+  std::istringstream in(contents.ValueOrDie());
+  std::string magic, version, intent_tag, crc_tag;
+  Day day = 0;
+  uint64_t crc = 0;
+  if (!(in >> magic >> version >> intent_tag >> day >> crc_tag >> crc) ||
+      magic != "wavekit-journal" || version != "1" ||
+      intent_tag != "intent" || crc_tag != "crc") {
+    return Status::InvalidArgument("malformed maintenance journal '" + path +
+                                   "'");
+  }
+  if (Crc32(JournalBody(day)) != crc) {
+    return Status::InvalidArgument("maintenance journal CRC mismatch '" +
+                                   path + "'");
+  }
+  return std::optional<Day>(day);
+}
+
+}  // namespace wavekit

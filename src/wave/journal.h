@@ -1,0 +1,49 @@
+// MaintenanceJournal: the tiny intent journal of the crash-atomic AdvanceDay
+// protocol (wave/recovery.h).
+//
+// The journal holds at most one record: "a transition to day D is in
+// flight". It is written durably before the transition's primitives run and
+// removed durably after the post-transition checkpoint is on disk. On
+// restart its presence tells recovery whether to roll an interrupted
+// transition forward (checkpoint already covers D) or back (it does not).
+
+#ifndef WAVEKIT_WAVE_JOURNAL_H_
+#define WAVEKIT_WAVE_JOURNAL_H_
+
+#include <optional>
+#include <string>
+
+#include "util/day.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief One-record durable intent journal.
+class MaintenanceJournal {
+ public:
+  explicit MaintenanceJournal(std::string path) : path_(std::move(path)) {}
+
+  /// Durably records the intent to transition to `day` (atomic replace; the
+  /// crash scope "journal.intent" is checked around the rename).
+  Status WriteIntent(Day day);
+
+  /// Durably removes the journal (the transition committed). Checks the
+  /// crash point "journal.commit" first. OK if the journal is absent.
+  Status Commit();
+
+  /// Reads the intent at `path`: the in-flight day, std::nullopt when no
+  /// journal exists, InvalidArgument when the file fails its CRC (e.g. a
+  /// torn write of a non-atomic filesystem) — callers treat that like no
+  /// intent, since a journal that never became durable cannot have been
+  /// followed by any transition work.
+  static Result<std::optional<Day>> Read(const std::string& path);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_JOURNAL_H_

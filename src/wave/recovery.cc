@@ -1,0 +1,77 @@
+#include "wave/recovery.h"
+
+#include <utility>
+
+#include "util/crash_point.h"
+#include "util/fs.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+Status DurableMaintenance::Start(std::vector<DayBatch> first_window) {
+  // A stale journal can only come from a previous incarnation whose state
+  // the caller chose to abandon by starting fresh.
+  WAVEKIT_RETURN_NOT_OK(RemoveFileDurable(paths_.journal));
+  WAVEKIT_RETURN_NOT_OK(scheme_->Start(std::move(first_window)));
+  return Checkpoint();
+}
+
+Status DurableMaintenance::Checkpoint() {
+  return WriteCheckpoint(scheme_->wave(), paths_.checkpoint);
+}
+
+Status DurableMaintenance::AdvanceDay(DayBatch new_day) {
+  const Day day = new_day.day;
+  MaintenanceJournal journal(paths_.journal);
+  WAVEKIT_RETURN_NOT_OK(journal.WriteIntent(day));
+  WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("advance.after_intent"));
+  // Pin: until the new checkpoint is the durable truth, the old checkpoint
+  // must stay loadable, which requires the extents it references to stay
+  // reserved (a dropped constituent's extents would otherwise be freed and
+  // could be handed to this very transition's new indexes).
+  pinned_ = scheme_->wave();
+  WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
+  WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("advance.after_transition"));
+  WAVEKIT_RETURN_NOT_OK(Checkpoint());
+  WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("advance.after_checkpoint"));
+  WAVEKIT_RETURN_NOT_OK(journal.Commit());
+  pinned_ = WaveIndex();  // the old constituents' extents may now be reused
+  return Status::OK();
+}
+
+Result<DurableMaintenance::RecoveredState> DurableMaintenance::Recover(
+    const Paths& paths, Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options) {
+  // A journal that fails its CRC never became durable, so no transition work
+  // can have followed it — same as no intent at all.
+  std::optional<Day> intent;
+  {
+    Result<std::optional<Day>> read = MaintenanceJournal::Read(paths.journal);
+    if (read.ok()) {
+      intent = read.ValueOrDie();
+    } else if (!read.status().IsInvalidArgument()) {
+      return read.status();
+    }
+  }
+  WAVEKIT_ASSIGN_OR_RETURN(
+      WaveIndex wave,
+      LoadCheckpoint(paths.checkpoint, device, allocator, options));
+  const TimeSet covered = wave.CoveredDays();
+  if (covered.empty()) {
+    return Status::InvalidArgument(
+        "recovered checkpoint covers no days: '" + paths.checkpoint + "'");
+  }
+  RecoveredState state;
+  state.current_day = *covered.rbegin();
+  state.wave = std::move(wave);
+  if (intent.has_value() && *intent > state.current_day) {
+    // The journaled transition never committed: serve the pre-transition
+    // window and have the caller re-run the day.
+    state.interrupted_day = intent;
+  }
+  // Committed-or-rolled-back either way: the journal's job is done.
+  WAVEKIT_RETURN_NOT_OK(RemoveFileDurable(paths.journal));
+  return state;
+}
+
+}  // namespace wavekit

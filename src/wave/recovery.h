@@ -1,0 +1,108 @@
+// Crash-atomic maintenance: the intent-journal commit protocol around
+// Scheme::Transition, and the restart-time recovery that rolls an
+// interrupted transition forward or back.
+//
+// Protocol (DurableMaintenance::AdvanceDay):
+//
+//   1. journal intent "transition to day D"      (atomic+durable write)
+//   2. pin the pre-transition constituent set    (keeps their extents
+//      reserved, so the transition cannot clobber bytes the last durable
+//      checkpoint references)
+//   3. run the scheme's transition primitives    (shadow updates only)
+//   4. write the post-transition checkpoint      (atomic+durable replace)
+//   5. remove the journal ("commit")             (durable unlink)
+//   6. release the pin
+//
+// A crash anywhere leaves one of two durable states:
+//   - journal present, checkpoint does NOT cover D  -> the transition never
+//     committed; recovery serves the pre-transition checkpoint (roll back)
+//     and reports D as the day to re-run.
+//   - journal present, checkpoint covers D          -> the crash hit between
+//     steps 4 and 5; the transition is already durable (roll forward) and
+//     recovery just clears the journal.
+// No journal means the last transition committed fully.
+//
+// Step 4 before step 5 is the commit point: the checkpoint rename is the
+// single atomic instant at which the new window becomes the durable truth.
+
+#ifndef WAVEKIT_WAVE_RECOVERY_H_
+#define WAVEKIT_WAVE_RECOVERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wave/checkpoint.h"
+#include "wave/journal.h"
+#include "wave/scheme.h"
+
+namespace wavekit {
+
+/// \brief Runs a scheme's Start/AdvanceDay under the intent-journal commit
+/// protocol so every window transition is crash-atomic.
+class DurableMaintenance {
+ public:
+  struct Paths {
+    std::string checkpoint;
+    std::string journal;
+
+    /// The conventional layout: "<dir>/CHECKPOINT" + "<dir>/JOURNAL".
+    static Paths InDir(const std::string& dir) {
+      return Paths{dir + "/CHECKPOINT", dir + "/JOURNAL"};
+    }
+  };
+
+  /// What Recover found on disk.
+  struct RecoveredState {
+    /// The wave index of the last durable checkpoint (extents re-reserved).
+    WaveIndex wave;
+    /// The newest day that checkpoint covers.
+    Day current_day = 0;
+    /// Set when a transition to this day was journaled but never committed:
+    /// after adopting `wave` at `current_day`, re-run AdvanceDay for it.
+    std::optional<Day> interrupted_day;
+  };
+
+  /// `scheme` must outlive this object.
+  DurableMaintenance(Scheme* scheme, Paths paths)
+      : scheme_(scheme), paths_(std::move(paths)) {}
+
+  /// Scheme::Start plus the initial durable checkpoint. Clears any stale
+  /// journal from a previous incarnation first.
+  Status Start(std::vector<DayBatch> first_window);
+
+  /// One crash-atomic window transition (the protocol above). Crash points
+  /// checked: "advance.after_intent", "advance.after_transition",
+  /// "advance.after_checkpoint", plus the rename-boundary points of the
+  /// "journal.intent", "checkpoint" and "journal.commit" scopes. On failure
+  /// the journal survives and the pre-transition constituents stay pinned,
+  /// so the on-disk state remains recoverable either way.
+  Status AdvanceDay(DayBatch new_day);
+
+  /// Writes a fresh durable checkpoint of the scheme's current wave (e.g.
+  /// right after adopting a recovered one).
+  Status Checkpoint();
+
+  /// Restart-time recovery: loads the last durable checkpoint from `paths`,
+  /// applies the roll-forward/roll-back rule to any journaled intent, and
+  /// durably clears the journal. NotFound when no checkpoint exists (nothing
+  /// was ever started). The caller re-Puts the window's day batches, makes a
+  /// fresh scheme, and Adopts the returned wave.
+  static Result<RecoveredState> Recover(const Paths& paths, Device* device,
+                                        ExtentAllocator* allocator,
+                                        ConstituentIndex::Options options);
+
+  const Paths& paths() const { return paths_; }
+
+ private:
+  Scheme* scheme_;
+  Paths paths_;
+  // Pre-transition constituents, held across the transition so the extents
+  // the last durable checkpoint references cannot be freed (and re-used)
+  // before the new checkpoint commits. Kept on failure: rollback needs them.
+  WaveIndex pinned_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_RECOVERY_H_

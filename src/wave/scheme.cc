@@ -1,10 +1,13 @@
 #include "wave/scheme.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "index/index_builder.h"
 #include "update/in_place_updater.h"
 #include "update/packed_shadow_updater.h"
+#include "util/crash_point.h"
 #include "util/macros.h"
 
 namespace wavekit {
@@ -81,6 +84,11 @@ Status Scheme::Transition(DayBatch new_day) {
   if (!started_) {
     return Status::FailedPrecondition("scheme not started");
   }
+  if (needs_recovery_) {
+    return Status::FailedPrecondition(
+        "a previous transition failed partway; reload the wave index from "
+        "its last checkpoint and Adopt a fresh scheme (wave/recovery.h)");
+  }
   if (new_day.day != current_day_ + 1) {
     return Status::InvalidArgument(
         "Transition expects day " + std::to_string(current_day_ + 1) +
@@ -90,9 +98,68 @@ Status Scheme::Transition(DayBatch new_day) {
   WAVEKIT_RETURN_NOT_OK(env_.day_store->Put(std::move(new_day)));
   current_day_ = day;
   WAVEKIT_ASSIGN_OR_RETURN(const DayBatch* batch, env_.day_store->Get(day));
-  WAVEKIT_RETURN_NOT_OK(DoTransition(*batch));
+  const Status status = DoTransition(*batch);
+  if (!status.ok()) {
+    // The transition may have completed some primitives: slot state is
+    // suspect until recovery, and current_day_ reverts to the last day that
+    // was fully incorporated. The wave keeps serving (shadow updates never
+    // mutated registered constituents), but the slot that was due to shed
+    // the expired day now serves a stale cluster — mark it so queries
+    // surface the degradation as a partial result.
+    needs_recovery_ = true;
+    current_day_ = day - 1;
+    if (status.IsIOError()) {
+      const Result<size_t> stale = FindSlotContaining(day - config_.window);
+      if (stale.ok() && wave_.Contains(slots_[stale.ValueOrDie()].get())) {
+        MarkUnhealthy(slots_[stale.ValueOrDie()].get());
+      }
+    }
+    return status;
+  }
   env_.day_store->Prune(OldestDayNeeded());
   return Status::OK();
+}
+
+FaultStats Scheme::fault_stats() const {
+  FaultStats out;
+  out.transient_io_errors =
+      transient_io_errors_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.retries_exhausted = retries_exhausted_.load(std::memory_order_relaxed);
+  out.constituents_marked_unhealthy =
+      marked_unhealthy_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status Scheme::RetryTransient(std::string_view op,
+                              const std::function<Status()>& body) {
+  const int max_attempts = std::max(env_.retry.max_attempts, 1);
+  uint64_t backoff_us = env_.retry.initial_backoff_us;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = body();
+    // Only transient I/O errors are worth another attempt. Injected crashes
+    // model the process dying — recovery, not retry, handles those.
+    if (status.ok() || !status.IsIOError() || IsInjectedCrash(status)) {
+      return status;
+    }
+    transient_io_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= max_attempts) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min(env_.retry.max_backoff_us, backoff_us * 2);
+    }
+  }
+  retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return status.WithContext(std::string(op) + " failed after " +
+                            std::to_string(max_attempts) + " attempt(s)");
+}
+
+void Scheme::MarkUnhealthy(ConstituentIndex* index) {
+  if (index == nullptr || !index->healthy()) return;
+  index->set_healthy(false);
+  marked_unhealthy_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status Scheme::Adopt(WaveIndex wave, Day current_day) {
@@ -190,10 +257,17 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::BuildIndex(
   for (const DayBatch* batch : batches) entries += batch->EntryCount();
   const SchemeEnv::Disk disk = NextDisk(placement_hint);
   MultiPhaseScope scope(AllDevices(), phase);
-  WAVEKIT_ASSIGN_OR_RETURN(
-      std::shared_ptr<ConstituentIndex> index,
-      IndexBuilder::BuildPacked(IoDeviceFor(disk), disk.allocator,
-                                IndexOptions(), batches, std::move(name)));
+  // A failed packed build frees everything it allocated, so the attempt is
+  // all-or-nothing and safe to retry on transient I/O errors.
+  std::shared_ptr<ConstituentIndex> index;
+  WAVEKIT_RETURN_NOT_OK(RetryTransient("BuildIndex", [&] {
+    Result<std::unique_ptr<ConstituentIndex>> built =
+        IndexBuilder::BuildPacked(IoDeviceFor(disk), disk.allocator,
+                                  IndexOptions(), batches, name);
+    if (!built.ok()) return built.status();
+    index = std::move(built).ValueOrDie();
+    return Status::OK();
+  }));
   op_log_.Record(OpRecord{OpKind::kBuildIndex, phase, current_day_,
                           static_cast<int>(days.size()), 0, entries});
   return index;
@@ -232,16 +306,34 @@ Status Scheme::UpdateIndex(const TimeSet& add_days, const TimeSet& delete_days,
   }
   const int target_days = static_cast<int>((*index)->time_set().size());
   const uint64_t target_entries = (*index)->entry_count();
-  const ConstituentIndex* before = index->get();
+  ConstituentIndex* const before = index->get();
   // Registered constituents are updated with the configured technique (they
   // must stay queryable through the update); temporary indexes are never
   // queried, so they are always updated in place.
   const bool is_constituent = wave_.Contains(before);
   InPlaceUpdater in_place;
   Updater* updater = is_constituent ? updater_.get() : &in_place;
+  // Shadow updates build a replacement and swap only on success, so they are
+  // safe to retry; an in-place update mutates the target, so retrying could
+  // double-apply entries.
+  const bool retryable =
+      updater->kind() != UpdateTechniqueKind::kInPlace;
+  Status applied;
   {
     MultiPhaseScope scope(AllDevices(), phase);
-    WAVEKIT_RETURN_NOT_OK(updater->Apply(index, batches, delete_days));
+    applied = retryable
+                  ? RetryTransient("UpdateIndex",
+                                   [&] {
+                                     return updater->Apply(index, batches,
+                                                           delete_days);
+                                   })
+                  : updater->Apply(index, batches, delete_days);
+  }
+  if (!applied.ok()) {
+    // The constituent's bytes are intact (the shadow died before the swap),
+    // but it now cannot follow the window — flag it for degraded serving.
+    if (applied.IsIOError() && is_constituent) MarkUnhealthy(before);
+    return applied;
   }
   // Shadow techniques replaced the object: keep the wave index in sync.
   if (index->get() != before && is_constituent) {
@@ -284,11 +376,17 @@ Status Scheme::PackIndex(std::shared_ptr<ConstituentIndex>* index,
   obs::Span span = TraceOp("PackIndex");
   const int op_days = static_cast<int>((*index)->time_set().size());
   const uint64_t entries = (*index)->entry_count();
-  const ConstituentIndex* before = index->get();
+  ConstituentIndex* const before = index->get();
   PackedShadowUpdater packer;
+  Status packed;
   {
     MultiPhaseScope scope(AllDevices(), phase);
-    WAVEKIT_RETURN_NOT_OK(packer.Apply(index, {}, TimeSet{}));
+    packed = RetryTransient(
+        "PackIndex", [&] { return packer.Apply(index, {}, TimeSet{}); });
+  }
+  if (!packed.ok()) {
+    if (packed.IsIOError() && wave_.Contains(before)) MarkUnhealthy(before);
+    return packed;
   }
   if (index->get() != before && wave_.Contains(before)) {
     WAVEKIT_RETURN_NOT_OK(wave_.ReplaceIndex(before, *index));
@@ -302,8 +400,14 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::CopyIndex(
     const ConstituentIndex& source, std::string name, Phase phase) {
   obs::Span span = TraceOp("CopyIndex");
   MultiPhaseScope scope(AllDevices(), phase);
-  WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> copy,
-                           source.Clone(std::move(name)));
+  // Clone frees its partial copy on failure: all-or-nothing, retryable.
+  std::shared_ptr<ConstituentIndex> copy;
+  WAVEKIT_RETURN_NOT_OK(RetryTransient("CopyIndex", [&] {
+    Result<std::unique_ptr<ConstituentIndex>> cloned = source.Clone(name);
+    if (!cloned.ok()) return cloned.status();
+    copy = std::move(cloned).ValueOrDie();
+    return Status::OK();
+  }));
   op_log_.Record(OpRecord{OpKind::kCopyIndex, phase, current_day_,
                           static_cast<int>(source.time_set().size()), 0,
                           source.entry_count()});

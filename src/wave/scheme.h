@@ -11,6 +11,9 @@
 #ifndef WAVEKIT_WAVE_SCHEME_H_
 #define WAVEKIT_WAVE_SCHEME_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -63,6 +66,34 @@ struct SchemeConfig {
   uint64_t size_bound_entries = 0;
 };
 
+/// \brief Bounded exponential backoff for transient I/O errors inside the
+/// Section 2.2 maintenance primitives. The default (one attempt) disables
+/// retrying. Only all-or-nothing primitives are retried (packed builds,
+/// clones, shadow updates): their failure paths free every extent they
+/// touched, so a second attempt starts clean. Injected crashes
+/// (util/crash_point.h) are never retried — a crashed process does not get
+/// another attempt.
+struct RetryPolicy {
+  /// Total attempts per primitive (1 = no retry).
+  int max_attempts = 1;
+  /// Sleep before the first retry; doubles (capped) for each further one.
+  uint64_t initial_backoff_us = 100;
+  uint64_t max_backoff_us = 10'000;
+};
+
+/// \brief Counters of the retry/degradation machinery (relaxed-atomic
+/// snapshots; see Scheme::fault_stats).
+struct FaultStats {
+  /// Transient I/O errors observed inside retryable primitives.
+  uint64_t transient_io_errors = 0;
+  /// Retry attempts performed after such errors.
+  uint64_t retries = 0;
+  /// Primitives that still failed after the final attempt.
+  uint64_t retries_exhausted = 0;
+  /// Constituents marked unhealthy after a failed update or transition.
+  uint64_t constituents_marked_unhealthy = 0;
+};
+
 /// \brief Everything a scheme operates on. All pointers must outlive the
 /// scheme.
 struct SchemeEnv {
@@ -88,6 +119,9 @@ struct SchemeEnv {
   /// span here, nested under whatever span the caller (e.g.
   /// WaveService::AdvanceDay) has open. Must outlive the scheme.
   obs::Tracer* tracer = nullptr;
+
+  /// Retry behaviour for transient I/O errors inside maintenance primitives.
+  RetryPolicy retry;
 
   /// \brief One disk of a multi-disk deployment.
   struct Disk {
@@ -147,6 +181,16 @@ class Scheme {
 
   /// Most recent day incorporated (W after Start).
   Day current_day() const { return current_day_; }
+
+  /// True after a Transition failed partway: slot state may mix old and new
+  /// clusters, so further Transitions are refused until the index is
+  /// reloaded from its last checkpoint and re-adopted (wave/recovery.h). The
+  /// wave itself stays queryable — failed updates never mutate registered
+  /// constituents in place.
+  bool needs_recovery() const { return needs_recovery_; }
+
+  /// Snapshot of the retry/degradation counters (thread-safe).
+  FaultStats fault_stats() const;
 
   const SchemeConfig& config() const { return config_; }
   const OpLog& op_log() const { return op_log_; }
@@ -220,6 +264,16 @@ class Scheme {
   /// Logs a free rename (temporary promoted to constituent).
   void LogRename(const ConstituentIndex& index);
 
+  /// Runs `body` under env_.retry: transient IOErrors are retried with
+  /// bounded exponential backoff; injected crashes and non-I/O errors return
+  /// immediately. Callers must pass an all-or-nothing `body` (safe to
+  /// re-run after failure).
+  Status RetryTransient(std::string_view op, const std::function<Status()>& body);
+
+  /// Marks `index` unhealthy (degraded-mode serving) and counts it. Safe to
+  /// call with an index shared with published snapshots.
+  void MarkUnhealthy(ConstituentIndex* index);
+
   /// A span on env_.tracer (inert when no tracer is configured). The Section
   /// 2.2 primitives above call this with their operation name; schemes use it
   /// to mark which transition branch ran (e.g. "WATA.throw_away").
@@ -276,6 +330,14 @@ class Scheme {
   size_t next_disk_ = 0;
   std::unique_ptr<Updater> updater_;
   bool started_ = false;
+  bool needs_recovery_ = false;
+
+  // Fault/retry counters (atomic: metrics callbacks read them from exporter
+  // threads while the maintenance thread writes).
+  std::atomic<uint64_t> transient_io_errors_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retries_exhausted_{0};
+  std::atomic<uint64_t> marked_unhealthy_{0};
 };
 
 }  // namespace wavekit

@@ -17,6 +17,39 @@ auto FindConstituent(Vector& constituents, const ConstituentIndex* index) {
       });
 }
 
+// OK for a complete answer, PartialResult when constituents were excluded
+// (unhealthy) or dropped (unreadable) — see the degraded-serving contract in
+// wave_index.h.
+Status DegradedStatus(const QueryStats& stats) {
+  if (stats.indexes_unhealthy == 0 && stats.indexes_failed == 0) {
+    return Status::OK();
+  }
+  return Status::PartialResult(
+      "degraded answer: " + std::to_string(stats.indexes_unhealthy) +
+      " unhealthy constituent(s) excluded, " +
+      std::to_string(stats.indexes_failed) + " unreadable and dropped");
+}
+
+// TimedProbe on one constituent with the degraded-serving fallback: an
+// I/O-failing directory probe is retried as a value-filtered sequential
+// scan. On a second I/O failure `out` is rolled back to its length at entry
+// and the IOError is returned for the caller to count; other errors
+// propagate unchanged.
+Status ProbeWithFallback(const ConstituentIndex& constituent,
+                         const Value& value, const DayRange& range,
+                         std::vector<Entry>* out, bool* used_fallback) {
+  const size_t mark = out->size();
+  Status status = constituent.TimedProbe(value, range, out);
+  if (!status.IsIOError()) return status;
+  out->resize(mark);
+  *used_fallback = true;
+  status = constituent.TimedScan(range, [&](const Value& v, const Entry& e) {
+    if (v == value) out->push_back(e);
+  });
+  if (status.IsIOError()) out->resize(mark);
+  return status;
+}
+
 }  // namespace
 
 void WaveIndex::AddIndex(std::shared_ptr<ConstituentIndex> index) {
@@ -66,12 +99,24 @@ Status WaveIndex::TimedIndexProbe(const DayRange& range, const Value& value,
       ++local.indexes_skipped;
       continue;
     }
+    if (!constituent->healthy()) {
+      ++local.indexes_unhealthy;
+      continue;
+    }
     ++local.indexes_accessed;
-    WAVEKIT_RETURN_NOT_OK(constituent->TimedProbe(value, range, out));
+    bool used_fallback = false;
+    const Status status =
+        ProbeWithFallback(*constituent, value, range, out, &used_fallback);
+    if (used_fallback) ++local.probe_fallbacks;
+    if (status.IsIOError()) {
+      ++local.indexes_failed;
+      continue;
+    }
+    WAVEKIT_RETURN_NOT_OK(status);
   }
   local.entries_returned = out->size() - before;
   if (stats != nullptr) *stats = local;
-  return Status::OK();
+  return DegradedStatus(local);
 }
 
 Status WaveIndex::IndexProbe(const Value& value, std::vector<Entry>* out,
@@ -88,15 +133,26 @@ Status WaveIndex::TimedSegmentScan(const DayRange& range,
       ++local.indexes_skipped;
       continue;
     }
+    if (!constituent->healthy()) {
+      ++local.indexes_unhealthy;
+      continue;
+    }
     ++local.indexes_accessed;
-    WAVEKIT_RETURN_NOT_OK(constituent->TimedScan(
+    const Status status = constituent->TimedScan(
         range, [&](const Value& v, const Entry& e) {
           ++local.entries_returned;
           callback(v, e);
-        }));
+        });
+    if (status.IsIOError()) {
+      // Entries already delivered before the failure stand (scans stream);
+      // the rest of this constituent is missing — flagged via PartialResult.
+      ++local.indexes_failed;
+      continue;
+    }
+    WAVEKIT_RETURN_NOT_OK(status);
   }
   if (stats != nullptr) *stats = local;
-  return Status::OK();
+  return DegradedStatus(local);
 }
 
 Status WaveIndex::SegmentScan(const EntryCallback& callback,
@@ -108,6 +164,7 @@ namespace {
 
 struct ParallelSlot {
   bool accessed = false;
+  bool used_fallback = false;
   Status status;
   std::vector<std::pair<Value, Entry>> results;
 };
@@ -130,11 +187,17 @@ Status WaveIndex::ParallelTimedIndexProbe(ThreadPool* pool,
       remaining.count_down();
       continue;
     }
+    if (!constituent->healthy()) {
+      ++local.indexes_unhealthy;
+      remaining.count_down();
+      continue;
+    }
     slot->accessed = true;
     ++local.indexes_accessed;
     pool->Submit([constituent, slot, &range, &value, &remaining]() {
       std::vector<Entry> entries;
-      slot->status = constituent->TimedProbe(value, range, &entries);
+      slot->status = ProbeWithFallback(*constituent, value, range, &entries,
+                                       &slot->used_fallback);
       slot->results.reserve(entries.size());
       for (const Entry& e : entries) slot->results.emplace_back(Value{}, e);
       remaining.count_down();
@@ -142,6 +205,11 @@ Status WaveIndex::ParallelTimedIndexProbe(ThreadPool* pool,
   }
   remaining.wait();
   for (const ParallelSlot& slot : slots) {
+    if (slot.used_fallback) ++local.probe_fallbacks;
+    if (slot.status.IsIOError()) {
+      ++local.indexes_failed;
+      continue;
+    }
     WAVEKIT_RETURN_NOT_OK(slot.status);
     for (const auto& [v, e] : slot.results) {
       out->push_back(e);
@@ -149,7 +217,7 @@ Status WaveIndex::ParallelTimedIndexProbe(ThreadPool* pool,
     }
   }
   if (stats != nullptr) *stats = local;
-  return Status::OK();
+  return DegradedStatus(local);
 }
 
 Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
@@ -167,6 +235,11 @@ Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
       remaining.count_down();
       continue;
     }
+    if (!constituent->healthy()) {
+      ++local.indexes_unhealthy;
+      remaining.count_down();
+      continue;
+    }
     slot->accessed = true;
     ++local.indexes_accessed;
     pool->Submit([constituent, slot, &range, &remaining]() {
@@ -179,6 +252,13 @@ Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
   }
   remaining.wait();
   for (const ParallelSlot& slot : slots) {
+    if (slot.status.IsIOError()) {
+      // Buffered delivery means a failed constituent contributes nothing at
+      // all (unlike the serial scan, which streams) — drop it and report a
+      // partial result.
+      ++local.indexes_failed;
+      continue;
+    }
     WAVEKIT_RETURN_NOT_OK(slot.status);
     for (const auto& [v, e] : slot.results) {
       callback(v, e);
@@ -186,7 +266,7 @@ Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
     }
   }
   if (stats != nullptr) *stats = local;
-  return Status::OK();
+  return DegradedStatus(local);
 }
 
 int WaveIndex::TotalDays() const {

@@ -13,12 +13,22 @@
 
 namespace wavekit {
 
-/// \brief Per-query statistics (how much pruning the time-sets enabled).
+/// \brief Per-query statistics (how much pruning the time-sets enabled, and
+/// how degraded the answer is).
 struct QueryStats {
   /// Constituents whose time-set intersected the query range (and were read).
   int indexes_accessed = 0;
   /// Constituents skipped because their time-set missed the range entirely.
   int indexes_skipped = 0;
+  /// Constituents excluded because maintenance marked them unhealthy
+  /// (degraded-mode serving; the query returned Status::PartialResult).
+  int indexes_unhealthy = 0;
+  /// Healthy constituents whose reads failed even through the scan fallback;
+  /// their entries are missing from the answer (also PartialResult).
+  int indexes_failed = 0;
+  /// Probes answered via the TimedSegmentScan fallback after the directory
+  /// probe hit an I/O error.
+  int probe_fallbacks = 0;
   /// Entries delivered to the caller.
   uint64_t entries_returned = 0;
 };
@@ -56,6 +66,17 @@ class WaveIndex {
   size_t num_constituents() const { return constituents_.size(); }
 
   // --- Access operations ----------------------------------------------------
+  //
+  // Degraded-mode serving contract: constituents marked unhealthy by
+  // maintenance (ConstituentIndex::healthy() == false) are excluded from
+  // every access operation. A healthy constituent whose directory probe
+  // fails with an I/O error is retried as a value-filtered TimedSegmentScan
+  // of that constituent (a sequential sweep can succeed where the
+  // bucket-directed read failed); if that also fails, its entries are
+  // dropped. Whenever anything was excluded or dropped, the operation
+  // returns Status::PartialResult — the entries delivered are correct but
+  // possibly incomplete — instead of failing. Non-I/O errors still propagate
+  // as before, and a fully healthy wave behaves exactly as it always has.
 
   /// TimedIndexProbe(Theta, T1, T2, s): entries for `value` inserted within
   /// `range`, gathered from every constituent whose cluster intersects it.

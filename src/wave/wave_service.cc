@@ -23,7 +23,9 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 WaveService::WaveService(Options options)
     : options_(options),
       memory_(options.device_capacity),
-      device_(&memory_),
+      interposed_(options_.device_interposer ? options_.device_interposer(&memory_)
+                                             : nullptr),
+      device_(interposed_ != nullptr ? interposed_.get() : &memory_),
       allocator_(options.device_capacity) {
   if (options_.cache_blocks > 0) {
     cache_ = std::make_unique<ShardedCachedDevice>(
@@ -70,6 +72,48 @@ void WaveService::RegisterMetrics() {
       "Window transitions completed by AdvanceDay.", {},
       [this] { return days_advanced_.load(std::memory_order_relaxed); }, this);
   registry->AddCounterCallback(
+      "wavekit_service_degraded_advances_total",
+      "AdvanceDay calls that failed (service kept the last good snapshot).",
+      {},
+      [this] { return degraded_advances_.load(std::memory_order_relaxed); },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_service_partial_results_total",
+      "Queries answered with a partial result (degraded-mode serving).", {},
+      [this] { return partial_results_.load(std::memory_order_relaxed); },
+      this);
+  // scheme_ is assigned after construction (Create), so guard the reads.
+  registry->AddCounterCallback(
+      "wavekit_maintenance_transient_io_errors_total",
+      "Transient I/O errors hit by maintenance primitives.", {},
+      [this] {
+        return scheme_ != nullptr ? scheme_->fault_stats().transient_io_errors
+                                  : 0;
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_maintenance_retries_total",
+      "Retries of maintenance primitives after transient I/O errors.", {},
+      [this] { return scheme_ != nullptr ? scheme_->fault_stats().retries : 0; },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_maintenance_retries_exhausted_total",
+      "Maintenance primitives that failed even after their retry budget.", {},
+      [this] {
+        return scheme_ != nullptr ? scheme_->fault_stats().retries_exhausted
+                                  : 0;
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_constituents_marked_unhealthy_total",
+      "Constituent indexes excluded from serving after a failed rebuild.", {},
+      [this] {
+        return scheme_ != nullptr
+                   ? scheme_->fault_stats().constituents_marked_unhealthy
+                   : 0;
+      },
+      this);
+  registry->AddCounterCallback(
       "wavekit_trace_roots_sampled_total",
       "AdvanceDay traces sampled into the span ring.", {},
       [this] { return tracer_->roots_sampled(); }, this);
@@ -98,6 +142,7 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
                 &service->day_store_};
   env.io_device = service->cache_.get();  // nullptr = straight to the meter
   env.tracer = service->tracer_.get();
+  env.retry = options.retry;
   WAVEKIT_ASSIGN_OR_RETURN(service->scheme_,
                            MakeScheme(options.scheme, env, options.config));
   return service;
@@ -117,7 +162,14 @@ Status WaveService::AdvanceDay(DayBatch new_day) {
   {
     // Root span: the scheme's primitives nest under it as children.
     obs::Span span = tracer_->StartSpan("AdvanceDay");
-    WAVEKIT_RETURN_NOT_OK(scheme_->Transition(std::move(new_day)));
+    const Status transitioned = scheme_->Transition(std::move(new_day));
+    if (!transitioned.ok()) {
+      // Degraded mode: keep serving the last good snapshot. No republish is
+      // needed for health flags — snapshots share the constituent objects,
+      // so any MarkUnhealthy the scheme did is already visible to readers.
+      degraded_advances_.fetch_add(1, std::memory_order_relaxed);
+      return transitioned;
+    }
   }
   Publish();
   days_advanced_.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +197,9 @@ ServiceMetrics WaveService::Metrics() const {
   out.probes = probes_.load(std::memory_order_relaxed);
   out.scans = scans_.load(std::memory_order_relaxed);
   out.days_advanced = days_advanced_.load(std::memory_order_relaxed);
+  out.degraded_advances = degraded_advances_.load(std::memory_order_relaxed);
+  out.partial_results = partial_results_.load(std::memory_order_relaxed);
+  if (scheme_ != nullptr) out.faults = scheme_->fault_stats();
   out.probe_latency_us = probe_latency_us_.Snapshot();
   out.scan_latency_us = scan_latency_us_.Snapshot();
   out.advance_latency_us = advance_latency_us_.Snapshot();
@@ -155,6 +210,8 @@ void WaveService::ResetMetrics() {
   probes_.store(0, std::memory_order_relaxed);
   scans_.store(0, std::memory_order_relaxed);
   days_advanced_.store(0, std::memory_order_relaxed);
+  degraded_advances_.store(0, std::memory_order_relaxed);
+  partial_results_.store(0, std::memory_order_relaxed);
   probe_latency_us_.Reset();
   scan_latency_us_.Reset();
   advance_latency_us_.Reset();
@@ -173,6 +230,9 @@ Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,
           ? snapshot->ParallelTimedIndexProbe(query_pool_.get(), range, value,
                                               out, stats)
           : snapshot->TimedIndexProbe(range, value, out, stats);
+  if (status.IsPartialResult()) {
+    partial_results_.fetch_add(1, std::memory_order_relaxed);
+  }
   probes_.fetch_add(1, std::memory_order_relaxed);
   probe_latency_us_.Record(MicrosSince(start));
   return status;
@@ -192,6 +252,9 @@ Status WaveService::TimedSegmentScan(const DayRange& range,
   }
   const auto start = std::chrono::steady_clock::now();
   Status status = snapshot->TimedSegmentScan(range, callback, stats);
+  if (status.IsPartialResult()) {
+    partial_results_.fetch_add(1, std::memory_order_relaxed);
+  }
   scans_.fetch_add(1, std::memory_order_relaxed);
   scan_latency_us_.Record(MicrosSince(start));
   return status;

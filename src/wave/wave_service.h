@@ -18,6 +18,7 @@
 #define WAVEKIT_WAVE_WAVE_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -42,6 +43,13 @@ struct ServiceMetrics {
   uint64_t probes = 0;
   uint64_t scans = 0;
   uint64_t days_advanced = 0;
+  /// AdvanceDay calls that failed; the service keeps serving the last good
+  /// snapshot (degraded: stale window, possibly unhealthy constituents).
+  uint64_t degraded_advances = 0;
+  /// Queries answered with Status::PartialResult (degraded-mode serving).
+  uint64_t partial_results = 0;
+  /// Retry/fault counters of the maintenance scheme.
+  FaultStats faults;
   /// Wall-clock probe latency in microseconds (log-bucketed percentiles).
   Histogram probe_latency_us;
   /// Wall-clock scan latency in microseconds.
@@ -57,6 +65,16 @@ class WaveService {
     SchemeKind scheme = SchemeKind::kWata;
     SchemeConfig config;
     uint64_t device_capacity = uint64_t{1} << 30;
+
+    /// Retry behaviour for transient I/O errors inside maintenance
+    /// primitives (default: no retries).
+    RetryPolicy retry;
+
+    /// Test/chaos seam: when set, called once at construction with the raw
+    /// in-memory device; the returned decorator (e.g. a
+    /// FaultInjectingDevice) becomes the device the whole stack runs on. The
+    /// service owns the decorator; it must not be null.
+    std::function<std::unique_ptr<Device>(Device* inner)> device_interposer;
 
     /// When > 1, the service owns a ThreadPool of this many workers and
     /// TimedIndexProbe / IndexProbe fan the per-constituent probes out over
@@ -154,6 +172,7 @@ class WaveService {
 
   Options options_;
   MemoryDevice memory_;
+  std::unique_ptr<Device> interposed_;  // optional chaos layer over memory_
   SynchronizedMeteredDevice device_;
   std::unique_ptr<ShardedCachedDevice> cache_;  // above device_, optional
   ExtentAllocator allocator_;
@@ -171,6 +190,8 @@ class WaveService {
   mutable std::atomic<uint64_t> probes_{0};
   mutable std::atomic<uint64_t> scans_{0};
   std::atomic<uint64_t> days_advanced_{0};
+  std::atomic<uint64_t> degraded_advances_{0};
+  mutable std::atomic<uint64_t> partial_results_{0};
   mutable ConcurrentHistogram probe_latency_us_;
   mutable ConcurrentHistogram scan_latency_us_;
   ConcurrentHistogram advance_latency_us_;

@@ -23,11 +23,17 @@
 #include "util/result.h"
 #include "util/status.h"
 
+// Fault-tolerance substrate.
+#include "util/crash_point.h"
+#include "util/crc32.h"
+#include "util/fs.h"
+
 // Storage substrate.
 #include "storage/cost_model.h"
 #include "storage/device.h"
 #include "storage/disk_array.h"
 #include "storage/extent_allocator.h"
+#include "storage/fault_injecting_device.h"
 #include "storage/file_device.h"
 #include "storage/metered_device.h"
 #include "storage/store.h"
@@ -46,7 +52,9 @@
 // Wave indexes: the paper's contribution.
 #include "wave/checkpoint.h"
 #include "wave/day_store.h"
+#include "wave/journal.h"
 #include "wave/query_helpers.h"
+#include "wave/recovery.h"
 #include "wave/scheme.h"
 #include "wave/scheme_factory.h"
 #include "wave/wave_index.h"

@@ -1,0 +1,187 @@
+#include "storage/fault_injecting_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/sharded_cached_device.h"
+#include "testing/test_env.h"
+#include "util/crash_point.h"
+
+namespace wavekit {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string AsString(const std::vector<std::byte>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+TEST(FaultInjectingDeviceTest, QuietDeviceIsTransparent) {
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory);
+  ASSERT_OK(device.Write(64, Bytes("hello")));
+  std::vector<std::byte> out(5);
+  ASSERT_OK(device.Read(64, out));
+  EXPECT_EQ(AsString(out), "hello");
+  EXPECT_EQ(device.stats().reads, 1u);
+  EXPECT_EQ(device.stats().writes, 1u);
+  EXPECT_EQ(device.stats().injected_read_errors, 0u);
+  EXPECT_EQ(device.stats().injected_write_errors, 0u);
+}
+
+TEST(FaultInjectingDeviceTest, SameSeedReplaysTheSameFaults) {
+  // Determinism is the whole point: a failing torture seed must replay.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjectingDevice::Options options;
+    options.seed = seed;
+    options.read_error_rate = 0.3;
+    options.write_error_rate = 0.3;
+    MemoryDevice memory_a(4096), memory_b(4096);
+    FaultInjectingDevice a(&memory_a, options), b(&memory_b, options);
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t offset = static_cast<uint64_t>(i) * 16;
+      if (i % 2 == 0) {
+        EXPECT_EQ(a.Write(offset, Bytes("x")).ToString(),
+                  b.Write(offset, Bytes("x")).ToString());
+      } else {
+        std::vector<std::byte> out_a(1), out_b(1);
+        EXPECT_EQ(a.Read(offset, out_a).ToString(),
+                  b.Read(offset, out_b).ToString());
+        EXPECT_EQ(out_a, out_b);
+      }
+    }
+    EXPECT_EQ(a.stats().injected_read_errors, b.stats().injected_read_errors);
+    EXPECT_EQ(a.stats().injected_write_errors,
+              b.stats().injected_write_errors);
+    EXPECT_EQ(a.stats().torn_writes, b.stats().torn_writes);
+  }
+}
+
+TEST(FaultInjectingDeviceTest, TransientErrorsAreTransient) {
+  FaultInjectingDevice::Options options;
+  options.read_error_rate = 0.5;
+  options.torn_writes = false;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  ASSERT_OK(memory.Write(0, Bytes("abcd")));
+  int failures = 0, successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::byte> out(4);
+    const Status status = device.Read(0, out);
+    if (status.ok()) {
+      ++successes;
+      EXPECT_EQ(AsString(out), "abcd");
+    } else {
+      EXPECT_TRUE(status.IsIOError()) << status;
+      ++failures;
+    }
+  }
+  // At rate 0.5 over 200 ops both outcomes are statistically certain.
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(successes, 0);
+  EXPECT_EQ(device.stats().injected_read_errors,
+            static_cast<uint64_t>(failures));
+}
+
+TEST(FaultInjectingDeviceTest, BadRangesArePermanent) {
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory);
+  device.AddBadRange(Extent{100, 50});
+  std::vector<std::byte> buf(10);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_TRUE(device.Read(120, buf).IsIOError());   // inside
+    EXPECT_TRUE(device.Write(95, buf).IsIOError());   // straddles the start
+    EXPECT_TRUE(device.Read(145, buf).IsIOError());   // straddles the end
+  }
+  EXPECT_OK(device.Read(0, buf));    // clear of the range
+  EXPECT_OK(device.Write(200, buf));  // past it
+  device.ClearBadRanges();
+  EXPECT_OK(device.Read(120, buf));
+}
+
+TEST(FaultInjectingDeviceTest, CrashAfterWritesTearsAndThenFailsEverything) {
+  FaultInjectingDevice::Options options;
+  options.seed = 7;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  device.ArmCrashAfterWrites(3);
+  ASSERT_OK(device.Write(0, Bytes("aaaa")));
+  ASSERT_OK(device.Write(4, Bytes("bbbb")));
+  const Status crash = device.Write(8, Bytes("cccc"));
+  ASSERT_TRUE(crash.IsIOError());
+  EXPECT_TRUE(IsInjectedCrash(crash)) << crash;
+  EXPECT_TRUE(device.crashed());
+  EXPECT_EQ(device.stats().crashes, 1u);
+
+  // Crashed: every subsequent I/O fails until the simulated restart.
+  std::vector<std::byte> buf(4);
+  EXPECT_TRUE(IsInjectedCrash(device.Read(0, buf)));
+  EXPECT_TRUE(IsInjectedCrash(device.Write(16, Bytes("dddd"))));
+
+  device.ClearCrash();
+  EXPECT_FALSE(device.crashed());
+  ASSERT_OK(device.Read(0, buf));
+  EXPECT_EQ(AsString(buf), "aaaa");  // pre-crash writes survived intact
+  ASSERT_OK(device.Read(8, buf));
+  // The dying write persisted some prefix of "cccc"; the rest reads as the
+  // device's prior contents (zeroes). Never anything else.
+  const std::string torn = AsString(buf);
+  for (size_t i = 0; i < torn.size(); ++i) {
+    EXPECT_TRUE(torn[i] == 'c' || torn[i] == '\0') << "byte " << i;
+    if (torn[i] == '\0' && i + 1 < torn.size()) {
+      EXPECT_EQ(torn[i + 1], '\0') << "non-prefix tear";
+    }
+  }
+}
+
+TEST(FaultInjectingDeviceTest, ReadBatchPropagatesMidBatchError) {
+  // Regression: Device::ReadBatch must surface a failing extent, not return
+  // OK with silently-garbage bytes in the middle of the batch.
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory);
+  ASSERT_OK(device.Write(0, Bytes("aaaa")));
+  ASSERT_OK(device.Write(100, Bytes("bbbb")));
+  ASSERT_OK(device.Write(200, Bytes("cccc")));
+  device.AddBadRange(Extent{100, 4});
+  const std::vector<Extent> extents = {{0, 4}, {100, 4}, {200, 4}};
+  std::vector<std::byte> out(12);
+  const Status status = device.ReadBatch(extents, out);
+  ASSERT_TRUE(status.IsIOError()) << status;
+  EXPECT_NE(status.ToString().find("bad device range"), std::string::npos)
+      << status;
+}
+
+TEST(FaultInjectingDeviceTest, FailedCacheWriteThroughLeavesNoPhantomData) {
+  // Regression: the write-through cache used to patch its cached blocks
+  // BEFORE the device write, so a failed write left readers seeing bytes
+  // that were never on the device.
+  FaultInjectingDevice::Options options;
+  options.torn_writes = false;  // failed writes persist nothing
+  MemoryDevice memory(1 << 16);
+  FaultInjectingDevice faulty(&memory, options);
+  ShardedCachedDevice cache(&faulty, /*capacity_blocks=*/8,
+                            /*block_size=*/64, /*num_shards=*/2);
+
+  ASSERT_OK(cache.Write(0, Bytes("original")));
+  std::vector<std::byte> out(8);
+  ASSERT_OK(cache.Read(0, out));  // populates the cache
+  EXPECT_EQ(AsString(out), "original");
+
+  faulty.set_write_error_rate(1.0);
+  EXPECT_TRUE(cache.Write(0, Bytes("phantom!")).IsIOError());
+  faulty.set_write_error_rate(0.0);
+
+  ASSERT_OK(cache.Read(0, out));
+  EXPECT_EQ(AsString(out), "original") << "cache served never-written bytes";
+}
+
+}  // namespace
+}  // namespace wavekit

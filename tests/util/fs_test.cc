@@ -1,0 +1,67 @@
+#include "util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "testing/test_env.h"
+#include "util/crash_point.h"
+
+namespace wavekit {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "wavekit_fs_" + name;
+}
+
+TEST(FsTest, AtomicWriteThenReadRoundTrips) {
+  const std::string path = TempPath("roundtrip");
+  ASSERT_OK(AtomicWriteFile(path, "first"));
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "first");
+  // Replacement is complete, never appended or mixed.
+  ASSERT_OK(AtomicWriteFile(path, "the second version"));
+  ASSERT_OK_AND_ASSIGN(contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "the second version");
+  ASSERT_OK(RemoveFileDurable(path));
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FsTest, ReadMissingFileIsNotFound) {
+  const Status status = ReadFileToString(TempPath("never_written")).status();
+  EXPECT_TRUE(status.IsNotFound()) << status;
+}
+
+TEST(FsTest, RemoveMissingFileIsOk) {
+  EXPECT_OK(RemoveFileDurable(TempPath("never_written")));
+}
+
+TEST(FsTest, CrashBeforeRenameLeavesOldContents) {
+  CrashPoints::Reset();
+  const std::string path = TempPath("crash_before");
+  ASSERT_OK(AtomicWriteFile(path, "durable", "scope"));
+  CrashPoints::Arm("scope.before_rename");
+  const Status crashed = AtomicWriteFile(path, "lost", "scope");
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed)) << crashed;
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "durable");  // the old complete file, untouched
+  ASSERT_OK(RemoveFileDurable(path));
+}
+
+TEST(FsTest, CrashAfterRenameLeavesNewContents) {
+  CrashPoints::Reset();
+  const std::string path = TempPath("crash_after");
+  ASSERT_OK(AtomicWriteFile(path, "old", "scope"));
+  CrashPoints::Arm("scope.after_rename");
+  const Status crashed = AtomicWriteFile(path, "new", "scope");
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed)) << crashed;
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "new");  // the rename is the commit point
+  ASSERT_OK(RemoveFileDurable(path));
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -51,8 +51,9 @@ TEST_F(CheckpointTest, SerializeIsDeterministic) {
   ASSERT_OK_AND_ASSIGN(std::string a, SerializeCheckpoint(wave_));
   ASSERT_OK_AND_ASSIGN(std::string b, SerializeCheckpoint(wave_));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("wavekit-checkpoint 1"), std::string::npos);
+  EXPECT_NE(a.find("wavekit-checkpoint 2"), std::string::npos);
   EXPECT_NE(a.find("packed-part"), std::string::npos);
+  EXPECT_NE(a.find("\nfooter "), std::string::npos);
 }
 
 TEST_F(CheckpointTest, RoundTripPreservesEverything) {
@@ -164,7 +165,7 @@ TEST_F(CheckpointTest, CorruptCheckpointsAreRejected) {
                    .ok());
   // Bad version.
   std::string bad_version = contents;
-  bad_version.replace(bad_version.find(" 1\n"), 3, " 9\n");
+  bad_version.replace(bad_version.find(" 2\n"), 3, " 9\n");
   EXPECT_FALSE(DeserializeCheckpoint(bad_version, store_.device(), &fresh,
                                      Options())
                    .ok());
@@ -190,7 +191,68 @@ TEST_F(CheckpointTest, LoadFromMissingFileFails) {
   EXPECT_TRUE(LoadCheckpoint("/no/such/file", store_.device(), &fresh,
                              Options())
                   .status()
-                  .IsIOError());
+                  .IsNotFound());
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsRejectedWithClearError) {
+  // Every proper prefix must be rejected — a crash mid-write (without the
+  // atomic-rename discipline) leaves exactly this shape on disk.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  for (size_t len : {size_t{0}, contents.size() / 4, contents.size() / 2,
+                     contents.size() - 1}) {
+    ExtentAllocator fresh(store_.allocator()->capacity());
+    auto loaded = DeserializeCheckpoint(contents.substr(0, len),
+                                        store_.device(), &fresh, Options());
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes accepted";
+    EXPECT_NE(loaded.status().message().find("truncat"), std::string::npos)
+        << loaded.status();
+  }
+}
+
+TEST_F(CheckpointTest, EveryFlippedByteIsDetected) {
+  // The CRC32 footer must catch a single flipped byte anywhere in the body,
+  // and the length field must catch tampering with the footer itself.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  // Stride through the file (checking every byte is O(n^2) work for no
+  // additional coverage; CRC32 detects all single-byte errors by design).
+  for (size_t i = 0; i < contents.size(); i += 7) {
+    std::string corrupt = contents;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    ExtentAllocator fresh(store_.allocator()->capacity());
+    EXPECT_FALSE(DeserializeCheckpoint(corrupt, store_.device(), &fresh,
+                                       Options())
+                     .ok())
+        << "flipped byte at offset " << i << " accepted";
+  }
+}
+
+TEST_F(CheckpointTest, WrongVersionReportsVersion) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  std::string bad_version = contents;
+  bad_version.replace(bad_version.find(" 2\n"), 3, " 9\n");
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  auto loaded =
+      DeserializeCheckpoint(bad_version, store_.device(), &fresh, Options());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version 9"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(CheckpointTest, ExtentOverlappingReservedRangeIsRejected) {
+  // A checkpoint referencing bytes some other component already owns must
+  // not load: trusting it would let two owners scribble on each other.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  // Squat on the whole device before loading.
+  ASSERT_TRUE(fresh.Reserve(Extent{0, fresh.capacity()}).ok());
+  auto loaded =
+      DeserializeCheckpoint(contents, store_.device(), &fresh, Options());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition()) << loaded.status();
 }
 
 TEST_F(CheckpointTest, SchemeWaveCanBeCheckpointed) {

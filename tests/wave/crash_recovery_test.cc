@@ -1,0 +1,330 @@
+// Crash-recovery torture: every scheme, every protocol crash point, many
+// seeds. After a simulated crash anywhere inside the intent-journal commit
+// protocol (wave/recovery.h), restart-time recovery must produce a wave
+// index whose answers are identical to a brute-force oracle — queries never
+// observe a half-applied transition.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injecting_device.h"
+#include "testing/test_env.h"
+#include "util/crash_point.h"
+#include "util/fs.h"
+#include "wave/journal.h"
+#include "wave/recovery.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+using testing::ReferenceIndex;
+
+constexpr int kWindow = 6;
+constexpr int kNumIndexes = 3;
+
+// Every named crash point the AdvanceDay protocol passes through, in
+// execution order. The first five roll back; the last three hit at or after
+// the commit point (the checkpoint rename) and roll forward.
+const char* const kProtocolCrashPoints[] = {
+    "journal.intent.before_rename",
+    "journal.intent.after_rename",
+    "advance.after_intent",
+    "advance.after_transition",
+    "checkpoint.before_rename",
+    "checkpoint.after_rename",
+    "advance.after_checkpoint",
+    "journal.commit",
+};
+
+SchemeConfig Config(SchemeKind kind) {
+  SchemeConfig config;
+  config.window = kWindow;
+  config.num_indexes = kNumIndexes;
+  config.technique = UpdateTechniqueKind::kSimpleShadow;
+  if (kind == SchemeKind::kKnownBoundWata) config.size_bound_entries = 2000;
+  return config;
+}
+
+// Deterministic per-seed workload: seeds vary the batch sizes (and, via the
+// caller, the day the crash lands on).
+DayBatch Batch(Day day, uint64_t seed) {
+  return MakeMixedBatch(day, 3 + static_cast<int>(seed % 4));
+}
+
+DurableMaintenance::Paths PathsFor(const std::string& tag) {
+  const std::string prefix = ::testing::TempDir() + "wavekit_" + tag;
+  DurableMaintenance::Paths paths{prefix + "_CHECKPOINT", prefix + "_JOURNAL"};
+  std::remove(paths.checkpoint.c_str());
+  std::remove(paths.journal.c_str());
+  return paths;
+}
+
+void CleanUp(const DurableMaintenance::Paths& paths) {
+  std::remove(paths.checkpoint.c_str());
+  std::remove(paths.journal.c_str());
+}
+
+// The recovered index must answer exactly like the brute-force oracle for
+// the window ending at `day` — every probe value and a full segment scan.
+void VerifyAgainstOracle(const WaveIndex& wave, Day day, uint64_t seed) {
+  ReferenceIndex reference;
+  for (Day d = day - kWindow + 1; d <= day; ++d) reference.Add(Batch(d, seed));
+  const DayRange range = DayRange::Window(day, kWindow);
+  std::vector<Value> values = {"alpha", "beta", "gamma"};
+  for (Day d = day - kWindow + 1; d <= day + 1; ++d) {
+    values.push_back("day" + std::to_string(d));
+  }
+  for (const Value& value : values) {
+    std::vector<Entry> out;
+    QueryStats stats;
+    Status status = wave.TimedIndexProbe(range, value, &out, &stats);
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(stats.indexes_unhealthy, 0);
+    EXPECT_EQ(stats.indexes_failed, 0);
+    ReferenceIndex::Sort(&out);
+    EXPECT_EQ(out, reference.Probe(value, day - kWindow + 1, day))
+        << "probe '" << value << "' at day " << day;
+  }
+  std::vector<Entry> scanned;
+  Status status = wave.TimedSegmentScan(
+      range, [&](const Value&, const Entry& e) { scanned.push_back(e); });
+  ASSERT_TRUE(status.ok()) << status;
+  ReferenceIndex::Sort(&scanned);
+  EXPECT_EQ(scanned, reference.ScanAll(day - kWindow + 1, day))
+      << "scan at day " << day;
+}
+
+// One crash-and-recover cycle: run to just before `crash_day`, arm `point`,
+// crash inside the AdvanceDay, restart from durable state, verify, re-run,
+// verify again, keep going.
+void RunProtocolTorture(SchemeKind kind, const std::string& point,
+                        uint64_t seed) {
+  CrashPoints::Reset();
+  const DurableMaintenance::Paths paths =
+      PathsFor(std::string("crash_") + SchemeKindName(kind) + "_" + point +
+               "_" + std::to_string(seed));
+  const Day crash_day = kWindow + 1 + static_cast<Day>(seed % 4);
+
+  MemoryDevice memory(uint64_t{1} << 26);  // the "disk": survives the crash
+  {
+    MeteredDevice metered(&memory);
+    ExtentAllocator allocator(memory.capacity());
+    DayStore day_store;
+    auto made = MakeScheme(kind, SchemeEnv{&metered, &allocator, &day_store},
+                           Config(kind));
+    ASSERT_TRUE(made.ok()) << made.status();
+    std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+    DurableMaintenance maintenance(scheme.get(), paths);
+    std::vector<DayBatch> first;
+    for (Day d = 1; d <= kWindow; ++d) first.push_back(Batch(d, seed));
+    ASSERT_OK(maintenance.Start(std::move(first)));
+    for (Day d = kWindow + 1; d < crash_day; ++d) {
+      ASSERT_OK(maintenance.AdvanceDay(Batch(d, seed)));
+    }
+    CrashPoints::Arm(point);
+    const Status crashed = maintenance.AdvanceDay(Batch(crash_day, seed));
+    ASSERT_FALSE(crashed.ok()) << "crash point '" << point << "' never fired";
+    ASSERT_TRUE(IsInjectedCrash(crashed)) << crashed;
+    // Everything in this scope — scheme, allocator, pinned constituents —
+    // is "RAM" and dies here. The memory device and the two files survive.
+  }
+
+  CrashPoints::Reset();
+  MeteredDevice metered(&memory);
+  ExtentAllocator allocator(memory.capacity());
+  auto recovered = DurableMaintenance::Recover(paths, &metered, &allocator,
+                                               ConstituentIndex::Options{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  DurableMaintenance::RecoveredState state =
+      std::move(recovered).ValueOrDie();
+
+  // The durable truth is all-or-nothing: either the pre-crash window (roll
+  // back, re-run reported) or the post-transition window (roll forward).
+  if (state.interrupted_day.has_value()) {
+    EXPECT_EQ(*state.interrupted_day, crash_day);
+    ASSERT_EQ(state.current_day, crash_day - 1);
+  } else {
+    ASSERT_TRUE(state.current_day == crash_day ||
+                state.current_day == crash_day - 1)
+        << state.current_day;
+  }
+  EXPECT_FALSE(FileExists(paths.journal));
+  VerifyAgainstOracle(state.wave, state.current_day, seed);
+
+  // Resume: adopt the recovered wave, re-run the interrupted day (if any),
+  // and keep advancing — the crash must leave no scar.
+  DayStore day_store;
+  for (Day d = state.current_day - kWindow + 1; d <= state.current_day; ++d) {
+    ASSERT_OK(day_store.Put(Batch(d, seed)));
+  }
+  auto made = MakeScheme(kind, SchemeEnv{&metered, &allocator, &day_store},
+                         Config(kind));
+  ASSERT_TRUE(made.ok()) << made.status();
+  std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+  ASSERT_OK(scheme->Adopt(std::move(state.wave), state.current_day));
+  DurableMaintenance maintenance(scheme.get(), paths);
+  while (scheme->current_day() < crash_day) {
+    ASSERT_OK(maintenance.AdvanceDay(Batch(scheme->current_day() + 1, seed)));
+  }
+  VerifyAgainstOracle(scheme->wave(), crash_day, seed);
+  for (Day d = crash_day + 1; d <= crash_day + 3; ++d) {
+    ASSERT_OK(maintenance.AdvanceDay(Batch(d, seed)));
+  }
+  VerifyAgainstOracle(scheme->wave(), crash_day + 3, seed);
+  CleanUp(paths);
+}
+
+class CrashRecoveryTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(CrashRecoveryTest, EveryCrashPointEverySeedRecovers) {
+  for (const char* point : kProtocolCrashPoints) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(std::string("crash point '") + point + "' seed " +
+                   std::to_string(seed));
+      RunProtocolTorture(GetParam(), point, seed);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(CrashRecoveryTest, DeviceCrashMidTransitionRecovers) {
+  // Device-level crashes (torn write then every I/O failing) instead of
+  // protocol crash points: the countdown lands the crash at an arbitrary
+  // write inside an arbitrary primitive of the transition.
+  const SchemeKind kind = GetParam();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    CrashPoints::Reset();
+    const DurableMaintenance::Paths paths =
+        PathsFor(std::string("devcrash_") + SchemeKindName(kind) + "_" +
+                 std::to_string(seed));
+    MemoryDevice memory(uint64_t{1} << 26);
+    FaultInjectingDevice::Options fault_options;
+    fault_options.seed = seed;
+    FaultInjectingDevice faulty(&memory, fault_options);
+    Day failed_day = 0;
+    {
+      MeteredDevice metered(&faulty);
+      ExtentAllocator allocator(memory.capacity());
+      DayStore day_store;
+      auto made = MakeScheme(
+          kind, SchemeEnv{&metered, &allocator, &day_store}, Config(kind));
+      ASSERT_TRUE(made.ok()) << made.status();
+      std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+      DurableMaintenance maintenance(scheme.get(), paths);
+      std::vector<DayBatch> first;
+      for (Day d = 1; d <= kWindow; ++d) first.push_back(Batch(d, seed));
+      ASSERT_OK(maintenance.Start(std::move(first)));
+      faulty.ArmCrashAfterWrites(1 + (seed * 7) % 40);
+      for (Day d = kWindow + 1; d <= kWindow + 14; ++d) {
+        const Status status = maintenance.AdvanceDay(Batch(d, seed));
+        if (!status.ok()) {
+          ASSERT_TRUE(IsInjectedCrash(status)) << status;
+          failed_day = d;
+          break;
+        }
+      }
+      ASSERT_NE(failed_day, 0) << "crash countdown never fired";
+      EXPECT_TRUE(scheme->needs_recovery());
+    }
+
+    faulty.ClearCrash();  // the restart: persisted bytes stay, faults clear
+    MeteredDevice metered(&faulty);
+    ExtentAllocator allocator(memory.capacity());
+    auto recovered = DurableMaintenance::Recover(paths, &metered, &allocator,
+                                                 ConstituentIndex::Options{});
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    DurableMaintenance::RecoveredState state =
+        std::move(recovered).ValueOrDie();
+    ASSERT_EQ(state.current_day, failed_day - 1);
+    ASSERT_TRUE(state.interrupted_day.has_value());
+    EXPECT_EQ(*state.interrupted_day, failed_day);
+    VerifyAgainstOracle(state.wave, state.current_day, seed);
+
+    DayStore day_store;
+    for (Day d = state.current_day - kWindow + 1; d <= state.current_day;
+         ++d) {
+      ASSERT_OK(day_store.Put(Batch(d, seed)));
+    }
+    auto made = MakeScheme(kind, SchemeEnv{&metered, &allocator, &day_store},
+                           Config(kind));
+    ASSERT_TRUE(made.ok()) << made.status();
+    std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
+    ASSERT_OK(scheme->Adopt(std::move(state.wave), state.current_day));
+    DurableMaintenance maintenance(scheme.get(), paths);
+    for (Day d = failed_day; d <= failed_day + 2; ++d) {
+      ASSERT_OK(maintenance.AdvanceDay(Batch(d, seed)));
+    }
+    VerifyAgainstOracle(scheme->wave(), failed_day + 2, seed);
+    CleanUp(paths);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, CrashRecoveryTest,
+    ::testing::Values(SchemeKind::kDel, SchemeKind::kReindex,
+                      SchemeKind::kReindexPlus, SchemeKind::kReindexPlusPlus,
+                      SchemeKind::kWata, SchemeKind::kRata,
+                      SchemeKind::kKnownBoundWata),
+    [](const auto& info) {
+      std::string name = SchemeKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Journal unit tests -----------------------------------------------------
+
+TEST(MaintenanceJournalTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "wavekit_journal_rt";
+  std::remove(path.c_str());
+  MaintenanceJournal journal(path);
+  ASSERT_OK(journal.WriteIntent(42));
+  auto read = MaintenanceJournal::Read(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_TRUE(read.ValueOrDie().has_value());
+  EXPECT_EQ(*read.ValueOrDie(), 42);
+  ASSERT_OK(journal.Commit());
+  auto gone = MaintenanceJournal::Read(path);
+  ASSERT_TRUE(gone.ok()) << gone.status();
+  EXPECT_FALSE(gone.ValueOrDie().has_value());
+}
+
+TEST(MaintenanceJournalTest, CorruptJournalIsRejected) {
+  const std::string path = ::testing::TempDir() + "wavekit_journal_corrupt";
+  MaintenanceJournal journal(path);
+  ASSERT_OK(journal.WriteIntent(7));
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  // Tamper with the day but not the CRC.
+  std::string tampered = contents;
+  tampered.replace(tampered.find(" 7 "), 3, " 8 ");
+  ASSERT_OK(AtomicWriteFile(path, tampered));
+  auto read = MaintenanceJournal::Read(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsInvalidArgument()) << read.status();
+  std::remove(path.c_str());
+}
+
+TEST(CrashPointsTest, FireOnceThenDisarm) {
+  CrashPoints::Reset();
+  ASSERT_OK(CrashPoints::Check("some.point"));  // unarmed: free
+  CrashPoints::Arm("some.point");
+  EXPECT_EQ(CrashPoints::armed_count(), 1u);
+  const Status fired = CrashPoints::Check("other.point");
+  ASSERT_OK(fired);  // different point: untouched
+  const Status crash = CrashPoints::Check("some.point");
+  ASSERT_FALSE(crash.ok());
+  EXPECT_TRUE(IsInjectedCrash(crash));
+  ASSERT_OK(CrashPoints::Check("some.point"));  // fired once, now disarmed
+  EXPECT_EQ(CrashPoints::armed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wavekit
