@@ -3,6 +3,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "index/index_builder.h"
 #include "storage/cached_device.h"
 #include "storage/store.h"
@@ -102,6 +105,35 @@ void BM_AllocatorChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AllocatorChurn);
+
+void BM_AllocatorFragmented(benchmark::State& state) {
+  // Allocation cost versus free-list fragmentation: carve out 2N small
+  // extents and free every other one, leaving N isolated 64-byte holes that
+  // can never coalesce. A 4 KiB request fits none of them — a linear
+  // first-fit walk would touch all N holes per call, while the
+  // size-bucketed free list goes straight to a class that fits, so
+  // time/iteration stays flat as N grows.
+  const uint64_t fragments = static_cast<uint64_t>(state.range(0));
+  ExtentAllocator allocator(uint64_t{1} << 30);
+  std::vector<Extent> carved;
+  carved.reserve(2 * fragments);
+  for (uint64_t i = 0; i < 2 * fragments; ++i) {
+    auto extent = allocator.Allocate(64);
+    if (!extent.ok()) extent.status().Abort("carve");
+    carved.push_back(extent.ValueOrDie());
+  }
+  for (uint64_t i = 0; i < carved.size(); i += 2) {
+    allocator.Free(carved[i]).Abort("hole");
+  }
+  for (auto _ : state) {
+    auto extent = allocator.Allocate(4096);
+    if (!extent.ok()) extent.status().Abort("alloc");
+    allocator.Free(extent.ValueOrDie()).Abort("free");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(fragments) + " holes");
+}
+BENCHMARK(BM_AllocatorFragmented)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
 
 void BM_ThreadPoolDispatch(benchmark::State& state) {
   ThreadPool pool(static_cast<int>(state.range(0)));

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <map>
 
+#include "index/index_builder.h"
+#include "util/crash_point.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -277,12 +279,16 @@ Status ConstituentIndex::InstallBucket(const Value& value, const Extent& extent,
 }
 
 Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::Clone(
-    std::string name) const {
-  return CloneTo(device_, allocator_, std::move(name));
+    std::string name, const ParallelContext& parallel) const {
+  return CloneTo(device_, allocator_, std::move(name), parallel);
 }
 
 Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
-    Device* device, ExtentAllocator* allocator, std::string name) const {
+    Device* device, ExtentAllocator* allocator, std::string name,
+    const ParallelContext& parallel) const {
+  if (parallel.enabled()) {
+    return CloneToParallel(device, allocator, std::move(name), parallel);
+  }
   auto clone = std::make_unique<ConstituentIndex>(device, allocator, options_,
                                                   std::move(name));
   // One region for all buckets keeps the copy contiguous (and the copy I/O
@@ -306,6 +312,99 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
         value, Extent{cursor, info->extent.length}, info->count,
         info->capacity));
     cursor += info->extent.length;
+  }
+  clone->time_set_ = time_set_;
+  clone->packed_ = packed_;
+  return clone;
+}
+
+Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
+    Device* device, ExtentAllocator* allocator, std::string name,
+    const ParallelContext& parallel) const {
+  auto clone = std::make_unique<ConstituentIndex>(device, allocator, options_,
+                                                  std::move(name));
+  // Snapshot the bucket list and destination layout serially (the directory
+  // is not thread-safe); tasks then touch only their own slice.
+  struct CopyPlan {
+    const Value* value;
+    Extent source;
+    uint64_t target_offset;  // relative to the region start
+    uint32_t count;
+    uint32_t capacity;
+  };
+  std::vector<CopyPlan> plan;
+  plan.reserve(layout_order_.size());
+  uint64_t running = 0;
+  for (const Value& value : layout_order_) {
+    const BucketInfo* info = directory_->Find(value);
+    if (info == nullptr) {
+      return Status::Internal("layout order lists unknown value '" + value +
+                              "' in index " + name_);
+    }
+    plan.push_back(CopyPlan{&value, info->extent, running, info->count,
+                            info->capacity});
+    running += info->extent.length;
+  }
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region,
+                           allocator->Allocate(allocated_bytes_));
+
+  const size_t parts = parallel.Partitions(plan.size());
+  std::vector<Status> copy_status(std::max<size_t>(parts, 1), Status::OK());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < parts; ++p) {
+      group.Submit([&, p]() {
+        Status status = CrashPoints::Check("clone.parallel.copy");
+        if (!status.ok()) {
+          copy_status[p] = std::move(status);
+          return;
+        }
+        const size_t begin = plan.size() * p / parts;
+        const size_t end = plan.size() * (p + 1) / parts;
+        std::vector<Extent> sources;
+        std::vector<Extent> targets;
+        std::vector<std::byte> buffer;
+        uint64_t pending = 0;
+        auto flush = [&]() -> Status {
+          if (sources.empty()) return Status::OK();
+          buffer.resize(static_cast<size_t>(pending));
+          WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(sources, buffer));
+          WAVEKIT_RETURN_NOT_OK(device->WriteBatch(targets, buffer));
+          sources.clear();
+          targets.clear();
+          pending = 0;
+          return Status::OK();
+        };
+        for (size_t i = begin; i < end; ++i) {
+          const CopyPlan& bucket = plan[i];
+          sources.push_back(bucket.source);
+          targets.push_back(
+              Extent{region.offset + bucket.target_offset,
+                     bucket.source.length});
+          pending += bucket.source.length;
+          if (pending >= IndexBuilder::kWriteChunkBytes) {
+            status = flush();
+            if (!status.ok()) break;
+          }
+        }
+        if (status.ok()) status = flush();
+        copy_status[p] = std::move(status);
+      });
+    }
+    group.Wait();
+  }
+  for (Status& status : copy_status) {
+    if (!status.ok()) {
+      // Nothing was installed: the whole region goes back in one piece.
+      (void)allocator->Free(region);
+      return std::move(status);
+    }
+  }
+  for (const CopyPlan& bucket : plan) {
+    WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
+        *bucket.value,
+        Extent{region.offset + bucket.target_offset, bucket.source.length},
+        bucket.count, bucket.capacity));
   }
   clone->time_set_ = time_set_;
   clone->packed_ = packed_;

@@ -27,6 +27,7 @@
 #include "storage/extent_allocator.h"
 #include "util/day.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace wavekit {
 
@@ -143,13 +144,17 @@ class ConstituentIndex {
 
   /// The CP operation: copies every bucket (full capacity, preserving slack)
   /// into one fresh contiguous region and returns the copy. Reads and writes
-  /// allocated_bytes() each way.
-  Result<std::unique_ptr<ConstituentIndex>> Clone(std::string name) const;
+  /// allocated_bytes() each way. With `parallel.enabled()` the bucket range
+  /// is partitioned across the pool and copied with batched reads/writes;
+  /// the resulting clone is identical either way (same layout, same bytes).
+  Result<std::unique_ptr<ConstituentIndex>> Clone(
+      std::string name, const ParallelContext& parallel = {}) const;
 
   /// Clone onto a DIFFERENT device (multi-disk deployments, paper Section 8:
   /// "building new constituent indices on separate disks avoids contention").
   Result<std::unique_ptr<ConstituentIndex>> CloneTo(
-      Device* device, ExtentAllocator* allocator, std::string name) const;
+      Device* device, ExtentAllocator* allocator, std::string name,
+      const ParallelContext& parallel = {}) const;
 
   /// Releases every bucket extent and clears the index. Idempotent. This is
   /// the space-reclaiming half of the paper's DropIndex.
@@ -166,6 +171,13 @@ class ConstituentIndex {
   Status CheckConsistency() const;
 
  private:
+  // CP with the bucket range partitioned over the pool: each task copies its
+  // buckets with batched reads/writes into a disjoint slice of one fresh
+  // region; metadata installs serially afterwards.
+  Result<std::unique_ptr<ConstituentIndex>> CloneToParallel(
+      Device* device, ExtentAllocator* allocator, std::string name,
+      const ParallelContext& parallel) const;
+
   Status ReadBucketEntries(const BucketInfo& info,
                            std::vector<Entry>* out) const;
   Status WriteEntriesAt(uint64_t offset, std::span<const Entry> entries);

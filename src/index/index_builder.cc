@@ -1,13 +1,22 @@
 #include "index/index_builder.h"
 
+#include <algorithm>
+#include <cstring>
 #include <map>
+#include <set>
 #include <vector>
 
+#include "util/crash_point.h"
 #include "util/macros.h"
 
 namespace wavekit {
 
-Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
+namespace {
+
+// The original single-thread build, kept verbatim: with
+// num_maintenance_threads=1 the metered op sequence (one Write per bucket,
+// fully sequential) must reproduce byte-identically for the cost model.
+Result<std::unique_ptr<ConstituentIndex>> BuildPackedSerial(
     Device* device, ExtentAllocator* allocator,
     ConstituentIndex::Options options,
     std::span<const DayBatch* const> batches, std::string name) {
@@ -50,14 +59,183 @@ Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
   return index;
 }
 
+// Parallel pipeline: (1) group each contiguous chunk of day batches into a
+// sorted local map on the pool; (2) compute the exact serial bucket layout
+// from the local maps (cheap arithmetic — same region, same offsets, same
+// sorted value order as BuildPackedSerial); (3) range-partition the value
+// space and let each task merge its partition's buckets (chunk order ==
+// batch order, so entry order matches the serial build) and write them with
+// ~1 MiB WriteBatch calls; (4) install directory metadata serially. Output
+// bytes and layout are identical to the serial build; only the I/O schedule
+// (few large batched writes instead of one Write per bucket) differs.
+Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallel(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options,
+    std::span<const DayBatch* const> batches, std::string name,
+    const ParallelContext& parallel) {
+  auto index = std::make_unique<ConstituentIndex>(device, allocator, options,
+                                                  std::move(name));
+
+  // Stage 1: concurrent grouping, one sorted map per batch chunk.
+  const size_t group_parts = parallel.Partitions(batches.size());
+  std::vector<std::map<Value, std::vector<Entry>>> local(
+      std::max<size_t>(group_parts, 1));
+  std::vector<Status> group_status(local.size(), Status::OK());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < group_parts; ++p) {
+      group.Submit([&, p]() {
+        Status crash = CrashPoints::Check("builder.parallel.group");
+        if (!crash.ok()) {
+          group_status[p] = std::move(crash);
+          return;
+        }
+        const size_t begin = batches.size() * p / group_parts;
+        const size_t end = batches.size() * (p + 1) / group_parts;
+        auto& mine = local[p];
+        for (size_t b = begin; b < end; ++b) {
+          const DayBatch* batch = batches[b];
+          for (const Record& record : batch->records) {
+            for (size_t i = 0; i < record.values.size(); ++i) {
+              mine[record.values[i]].push_back(
+                  Entry{record.record_id, batch->day, record.AuxFor(i)});
+            }
+          }
+        }
+      });
+    }
+    group.Wait();
+  }
+  for (Status& status : group_status) {
+    WAVEKIT_RETURN_NOT_OK(status);
+  }
+
+  // Distinct values in global sorted order, then the per-value entry counts
+  // that fix the serial layout. Each local map is consumed once with an
+  // advancing cursor, so this costs O(sum of map sizes), not O(V * chunks).
+  std::set<Value> distinct;
+  for (const auto& m : local) {
+    for (const auto& [value, entries] : m) distinct.insert(value);
+  }
+  const std::vector<Value> values(distinct.begin(), distinct.end());
+  std::vector<uint64_t> counts(values.size(), 0);
+  uint64_t total_entries = 0;
+  for (const auto& m : local) {
+    size_t i = 0;
+    for (const auto& [value, entries] : m) {
+      while (values[i] < value) ++i;
+      counts[i] += entries.size();
+      total_entries += entries.size();
+    }
+  }
+  std::vector<uint64_t> bucket_starts(values.size(), 0);
+  uint64_t running = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    bucket_starts[i] = running;
+    running += counts[i] * kEntrySize;
+  }
+
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region,
+                           allocator->Allocate(total_entries * kEntrySize));
+
+  // Stage 2: each value-range partition merges its buckets (entries in chunk
+  // order) into chunk-sized buffers and writes them batched. Partitions
+  // cover disjoint, precomputed regions, so the writes never overlap.
+  const size_t value_parts = parallel.Partitions(values.size());
+  std::vector<Status> write_status(std::max<size_t>(value_parts, 1),
+                                   Status::OK());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < value_parts; ++p) {
+      group.Submit([&, p]() {
+        Status status = CrashPoints::Check("builder.parallel.write");
+        if (!status.ok()) {
+          write_status[p] = std::move(status);
+          return;
+        }
+        const size_t vbegin = values.size() * p / value_parts;
+        const size_t vend = values.size() * (p + 1) / value_parts;
+        std::vector<Extent> extents;
+        std::vector<std::byte> buffer;
+        auto flush = [&]() -> Status {
+          if (extents.empty()) return Status::OK();
+          Status written = device->WriteBatch(extents, buffer);
+          extents.clear();
+          buffer.clear();
+          return written;
+        };
+        for (size_t i = vbegin; i < vend; ++i) {
+          extents.push_back(
+              Extent{region.offset + bucket_starts[i], counts[i] * kEntrySize});
+          for (const auto& m : local) {
+            auto it = m.find(values[i]);
+            if (it == m.end()) continue;
+            const auto* bytes =
+                reinterpret_cast<const std::byte*>(it->second.data());
+            buffer.insert(buffer.end(), bytes,
+                          bytes + it->second.size() * kEntrySize);
+          }
+          if (buffer.size() >= IndexBuilder::kWriteChunkBytes) {
+            status = flush();
+            if (!status.ok()) break;
+          }
+        }
+        if (status.ok()) status = flush();
+        write_status[p] = std::move(status);
+      });
+    }
+    group.Wait();
+  }
+  Status failed = Status::OK();
+  for (Status& status : write_status) {
+    if (!status.ok() && failed.ok()) failed = std::move(status);
+  }
+  if (!failed.ok()) {
+    // All-or-nothing: no bucket was installed yet, so the whole region goes
+    // back and the caller may retry cleanly.
+    (void)allocator->Free(region);
+    return failed;
+  }
+
+  // Stage 3: serial metadata install in layout order (the directory is not
+  // thread-safe, and this is pure in-memory work).
+  for (size_t i = 0; i < values.size(); ++i) {
+    WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
+        values[i],
+        Extent{region.offset + bucket_starts[i], counts[i] * kEntrySize},
+        static_cast<uint32_t>(counts[i]), static_cast<uint32_t>(counts[i])));
+  }
+
+  for (const DayBatch* batch : batches) {
+    index->mutable_time_set().insert(batch->day);
+  }
+  index->set_packed(true);
+  return index;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
     Device* device, ExtentAllocator* allocator,
-    ConstituentIndex::Options options, const DayBatch& batch,
-    std::string name) {
+    ConstituentIndex::Options options,
+    std::span<const DayBatch* const> batches, std::string name,
+    const ParallelContext& parallel) {
+  if (!parallel.enabled()) {
+    return BuildPackedSerial(device, allocator, options, batches,
+                             std::move(name));
+  }
+  return BuildPackedParallel(device, allocator, options, batches,
+                             std::move(name), parallel);
+}
+
+Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options, const DayBatch& batch, std::string name,
+    const ParallelContext& parallel) {
   const DayBatch* ptr = &batch;
   return BuildPacked(device, allocator, options,
                      std::span<const DayBatch* const>(&ptr, 1),
-                     std::move(name));
+                     std::move(name), parallel);
 }
 
 }  // namespace wavekit

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "index/constituent_index.h"
+#include "util/thread_pool.h"
 
 namespace wavekit {
 
@@ -23,16 +24,31 @@ class IndexBuilder {
   /// per value (in memory); pass 2 allocates one contiguous region and
   /// writes buckets back-to-back in sorted value order. The result's
   /// time-set is the set of batch days; its packed invariant holds.
+  ///
+  /// With `parallel.enabled()`, the build pipelines on the pool: day batches
+  /// are grouped concurrently, the value space is range-partitioned and each
+  /// partition's buckets are merged and serialized by its own task, and the
+  /// region is written with large WriteBatch calls instead of one Write per
+  /// bucket. The resulting index is identical (same layout order, same
+  /// bucket bytes at the same offsets) to the serial build; only the I/O
+  /// schedule differs. With a default ParallelContext the exact serial code
+  /// path runs, preserving the cost model's metered op sequence.
   static Result<std::unique_ptr<ConstituentIndex>> BuildPacked(
       Device* device, ExtentAllocator* allocator,
       ConstituentIndex::Options options,
-      std::span<const DayBatch* const> batches, std::string name);
+      std::span<const DayBatch* const> batches, std::string name,
+      const ParallelContext& parallel = {});
 
   /// Convenience overload for a single day.
   static Result<std::unique_ptr<ConstituentIndex>> BuildPacked(
       Device* device, ExtentAllocator* allocator,
       ConstituentIndex::Options options, const DayBatch& batch,
-      std::string name);
+      std::string name, const ParallelContext& parallel = {});
+
+  /// Bytes per WriteBatch extent in the parallel write stage (also the batch
+  /// granularity of the parallel clone/shadow-copy paths): large enough to
+  /// amortize per-op cost, small enough to overlap serialization with I/O.
+  static constexpr uint64_t kWriteChunkBytes = uint64_t{1} << 20;  // 1 MiB
 };
 
 }  // namespace wavekit

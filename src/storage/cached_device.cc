@@ -61,11 +61,8 @@ Status CachedDevice::Read(uint64_t offset, std::span<std::byte> out) {
   return Status::OK();
 }
 
-Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
-  // Write-through, device first: on failure the affected blocks are evicted
-  // rather than updated, so the cache never serves bytes the device never
-  // accepted.
-  const Status written = inner_->Write(offset, data);
+void CachedDevice::PatchCache(uint64_t offset, std::span<const std::byte> data,
+                              bool written_ok) {
   size_t done = 0;
   while (done < data.size()) {
     const uint64_t position = offset + done;
@@ -75,7 +72,7 @@ Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
         std::min<uint64_t>(block_size_ - within, data.size() - done));
     auto cached = index_.find(block_id);
     if (cached != index_.end()) {
-      if (written.ok()) {
+      if (written_ok) {
         std::memcpy(cached->second->bytes.data() + within, data.data() + done,
                     chunk);
       } else {
@@ -84,6 +81,31 @@ Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
       }
     }
     done += chunk;
+  }
+}
+
+Status CachedDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  // Write-through, device first: on failure the affected blocks are evicted
+  // rather than updated, so the cache never serves bytes the device never
+  // accepted.
+  const Status written = inner_->Write(offset, data);
+  PatchCache(offset, data, written.ok());
+  return written;
+}
+
+Status CachedDevice::WriteBatch(std::span<const Extent> extents,
+                                std::span<const std::byte> data) {
+  // One inner batch, then patch (or, on failure, evict) per extent. A failed
+  // batch may have written a prefix of the extents, so every touched block is
+  // evicted rather than guessing which bytes landed.
+  const Status written = inner_->WriteBatch(extents, data);
+  size_t consumed = 0;
+  for (const Extent& extent : extents) {
+    const size_t length =
+        std::min(static_cast<size_t>(extent.length), data.size() - consumed);
+    PatchCache(extent.offset, data.subspan(consumed, length), written.ok());
+    consumed += length;
+    if (consumed >= data.size()) break;
   }
   return written;
 }

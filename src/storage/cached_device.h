@@ -48,6 +48,8 @@ class CachedDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
 
   const CacheStats& stats() const { return stats_; }
@@ -70,6 +72,11 @@ class CachedDevice : public Device {
   // Returns the cached block for `block_id`, loading (and possibly evicting)
   // on miss; the block is moved to the MRU position.
   Result<LruList::iterator> GetBlock(uint64_t block_id);
+
+  // Patches cached blocks overlapping [offset, offset+data.size()) after a
+  // device write, or evicts them when the write failed.
+  void PatchCache(uint64_t offset, std::span<const std::byte> data,
+                  bool written_ok);
 
   Device* inner_;
   size_t capacity_blocks_;

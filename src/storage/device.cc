@@ -27,6 +27,26 @@ Status Device::ReadBatch(std::span<const Extent> extents,
   return Status::OK();
 }
 
+Status Device::WriteBatch(std::span<const Extent> extents,
+                          std::span<const std::byte> data) {
+  size_t done = 0;
+  for (const Extent& extent : extents) {
+    if (extent.length > data.size() - done) {
+      return Status::InvalidArgument(
+          "WriteBatch data buffer smaller than the sum of extent lengths");
+    }
+    WAVEKIT_RETURN_NOT_OK(
+        Write(extent.offset,
+              data.subspan(done, static_cast<size_t>(extent.length))));
+    done += static_cast<size_t>(extent.length);
+  }
+  if (done != data.size()) {
+    return Status::InvalidArgument(
+        "WriteBatch data buffer larger than the sum of extent lengths");
+  }
+  return Status::OK();
+}
+
 MemoryDevice::MemoryDevice(uint64_t capacity)
     : capacity_(capacity),
       chunks_((capacity + kChunkBytes - 1) / kChunkBytes) {}
@@ -98,6 +118,44 @@ Status MemoryDevice::Write(uint64_t offset, std::span<const std::byte> data) {
   uint64_t seen = high_water_.load(std::memory_order_relaxed);
   while (seen < end && !high_water_.compare_exchange_weak(
                            seen, end, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status MemoryDevice::WriteBatch(std::span<const Extent> extents,
+                                std::span<const std::byte> data) {
+  // Validate everything up front so a bad batch fails before any bytes land,
+  // then copy with a single high-water update for the whole batch.
+  uint64_t total = 0;
+  uint64_t max_end = 0;
+  for (const Extent& extent : extents) {
+    WAVEKIT_RETURN_NOT_OK(
+        CheckRange(extent.offset, static_cast<size_t>(extent.length)));
+    total += extent.length;
+    max_end = std::max(max_end, extent.end());
+  }
+  if (total != data.size()) {
+    return Status::InvalidArgument(
+        "WriteBatch data buffer does not match the sum of extent lengths");
+  }
+  size_t consumed = 0;
+  for (const Extent& extent : extents) {
+    size_t done = 0;
+    while (done < extent.length) {
+      const uint64_t position = extent.offset + done;
+      const size_t chunk_index = static_cast<size_t>(position / kChunkBytes);
+      const uint64_t within = position % kChunkBytes;
+      const size_t n = static_cast<size_t>(std::min<uint64_t>(
+          kChunkBytes - within, extent.length - done));
+      std::memcpy(EnsureChunk(chunk_index) + within,
+                  data.data() + consumed + done, n);
+      done += n;
+    }
+    consumed += static_cast<size_t>(extent.length);
+  }
+  uint64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (seen < max_end && !high_water_.compare_exchange_weak(
+                               seen, max_end, std::memory_order_relaxed)) {
   }
   return Status::OK();
 }

@@ -58,6 +58,16 @@ class Device {
   virtual Status ReadBatch(std::span<const Extent> extents,
                            std::span<std::byte> out);
 
+  /// Writes every extent of `extents`, consuming `data` back to back (its
+  /// size must equal the sum of extent lengths). Mirror of ReadBatch: the
+  /// default implementation loops over Write; decorators override it to
+  /// amortize per-call overhead (one lock acquisition / one metering round
+  /// per batch). Adjacent extents should be pre-coalesced by the caller so a
+  /// sequential run costs one seek. Not atomic: on failure a prefix of the
+  /// extents may have been written (same torn-prefix model as Write).
+  virtual Status WriteBatch(std::span<const Extent> extents,
+                            std::span<const std::byte> data);
+
   /// Total addressable bytes.
   virtual uint64_t capacity() const = 0;
 };
@@ -86,6 +96,8 @@ class MemoryDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
   uint64_t capacity() const override { return capacity_; }
 
   /// High-water mark of writes (one past the last byte ever written).

@@ -1,30 +1,73 @@
 #include "storage/extent_allocator.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/macros.h"
 
 namespace wavekit {
 
+namespace {
+// Power-of-two size class of a (non-zero) length: lengths in [2^c, 2^(c+1))
+// map to class c.
+size_t SizeClassOf(uint64_t length) {
+  return static_cast<size_t>(std::bit_width(length)) - 1;
+}
+}  // namespace
+
 ExtentAllocator::ExtentAllocator(uint64_t capacity_bytes)
     : capacity_(capacity_bytes), free_bytes_(capacity_bytes) {
-  if (capacity_ > 0) free_.emplace(0, capacity_);
+  if (capacity_ > 0) InsertFreeLocked(0, capacity_);
+}
+
+void ExtentAllocator::InsertFreeLocked(uint64_t offset, uint64_t length) {
+  free_.emplace(offset, length);
+  classes_[SizeClassOf(length)].insert(offset);
+}
+
+void ExtentAllocator::EraseFreeLocked(FreeMap::iterator it) {
+  classes_[SizeClassOf(it->second)].erase(it->first);
+  free_.erase(it);
 }
 
 Result<Extent> ExtentAllocator::Allocate(uint64_t length) {
   if (length == 0) return Extent{0, 0};
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = free_.begin(); it != free_.end(); ++it) {
-    if (it->second >= length) {
-      Extent out{it->first, length};
-      const uint64_t remaining = it->second - length;
-      const uint64_t new_offset = it->first + length;
-      free_.erase(it);
-      if (remaining > 0) free_.emplace(new_offset, remaining);
-      free_bytes_ -= length;
-      peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
-      return out;
+  // First fit = the lowest-offset free extent with length >= `length`.
+  // Candidates live either in the request's own size class (where lengths
+  // may still be smaller than `length`, so that class is scanned in offset
+  // order for its first fitting member) or in a larger class (where EVERY
+  // member fits, so only the lowest offset matters). The winner is the
+  // minimum offset over all candidates — identical to a full linear scan.
+  const size_t request_class = SizeClassOf(length);
+  uint64_t best_offset = ~uint64_t{0};
+  bool found = false;
+  for (size_t c = request_class + 1; c < classes_.size(); ++c) {
+    if (classes_[c].empty()) continue;
+    const uint64_t offset = *classes_[c].begin();
+    if (offset < best_offset) {
+      best_offset = offset;
+      found = true;
     }
+  }
+  for (const uint64_t offset : classes_[request_class]) {
+    if (offset >= best_offset) break;  // a larger-class extent wins anyway
+    if (free_.find(offset)->second >= length) {
+      best_offset = offset;
+      found = true;
+      break;  // offsets iterate in order: the first fit is the lowest
+    }
+  }
+  if (found) {
+    auto it = free_.find(best_offset);
+    Extent out{it->first, length};
+    const uint64_t remaining = it->second - length;
+    const uint64_t new_offset = it->first + length;
+    EraseFreeLocked(it);
+    if (remaining > 0) InsertFreeLocked(new_offset, remaining);
+    free_bytes_ -= length;
+    peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
+    return out;
   }
   return Status::ResourceExhausted(
       "no contiguous free extent of " + std::to_string(length) +
@@ -52,12 +95,12 @@ Status ExtentAllocator::Reserve(const Extent& extent) {
         std::to_string(extent.offset) + ", " + std::to_string(extent.end()) +
         ")");
   }
-  free_.erase(it);
+  EraseFreeLocked(it);
   if (extent.offset > free_offset) {
-    free_.emplace(free_offset, extent.offset - free_offset);
+    InsertFreeLocked(free_offset, extent.offset - free_offset);
   }
   if (free_offset + free_length > extent.end()) {
-    free_.emplace(extent.end(), free_offset + free_length - extent.end());
+    InsertFreeLocked(extent.end(), free_offset + free_length - extent.end());
   }
   free_bytes_ -= extent.length;
   peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
@@ -90,13 +133,13 @@ Status ExtentAllocator::Free(const Extent& extent) {
   if (prev != free_.end() && prev->first + prev->second == extent.offset) {
     merged_offset = prev->first;
     merged_length += prev->second;
-    free_.erase(prev);
+    EraseFreeLocked(prev);
   }
   if (next != free_.end() && next->first == extent.end()) {
     merged_length += next->second;
-    free_.erase(next);
+    EraseFreeLocked(next);
   }
-  free_.emplace(merged_offset, merged_length);
+  InsertFreeLocked(merged_offset, merged_length);
   free_bytes_ += extent.length;
   return Status::OK();
 }
@@ -107,11 +150,16 @@ uint64_t ExtentAllocator::largest_free_extent() const {
 }
 
 uint64_t ExtentAllocator::LargestFreeExtentLocked() const {
-  uint64_t largest = 0;
-  for (const auto& [offset, length] : free_) {
-    largest = std::max(largest, length);
+  // The global maximum lives in the highest non-empty size class.
+  for (size_t c = classes_.size(); c-- > 0;) {
+    if (classes_[c].empty()) continue;
+    uint64_t largest = 0;
+    for (const uint64_t offset : classes_[c]) {
+      largest = std::max(largest, free_.find(offset)->second);
+    }
+    return largest;
   }
-  return largest;
+  return 0;
 }
 
 Status ExtentAllocator::CheckConsistency() const {
@@ -131,9 +179,17 @@ Status ExtentAllocator::CheckConsistency() const {
     prev_end = offset + length;
     sum += length;
     first = false;
+    if (classes_[SizeClassOf(length)].count(offset) == 0) {
+      return Status::Internal("free extent missing from its size class");
+    }
   }
   if (sum != free_bytes_) {
     return Status::Internal("free byte count does not match free list");
+  }
+  size_t class_members = 0;
+  for (const auto& klass : classes_) class_members += klass.size();
+  if (class_members != free_.size()) {
+    return Status::Internal("size-class index out of sync with free list");
   }
   return Status::OK();
 }

@@ -8,9 +8,11 @@
 #ifndef WAVEKIT_STORAGE_EXTENT_ALLOCATOR_H_
 #define WAVEKIT_STORAGE_EXTENT_ALLOCATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 
 #include "storage/device.h"
 #include "util/result.h"
@@ -21,6 +23,14 @@ namespace wavekit {
 ///
 /// First-fit with eager coalescing of adjacent free extents. Byte-granular:
 /// the paper sizes indexes in bytes (S, S'), so no alignment padding is added.
+///
+/// Lookup is segregated-fit: alongside the offset-ordered free list, free
+/// extents are indexed by power-of-two size class, so Allocate inspects at
+/// most one class's candidates plus the head of each larger class instead of
+/// scanning the whole list. The chosen extent is still the LOWEST-OFFSET free
+/// extent that fits — bit-for-bit the same placement the linear scan made —
+/// so layouts (and therefore seek counts) are unchanged; only the search cost
+/// stops degrading with fragment count.
 ///
 /// Thread-safe: shadow-updated indexes may be released by whichever query
 /// thread drops the last reference (see wave/wave_service.h), so Allocate and
@@ -83,14 +93,26 @@ class ExtentAllocator {
   Status CheckConsistency() const;
 
  private:
+  using FreeMap = std::map<uint64_t, uint64_t>;
+
   uint64_t LargestFreeExtentLocked() const;
+
+  // All free-list mutations go through these so free_ and classes_ stay in
+  // lockstep (mutex_ held).
+  void InsertFreeLocked(uint64_t offset, uint64_t length);
+  void EraseFreeLocked(FreeMap::iterator it);
 
   mutable std::mutex mutex_;
   uint64_t capacity_;
   uint64_t free_bytes_;
   uint64_t peak_allocated_ = 0;
-  // offset -> length of each free extent, keyed by offset.
-  std::map<uint64_t, uint64_t> free_;
+  // offset -> length of each free extent, keyed by offset. Canonical: the
+  // coalescing neighbor checks in Free/Reserve rely on offset order.
+  FreeMap free_;
+  // Size-class index: classes_[c] holds the offsets of free extents whose
+  // length has bit_width c+1 (i.e. length in [2^c, 2^(c+1))). 64 classes
+  // cover the whole uint64_t range.
+  std::array<std::set<uint64_t>, 64> classes_;
 };
 
 }  // namespace wavekit

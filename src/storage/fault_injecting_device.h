@@ -60,6 +60,11 @@ class FaultInjectingDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  // ReadBatch/WriteBatch deliberately keep Device's default per-extent loop:
+  // each extent of a batch counts as one op against error rates and the
+  // crash-after-N-writes countdown, so a (seed, logical op sequence) pair
+  // replays identically whether the caller batched or not, and a crash fires
+  // between extents with the torn prefix confined to the dying extent.
   uint64_t capacity() const override { return inner_->capacity(); }
 
   /// Adjusts transient error rates on the fly (e.g. fail only during a

@@ -81,6 +81,40 @@ Status FileDevice::Write(uint64_t offset, std::span<const std::byte> data) {
   return Status::OK();
 }
 
+Status FileDevice::WriteBatch(std::span<const Extent> extents,
+                              std::span<const std::byte> data) {
+  // Coalesce adjacent extents: a run of extents where each starts at the end
+  // of the previous one is backed by contiguous bytes in `data`, so the whole
+  // run goes down as one pwrite sequence.
+  uint64_t total = 0;
+  for (const Extent& extent : extents) {
+    WAVEKIT_RETURN_NOT_OK(
+        CheckRange(extent.offset, static_cast<size_t>(extent.length)));
+    total += extent.length;
+  }
+  if (total != data.size()) {
+    return Status::InvalidArgument(
+        "WriteBatch data buffer does not match the sum of extent lengths");
+  }
+  size_t consumed = 0;
+  size_t i = 0;
+  while (i < extents.size()) {
+    const uint64_t run_offset = extents[i].offset;
+    uint64_t run_length = extents[i].length;
+    size_t j = i + 1;
+    while (j < extents.size() &&
+           extents[j].offset == run_offset + run_length) {
+      run_length += extents[j].length;
+      ++j;
+    }
+    WAVEKIT_RETURN_NOT_OK(Write(
+        run_offset, data.subspan(consumed, static_cast<size_t>(run_length))));
+    consumed += static_cast<size_t>(run_length);
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status FileDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync '" + path_ + "': " +

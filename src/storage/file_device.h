@@ -30,6 +30,8 @@ class FileDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
   uint64_t capacity() const override { return capacity_; }
 
   const std::string& path() const { return path_; }

@@ -40,9 +40,9 @@ void MeteredDevice::AtomicIoCounters::ResetAll() {
   write_ops.store(0, std::memory_order_relaxed);
 }
 
-void MeteredDevice::Account(uint64_t offset, uint64_t length, bool is_write) {
-  AtomicIoCounters& io =
-      counters_[static_cast<size_t>(phase_.load(std::memory_order_relaxed))];
+void MeteredDevice::Account(Phase phase, uint64_t offset, uint64_t length,
+                            bool is_write) {
+  AtomicIoCounters& io = counters_[static_cast<size_t>(phase)];
   // The shared head models one disk arm: whichever access lands next moves
   // it. exchange() keeps the model race-free; interleaved readers simply see
   // the seek pattern a real arm serving them in that order would produce.
@@ -61,23 +61,38 @@ void MeteredDevice::Account(uint64_t offset, uint64_t length, bool is_write) {
 }
 
 Status MeteredDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  const Phase phase = this->phase();
   WAVEKIT_RETURN_NOT_OK(inner_->Read(offset, out));
-  Account(offset, out.size(), /*is_write=*/false);
+  Account(phase, offset, out.size(), /*is_write=*/false);
   return Status::OK();
 }
 
 Status MeteredDevice::ReadBatch(std::span<const Extent> extents,
                                 std::span<std::byte> out) {
+  // Capture the phase once so a batch spanning a phase flip is attributed
+  // entirely to the phase active at call time.
+  const Phase phase = this->phase();
   WAVEKIT_RETURN_NOT_OK(inner_->ReadBatch(extents, out));
   for (const Extent& extent : extents) {
-    Account(extent.offset, extent.length, /*is_write=*/false);
+    Account(phase, extent.offset, extent.length, /*is_write=*/false);
   }
   return Status::OK();
 }
 
 Status MeteredDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  const Phase phase = this->phase();
   WAVEKIT_RETURN_NOT_OK(inner_->Write(offset, data));
-  Account(offset, data.size(), /*is_write=*/true);
+  Account(phase, offset, data.size(), /*is_write=*/true);
+  return Status::OK();
+}
+
+Status MeteredDevice::WriteBatch(std::span<const Extent> extents,
+                                 std::span<const std::byte> data) {
+  const Phase phase = this->phase();
+  WAVEKIT_RETURN_NOT_OK(inner_->WriteBatch(extents, data));
+  for (const Extent& extent : extents) {
+    Account(phase, extent.offset, extent.length, /*is_write=*/true);
+  }
   return Status::OK();
 }
 

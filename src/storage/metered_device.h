@@ -52,6 +52,8 @@ class MeteredDevice : public Device {
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
   Status ReadBatch(std::span<const Extent> extents,
                    std::span<std::byte> out) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
 
   /// Sets the phase subsequent I/O is attributed to.
@@ -102,7 +104,10 @@ class MeteredDevice : public Device {
     void ResetAll();
   };
 
-  void Account(uint64_t offset, uint64_t length, bool is_write);
+  // `phase` is captured once per public call: a batch spanning a concurrent
+  // set_phase is attributed entirely to the phase active when the call was
+  // issued, never split across phases mid-batch.
+  void Account(Phase phase, uint64_t offset, uint64_t length, bool is_write);
 
   Device* inner_;
   std::atomic<Phase> phase_{Phase::kOther};

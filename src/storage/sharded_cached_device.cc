@@ -83,6 +83,13 @@ Status ShardedCachedDevice::Write(uint64_t offset,
   // plus the shadow-update discipline (readers never probe extents still
   // being written) keeps this race-free for readers.
   const Status written = inner_->Write(offset, data);
+  PatchCache(offset, data, written.ok());
+  return written;
+}
+
+void ShardedCachedDevice::PatchCache(uint64_t offset,
+                                     std::span<const std::byte> data,
+                                     bool written_ok) {
   size_t done = 0;
   while (done < data.size()) {
     const uint64_t position = offset + done;
@@ -95,7 +102,7 @@ Status ShardedCachedDevice::Write(uint64_t offset,
       std::lock_guard<std::mutex> lock(shard.mutex);
       auto cached = shard.index.find(block_id);
       if (cached != shard.index.end()) {
-        if (written.ok()) {
+        if (written_ok) {
           std::memcpy(cached->second->bytes.data() + within,
                       data.data() + done, chunk);
         } else {
@@ -107,6 +114,22 @@ Status ShardedCachedDevice::Write(uint64_t offset,
       }
     }
     done += chunk;
+  }
+}
+
+Status ShardedCachedDevice::WriteBatch(std::span<const Extent> extents,
+                                       std::span<const std::byte> data) {
+  // One inner batch (a single metering round / lock acquisition below), then
+  // per-extent cache patching under shard locks. A failed batch may have
+  // persisted any prefix, so every touched block is evicted on error.
+  const Status written = inner_->WriteBatch(extents, data);
+  size_t consumed = 0;
+  for (const Extent& extent : extents) {
+    const size_t length =
+        std::min(static_cast<size_t>(extent.length), data.size() - consumed);
+    PatchCache(extent.offset, data.subspan(consumed, length), written.ok());
+    consumed += length;
+    if (consumed >= data.size()) break;
   }
   return written;
 }

@@ -47,6 +47,8 @@ class ShardedCachedDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
 
   /// Aggregated counters over all shards (each shard sampled under its own
@@ -94,6 +96,12 @@ class ShardedCachedDevice : public Device {
   // concurrent write-through cannot tear it.
   Status ReadThroughBlock(uint64_t block_id, uint64_t within,
                           std::span<std::byte> out);
+
+  // Patches cached blocks overlapping [offset, offset+data.size()) under
+  // their shard locks after a device write, or evicts them when the write
+  // failed (the device's contents are then unknown).
+  void PatchCache(uint64_t offset, std::span<const std::byte> data,
+                  bool written_ok);
 
   Device* inner_;
   size_t capacity_blocks_;

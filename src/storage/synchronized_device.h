@@ -35,6 +35,14 @@ class SynchronizedMeteredDevice : public MeteredDevice {
     return MeteredDevice::Write(offset, data);
   }
 
+  // One lock acquisition for the whole batch: parallel build stages pay the
+  // writer mutex once per WriteBatch instead of once per bucket.
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return MeteredDevice::WriteBatch(extents, data);
+  }
+
  private:
   std::mutex mutex_;
 };

@@ -19,6 +19,7 @@
 #include "index/record.h"
 #include "util/day.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace wavekit {
 
@@ -58,6 +59,15 @@ class Updater {
                     const TimeSet& deletes) {
     return Apply(index, {}, deletes);
   }
+
+  /// Parallelism the shadow stages (temporary build, CP clone, scan-copy
+  /// flush) may use. Set by the owning Scheme from its maintenance pool; the
+  /// default context keeps the exact serial code paths (cost-model runs).
+  void set_parallel(const ParallelContext& parallel) { parallel_ = parallel; }
+  const ParallelContext& parallel() const { return parallel_; }
+
+ protected:
+  ParallelContext parallel_;
 };
 
 /// Factory for the given technique.

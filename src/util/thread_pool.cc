@@ -45,6 +45,28 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this]() { return in_flight_ == 0; });
 }
 
+void ThreadPool::WaitGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)]() {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void ThreadPool::WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+int ThreadPool::WaitGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

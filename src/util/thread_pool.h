@@ -8,7 +8,9 @@
 #ifndef WAVEKIT_UTIL_THREAD_POOL_H_
 #define WAVEKIT_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -47,6 +49,51 @@ class ThreadPool {
   /// reentrant children) has finished executing.
   void Wait();
 
+  /// \brief Scoped join over a subset of a pool's tasks.
+  ///
+  /// ThreadPool::Wait drains the WHOLE pool — on a pool shared with query
+  /// fan-out, a maintenance stage calling it would block on unrelated query
+  /// work. A WaitGroup counts only the tasks submitted through it, so a
+  /// parallel build stage joins exactly its own children:
+  ///
+  ///   ThreadPool::WaitGroup group(pool);
+  ///   for (auto& part : partitions) group.Submit([&] { Sort(part); });
+  ///   group.Wait();  // only the Sort tasks, not concurrent probes
+  ///
+  /// Contract:
+  ///  - Submit is safe from any thread, including from a task already running
+  ///    in this group (reentrant submits); Wait covers such children because
+  ///    the pending count is raised before the parent's completion lowers it.
+  ///  - Wait must NOT be called from a pool worker (same rule as
+  ///    ThreadPool::Wait): with all workers blocked in Wait the children
+  ///    could never run. Maintenance code keeps every Wait on the
+  ///    coordinator thread.
+  ///  - The group must outlive its tasks; the destructor Waits as a backstop.
+  class WaitGroup {
+   public:
+    explicit WaitGroup(ThreadPool* pool) : pool_(pool) {}
+    ~WaitGroup() { Wait(); }
+
+    WaitGroup(const WaitGroup&) = delete;
+    WaitGroup& operator=(const WaitGroup&) = delete;
+
+    /// Enqueues `task` on the pool and counts it toward this group's Wait.
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted through this group (including
+    /// reentrant children submitted through it) has finished.
+    void Wait();
+
+    /// Tasks submitted through this group still queued or running.
+    int pending() const;
+
+   private:
+    ThreadPool* pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable done_;
+    int pending_ = 0;
+  };
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Tasks queued and not yet picked up by a worker (point-in-time sample;
@@ -70,6 +117,28 @@ class ThreadPool {
   // starting.
   int in_flight_ = 0;
   bool shutting_down_ = false;
+};
+
+/// \brief How much parallelism a maintenance stage may use, and on which
+/// pool. Default-constructed = serial: the stage runs the exact single-thread
+/// code path, so cost-model runs reproduce byte-identically.
+///
+/// Stages fan work out through a ThreadPool::WaitGroup and join on the
+/// calling (coordinator) thread; per WaitGroup's contract the coordinator
+/// must not itself be a worker of `pool`.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;
+  int threads = 1;
+
+  /// True when a stage should take its parallel path.
+  bool enabled() const { return pool != nullptr && threads > 1; }
+
+  /// Partition count for `items` units of work: at most `threads`, at least
+  /// 1, never more than the number of items.
+  size_t Partitions(size_t items) const {
+    if (!enabled() || items == 0) return 1;
+    return std::min(items, static_cast<size_t>(threads));
+  }
 };
 
 }  // namespace wavekit

@@ -1,8 +1,63 @@
 #include "wave/reindex_plus_plus_scheme.h"
 
+#include <utility>
+
+#include "index/index_builder.h"
 #include "util/macros.h"
 
 namespace wavekit {
+
+Status ReindexPlusPlusScheme::BuildRungsParallel(std::vector<RungSpec> specs,
+                                                 Phase phase) {
+  obs::Span span = TraceOp("REINDEX++.parallel_ladder");
+  const size_t rungs = specs.size();
+  // Plan serially: DayStore lookups and entry counts happen on the
+  // coordinator, so the pool tasks touch only thread-safe layers (device,
+  // allocator, their own fresh index).
+  std::vector<std::vector<const DayBatch*>> batches(rungs);
+  std::vector<uint64_t> entries(rungs, 0);
+  for (size_t i = 0; i < rungs; ++i) {
+    WAVEKIT_ASSIGN_OR_RETURN(batches[i], GetBatches(specs[i].days));
+    for (const DayBatch* batch : batches[i]) entries[i] += batch->EntryCount();
+  }
+  MultiPhaseScope scope(AllDevices(), phase);
+  std::vector<std::shared_ptr<ConstituentIndex>> built(rungs);
+  std::vector<Status> statuses(rungs, Status::OK());
+  {
+    ThreadPool::WaitGroup group(env_.maintenance.pool);
+    for (size_t i = 0; i < rungs; ++i) {
+      group.Submit([&, i]() {
+        // Parallelism is ACROSS rungs here, so each build keeps the default
+        // (serial) inner context instead of env_.maintenance.
+        statuses[i] = RetryTransient("BuildIndex", [&] {
+          Result<std::unique_ptr<ConstituentIndex>> rung =
+              IndexBuilder::BuildPacked(IoDeviceFor(specs[i].disk),
+                                        specs[i].disk.allocator, IndexOptions(),
+                                        batches[i], specs[i].name);
+          if (!rung.ok()) return rung.status();
+          built[i] = std::move(rung).ValueOrDie();
+          return Status::OK();
+        });
+      });
+    }
+    group.Wait();
+  }
+  for (Status& status : statuses) {
+    // All-or-nothing: dropping `built` reclaims every rung that did complete
+    // (~ConstituentIndex frees its extents), so retry/recovery starts clean.
+    if (!status.ok()) return std::move(status);
+  }
+  // The op log and temps_ are not thread-safe; record in ladder order after
+  // the join. Parallel mode prices each rung as an independent build (the
+  // serial copy-chain costs belong to the paper's one-thread cost model).
+  for (size_t i = 0; i < rungs; ++i) {
+    op_log_.Record(OpRecord{OpKind::kBuildIndex, phase, current_day_,
+                            static_cast<int>(specs[i].days.size()), 0,
+                            entries[i]});
+    temps_.push_back(std::move(built[i]));
+  }
+  return Status::OK();
+}
 
 Status ReindexPlusPlusScheme::InitializeLadder(const TimeSet& days,
                                                Phase phase) {
@@ -21,6 +76,24 @@ Status ReindexPlusPlusScheme::InitializeLadder(const TimeSet& days,
   // T_1 = BuildIndex({d_k}); T_i = copy(T_{i-1}) + d_{k-i+1}: T_i holds the
   // i most recent days of `days`.
   std::vector<Day> descending(days.rbegin(), days.rend());
+  if (env_.maintenance.enabled() && descending.size() > 1) {
+    // Parallel ladder: every rung's contents are known up front (T_i = the i
+    // most recent days), so instead of the serial copy chain each rung is an
+    // independent packed build and they all run concurrently. One NextDisk
+    // call, matching the serial path (T_1 is placed round-robin and the
+    // copies inherit its disk).
+    const SchemeEnv::Disk disk = NextDisk();
+    std::vector<RungSpec> specs;
+    specs.reserve(descending.size());
+    TimeSet rung_days;
+    for (size_t i = 0; i < descending.size(); ++i) {
+      rung_days.insert(descending[i]);
+      specs.push_back(RungSpec{"T" + std::to_string(i + 1), rung_days, disk});
+    }
+    WAVEKIT_RETURN_NOT_OK(BuildRungsParallel(std::move(specs), phase));
+    temp_used_ = static_cast<int>(descending.size());
+    return Status::OK();
+  }
   WAVEKIT_ASSIGN_OR_RETURN(std::shared_ptr<ConstituentIndex> rung,
                            BuildIndex({descending[0]}, "T1", phase));
   temps_.push_back(rung);
@@ -143,6 +216,23 @@ Status ReindexPlusPlusScheme::DoAdopt() {
     return Status::OK();
   }
   temps_.push_back(NewEmptyIndex("T0"));
+  if (env_.maintenance.enabled() && temp_used_ > 1) {
+    // Same rebuild, with the rungs built concurrently. NextDisk is called
+    // per rung in ladder order, mirroring the serial loop's placement.
+    std::vector<RungSpec> specs;
+    specs.reserve(static_cast<size_t>(temp_used_));
+    TimeSet prefix;
+    for (int i = 1; i <= temp_used_; ++i) {
+      prefix.insert(old_rest_descending[static_cast<size_t>(i - 1)]);
+      TimeSet contents = prefix;
+      if (i == temp_used_) {
+        contents.insert(recent.begin(), recent.end());  // the topped-up rung
+      }
+      specs.push_back(RungSpec{"T" + std::to_string(i), std::move(contents),
+                               NextDisk()});
+    }
+    return BuildRungsParallel(std::move(specs), Phase::kPrecompute);
+  }
   TimeSet rung_days;
   for (int i = 1; i <= temp_used_; ++i) {
     rung_days.insert(old_rest_descending[static_cast<size_t>(i - 1)]);

@@ -36,6 +36,21 @@ class ReindexPlusPlusScheme : public Scheme {
   /// T_i holds the i most recent days of `days`.
   Status InitializeLadder(const TimeSet& days, Phase phase);
 
+  /// One ladder rung to be built by BuildRungsParallel.
+  struct RungSpec {
+    std::string name;
+    TimeSet days;
+    SchemeEnv::Disk disk;
+  };
+
+  /// Builds every rung of `specs` as an independent packed build on the
+  /// maintenance pool (each build runs its serial inner path — nesting would
+  /// make a pool worker Wait on the pool). All-or-nothing: on success the
+  /// rungs are appended to temps_ in order and logged; on failure nothing is
+  /// appended and every partially built rung is reclaimed. Requires
+  /// env_.maintenance.enabled().
+  Status BuildRungsParallel(std::vector<RungSpec> specs, Phase phase);
+
   /// Promotes `*temp` (after adding the new day) into slot `j`.
   Status PromoteTemp(size_t j, std::shared_ptr<ConstituentIndex> temp);
 

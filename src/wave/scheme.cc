@@ -33,7 +33,9 @@ const char* SchemeKindName(SchemeKind kind) {
 }
 
 Scheme::Scheme(SchemeEnv env, SchemeConfig config)
-    : env_(env), config_(config), updater_(MakeUpdater(config.technique)) {}
+    : env_(env), config_(config), updater_(MakeUpdater(config.technique)) {
+  if (updater_ != nullptr) updater_->set_parallel(env_.maintenance);
+}
 
 Status Scheme::ValidateConfig() const {
   if (config_.window < 1) {
@@ -263,7 +265,8 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::BuildIndex(
   WAVEKIT_RETURN_NOT_OK(RetryTransient("BuildIndex", [&] {
     Result<std::unique_ptr<ConstituentIndex>> built =
         IndexBuilder::BuildPacked(IoDeviceFor(disk), disk.allocator,
-                                  IndexOptions(), batches, name);
+                                  IndexOptions(), batches, name,
+                                  env_.maintenance);
     if (!built.ok()) return built.status();
     index = std::move(built).ValueOrDie();
     return Status::OK();
@@ -378,6 +381,7 @@ Status Scheme::PackIndex(std::shared_ptr<ConstituentIndex>* index,
   const uint64_t entries = (*index)->entry_count();
   ConstituentIndex* const before = index->get();
   PackedShadowUpdater packer;
+  packer.set_parallel(env_.maintenance);
   Status packed;
   {
     MultiPhaseScope scope(AllDevices(), phase);
@@ -403,7 +407,8 @@ Result<std::shared_ptr<ConstituentIndex>> Scheme::CopyIndex(
   // Clone frees its partial copy on failure: all-or-nothing, retryable.
   std::shared_ptr<ConstituentIndex> copy;
   WAVEKIT_RETURN_NOT_OK(RetryTransient("CopyIndex", [&] {
-    Result<std::unique_ptr<ConstituentIndex>> cloned = source.Clone(name);
+    Result<std::unique_ptr<ConstituentIndex>> cloned =
+        source.Clone(name, env_.maintenance);
     if (!cloned.ok()) return cloned.status();
     copy = std::move(cloned).ValueOrDie();
     return Status::OK();

@@ -123,6 +123,16 @@ struct SchemeEnv {
   /// Retry behaviour for transient I/O errors inside maintenance primitives.
   RetryPolicy retry;
 
+  /// Maintenance parallelism. When `maintenance.enabled()`, the Section 2.2
+  /// primitives fan their bulk work out on this pool: packed builds group
+  /// and write concurrently with batched writes, CP clones copy bucket
+  /// ranges in parallel, shadow flushes batch their output, and REINDEX++
+  /// builds its ladder temporaries concurrently. The default (no pool) runs
+  /// the exact serial code paths, reproducing the paper's cost model
+  /// byte-for-byte. The pool must outlive the scheme, and the thread calling
+  /// Start/Transition must not be one of its workers (WaitGroup contract).
+  ParallelContext maintenance;
+
   /// \brief One disk of a multi-disk deployment.
   struct Disk {
     MeteredDevice* device = nullptr;

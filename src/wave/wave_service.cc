@@ -35,6 +35,10 @@ WaveService::WaveService(Options options)
   if (options_.num_query_threads > 1) {
     query_pool_ = std::make_unique<ThreadPool>(options_.num_query_threads);
   }
+  if (options_.num_maintenance_threads > 1) {
+    maintenance_pool_ =
+        std::make_unique<ThreadPool>(options_.num_maintenance_threads);
+  }
   obs::Tracer::Options trace_options;
   trace_options.sample_rate = options_.trace_sample_rate;
   trace_options.ring_capacity = options_.trace_ring_capacity;
@@ -61,6 +65,10 @@ void WaveService::RegisterMetrics() {
   if (query_pool_ != nullptr) {
     obs::AttachThreadPool(registry, query_pool_.get(), "query_pool", this);
   }
+  if (maintenance_pool_ != nullptr) {
+    obs::AttachThreadPool(registry, maintenance_pool_.get(),
+                          "maintenance_pool", this);
+  }
   registry->AddCounterCallback(
       "wavekit_service_probes_total", "Index probes served.", {},
       [this] { return probes_.load(std::memory_order_relaxed); }, this);
@@ -71,6 +79,18 @@ void WaveService::RegisterMetrics() {
       "wavekit_service_days_advanced_total",
       "Window transitions completed by AdvanceDay.", {},
       [this] { return days_advanced_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_service_async_advances_total",
+      "Background transitions submitted via AdvanceDayAsync.", {},
+      [this] { return async_advances_.load(std::memory_order_relaxed); }, this);
+  registry->AddGaugeCallback(
+      "wavekit_service_pending_advances",
+      "Async advances queued or running right now.", {},
+      [this] {
+        return static_cast<double>(
+            pending_advances_.load(std::memory_order_relaxed));
+      },
+      this);
   registry->AddCounterCallback(
       "wavekit_service_degraded_advances_total",
       "AdvanceDay calls that failed (service kept the last good snapshot).",
@@ -143,6 +163,10 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
   env.io_device = service->cache_.get();  // nullptr = straight to the meter
   env.tracer = service->tracer_.get();
   env.retry = options.retry;
+  if (service->maintenance_pool_ != nullptr) {
+    env.maintenance.pool = service->maintenance_pool_.get();
+    env.maintenance.threads = options.num_maintenance_threads;
+  }
   WAVEKIT_ASSIGN_OR_RETURN(service->scheme_,
                            MakeScheme(options.scheme, env, options.config));
   return service;
@@ -155,7 +179,42 @@ Status WaveService::Start(std::vector<DayBatch> first_window) {
 }
 
 Status WaveService::AdvanceDay(DayBatch new_day) {
-  // The scheme's wave index is only touched by this (writer) thread; queries
+  std::lock_guard<std::mutex> lock(advance_mutex_);
+  return AdvanceDayLocked(std::move(new_day));
+}
+
+void WaveService::AdvanceDayAsync(DayBatch new_day) {
+  // Lazy creation is safe: the maintenance API is single-caller, and the
+  // runner pointer is never touched by query threads or metric callbacks.
+  if (advance_runner_ == nullptr) {
+    advance_runner_ = std::make_unique<ThreadPool>(1);
+  }
+  async_advances_.fetch_add(1, std::memory_order_relaxed);
+  pending_advances_.fetch_add(1, std::memory_order_relaxed);
+  advance_runner_->Submit([this, batch = std::move(new_day)]() mutable {
+    {
+      std::lock_guard<std::mutex> lock(advance_mutex_);
+      if (async_error_.ok()) {
+        // Publish happens inside, under snapshot_mutex_ — queries flip to
+        // the new snapshot atomically, mid-probe readers finish on the old.
+        Status status = AdvanceDayLocked(std::move(batch));
+        if (!status.ok()) async_error_ = std::move(status);
+      }
+      // else: an earlier queued advance failed; drop this one (the scheme
+      // would refuse it anyway — needs_recovery) and keep the first error.
+    }
+    pending_advances_.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
+Status WaveService::WaitForMaintenance() {
+  if (advance_runner_ != nullptr) advance_runner_->Wait();
+  std::lock_guard<std::mutex> lock(advance_mutex_);
+  return async_error_;
+}
+
+Status WaveService::AdvanceDayLocked(DayBatch new_day) {
+  // The scheme's wave index is only touched under advance_mutex_; queries
   // never see it directly — they use the published snapshot, whose
   // constituents shadow updates never mutate in place.
   const auto start = std::chrono::steady_clock::now();
@@ -197,6 +256,9 @@ ServiceMetrics WaveService::Metrics() const {
   out.probes = probes_.load(std::memory_order_relaxed);
   out.scans = scans_.load(std::memory_order_relaxed);
   out.days_advanced = days_advanced_.load(std::memory_order_relaxed);
+  out.async_advances = async_advances_.load(std::memory_order_relaxed);
+  out.pending_advances =
+      static_cast<uint64_t>(pending_advances_.load(std::memory_order_relaxed));
   out.degraded_advances = degraded_advances_.load(std::memory_order_relaxed);
   out.partial_results = partial_results_.load(std::memory_order_relaxed);
   if (scheme_ != nullptr) out.faults = scheme_->fault_stats();
@@ -210,6 +272,7 @@ void WaveService::ResetMetrics() {
   probes_.store(0, std::memory_order_relaxed);
   scans_.store(0, std::memory_order_relaxed);
   days_advanced_.store(0, std::memory_order_relaxed);
+  async_advances_.store(0, std::memory_order_relaxed);
   degraded_advances_.store(0, std::memory_order_relaxed);
   partial_results_.store(0, std::memory_order_relaxed);
   probe_latency_us_.Reset();

@@ -43,6 +43,11 @@ struct ServiceMetrics {
   uint64_t probes = 0;
   uint64_t scans = 0;
   uint64_t days_advanced = 0;
+  /// AdvanceDayAsync submissions (each is later applied in order, or dropped
+  /// if an earlier one failed).
+  uint64_t async_advances = 0;
+  /// Async advances queued or running at snapshot time.
+  uint64_t pending_advances = 0;
   /// AdvanceDay calls that failed; the service keeps serving the last good
   /// snapshot (degraded: stale window, possibly unhealthy constituents).
   uint64_t degraded_advances = 0;
@@ -82,6 +87,15 @@ class WaveService {
     /// parallelized"). 0 or 1 keeps probes on the calling thread.
     int num_query_threads = 1;
 
+    /// When > 1, the service owns a maintenance ThreadPool of this many
+    /// workers and the scheme's Section 2.2 primitives fan their bulk work
+    /// out on it: packed builds partition and write concurrently (with
+    /// batched writes), CP clones copy bucket ranges in parallel, and
+    /// REINDEX++ builds its ladder temporaries concurrently. 1 (the
+    /// default) keeps maintenance fully serial — the exact op-for-op code
+    /// paths the paper's cost model meters.
+    int num_maintenance_threads = 1;
+
     /// When > 0, constituent I/O goes through a lock-striped block cache of
     /// this many blocks layered above the meter, so hot-bucket hits cost no
     /// modeled seeks and concurrent probes of distinct buckets do not
@@ -116,7 +130,13 @@ class WaveService {
 
   ~WaveService();
 
-  // --- Maintenance (single writer thread) ----------------------------------
+  // --- Maintenance (single client thread) -----------------------------------
+  //
+  // Start / AdvanceDay / AdvanceDayAsync / WaitForMaintenance are driven by
+  // ONE maintenance client thread; any number of query threads run
+  // concurrently with all of them. Transitions themselves may execute on a
+  // background runner (AdvanceDayAsync) — an internal mutex serializes them
+  // against synchronous AdvanceDay calls.
 
   /// Builds the initial wave index from days 1..W.
   Status Start(std::vector<DayBatch> first_window);
@@ -124,6 +144,23 @@ class WaveService {
   /// Incorporates the next day. Readers keep getting answers throughout —
   /// from the pre-transition snapshot until the new one is published.
   Status AdvanceDay(DayBatch new_day);
+
+  /// Queues the transition to run on a background maintenance thread and
+  /// returns immediately; queries keep serving the current snapshot until
+  /// the new one is atomically published (the same swap AdvanceDay does).
+  /// Queued transitions apply strictly in submission order. Failures are
+  /// sticky: once one fails, later queued advances are dropped and
+  /// WaitForMaintenance reports the first failure.
+  void AdvanceDayAsync(DayBatch new_day);
+
+  /// Blocks until every queued async advance has been applied (or dropped
+  /// after a failure) and returns the sticky first failure, if any.
+  Status WaitForMaintenance();
+
+  /// Async advances queued or running right now (gauge; any thread).
+  int pending_advances() const {
+    return pending_advances_.load(std::memory_order_relaxed);
+  }
 
   // --- Queries (any thread, any time after Start) ---------------------------
 
@@ -157,15 +194,23 @@ class WaveService {
   /// The probe fan-out pool, or nullptr when num_query_threads <= 1.
   ThreadPool* query_pool() const { return query_pool_.get(); }
 
+  /// The maintenance fan-out pool, or nullptr when
+  /// num_maintenance_threads <= 1.
+  ThreadPool* maintenance_pool() const { return maintenance_pool_.get(); }
+
   /// The maintenance tracer (always present; inert at sample rate 0).
   obs::Tracer* tracer() const { return tracer_.get(); }
 
-  /// Writer-side accessors (not thread-safe against AdvanceDay).
+  /// Writer-side accessors (not thread-safe against maintenance; call
+  /// WaitForMaintenance first when async advances may be in flight).
   const Scheme& scheme() const { return *scheme_; }
   MeteredDevice* device() { return &device_; }
 
  private:
   explicit WaveService(Options options);
+
+  /// The AdvanceDay body; caller holds advance_mutex_.
+  Status AdvanceDayLocked(DayBatch new_day);
 
   void Publish();
   void RegisterMetrics();
@@ -178,8 +223,22 @@ class WaveService {
   ExtentAllocator allocator_;
   DayStore day_store_;
   std::unique_ptr<ThreadPool> query_pool_;  // optional probe fan-out
+  // Before scheme_: the scheme's primitives fan out on this pool, so it must
+  // be destroyed after the scheme.
+  std::unique_ptr<ThreadPool> maintenance_pool_;
   std::unique_ptr<obs::Tracer> tracer_;     // before scheme_: schemes hold it
   std::unique_ptr<Scheme> scheme_;
+  // After scheme_: destroyed first, draining queued async transitions while
+  // the scheme (and everything below it) is still alive. Created lazily by
+  // the first AdvanceDayAsync (single maintenance client thread).
+  std::unique_ptr<ThreadPool> advance_runner_;
+
+  // Serializes transition application (sync AdvanceDay vs the async runner)
+  // and guards async_error_.
+  mutable std::mutex advance_mutex_;
+  Status async_error_;
+  std::atomic<int> pending_advances_{0};
+  std::atomic<uint64_t> async_advances_{0};
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const WaveIndex> snapshot_;

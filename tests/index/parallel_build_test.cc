@@ -1,0 +1,328 @@
+// Parallel maintenance primitives (parallel packed build, parallel CP clone,
+// parallel shadow updates) must produce results identical to the serial
+// paths — same layout order, same bucket geometry, same scan sequence — and
+// must fail all-or-nothing at the crash points inside their stages.
+
+#include "index/index_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index/constituent_index.h"
+#include "storage/store.h"
+#include "testing/test_env.h"
+#include "update/update_technique.h"
+#include "util/crash_point.h"
+#include "util/thread_pool.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeBatch;
+using testing::MakeMixedBatch;
+
+/// (value, entry) pairs in SCAN ORDER — unsorted on purpose, so equality
+/// also asserts identical bucket layout, not just identical contents.
+std::vector<std::pair<Value, Entry>> ScanPairs(const ConstituentIndex& index) {
+  std::vector<std::pair<Value, Entry>> out;
+  Status s = index.Scan([&out](const Value& value, const Entry& entry) {
+    out.emplace_back(value, entry);
+  });
+  if (!s.ok()) s.Abort("scan");
+  return out;
+}
+
+/// Bucket geometry in layout order: (value, offset, count, capacity).
+std::vector<std::tuple<Value, uint64_t, uint32_t, uint32_t>> BucketTable(
+    const ConstituentIndex& index) {
+  std::vector<std::tuple<Value, uint64_t, uint32_t, uint32_t>> out;
+  Status s = index.ForEachBucket(
+      [&out](const Value& value, const BucketInfo& info) {
+        out.emplace_back(value, info.extent.offset, info.count, info.capacity);
+      });
+  if (!s.ok()) s.Abort("buckets");
+  return out;
+}
+
+/// A workload wide enough to exercise several partitions: `values` distinct
+/// values with varying bucket sizes, across `days` days.
+std::vector<DayBatch> WideWorkload(int days, int values) {
+  std::vector<DayBatch> batches;
+  for (Day d = 1; d <= days; ++d) {
+    DayBatch batch;
+    batch.day = d;
+    uint64_t rid = static_cast<uint64_t>(d) * 1000000;
+    for (int v = 0; v < values; ++v) {
+      // Value v gets (v % 5) + 1 records per day: uneven bucket sizes.
+      for (int i = 0; i <= v % 5; ++i) {
+        Record record;
+        record.record_id = rid++;
+        record.day = d;
+        record.values = {"v" + std::to_string(v)};
+        batch.records.push_back(std::move(record));
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<const DayBatch*> Pointers(const std::vector<DayBatch>& batches) {
+  std::vector<const DayBatch*> out;
+  for (const DayBatch& batch : batches) out.push_back(&batch);
+  return out;
+}
+
+class ParallelBuildTest : public ::testing::Test {
+ protected:
+  ParallelBuildTest()
+      : serial_store_(uint64_t{1} << 28),
+        parallel_store_(uint64_t{1} << 28),
+        pool_(4),
+        parallel_{&pool_, 4} {}
+
+  void TearDown() override { CrashPoints::Reset(); }
+
+  /// Builds the same workload serially (fresh store) and in parallel (fresh
+  /// store): identical allocator histories, so even absolute offsets match.
+  void BuildBoth(const std::vector<DayBatch>& batches,
+                 std::unique_ptr<ConstituentIndex>* serial,
+                 std::unique_ptr<ConstituentIndex>* parallel) {
+    const std::vector<const DayBatch*> ptrs = Pointers(batches);
+    ASSERT_OK_AND_ASSIGN(
+        *serial, IndexBuilder::BuildPacked(serial_store_.device(),
+                                           serial_store_.allocator(), {}, ptrs,
+                                           "serial"));
+    ASSERT_OK_AND_ASSIGN(
+        *parallel, IndexBuilder::BuildPacked(parallel_store_.device(),
+                                             parallel_store_.allocator(), {},
+                                             ptrs, "parallel", parallel_));
+  }
+
+  void ExpectIdentical(const ConstituentIndex& serial,
+                       const ConstituentIndex& parallel) {
+    EXPECT_OK(serial.CheckPacked());
+    EXPECT_OK(parallel.CheckPacked());
+    EXPECT_OK(parallel.CheckConsistency());
+    EXPECT_EQ(serial.entry_count(), parallel.entry_count());
+    EXPECT_EQ(serial.allocated_bytes(), parallel.allocated_bytes());
+    EXPECT_EQ(serial.layout_order(), parallel.layout_order());
+    EXPECT_EQ(BucketTable(serial), BucketTable(parallel));
+    EXPECT_EQ(ScanPairs(serial), ScanPairs(parallel));
+  }
+
+  Store serial_store_;
+  Store parallel_store_;
+  ThreadPool pool_;
+  ParallelContext parallel_;
+};
+
+TEST_F(ParallelBuildTest, BuildMatchesSerialOnWideWorkload) {
+  std::unique_ptr<ConstituentIndex> serial, parallel;
+  BuildBoth(WideWorkload(/*days=*/4, /*values=*/97), &serial, &parallel);
+  ExpectIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelBuildTest, BuildMatchesSerialWithFewerValuesThanThreads) {
+  // 2 values on 4 threads: partition count clamps to the item count.
+  std::vector<DayBatch> batches = {MakeBatch(1, {"a", "b"}, 3),
+                                   MakeBatch(2, {"a"}, 2)};
+  std::unique_ptr<ConstituentIndex> serial, parallel;
+  BuildBoth(batches, &serial, &parallel);
+  ExpectIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelBuildTest, BuildMatchesSerialOnEmptyBatch) {
+  DayBatch empty;
+  empty.day = 1;
+  std::unique_ptr<ConstituentIndex> serial, parallel;
+  BuildBoth({empty}, &serial, &parallel);
+  EXPECT_EQ(parallel->entry_count(), 0u);
+  ExpectIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelBuildTest, CloneMatchesSerial) {
+  std::vector<DayBatch> batches = WideWorkload(/*days=*/3, /*values=*/61);
+  std::unique_ptr<ConstituentIndex> serial, parallel;
+  BuildBoth(batches, &serial, &parallel);
+  ASSERT_OK_AND_ASSIGN(auto serial_clone, serial->Clone("serial_cp"));
+  ASSERT_OK_AND_ASSIGN(auto parallel_clone,
+                       parallel->Clone("parallel_cp", parallel_));
+  EXPECT_OK(parallel_clone->CheckConsistency());
+  EXPECT_EQ(serial_clone->allocated_bytes(), parallel_clone->allocated_bytes());
+  EXPECT_EQ(serial_clone->layout_order(), parallel_clone->layout_order());
+  EXPECT_EQ(BucketTable(*serial_clone), BucketTable(*parallel_clone));
+  EXPECT_EQ(ScanPairs(*serial_clone), ScanPairs(*parallel_clone));
+}
+
+/// Applies the same shadow update on both sides and compares the results.
+void RunUpdaterParity(Store& serial_store, Store& parallel_store,
+                      UpdateTechniqueKind kind,
+                      const ParallelContext& parallel_ctx) {
+  std::vector<DayBatch> window = WideWorkload(/*days=*/3, /*values=*/53);
+  DayBatch next = MakeMixedBatch(4, /*num_records=*/40);
+  const std::vector<const DayBatch*> ptrs = Pointers(window);
+  std::shared_ptr<ConstituentIndex> serial, parallel;
+  {
+    auto built = IndexBuilder::BuildPacked(
+        serial_store.device(), serial_store.allocator(), {}, ptrs, "I");
+    ASSERT_OK(built.status());
+    serial = std::move(built).ValueOrDie();
+  }
+  {
+    auto built = IndexBuilder::BuildPacked(parallel_store.device(),
+                                           parallel_store.allocator(), {},
+                                           ptrs, "I", parallel_ctx);
+    ASSERT_OK(built.status());
+    parallel = std::move(built).ValueOrDie();
+  }
+
+  std::unique_ptr<Updater> serial_updater = MakeUpdater(kind);
+  std::unique_ptr<Updater> parallel_updater = MakeUpdater(kind);
+  parallel_updater->set_parallel(parallel_ctx);
+
+  // Add day 4, expire day 1 — the standard wave step.
+  const DayBatch* add = &next;
+  TimeSet expire;
+  expire.insert(1);
+  ASSERT_OK(serial_updater->Apply(&serial, {&add, 1}, expire));
+  ASSERT_OK(parallel_updater->Apply(&parallel, {&add, 1}, expire));
+
+  EXPECT_OK(parallel->CheckConsistency());
+  EXPECT_EQ(serial->time_set(), parallel->time_set());
+  EXPECT_EQ(serial->entry_count(), parallel->entry_count());
+  EXPECT_EQ(serial->layout_order(), parallel->layout_order());
+  EXPECT_EQ(ScanPairs(*serial), ScanPairs(*parallel));
+  if (kind == UpdateTechniqueKind::kPackedShadow) {
+    EXPECT_OK(parallel->CheckPacked());
+    EXPECT_EQ(BucketTable(*serial), BucketTable(*parallel));
+  }
+}
+
+TEST_F(ParallelBuildTest, PackedShadowUpdateMatchesSerial) {
+  RunUpdaterParity(serial_store_, parallel_store_,
+                   UpdateTechniqueKind::kPackedShadow, parallel_);
+}
+
+TEST_F(ParallelBuildTest, SimpleShadowUpdateMatchesSerial) {
+  RunUpdaterParity(serial_store_, parallel_store_,
+                   UpdateTechniqueKind::kSimpleShadow, parallel_);
+}
+
+// --- Crash points inside the parallel stages --------------------------------
+
+TEST_F(ParallelBuildTest, CrashInGroupStageIsAllOrNothing) {
+  std::vector<DayBatch> batches = WideWorkload(/*days=*/3, /*values=*/40);
+  const std::vector<const DayBatch*> ptrs = Pointers(batches);
+  const uint64_t before = parallel_store_.allocator()->allocated_bytes();
+
+  CrashPoints::Arm("builder.parallel.group");
+  auto crashed = IndexBuilder::BuildPacked(parallel_store_.device(),
+                                           parallel_store_.allocator(), {},
+                                           ptrs, "T", parallel_);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed.status()));
+  // Nothing leaked: the failed build returned every extent it took.
+  EXPECT_EQ(parallel_store_.allocator()->allocated_bytes(), before);
+
+  // A retry after "restart" succeeds and matches the serial result.
+  CrashPoints::Reset();
+  std::unique_ptr<ConstituentIndex> serial, parallel;
+  ASSERT_OK_AND_ASSIGN(
+      serial, IndexBuilder::BuildPacked(serial_store_.device(),
+                                        serial_store_.allocator(), {}, ptrs,
+                                        "T"));
+  ASSERT_OK_AND_ASSIGN(
+      parallel, IndexBuilder::BuildPacked(parallel_store_.device(),
+                                          parallel_store_.allocator(), {},
+                                          ptrs, "T", parallel_));
+  ExpectIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelBuildTest, CrashInWriteStageIsAllOrNothing) {
+  std::vector<DayBatch> batches = WideWorkload(/*days=*/3, /*values=*/40);
+  const std::vector<const DayBatch*> ptrs = Pointers(batches);
+  const uint64_t before = parallel_store_.allocator()->allocated_bytes();
+
+  CrashPoints::Arm("builder.parallel.write");
+  auto crashed = IndexBuilder::BuildPacked(parallel_store_.device(),
+                                           parallel_store_.allocator(), {},
+                                           ptrs, "T", parallel_);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed.status()));
+  EXPECT_EQ(parallel_store_.allocator()->allocated_bytes(), before);
+
+  CrashPoints::Reset();
+  EXPECT_OK(IndexBuilder::BuildPacked(parallel_store_.device(),
+                                      parallel_store_.allocator(), {}, ptrs,
+                                      "T", parallel_)
+                .status());
+}
+
+TEST_F(ParallelBuildTest, CrashInCloneCopyLeavesSourceIntactAndLeaksNothing) {
+  std::vector<DayBatch> batches = WideWorkload(/*days=*/2, /*values=*/30);
+  const std::vector<const DayBatch*> ptrs = Pointers(batches);
+  std::unique_ptr<ConstituentIndex> source;
+  ASSERT_OK_AND_ASSIGN(
+      source, IndexBuilder::BuildPacked(parallel_store_.device(),
+                                        parallel_store_.allocator(), {}, ptrs,
+                                        "S", parallel_));
+  const auto source_pairs = ScanPairs(*source);
+  const uint64_t before = parallel_store_.allocator()->allocated_bytes();
+
+  CrashPoints::Arm("clone.parallel.copy");
+  auto crashed = source->Clone("CP", parallel_);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed.status()));
+  EXPECT_EQ(parallel_store_.allocator()->allocated_bytes(), before);
+  EXPECT_EQ(ScanPairs(*source), source_pairs);
+
+  CrashPoints::Reset();
+  ASSERT_OK_AND_ASSIGN(auto clone, source->Clone("CP", parallel_));
+  EXPECT_EQ(ScanPairs(*clone), source_pairs);
+}
+
+TEST_F(ParallelBuildTest, CrashInPackedFlushLeavesOldIndexServing) {
+  std::vector<DayBatch> window = WideWorkload(/*days=*/3, /*values=*/30);
+  const std::vector<const DayBatch*> ptrs = Pointers(window);
+  std::shared_ptr<ConstituentIndex> index;
+  {
+    auto built = IndexBuilder::BuildPacked(parallel_store_.device(),
+                                           parallel_store_.allocator(), {},
+                                           ptrs, "I", parallel_);
+    ASSERT_OK(built.status());
+    index = std::move(built).ValueOrDie();
+  }
+  const auto before_pairs = ScanPairs(*index);
+  const uint64_t before_bytes = parallel_store_.allocator()->allocated_bytes();
+
+  std::unique_ptr<Updater> updater =
+      MakeUpdater(UpdateTechniqueKind::kPackedShadow);
+  updater->set_parallel(parallel_);
+  DayBatch next = MakeMixedBatch(4, /*num_records=*/24);
+  const DayBatch* add = &next;
+  TimeSet expire;
+  expire.insert(1);
+
+  CrashPoints::Arm("updater.packed.parallel_flush");
+  Status crashed = updater->Apply(&index, {&add, 1}, expire);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(IsInjectedCrash(crashed));
+  // Shadow semantics: the failed update changed nothing the reader can see,
+  // and the aborted shadow freed all of its space.
+  EXPECT_EQ(ScanPairs(*index), before_pairs);
+  EXPECT_EQ(parallel_store_.allocator()->allocated_bytes(), before_bytes);
+
+  CrashPoints::Reset();
+  ASSERT_OK(updater->Apply(&index, {&add, 1}, expire));
+  EXPECT_OK(index->CheckPacked());
+  EXPECT_FALSE(index->time_set().contains(1));
+  EXPECT_TRUE(index->time_set().contains(4));
+}
+
+}  // namespace
+}  // namespace wavekit

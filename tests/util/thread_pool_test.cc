@@ -136,6 +136,91 @@ TEST(ThreadPoolTest, SubmitConcurrentWithWaitIsSafe) {
   EXPECT_EQ(counter.load(), 3 * kPerThread);
 }
 
+TEST(WaitGroupTest, JoinsOnlyItsOwnTasks) {
+  // A WaitGroup's Wait must return once ITS tasks are done, even while an
+  // unrelated task (e.g. query fan-out sharing the pool) is still running.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> unrelated{0};
+  pool.Submit([&]() {
+    while (!release.load()) std::this_thread::yield();
+    ++unrelated;
+  });
+  std::atomic<int> group_count{0};
+  {
+    ThreadPool::WaitGroup group(&pool);
+    for (int i = 0; i < 8; ++i) group.Submit([&group_count]() { ++group_count; });
+    group.Wait();
+    EXPECT_EQ(group_count.load(), 8);
+    // The unrelated task is still parked: the group did not drain the pool.
+    EXPECT_EQ(unrelated.load(), 0);
+  }
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(unrelated.load(), 1);
+}
+
+TEST(WaitGroupTest, ReentrantSubmitDuringWaitIsCovered) {
+  // Tasks submitted through the group from inside its own running tasks
+  // (while the coordinator is already blocked in Wait) must be covered by
+  // that same Wait — the pending count is raised before the parent finishes.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  ThreadPool::WaitGroup group(&pool);
+  for (int root = 0; root < 8; ++root) {
+    group.Submit([&group, &counter]() {
+      ++counter;
+      group.Submit([&group, &counter]() {
+        ++counter;
+        group.Submit([&counter]() { ++counter; });  // grandchild
+      });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 8 * 3);
+  EXPECT_EQ(group.pending(), 0);
+}
+
+TEST(WaitGroupTest, DestructorIsABackstopWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::WaitGroup group(&pool);
+    for (int i = 0; i < 32; ++i) group.Submit([&counter]() { ++counter; });
+    // No explicit Wait: the destructor joins.
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(WaitGroupTest, GroupsOnOnePoolAreIndependent) {
+  // Two concurrent stages on one pool: each group's Wait covers exactly its
+  // own submissions, in any interleaving.
+  ThreadPool pool(4);
+  std::atomic<int> a_count{0}, b_count{0};
+  ThreadPool::WaitGroup a(&pool), b(&pool);
+  for (int i = 0; i < 16; ++i) {
+    a.Submit([&a_count]() { ++a_count; });
+    b.Submit([&b_count]() { ++b_count; });
+  }
+  a.Wait();
+  EXPECT_EQ(a_count.load(), 16);
+  b.Wait();
+  EXPECT_EQ(b_count.load(), 16);
+}
+
+TEST(WaitGroupTest, ReusableAfterWait) {
+  // A group can run several rounds: Wait resets nothing, the count just
+  // returns to zero and new submissions raise it again.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  ThreadPool::WaitGroup group(&pool);
+  for (int round = 1; round <= 4; ++round) {
+    for (int i = 0; i < 10; ++i) group.Submit([&counter]() { ++counter; });
+    group.Wait();
+    EXPECT_EQ(counter.load(), round * 10);
+  }
+}
+
 TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);

@@ -15,6 +15,7 @@
 #include "testing/test_env.h"
 #include "util/crash_point.h"
 #include "util/fs.h"
+#include "util/thread_pool.h"
 #include "wave/journal.h"
 #include "wave/recovery.h"
 #include "wave/scheme_factory.h"
@@ -102,9 +103,13 @@ void VerifyAgainstOracle(const WaveIndex& wave, Day day, uint64_t seed) {
 
 // One crash-and-recover cycle: run to just before `crash_day`, arm `point`,
 // crash inside the AdvanceDay, restart from durable state, verify, re-run,
-// verify again, keep going.
-void RunProtocolTorture(SchemeKind kind, const std::string& point,
-                        uint64_t seed) {
+// verify again, keep going. With `parallel` enabled the scheme's primitives
+// take their multi-threaded paths (including the crash points inside
+// parallel build/clone/flush stages).
+void RunProtocolTorture(
+    SchemeKind kind, const std::string& point, uint64_t seed,
+    UpdateTechniqueKind technique = UpdateTechniqueKind::kSimpleShadow,
+    const ParallelContext& parallel = {}) {
   CrashPoints::Reset();
   const DurableMaintenance::Paths paths =
       PathsFor(std::string("crash_") + SchemeKindName(kind) + "_" + point +
@@ -116,8 +121,11 @@ void RunProtocolTorture(SchemeKind kind, const std::string& point,
     MeteredDevice metered(&memory);
     ExtentAllocator allocator(memory.capacity());
     DayStore day_store;
-    auto made = MakeScheme(kind, SchemeEnv{&metered, &allocator, &day_store},
-                           Config(kind));
+    SchemeConfig config = Config(kind);
+    config.technique = technique;
+    SchemeEnv env{&metered, &allocator, &day_store};
+    env.maintenance = parallel;
+    auto made = MakeScheme(kind, env, config);
     ASSERT_TRUE(made.ok()) << made.status();
     std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
     DurableMaintenance maintenance(scheme.get(), paths);
@@ -163,8 +171,11 @@ void RunProtocolTorture(SchemeKind kind, const std::string& point,
   for (Day d = state.current_day - kWindow + 1; d <= state.current_day; ++d) {
     ASSERT_OK(day_store.Put(Batch(d, seed)));
   }
-  auto made = MakeScheme(kind, SchemeEnv{&metered, &allocator, &day_store},
-                         Config(kind));
+  SchemeConfig config = Config(kind);
+  config.technique = technique;
+  SchemeEnv env{&metered, &allocator, &day_store};
+  env.maintenance = parallel;
+  auto made = MakeScheme(kind, env, config);
   ASSERT_TRUE(made.ok()) << made.status();
   std::unique_ptr<Scheme> scheme = std::move(made).ValueOrDie();
   ASSERT_OK(scheme->Adopt(std::move(state.wave), state.current_day));
@@ -279,6 +290,47 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// --- Crash points inside parallel maintenance stages ------------------------
+
+TEST(ParallelStageCrashRecoveryTest, ParallelCrashPointsRecover) {
+  // Crashes landing INSIDE the multi-threaded build/clone/flush stages must
+  // recover exactly like protocol-level crashes: the stage fails
+  // all-or-nothing on the coordinator thread and the journal protocol rolls
+  // the transition back. Each case pairs a crash point with a scheme whose
+  // transition actually runs that parallel stage.
+  struct Case {
+    SchemeKind kind;
+    UpdateTechniqueKind technique;
+    const char* point;
+    // Seeds pick the crash day (kWindow + 1 + seed % 4); each case needs
+    // days where its parallel stage actually executes.
+    uint64_t seeds[3];
+  };
+  const Case kCases[] = {
+      {SchemeKind::kReindex, UpdateTechniqueKind::kSimpleShadow,
+       "builder.parallel.group", {1, 2, 3}},
+      {SchemeKind::kReindex, UpdateTechniqueKind::kSimpleShadow,
+       "builder.parallel.write", {1, 2, 3}},
+      {SchemeKind::kReindexPlus, UpdateTechniqueKind::kSimpleShadow,
+       "clone.parallel.copy", {1, 2, 3}},
+      // WATA runs the packed updater only on "Wait" days (ThrowAway days
+      // rebuild from scratch instead). With window 6 and 3 indexes, days
+      // 9 and 11 are ThrowAway, so seeds must land the crash on 7, 8 or 10.
+      {SchemeKind::kWata, UpdateTechniqueKind::kPackedShadow,
+       "updater.packed.parallel_flush", {1, 3, 4}},
+  };
+  ThreadPool pool(4);
+  const ParallelContext parallel{&pool, 4};
+  for (const Case& c : kCases) {
+    for (uint64_t seed : c.seeds) {
+      SCOPED_TRACE(std::string(SchemeKindName(c.kind)) + " crash point '" +
+                   c.point + "' seed " + std::to_string(seed));
+      RunProtocolTorture(c.kind, c.point, seed, c.technique, parallel);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
 
 // --- Journal unit tests -----------------------------------------------------
 
