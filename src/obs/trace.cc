@@ -20,8 +20,9 @@ Span::Span(Tracer* tracer, std::string name, Span* parent)
   record_.span_id = tracer_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
   record_.trace_id = parent != nullptr ? parent->record_.trace_id : record_.span_id;
   record_.parent_span_id = parent != nullptr ? parent->record_.span_id : 0;
-  start_ = std::chrono::steady_clock::now();
-  record_.start_us = tracer_->MicrosSinceEpoch(start_);
+  start_us_ = tracer_->options_.clock->NowMicros();
+  record_.start_us =
+      start_us_ >= tracer_->epoch_us_ ? start_us_ - tracer_->epoch_us_ : 0;
   if (tracer_->options_.meter != nullptr) {
     io_start_ = tracer_->options_.meter->total();
   }
@@ -34,7 +35,7 @@ Span& Span::operator=(Span&& other) noexcept {
   tracer_ = other.tracer_;
   parent_ = other.parent_;
   record_ = std::move(other.record_);
-  start_ = other.start_;
+  start_us_ = other.start_us_;
   io_start_ = other.io_start_;
   // The moved-from span may be the thread-current one (return-by-value from
   // StartSpan without elision); keep the pointer alive across the move.
@@ -45,10 +46,8 @@ Span& Span::operator=(Span&& other) noexcept {
 
 void Span::Finish() {
   if (tracer_ == nullptr) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  const auto us =
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
-  record_.duration_us = us < 0 ? 0 : static_cast<uint64_t>(us);
+  const uint64_t now_us = tracer_->options_.clock->NowMicros();
+  record_.duration_us = now_us >= start_us_ ? now_us - start_us_ : 0;
   if (tracer_->options_.meter != nullptr) {
     const IoCounters delta = tracer_->options_.meter->total() - io_start_;
     record_.seeks = delta.seeks;
@@ -61,8 +60,9 @@ void Span::Finish() {
   tracer->FinishSpan(std::move(record_));
 }
 
-Tracer::Tracer(Options options)
-    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+Tracer::Tracer(Options options) : options_(options) {
+  if (options_.clock == nullptr) options_.clock = RealClock::Instance();
+  epoch_us_ = options_.clock->NowMicros();
   if (options_.ring_capacity == 0) options_.ring_capacity = 1;
   if (options_.sample_rate >= 1.0) {
     sample_period_ = 1;
@@ -130,14 +130,6 @@ void Tracer::Clear() {
   ring_.clear();
   ring_next_ = 0;
   ring_full_ = false;
-}
-
-uint64_t Tracer::MicrosSinceEpoch(
-    std::chrono::steady_clock::time_point t) const {
-  const auto us =
-      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
-          .count();
-  return us < 0 ? 0 : static_cast<uint64_t>(us);
 }
 
 }  // namespace obs

@@ -22,7 +22,6 @@
 #define WAVEKIT_OBS_TRACE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -31,6 +30,7 @@
 
 #include "storage/cost_model.h"
 #include "storage/metered_device.h"
+#include "util/clock.h"
 
 namespace wavekit {
 namespace obs {
@@ -78,7 +78,7 @@ class Span {
   Tracer* tracer_ = nullptr;  ///< nullptr = inert.
   Span* parent_ = nullptr;    ///< Restored as thread-current on Finish.
   SpanRecord record_;
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_us_ = 0;     ///< Clock reading at span start.
   IoCounters io_start_;
 };
 
@@ -99,6 +99,10 @@ class Tracer {
     /// When set, spans record the seek/byte delta of this meter over their
     /// lifetime (best-effort under concurrency).
     MeteredDevice* meter = nullptr;
+    /// Time source for span timestamps and durations. Defaults to the wall
+    /// clock; the simulation harness injects a SimClock so every recorded
+    /// timestamp is a deterministic function of the episode seed.
+    Clock* clock = nullptr;
   };
 
   explicit Tracer(Options options);
@@ -134,11 +138,10 @@ class Tracer {
   /// Whether the next root span is sampled (deterministic counter-based).
   bool SampleRoot();
   void FinishSpan(SpanRecord record);
-  uint64_t MicrosSinceEpoch(std::chrono::steady_clock::time_point t) const;
 
   Options options_;
   uint64_t sample_period_;  ///< 0 = never, 1 = always, k = every k-th root.
-  std::chrono::steady_clock::time_point epoch_;
+  uint64_t epoch_us_;       ///< Clock reading when the tracer was created.
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> roots_started_{0};
   std::atomic<uint64_t> roots_sampled_{0};

@@ -1,0 +1,83 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace wavekit {
+namespace testing {
+
+void OracleDB::AdvanceDay(const DayBatch& batch, int window) {
+  for (const Record& record : batch.records) {
+    for (size_t i = 0; i < record.values.size(); ++i) {
+      const Entry entry{record.record_id, batch.day, record.AuxFor(i)};
+      by_value_[record.values[i]].push_back(entry);
+      days_[batch.day].emplace_back(record.values[i], entry);
+    }
+  }
+  if (days_.find(batch.day) == days_.end()) {
+    days_[batch.day];  // a day with no records still occupies its window slot
+  }
+  current_day_ = std::max(current_day_, batch.day);
+  const Day oldest_live = current_day_ - static_cast<Day>(window) + 1;
+  while (!days_.empty() && days_.begin()->first < oldest_live) {
+    for (const auto& [value, entry] : days_.begin()->second) {
+      auto it = by_value_.find(value);
+      if (it == by_value_.end()) continue;
+      auto& entries = it->second;
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [&](const Entry& e) {
+                                     return e.record_id == entry.record_id &&
+                                            e.day == entry.day &&
+                                            e.aux == entry.aux;
+                                   }),
+                    entries.end());
+      if (entries.empty()) by_value_.erase(it);
+    }
+    days_.erase(days_.begin());
+  }
+}
+
+void OracleDB::Clear() {
+  by_value_.clear();
+  days_.clear();
+  current_day_ = 0;
+}
+
+std::vector<Entry> OracleDB::Probe(const Value& value,
+                                   const DayRange& range) const {
+  std::vector<Entry> out;
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) return out;
+  for (const Entry& e : it->second) {
+    if (range.Contains(e.day)) out.push_back(e);
+  }
+  Sort(&out);
+  return out;
+}
+
+std::vector<Entry> OracleDB::ScanAll(const DayRange& range) const {
+  std::vector<Entry> out;
+  for (const auto& [day, pairs] : days_) {
+    if (!range.Contains(day)) continue;
+    for (const auto& [value, entry] : pairs) out.push_back(entry);
+  }
+  Sort(&out);
+  return out;
+}
+
+size_t OracleDB::live_entries() const {
+  size_t n = 0;
+  for (const auto& [day, pairs] : days_) n += pairs.size();
+  return n;
+}
+
+void OracleDB::Sort(std::vector<Entry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.record_id, a.day, a.aux) <
+                     std::tie(b.record_id, b.day, b.aux);
+            });
+}
+
+}  // namespace testing
+}  // namespace wavekit

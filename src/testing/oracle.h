@@ -1,0 +1,69 @@
+// OracleDB: the brute-force truth the simulation harness checks every query
+// against.
+//
+// A sorted in-memory multimap of exactly the live sliding window: AdvanceDay
+// appends the new day's (value, entry) pairs and expires the day that fell
+// out of the window. Probe/Scan answers are definitionally correct, so any
+// divergence from a wave index under test is a bug in the scheme (or a
+// genuine invariant violation the harness injected on purpose).
+//
+// The oracle is also reconstructible at any day from the deterministic
+// scenario workload (ResetToWindow), which is how the harness re-syncs it
+// after a simulated crash + recovery lands on a rolled-back day.
+
+#ifndef WAVEKIT_TESTING_ORACLE_H_
+#define WAVEKIT_TESTING_ORACLE_H_
+
+#include <map>
+#include <vector>
+
+#include "index/entry.h"
+#include "index/record.h"
+#include "util/day.h"
+#include "wave/day_store.h"
+
+namespace wavekit {
+namespace testing {
+
+/// \brief Sorted in-memory reference of the live window's entries.
+class OracleDB {
+ public:
+  /// Incorporates `batch` (must be day current_day()+1, or any day when the
+  /// oracle is empty) and expires days older than `window`.
+  void AdvanceDay(const DayBatch& batch, int window);
+
+  /// Clears everything (for ResetToWindow-style rebuilds).
+  void Clear();
+
+  /// Entries for `value` with day in `range`, sorted by (record_id, day,
+  /// aux) for order-insensitive comparison.
+  std::vector<Entry> Probe(const Value& value, const DayRange& range) const;
+
+  /// All live entries with day in `range`, sorted.
+  std::vector<Entry> ScanAll(const DayRange& range) const;
+
+  /// Newest day incorporated (0 when empty).
+  Day current_day() const { return current_day_; }
+
+  /// Oldest live day (0 when empty).
+  Day oldest_day() const {
+    return days_.empty() ? 0 : days_.begin()->first;
+  }
+
+  /// Total live entries.
+  size_t live_entries() const;
+
+  /// Canonical comparison order used by Probe/ScanAll.
+  static void Sort(std::vector<Entry>* entries);
+
+ private:
+  // Live window, keyed by value (the multimap) and by day (for expiry).
+  std::map<Value, std::vector<Entry>> by_value_;
+  std::map<Day, std::vector<std::pair<Value, Entry>>> days_;
+  Day current_day_ = 0;
+};
+
+}  // namespace testing
+}  // namespace wavekit
+
+#endif  // WAVEKIT_TESTING_ORACLE_H_

@@ -1,0 +1,49 @@
+#include "testing/sim_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wavekit {
+namespace testing {
+
+void SimExecutor::Submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(task));
+}
+
+bool SimExecutor::RunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    // The seeded pick IS the interleaving: same seed, same schedule. Only
+    // the `width_` oldest tasks are candidates — a real width_-worker pool
+    // cannot complete a task it has not yet picked up.
+    const size_t candidates = std::min(queue_.size(), width_);
+    const size_t i = static_cast<size_t>(rng_.Uniform(candidates));
+    task = std::move(queue_[i]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++tasks_run_;
+  }
+  task();  // outside the lock: the task may Submit reentrantly
+  return true;
+}
+
+size_t SimExecutor::RunUntilIdle() {
+  size_t ran = 0;
+  while (RunOne()) ++ran;
+  return ran;
+}
+
+size_t SimExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+int SimExecutor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace testing
+}  // namespace wavekit

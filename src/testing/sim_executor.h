@@ -1,0 +1,89 @@
+// SimExecutor: a deterministic, single-threaded stand-in for ThreadPool.
+//
+// The FoundationDB lesson: concurrency bugs reproduce only if the scheduler
+// is part of the seed. SimExecutor honours the full ThreadPool submit/wait
+// contract (reentrant submits, WaitGroup joins, drain-on-destruction) with
+// zero real threads: Submit only queues; tasks execute when the owner (or a
+// Wait/WaitGroup::Wait) drains the queue, and the drain order is a seeded
+// pseudo-random permutation — every run with the same seed interleaves
+// identically, and different seeds explore different interleavings.
+//
+// Control surface for the simulation driver:
+//   - RunOne()       executes exactly one queued task (seeded pick), so a
+//                    test can interleave probes between queued async
+//                    transitions at any granularity.
+//   - RunUntilIdle() drains everything, including tasks submitted by the
+//                    tasks it runs.
+//
+// Deliberately NOT thread-safe in the way ThreadPool is: the simulation is
+// single-threaded by design (that is the whole point). A mutex still guards
+// the queue so incidental cross-thread Submits (e.g. from code that also
+// runs in production) are not data races, but tasks always execute on the
+// draining thread.
+
+#ifndef WAVEKIT_TESTING_SIM_EXECUTOR_H_
+#define WAVEKIT_TESTING_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace wavekit {
+namespace testing {
+
+/// \brief Deterministic workerless ThreadPool: tasks queue on Submit and run
+/// in a seeded pseudo-random order when drained.
+///
+/// `width` models the worker count of the pool being simulated: a real
+/// k-worker pool picks tasks up FIFO, so only the k oldest queued tasks can
+/// ever be in flight (and finish in any order) at once. The drain therefore
+/// picks uniformly among the first `width` queued tasks — width 1 is strict
+/// FIFO (exactly a 1-thread pool, which WaveService's async advance runner
+/// depends on for ordering), larger widths explore the bounded reorderings a
+/// real pool could produce.
+class SimExecutor : public ThreadPool {
+ public:
+  explicit SimExecutor(uint64_t seed, size_t width = 1)
+      : rng_(seed), width_(width == 0 ? 1 : width) {}
+  ~SimExecutor() override { RunUntilIdle(); }
+
+  /// Queues `task`; nothing executes until a drain.
+  void Submit(std::function<void()> task) override;
+
+  /// Drains the queue on the calling thread (ThreadPool::Wait contract:
+  /// covers tasks the drained tasks submit).
+  void Wait() override { RunUntilIdle(); }
+
+  /// Runs one queued task, chosen by the seeded interleaving. Returns false
+  /// when the queue was empty.
+  bool RunOne();
+
+  /// Runs queued tasks (and their reentrant children) until none remain.
+  /// Returns how many tasks ran.
+  size_t RunUntilIdle();
+
+  size_t queue_depth() const override;
+  int in_flight() const override;
+
+  /// Tasks executed so far (for trace/assertion purposes).
+  uint64_t tasks_run() const { return tasks_run_; }
+
+ protected:
+  void DrainForWait() override { RunUntilIdle(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::function<void()>> queue_;
+  Rng rng_;
+  size_t width_;
+  uint64_t tasks_run_ = 0;
+};
+
+}  // namespace testing
+}  // namespace wavekit
+
+#endif  // WAVEKIT_TESTING_SIM_EXECUTOR_H_

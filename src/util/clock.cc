@@ -1,0 +1,24 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace wavekit {
+
+RealClock* RealClock::Instance() {
+  static RealClock* const clock = new RealClock;
+  return clock;
+}
+
+uint64_t RealClock::NowMicros() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void RealClock::SleepUs(uint64_t us) {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace wavekit

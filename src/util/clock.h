@@ -1,0 +1,73 @@
+// Clock: the time source seam that makes the whole system simulable.
+//
+// Production code never calls std::chrono::steady_clock::now() or
+// sleep_for directly for behaviour-relevant time (retry backoff, tracer
+// timestamps, latency metering). It asks an injected Clock instead:
+//
+//   - RealClock      wall time; the default everywhere, so ordinary builds
+//                    behave exactly as before this seam existed.
+//   - SimClock       virtual time owned by the deterministic simulation
+//                    harness (src/testing/). Sleeping advances the virtual
+//                    clock instantly, so a thousand simulated retry backoffs
+//                    cost nothing and every timestamp in an episode is a
+//                    pure function of the episode's seed.
+//
+// Log-line timestamps (util/logging.cc) intentionally stay on the system
+// clock: they are human-facing annotations, never compared by tests.
+
+#ifndef WAVEKIT_UTIL_CLOCK_H_
+#define WAVEKIT_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wavekit {
+
+/// \brief Monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary (per-clock) epoch.
+  virtual uint64_t NowMicros() = 0;
+
+  /// Blocks (or, in simulation, advances virtual time by) `us` microseconds.
+  virtual void SleepUs(uint64_t us) = 0;
+};
+
+/// \brief The process-wide wall clock (std::chrono::steady_clock).
+class RealClock : public Clock {
+ public:
+  /// The shared instance; used wherever no clock was injected.
+  static RealClock* Instance();
+
+  uint64_t NowMicros() override;
+  void SleepUs(uint64_t us) override;
+};
+
+/// \brief A virtual clock for deterministic simulation. Time only moves when
+/// something advances it: SleepUs jumps the clock forward by the requested
+/// amount (so retry backoff is free and reproducible), and the simulation
+/// driver calls Advance to model elapsing days. Thread-safe.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_us = 0) : now_us_(start_us) {}
+
+  uint64_t NowMicros() override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+
+  void SleepUs(uint64_t us) override { Advance(us); }
+
+  /// Moves virtual time forward by `us`.
+  void Advance(uint64_t us) {
+    now_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_us_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_CLOCK_H_

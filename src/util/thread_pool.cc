@@ -58,6 +58,13 @@ void ThreadPool::WaitGroup::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitGroup::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_ == 0) return;
+  }
+  // Workerless executors run our queued tasks inline here; worker-backed
+  // pools do nothing and the wait below blocks until their workers finish.
+  pool_->DrainForWait();
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this]() { return pending_ == 0; });
 }

@@ -34,20 +34,26 @@ namespace wavekit {
 ///    before the destructor returns. No task is dropped.
 ///  - Tasks must not throw (an escaping exception terminates the process)
 ///    and must not call Wait (a worker waiting for itself deadlocks).
+///
+/// Submit/Wait are virtual so a deterministic drop-in can honor the same
+/// contract without real threads: testing::SimExecutor queues every task and
+/// runs them single-threaded in a seeded pseudo-random order when Wait (or a
+/// WaitGroup::Wait) drains it. Code written against ThreadPool* simulates
+/// for free.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  virtual ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  virtual void Submit(std::function<void()> task);
 
   /// Blocks until every previously submitted task (and its transitive
   /// reentrant children) has finished executing.
-  void Wait();
+  virtual void Wait();
 
   /// \brief Scoped join over a subset of a pool's tasks.
   ///
@@ -98,10 +104,21 @@ class ThreadPool {
 
   /// Tasks queued and not yet picked up by a worker (point-in-time sample;
   /// safe from any thread — used by the observability layer).
-  size_t queue_depth() const;
+  virtual size_t queue_depth() const;
 
   /// Queued + currently executing tasks (the count Wait waits to hit zero).
-  int in_flight() const;
+  virtual int in_flight() const;
+
+ protected:
+  /// For executor subclasses that schedule tasks themselves: spawns no
+  /// workers and leaves the base queue unused.
+  ThreadPool() = default;
+
+  /// Called by WaitGroup::Wait before it blocks on the group's condition.
+  /// Worker-backed pools need nothing (workers drain the queue); an executor
+  /// with no workers overrides this to run its queued tasks inline on the
+  /// waiting thread, so the group's pending count can reach zero.
+  virtual void DrainForWait() {}
 
  private:
   void WorkerLoop();

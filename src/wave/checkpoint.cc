@@ -1,5 +1,8 @@
 #include "wave/checkpoint.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "util/crc32.h"
@@ -30,7 +33,8 @@ void AppendLengthPrefixed(std::string* out, const std::string& s) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& contents) : in_(contents) {}
+  explicit Parser(const std::string& contents)
+      : in_(contents), size_(contents.size()) {}
 
   Result<std::string> Token() {
     std::string token;
@@ -52,6 +56,11 @@ class Parser {
     if (!(in_ >> length >> colon) || colon != ':') {
       return Status::InvalidArgument("malformed length-prefixed string");
     }
+    // A string cannot be longer than the file holding it; checking before
+    // allocating keeps a corrupt length field from requesting gigabytes.
+    if (length > size_) {
+      return Status::InvalidArgument("length-prefixed string longer than file");
+    }
     std::string out(length, '\0');
     if (!in_.read(out.data(), static_cast<std::streamsize>(length))) {
       return Status::InvalidArgument("truncated length-prefixed string");
@@ -70,6 +79,7 @@ class Parser {
 
  private:
   std::istringstream in_;
+  size_t size_;
 };
 
 Result<TimeSet> ParseDays(const std::string& csv) {
@@ -78,7 +88,18 @@ Result<TimeSet> ParseDays(const std::string& csv) {
   std::string piece;
   while (std::getline(in, piece, ',')) {
     if (piece.empty()) continue;
-    days.insert(static_cast<Day>(std::stol(piece)));
+    // strtol instead of std::stol: a corrupt file must surface as a Status,
+    // not an exception.
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str() || *end != '\0' || errno == ERANGE ||
+        value < std::numeric_limits<Day>::min() ||
+        value > std::numeric_limits<Day>::max()) {
+      return Status::InvalidArgument("malformed day '" + piece +
+                                     "' in checkpoint");
+    }
+    days.insert(static_cast<Day>(value));
   }
   return days;
 }
@@ -199,7 +220,10 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
       WAVEKIT_ASSIGN_OR_RETURN(int64_t offset, parser.Int());
       WAVEKIT_ASSIGN_OR_RETURN(int64_t count, parser.Int());
       WAVEKIT_ASSIGN_OR_RETURN(int64_t capacity, parser.Int());
-      if (count < 0 || capacity < count) {
+      // Bounds before any cast: a corrupt offset/capacity must not wrap into
+      // a plausible-looking extent.
+      if (count < 0 || capacity < count || offset < 0 ||
+          capacity > static_cast<int64_t>(device->capacity() / kEntrySize)) {
         return Status::InvalidArgument("corrupt bucket bounds for '" + value +
                                        "'");
       }

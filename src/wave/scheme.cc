@@ -1,8 +1,7 @@
 #include "wave/scheme.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
+#include <atomic>
 
 #include "index/index_builder.h"
 #include "update/in_place_updater.h"
@@ -11,6 +10,21 @@
 #include "util/macros.h"
 
 namespace wavekit {
+
+namespace internal {
+namespace {
+std::atomic<bool> g_window_invariant_mutation{false};
+}  // namespace
+
+void SetWindowInvariantMutationForTesting(bool enabled) {
+  g_window_invariant_mutation.store(enabled, std::memory_order_relaxed);
+}
+
+bool WindowInvariantMutationForTesting() {
+  return g_window_invariant_mutation.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 const char* SchemeKindName(SchemeKind kind) {
   switch (kind) {
@@ -99,6 +113,12 @@ Status Scheme::Transition(DayBatch new_day) {
   const Day day = new_day.day;
   WAVEKIT_RETURN_NOT_OK(env_.day_store->Put(std::move(new_day)));
   current_day_ = day;
+  if (internal::WindowInvariantMutationForTesting() && day % 3 == 0) {
+    // Deliberate bug (mutation testing only): claim the transition happened
+    // without running it — the window neither gains the new day nor sheds
+    // the expired one. The simulation harness must catch this.
+    return Status::OK();
+  }
   WAVEKIT_ASSIGN_OR_RETURN(const DayBatch* batch, env_.day_store->Get(day));
   const Status status = DoTransition(*batch);
   if (!status.ok()) {
@@ -149,7 +169,11 @@ Status Scheme::RetryTransient(std::string_view op,
     if (attempt >= max_attempts) break;
     retries_.fetch_add(1, std::memory_order_relaxed);
     if (backoff_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      // Injected clock: real time in production, virtual (free) time under
+      // the deterministic simulation harness.
+      Clock* clock =
+          env_.clock != nullptr ? env_.clock : RealClock::Instance();
+      clock->SleepUs(backoff_us);
       backoff_us = std::min(env_.retry.max_backoff_us, backoff_us * 2);
     }
   }

@@ -22,6 +22,7 @@
 #include "index/constituent_index.h"
 #include "obs/trace.h"
 #include "storage/metered_device.h"
+#include "util/clock.h"
 #include "update/update_technique.h"
 #include "wave/day_store.h"
 #include "wave/op_log.h"
@@ -122,6 +123,11 @@ struct SchemeEnv {
 
   /// Retry behaviour for transient I/O errors inside maintenance primitives.
   RetryPolicy retry;
+
+  /// Time source for retry backoff sleeps. Defaults to the wall clock; the
+  /// deterministic simulation harness injects a SimClock so backoff advances
+  /// virtual time instead of stalling the run. Must outlive the scheme.
+  Clock* clock = nullptr;
 
   /// Maintenance parallelism. When `maintenance.enabled()`, the Section 2.2
   /// primitives fan their bulk work out on this pool: packed builds group
@@ -349,6 +355,19 @@ class Scheme {
   std::atomic<uint64_t> retries_exhausted_{0};
   std::atomic<uint64_t> marked_unhealthy_{0};
 };
+
+namespace internal {
+
+/// Mutation-test hook for the deterministic simulation harness: when
+/// enabled, Scheme::Transition silently SKIPS the scheme's DoTransition on
+/// every third day while still claiming success — a deliberate
+/// sliding-window-invariant bug. The harness's acceptance test flips this on
+/// and asserts the oracle cross-checks catch it within a bounded number of
+/// episodes for every scheme. Never enabled in production code paths.
+void SetWindowInvariantMutationForTesting(bool enabled);
+bool WindowInvariantMutationForTesting();
+
+}  // namespace internal
 
 }  // namespace wavekit
 

@@ -1,27 +1,15 @@
 #include "wave/wave_service.h"
 
-#include <chrono>
-
 #include "obs/attach.h"
 #include "util/macros.h"
 #include "wave/scheme_factory.h"
 
 namespace wavekit {
-namespace {
-
-/// Elapsed microseconds since `start` (clamped to >= 1 so histograms retain
-/// sub-microsecond events).
-uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  const auto us =
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
-  return us <= 0 ? 1 : static_cast<uint64_t>(us);
-}
-
-}  // namespace
 
 WaveService::WaveService(Options options)
     : options_(options),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : RealClock::Instance()),
       memory_(options.device_capacity),
       interposed_(options_.device_interposer ? options_.device_interposer(&memory_)
                                              : nullptr),
@@ -33,21 +21,33 @@ WaveService::WaveService(Options options)
         options_.cache_shards);
   }
   if (options_.num_query_threads > 1) {
-    query_pool_ = std::make_unique<ThreadPool>(options_.num_query_threads);
+    query_pool_ = MakePool(options_.num_query_threads, "query");
   }
   if (options_.num_maintenance_threads > 1) {
-    maintenance_pool_ =
-        std::make_unique<ThreadPool>(options_.num_maintenance_threads);
+    maintenance_pool_ = MakePool(options_.num_maintenance_threads, "maintenance");
   }
   obs::Tracer::Options trace_options;
   trace_options.sample_rate = options_.trace_sample_rate;
   trace_options.ring_capacity = options_.trace_ring_capacity;
   trace_options.slow_op_threshold_us = options_.slow_op_threshold_us;
   trace_options.meter = &device_;
+  trace_options.clock = clock_;
   tracer_ = std::make_unique<obs::Tracer>(trace_options);
   if (options_.metrics_registry != nullptr) {
     RegisterMetrics();
   }
+}
+
+std::unique_ptr<ThreadPool> WaveService::MakePool(int threads,
+                                                  const std::string& role) {
+  if (options_.pool_factory) return options_.pool_factory(threads, role);
+  return std::make_unique<ThreadPool>(threads);
+}
+
+uint64_t WaveService::MicrosSince(uint64_t start_us) const {
+  const uint64_t now_us = clock_->NowMicros();
+  // Clamped to >= 1 so histograms retain sub-microsecond events.
+  return now_us > start_us ? now_us - start_us : 1;
 }
 
 WaveService::~WaveService() {
@@ -163,6 +163,7 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
   env.io_device = service->cache_.get();  // nullptr = straight to the meter
   env.tracer = service->tracer_.get();
   env.retry = options.retry;
+  env.clock = service->clock_;
   if (service->maintenance_pool_ != nullptr) {
     env.maintenance.pool = service->maintenance_pool_.get();
     env.maintenance.threads = options.num_maintenance_threads;
@@ -187,7 +188,7 @@ void WaveService::AdvanceDayAsync(DayBatch new_day) {
   // Lazy creation is safe: the maintenance API is single-caller, and the
   // runner pointer is never touched by query threads or metric callbacks.
   if (advance_runner_ == nullptr) {
-    advance_runner_ = std::make_unique<ThreadPool>(1);
+    advance_runner_ = MakePool(1, "advance");
   }
   async_advances_.fetch_add(1, std::memory_order_relaxed);
   pending_advances_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +218,7 @@ Status WaveService::AdvanceDayLocked(DayBatch new_day) {
   // The scheme's wave index is only touched under advance_mutex_; queries
   // never see it directly — they use the published snapshot, whose
   // constituents shadow updates never mutate in place.
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start = clock_->NowMicros();
   {
     // Root span: the scheme's primitives nest under it as children.
     obs::Span span = tracer_->StartSpan("AdvanceDay");
@@ -287,7 +288,7 @@ Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("service not started");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start = clock_->NowMicros();
   Status status =
       query_pool_ != nullptr
           ? snapshot->ParallelTimedIndexProbe(query_pool_.get(), range, value,
@@ -313,7 +314,7 @@ Status WaveService::TimedSegmentScan(const DayRange& range,
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("service not started");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start = clock_->NowMicros();
   Status status = snapshot->TimedSegmentScan(range, callback, stats);
   if (status.IsPartialResult()) {
     partial_results_.fetch_add(1, std::memory_order_relaxed);

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "util/histogram.h"
 
@@ -30,6 +31,7 @@
 #include "storage/extent_allocator.h"
 #include "storage/sharded_cached_device.h"
 #include "storage/synchronized_device.h"
+#include "util/clock.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 #include "wave/day_store.h"
@@ -80,6 +82,21 @@ class WaveService {
     /// FaultInjectingDevice) becomes the device the whole stack runs on. The
     /// service owns the decorator; it must not be null.
     std::function<std::unique_ptr<Device>(Device* inner)> device_interposer;
+
+    /// Determinism seam: when set, every internal pool (query fan-out,
+    /// maintenance fan-out, async advance runner) is created through this
+    /// factory instead of `new ThreadPool(threads)`. The simulation harness
+    /// supplies testing::SimExecutor instances so task interleaving is a
+    /// seeded, reproducible schedule. `role` is one of "query",
+    /// "maintenance", "advance".
+    std::function<std::unique_ptr<ThreadPool>(int threads,
+                                              const std::string& role)>
+        pool_factory;
+
+    /// Time source for latency histograms and tracer timestamps. Defaults
+    /// to the wall clock; the simulation harness injects a SimClock. Must
+    /// outlive the service.
+    Clock* clock = nullptr;
 
     /// When > 1, the service owns a ThreadPool of this many workers and
     /// TimedIndexProbe / IndexProbe fan the per-constituent probes out over
@@ -215,7 +232,15 @@ class WaveService {
   void Publish();
   void RegisterMetrics();
 
+  /// A pool of `threads` workers for `role`, via Options::pool_factory when
+  /// set (determinism seam) or a plain ThreadPool otherwise.
+  std::unique_ptr<ThreadPool> MakePool(int threads, const std::string& role);
+
+  /// Elapsed microseconds on the injected clock (clamped to >= 1).
+  uint64_t MicrosSince(uint64_t start_us) const;
+
   Options options_;
+  Clock* clock_;  // options_.clock or the wall clock
   MemoryDevice memory_;
   std::unique_ptr<Device> interposed_;  // optional chaos layer over memory_
   SynchronizedMeteredDevice device_;

@@ -1,0 +1,284 @@
+// Unit tests of the deterministic-simulation building blocks: SimClock,
+// SimExecutor (the workerless ThreadPool), OracleDB, and ScenarioGenerator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+#include "testing/sim_executor.h"
+#include "testing/test_env.h"
+#include "util/clock.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeScenarioDay;
+using testing::MakeScenarioProbes;
+using testing::OracleDB;
+using testing::ProbePlan;
+using testing::Scenario;
+using testing::ScenarioGenerator;
+using testing::SimExecutor;
+
+// --- SimClock ---------------------------------------------------------------
+
+TEST(SimClockTest, TimeOnlyMovesWhenAdvanced) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+TEST(SimClockTest, SleepAdvancesVirtualTimeInstantly) {
+  SimClock clock;
+  // A "sleep" that would stall a real run for an hour is free.
+  clock.SleepUs(uint64_t{3600} * 1000 * 1000);
+  EXPECT_EQ(clock.NowMicros(), uint64_t{3600} * 1000 * 1000);
+}
+
+TEST(RealClockTest, IsMonotonicNonDecreasing) {
+  Clock* clock = RealClock::Instance();
+  const uint64_t a = clock->NowMicros();
+  const uint64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+// --- SimExecutor ------------------------------------------------------------
+
+TEST(SimExecutorTest, SubmitDoesNotRunUntilDrained) {
+  SimExecutor exec(testing::TestSeed(0));
+  int ran = 0;
+  exec.Submit([&] { ++ran; });
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(exec.queue_depth(), 1u);
+  EXPECT_EQ(exec.RunUntilIdle(), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimExecutorTest, WidthOneIsStrictFifo) {
+  // The WaveService async-advance runner is a 1-thread pool and depends on
+  // submission order; the simulated stand-in must preserve it for any seed.
+  for (uint64_t i = 0; i < 16; ++i) {
+    SimExecutor exec(testing::TestSeed(i), /*width=*/1);
+    std::vector<int> order;
+    for (int t = 0; t < 8; ++t) {
+      exec.Submit([&order, t] { order.push_back(t); });
+    }
+    exec.RunUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "seed " << testing::TestSeed(i);
+  }
+}
+
+TEST(SimExecutorTest, SameSeedSameInterleaving) {
+  const auto run = [](uint64_t seed) {
+    SimExecutor exec(seed, /*width=*/3);
+    std::vector<int> order;
+    for (int t = 0; t < 32; ++t) {
+      exec.Submit([&order, t] { order.push_back(t); });
+    }
+    exec.RunUntilIdle();
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // Different seeds should (for this many tasks) pick a different order.
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimExecutorTest, WidthBoundsReordering) {
+  // With width k, a task can only run after all tasks submitted more than
+  // k-1 positions before it: position in the run order >= submit index - (k-1).
+  constexpr size_t kWidth = 3;
+  SimExecutor exec(testing::TestSeed(1), kWidth);
+  std::vector<int> order;
+  for (int t = 0; t < 20; ++t) {
+    exec.Submit([&order, t] { order.push_back(t); });
+  }
+  exec.RunUntilIdle();
+  ASSERT_EQ(order.size(), 20u);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    EXPECT_GE(static_cast<int>(pos), order[pos] - static_cast<int>(kWidth) + 1)
+        << "task " << order[pos] << " ran at position " << pos;
+  }
+}
+
+TEST(SimExecutorTest, ReentrantSubmitsRun) {
+  SimExecutor exec(testing::TestSeed(0));
+  int ran = 0;
+  exec.Submit([&] {
+    ++ran;
+    exec.Submit([&] {
+      ++ran;
+      exec.Submit([&] { ++ran; });
+    });
+  });
+  exec.RunUntilIdle();
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(exec.tasks_run(), 3u);
+}
+
+TEST(SimExecutorTest, RunOneStepsExactlyOneTask) {
+  SimExecutor exec(testing::TestSeed(0));
+  int ran = 0;
+  exec.Submit([&] { ++ran; });
+  exec.Submit([&] { ++ran; });
+  EXPECT_TRUE(exec.RunOne());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(exec.RunOne());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(exec.RunOne());
+}
+
+TEST(SimExecutorTest, WaitGroupJoinsOnWorkerlessExecutor) {
+  // WaitGroup::Wait would block forever on a workerless pool without the
+  // DrainForWait hook; with it, the waiting thread drains inline.
+  SimExecutor exec(testing::TestSeed(0));
+  int ran = 0;
+  ThreadPool::WaitGroup group(&exec);
+  group.Submit([&] { ++ran; });
+  group.Submit([&] { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(group.pending(), 0);
+}
+
+// --- OracleDB ---------------------------------------------------------------
+
+TEST(OracleDBTest, WindowExpiryMatchesReference) {
+  constexpr int kWindow = 3;
+  OracleDB oracle;
+  for (Day d = 1; d <= 6; ++d) {
+    oracle.AdvanceDay(testing::MakeMixedBatch(d, 4), kWindow);
+  }
+  EXPECT_EQ(oracle.current_day(), 6);
+  EXPECT_EQ(oracle.oldest_day(), 4);
+
+  // Reference over exactly the live window.
+  testing::ReferenceIndex reference;
+  for (Day d = 4; d <= 6; ++d) reference.Add(testing::MakeMixedBatch(d, 4));
+  const DayRange window{4, 6};
+  for (const Value& value :
+       {Value("alpha"), Value("day4"), Value("day6"), Value("day2")}) {
+    EXPECT_EQ(oracle.Probe(value, window), reference.Probe(value, 4, 6))
+        << value;
+  }
+  EXPECT_EQ(oracle.ScanAll(window), reference.ScanAll(4, 6));
+  // Expired days serve nothing even if the range asks for them.
+  EXPECT_TRUE(oracle.Probe("day2", DayRange{1, 6}).empty());
+}
+
+TEST(OracleDBTest, SubrangeFiltersByDay) {
+  OracleDB oracle;
+  for (Day d = 1; d <= 4; ++d) {
+    oracle.AdvanceDay(testing::MakeMixedBatch(d, 3), /*window=*/4);
+  }
+  const std::vector<Entry> mid = oracle.Probe("alpha", DayRange{2, 3});
+  for (const Entry& e : mid) {
+    EXPECT_GE(e.day, 2);
+    EXPECT_LE(e.day, 3);
+  }
+  EXPECT_EQ(oracle.ScanAll(DayRange{2, 2}).size(),
+            testing::MakeMixedBatch(2, 3).EntryCount());
+}
+
+TEST(OracleDBTest, EmptyDayStillOccupiesWindowSlot) {
+  OracleDB oracle;
+  oracle.AdvanceDay(testing::MakeMixedBatch(1, 3), /*window=*/2);
+  DayBatch empty;
+  empty.day = 2;
+  oracle.AdvanceDay(empty, /*window=*/2);
+  oracle.AdvanceDay(testing::MakeMixedBatch(3, 3), /*window=*/2);
+  // Window [2,3]: day 1 expired even though day 2 carried no records.
+  EXPECT_EQ(oracle.oldest_day(), 2);
+  EXPECT_TRUE(oracle.Probe("day1", DayRange::All()).empty());
+}
+
+TEST(OracleDBTest, ClearResets) {
+  OracleDB oracle;
+  oracle.AdvanceDay(testing::MakeMixedBatch(1, 3), 2);
+  oracle.Clear();
+  EXPECT_EQ(oracle.current_day(), 0);
+  EXPECT_EQ(oracle.live_entries(), 0u);
+}
+
+// --- ScenarioGenerator ------------------------------------------------------
+
+TEST(ScenarioGeneratorTest, SameSeedSameScenario) {
+  const ScenarioGenerator a(42), b(42), c(43);
+  for (uint64_t e = 0; e < 32; ++e) {
+    EXPECT_EQ(a.Generate(e).ToString(), b.Generate(e).ToString())
+        << "episode " << e;
+  }
+  EXPECT_NE(a.Generate(0).ToString(), c.Generate(0).ToString());
+}
+
+TEST(ScenarioGeneratorTest, GeneratedScenariosAreWellFormed) {
+  const ScenarioGenerator generator(testing::TestSeedBase());
+  for (uint64_t e = 0; e < 64; ++e) {
+    const Scenario s = generator.Generate(e);
+    SCOPED_TRACE("episode " + std::to_string(e));
+    EXPECT_GE(s.window, 4);
+    EXPECT_LE(s.window, 10);
+    EXPECT_GE(s.num_indexes, 2);  // WATA family needs n >= 2
+    EXPECT_LE(s.num_indexes, s.window);
+    EXPECT_GE(s.days, 1);
+    EXPECT_LE(s.min_day_records, s.max_day_records);
+    EXPECT_GE(s.retry_attempts, 1);
+    for (const testing::FaultEvent& fault : s.faults) {
+      EXPECT_GT(fault.day, static_cast<Day>(s.window));
+      EXPECT_LE(fault.day, static_cast<Day>(s.window + s.days));
+      if (fault.kind == testing::FaultEvent::Kind::kCrashPoint) {
+        EXPECT_FALSE(fault.crash_point.empty());
+      } else {
+        EXPECT_GE(fault.countdown, 1u);
+      }
+    }
+  }
+}
+
+TEST(ScenarioGeneratorTest, DayContentsArePureFunctions) {
+  const Scenario s = ScenarioGenerator(7).Generate(3);
+  // Same (workload_seed, day) -> identical batch, regardless of call order
+  // or what else was generated in between. This is what makes shrinking
+  // sound: dropping a day never changes the remaining days.
+  const DayBatch once = MakeScenarioDay(s, 5);
+  MakeScenarioDay(s, 9);
+  MakeScenarioProbes(s, 4);
+  const DayBatch again = MakeScenarioDay(s, 5);
+  ASSERT_EQ(once.records.size(), again.records.size());
+  for (size_t i = 0; i < once.records.size(); ++i) {
+    EXPECT_EQ(once.records[i].record_id, again.records[i].record_id);
+    EXPECT_EQ(once.records[i].values, again.records[i].values);
+  }
+  // Probe plans too.
+  const std::vector<ProbePlan> p1 = MakeScenarioProbes(s, 11);
+  const std::vector<ProbePlan> p2 = MakeScenarioProbes(s, 11);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].value, p2[i].value);
+    EXPECT_EQ(p1[i].range, p2[i].range);
+  }
+}
+
+TEST(ScenarioGeneratorTest, ProbeRangesStayInsideLiveWindow) {
+  const ScenarioGenerator generator(11);
+  for (uint64_t e = 0; e < 16; ++e) {
+    const Scenario s = generator.Generate(e);
+    for (Day day = static_cast<Day>(s.window);
+         day <= static_cast<Day>(s.window + s.days); ++day) {
+      const Day oldest = day - static_cast<Day>(s.window) + 1;
+      for (const ProbePlan& probe : MakeScenarioProbes(s, day)) {
+        EXPECT_GE(probe.range.lo, oldest);
+        EXPECT_LE(probe.range.hi, day);
+        EXPECT_LE(probe.range.lo, probe.range.hi);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +22,47 @@
 
 namespace wavekit {
 namespace testing {
+
+/// \brief Base seed of every randomized test in this binary: the
+/// WAVEKIT_TEST_SEED environment variable when set, 1 otherwise. Seed loops
+/// iterate TestSeed(0..k), so exporting WAVEKIT_TEST_SEED replays a failing
+/// CI shard's exact seeds locally.
+inline uint64_t TestSeedBase() {
+  static const uint64_t base = [] {
+    const char* env = std::getenv("WAVEKIT_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    return uint64_t{1};
+  }();
+  return base;
+}
+
+/// The seed of iteration `i` of a seed loop.
+inline uint64_t TestSeed(uint64_t i) { return TestSeedBase() + i; }
+
+namespace internal {
+
+/// Prints the active base seed at the start of every test, so any failure in
+/// CI logs carries the line needed to reproduce it locally.
+class SeedLogger : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo& info) override {
+    std::printf("[   SEED   ] %s.%s base seed %llu (set WAVEKIT_TEST_SEED "
+                "to override)\n",
+                info.test_suite_name(), info.name(),
+                static_cast<unsigned long long>(TestSeedBase()));
+  }
+};
+
+// Registered once per test binary (inline variable: one instance even when
+// this header is included from several translation units). gtest takes
+// ownership of the listener.
+inline const bool kSeedLoggerRegistered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedLogger);
+  return true;
+}();
+
+}  // namespace internal
 
 inline ::testing::AssertionResult IsOkPredFormat(
     const char* expr_str, const ::wavekit::Status& status) {

@@ -195,7 +195,8 @@ class CrashRecoveryTest : public ::testing::TestWithParam<SchemeKind> {};
 
 TEST_P(CrashRecoveryTest, EveryCrashPointEverySeedRecovers) {
   for (const char* point : kProtocolCrashPoints) {
-    for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      const uint64_t seed = testing::TestSeed(i);
       SCOPED_TRACE(std::string("crash point '") + point + "' seed " +
                    std::to_string(seed));
       RunProtocolTorture(GetParam(), point, seed);
@@ -209,7 +210,8 @@ TEST_P(CrashRecoveryTest, DeviceCrashMidTransitionRecovers) {
   // protocol crash points: the countdown lands the crash at an arbitrary
   // write inside an arbitrary primitive of the transition.
   const SchemeKind kind = GetParam();
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
+  for (uint64_t i = 0; i < 8; ++i) {
+    const uint64_t seed = testing::TestSeed(i);
     SCOPED_TRACE("seed " + std::to_string(seed));
     CrashPoints::Reset();
     const DurableMaintenance::Paths paths =

@@ -1,0 +1,152 @@
+// sim_torture: seed-reproducible whole-system simulation torture.
+//
+//   sim_torture [--seed=1] [--episodes=64] [--scheme=all|del|reindex|...]
+//               [--episode=E] [--print-trace] [--shrink=1] [--tmp-dir=/tmp]
+//               [--inject-window-bug]
+//
+// Runs seed-derived torture episodes (testing/sim_harness.h) for the chosen
+// scheme(s): each episode drives a full maintenance life — crashes, device
+// faults, recovery — and cross-checks every query against a brute-force
+// oracle. Deterministic by construction: a failing run prints
+//
+//   repro: sim_torture --seed=S --scheme=K --episode=E
+//
+// which replays the identical episode anywhere. With --shrink (default on)
+// the failing scenario is greedily minimized before it is reported.
+// --inject-window-bug enables the deliberate window-invariant mutation
+// (wave/scheme.h, internal::SetWindowInvariantMutationForTesting) to
+// demonstrate that the harness detects it.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testing/sim_harness.h"
+#include "wave/scheme_factory.h"
+
+namespace wavekit {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unknown argument: " << arg << "\n";
+        ok_ = false;
+        continue;
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+  bool ok() const { return ok_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+void ReportFailure(const testing::Simulator& simulator,
+                   const testing::EpisodeResult& failure, bool print_trace,
+                   bool shrink) {
+  std::cout << "FAILED: " << SchemeKindName(failure.kind) << " episode "
+            << failure.episode << "\n"
+            << "status: " << failure.status.ToString() << "\n"
+            << "scenario: " << failure.scenario.ToString() << "\n";
+  if (print_trace) std::cout << "trace:\n" << failure.trace;
+  if (!failure.repro.empty()) {
+    std::cout << "repro: " << failure.repro << "\n";
+  }
+  if (shrink) {
+    std::cout << "shrinking...\n";
+    const testing::Scenario minimal =
+        simulator.Shrink(failure.kind, failure.scenario);
+    std::cout << "minimal scenario: " << minimal.ToString() << "\n";
+  }
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (!args.ok()) return 2;
+
+  testing::SimConfig config;
+  config.seed = args.GetU64("seed", 1);
+  config.episodes = args.GetU64("episodes", 64);
+  config.tmp_dir = args.Get("tmp-dir", "/tmp");
+  const bool print_trace = args.GetBool("print-trace", false);
+  const bool shrink = args.GetBool("shrink", true);
+
+  if (args.GetBool("inject-window-bug", false)) {
+    internal::SetWindowInvariantMutationForTesting(true);
+    std::cout << "window-invariant mutation ENABLED (episodes should fail)\n";
+  }
+
+  std::vector<SchemeKind> kinds;
+  const std::string scheme = args.Get("scheme", "all");
+  if (scheme == "all") {
+    kinds.assign(std::begin(kAllSchemeKinds), std::end(kAllSchemeKinds));
+  } else {
+    auto parsed = SchemeKindFromName(scheme);
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 2;
+    }
+    kinds.push_back(parsed.ValueOrDie());
+  }
+
+  const testing::Simulator simulator(config);
+  bool failed = false;
+  for (SchemeKind kind : kinds) {
+    if (args.Has("episode")) {
+      const uint64_t episode = args.GetU64("episode", 0);
+      const testing::EpisodeResult result =
+          simulator.RunEpisode(kind, episode);
+      if (print_trace) std::cout << result.trace;
+      if (result.status.ok()) {
+        std::cout << SchemeKindName(kind) << " episode " << episode
+                  << ": ok (restarts=" << result.restarts << ")\n";
+      } else {
+        failed = true;
+        ReportFailure(simulator, result, !print_trace, shrink);
+      }
+      continue;
+    }
+    const testing::EpisodeResult result = simulator.RunMany(kind);
+    if (result.status.ok()) {
+      std::cout << SchemeKindName(kind) << ": " << config.episodes
+                << " episodes ok\n";
+    } else {
+      failed = true;
+      ReportFailure(simulator, result, true, shrink);
+    }
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace wavekit
+
+int main(int argc, char** argv) { return wavekit::Main(argc, argv); }
