@@ -23,8 +23,10 @@
 #include "obs/metrics.h"
 #include "sim/driver.h"
 #include "sim/table_printer.h"
+#include "storage/backend_registry.h"
 #include "util/format.h"
 #include "wave/scheme.h"
+#include "wave/wave_service.h"
 
 namespace wavekit {
 namespace bench {
@@ -78,6 +80,52 @@ class ShapeChecks {
  private:
   std::vector<std::pair<bool, std::string>> results_;
 };
+
+/// Storage-backend selection shared by the bench binaries: any experiment
+/// accepting `--backend <name>` (plus optional `--path`, `--direct`,
+/// `--queue-depth`) can run its workload on a real device instead of the
+/// modeled MemoryDevice. Aborts on an unknown backend name, listing what the
+/// registry actually has.
+struct BackendChoice {
+  std::string backend = "memory";
+  std::string path;
+  bool direct_io = false;
+  int queue_depth = 64;
+};
+
+inline BackendChoice ParseBackendFlags(int argc, char** argv) {
+  BackendChoice choice;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      choice.backend = argv[++i];
+    } else if (arg == "--path" && i + 1 < argc) {
+      choice.path = argv[++i];
+    } else if (arg == "--direct") {
+      choice.direct_io = true;
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      choice.queue_depth = std::atoi(argv[++i]);
+    }
+  }
+  if (!BackendRegistry::Global().Contains(choice.backend)) {
+    std::string names;
+    for (const std::string& name : BackendRegistry::Global().Names()) {
+      names += (names.empty() ? "" : ", ") + name;
+    }
+    Status::InvalidArgument("unknown --backend '" + choice.backend +
+                            "' (registered: " + names + ")")
+        .Abort("ParseBackendFlags");
+  }
+  return choice;
+}
+
+inline void ApplyBackend(const BackendChoice& choice,
+                         WaveService::Options* options) {
+  options->storage_backend = choice.backend;
+  options->storage_path = choice.path;
+  options->direct_io = choice.direct_io;
+  options->io_queue_depth = choice.queue_depth;
+}
 
 /// Total-work (model) for one configuration; aborts on config errors since
 /// bench inputs are static.

@@ -1,0 +1,189 @@
+#include "storage/backend_registry.h"
+
+#include "storage/file_device.h"
+#include "storage/mmap_device.h"
+#include "storage/uring_device.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+namespace {
+
+Status RequirePath(const BackendConfig& config, std::string_view backend) {
+  if (config.path.empty()) {
+    return Status::InvalidArgument("backend '" + std::string(backend) +
+                                   "' requires BackendConfig::path");
+  }
+  return Status::OK();
+}
+
+void RegisterBuiltins(BackendRegistry* registry) {
+  {
+    BackendCapabilities caps;  // volatile, byte-granular, no sync needed
+    registry
+        ->Register("memory", caps,
+                   [](const BackendConfig& config)
+                       -> Result<std::unique_ptr<Device>> {
+                     if (config.direct_io) {
+                       return Status::InvalidArgument(
+                           "backend 'memory' does not support direct_io");
+                     }
+                     return std::unique_ptr<Device>(
+                         std::make_unique<MemoryDevice>(config.capacity));
+                   })
+        .Abort("register memory backend");
+  }
+  {
+    BackendCapabilities caps;
+    caps.needs_sync = true;
+    caps.persistent = true;
+    registry
+        ->Register("file", caps,
+                   [](const BackendConfig& config)
+                       -> Result<std::unique_ptr<Device>> {
+                     WAVEKIT_RETURN_NOT_OK(RequirePath(config, "file"));
+                     FileDevice::OpenOptions options;
+                     options.direct_io = config.direct_io;
+                     WAVEKIT_ASSIGN_OR_RETURN(
+                         std::unique_ptr<FileDevice> device,
+                         FileDevice::Open(config.path, config.capacity,
+                                          options));
+                     return std::unique_ptr<Device>(std::move(device));
+                   })
+        .Abort("register file backend");
+  }
+  {
+    BackendCapabilities caps;
+    caps.supports_batch_async = true;
+    caps.needs_sync = true;
+    caps.persistent = true;
+    registry
+        ->Register("uring", caps,
+                   [](const BackendConfig& config)
+                       -> Result<std::unique_ptr<Device>> {
+                     WAVEKIT_RETURN_NOT_OK(RequirePath(config, "uring"));
+                     UringDevice::Options options;
+                     options.direct_io = config.direct_io;
+                     if (config.queue_depth <= 0) {
+                       return Status::InvalidArgument(
+                           "backend 'uring' needs queue_depth > 0");
+                     }
+                     options.queue_depth =
+                         static_cast<unsigned>(config.queue_depth);
+                     WAVEKIT_ASSIGN_OR_RETURN(
+                         std::unique_ptr<UringDevice> device,
+                         UringDevice::Open(config.path, config.capacity,
+                                           options));
+                     return std::unique_ptr<Device>(std::move(device));
+                   })
+        .Abort("register uring backend");
+  }
+  {
+    BackendCapabilities caps;
+    caps.needs_sync = true;
+    caps.persistent = true;
+    registry
+        ->Register("mmap", caps,
+                   [](const BackendConfig& config)
+                       -> Result<std::unique_ptr<Device>> {
+                     WAVEKIT_RETURN_NOT_OK(RequirePath(config, "mmap"));
+                     if (config.direct_io) {
+                       return Status::InvalidArgument(
+                           "backend 'mmap' does not support direct_io "
+                           "(the page cache IS the device)");
+                     }
+                     WAVEKIT_ASSIGN_OR_RETURN(
+                         std::unique_ptr<MmapDevice> device,
+                         MmapDevice::Open(config.path, config.capacity));
+                     return std::unique_ptr<Device>(std::move(device));
+                   })
+        .Abort("register mmap backend");
+  }
+}
+
+}  // namespace
+
+BackendRegistry& BackendRegistry::Global() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status BackendRegistry::Register(std::string name,
+                                 BackendCapabilities capabilities,
+                                 Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("backend name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("backend factory must be callable");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = backends_.emplace(
+      std::move(name), Entry{capabilities, std::move(factory)});
+  if (!inserted) {
+    return Status::AlreadyExists("backend '" + it->first +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Device>> BackendRegistry::Create(
+    std::string_view name, const BackendConfig& config) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = backends_.find(name);
+    if (it == backends_.end()) {
+      return Status::NotFound("unknown storage backend '" + std::string(name) +
+                              "' (registered: " + [this] {
+                                std::string names;
+                                for (const auto& [n, entry] : backends_) {
+                                  if (!names.empty()) names += ", ";
+                                  names += n;
+                                }
+                                return names;
+                              }() + ")");
+    }
+    factory = it->second.factory;
+  }
+  return factory(config);
+}
+
+Result<BackendCapabilities> BackendRegistry::GetCapabilities(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    return Status::NotFound("unknown storage backend '" + std::string(name) +
+                            "'");
+  }
+  return it->second.capabilities;
+}
+
+Result<BackendCapabilities> BackendRegistry::EffectiveCapabilities(
+    std::string_view name, const BackendConfig& config) const {
+  WAVEKIT_ASSIGN_OR_RETURN(BackendCapabilities caps, GetCapabilities(name));
+  if (config.direct_io && caps.alignment < kDirectIoAlignment) {
+    caps.alignment = kDirectIoAlignment;
+  }
+  return caps;
+}
+
+bool BackendRegistry::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backends_.find(name) != backends_.end();
+}
+
+std::vector<std::string> BackendRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& [name, entry] : backends_) names.push_back(name);
+  return names;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,103 @@
+// BackendRegistry: named storage-backend factories with per-backend
+// capability metadata — the adapter seam that lets WaveService, wavectl,
+// and the bench suite run the same index on a modeled memory device, plain
+// files, io_uring, or mmap without any caller knowing the concrete type.
+//
+// Modeled on the struct-of-pointers adapter registries of embedded KV
+// stores (kvidxkit's kvidxInterface): a backend is a name, a Capabilities
+// record the placement layer consults (alignment for O_DIRECT, whether
+// Sync() is required for durability), and a factory from BackendConfig to a
+// Device.
+
+#ifndef WAVEKIT_STORAGE_BACKEND_REGISTRY_H_
+#define WAVEKIT_STORAGE_BACKEND_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief What the placement and durability layers must know about a
+/// backend before using it.
+struct BackendCapabilities {
+  /// ReadBatch/WriteBatch are submitted asynchronously in one syscall
+  /// (io_uring) rather than looped or coalesced.
+  bool supports_batch_async = false;
+  /// Extent alignment the backend wants (ExtentAllocator::AllocateAligned);
+  /// 1 = byte-granular, kDirectIoAlignment for O_DIRECT backends.
+  uint64_t alignment = 1;
+  /// Data is durable only after Device::Sync() (false for the in-memory
+  /// modeled device, where durability is moot).
+  bool needs_sync = false;
+  /// Contents survive close + reopen of the same path.
+  bool persistent = false;
+};
+
+/// \brief Everything a factory needs to open a backend.
+struct BackendConfig {
+  /// Backing file path. Ignored by "memory"; required by file-backed
+  /// backends.
+  std::string path;
+  uint64_t capacity = uint64_t{1} << 30;
+  /// O_DIRECT for file/uring (fails on filesystems without support).
+  bool direct_io = false;
+  /// io_uring submission-queue depth (bound on in-flight ops per batch).
+  int queue_depth = 64;
+};
+
+/// \brief Name -> (capabilities, factory) map. The global instance has the
+/// four built-ins registered: "memory", "file", "uring", "mmap". The
+/// "uring" factory opens a UringDevice, which itself degrades to FileDevice
+/// semantics when the kernel lacks io_uring — creation never fails for that
+/// reason.
+class BackendRegistry {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<Device>>(const BackendConfig&)>;
+
+  /// The process-wide registry with built-ins registered.
+  static BackendRegistry& Global();
+
+  /// Registers a backend; fails with AlreadyExists on a duplicate name.
+  Status Register(std::string name, BackendCapabilities capabilities,
+                  Factory factory);
+
+  /// Opens a device through the named backend's factory. `direct_io`
+  /// requests on backends whose capabilities cannot honor them (memory,
+  /// mmap) fail with InvalidArgument.
+  Result<std::unique_ptr<Device>> Create(std::string_view name,
+                                         const BackendConfig& config) const;
+
+  Result<BackendCapabilities> GetCapabilities(std::string_view name) const;
+
+  /// The effective capabilities of (backend, config): direct_io raises
+  /// `alignment` to kDirectIoAlignment.
+  Result<BackendCapabilities> EffectiveCapabilities(
+      std::string_view name, const BackendConfig& config) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    BackendCapabilities capabilities;
+    Factory factory;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> backends_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_BACKEND_REGISTRY_H_

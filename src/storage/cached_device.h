@@ -51,6 +51,9 @@ class CachedDevice : public Device {
   Status WriteBatch(std::span<const Extent> extents,
                     std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
+  // Write-through means the inner device already holds every byte; Sync just
+  // forwards so durability reaches the backing store.
+  Status Sync() override { return inner_->Sync(); }
 
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }

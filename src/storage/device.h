@@ -63,10 +63,19 @@ class Device {
   /// default implementation loops over Write; decorators override it to
   /// amortize per-call overhead (one lock acquisition / one metering round
   /// per batch). Adjacent extents should be pre-coalesced by the caller so a
-  /// sequential run costs one seek. Not atomic: on failure a prefix of the
-  /// extents may have been written (same torn-prefix model as Write).
+  /// sequential run costs one seek. Not atomic: on failure a SUBSET of the
+  /// extents may have been written (backends may reorder extents for fewer
+  /// seeks; per-extent writes keep the torn-prefix model of Write).
   virtual Status WriteBatch(std::span<const Extent> extents,
                             std::span<const std::byte> data);
+
+  /// Flushes all written data to stable storage. A no-op (OK) for volatile
+  /// devices; durable backends (storage/file_device.h and friends) override
+  /// it, and decorators forward it, so the durable-maintenance checkpoint
+  /// path (wave/recovery.h) can make bucket bytes durable BEFORE the
+  /// checkpoint rename commits them — and see the failure if the disk
+  /// cannot.
+  virtual Status Sync() { return Status::OK(); }
 
   /// Total addressable bytes.
   virtual uint64_t capacity() const = 0;

@@ -11,6 +11,26 @@ DiskArray::DiskArray(int num_disks, uint64_t capacity_per_disk) {
   }
 }
 
+Result<std::unique_ptr<DiskArray>> DiskArray::Open(int num_disks,
+                                                   uint64_t capacity_per_disk,
+                                                   std::string_view backend,
+                                                   const std::string& dir,
+                                                   bool direct_io) {
+  std::unique_ptr<DiskArray> array(new DiskArray());
+  const int count = std::max(num_disks, 1);
+  array->disks_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    BackendConfig config;
+    config.capacity = capacity_per_disk;
+    config.direct_io = direct_io;
+    config.path = dir + "/disk-" + std::to_string(i) + ".wavedev";
+    WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<Store> store,
+                             Store::Open(backend, config));
+    array->disks_.push_back(std::move(store));
+  }
+  return array;
+}
+
 std::vector<MeteredDevice*> DiskArray::devices() {
   std::vector<MeteredDevice*> out;
   out.reserve(disks_.size());

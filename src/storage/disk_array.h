@@ -20,7 +20,19 @@ class DiskArray {
   explicit DiskArray(int num_disks,
                      uint64_t capacity_per_disk = uint64_t{4} << 30);
 
+  /// Opens `num_disks` stores striped over the named registered backend,
+  /// one backing file per disk at "<dir>/disk-<i>.wavedev" ("memory"
+  /// ignores `dir`). Each store gets the backend's effective alignment,
+  /// so O_DIRECT arrays place every extent block-aligned.
+  static Result<std::unique_ptr<DiskArray>> Open(int num_disks,
+                                                 uint64_t capacity_per_disk,
+                                                 std::string_view backend,
+                                                 const std::string& dir,
+                                                 bool direct_io = false);
+
   int size() const { return static_cast<int>(disks_.size()); }
+
+  Store* store(int i) { return disks_[static_cast<size_t>(i)].get(); }
 
   MeteredDevice* device(int i) { return disks_[static_cast<size_t>(i)]->device(); }
   ExtentAllocator* allocator(int i) {
@@ -50,6 +62,8 @@ class DiskArray {
   uint64_t AllocatedBytes() const;
 
  private:
+  DiskArray() = default;  // for Open()
+
   std::vector<std::unique_ptr<Store>> disks_;
 };
 

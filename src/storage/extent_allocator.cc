@@ -33,6 +33,54 @@ void ExtentAllocator::EraseFreeLocked(FreeMap::iterator it) {
 Result<Extent> ExtentAllocator::Allocate(uint64_t length) {
   if (length == 0) return Extent{0, 0};
   std::lock_guard<std::mutex> lock(mutex_);
+  if (default_alignment_ > 1) {
+    return AllocateAlignedLocked(length, default_alignment_);
+  }
+  return AllocateLocked(length);
+}
+
+Result<Extent> ExtentAllocator::AllocateAligned(uint64_t length,
+                                                uint64_t alignment) {
+  if (length == 0) return Extent{0, 0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (alignment <= 1) return AllocateLocked(length);
+  return AllocateAlignedLocked(length, alignment);
+}
+
+Result<Extent> ExtentAllocator::AllocateAlignedLocked(uint64_t length,
+                                                      uint64_t alignment) {
+  if ((alignment & (alignment - 1)) != 0) {
+    return Status::InvalidArgument("alignment must be a power of two, got " +
+                                   std::to_string(alignment));
+  }
+  // The size-class shortcut does not survive alignment padding ("every
+  // member of a larger class fits" breaks when up to alignment-1 bytes are
+  // unusable at the front), so aligned requests take the offset-ordered
+  // linear scan: still first-fit, still lowest usable offset.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const uint64_t free_offset = it->first;
+    const uint64_t free_length = it->second;
+    const uint64_t aligned = (free_offset + alignment - 1) & ~(alignment - 1);
+    const uint64_t pad = aligned - free_offset;
+    if (pad >= free_length || free_length - pad < length) continue;
+    Extent out{aligned, length};
+    const uint64_t tail_offset = aligned + length;
+    const uint64_t tail_length = free_offset + free_length - tail_offset;
+    EraseFreeLocked(it);
+    if (pad > 0) InsertFreeLocked(free_offset, pad);  // padding stays free
+    if (tail_length > 0) InsertFreeLocked(tail_offset, tail_length);
+    free_bytes_ -= length;
+    peak_allocated_ = std::max(peak_allocated_, capacity_ - free_bytes_);
+    return out;
+  }
+  return Status::ResourceExhausted(
+      "no free extent fits " + std::to_string(length) + " bytes at " +
+      std::to_string(alignment) +
+      "-byte alignment (free=" + std::to_string(free_bytes_) +
+      ", largest=" + std::to_string(LargestFreeExtentLocked()) + ")");
+}
+
+Result<Extent> ExtentAllocator::AllocateLocked(uint64_t length) {
   // First fit = the lowest-offset free extent with length >= `length`.
   // Candidates live either in the request's own size class (where lengths
   // may still be smaller than `length`, so that class is scanned in offset

@@ -42,7 +42,29 @@ class ExtentAllocator {
 
   /// Allocates a contiguous extent of exactly `length` bytes.
   /// Fails with ResourceExhausted if no single free extent is large enough.
+  /// When a default alignment > 1 is set (O_DIRECT backends), behaves as
+  /// AllocateAligned(length, default_alignment()).
   Result<Extent> Allocate(uint64_t length);
+
+  /// Allocates `length` bytes whose offset is a multiple of `alignment`
+  /// (power of two). The extent is still the lowest-offset placement that
+  /// fits after rounding; alignment padding carved off the front of a free
+  /// extent STAYS FREE, so no space leaks. Length is not rounded up —
+  /// O_DIRECT tails go through the devices' bounce read-modify-write path.
+  Result<Extent> AllocateAligned(uint64_t length, uint64_t alignment);
+
+  /// Alignment applied by every subsequent Allocate (1 = byte-granular, the
+  /// default; kDirectIoAlignment when the backing device is O_DIRECT).
+  /// Must be a power of two. Set once at scheme construction, before any
+  /// allocation traffic.
+  void set_default_alignment(uint64_t alignment) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    default_alignment_ = alignment == 0 ? 1 : alignment;
+  }
+  uint64_t default_alignment() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return default_alignment_;
+  }
 
   /// Marks a SPECIFIC byte range as allocated (checkpoint restore: buckets
   /// already persisted on the device reclaim their exact locations). Fails
@@ -95,6 +117,8 @@ class ExtentAllocator {
  private:
   using FreeMap = std::map<uint64_t, uint64_t>;
 
+  Result<Extent> AllocateLocked(uint64_t length);
+  Result<Extent> AllocateAlignedLocked(uint64_t length, uint64_t alignment);
   uint64_t LargestFreeExtentLocked() const;
 
   // All free-list mutations go through these so free_ and classes_ stay in
@@ -106,6 +130,7 @@ class ExtentAllocator {
   uint64_t capacity_;
   uint64_t free_bytes_;
   uint64_t peak_allocated_ = 0;
+  uint64_t default_alignment_ = 1;
   // offset -> length of each free extent, keyed by offset. Canonical: the
   // coalescing neighbor checks in Free/Reserve rely on offset order.
   FreeMap free_;

@@ -75,6 +75,12 @@ Status FaultInjectingDevice::Write(uint64_t offset,
   return inner_->Write(offset, data);
 }
 
+Status FaultInjectingDevice::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return InjectedCrash("sync of crashed device");
+  return inner_->Sync();
+}
+
 void FaultInjectingDevice::set_read_error_rate(double rate) {
   std::lock_guard<std::mutex> lock(mutex_);
   options_.read_error_rate = rate;

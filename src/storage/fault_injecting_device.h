@@ -66,6 +66,9 @@ class FaultInjectingDevice : public Device {
   // replays identically whether the caller batched or not, and a crash fires
   // between extents with the torn prefix confined to the dying extent.
   uint64_t capacity() const override { return inner_->capacity(); }
+  // Fails when crashed (a dead process cannot flush), otherwise forwards; no
+  // error-rate roll so fault-seed replay is unaffected by Sync placement.
+  Status Sync() override;
 
   /// Adjusts transient error rates on the fly (e.g. fail only during a
   /// specific transition).

@@ -1,22 +1,70 @@
 #include "storage/file_device.h"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <numeric>
+#include <vector>
 
 #include "util/fs.h"
 #include "util/macros.h"
 
 namespace wavekit {
 
+namespace {
+
+/// RAII kDirectIoAlignment-aligned heap buffer for the O_DIRECT bounce path.
+/// One per call: the read path must stay safe under concurrent readers.
+class AlignedBuffer {
+ public:
+  explicit AlignedBuffer(size_t size) {
+    const size_t rounded =
+        (size + kDirectIoAlignment - 1) / kDirectIoAlignment *
+        kDirectIoAlignment;
+    data_ = static_cast<std::byte*>(
+        std::aligned_alloc(kDirectIoAlignment, rounded));
+  }
+  ~AlignedBuffer() { std::free(data_); }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::byte* data() { return data_; }
+  bool ok() const { return data_ != nullptr; }
+
+ private:
+  std::byte* data_ = nullptr;
+};
+
+uint64_t AlignDown(uint64_t v) { return v / kDirectIoAlignment * kDirectIoAlignment; }
+uint64_t AlignUp(uint64_t v) {
+  return (v + kDirectIoAlignment - 1) / kDirectIoAlignment * kDirectIoAlignment;
+}
+
+bool IsAligned(uint64_t offset, size_t length, const void* ptr) {
+  return offset % kDirectIoAlignment == 0 &&
+         length % kDirectIoAlignment == 0 &&
+         reinterpret_cast<uintptr_t>(ptr) % kDirectIoAlignment == 0;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
-                                                     uint64_t capacity) {
+                                                     uint64_t capacity,
+                                                     OpenOptions options) {
   const bool existed = FileExists(path);
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (options.direct_io) flags |= O_DIRECT;
+  const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
-    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+    return Status::IOError("open '" + path + "'" +
+                           (options.direct_io ? " (O_DIRECT)" : "") + ": " +
+                           std::strerror(errno));
   }
   if (!existed) {
     // Make the new directory entry durable: without the parent fsync a crash
@@ -27,11 +75,24 @@ Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
       return synced;
     }
   }
-  return std::unique_ptr<FileDevice>(new FileDevice(path, fd, capacity));
+  return std::unique_ptr<FileDevice>(
+      new FileDevice(path, fd, capacity, options.direct_io));
 }
 
-FileDevice::FileDevice(std::string path, int fd, uint64_t capacity)
-    : path_(std::move(path)), fd_(fd), capacity_(capacity) {}
+bool FileDevice::DirectIoSupported(const std::string& dir) {
+  const std::string probe =
+      dir + "/.wavekit_direct_probe_" + std::to_string(::getpid());
+  const int fd =
+      ::open(probe.c_str(), O_RDWR | O_CREAT | O_DIRECT | O_CLOEXEC, 0644);
+  const bool supported = fd >= 0;
+  if (fd >= 0) ::close(fd);
+  ::unlink(probe.c_str());
+  return supported;
+}
+
+FileDevice::FileDevice(std::string path, int fd, uint64_t capacity,
+                       bool direct)
+    : path_(std::move(path)), fd_(fd), capacity_(capacity), direct_(direct) {}
 
 FileDevice::~FileDevice() {
   if (fd_ >= 0) ::close(fd_);
@@ -46,8 +107,7 @@ Status FileDevice::CheckRange(uint64_t offset, size_t length) const {
   return Status::OK();
 }
 
-Status FileDevice::Read(uint64_t offset, std::span<std::byte> out) {
-  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
+Status FileDevice::PlainRead(uint64_t offset, std::span<std::byte> out) {
   size_t done = 0;
   while (done < out.size()) {
     const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
@@ -66,8 +126,7 @@ Status FileDevice::Read(uint64_t offset, std::span<std::byte> out) {
   return Status::OK();
 }
 
-Status FileDevice::Write(uint64_t offset, std::span<const std::byte> data) {
-  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
+Status FileDevice::PlainWrite(uint64_t offset, std::span<const std::byte> data) {
   size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
@@ -81,11 +140,189 @@ Status FileDevice::Write(uint64_t offset, std::span<const std::byte> data) {
   return Status::OK();
 }
 
+Status FileDevice::AlignedRead(uint64_t offset, std::byte* out, size_t length) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd_, out + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread(direct) '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      std::memset(out + done, 0, length - done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileDevice::DirectRead(uint64_t offset, std::span<std::byte> out) {
+  if (out.empty()) return Status::OK();
+  if (IsAligned(offset, out.size(), out.data())) {
+    return AlignedRead(offset, out.data(), out.size());
+  }
+  const uint64_t start = AlignDown(offset);
+  const uint64_t end = AlignUp(offset + out.size());
+  AlignedBuffer bounce(static_cast<size_t>(end - start));
+  if (!bounce.ok()) return Status::IOError("aligned_alloc failed");
+  WAVEKIT_RETURN_NOT_OK(
+      AlignedRead(start, bounce.data(), static_cast<size_t>(end - start)));
+  std::memcpy(out.data(), bounce.data() + (offset - start), out.size());
+  return Status::OK();
+}
+
+Status FileDevice::DirectWrite(uint64_t offset,
+                               std::span<const std::byte> data) {
+  if (data.empty()) return Status::OK();
+  const uint64_t start = AlignDown(offset);
+  const uint64_t end = AlignUp(offset + data.size());
+  const size_t cover = static_cast<size_t>(end - start);
+  AlignedBuffer bounce(cover);
+  if (!bounce.ok()) return Status::IOError("aligned_alloc failed");
+  const bool head_partial = start != offset;
+  const bool tail_partial = end != offset + data.size();
+  if (head_partial || tail_partial) {
+    // Read-modify-write the covering blocks so the partial head/tail keep
+    // their neighbors' bytes. Only the boundary blocks actually need the
+    // read, but one covering read keeps the request count at 1-write(+1
+    // read) regardless of size — and aligned callers skip this path.
+    WAVEKIT_RETURN_NOT_OK(AlignedRead(start, bounce.data(), cover));
+  }
+  std::memcpy(bounce.data() + (offset - start), data.data(), data.size());
+  size_t done = 0;
+  while (done < cover) {
+    const ssize_t n = ::pwrite(fd_, bounce.data() + done, cover - done,
+                               static_cast<off_t>(start + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite(direct) '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
+  return direct_ ? DirectRead(offset, out) : PlainRead(offset, out);
+}
+
+Status FileDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
+  return direct_ ? DirectWrite(offset, data) : PlainWrite(offset, data);
+}
+
+Status FileDevice::ReadBatch(std::span<const Extent> extents,
+                             std::span<std::byte> out) {
+  uint64_t total = 0;
+  for (const Extent& extent : extents) {
+    WAVEKIT_RETURN_NOT_OK(
+        CheckRange(extent.offset, static_cast<size_t>(extent.length)));
+    total += extent.length;
+  }
+  if (total != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatch output buffer does not match the sum of extent lengths");
+  }
+  if (direct_) {
+    // The bounce path already owns alignment; per-extent keeps it simple.
+    size_t consumed = 0;
+    for (const Extent& extent : extents) {
+      WAVEKIT_RETURN_NOT_OK(DirectRead(
+          extent.offset,
+          out.subspan(consumed, static_cast<size_t>(extent.length))));
+      consumed += static_cast<size_t>(extent.length);
+    }
+    return Status::OK();
+  }
+
+  // Destination slice of each extent in `out` (laid out in call order).
+  std::vector<size_t> out_offset(extents.size());
+  size_t acc = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    out_offset[i] = acc;
+    acc += static_cast<size_t>(extents[i].length);
+  }
+  // Sort by file offset so adjacent runs become single preadv calls
+  // (overlapping reads are harmless: each destination still receives the
+  // bytes of its own extent).
+  std::vector<size_t> order(extents.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return extents[a].offset != extents[b].offset
+               ? extents[a].offset < extents[b].offset
+               : a < b;
+  });
+
+  std::vector<struct iovec> iov;
+  size_t i = 0;
+  while (i < order.size()) {
+    while (i < order.size() && extents[order[i]].empty()) ++i;
+    if (i >= order.size()) break;
+    const uint64_t run_offset = extents[order[i]].offset;
+    uint64_t run_end = extents[order[i]].end();
+    iov.clear();
+    iov.push_back({out.data() + out_offset[order[i]],
+                   static_cast<size_t>(extents[order[i]].length)});
+    size_t j = i + 1;
+    while (j < order.size() && iov.size() < size_t{IOV_MAX} &&
+           extents[order[j]].offset == run_end) {
+      iov.push_back({out.data() + out_offset[order[j]],
+                     static_cast<size_t>(extents[order[j]].length)});
+      run_end = extents[order[j]].end();
+      ++j;
+    }
+    uint64_t pos = run_offset;
+    size_t iov_index = 0;
+    size_t iov_done = 0;  // bytes consumed of iov[iov_index]
+    while (iov_index < iov.size()) {
+      struct iovec current = iov[iov_index];
+      current.iov_base = static_cast<std::byte*>(current.iov_base) + iov_done;
+      current.iov_len -= iov_done;
+      std::vector<struct iovec> rest;
+      rest.push_back(current);
+      rest.insert(rest.end(), iov.begin() + static_cast<long>(iov_index) + 1,
+                  iov.end());
+      const ssize_t n = ::preadv(fd_, rest.data(),
+                                 static_cast<int>(rest.size()),
+                                 static_cast<off_t>(pos));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("preadv '" + path_ + "': " +
+                               std::strerror(errno));
+      }
+      if (n == 0) {
+        // Past EOF: zero-fill everything left in this run.
+        for (const struct iovec& v : rest) {
+          std::memset(v.iov_base, 0, v.iov_len);
+        }
+        break;
+      }
+      pos += static_cast<uint64_t>(n);
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        const size_t remaining = iov[iov_index].iov_len - iov_done;
+        if (advanced >= remaining) {
+          advanced -= remaining;
+          ++iov_index;
+          iov_done = 0;
+        } else {
+          iov_done += advanced;
+          advanced = 0;
+        }
+      }
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status FileDevice::WriteBatch(std::span<const Extent> extents,
                               std::span<const std::byte> data) {
-  // Coalesce adjacent extents: a run of extents where each starts at the end
-  // of the previous one is backed by contiguous bytes in `data`, so the whole
-  // run goes down as one pwrite sequence.
   uint64_t total = 0;
   for (const Extent& extent : extents) {
     WAVEKIT_RETURN_NOT_OK(
@@ -96,20 +333,103 @@ Status FileDevice::WriteBatch(std::span<const Extent> extents,
     return Status::InvalidArgument(
         "WriteBatch data buffer does not match the sum of extent lengths");
   }
-  size_t consumed = 0;
+
+  // Source slice of each extent in `data` (laid out in call order).
+  std::vector<size_t> src_offset(extents.size());
+  size_t acc = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    src_offset[i] = acc;
+    acc += static_cast<size_t>(extents[i].length);
+  }
+
+  const auto write_one = [&](size_t i) {
+    return direct_
+               ? DirectWrite(extents[i].offset,
+                             data.subspan(src_offset[i],
+                                          static_cast<size_t>(
+                                              extents[i].length)))
+               : PlainWrite(extents[i].offset,
+                            data.subspan(src_offset[i],
+                                         static_cast<size_t>(
+                                             extents[i].length)));
+  };
+
+  std::vector<size_t> order(extents.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return extents[a].offset != extents[b].offset
+               ? extents[a].offset < extents[b].offset
+               : a < b;
+  });
+  // Overlapping extents must keep call order (later extents win), which
+  // sorting would break — take the in-order per-extent path instead.
+  bool overlapping = false;
+  for (size_t k = 0; k + 1 < order.size(); ++k) {
+    if (!extents[order[k]].empty() && !extents[order[k + 1]].empty() &&
+        extents[order[k]].end() > extents[order[k + 1]].offset) {
+      overlapping = true;
+      break;
+    }
+  }
+  if (overlapping || direct_) {
+    for (size_t i = 0; i < extents.size(); ++i) {
+      WAVEKIT_RETURN_NOT_OK(write_one(i));
+    }
+    return Status::OK();
+  }
+
+  std::vector<struct iovec> iov;
   size_t i = 0;
-  while (i < extents.size()) {
-    const uint64_t run_offset = extents[i].offset;
-    uint64_t run_length = extents[i].length;
+  while (i < order.size()) {
+    while (i < order.size() && extents[order[i]].empty()) ++i;
+    if (i >= order.size()) break;
+    const uint64_t run_offset = extents[order[i]].offset;
+    uint64_t run_end = extents[order[i]].end();
+    iov.clear();
+    iov.push_back({const_cast<std::byte*>(data.data()) + src_offset[order[i]],
+                   static_cast<size_t>(extents[order[i]].length)});
     size_t j = i + 1;
-    while (j < extents.size() &&
-           extents[j].offset == run_offset + run_length) {
-      run_length += extents[j].length;
+    while (j < order.size() && iov.size() < size_t{IOV_MAX} &&
+           extents[order[j]].offset == run_end) {
+      iov.push_back(
+          {const_cast<std::byte*>(data.data()) + src_offset[order[j]],
+           static_cast<size_t>(extents[order[j]].length)});
+      run_end = extents[order[j]].end();
       ++j;
     }
-    WAVEKIT_RETURN_NOT_OK(Write(
-        run_offset, data.subspan(consumed, static_cast<size_t>(run_length))));
-    consumed += static_cast<size_t>(run_length);
+    uint64_t pos = run_offset;
+    size_t iov_index = 0;
+    size_t iov_done = 0;
+    while (iov_index < iov.size()) {
+      struct iovec current = iov[iov_index];
+      current.iov_base = static_cast<std::byte*>(current.iov_base) + iov_done;
+      current.iov_len -= iov_done;
+      std::vector<struct iovec> rest;
+      rest.push_back(current);
+      rest.insert(rest.end(), iov.begin() + static_cast<long>(iov_index) + 1,
+                  iov.end());
+      const ssize_t n = ::pwritev(fd_, rest.data(),
+                                  static_cast<int>(rest.size()),
+                                  static_cast<off_t>(pos));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pwritev '" + path_ + "': " +
+                               std::strerror(errno));
+      }
+      pos += static_cast<uint64_t>(n);
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        const size_t remaining = iov[iov_index].iov_len - iov_done;
+        if (advanced >= remaining) {
+          advanced -= remaining;
+          ++iov_index;
+          iov_done = 0;
+        } else {
+          iov_done += advanced;
+          advanced = 0;
+        }
+      }
+    }
     i = j;
   }
   return Status::OK();

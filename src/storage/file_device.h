@@ -12,16 +12,46 @@
 
 namespace wavekit {
 
+/// Offset/length granularity O_DIRECT I/O must honor. 4 KiB covers every
+/// current logical block size (512/4096); ExtentAllocator::AllocateAligned
+/// places extents on this boundary for direct-mode backends.
+inline constexpr uint64_t kDirectIoAlignment = 4096;
+
 /// \brief Device over one file, accessed with positional reads/writes.
 ///
 /// The file is created (sparse) if absent and sized lazily up to `capacity`.
 /// Reads of never-written ranges return zeros, matching MemoryDevice
-/// semantics. Not thread-safe (like every wavekit Device).
+/// semantics.
+///
+/// Thread safety: buffered mode supports concurrent Reads, concurrent with
+/// Writes to disjoint ranges (pread/pwrite are atomic syscalls; wavekit's
+/// shadow-update discipline keeps live ranges disjoint). Direct mode
+/// additionally requires concurrent writers to stay in DISTINCT 4 KiB
+/// blocks: unaligned direct writes read-modify-write the boundary blocks.
 class FileDevice : public Device {
  public:
+  struct OpenOptions {
+    /// Opens with O_DIRECT: I/O bypasses the page cache. Unaligned accesses
+    /// are transparently handled through an internal aligned bounce buffer
+    /// (reads over-read the covering blocks; writes read-modify-write them),
+    /// so correctness never depends on alignment — only speed does. Fails
+    /// with IOError on filesystems without O_DIRECT support (e.g. tmpfs);
+    /// callers probe with DirectIoSupported().
+    bool direct_io = false;
+  };
+
   /// Opens (or creates) `path` with the given logical capacity.
   static Result<std::unique_ptr<FileDevice>> Open(const std::string& path,
-                                                  uint64_t capacity);
+                                                  uint64_t capacity,
+                                                  OpenOptions options);
+  static Result<std::unique_ptr<FileDevice>> Open(const std::string& path,
+                                                  uint64_t capacity) {
+    return Open(path, capacity, OpenOptions{});
+  }
+
+  /// True when `dir` (or the filesystem a probe file in it lands on)
+  /// accepts O_DIRECT opens. tmpfs does not; most disk filesystems do.
+  static bool DirectIoSupported(const std::string& dir);
 
   ~FileDevice() override;
 
@@ -30,23 +60,53 @@ class FileDevice : public Device {
 
   Status Read(uint64_t offset, std::span<std::byte> out) override;
   Status Write(uint64_t offset, std::span<const std::byte> data) override;
+
+  /// Sorts the extents by offset and coalesces adjacent runs into preadv
+  /// calls: one syscall reads a contiguous file run into the (possibly
+  /// scattered) destination slices of `out`. Byte-identical results to the
+  /// base per-extent loop. Direct mode falls back to the per-extent loop
+  /// (the bounce path owns alignment there).
+  Status ReadBatch(std::span<const Extent> extents,
+                   std::span<std::byte> out) override;
+
+  /// Mirror of ReadBatch: sorted, file-adjacent runs go down as single
+  /// pwritev calls gathering from the per-extent slices of `data`. Batches
+  /// with overlapping extents fall back to the in-order per-extent loop so
+  /// later extents still win; direct mode also falls back per-extent.
   Status WriteBatch(std::span<const Extent> extents,
                     std::span<const std::byte> data) override;
+
   uint64_t capacity() const override { return capacity_; }
 
   const std::string& path() const { return path_; }
+  bool direct_io() const { return direct_; }
+  int fd() const { return fd_; }
 
   /// Flushes written data to stable storage (fdatasync).
-  Status Sync();
+  Status Sync() override;
 
  private:
-  FileDevice(std::string path, int fd, uint64_t capacity);
+  FileDevice(std::string path, int fd, uint64_t capacity, bool direct);
 
   Status CheckRange(uint64_t offset, size_t length) const;
+
+  /// pread/pwrite at `offset` with retry-on-EINTR and zero-fill past EOF
+  /// (reads). The direct variants stage through a freshly allocated aligned
+  /// bounce buffer so offset, length and memory address all meet
+  /// kDirectIoAlignment (per-call buffers keep concurrent reads race-free).
+  Status PlainRead(uint64_t offset, std::span<std::byte> out);
+  Status PlainWrite(uint64_t offset, std::span<const std::byte> data);
+  Status DirectRead(uint64_t offset, std::span<std::byte> out);
+  Status DirectWrite(uint64_t offset, std::span<const std::byte> data);
+
+  /// Reads the aligned range [offset, offset+length) (both multiples of
+  /// kDirectIoAlignment) into `out` via raw pread, zero-filling past EOF.
+  Status AlignedRead(uint64_t offset, std::byte* out, size_t length);
 
   std::string path_;
   int fd_;
   uint64_t capacity_;
+  bool direct_ = false;
 };
 
 }  // namespace wavekit

@@ -55,6 +55,9 @@ class MeteredDevice : public Device {
   Status WriteBatch(std::span<const Extent> extents,
                     std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
+  // Sync is pure forwarding: durability traffic is not charged to the seek /
+  // transfer model (the paper's cost model has no fsync analogue).
+  Status Sync() override { return inner_->Sync(); }
 
   /// Sets the phase subsequent I/O is attributed to.
   void set_phase(Phase phase) { phase_.store(phase, std::memory_order_relaxed); }

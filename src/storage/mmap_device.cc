@@ -1,0 +1,130 @@
+#include "storage/mmap_device.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fs.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+Result<std::unique_ptr<MmapDevice>> MmapDevice::Open(const std::string& path,
+                                                     uint64_t capacity) {
+  if (capacity == 0) return Status::InvalidArgument("mmap capacity must be > 0");
+  const bool existed = FileExists(path);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  if (!existed) {
+    const Status synced = SyncDirectoryOf(path);
+    if (!synced.ok()) {
+      ::close(fd);
+      return synced;
+    }
+  }
+  // Size the file to the full capacity (sparse) so the mapping never faults
+  // SIGBUS on access past EOF.
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::IOError("fstat '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (static_cast<uint64_t>(st.st_size) < capacity &&
+      ::ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
+    const Status status =
+        Status::IOError("ftruncate '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  void* map = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  if (map == MAP_FAILED) {
+    const Status status =
+        Status::IOError("mmap '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<MmapDevice>(
+      new MmapDevice(path, fd, static_cast<std::byte*>(map), capacity));
+}
+
+MmapDevice::MmapDevice(std::string path, int fd, std::byte* map,
+                       uint64_t capacity)
+    : path_(std::move(path)), fd_(fd), map_(map), capacity_(capacity) {}
+
+MmapDevice::~MmapDevice() {
+  if (map_ != nullptr) ::munmap(map_, capacity_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MmapDevice::CheckRange(uint64_t offset, size_t length) const {
+  if (offset > capacity_ || length > capacity_ - offset) {
+    return Status::OutOfRange("mmap device access [" + std::to_string(offset) +
+                              ", " + std::to_string(offset + length) +
+                              ") exceeds capacity " + std::to_string(capacity_));
+  }
+  return Status::OK();
+}
+
+Status MmapDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, out.size()));
+  std::memcpy(out.data(), map_ + offset, out.size());
+  return Status::OK();
+}
+
+Status MmapDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  WAVEKIT_RETURN_NOT_OK(CheckRange(offset, data.size()));
+  std::memcpy(map_ + offset, data.data(), data.size());
+  return Status::OK();
+}
+
+Status MmapDevice::ReadBatch(std::span<const Extent> extents,
+                             std::span<std::byte> out) {
+  uint64_t total = 0;
+  for (const Extent& extent : extents) {
+    WAVEKIT_RETURN_NOT_OK(
+        CheckRange(extent.offset, static_cast<size_t>(extent.length)));
+    total += extent.length;
+  }
+  if (total != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatch output buffer does not match the sum of extent lengths");
+  }
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const uint64_t page_size = page > 0 ? static_cast<uint64_t>(page) : 4096;
+  for (const Extent& extent : extents) {
+    if (extent.empty()) continue;
+    const uint64_t start = extent.offset / page_size * page_size;
+    const uint64_t end = extent.end();
+    // Best effort: a failed madvise only loses the prefetch, never data.
+    ::madvise(map_ + start, static_cast<size_t>(end - start), MADV_WILLNEED);
+  }
+  size_t consumed = 0;
+  for (const Extent& extent : extents) {
+    std::memcpy(out.data() + consumed, map_ + extent.offset,
+                static_cast<size_t>(extent.length));
+    consumed += static_cast<size_t>(extent.length);
+  }
+  return Status::OK();
+}
+
+Status MmapDevice::Sync() {
+  if (::msync(map_, capacity_, MS_SYNC) != 0) {
+    return Status::IOError("msync '" + path_ + "': " + std::strerror(errno));
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync '" + path_ + "': " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace wavekit

@@ -1,0 +1,65 @@
+// MmapDevice: a Device over one memory-mapped file, for read-mostly
+// constituents. Probes and scans become page-cache memcpys with no syscall
+// per access; ReadBatch additionally madvise(WILLNEED)s the touched ranges
+// so the kernel readahead runs ahead of the copy loop.
+
+#ifndef WAVEKIT_STORAGE_MMAP_DEVICE_H_
+#define WAVEKIT_STORAGE_MMAP_DEVICE_H_
+
+#include <string>
+
+#include "storage/device.h"
+#include "util/result.h"
+
+namespace wavekit {
+
+/// \brief Device over one mmap'd file.
+///
+/// The file is sized to `capacity` up front (sparse: holes read as zeros and
+/// cost nothing until written) and mapped MAP_SHARED, so writes dirty page
+/// cache pages that the kernel writes back; Sync() (msync MS_SYNC) makes
+/// them durable.
+///
+/// Thread safety: same contract as MemoryDevice — any number of concurrent
+/// Reads, concurrent with Writes to disjoint byte ranges.
+class MmapDevice : public Device {
+ public:
+  /// Opens (or creates) `path`, sizes it to `capacity`, and maps it.
+  static Result<std::unique_ptr<MmapDevice>> Open(const std::string& path,
+                                                  uint64_t capacity);
+
+  ~MmapDevice() override;
+
+  MmapDevice(const MmapDevice&) = delete;
+  MmapDevice& operator=(const MmapDevice&) = delete;
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override;
+  Status Write(uint64_t offset, std::span<const std::byte> data) override;
+
+  /// madvise(WILLNEED) over every extent, then the base copy loop: the
+  /// kernel faults the pages in asynchronously while earlier extents are
+  /// being copied (the probe/scan batching win of this backend).
+  Status ReadBatch(std::span<const Extent> extents,
+                   std::span<std::byte> out) override;
+
+  uint64_t capacity() const override { return capacity_; }
+
+  const std::string& path() const { return path_; }
+
+  /// msync(MS_SYNC) the whole mapping + fdatasync (covers metadata).
+  Status Sync() override;
+
+ private:
+  MmapDevice(std::string path, int fd, std::byte* map, uint64_t capacity);
+
+  Status CheckRange(uint64_t offset, size_t length) const;
+
+  std::string path_;
+  int fd_;
+  std::byte* map_;
+  uint64_t capacity_;
+};
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_STORAGE_MMAP_DEVICE_H_

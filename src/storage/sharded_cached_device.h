@@ -50,6 +50,8 @@ class ShardedCachedDevice : public Device {
   Status WriteBatch(std::span<const Extent> extents,
                     std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
+  // Write-through cache: the inner device holds every byte, so Sync forwards.
+  Status Sync() override { return inner_->Sync(); }
 
   /// Aggregated counters over all shards (each shard sampled under its own
   /// lock; the sum is a consistent-enough snapshot under concurrency).

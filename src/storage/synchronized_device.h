@@ -43,6 +43,13 @@ class SynchronizedMeteredDevice : public MeteredDevice {
     return MeteredDevice::WriteBatch(extents, data);
   }
 
+  // Sync takes the writer mutex: the checkpoint path must not flush while a
+  // maintenance write is mid-flight on a durable backend.
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return MeteredDevice::Sync();
+  }
+
  private:
   std::mutex mutex_;
 };

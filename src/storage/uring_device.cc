@@ -1,0 +1,435 @@
+#include "storage/uring_device.h"
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace wavekit {
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+bool BlockAligned(const Extent& extent) {
+  return extent.offset % kDirectIoAlignment == 0 &&
+         extent.length % kDirectIoAlignment == 0;
+}
+
+/// RAII kDirectIoAlignment-aligned staging area for direct-I/O SQEs: O_DIRECT
+/// requires the user memory handed to the kernel to be block-aligned, which
+/// callers' spans are not.
+class AlignedStaging {
+ public:
+  explicit AlignedStaging(size_t size) {
+    const size_t padded =
+        (size + kDirectIoAlignment - 1) & ~(kDirectIoAlignment - 1);
+    data_ = static_cast<std::byte*>(
+        std::aligned_alloc(kDirectIoAlignment, std::max(padded, size_t{1})));
+  }
+  ~AlignedStaging() { std::free(data_); }
+  AlignedStaging(const AlignedStaging&) = delete;
+  AlignedStaging& operator=(const AlignedStaging&) = delete;
+
+  bool ok() const { return data_ != nullptr; }
+  std::byte* data() { return data_; }
+
+ private:
+  std::byte* data_ = nullptr;
+};
+
+}  // namespace
+
+/// The mmap'd rings of one io_uring instance. Layout per io_uring(7): the SQ
+/// ring (head/tail/mask + index array), the CQ ring (head/tail/mask + CQE
+/// array), and the SQE array, each mapped from the ring fd at fixed offsets.
+/// Kernels with IORING_FEAT_SINGLE_MMAP serve SQ and CQ from one mapping.
+struct UringDevice::Ring {
+  int fd = -1;
+  unsigned entries = 0;
+
+  void* sq_map = nullptr;
+  size_t sq_map_size = 0;
+  void* cq_map = nullptr;  // == sq_map under IORING_FEAT_SINGLE_MMAP
+  size_t cq_map_size = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  size_t sqe_map_size = 0;
+
+  std::atomic<unsigned>* sq_head = nullptr;
+  std::atomic<unsigned>* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+
+  std::atomic<unsigned>* cq_head = nullptr;
+  std::atomic<unsigned>* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  struct io_uring_cqe* cqes = nullptr;
+
+  // One ring, one submitter at a time.
+  std::mutex mutex;
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> ops{0};
+
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqe_map_size);
+    if (cq_map != nullptr && cq_map != sq_map) ::munmap(cq_map, cq_map_size);
+    if (sq_map != nullptr) ::munmap(sq_map, sq_map_size);
+    if (fd >= 0) ::close(fd);
+  }
+
+  static std::unique_ptr<Ring> Create(unsigned entries) {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int ring_fd = SysIoUringSetup(entries, &params);
+    if (ring_fd < 0) return nullptr;
+
+    auto ring = std::make_unique<Ring>();
+    ring->fd = ring_fd;
+    ring->entries = params.sq_entries;
+
+    size_t sq_size = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    size_t cq_size =
+        params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_size = cq_size = std::max(sq_size, cq_size);
+    }
+    ring->sq_map_size = sq_size;
+    ring->sq_map = ::mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring_fd,
+                          IORING_OFF_SQ_RING);
+    if (ring->sq_map == MAP_FAILED) {
+      ring->sq_map = nullptr;
+      return nullptr;
+    }
+    if (single_mmap) {
+      ring->cq_map = ring->sq_map;
+      ring->cq_map_size = cq_size;
+    } else {
+      ring->cq_map_size = cq_size;
+      ring->cq_map = ::mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd,
+                            IORING_OFF_CQ_RING);
+      if (ring->cq_map == MAP_FAILED) {
+        ring->cq_map = nullptr;
+        return nullptr;
+      }
+    }
+    ring->sqe_map_size = params.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqe_map = ::mmap(nullptr, ring->sqe_map_size,
+                           PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                           ring_fd, IORING_OFF_SQES);
+    if (sqe_map == MAP_FAILED) return nullptr;
+    ring->sqes = static_cast<struct io_uring_sqe*>(sqe_map);
+
+    char* sq = static_cast<char*>(ring->sq_map);
+    ring->sq_head =
+        reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.head);
+    ring->sq_tail =
+        reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.tail);
+    ring->sq_mask =
+        *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    ring->sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+
+    char* cq = static_cast<char*>(ring->cq_map);
+    ring->cq_head =
+        reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.head);
+    ring->cq_tail =
+        reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.tail);
+    ring->cq_mask =
+        *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    ring->cqes =
+        reinterpret_cast<struct io_uring_cqe*>(cq + params.cq_off.cqes);
+    return ring;
+  }
+};
+
+bool UringDevice::KernelSupported() {
+  static const bool supported = [] {
+    auto probe = Ring::Create(4);
+    return probe != nullptr;
+  }();
+  return supported;
+}
+
+Result<std::unique_ptr<UringDevice>> UringDevice::Open(const std::string& path,
+                                                       uint64_t capacity,
+                                                       Options options) {
+  if (options.queue_depth == 0) {
+    return Status::InvalidArgument("uring queue_depth must be > 0");
+  }
+  FileDevice::OpenOptions file_options;
+  file_options.direct_io = options.direct_io;
+  WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<FileDevice> file,
+                           FileDevice::Open(path, capacity, file_options));
+  // nullptr ring = graceful FileDevice fallback (old kernel / seccomp).
+  std::unique_ptr<Ring> ring = Ring::Create(options.queue_depth);
+  return std::unique_ptr<UringDevice>(
+      new UringDevice(std::move(file), options, std::move(ring)));
+}
+
+UringDevice::UringDevice(std::unique_ptr<FileDevice> file, Options options,
+                         std::unique_ptr<Ring> ring)
+    : file_(std::move(file)), options_(options), ring_(std::move(ring)) {}
+
+UringDevice::~UringDevice() = default;
+
+uint64_t UringDevice::ring_batches() const {
+  return ring_ != nullptr ? ring_->batches.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t UringDevice::ring_ops() const {
+  return ring_ != nullptr ? ring_->ops.load(std::memory_order_relaxed) : 0;
+}
+
+Status UringDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  return file_->Read(offset, out);
+}
+
+Status UringDevice::Write(uint64_t offset, std::span<const std::byte> data) {
+  return file_->Write(offset, data);
+}
+
+Status UringDevice::Sync() { return file_->Sync(); }
+
+Status UringDevice::RunBatch(std::span<const Extent> extents,
+                             std::span<std::byte* const> buffers,
+                             bool is_write) {
+  Ring& ring = *ring_;
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.batches.fetch_add(1, std::memory_order_relaxed);
+
+  // Remaining work per extent: a short completion (signal, partial I/O)
+  // re-queues the extent's tail instead of failing the batch.
+  struct Pending {
+    uint64_t offset = 0;
+    std::byte* buffer = nullptr;
+    uint64_t remaining = 0;
+  };
+  std::vector<Pending> pending(extents.size());
+  std::vector<uint32_t> queue;  // extent indexes still to submit
+  queue.reserve(extents.size());
+  for (size_t i = 0; i < extents.size(); ++i) {
+    if (extents[i].empty()) continue;
+    pending[i] = {extents[i].offset, buffers[i], extents[i].length};
+    queue.push_back(static_cast<uint32_t>(i));
+  }
+
+  size_t next = 0;        // next queue slot to submit
+  unsigned in_flight = 0;
+  Status first_error = Status::OK();
+
+  const auto reap = [&](unsigned wait_for) -> Status {
+    if (wait_for > 0) {
+      int rc;
+      do {
+        rc = SysIoUringEnter(ring.fd, 0, wait_for, IORING_ENTER_GETEVENTS);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        return Status::IOError(std::string("io_uring_enter(getevents): ") +
+                               std::strerror(errno));
+      }
+    }
+    unsigned head = ring.cq_head->load(std::memory_order_relaxed);
+    const unsigned tail = ring.cq_tail->load(std::memory_order_acquire);
+    while (head != tail) {
+      const struct io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
+      const uint32_t index = static_cast<uint32_t>(cqe.user_data);
+      Pending& p = pending[index];
+      if (cqe.res < 0) {
+        if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
+          queue.push_back(index);  // full remainder, retry
+        } else if (first_error.ok()) {
+          first_error = Status::IOError(
+              std::string(is_write ? "io_uring write '" : "io_uring read '") +
+              file_->path() + "': " + std::strerror(-cqe.res));
+        }
+      } else {
+        uint64_t done = static_cast<uint64_t>(cqe.res);
+        if (done > p.remaining) done = p.remaining;
+        if (!is_write && done == 0 && p.remaining > 0) {
+          // Past EOF of the sparse file: unwritten bytes read as zero.
+          std::memset(p.buffer, 0, static_cast<size_t>(p.remaining));
+          p.remaining = 0;
+        } else {
+          p.offset += done;
+          p.buffer += done;
+          p.remaining -= done;
+          if (p.remaining > 0) queue.push_back(index);  // short I/O: tail
+        }
+      }
+      --in_flight;
+      ++head;
+    }
+    ring.cq_head->store(head, std::memory_order_release);
+    return Status::OK();
+  };
+
+  while (next < queue.size() || in_flight > 0) {
+    // Fill the SQ up to queue_depth in flight (the bounded window), then
+    // hand the whole wave to the kernel in ONE enter.
+    unsigned submitted = 0;
+    unsigned tail = ring.sq_tail->load(std::memory_order_relaxed);
+    while (next < queue.size() && in_flight + submitted < ring.entries) {
+      const uint32_t index = queue[next++];
+      const Pending& p = pending[index];
+      struct io_uring_sqe& sqe = ring.sqes[tail & ring.sq_mask];
+      std::memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = is_write ? IORING_OP_WRITE : IORING_OP_READ;
+      sqe.fd = file_->fd();
+      sqe.addr = reinterpret_cast<uint64_t>(p.buffer);
+      sqe.len = static_cast<uint32_t>(p.remaining);
+      sqe.off = p.offset;
+      sqe.user_data = index;
+      ring.sq_array[tail & ring.sq_mask] = tail & ring.sq_mask;
+      ++tail;
+      ++submitted;
+    }
+    if (submitted > 0) {
+      ring.sq_tail->store(tail, std::memory_order_release);
+      ring.ops.fetch_add(submitted, std::memory_order_relaxed);
+      unsigned to_submit = submitted;
+      while (to_submit > 0) {
+        const int rc = SysIoUringEnter(ring.fd, to_submit, 0, 0);
+        if (rc < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+          return Status::IOError(std::string("io_uring_enter(submit): ") +
+                                 std::strerror(errno));
+        }
+        to_submit -= static_cast<unsigned>(rc);
+      }
+      in_flight += submitted;
+    }
+    // Wait for at least one completion (all of them usually arrive
+    // together for page-cache I/O), reap everything available.
+    WAVEKIT_RETURN_NOT_OK(reap(in_flight > 0 ? 1 : 0));
+  }
+  return first_error;
+}
+
+Status UringDevice::ReadBatch(std::span<const Extent> extents,
+                              std::span<std::byte> out) {
+  uint64_t total = 0;
+  for (const Extent& extent : extents) {
+    if (extent.offset > capacity() ||
+        extent.length > capacity() - extent.offset) {
+      return Status::OutOfRange(
+          "uring device read extent [" + std::to_string(extent.offset) + ", " +
+          std::to_string(extent.end()) + ") exceeds capacity " +
+          std::to_string(capacity()));
+    }
+    total += extent.length;
+  }
+  if (total != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatch output buffer does not match the sum of extent lengths");
+  }
+  if (ring_ == nullptr) return file_->ReadBatch(extents, out);
+  if (direct_io()) {
+    // O_DIRECT SQEs need block-aligned offsets, lengths, AND user memory.
+    // Fully aligned batches read into an aligned staging area through the
+    // ring; anything else takes the FileDevice bounce path.
+    for (const Extent& extent : extents) {
+      if (!extent.empty() && !BlockAligned(extent)) {
+        return file_->ReadBatch(extents, out);
+      }
+    }
+    AlignedStaging staging(out.size());
+    if (!staging.ok()) return Status::IOError("aligned_alloc failed");
+    std::vector<std::byte*> buffers(extents.size());
+    size_t consumed = 0;
+    for (size_t i = 0; i < extents.size(); ++i) {
+      // Every length is a block multiple, so each slice stays aligned.
+      buffers[i] = staging.data() + consumed;
+      consumed += static_cast<size_t>(extents[i].length);
+    }
+    WAVEKIT_RETURN_NOT_OK(RunBatch(extents, buffers, /*is_write=*/false));
+    std::memcpy(out.data(), staging.data(), out.size());
+    return Status::OK();
+  }
+  std::vector<std::byte*> buffers(extents.size());
+  size_t consumed = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    buffers[i] = out.data() + consumed;
+    consumed += static_cast<size_t>(extents[i].length);
+  }
+  return RunBatch(extents, buffers, /*is_write=*/false);
+}
+
+Status UringDevice::WriteBatch(std::span<const Extent> extents,
+                               std::span<const std::byte> data) {
+  uint64_t total = 0;
+  for (const Extent& extent : extents) {
+    if (extent.offset > capacity() ||
+        extent.length > capacity() - extent.offset) {
+      return Status::OutOfRange(
+          "uring device write extent [" + std::to_string(extent.offset) +
+          ", " + std::to_string(extent.end()) + ") exceeds capacity " +
+          std::to_string(capacity()));
+    }
+    total += extent.length;
+  }
+  if (total != data.size()) {
+    return Status::InvalidArgument(
+        "WriteBatch data buffer does not match the sum of extent lengths");
+  }
+  if (ring_ == nullptr) return file_->WriteBatch(extents, data);
+  // Overlapping extents must apply in call order; the ring completes out of
+  // order, so those (rare, test-only) batches take the serial path.
+  std::vector<Extent> sorted(extents.begin(), extents.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (!sorted[i].empty() && !sorted[i + 1].empty() &&
+        sorted[i].end() > sorted[i + 1].offset) {
+      return file_->WriteBatch(extents, data);
+    }
+  }
+  if (direct_io()) {
+    // Fully block-aligned batches go through the ring from an aligned
+    // staging copy; any unaligned extent falls back to the bounce loop.
+    for (const Extent& extent : extents) {
+      if (!extent.empty() && !BlockAligned(extent)) {
+        return file_->WriteBatch(extents, data);
+      }
+    }
+    AlignedStaging staging(data.size());
+    if (!staging.ok()) return Status::IOError("aligned_alloc failed");
+    std::memcpy(staging.data(), data.data(), data.size());
+    std::vector<std::byte*> buffers(extents.size());
+    size_t consumed = 0;
+    for (size_t i = 0; i < extents.size(); ++i) {
+      buffers[i] = staging.data() + consumed;
+      consumed += static_cast<size_t>(extents[i].length);
+    }
+    return RunBatch(extents, buffers, /*is_write=*/true);
+  }
+  std::vector<std::byte*> buffers(extents.size());
+  size_t consumed = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    buffers[i] = const_cast<std::byte*>(data.data()) + consumed;
+    consumed += static_cast<size_t>(extents[i].length);
+  }
+  return RunBatch(extents, buffers, /*is_write=*/true);
+}
+
+}  // namespace wavekit

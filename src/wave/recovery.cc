@@ -17,6 +17,16 @@ Status DurableMaintenance::Start(std::vector<DayBatch> first_window) {
 }
 
 Status DurableMaintenance::Checkpoint() {
+  if (data_device_ != nullptr) {
+    // Bucket bytes must be stable BEFORE the checkpoint rename that makes
+    // them the durable truth; a failed flush must fail the transition.
+    Status sync = data_device_->Sync();
+    if (!sync.ok()) {
+      return Status::IOError("data-device sync before checkpoint failed: " +
+                             sync.message());
+    }
+    WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("checkpoint.after_data_sync"));
+  }
   return WriteCheckpoint(scheme_->wave(), paths_.checkpoint);
 }
 

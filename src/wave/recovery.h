@@ -63,9 +63,19 @@ class DurableMaintenance {
     std::optional<Day> interrupted_day;
   };
 
-  /// `scheme` must outlive this object.
-  DurableMaintenance(Scheme* scheme, Paths paths)
-      : scheme_(scheme), paths_(std::move(paths)) {}
+  /// `scheme` must outlive this object. When `data_device` is non-null it is
+  /// Sync()ed before every checkpoint write: the checkpoint rename is the
+  /// commit point, so the bucket bytes it references must already be on
+  /// stable storage (persistent backends — file/uring/mmap; pass null for
+  /// the modeled MemoryDevice, whose Sync is a no-op anyway). A Sync failure
+  /// aborts the protocol before the checkpoint, exactly like a failed
+  /// transition: the journal survives, the pre-transition constituents stay
+  /// pinned, and the on-disk state remains recoverable.
+  DurableMaintenance(Scheme* scheme, Paths paths,
+                     Device* data_device = nullptr)
+      : scheme_(scheme),
+        paths_(std::move(paths)),
+        data_device_(data_device) {}
 
   /// Scheme::Start plus the initial durable checkpoint. Clears any stale
   /// journal from a previous incarnation first.
@@ -97,6 +107,7 @@ class DurableMaintenance {
  private:
   Scheme* scheme_;
   Paths paths_;
+  Device* data_device_ = nullptr;
   // Pre-transition constituents, held across the transition so the extents
   // the last durable checkpoint references cannot be freed (and re-used)
   // before the new checkpoint commits. Kept on failure: rollback needs them.

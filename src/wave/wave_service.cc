@@ -1,19 +1,21 @@
 #include "wave/wave_service.h"
 
 #include "obs/attach.h"
+#include "storage/backend_registry.h"
 #include "util/macros.h"
 #include "wave/scheme_factory.h"
 
 namespace wavekit {
 
-WaveService::WaveService(Options options)
+WaveService::WaveService(Options options, std::unique_ptr<Device> base_device)
     : options_(options),
       clock_(options_.clock != nullptr ? options_.clock
                                        : RealClock::Instance()),
-      memory_(options.device_capacity),
-      interposed_(options_.device_interposer ? options_.device_interposer(&memory_)
-                                             : nullptr),
-      device_(interposed_ != nullptr ? interposed_.get() : &memory_),
+      base_device_(std::move(base_device)),
+      interposed_(options_.device_interposer
+                      ? options_.device_interposer(base_device_.get())
+                      : nullptr),
+      device_(interposed_ != nullptr ? interposed_.get() : base_device_.get()),
       allocator_(options.device_capacity) {
   if (options_.cache_blocks > 0) {
     cache_ = std::make_unique<ShardedCachedDevice>(
@@ -157,7 +159,25 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
         "WaveService requires a shadow update technique: in-place updating "
         "mutates buckets concurrent readers may be scanning");
   }
-  std::unique_ptr<WaveService> service(new WaveService(options));
+  BackendConfig backend_config;
+  backend_config.path = options.storage_path;
+  backend_config.capacity = options.device_capacity;
+  backend_config.direct_io = options.direct_io;
+  backend_config.queue_depth = options.io_queue_depth;
+  WAVEKIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Device> base_device,
+      BackendRegistry::Global().Create(options.storage_backend,
+                                       backend_config));
+  WAVEKIT_ASSIGN_OR_RETURN(const BackendCapabilities capabilities,
+                           BackendRegistry::Global().EffectiveCapabilities(
+                               options.storage_backend, backend_config));
+  std::unique_ptr<WaveService> service(
+      new WaveService(options, std::move(base_device)));
+  if (capabilities.alignment > 1) {
+    // O_DIRECT backends want every bucket extent block-aligned; setting this
+    // before the scheme exists means no allocation ever bypasses it.
+    service->allocator_.set_default_alignment(capabilities.alignment);
+  }
   SchemeEnv env{&service->device_, &service->allocator_,
                 &service->day_store_};
   env.io_device = service->cache_.get();  // nullptr = straight to the meter

@@ -73,12 +73,29 @@ class WaveService {
     SchemeConfig config;
     uint64_t device_capacity = uint64_t{1} << 30;
 
+    /// Storage backend, by BackendRegistry name: "memory" (default — the
+    /// paper's modeled device, and what the deterministic sim harness
+    /// requires), "file", "uring", or "mmap". Persistent backends put real
+    /// bytes under the same decorator stack (meter, cache, fault seam).
+    std::string storage_backend = "memory";
+
+    /// Backing file for persistent backends; ignored by "memory".
+    std::string storage_path;
+
+    /// O_DIRECT for "file"/"uring": bypass the page cache so the device's
+    /// seek/transfer behaviour is the real disk's. Raises the extent
+    /// allocator's default alignment to kDirectIoAlignment.
+    bool direct_io = false;
+
+    /// io_uring submission-queue depth for the "uring" backend.
+    int io_queue_depth = 64;
+
     /// Retry behaviour for transient I/O errors inside maintenance
     /// primitives (default: no retries).
     RetryPolicy retry;
 
     /// Test/chaos seam: when set, called once at construction with the raw
-    /// in-memory device; the returned decorator (e.g. a
+    /// base device (the storage backend); the returned decorator (e.g. a
     /// FaultInjectingDevice) becomes the device the whole stack runs on. The
     /// service owns the decorator; it must not be null.
     std::function<std::unique_ptr<Device>(Device* inner)> device_interposer;
@@ -223,8 +240,15 @@ class WaveService {
   const Scheme& scheme() const { return *scheme_; }
   MeteredDevice* device() { return &device_; }
 
+  /// The raw storage backend under the decorator stack (for backend-aware
+  /// tests and the bench suite; treat as read-only while serving).
+  Device* base_device() { return base_device_.get(); }
+  const std::string& storage_backend() const {
+    return options_.storage_backend;
+  }
+
  private:
-  explicit WaveService(Options options);
+  WaveService(Options options, std::unique_ptr<Device> base_device);
 
   /// The AdvanceDay body; caller holds advance_mutex_.
   Status AdvanceDayLocked(DayBatch new_day);
@@ -241,8 +265,8 @@ class WaveService {
 
   Options options_;
   Clock* clock_;  // options_.clock or the wall clock
-  MemoryDevice memory_;
-  std::unique_ptr<Device> interposed_;  // optional chaos layer over memory_
+  std::unique_ptr<Device> base_device_;  // the selected storage backend
+  std::unique_ptr<Device> interposed_;   // optional chaos layer over the base
   SynchronizedMeteredDevice device_;
   std::unique_ptr<ShardedCachedDevice> cache_;  // above device_, optional
   ExtentAllocator allocator_;

@@ -1,0 +1,140 @@
+#include "storage/backend_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/file_device.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return ::testing::TempDir() + "wavekit_registry_" + tag + "_" +
+         std::to_string(::getpid()) + ".dat";
+}
+
+TEST(BackendRegistryTest, BuiltinsAreRegistered) {
+  BackendRegistry& registry = BackendRegistry::Global();
+  for (const char* name : {"memory", "file", "uring", "mmap"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_GE(names.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BackendRegistryTest, UnknownBackendIsNotFound) {
+  BackendConfig config;
+  auto result = BackendRegistry::Global().Create("floppy", config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  // The error names the registered alternatives.
+  EXPECT_NE(result.status().message().find("memory"), std::string::npos);
+  EXPECT_FALSE(BackendRegistry::Global().Contains("floppy"));
+  EXPECT_TRUE(
+      BackendRegistry::Global().GetCapabilities("floppy").status().IsNotFound());
+}
+
+TEST(BackendRegistryTest, MemoryBackendNeedsNoPath) {
+  BackendConfig config;
+  config.capacity = 1 << 16;
+  ASSERT_OK_AND_ASSIGN(auto device,
+                       BackendRegistry::Global().Create("memory", config));
+  EXPECT_EQ(device->capacity(), uint64_t{1} << 16);
+  ASSERT_OK_AND_ASSIGN(
+      const BackendCapabilities caps,
+      BackendRegistry::Global().GetCapabilities("memory"));
+  EXPECT_FALSE(caps.persistent);
+  EXPECT_FALSE(caps.needs_sync);
+  EXPECT_EQ(caps.alignment, 1u);
+}
+
+TEST(BackendRegistryTest, FileBackendsRequireAPath) {
+  BackendConfig config;  // no path
+  for (const char* name : {"file", "uring", "mmap"}) {
+    auto result = BackendRegistry::Global().Create(name, config);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << name;
+  }
+}
+
+TEST(BackendRegistryTest, DirectIoRejectedWhereImpossible) {
+  BackendConfig config;
+  config.direct_io = true;
+  config.path = TempPath("direct_reject");
+  EXPECT_TRUE(BackendRegistry::Global()
+                  .Create("memory", config)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BackendRegistry::Global()
+                  .Create("mmap", config)
+                  .status()
+                  .IsInvalidArgument());
+  std::remove(config.path.c_str());
+}
+
+TEST(BackendRegistryTest, EffectiveCapabilitiesRaiseAlignmentForDirectIo) {
+  BackendConfig config;
+  config.path = TempPath("effective");
+  ASSERT_OK_AND_ASSIGN(
+      BackendCapabilities buffered,
+      BackendRegistry::Global().EffectiveCapabilities("file", config));
+  EXPECT_EQ(buffered.alignment, 1u);
+  config.direct_io = true;
+  ASSERT_OK_AND_ASSIGN(
+      BackendCapabilities direct,
+      BackendRegistry::Global().EffectiveCapabilities("file", config));
+  EXPECT_EQ(direct.alignment, kDirectIoAlignment);
+  EXPECT_TRUE(direct.persistent);
+  EXPECT_TRUE(direct.needs_sync);
+}
+
+TEST(BackendRegistryTest, UringAdvertisesBatchAsync) {
+  ASSERT_OK_AND_ASSIGN(const BackendCapabilities caps,
+                       BackendRegistry::Global().GetCapabilities("uring"));
+  EXPECT_TRUE(caps.supports_batch_async);
+  EXPECT_TRUE(caps.persistent);
+}
+
+TEST(BackendRegistryTest, CustomRegistrationAndDuplicates) {
+  BackendRegistry registry;  // fresh, no built-ins
+  BackendCapabilities caps;
+  ASSERT_OK(registry.Register(
+      "null", caps, [](const BackendConfig& config)
+                        -> Result<std::unique_ptr<Device>> {
+        return std::unique_ptr<Device>(
+            std::make_unique<MemoryDevice>(config.capacity));
+      }));
+  EXPECT_TRUE(registry.Contains("null"));
+  EXPECT_TRUE(registry
+                  .Register("null", caps,
+                            [](const BackendConfig&)
+                                -> Result<std::unique_ptr<Device>> {
+                              return Status::Internal("never called");
+                            })
+                  .IsAlreadyExists());
+  EXPECT_TRUE(registry.Register("", caps, nullptr).IsInvalidArgument());
+  BackendConfig config;
+  config.capacity = 4096;
+  ASSERT_OK_AND_ASSIGN(auto device, registry.Create("null", config));
+  EXPECT_EQ(device->capacity(), 4096u);
+}
+
+TEST(BackendRegistryTest, UringQueueDepthValidated) {
+  BackendConfig config;
+  config.path = TempPath("qd");
+  config.queue_depth = 0;
+  EXPECT_TRUE(BackendRegistry::Global()
+                  .Create("uring", config)
+                  .status()
+                  .IsInvalidArgument());
+  std::remove(config.path.c_str());
+}
+
+}  // namespace
+}  // namespace wavekit

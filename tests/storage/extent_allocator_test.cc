@@ -139,5 +139,80 @@ TEST(ExtentAllocatorTest, RandomizedAllocFreeStaysConsistent) {
   ASSERT_OK(alloc.CheckConsistency());
 }
 
+TEST(ExtentAllocatorAlignedTest, AlignedOffsetsAndNoSpaceLeak) {
+  ExtentAllocator alloc(1 << 20);
+  // Misalign the free list: a 100-byte allocation leaves the next free
+  // offset at 100.
+  ASSERT_OK_AND_ASSIGN(Extent head, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent aligned, alloc.AllocateAligned(8192, 4096));
+  EXPECT_EQ(aligned.offset % 4096, 0u);
+  EXPECT_EQ(aligned.offset, 4096u);
+  EXPECT_EQ(aligned.length, 8192u);
+  // The padding [100, 4096) stayed free: a small unaligned request reuses it.
+  ASSERT_OK_AND_ASSIGN(Extent pad, alloc.AllocateAligned(500, 1));
+  EXPECT_EQ(pad.offset, 100u);
+  ASSERT_OK(alloc.CheckConsistency());
+  ASSERT_OK(alloc.Free(head));
+  ASSERT_OK(alloc.Free(aligned));
+  ASSERT_OK(alloc.Free(pad));
+  EXPECT_EQ(alloc.free_bytes(), uint64_t{1} << 20);
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+}
+
+TEST(ExtentAllocatorAlignedTest, DefaultAlignmentAppliesToPlainAllocate) {
+  ExtentAllocator alloc(1 << 20);
+  alloc.set_default_alignment(4096);
+  EXPECT_EQ(alloc.default_alignment(), 4096u);
+  ASSERT_OK_AND_ASSIGN(Extent a, alloc.Allocate(100));
+  ASSERT_OK_AND_ASSIGN(Extent b, alloc.Allocate(100));
+  EXPECT_EQ(a.offset % 4096, 0u);
+  EXPECT_EQ(b.offset % 4096, 0u);
+  EXPECT_NE(a.offset, b.offset);
+  ASSERT_OK(alloc.CheckConsistency());
+}
+
+TEST(ExtentAllocatorAlignedTest, RejectsNonPowerOfTwoAlignment) {
+  ExtentAllocator alloc(1 << 20);
+  EXPECT_TRUE(alloc.AllocateAligned(100, 3000).status().IsInvalidArgument());
+}
+
+TEST(ExtentAllocatorAlignedTest, ExhaustionAccountsForPadding) {
+  ExtentAllocator alloc(10000);
+  ASSERT_OK_AND_ASSIGN(Extent head, alloc.Allocate(1));  // free list at 1
+  // 9999 bytes remain but only 10000-4096 are usable at 4096 alignment.
+  EXPECT_TRUE(
+      alloc.AllocateAligned(8000, 4096).status().IsResourceExhausted());
+  ASSERT_OK_AND_ASSIGN(Extent fit, alloc.AllocateAligned(5000, 4096));
+  EXPECT_EQ(fit.offset, 4096u);
+  ASSERT_OK(alloc.Free(head));
+  ASSERT_OK(alloc.Free(fit));
+  EXPECT_EQ(alloc.free_bytes(), 10000u);
+}
+
+TEST(ExtentAllocatorAlignedTest, RandomizedAlignedMixStaysConsistent) {
+  ExtentAllocator alloc(1 << 20);
+  Rng rng(1234);
+  std::vector<Extent> live;
+  for (int i = 0; i < 1500; ++i) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      const uint64_t size = 1 + rng.Uniform(4096);
+      const uint64_t alignment = uint64_t{1} << rng.Uniform(13);
+      Result<Extent> r = alloc.AllocateAligned(size, alignment);
+      if (r.ok()) {
+        EXPECT_EQ(r.ValueOrDie().offset % alignment, 0u);
+        live.push_back(std::move(r).ValueOrDie());
+      }
+    } else {
+      const size_t pick = rng.Uniform(live.size());
+      ASSERT_OK(alloc.Free(live[pick]));
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (i % 100 == 0) ASSERT_OK(alloc.CheckConsistency());
+  }
+  for (const Extent& e : live) ASSERT_OK(alloc.Free(e));
+  EXPECT_EQ(alloc.free_bytes(), uint64_t{1} << 20);
+  ASSERT_OK(alloc.CheckConsistency());
+}
+
 }  // namespace
 }  // namespace wavekit

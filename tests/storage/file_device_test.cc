@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <span>
 
 #include "index/index_builder.h"
 #include "storage/metered_device.h"
@@ -78,6 +79,93 @@ TEST_F(FileDeviceTest, OpenFailsOnBadPath) {
   auto result = FileDevice::Open("/no/such/directory/x.dat", 64);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(FileDeviceTest, ReadBatchByteIdenticalToBaseLoop) {
+  // The preadv coalescing override must be indistinguishable from Device's
+  // per-extent loop — including sorted-then-restored ordering, duplicate
+  // extents, adjacent runs, empty extents, and sparse (EOF) tails.
+  ASSERT_OK_AND_ASSIGN(auto device, FileDevice::Open(path_, 1 << 20));
+  std::vector<std::byte> blob(48 * 1024);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>((i * 37) & 0xFF);
+  }
+  ASSERT_OK(device->Write(0, blob));
+  const std::vector<Extent> extents = {
+      {40000, 1000},  // out of order on purpose
+      {0, 512},
+      {512, 512},     // file-adjacent to the previous: one coalesced run
+      {0, 512},       // duplicate range
+      {47 * 1024, 4096},  // crosses EOF into the sparse tail
+      {200, 0},       // empty
+      {1024, 1},
+  };
+  uint64_t total = 0;
+  for (const Extent& e : extents) total += e.length;
+  std::vector<std::byte> batched(total, std::byte{0xCC});
+  ASSERT_OK(device->ReadBatch(extents, batched));
+  // Base semantics, straight off Device's default implementation.
+  std::vector<std::byte> looped(total, std::byte{0x33});
+  size_t cursor = 0;
+  for (const Extent& e : extents) {
+    ASSERT_OK(device->Read(
+        e.offset, std::span<std::byte>(looped.data() + cursor, e.length)));
+    cursor += e.length;
+  }
+  EXPECT_EQ(batched, looped);
+}
+
+TEST_F(FileDeviceTest, WriteBatchByteIdenticalToBaseLoop) {
+  // pwritev-coalesced WriteBatch vs the per-extent loop applied to a twin
+  // file: final contents must match byte for byte.
+  const std::string twin = path_ + ".twin";
+  std::remove(twin.c_str());
+  ASSERT_OK_AND_ASSIGN(auto batched_dev, FileDevice::Open(path_, 1 << 20));
+  ASSERT_OK_AND_ASSIGN(auto looped_dev, FileDevice::Open(twin, 1 << 20));
+  const std::vector<Extent> extents = {
+      {30000, 2000}, {0, 100}, {100, 100}, {100000, 50}, {5000, 0},
+  };
+  uint64_t total = 0;
+  for (const Extent& e : extents) total += e.length;
+  std::vector<std::byte> data(total);
+  for (size_t i = 0; i < total; ++i) {
+    data[i] = static_cast<std::byte>((i * 181) & 0xFF);
+  }
+  ASSERT_OK(batched_dev->WriteBatch(extents, data));
+  size_t cursor = 0;
+  for (const Extent& e : extents) {
+    ASSERT_OK(looped_dev->Write(
+        e.offset,
+        std::span<const std::byte>(data.data() + cursor, e.length)));
+    cursor += e.length;
+  }
+  std::vector<std::byte> got(110000), want(110000);
+  ASSERT_OK(batched_dev->Read(0, got));
+  ASSERT_OK(looped_dev->Read(0, want));
+  EXPECT_EQ(got, want);
+  std::remove(twin.c_str());
+}
+
+TEST_F(FileDeviceTest, DirectIoRoundTripWhenSupported) {
+  if (!FileDevice::DirectIoSupported(::testing::TempDir())) {
+    GTEST_SKIP() << "O_DIRECT unsupported on " << ::testing::TempDir();
+  }
+  FileDevice::OpenOptions options;
+  options.direct_io = true;
+  ASSERT_OK_AND_ASSIGN(auto device,
+                       FileDevice::Open(path_, 1 << 20, options));
+  EXPECT_TRUE(device->direct_io());
+  // Aligned write, then an unaligned write that forces the bounce
+  // read-modify-write path over the same blocks.
+  std::vector<std::byte> block(kDirectIoAlignment, std::byte{0x5A});
+  ASSERT_OK(device->Write(0, block));
+  ASSERT_OK(device->Write(100, Bytes("unaligned")));
+  std::vector<std::byte> out(kDirectIoAlignment);
+  ASSERT_OK(device->Read(0, out));
+  EXPECT_EQ(out[99], std::byte{0x5A});
+  EXPECT_EQ(std::memcmp(out.data() + 100, "unaligned", 9), 0);
+  EXPECT_EQ(out[109], std::byte{0x5A});
+  ASSERT_OK(device->Sync());
 }
 
 TEST_F(FileDeviceTest, WorksUnderTheFullIndexStack) {

@@ -1,0 +1,193 @@
+// UringDevice specifics beyond the backend conformance suite: ring usage
+// counters, graceful fallback, batches larger than the queue depth, and
+// mixed sparse/written batches through the real SQE path.
+
+#include "storage/uring_device.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/test_env.h"
+#include "util/random.h"
+
+namespace wavekit {
+namespace {
+
+class UringDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wavekit_uring_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".dat";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+std::vector<std::byte> Filled(size_t n, uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+TEST_F(UringDeviceTest, OpensWithOrWithoutKernelSupport) {
+  // Open must succeed either way; using_ring() reports which path serves.
+  ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+  EXPECT_EQ(device->using_ring(), UringDevice::KernelSupported());
+  EXPECT_EQ(device->capacity(), uint64_t{1} << 20);
+}
+
+TEST_F(UringDeviceTest, BatchesGoThroughTheRing) {
+  if (!UringDevice::KernelSupported()) {
+    GTEST_SKIP() << "kernel lacks io_uring (or seccomp blocks it)";
+  }
+  ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+  ASSERT_TRUE(device->using_ring());
+  const std::vector<Extent> extents = {{0, 512}, {8192, 512}, {4096, 256}};
+  std::vector<std::byte> data = Filled(1280, 3);
+  ASSERT_OK(device->WriteBatch(extents, data));
+  EXPECT_EQ(device->ring_batches(), 1u);
+  EXPECT_EQ(device->ring_ops(), 3u);
+  std::vector<std::byte> out(1280);
+  ASSERT_OK(device->ReadBatch(extents, out));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(device->ring_batches(), 2u);
+  EXPECT_EQ(device->ring_ops(), 6u);
+}
+
+TEST_F(UringDeviceTest, ScalarOpsBypassTheRing) {
+  if (!UringDevice::KernelSupported()) {
+    GTEST_SKIP() << "kernel lacks io_uring (or seccomp blocks it)";
+  }
+  ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+  std::vector<std::byte> data = Filled(100, 9);
+  ASSERT_OK(device->Write(50, data));
+  std::vector<std::byte> out(100);
+  ASSERT_OK(device->Read(50, out));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(device->ring_batches(), 0u);  // single ops use plain pread/pwrite
+}
+
+TEST_F(UringDeviceTest, BatchLargerThanQueueDepthCompletes) {
+  if (!UringDevice::KernelSupported()) {
+    GTEST_SKIP() << "kernel lacks io_uring (or seccomp blocks it)";
+  }
+  UringDevice::Options options;
+  options.queue_depth = 4;  // force multiple submission waves
+  ASSERT_OK_AND_ASSIGN(auto device,
+                       UringDevice::Open(path_, 1 << 22, options));
+  Rng rng(testing::TestSeed(3));
+  std::vector<Extent> extents;
+  uint64_t cursor = 0;
+  for (int i = 0; i < 64; ++i) {  // 16x the ring size
+    const uint64_t length = 64 + rng.Uniform(900);
+    extents.push_back({cursor, length});
+    cursor += length + rng.Uniform(512);
+  }
+  uint64_t total = 0;
+  for (const Extent& e : extents) total += e.length;
+  std::vector<std::byte> data = Filled(total, 17);
+  ASSERT_OK(device->WriteBatch(extents, data));
+  std::vector<std::byte> out(total);
+  ASSERT_OK(device->ReadBatch(extents, out));
+  EXPECT_EQ(out, data);
+  EXPECT_GE(device->ring_ops(), 128u);
+}
+
+TEST_F(UringDeviceTest, SparseReadsZeroFillThroughTheRing) {
+  if (!UringDevice::KernelSupported()) {
+    GTEST_SKIP() << "kernel lacks io_uring (or seccomp blocks it)";
+  }
+  ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+  ASSERT_OK(device->Write(0, Filled(128, 1)));  // file ends at 128
+  const std::vector<Extent> extents = {{0, 128}, {100000, 256}, {64, 512}};
+  std::vector<std::byte> out(896, std::byte{0xEE});
+  ASSERT_OK(device->ReadBatch(extents, out));
+  // Extent 0: written bytes; extent 1: wholly past EOF -> zeros; extent 2:
+  // 64 written bytes then zeros (the short-read + zero-fill path).
+  const std::vector<std::byte> head = Filled(128, 1);
+  EXPECT_EQ(std::memcmp(out.data(), head.data(), 128), 0);
+  for (size_t i = 128; i < 384; ++i) ASSERT_EQ(out[i], std::byte{0});
+  EXPECT_EQ(std::memcmp(out.data() + 384, head.data() + 64, 64), 0);
+  for (size_t i = 448; i < 896; ++i) ASSERT_EQ(out[i], std::byte{0});
+}
+
+TEST_F(UringDeviceTest, OverlappingWriteBatchFallsBackToCallOrder) {
+  ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+  const uint64_t before = device->ring_batches();
+  const std::vector<Extent> extents = {{10, 16}, {18, 16}};
+  std::vector<std::byte> data(32);
+  for (size_t i = 0; i < 16; ++i) data[i] = std::byte{0xAA};
+  for (size_t i = 16; i < 32; ++i) data[i] = std::byte{0xBB};
+  ASSERT_OK(device->WriteBatch(extents, data));
+  EXPECT_EQ(device->ring_batches(), before);  // per-extent fallback, no ring
+  std::vector<std::byte> out(24);
+  ASSERT_OK(device->Read(10, out));
+  for (size_t i = 0; i < 8; ++i) ASSERT_EQ(out[i], std::byte{0xAA});
+  for (size_t i = 8; i < 24; ++i) ASSERT_EQ(out[i], std::byte{0xBB});
+}
+
+TEST_F(UringDeviceTest, DirectAlignedBatchesUseTheRing) {
+  if (!UringDevice::KernelSupported()) {
+    GTEST_SKIP() << "kernel lacks io_uring (or seccomp blocks it)";
+  }
+  if (!FileDevice::DirectIoSupported(::testing::TempDir())) {
+    GTEST_SKIP() << "O_DIRECT unsupported on " << ::testing::TempDir();
+  }
+  UringDevice::Options options;
+  options.direct_io = true;
+  ASSERT_OK_AND_ASSIGN(auto device,
+                       UringDevice::Open(path_, 1 << 22, options));
+  ASSERT_TRUE(device->direct_io());
+  ASSERT_TRUE(device->using_ring());
+  // Block-aligned batch: staged into aligned memory, submitted as SQEs.
+  const std::vector<Extent> aligned = {
+      {0, 4096}, {3 * 4096, 2 * 4096}, {8 * 4096, 4096}};
+  std::vector<std::byte> data = Filled(4 * 4096, 21);
+  ASSERT_OK(device->WriteBatch(aligned, data));
+  EXPECT_EQ(device->ring_batches(), 1u);
+  EXPECT_EQ(device->ring_ops(), 3u);
+  std::vector<std::byte> out(4 * 4096, std::byte{0xDD});
+  ASSERT_OK(device->ReadBatch(aligned, out));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(device->ring_batches(), 2u);
+  // An unaligned extent in the batch falls back to the bounce loop and must
+  // still land correctly next to the ring-written bytes.
+  const std::vector<Extent> unaligned = {{100, 64}, {2 * 4096, 4096}};
+  std::vector<std::byte> mixed = Filled(64 + 4096, 42);
+  ASSERT_OK(device->WriteBatch(unaligned, mixed));
+  EXPECT_EQ(device->ring_batches(), 2u);  // unchanged: bounce path
+  std::vector<std::byte> check(64);
+  ASSERT_OK(device->Read(100, check));
+  EXPECT_EQ(std::memcmp(check.data(), mixed.data(), 64), 0);
+  std::vector<std::byte> head(100);
+  ASSERT_OK(device->Read(0, head));
+  EXPECT_EQ(std::memcmp(head.data(), data.data(), 100), 0);
+}
+
+TEST_F(UringDeviceTest, SyncPersistsAcrossReopen) {
+  {
+    ASSERT_OK_AND_ASSIGN(auto device, UringDevice::Open(path_, 1 << 20));
+    ASSERT_OK(device->WriteBatch(
+        std::vector<Extent>{{0, 64}, {4096, 64}}, Filled(128, 5)));
+    ASSERT_OK(device->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reopened, UringDevice::Open(path_, 1 << 20));
+  std::vector<std::byte> out(128);
+  ASSERT_OK(reopened->ReadBatch(std::vector<Extent>{{0, 64}, {4096, 64}},
+                                out));
+  EXPECT_EQ(out, Filled(128, 5));
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -34,8 +34,25 @@
 //       Same workload, but print the sampled AdvanceDay span trees: one root
 //       per transition with child spans for each maintenance primitive the
 //       scheme ran, annotated with the seek/byte delta each drew.
+//
+//   wavectl bench-io [--backend=file|uring|mmap] [--path=/data/probe.dat]
+//                    [--direct] [--queue-depth=64] [--size-mb=64]
+//                    [--block=4096] [--batch=64] [--ops=2000] [--seed=42]
+//       fio-style device microbenchmark on a real storage backend:
+//       sequential read/write bandwidth, random scalar latency, and random
+//       batched throughput. Prints the measured seek time and transfer rate
+//       in the units of the Section 5 cost model, for calibrating
+//       model::CaseParams::hardware to the machine actually underneath.
+//
+//   The metrics/trace workloads also accept --backend/--path/--direct/
+//   --queue-depth to serve from a real device instead of the modeled
+//   MemoryDevice.
+
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -45,6 +62,8 @@
 #include <vector>
 
 #include "model/space_model.h"
+#include "storage/backend_registry.h"
+#include "util/random.h"
 #include "model/total_work.h"
 #include "obs/metrics.h"
 #include "util/macros.h"
@@ -309,6 +328,16 @@ int Advise(const Args& args) {
   return 0;
 }
 
+/// The auto-generated backing file for a persistent --backend run without an
+/// explicit --path; empty when none is needed. Callers remove it after the
+/// service is gone.
+std::string ScratchDevicePath(const Args& args) {
+  const std::string backend = args.Get("backend", "memory");
+  if (backend == "memory" || !args.Get("path", "").empty()) return "";
+  return "/tmp/wavectl_" + backend + "_" + std::to_string(::getpid()) +
+         ".wavedev";
+}
+
 /// Builds a WaveService wired to `registry`, serves a short synthetic
 /// Netnews workload through it (start window + `--days` transitions,
 /// `--probes` probes and `--scans` scans per day), and returns the service so
@@ -332,6 +361,13 @@ Result<std::unique_ptr<WaveService>> ServeSyntheticWorkload(
   }
   options.num_query_threads = args.GetInt("threads", 1);
   options.cache_blocks = static_cast<size_t>(args.GetInt("cache-blocks", 1024));
+  options.storage_backend = args.Get("backend", "memory");
+  options.storage_path = args.Get("path", "");
+  options.direct_io = args.GetBool("direct");
+  options.io_queue_depth = args.GetInt("queue-depth", 64);
+  if (options.storage_path.empty()) {
+    options.storage_path = ScratchDevicePath(args);
+  }
   options.metrics_registry = registry;
   options.trace_sample_rate = sample_rate;
   options.trace_ring_capacity = ring_capacity;
@@ -379,15 +415,19 @@ int Metrics(const Args& args) {
     return 1;
   }
   const std::string format = args.Get("format", "prometheus");
+  int code = 0;
   if (format == "json") {
     std::cout << registry.RenderJson();
   } else if (format == "prometheus") {
     std::cout << registry.RenderPrometheus();
   } else {
     std::cerr << "unknown --format=" << format << " (prometheus|json)\n";
-    return 2;
+    code = 2;
   }
-  return 0;
+  service.ValueOrDie().reset();  // close the backing file before unlinking
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return code;
 }
 
 int Trace(const Args& args) {
@@ -430,6 +470,209 @@ int Trace(const Args& args) {
   std::cout << "roots started=" << tracer->roots_started()
             << " sampled=" << tracer->roots_sampled()
             << " spans recorded=" << tracer->spans_recorded() << "\n";
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return 0;
+}
+
+/// One timed I/O phase of bench-io.
+struct IoPhase {
+  std::string name;
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+
+  double avg_us() const { return ops > 0 ? seconds * 1e6 / ops : 0; }
+  double mb_per_s() const {
+    return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0;
+  }
+};
+
+/// fio-style microbenchmark of one storage backend, reporting the two
+/// numbers the Section 5 cost model needs: seek time (random scalar
+/// latency) and transfer rate (sequential bandwidth).
+int BenchIo(const Args& args) {
+  const std::string backend = args.Get("backend", "file");
+  std::string path = args.Get("path", "");
+  const bool own_path = path.empty();
+  if (own_path) {
+    path = "/tmp/wavectl_bench_io_" + std::to_string(::getpid()) + ".dat";
+    std::remove(path.c_str());
+  }
+  const uint64_t size_bytes =
+      static_cast<uint64_t>(args.GetInt("size-mb", 64)) << 20;
+  const uint64_t block = static_cast<uint64_t>(args.GetInt("block", 4096));
+  const size_t batch = static_cast<size_t>(args.GetInt("batch", 64));
+  const uint64_t ops = static_cast<uint64_t>(args.GetInt("ops", 2000));
+  if (block == 0 || size_bytes < block || batch == 0 || ops == 0) {
+    std::cerr << "bench-io: need size-mb*MiB >= block > 0, batch > 0, "
+                 "ops > 0\n";
+    return 2;
+  }
+
+  BackendConfig config;
+  config.path = path;
+  config.capacity = size_bytes;
+  config.direct_io = args.GetBool("direct");
+  config.queue_depth = args.GetInt("queue-depth", 64);
+  auto opened = BackendRegistry::Global().Create(backend, config);
+  if (!opened.ok()) {
+    std::cerr << opened.status() << "\n";
+    return 1;
+  }
+  std::unique_ptr<Device> device = std::move(opened).ValueOrDie();
+
+  const auto timed = [](IoPhase* phase, const std::function<Status()>& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status status = body();
+    phase->seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return status;
+  };
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  const uint64_t blocks_in_file = size_bytes / block;
+  const auto random_offset = [&] { return rng.Uniform(blocks_in_file) * block; };
+
+  std::vector<IoPhase> phases;
+  Status status = Status::OK();
+
+  // Sequential write (covers the file, so later reads hit real bytes),
+  // then sequential read: the model's transfer rate.
+  const uint64_t seq_chunk = std::max<uint64_t>(block, 256 * 1024);
+  std::vector<std::byte> chunk(seq_chunk);
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::byte>((i * 131) & 0xFF);
+  }
+  {
+    IoPhase phase{"seq write " + std::to_string(seq_chunk / 1024) + "K"};
+    status = timed(&phase, [&] {
+      for (uint64_t offset = 0; offset + seq_chunk <= size_bytes;
+           offset += seq_chunk) {
+        WAVEKIT_RETURN_NOT_OK(device->Write(offset, chunk));
+        ++phase.ops;
+        phase.bytes += seq_chunk;
+      }
+      return device->Sync();
+    });
+    phases.push_back(phase);
+  }
+  if (status.ok()) {
+    IoPhase phase{"seq read " + std::to_string(seq_chunk / 1024) + "K"};
+    status = timed(&phase, [&] {
+      for (uint64_t offset = 0; offset + seq_chunk <= size_bytes;
+           offset += seq_chunk) {
+        WAVEKIT_RETURN_NOT_OK(device->Read(offset, chunk));
+        ++phase.ops;
+        phase.bytes += seq_chunk;
+      }
+      return Status::OK();
+    });
+    phases.push_back(phase);
+  }
+
+  // Random scalar ops: the model's seek time.
+  std::vector<std::byte> buf(block);
+  if (status.ok()) {
+    IoPhase phase{"rand read " + std::to_string(block) + "B scalar"};
+    status = timed(&phase, [&] {
+      for (uint64_t i = 0; i < ops; ++i) {
+        WAVEKIT_RETURN_NOT_OK(device->Read(random_offset(), buf));
+        ++phase.ops;
+        phase.bytes += block;
+      }
+      return Status::OK();
+    });
+    phases.push_back(phase);
+  }
+  if (status.ok()) {
+    IoPhase phase{"rand write " + std::to_string(block) + "B scalar"};
+    status = timed(&phase, [&] {
+      for (uint64_t i = 0; i < ops; ++i) {
+        WAVEKIT_RETURN_NOT_OK(device->Write(random_offset(), buf));
+        ++phase.ops;
+        phase.bytes += block;
+      }
+      return device->Sync();
+    });
+    phases.push_back(phase);
+  }
+
+  // Random batched ops at --batch extents per call: what the maintenance
+  // write path (and a ring backend) actually sees.
+  const auto random_batch = [&] {
+    // Distinct blocks per batch: overlap would force call-order fallback.
+    std::vector<uint64_t> picks;
+    while (picks.size() < batch) {
+      const uint64_t offset = random_offset();
+      bool duplicate = false;
+      for (uint64_t p : picks) duplicate |= (p == offset);
+      if (!duplicate) picks.push_back(offset);
+    }
+    std::vector<Extent> extents;
+    extents.reserve(batch);
+    for (uint64_t p : picks) extents.push_back({p, block});
+    return extents;
+  };
+  std::vector<std::byte> batch_buf(batch * block);
+  const uint64_t batch_calls = std::max<uint64_t>(1, ops / batch);
+  if (status.ok()) {
+    IoPhase phase{"rand read batched x" + std::to_string(batch)};
+    status = timed(&phase, [&] {
+      for (uint64_t i = 0; i < batch_calls; ++i) {
+        WAVEKIT_RETURN_NOT_OK(device->ReadBatch(random_batch(), batch_buf));
+        phase.ops += batch;
+        phase.bytes += batch * block;
+      }
+      return Status::OK();
+    });
+    phases.push_back(phase);
+  }
+  if (status.ok()) {
+    IoPhase phase{"rand write batched x" + std::to_string(batch)};
+    status = timed(&phase, [&] {
+      for (uint64_t i = 0; i < batch_calls; ++i) {
+        WAVEKIT_RETURN_NOT_OK(device->WriteBatch(random_batch(), batch_buf));
+        phase.ops += batch;
+        phase.bytes += batch * block;
+      }
+      return device->Sync();
+    });
+    phases.push_back(phase);
+  }
+
+  device.reset();
+  if (own_path) std::remove(path.c_str());
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+
+  sim::TablePrinter table({"phase", "ops", "avg latency", "throughput"});
+  table.SetTitle("bench-io: backend=" + backend +
+                 (config.direct_io ? " (O_DIRECT)" : "") + ", " +
+                 std::to_string(size_bytes >> 20) + " MiB at " + path);
+  for (const IoPhase& phase : phases) {
+    table.AddRow({phase.name, std::to_string(phase.ops),
+                  FormatDouble(phase.avg_us(), 1) + " us",
+                  FormatDouble(phase.mb_per_s(), 1) + " MB/s"});
+  }
+  table.Print(std::cout);
+
+  // Map onto the Section 5 cost model (CostModel::seek_seconds,
+  // CostModel::transfer_bytes_per_second; Table 12 uses 14 ms and 10 MB/s).
+  const IoPhase& seq_read = phases[1];
+  const IoPhase& rand_read = phases[2];
+  std::cout << "\ncalibrated model parameters for this device:\n"
+            << "  seek_seconds              = "
+            << FormatDouble(rand_read.avg_us() / 1e6, 6) << "  ("
+            << FormatDouble(rand_read.avg_us() / 1000.0, 3) << " ms vs the "
+            << "paper's 14 ms)\n"
+            << "  transfer_bytes_per_second = "
+            << FormatDouble(seq_read.mb_per_s() * 1e6, 0) << "  ("
+            << FormatDouble(seq_read.mb_per_s(), 1) << " MB/s vs the paper's "
+            << "10 MB/s)\n";
   return 0;
 }
 
@@ -442,7 +685,9 @@ int Main(int argc, char** argv) {
   if (command == "advise") return Advise(args);
   if (command == "metrics") return Metrics(args);
   if (command == "trace") return Trace(args);
-  std::cerr << "usage: wavectl <schemes|run|model|advise|metrics|trace> "
+  if (command == "bench-io") return BenchIo(args);
+  std::cerr << "usage: wavectl "
+               "<schemes|run|model|advise|metrics|trace|bench-io> "
                "[--flag=value ...]\n"
                "see the header of tools/wavectl.cc for the full flag list\n";
   return 2;
