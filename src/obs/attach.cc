@@ -4,11 +4,15 @@ namespace wavekit {
 namespace obs {
 
 void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
-                         std::string device_label, const void* owner) {
+                         std::string device_label, BackendIdentity identity,
+                         const void* owner) {
   for (int p = 0; p < kNumPhases; ++p) {
     const Phase phase = static_cast<Phase>(p);
-    const Labels labels = {{"device", device_label},
-                           {"phase", PhaseName(phase)}};
+    Labels labels = {{"device", device_label}, {"phase", PhaseName(phase)}};
+    if (!identity.backend.empty()) {
+      labels.emplace_back("backend", identity.backend);
+      labels.emplace_back("direct", identity.direct_io ? "1" : "0");
+    }
     registry->AddCounterCallback(
         "wavekit_device_seeks_total", "Modeled disk seeks per phase", labels,
         [device, phase]() { return device->counters(phase).seeks; }, owner);
@@ -27,6 +31,60 @@ void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
     registry->AddCounterCallback(
         "wavekit_device_write_ops_total", "Write operations per phase", labels,
         [device, phase]() { return device->counters(phase).write_ops; },
+        owner);
+    registry->AddCounterCallback(
+        "wavekit_device_sync_ops_total",
+        "Device sync (durability flush) calls per phase", labels,
+        [device, phase]() { return device->counters(phase).sync_ops; }, owner);
+  }
+}
+
+void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
+                         std::string device_label, const void* owner) {
+  AttachMeteredDevice(registry, device, std::move(device_label),
+                      BackendIdentity{}, owner);
+}
+
+void AttachLatencyDevice(MetricsRegistry* registry,
+                         const LatencyTrackingDevice* device,
+                         const MeteredDevice* meter, CostModel model,
+                         std::string device_label, const void* owner) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    for (int o = 0; o < kNumOpKinds; ++o) {
+      const OpKind op = static_cast<OpKind>(o);
+      const Labels labels = {{"device", device_label},
+                             {"op", OpKindName(op)},
+                             {"phase", PhaseName(phase)}};
+      registry->AddHistogramCallback(
+          "wavekit_device_latency_us",
+          "Measured wall-clock device operation latency, microseconds",
+          labels,
+          [device, op, phase]() { return device->histogram(op, phase); },
+          owner);
+    }
+    const Labels labels = {{"device", device_label},
+                           {"phase", PhaseName(phase)}};
+    registry->AddGaugeCallback(
+        "wavekit_device_observed_seconds",
+        "Measured wall-clock seconds spent in device I/O per phase", labels,
+        [device, phase]() { return device->observed_seconds(phase); }, owner);
+    registry->AddGaugeCallback(
+        "wavekit_device_modeled_seconds",
+        "CostModel-predicted seconds for the metered I/O per phase", labels,
+        [meter, model, phase]() {
+          return model.Seconds(meter->counters(phase));
+        },
+        owner);
+    registry->AddGaugeCallback(
+        "wavekit_device_latency_drift_ratio",
+        "Observed / modeled seconds per phase (0 when the model predicts 0)",
+        labels,
+        [device, meter, model, phase]() {
+          const double modeled = model.Seconds(meter->counters(phase));
+          return modeled > 0.0 ? device->observed_seconds(phase) / modeled
+                               : 0.0;
+        },
         owner);
   }
 }

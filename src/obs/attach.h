@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "obs/latency_device.h"
 #include "obs/metrics.h"
 #include "storage/metered_device.h"
 #include "storage/sharded_cached_device.h"
@@ -19,10 +20,41 @@
 namespace wavekit {
 namespace obs {
 
-/// Per-phase seek/byte/op counters of `device`:
-///   wavekit_device_{seeks,bytes_read,bytes_written,read_ops,write_ops}_total
-///     {device=<label>, phase=<start|transition|precompute|query|other>}
+/// \brief Where the bytes physically live, attached as labels so dashboards
+/// can split metrics by storage backend. `backend` is the BackendRegistry
+/// name ("memory", "file", "uring", "mmap"); empty means "don't label".
+struct BackendIdentity {
+  std::string backend;
+  bool direct_io = false;
+};
+
+/// Per-phase seek/byte/op/sync counters of `device`:
+///   wavekit_device_{seeks,bytes_read,bytes_written,read_ops,write_ops,
+///                   sync_ops}_total
+///     {device=<label>, phase=<start|transition|precompute|query|other>
+///      [, backend=<name>, direct=<0|1>]}
+/// The backend/direct labels appear when `identity.backend` is non-empty.
 void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
+                         std::string device_label, BackendIdentity identity,
+                         const void* owner = nullptr);
+
+/// Backward-compatible overload: no backend identity labels.
+void AttachMeteredDevice(MetricsRegistry* registry, const MeteredDevice* device,
+                         std::string device_label,
+                         const void* owner = nullptr);
+
+/// Measured latency histograms and model-drift gauges of `device`:
+///   wavekit_device_latency_us{device=<label>, op=<read|write|read_batch|
+///     write_batch|sync>, phase=<...>}           (summary: quantiles+sum+count)
+///   wavekit_device_observed_seconds{device=<label>, phase=<...>}
+///   wavekit_device_modeled_seconds{device=<label>, phase=<...>}
+///   wavekit_device_latency_drift_ratio{device=<label>, phase=<...>}
+/// Modeled seconds apply `model` to `meter`'s counters for the same phase;
+/// the drift ratio is observed/modeled (0 when the model predicts 0). All
+/// (op, phase) histogram cells are registered; empty ones render count=0.
+void AttachLatencyDevice(MetricsRegistry* registry,
+                         const LatencyTrackingDevice* device,
+                         const MeteredDevice* meter, CostModel model,
                          std::string device_label,
                          const void* owner = nullptr);
 

@@ -1,0 +1,154 @@
+#include "obs/event_journal.h"
+
+#include <cstdio>
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kAdvanceStart:
+      return "advance_start";
+    case EventType::kAdvanceCommit:
+      return "advance_commit";
+    case EventType::kAdvanceRollback:
+      return "advance_rollback";
+    case EventType::kRetry:
+      return "retry";
+    case EventType::kDegradedEnter:
+      return "degraded_enter";
+    case EventType::kDegradedExit:
+      return "degraded_exit";
+    case EventType::kRecoveryRollForward:
+      return "recovery_roll_forward";
+    case EventType::kRecoveryRollBack:
+      return "recovery_roll_back";
+    case EventType::kServiceStart:
+      return "service_start";
+  }
+  return "?";
+}
+
+std::string Event::ToJson() const {
+  std::string out = "{\"seq\": " + std::to_string(sequence) +
+                    ", \"t_us\": " + std::to_string(timestamp_us) +
+                    ", \"type\": \"" + EventTypeName(type) + "\"";
+  if (day != 0) out += ", \"day\": " + std::to_string(day);
+  if (!message.empty()) {
+    out += ", \"message\": \"" + EscapeJson(message) + "\"";
+  }
+  for (const auto& [key, value] : fields) {
+    out += ", \"" + EscapeJson(key) + "\": \"" + EscapeJson(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+EventJournal::EventJournal(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Instance()) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  ring_.reserve(options_.ring_capacity);
+  if (!options_.jsonl_path.empty()) {
+    sink_.open(options_.jsonl_path, std::ios::app);
+    sink_failed_ = !sink_.is_open();
+  }
+}
+
+void EventJournal::Append(
+    EventType type, Day day, std::string message,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  Event event;
+  event.timestamp_us = clock_->NowMicros();
+  event.type = type;
+  event.day = day;
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.sequence = next_sequence_++;
+  if (sink_.is_open()) {
+    sink_ << event.ToJson() << "\n";
+    sink_.flush();
+    if (!sink_.good()) sink_failed_ = true;
+  }
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(event));
+    ring_next_ = ring_.size() % options_.ring_capacity;
+    ring_full_ = ring_.size() == options_.ring_capacity;
+  } else {
+    ring_[ring_next_] = std::move(event);
+    ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+    ring_full_ = true;
+  }
+  total_appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Event> EventJournal::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (!ring_full_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+bool EventJournal::sink_ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !sink_failed_;
+}
+
+std::string EventJournal::RenderJson() const {
+  const std::vector<Event> events = Events();
+  std::string out =
+      "{\n  \"total_appended\": " + std::to_string(total_appended()) +
+      ",\n  \"events\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += "    " + events[i].ToJson();
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace wavekit

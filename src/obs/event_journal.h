@@ -1,0 +1,122 @@
+// EventJournal: a structured log of maintenance lifecycle events.
+//
+// Metrics say how much; the journal says what happened and in what order:
+// every AdvanceDay start/commit/rollback, retry attempt, degraded-mode
+// entry/exit, and recovery roll-forward/roll-back decision lands here as one
+// typed, timestamped record. Events live in a bounded in-memory ring (served
+// by /events.json and `wavectl events`) and, when a path is configured, are
+// appended to a JSONL file — one JSON object per line, the grep-able ops
+// format the troubleshooting runbook (docs/OBSERVABILITY.md) assumes.
+//
+// Events are emitted only on the maintenance path (transitions, retries,
+// recoveries), never per query, so the journal costs the hot path nothing.
+// Timestamps come from the injected Clock; under the simulation harness the
+// whole journal is a deterministic function of the episode seed.
+
+#ifndef WAVEKIT_OBS_EVENT_JOURNAL_H_
+#define WAVEKIT_OBS_EVENT_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/day.h"
+
+namespace wavekit {
+namespace obs {
+
+/// \brief What happened. Maintenance lifecycle only — query traffic is
+/// metrics territory.
+enum class EventType {
+  kAdvanceStart,        ///< A window transition began.
+  kAdvanceCommit,       ///< The transition published its new snapshot.
+  kAdvanceRollback,     ///< The transition failed; the old snapshot serves.
+  kRetry,               ///< A maintenance primitive retried a transient error.
+  kDegradedEnter,       ///< Serving entered degraded mode.
+  kDegradedExit,        ///< Serving recovered to healthy.
+  kRecoveryRollForward, ///< Restart recovery kept an interrupted transition.
+  kRecoveryRollBack,    ///< Restart recovery discarded an interrupted one.
+  kServiceStart,        ///< A serving process started (Start() succeeded).
+};
+
+const char* EventTypeName(EventType type);
+
+/// \brief One journal record.
+struct Event {
+  uint64_t sequence = 0;      ///< Monotonic per journal, assigned on append.
+  uint64_t timestamp_us = 0;  ///< Injected-clock reading at append.
+  EventType type = EventType::kAdvanceStart;
+  Day day = 0;                ///< The day involved, or 0 when not day-scoped.
+  std::string message;        ///< Human-readable detail (error text, op name).
+  /// Extra key/value context, rendered verbatim into the JSON object.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// The event as one JSON object (no trailing newline):
+  ///   {"seq":1,"t_us":...,"type":"advance_commit","day":9,...}
+  std::string ToJson() const;
+};
+
+/// \brief Bounded ring + optional JSONL sink. Thread-safe: any thread may
+/// append while others read.
+class EventJournal {
+ public:
+  struct Options {
+    /// Events kept in memory; the oldest is evicted when full.
+    size_t ring_capacity = 256;
+    /// When non-empty, every event is also appended (and flushed) to this
+    /// file as one JSON line. Open failures are recorded in sink_status()
+    /// and the ring keeps working.
+    std::string jsonl_path;
+    /// Timestamp source; defaults to the wall clock.
+    Clock* clock = nullptr;
+  };
+
+  explicit EventJournal(Options options);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Appends one event; sequence and timestamp are assigned here.
+  void Append(EventType type, Day day, std::string message,
+              std::vector<std::pair<std::string, std::string>> fields = {});
+
+  /// The ring contents, oldest first.
+  std::vector<Event> Events() const;
+
+  /// Total events ever appended (>= Events().size(); the rest was evicted).
+  uint64_t total_appended() const {
+    return total_appended_.load(std::memory_order_relaxed);
+  }
+
+  /// OK, or why the JSONL sink could not be opened.
+  bool sink_ok() const;
+
+  /// JSON document for /events.json:
+  ///   {"total_appended":N,"events":[{...},...]}
+  std::string RenderJson() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;  ///< Circular; ring_next_ is the write slot.
+  size_t ring_next_ = 0;
+  bool ring_full_ = false;
+  uint64_t next_sequence_ = 1;
+  std::ofstream sink_;
+  bool sink_failed_ = false;
+  std::atomic<uint64_t> total_appended_{0};
+};
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_EVENT_JOURNAL_H_

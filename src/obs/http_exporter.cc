@@ -1,0 +1,241 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/trace_export.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+// Request lines longer than this are rejected with 400 rather than buffered
+// indefinitely; generous for "GET /trace.json HTTP/1.1" plus headers.
+constexpr size_t kMaxRequestBytes = 8192;
+
+// Per-client receive budget so a half-open client cannot wedge the accept
+// loop for longer than this.
+constexpr int kRecvTimeoutSec = 5;
+
+std::string StatusLine(int status, const std::string& reason) {
+  return "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  if (running()) return Status::OK();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocking accept(); close() alone is not guaranteed
+  // to on all platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the socket down (or something is badly wrong): exit.
+      return;
+    }
+    ServeClient(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::ServeClient(int client_fd) {
+  timeval timeout{};
+  timeout.tv_sec = kRecvTimeoutSec;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  // Read until the end of the request line; we never need the headers or a
+  // body, so the first CRLF is enough.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) break;
+    const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  // Parse "METHOD SP PATH SP VERSION" from the first line.
+  std::string method, path;
+  {
+    size_t line_end = request.find('\n');
+    if (line_end == std::string::npos) line_end = request.size();
+    const std::string line = request.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos && sp1 > 0 &&
+        sp2 > sp1 + 1) {
+      method = line.substr(0, sp1);
+      path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+
+  Response response;
+  if (method.empty() || path.empty() || path[0] != '/') {
+    response.status = 400;
+    response.reason = "Bad Request";
+    response.body = "malformed request\n";
+  } else {
+    response = Handle(method, path);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string out = StatusLine(response.status, response.reason);
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  SendAll(client_fd, out);
+}
+
+HttpExporter::Response HttpExporter::Handle(const std::string& method,
+                                            const std::string& path) const {
+  Response response;
+  if (method != "GET") {
+    response.status = 405;
+    response.reason = "Method Not Allowed";
+    response.body = "only GET is served\n";
+    return response;
+  }
+
+  // Ignore any query string: Prometheus appends none, but humans do.
+  const std::string clean = path.substr(0, path.find('?'));
+
+  if (clean == "/healthz") {
+    std::string detail;
+    const bool healthy = options_.health ? options_.health(&detail) : true;
+    if (healthy) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.reason = "Service Unavailable";
+      response.body = "degraded";
+      if (!detail.empty()) response.body += ": " + detail;
+      response.body += "\n";
+    }
+    return response;
+  }
+  if (clean == "/" || clean == "/index.html") {
+    response.body =
+        "wavekit telemetry\n"
+        "  /metrics          Prometheus text\n"
+        "  /metrics.json     registry snapshot as JSON\n"
+        "  /timeseries.json  sampled history + rates\n"
+        "  /events.json      maintenance event journal\n"
+        "  /trace.json       Chrome trace-event spans\n"
+        "  /healthz          liveness (503 when degraded)\n";
+    return response;
+  }
+  if (clean == "/metrics" && options_.registry != nullptr) {
+    // Prometheus' registered exposition content type.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = options_.registry->RenderPrometheus();
+    return response;
+  }
+  if (clean == "/metrics.json" && options_.registry != nullptr) {
+    response.content_type = "application/json";
+    response.body = options_.registry->RenderJson();
+    return response;
+  }
+  if (clean == "/timeseries.json" && options_.collector != nullptr) {
+    response.content_type = "application/json";
+    response.body = options_.collector->RenderJson();
+    return response;
+  }
+  if (clean == "/events.json" && options_.events != nullptr) {
+    response.content_type = "application/json";
+    response.body = options_.events->RenderJson();
+    return response;
+  }
+  if (clean == "/trace.json" && options_.tracer != nullptr) {
+    response.content_type = "application/json";
+    response.body = RenderChromeTrace(*options_.tracer);
+    return response;
+  }
+
+  response.status = 404;
+  response.reason = "Not Found";
+  response.body = "unknown path: " + clean + "\n";
+  return response;
+}
+
+}  // namespace obs
+}  // namespace wavekit

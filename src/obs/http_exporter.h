@@ -1,0 +1,108 @@
+// HttpExporter: a minimal embedded HTTP endpoint for scraping telemetry.
+//
+// One listening socket, one accept-loop thread, zero dependencies — raw
+// POSIX sockets only, because the paper-repro container must not grow a web
+// framework. The exporter serves GETs from the telemetry objects it is
+// pointed at:
+//
+//   /metrics          Prometheus text exposition (MetricsRegistry)
+//   /metrics.json     the same snapshot as JSON
+//   /timeseries.json  TimeSeriesCollector ring + derived rates
+//   /events.json      EventJournal ring
+//   /trace.json       Chrome trace-event JSON of the Tracer ring
+//   /healthz          200 "ok" or 503 "degraded: <detail>" per the health
+//                     callback — the liveness/readiness hook
+//
+// Scraper-grade, not internet-grade: requests are handled sequentially on
+// the accept thread (concurrent scrapers queue in the listen backlog), bodies
+// are built in memory, and the default bind is loopback. Malformed requests
+// get 400, unknown paths 404, non-GET methods 405; every response is
+// Connection: close so clients never wedge the loop.
+
+#ifndef WAVEKIT_OBS_HTTP_EXPORTER_H_
+#define WAVEKIT_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace wavekit {
+namespace obs {
+
+/// \brief Blocking-accept HTTP server exposing telemetry endpoints.
+/// Start() spawns the accept thread; Stop() (or the destructor) joins it.
+class HttpExporter {
+ public:
+  struct Options {
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Bind address. Loopback by default; "0.0.0.0" to expose externally.
+    std::string bind_address = "127.0.0.1";
+    /// Data sources; any may be nullptr (its endpoints then return 404).
+    MetricsRegistry* registry = nullptr;
+    TimeSeriesCollector* collector = nullptr;
+    EventJournal* events = nullptr;
+    Tracer* tracer = nullptr;
+    /// Health probe for /healthz. Fill `detail` with the reason when
+    /// returning false. Unset means always healthy.
+    std::function<bool(std::string* detail)> health;
+  };
+
+  explicit HttpExporter(Options options);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Returns an IOError with
+  /// the errno text if the socket cannot be set up. Idempotent once running.
+  Status Start();
+
+  /// Shuts the listening socket and joins the accept thread. Safe to call
+  /// when not running.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 after Start).
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Dispatches one request line to a response (status line + body), without
+  /// any socket involved. The unit-testable core of the server; Serve() is
+  /// this plus I/O.
+  struct Response {
+    int status = 200;
+    std::string reason = "OK";
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response Handle(const std::string& method, const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void ServeClient(int client_fd);
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,90 @@
+#include "obs/latency_device.h"
+
+namespace wavekit {
+namespace obs {
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kReadBatch:
+      return "read_batch";
+    case OpKind::kWriteBatch:
+      return "write_batch";
+    case OpKind::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+LatencyTrackingDevice::LatencyTrackingDevice(Device* inner, Options options)
+    : inner_(inner),
+      clock_(options.clock != nullptr ? options.clock
+                                      : RealClock::Instance()) {}
+
+Status LatencyTrackingDevice::Finish(OpKind op, Phase phase, uint64_t start_us,
+                                     Status status) {
+  const uint64_t end_us = clock_->NowMicros();
+  // Clamp to 1us: sub-microsecond ops (memory backend, page cache hits) and
+  // SimClock (time does not pass inside a call) would otherwise record 0,
+  // which the log-bucketed histogram cannot hold.
+  const uint64_t elapsed_us = end_us > start_us ? end_us - start_us : 1;
+  Cell(op, phase).Record(elapsed_us);
+  return status;
+}
+
+Status LatencyTrackingDevice::Read(uint64_t offset, std::span<std::byte> out) {
+  const Phase phase = CurrentPhase();
+  const uint64_t start_us = clock_->NowMicros();
+  return Finish(OpKind::kRead, phase, start_us, inner_->Read(offset, out));
+}
+
+Status LatencyTrackingDevice::Write(uint64_t offset,
+                                    std::span<const std::byte> data) {
+  const Phase phase = CurrentPhase();
+  const uint64_t start_us = clock_->NowMicros();
+  return Finish(OpKind::kWrite, phase, start_us, inner_->Write(offset, data));
+}
+
+Status LatencyTrackingDevice::ReadBatch(std::span<const Extent> extents,
+                                        std::span<std::byte> out) {
+  const Phase phase = CurrentPhase();
+  const uint64_t start_us = clock_->NowMicros();
+  return Finish(OpKind::kReadBatch, phase, start_us,
+                inner_->ReadBatch(extents, out));
+}
+
+Status LatencyTrackingDevice::WriteBatch(std::span<const Extent> extents,
+                                         std::span<const std::byte> data) {
+  const Phase phase = CurrentPhase();
+  const uint64_t start_us = clock_->NowMicros();
+  return Finish(OpKind::kWriteBatch, phase, start_us,
+                inner_->WriteBatch(extents, data));
+}
+
+Status LatencyTrackingDevice::Sync() {
+  const Phase phase = CurrentPhase();
+  const uint64_t start_us = clock_->NowMicros();
+  return Finish(OpKind::kSync, phase, start_us, inner_->Sync());
+}
+
+Histogram LatencyTrackingDevice::histogram(OpKind op, Phase phase) const {
+  return Cell(op, phase).Snapshot();
+}
+
+double LatencyTrackingDevice::observed_seconds(Phase phase) const {
+  uint64_t total_us = 0;
+  for (int op = 0; op < kNumOpKinds; ++op) {
+    total_us += Cell(static_cast<OpKind>(op), phase).Snapshot().sum();
+  }
+  return static_cast<double>(total_us) / 1e6;
+}
+
+void LatencyTrackingDevice::Reset() {
+  for (ConcurrentHistogram& cell : cells_) cell.Reset();
+}
+
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,110 @@
+// LatencyTrackingDevice: measured (not modeled) per-op device latency.
+//
+// MeteredDevice charges the paper's seek/transfer cost model; this decorator
+// records what the hardware actually did: a wall-clock histogram per
+// (operation, phase) — read, write, batched read/write, sync — stacked
+// directly under the meter so the phase attribution the meter maintains also
+// labels the measured latencies. On the PR 6 real-disk backends (file,
+// uring, mmap, O_DIRECT) the histograms are real device service times; the
+// drift gauges exported by obs::AttachLatencyDevice compare them against the
+// CostModel's predictions — the observed-vs-modeled feed the adaptive
+// planner (ROADMAP item 4) fits its parameters from.
+//
+// Cost: two Clock reads plus one wait-free histogram record per I/O call.
+// Thread-safe: histograms are ConcurrentHistogram (relaxed atomics), the
+// phase is read from the meter's atomic.
+
+#ifndef WAVEKIT_OBS_LATENCY_DEVICE_H_
+#define WAVEKIT_OBS_LATENCY_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "storage/metered_device.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+namespace wavekit {
+namespace obs {
+
+/// \brief The operations tracked, one histogram each per Phase.
+enum class OpKind : int {
+  kRead = 0,
+  kWrite = 1,
+  kReadBatch = 2,
+  kWriteBatch = 3,
+  kSync = 4,
+};
+
+inline constexpr int kNumOpKinds = 5;
+
+const char* OpKindName(OpKind op);
+
+/// \brief Device decorator recording wall-clock per-op latency histograms,
+/// labeled by the Phase of an associated MeteredDevice.
+class LatencyTrackingDevice : public Device {
+ public:
+  struct Options {
+    /// Time source. Defaults to the wall clock; the simulation harness
+    /// injects a SimClock (durations collapse to the clamped minimum, but
+    /// stay deterministic).
+    Clock* clock = nullptr;
+  };
+
+  /// Does not take ownership of `inner`, which must outlive this object.
+  explicit LatencyTrackingDevice(Device* inner)
+      : LatencyTrackingDevice(inner, Options()) {}
+  LatencyTrackingDevice(Device* inner, Options options);
+
+  /// The meter whose phase() labels recorded latencies. The meter normally
+  /// sits ABOVE this device in the stack, so it is attached after
+  /// construction. Unset (nullptr) attributes everything to Phase::kOther.
+  void set_phase_source(const MeteredDevice* meter) { meter_ = meter; }
+
+  Status Read(uint64_t offset, std::span<std::byte> out) override;
+  Status Write(uint64_t offset, std::span<const std::byte> data) override;
+  Status ReadBatch(std::span<const Extent> extents,
+                   std::span<std::byte> out) override;
+  Status WriteBatch(std::span<const Extent> extents,
+                    std::span<const std::byte> data) override;
+  Status Sync() override;
+  uint64_t capacity() const override { return inner_->capacity(); }
+
+  /// Snapshot of one (op, phase) histogram, in microseconds.
+  Histogram histogram(OpKind op, Phase phase) const;
+
+  /// Total observed wall-clock seconds spent in `phase`, summed over all
+  /// ops. The measured counterpart of CostModel::Seconds over the meter's
+  /// counters for the same phase.
+  double observed_seconds(Phase phase) const;
+
+  /// Zeroes every histogram (not linearizable against in-flight I/O).
+  void Reset();
+
+ private:
+  ConcurrentHistogram& Cell(OpKind op, Phase phase) {
+    return cells_[static_cast<size_t>(op) * kNumPhases +
+                  static_cast<size_t>(phase)];
+  }
+  const ConcurrentHistogram& Cell(OpKind op, Phase phase) const {
+    return cells_[static_cast<size_t>(op) * kNumPhases +
+                  static_cast<size_t>(phase)];
+  }
+
+  Phase CurrentPhase() const {
+    return meter_ != nullptr ? meter_->phase() : Phase::kOther;
+  }
+
+  /// Records `start_us`..now into (op, current phase); returns `status`.
+  Status Finish(OpKind op, Phase phase, uint64_t start_us, Status status);
+
+  Device* inner_;
+  const MeteredDevice* meter_ = nullptr;
+  Clock* clock_;
+  std::array<ConcurrentHistogram, kNumOpKinds * kNumPhases> cells_;
+};
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_LATENCY_DEVICE_H_

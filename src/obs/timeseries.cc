@@ -1,0 +1,256 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+/// JSON number rendering shared with the registry exporters: integral values
+/// print exactly, others with default precision.
+std::string JsonNumber(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value < 9.2e18 && value > -9.2e18) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Flattens one snapshot into (key, value) pairs: counters and gauges map to
+/// their value, histograms to `<key>:count` and `<key>:sum` so every series
+/// is a plain number and delta/rate derivation is uniform.
+std::vector<std::pair<std::string, double>> FlattenSnapshot(
+    const RegistrySnapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(snapshot.metrics.size());
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    const std::string key = MetricKey(metric.name, metric.labels);
+    if (metric.type == MetricType::kHistogram) {
+      out.emplace_back(key + ":count",
+                       static_cast<double>(metric.histogram.count()));
+      out.emplace_back(key + ":sum",
+                       static_cast<double>(metric.histogram.sum()));
+    } else {
+      out.emplace_back(key, metric.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+TimeSeriesCollector::TimeSeriesCollector(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Instance()) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  ring_.reserve(options_.ring_capacity);
+}
+
+TimeSeriesCollector::~TimeSeriesCollector() { Stop(); }
+
+void TimeSeriesCollector::AppendSample(Sample sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_sample_us_ = sample.timestamp_us;
+  ever_sampled_ = true;
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(sample));
+    ring_next_ = ring_.size() % options_.ring_capacity;
+    ring_full_ = ring_.size() == options_.ring_capacity;
+  } else {
+    ring_[ring_next_] = std::move(sample);
+    ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+    ring_full_ = true;
+  }
+  samples_taken_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimeSeriesCollector::SampleNow() {
+  if (options_.registry == nullptr) return;
+  Sample sample;
+  sample.timestamp_us = clock_->NowMicros();
+  // Snapshot outside our own mutex: registry callbacks may be slow, and
+  // readers of Samples() should not wait on them.
+  sample.snapshot = options_.registry->Snapshot();
+  AppendSample(std::move(sample));
+}
+
+bool TimeSeriesCollector::Tick() {
+  if (options_.registry == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ever_sampled_) {
+      const uint64_t now_us = clock_->NowMicros();
+      if (now_us < last_sample_us_ + options_.interval_us) return false;
+    }
+  }
+  SampleNow();
+  return true;
+}
+
+void TimeSeriesCollector::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    while (!stop_requested_) {
+      lock.unlock();
+      SampleNow();
+      lock.lock();
+      thread_cv_.wait_for(lock,
+                          std::chrono::microseconds(options_.interval_us),
+                          [this] { return stop_requested_; });
+    }
+  });
+}
+
+void TimeSeriesCollector::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    thread_cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  thread_ = std::thread();
+}
+
+std::vector<TimeSeriesCollector::Sample> TimeSeriesCollector::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  if (!ring_full_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::vector<TimeSeriesCollector::Point> TimeSeriesCollector::Series(
+    const std::string& name, const Labels& labels) const {
+  const std::vector<Sample> samples = Samples();
+  std::vector<Point> out;
+  bool have_previous = false;
+  double previous_value = 0.0;
+  uint64_t previous_us = 0;
+  for (const Sample& sample : samples) {
+    for (const MetricSnapshot& metric : sample.snapshot.metrics) {
+      if (metric.name != name || metric.labels != labels) continue;
+      Point point;
+      point.timestamp_us = sample.timestamp_us;
+      point.value = metric.type == MetricType::kHistogram
+                        ? static_cast<double>(metric.histogram.count())
+                        : metric.value;
+      if (have_previous) {
+        point.delta = point.value - previous_value;
+        const uint64_t elapsed_us = point.timestamp_us > previous_us
+                                        ? point.timestamp_us - previous_us
+                                        : 0;
+        point.rate_per_sec =
+            elapsed_us > 0 ? point.delta * 1e6 / elapsed_us : 0.0;
+      }
+      previous_value = point.value;
+      previous_us = point.timestamp_us;
+      have_previous = true;
+      out.push_back(point);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string TimeSeriesCollector::RenderJson() const {
+  const std::vector<Sample> samples = Samples();
+  std::string out = "{\n  \"interval_us\": " +
+                    std::to_string(options_.interval_us) +
+                    ",\n  \"samples_taken\": " +
+                    std::to_string(samples_taken()) + ",\n  \"samples\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    out += "    {\"t_us\": " + std::to_string(samples[i].timestamp_us) +
+           ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : FlattenSnapshot(samples[i].snapshot)) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + EscapeJson(key) + "\": " + JsonNumber(value);
+    }
+    out += "}}";
+    if (i + 1 < samples.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"rates\": {";
+  // Counter rates over the last pair of samples — the "right now" view
+  // wavectl top shows.
+  if (samples.size() >= 2) {
+    const Sample& a = samples[samples.size() - 2];
+    const Sample& b = samples.back();
+    const uint64_t elapsed_us =
+        b.timestamp_us > a.timestamp_us ? b.timestamp_us - a.timestamp_us : 0;
+    if (elapsed_us > 0) {
+      const auto old_values = FlattenSnapshot(a.snapshot);
+      bool first = true;
+      for (const auto& [key, value] : FlattenSnapshot(b.snapshot)) {
+        for (const auto& [old_key, old_value] : old_values) {
+          if (old_key != key) continue;
+          if (value < old_value) break;  // gauge went down; not a counter
+          if (!first) out += ", ";
+          first = false;
+          out += "\"" + EscapeJson(key) +
+                 "\": " + JsonNumber((value - old_value) * 1e6 / elapsed_us);
+          break;
+        }
+      }
+    }
+  }
+  out += "}\n}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,146 @@
+// TimeSeriesCollector: periodic history of a MetricsRegistry.
+//
+// The registry (obs/metrics.h) is point-in-time: every snapshot shows the
+// totals accumulated so far, but nothing about how they got there. The
+// collector closes that gap by sampling the registry into a bounded ring of
+// timestamped snapshots, from which rates ("probes per second over the last
+// interval") and deltas fall out by subtraction — the inputs `wavectl top`,
+// the /timeseries.json endpoint, and the adaptive planner consume.
+//
+// Time discipline: all timestamps come from the injected util/clock.h Clock,
+// and the core sampling operations (SampleNow, Tick) never sleep or spawn
+// threads — the caller decides when time has passed. The deterministic
+// simulation harness drives Tick from its SimClock, so a collector-enabled
+// episode is byte-identical to a rerun. Wall-clock serving (wavectl
+// serve-metrics / top) opts into the background thread via Start(), which
+// paces itself on real time but still stamps samples with the injected
+// clock.
+
+#ifndef WAVEKIT_OBS_TIMESERIES_H_
+#define WAVEKIT_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace wavekit {
+namespace obs {
+
+/// \brief Samples a MetricsRegistry on demand (or on a background thread)
+/// into a bounded ring of timestamped snapshots. Thread-safe.
+class TimeSeriesCollector {
+ public:
+  struct Options {
+    /// The registry to sample. Must outlive the collector.
+    MetricsRegistry* registry = nullptr;
+    /// Minimum microseconds between Tick-driven samples.
+    uint64_t interval_us = 1'000'000;
+    /// Samples kept; the oldest is evicted when full.
+    size_t ring_capacity = 128;
+    /// Timestamp source. Defaults to the wall clock; the simulation harness
+    /// injects a SimClock so every sample time is seed-derived.
+    Clock* clock = nullptr;
+  };
+
+  /// \brief One timestamped registry snapshot.
+  struct Sample {
+    uint64_t timestamp_us = 0;  ///< Clock reading when the sample was taken.
+    RegistrySnapshot snapshot;
+  };
+
+  /// \brief One metric's value at one sample, with the delta/rate derived
+  /// against the previous sample (0 for the first).
+  struct Point {
+    uint64_t timestamp_us = 0;
+    double value = 0.0;
+    double delta = 0.0;         ///< value - previous value.
+    double rate_per_sec = 0.0;  ///< delta / elapsed seconds.
+  };
+
+  explicit TimeSeriesCollector(Options options);
+  ~TimeSeriesCollector();
+
+  TimeSeriesCollector(const TimeSeriesCollector&) = delete;
+  TimeSeriesCollector& operator=(const TimeSeriesCollector&) = delete;
+
+  /// Takes a sample unconditionally.
+  void SampleNow();
+
+  /// Takes a sample iff at least interval_us has elapsed (on the injected
+  /// clock) since the last one — or none was ever taken. Returns whether a
+  /// sample was taken. This is the deterministic entry point: callers (the
+  /// maintenance path, the sim harness) invoke it at their own cadence and
+  /// the clock decides.
+  bool Tick();
+
+  /// Starts the background sampling thread (wall-clock paced; one sample per
+  /// interval). No-op if already running. Never used under the simulation
+  /// harness — determinism requires Tick.
+  void Start();
+
+  /// Stops and joins the background thread, if running.
+  void Stop();
+
+  /// The ring contents, oldest first.
+  std::vector<Sample> Samples() const;
+
+  /// Total samples ever taken (>= Samples().size(); the difference was
+  /// evicted).
+  uint64_t samples_taken() const {
+    return samples_taken_.load(std::memory_order_relaxed);
+  }
+
+  /// The per-sample values of one metric (matched by name + exact labels),
+  /// with deltas and rates derived between consecutive samples. Histogram
+  /// metrics expose their cumulative count (pair with `<name>:sum` via
+  /// RenderJson for averages). Empty when the metric never appeared.
+  std::vector<Point> Series(const std::string& name, const Labels& labels) const;
+
+  /// JSON document for /timeseries.json:
+  ///   {"interval_us":..., "samples_taken":..., "samples":[
+  ///     {"t_us":..., "metrics":{"name{a=\"b\"}":value, ...}}, ...],
+  ///    "rates":{"name{...}":per_sec, ...}}
+  /// Histograms flatten to `<name>:count` and `<name>:sum` entries so rate
+  /// derivation works uniformly. "rates" covers counters only, derived from
+  /// the last two samples.
+  std::string RenderJson() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void AppendSample(Sample sample);
+
+  Options options_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<Sample> ring_;  ///< Circular; ring_next_ is the write slot.
+  size_t ring_next_ = 0;
+  bool ring_full_ = false;
+  uint64_t last_sample_us_ = 0;
+  bool ever_sampled_ = false;
+  std::atomic<uint64_t> samples_taken_{0};
+
+  // Background thread state (Start/Stop).
+  std::mutex thread_mutex_;
+  std::condition_variable thread_cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+};
+
+/// The canonical flat key for one metric instance: `name` alone when there
+/// are no labels, else `name{k="v",...}` in registration order. Histograms
+/// are additionally flattened as `<key>:count` / `<key>:sum` by RenderJson.
+std::string MetricKey(const std::string& name, const Labels& labels);
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_TIMESERIES_H_

@@ -1,0 +1,76 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<SpanRecord>& spans) {
+  // Trace ids are 64-bit span ids; Chrome's tid renders nicer as a small
+  // dense integer, so number the traces in order of first appearance.
+  std::unordered_map<uint64_t, uint64_t> track_of_trace;
+  auto TrackFor = [&track_of_trace](uint64_t trace_id) {
+    auto [it, inserted] =
+        track_of_trace.emplace(trace_id, track_of_trace.size() + 1);
+    return it->second;
+  };
+
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    out += "  {\"name\": \"" + EscapeJson(span.name) +
+           "\", \"cat\": \"maintenance\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(span.start_us) +
+           ", \"dur\": " + std::to_string(span.duration_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(TrackFor(span.trace_id)) +
+           ", \"args\": {\"span_id\": " + std::to_string(span.span_id) +
+           ", \"parent_span_id\": " + std::to_string(span.parent_span_id) +
+           ", \"trace_id\": " + std::to_string(span.trace_id) +
+           ", \"seeks\": " + std::to_string(span.seeks) +
+           ", \"bytes_read\": " + std::to_string(span.bytes_read) +
+           ", \"bytes_written\": " + std::to_string(span.bytes_written) +
+           "}}";
+    if (i + 1 < spans.size()) out += ",";
+    out += "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}";
+  return out;
+}
+
+std::string RenderChromeTrace(const Tracer& tracer) {
+  return RenderChromeTrace(tracer.CompletedSpans());
+}
+
+}  // namespace obs
+}  // namespace wavekit

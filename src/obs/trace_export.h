@@ -1,0 +1,36 @@
+// Chrome trace-event export of the Tracer span ring.
+//
+// Renders completed spans in the Trace Event Format ("X" complete events)
+// that chrome://tracing, Perfetto (ui.perfetto.dev), and speedscope all load
+// directly — drop the JSON in and every AdvanceDay appears as a root bar
+// with its maintenance primitives nested underneath, seeks/bytes in the args
+// popup. Served at /trace.json and written by `wavectl export-trace`.
+
+#ifndef WAVEKIT_OBS_TRACE_EXPORT_H_
+#define WAVEKIT_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wavekit {
+namespace obs {
+
+/// Renders `spans` as a Chrome trace-event JSON document:
+///   {"traceEvents":[{"name":...,"cat":"maintenance","ph":"X","ts":start_us,
+///     "dur":duration_us,"pid":1,"tid":<trace_id>,
+///     "args":{"span_id":...,"parent_span_id":...,"seeks":...,
+///             "bytes_read":...,"bytes_written":...}}, ...],
+///    "displayTimeUnit":"ms"}
+/// Each trace (one AdvanceDay) maps to its own tid so traces render as
+/// separate tracks instead of overlapping.
+std::string RenderChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// RenderChromeTrace over `tracer`'s current completed-span ring.
+std::string RenderChromeTrace(const Tracer& tracer);
+
+}  // namespace obs
+}  // namespace wavekit
+
+#endif  // WAVEKIT_OBS_TRACE_EXPORT_H_

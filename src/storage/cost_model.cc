@@ -10,6 +10,7 @@ IoCounters& IoCounters::operator+=(const IoCounters& other) {
   bytes_written += other.bytes_written;
   read_ops += other.read_ops;
   write_ops += other.write_ops;
+  sync_ops += other.sync_ops;
   return *this;
 }
 
@@ -20,6 +21,7 @@ IoCounters operator-(const IoCounters& a, const IoCounters& b) {
   out.bytes_written = a.bytes_written - b.bytes_written;
   out.read_ops = a.read_ops - b.read_ops;
   out.write_ops = a.write_ops - b.write_ops;
+  out.sync_ops = a.sync_ops - b.sync_ops;
   return out;
 }
 
@@ -27,7 +29,8 @@ std::string IoCounters::ToString() const {
   return "seeks=" + FormatCount(seeks) +
          " read=" + FormatBytes(bytes_read) +
          " written=" + FormatBytes(bytes_written) +
-         " ops=" + FormatCount(read_ops + write_ops);
+         " ops=" + FormatCount(read_ops + write_ops) +
+         (sync_ops > 0 ? " syncs=" + FormatCount(sync_ops) : "");
 }
 
 }  // namespace wavekit

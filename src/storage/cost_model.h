@@ -19,6 +19,10 @@ struct IoCounters {
   uint64_t bytes_written = 0;
   uint64_t read_ops = 0;
   uint64_t write_ops = 0;
+  /// Device::Sync calls. Counted for observability (durability traffic per
+  /// phase); NOT part of the paper's seek/transfer cost model, so
+  /// CostModel::Seconds ignores it.
+  uint64_t sync_ops = 0;
 
   uint64_t bytes_transferred() const { return bytes_read + bytes_written; }
 

@@ -29,6 +29,7 @@ IoCounters MeteredDevice::AtomicIoCounters::Load() const {
   out.bytes_written = bytes_written.load(std::memory_order_relaxed);
   out.read_ops = read_ops.load(std::memory_order_relaxed);
   out.write_ops = write_ops.load(std::memory_order_relaxed);
+  out.sync_ops = sync_ops.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -38,6 +39,7 @@ void MeteredDevice::AtomicIoCounters::ResetAll() {
   bytes_written.store(0, std::memory_order_relaxed);
   read_ops.store(0, std::memory_order_relaxed);
   write_ops.store(0, std::memory_order_relaxed);
+  sync_ops.store(0, std::memory_order_relaxed);
 }
 
 void MeteredDevice::Account(Phase phase, uint64_t offset, uint64_t length,
@@ -93,6 +95,14 @@ Status MeteredDevice::WriteBatch(std::span<const Extent> extents,
   for (const Extent& extent : extents) {
     Account(phase, extent.offset, extent.length, /*is_write=*/true);
   }
+  return Status::OK();
+}
+
+Status MeteredDevice::Sync() {
+  const Phase phase = this->phase();
+  WAVEKIT_RETURN_NOT_OK(inner_->Sync());
+  counters_[static_cast<size_t>(phase)].sync_ops.fetch_add(
+      1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -55,9 +55,11 @@ class MeteredDevice : public Device {
   Status WriteBatch(std::span<const Extent> extents,
                     std::span<const std::byte> data) override;
   uint64_t capacity() const override { return inner_->capacity(); }
-  // Sync is pure forwarding: durability traffic is not charged to the seek /
-  // transfer model (the paper's cost model has no fsync analogue).
-  Status Sync() override { return inner_->Sync(); }
+  // Sync counts toward the phase's sync_ops but charges no seeks or bytes:
+  // durability traffic is visible to observability, yet stays outside the
+  // paper's seek/transfer model (which has no fsync analogue) — see
+  // IoCounters::sync_ops.
+  Status Sync() override;
 
   /// Sets the phase subsequent I/O is attributed to.
   void set_phase(Phase phase) { phase_.store(phase, std::memory_order_relaxed); }
@@ -102,6 +104,7 @@ class MeteredDevice : public Device {
     std::atomic<uint64_t> bytes_written{0};
     std::atomic<uint64_t> read_ops{0};
     std::atomic<uint64_t> write_ops{0};
+    std::atomic<uint64_t> sync_ops{0};
 
     IoCounters Load() const;
     void ResetAll();

@@ -6,6 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/attach.h"
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "storage/device.h"
 #include "storage/extent_allocator.h"
 #include "storage/fault_injecting_device.h"
@@ -231,14 +235,66 @@ Status VerifyDay(const Scheme& scheme, const Scenario& scenario, Day day,
 }
 
 Status MakeSchemeIn(Incarnation* inc, SchemeKind kind,
-                    const Scenario& scenario, Clock* clock) {
+                    const Scenario& scenario, Clock* clock,
+                    obs::EventJournal* events) {
   SchemeEnv env{&inc->metered, &inc->allocator, &inc->day_store};
   env.clock = clock;
+  env.events = events;
   env.retry.max_attempts = scenario.retry_attempts;
   WAVEKIT_ASSIGN_OR_RETURN(inc->scheme,
                            MakeScheme(kind, env, ConfigFor(kind, scenario)));
   return Status::OK();
 }
+
+// Episode-wide telemetry under the SimClock: a registry sampled by a
+// Tick-driven collector, and an event journal fed by retries, recovery
+// decisions, and the harness itself. Everything here is a pure function of
+// the episode seed — its digest goes into the byte-identical episode trace,
+// so a nondeterministic telemetry path fails the sim determinism test.
+struct EpisodeTelemetry {
+  explicit EpisodeTelemetry(SimClock* clock) {
+    obs::EventJournal::Options event_options;
+    event_options.ring_capacity = 512;
+    event_options.clock = clock;
+    events = std::make_unique<obs::EventJournal>(event_options);
+
+    obs::TimeSeriesCollector::Options collector_options;
+    collector_options.registry = &registry;
+    // One simulated day per sample: Tick fires every time the harness
+    // advances the clock by kDayMicros.
+    collector_options.interval_us = kDayMicros;
+    collector_options.ring_capacity = 64;
+    collector_options.clock = clock;
+    collector = std::make_unique<obs::TimeSeriesCollector>(collector_options);
+  }
+
+  /// Virtual time the harness advances per simulated day.
+  static constexpr uint64_t kDayMicros = 1'000'000;
+
+  /// Attaches `device`'s phase counters for the current incarnation; call
+  /// Detach(inc) before the incarnation dies.
+  void Attach(const MeteredDevice* device, const void* inc) {
+    obs::AttachMeteredDevice(&registry, device, "sim", inc);
+  }
+  void Detach(const void* inc) { registry.Unregister(inc); }
+
+  /// "telemetry samples=N events=M ecrc=..." — digest of every journaled
+  /// event (sequence, virtual timestamp, type, day, fields).
+  std::string TraceLine() const {
+    std::string digest;
+    for (const obs::Event& event : events->Events()) {
+      digest += event.ToJson();
+      digest += '\n';
+    }
+    return "telemetry samples=" + std::to_string(collector->samples_taken()) +
+           " events=" + std::to_string(events->total_appended()) + " ecrc=" +
+           Hex32(Crc32(digest)) + "\n";
+  }
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::EventJournal> events;
+  std::unique_ptr<obs::TimeSeriesCollector> collector;
+};
 
 // The whole episode. Appends trace lines as it goes; `*restarts` counts
 // simulated crash+recover cycles.
@@ -255,6 +311,7 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
   FaultInjectingDevice faulty(&memory, fault_options);
   SimClock clock;
   OracleDB oracle;
+  EpisodeTelemetry telemetry(&clock);
 
   *trace += std::string("start scheme=") + SchemeKindName(kind) + " " +
             "window=" + std::to_string(window) +
@@ -263,7 +320,9 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
             " faults=" + std::to_string(scenario.faults.size()) + "\n";
 
   auto inc = std::make_unique<Incarnation>(&faulty, memory.capacity());
-  WAVEKIT_RETURN_NOT_OK(MakeSchemeIn(inc.get(), kind, scenario, &clock));
+  telemetry.Attach(&inc->metered, inc.get());
+  WAVEKIT_RETURN_NOT_OK(MakeSchemeIn(inc.get(), kind, scenario, &clock,
+                                     telemetry.events.get()));
   inc->maintenance =
       std::make_unique<DurableMaintenance>(inc->scheme.get(), paths);
 
@@ -278,6 +337,8 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
   WAVEKIT_RETURN_NOT_OK(VerifyDay(*inc->scheme, scenario,
                                   static_cast<Day>(window), oracle, &memory,
                                   trace));
+  clock.Advance(EpisodeTelemetry::kDayMicros);
+  telemetry.collector->Tick();
 
   std::vector<bool> fault_consumed(scenario.faults.size(), false);
   const int max_restarts = scenario.days * 4 + 16;
@@ -319,6 +380,10 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
       oracle.AdvanceDay(MakeScenarioDay(scenario, day), window);
       WAVEKIT_RETURN_NOT_OK(
           VerifyDay(*inc->scheme, scenario, day, oracle, &memory, trace));
+      // One simulated day elapsed: the collector's clock-driven Tick takes
+      // exactly one sample.
+      clock.Advance(EpisodeTelemetry::kDayMicros);
+      telemetry.collector->Tick();
       ++day;
       continue;
     }
@@ -339,11 +404,14 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
     CrashPoints::Reset();
     faulty.ClearCrash();
     faulty.DisarmCrash();
+    telemetry.Detach(inc.get());
     inc.reset();
     inc = std::make_unique<Incarnation>(&faulty, memory.capacity());
+    telemetry.Attach(&inc->metered, inc.get());
 
     auto recovered = DurableMaintenance::Recover(
-        paths, &inc->metered, &inc->allocator, ConstituentIndex::Options{});
+        paths, &inc->metered, &inc->allocator, ConstituentIndex::Options{},
+        telemetry.events.get());
     WAVEKIT_RETURN_NOT_OK(recovered.status());
     DurableMaintenance::RecoveredState state =
         std::move(recovered).ValueOrDie();
@@ -376,7 +444,8 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
          d <= state.current_day; ++d) {
       WAVEKIT_RETURN_NOT_OK(inc->day_store.Put(MakeScenarioDay(scenario, d)));
     }
-    WAVEKIT_RETURN_NOT_OK(MakeSchemeIn(inc.get(), kind, scenario, &clock));
+    WAVEKIT_RETURN_NOT_OK(MakeSchemeIn(inc.get(), kind, scenario, &clock,
+                                       telemetry.events.get()));
     WAVEKIT_RETURN_NOT_OK(
         inc->scheme->Adopt(std::move(state.wave), state.current_day));
     inc->maintenance =
@@ -394,6 +463,7 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
     day = state.current_day + 1;
   }
 
+  *trace += telemetry.TraceLine();
   *trace += "episode ok days=" + std::to_string(scenario.days) +
             " restarts=" + std::to_string(*restarts) + "\n";
   return Status::OK();

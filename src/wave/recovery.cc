@@ -51,7 +51,7 @@ Status DurableMaintenance::AdvanceDay(DayBatch new_day) {
 
 Result<DurableMaintenance::RecoveredState> DurableMaintenance::Recover(
     const Paths& paths, Device* device, ExtentAllocator* allocator,
-    ConstituentIndex::Options options) {
+    ConstituentIndex::Options options, obs::EventJournal* events) {
   // A journal that fails its CRC never became durable, so no transition work
   // can have followed it — same as no intent at all.
   std::optional<Day> intent;
@@ -78,6 +78,18 @@ Result<DurableMaintenance::RecoveredState> DurableMaintenance::Recover(
     // The journaled transition never committed: serve the pre-transition
     // window and have the caller re-run the day.
     state.interrupted_day = intent;
+    if (events != nullptr) {
+      events->Append(obs::EventType::kRecoveryRollBack, *intent,
+                     "journaled transition never committed; serving day " +
+                         std::to_string(state.current_day));
+    }
+  } else if (intent.has_value()) {
+    // The checkpoint already covers the journaled day: the crash hit between
+    // checkpoint and journal commit, so the transition is durable.
+    if (events != nullptr) {
+      events->Append(obs::EventType::kRecoveryRollForward, *intent,
+                     "checkpoint already covers the journaled day");
+    }
   }
   // Committed-or-rolled-back either way: the journal's job is done.
   WAVEKIT_RETURN_NOT_OK(RemoveFileDurable(paths.journal));

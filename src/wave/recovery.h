@@ -98,9 +98,13 @@ class DurableMaintenance {
   /// durably clears the journal. NotFound when no checkpoint exists (nothing
   /// was ever started). The caller re-Puts the window's day batches, makes a
   /// fresh scheme, and Adopts the returned wave.
+  /// When `events` is non-null, the roll-forward/roll-back decision for a
+  /// journaled intent is recorded there (obs::EventType::kRecoveryRollForward
+  /// / kRecoveryRollBack).
   static Result<RecoveredState> Recover(const Paths& paths, Device* device,
                                         ExtentAllocator* allocator,
-                                        ConstituentIndex::Options options);
+                                        ConstituentIndex::Options options,
+                                        obs::EventJournal* events = nullptr);
 
   const Paths& paths() const { return paths_; }
 

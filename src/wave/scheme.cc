@@ -168,6 +168,12 @@ Status Scheme::RetryTransient(std::string_view op,
     transient_io_errors_.fetch_add(1, std::memory_order_relaxed);
     if (attempt >= max_attempts) break;
     retries_.fetch_add(1, std::memory_order_relaxed);
+    if (env_.events != nullptr) {
+      env_.events->Append(obs::EventType::kRetry, current_day_ + 1,
+                          status.message(),
+                          {{"op", std::string(op)},
+                           {"attempt", std::to_string(attempt)}});
+    }
     if (backoff_us > 0) {
       // Injected clock: real time in production, virtual (free) time under
       // the deterministic simulation harness.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "index/constituent_index.h"
+#include "obs/event_journal.h"
 #include "obs/trace.h"
 #include "storage/metered_device.h"
 #include "util/clock.h"
@@ -120,6 +121,11 @@ struct SchemeEnv {
   /// span here, nested under whatever span the caller (e.g.
   /// WaveService::AdvanceDay) has open. Must outlive the scheme.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional: when set, retry attempts inside maintenance primitives are
+  /// journaled as obs::EventType::kRetry events (op name, attempt number,
+  /// error text). Must outlive the scheme.
+  obs::EventJournal* events = nullptr;
 
   /// Retry behaviour for transient I/O errors inside maintenance primitives.
   RetryPolicy retry;

@@ -15,8 +15,22 @@ WaveService::WaveService(Options options, std::unique_ptr<Device> base_device)
       interposed_(options_.device_interposer
                       ? options_.device_interposer(base_device_.get())
                       : nullptr),
-      device_(interposed_ != nullptr ? interposed_.get() : base_device_.get()),
+      latency_(options_.track_device_latency
+                   ? std::make_unique<obs::LatencyTrackingDevice>(
+                         interposed_ != nullptr ? interposed_.get()
+                                                : base_device_.get(),
+                         obs::LatencyTrackingDevice::Options{clock_})
+                   : nullptr),
+      device_(latency_ != nullptr
+                  ? static_cast<Device*>(latency_.get())
+                  : (interposed_ != nullptr ? interposed_.get()
+                                            : base_device_.get())),
       allocator_(options.device_capacity) {
+  if (latency_ != nullptr) {
+    // The meter sits above the latency layer; its phase labels the measured
+    // histograms.
+    latency_->set_phase_source(&device_);
+  }
   if (options_.cache_blocks > 0) {
     cache_ = std::make_unique<ShardedCachedDevice>(
         &device_, options_.cache_blocks, options_.cache_block_size,
@@ -35,8 +49,27 @@ WaveService::WaveService(Options options, std::unique_ptr<Device> base_device)
   trace_options.meter = &device_;
   trace_options.clock = clock_;
   tracer_ = std::make_unique<obs::Tracer>(trace_options);
+  if (options_.event_ring_capacity > 0) {
+    obs::EventJournal::Options event_options;
+    event_options.ring_capacity = options_.event_ring_capacity;
+    event_options.jsonl_path = options_.event_jsonl_path;
+    event_options.clock = clock_;
+    events_ = std::make_unique<obs::EventJournal>(event_options);
+  }
+  if (options_.metrics_registry != nullptr &&
+      options_.collector_interval_us > 0) {
+    obs::TimeSeriesCollector::Options collector_options;
+    collector_options.registry = options_.metrics_registry;
+    collector_options.interval_us = options_.collector_interval_us;
+    collector_options.ring_capacity = options_.collector_ring_capacity;
+    collector_options.clock = clock_;
+    collector_ = std::make_unique<obs::TimeSeriesCollector>(collector_options);
+  }
   if (options_.metrics_registry != nullptr) {
     RegisterMetrics();
+  }
+  if (collector_ != nullptr && options_.collector_background_thread) {
+    collector_->Start();
   }
 }
 
@@ -53,14 +86,42 @@ uint64_t WaveService::MicrosSince(uint64_t start_us) const {
 }
 
 WaveService::~WaveService() {
+  // Stop the sampling thread before its callbacks' subjects start dying.
+  if (collector_ != nullptr) collector_->Stop();
   if (options_.metrics_registry != nullptr) {
     options_.metrics_registry->Unregister(this);
   }
 }
 
+std::string WaveService::degraded_detail() const {
+  std::lock_guard<std::mutex> lock(degraded_mutex_);
+  return degraded_detail_;
+}
+
+void WaveService::SetDegraded(bool degraded, const std::string& detail,
+                              Day day) {
+  const bool was = degraded_.exchange(degraded, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(degraded_mutex_);
+    degraded_detail_ = degraded ? detail : "";
+  }
+  if (events_ != nullptr && was != degraded) {
+    events_->Append(degraded ? obs::EventType::kDegradedEnter
+                             : obs::EventType::kDegradedExit,
+                    day, detail);
+  }
+}
+
 void WaveService::RegisterMetrics() {
   obs::MetricsRegistry* registry = options_.metrics_registry;
-  obs::AttachMeteredDevice(registry, &device_, "primary", this);
+  obs::AttachMeteredDevice(
+      registry, &device_, "primary",
+      obs::BackendIdentity{options_.storage_backend, options_.direct_io},
+      this);
+  if (latency_ != nullptr) {
+    obs::AttachLatencyDevice(registry, latency_.get(), &device_,
+                             CostModel::Paper(), "primary", this);
+  }
   if (cache_ != nullptr) {
     obs::AttachShardedCache(registry, cache_.get(), "block_cache", this);
   }
@@ -135,6 +196,22 @@ void WaveService::RegisterMetrics() {
                    : 0;
       },
       this);
+  registry->AddGaugeCallback(
+      "wavekit_service_degraded",
+      "1 while serving a stale snapshot after a failed AdvanceDay.", {},
+      [this] { return degraded() ? 1.0 : 0.0; }, this);
+  if (events_ != nullptr) {
+    registry->AddCounterCallback(
+        "wavekit_events_appended_total",
+        "Maintenance lifecycle events appended to the event journal.", {},
+        [this] { return events_->total_appended(); }, this);
+  }
+  if (collector_ != nullptr) {
+    registry->AddCounterCallback(
+        "wavekit_timeseries_samples_total",
+        "Registry samples taken by the time-series collector.", {},
+        [this] { return collector_->samples_taken(); }, this);
+  }
   registry->AddCounterCallback(
       "wavekit_trace_roots_sampled_total",
       "AdvanceDay traces sampled into the span ring.", {},
@@ -182,6 +259,7 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
                 &service->day_store_};
   env.io_device = service->cache_.get();  // nullptr = straight to the meter
   env.tracer = service->tracer_.get();
+  env.events = service->events_.get();  // nullptr = no retry journaling
   env.retry = options.retry;
   env.clock = service->clock_;
   if (service->maintenance_pool_ != nullptr) {
@@ -196,6 +274,11 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
 Status WaveService::Start(std::vector<DayBatch> first_window) {
   WAVEKIT_RETURN_NOT_OK(scheme_->Start(std::move(first_window)));
   Publish();
+  if (events_ != nullptr) {
+    events_->Append(obs::EventType::kServiceStart, scheme_->current_day(),
+                    std::string(scheme_->name()));
+  }
+  if (collector_ != nullptr) collector_->Tick();
   return Status::OK();
 }
 
@@ -239,6 +322,10 @@ Status WaveService::AdvanceDayLocked(DayBatch new_day) {
   // never see it directly — they use the published snapshot, whose
   // constituents shadow updates never mutate in place.
   const uint64_t start = clock_->NowMicros();
+  const Day day = new_day.day;
+  if (events_ != nullptr) {
+    events_->Append(obs::EventType::kAdvanceStart, day, "");
+  }
   {
     // Root span: the scheme's primitives nest under it as children.
     obs::Span span = tracer_->StartSpan("AdvanceDay");
@@ -248,12 +335,27 @@ Status WaveService::AdvanceDayLocked(DayBatch new_day) {
       // needed for health flags — snapshots share the constituent objects,
       // so any MarkUnhealthy the scheme did is already visible to readers.
       degraded_advances_.fetch_add(1, std::memory_order_relaxed);
+      if (events_ != nullptr) {
+        events_->Append(obs::EventType::kAdvanceRollback, day,
+                        transitioned.message());
+      }
+      SetDegraded(true, "advance to day " + std::to_string(day) +
+                            " failed: " + transitioned.message(),
+                  day);
+      if (collector_ != nullptr) collector_->Tick();
       return transitioned;
     }
   }
   Publish();
   days_advanced_.fetch_add(1, std::memory_order_relaxed);
   advance_latency_us_.Record(MicrosSince(start));
+  if (events_ != nullptr) {
+    events_->Append(obs::EventType::kAdvanceCommit, day, "");
+  }
+  SetDegraded(false, "", day);
+  // Maintenance drives the deterministic sampling cadence: the injected
+  // clock decides whether a sample is actually due.
+  if (collector_ != nullptr) collector_->Tick();
   return Status::OK();
 }
 

@@ -25,7 +25,10 @@
 
 #include "util/histogram.h"
 
+#include "obs/event_journal.h"
+#include "obs/latency_device.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "storage/device.h"
 #include "storage/extent_allocator.h"
@@ -155,6 +158,32 @@ class WaveService {
     /// When > 0, any traced span at least this slow also emits one WARNING
     /// log line.
     uint64_t slow_op_threshold_us = 0;
+
+    /// When true, a LatencyTrackingDevice is stacked under the meter and
+    /// records measured wall-clock per-op latency histograms labeled by
+    /// phase, plus observed-vs-modeled drift gauges (registered when
+    /// metrics_registry is set). Most useful on real-disk backends.
+    bool track_device_latency = false;
+
+    /// When > 0 (and metrics_registry is set), the service owns a
+    /// TimeSeriesCollector sampling the registry at most every this many
+    /// microseconds. Samples are taken on the maintenance path (after each
+    /// AdvanceDay) via the injected clock — fully deterministic under the
+    /// sim harness. Serving deployments that want wall-clock cadence
+    /// independent of maintenance set collector_background_thread.
+    uint64_t collector_interval_us = 0;
+    size_t collector_ring_capacity = 128;
+    /// Starts the collector's background sampling thread (never under the
+    /// sim harness: thread pacing is wall-clock).
+    bool collector_background_thread = false;
+
+    /// When > 0, the service owns an EventJournal recording maintenance
+    /// lifecycle events (advance start/commit/rollback, retries,
+    /// degraded-mode entry/exit) in a ring of this many events.
+    size_t event_ring_capacity = 0;
+    /// Optional JSONL sink for the event journal (requires
+    /// event_ring_capacity > 0).
+    std::string event_jsonl_path;
   };
 
   /// Creates the service. Rejects in-place updating: readers would observe
@@ -235,6 +264,27 @@ class WaveService {
   /// The maintenance tracer (always present; inert at sample rate 0).
   obs::Tracer* tracer() const { return tracer_.get(); }
 
+  /// The event journal, or nullptr when event_ring_capacity == 0.
+  obs::EventJournal* events() const { return events_.get(); }
+
+  /// The time-series collector, or nullptr when collector_interval_us == 0
+  /// or no metrics registry was configured.
+  obs::TimeSeriesCollector* collector() const { return collector_.get(); }
+
+  /// The measured-latency decorator, or nullptr when
+  /// track_device_latency == false.
+  const obs::LatencyTrackingDevice* latency_device() const {
+    return latency_.get();
+  }
+
+  /// True while the service is serving a stale snapshot because the last
+  /// AdvanceDay failed (flips back on the next successful advance). The
+  /// /healthz endpoint keys off this.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
+  /// Why the service is degraded (empty when healthy).
+  std::string degraded_detail() const;
+
   /// Writer-side accessors (not thread-safe against maintenance; call
   /// WaitForMaintenance first when async advances may be in flight).
   const Scheme& scheme() const { return *scheme_; }
@@ -256,6 +306,10 @@ class WaveService {
   void Publish();
   void RegisterMetrics();
 
+  /// Flips the degraded flag/detail and journals the mode change when the
+  /// flag actually transitioned.
+  void SetDegraded(bool degraded, const std::string& detail, Day day);
+
   /// A pool of `threads` workers for `role`, via Options::pool_factory when
   /// set (determinism seam) or a plain ThreadPool otherwise.
   std::unique_ptr<ThreadPool> MakePool(int threads, const std::string& role);
@@ -267,6 +321,10 @@ class WaveService {
   Clock* clock_;  // options_.clock or the wall clock
   std::unique_ptr<Device> base_device_;  // the selected storage backend
   std::unique_ptr<Device> interposed_;   // optional chaos layer over the base
+  // Optional measured-latency layer between the chaos seam and the meter;
+  // its phase labels come from device_ (set_phase_source after device_ is
+  // built).
+  std::unique_ptr<obs::LatencyTrackingDevice> latency_;
   SynchronizedMeteredDevice device_;
   std::unique_ptr<ShardedCachedDevice> cache_;  // above device_, optional
   ExtentAllocator allocator_;
@@ -276,6 +334,10 @@ class WaveService {
   // be destroyed after the scheme.
   std::unique_ptr<ThreadPool> maintenance_pool_;
   std::unique_ptr<obs::Tracer> tracer_;     // before scheme_: schemes hold it
+  // Before scheme_ and the advance runner: schemes journal retry events and
+  // queued async transitions may still be draining at destruction.
+  std::unique_ptr<obs::EventJournal> events_;
+  std::unique_ptr<obs::TimeSeriesCollector> collector_;
   std::unique_ptr<Scheme> scheme_;
   // After scheme_: destroyed first, draining queued async transitions while
   // the scheme (and everything below it) is still alive. Created lazily by
@@ -292,6 +354,10 @@ class WaveService {
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const WaveIndex> snapshot_;
   std::atomic<Day> published_day_{0};
+
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_mutex_;
+  std::string degraded_detail_;  // guarded by degraded_mutex_
 
   // Metrics: relaxed atomics + lock-free histograms — the only state query
   // threads write, and none of it is shared through a mutex.

@@ -1,0 +1,132 @@
+#include "obs/event_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+TEST(EventJournalTest, AppendAssignsSequenceAndInjectedTimestamp) {
+  SimClock clock(100);
+  EventJournal::Options options;
+  options.clock = &clock;
+  EventJournal journal(options);
+
+  journal.Append(EventType::kServiceStart, 7, "WATA*");
+  clock.Advance(50);
+  journal.Append(EventType::kAdvanceStart, 8, "");
+
+  const std::vector<Event> events = journal.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].sequence, 1u);
+  EXPECT_EQ(events[0].timestamp_us, 100u);
+  EXPECT_EQ(events[0].type, EventType::kServiceStart);
+  EXPECT_EQ(events[0].day, 7);
+  EXPECT_EQ(events[0].message, "WATA*");
+  EXPECT_EQ(events[1].sequence, 2u);
+  EXPECT_EQ(events[1].timestamp_us, 150u);
+  EXPECT_EQ(journal.total_appended(), 2u);
+}
+
+TEST(EventJournalTest, RingEvictsOldestButKeepsTotal) {
+  EventJournal::Options options;
+  options.ring_capacity = 3;
+  EventJournal journal(options);
+
+  for (int i = 1; i <= 5; ++i) {
+    journal.Append(EventType::kAdvanceCommit, i, "");
+  }
+  EXPECT_EQ(journal.total_appended(), 5u);
+  const std::vector<Event> events = journal.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].day, 3);  // oldest surviving
+  EXPECT_EQ(events[2].day, 5);
+  EXPECT_EQ(events[0].sequence, 3u);
+}
+
+TEST(EventJournalTest, EventTypeNamesAreSnakeCase) {
+  EXPECT_STREQ(EventTypeName(EventType::kAdvanceStart), "advance_start");
+  EXPECT_STREQ(EventTypeName(EventType::kAdvanceCommit), "advance_commit");
+  EXPECT_STREQ(EventTypeName(EventType::kAdvanceRollback), "advance_rollback");
+  EXPECT_STREQ(EventTypeName(EventType::kRetry), "retry");
+  EXPECT_STREQ(EventTypeName(EventType::kDegradedEnter), "degraded_enter");
+  EXPECT_STREQ(EventTypeName(EventType::kDegradedExit), "degraded_exit");
+  EXPECT_STREQ(EventTypeName(EventType::kRecoveryRollForward),
+               "recovery_roll_forward");
+  EXPECT_STREQ(EventTypeName(EventType::kRecoveryRollBack),
+               "recovery_roll_back");
+  EXPECT_STREQ(EventTypeName(EventType::kServiceStart), "service_start");
+}
+
+TEST(EventJournalTest, ToJsonEscapesMessageAndRendersFields) {
+  Event event;
+  event.sequence = 3;
+  event.timestamp_us = 42;
+  event.type = EventType::kRetry;
+  event.day = 9;
+  event.message = "disk said \"no\"\nagain";
+  event.fields = {{"op", "AddToIndex"}, {"attempt", "2"}};
+
+  const std::string json = event.ToJson();
+  EXPECT_NE(json.find("\"seq\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"type\": \"retry\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"no\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;  // one line
+  EXPECT_NE(json.find("\"op\": \"AddToIndex\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"attempt\": \"2\""), std::string::npos) << json;
+}
+
+TEST(EventJournalTest, JsonlSinkAppendsOneLinePerEvent) {
+  const std::string path =
+      ::testing::TempDir() + "/event_journal_test_sink.jsonl";
+  std::remove(path.c_str());
+  {
+    EventJournal::Options options;
+    options.jsonl_path = path;
+    EventJournal journal(options);
+    ASSERT_TRUE(journal.sink_ok());
+    journal.Append(EventType::kAdvanceStart, 8, "");
+    journal.Append(EventType::kAdvanceCommit, 8, "");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"advance_start\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"advance_commit\""), std::string::npos) << lines[1];
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, SinkOpenFailureKeepsRingWorking) {
+  EventJournal::Options options;
+  options.jsonl_path = "/nonexistent-dir-for-sure/events.jsonl";
+  EventJournal journal(options);
+  journal.Append(EventType::kDegradedEnter, 4, "advance failed");
+  EXPECT_FALSE(journal.sink_ok());
+  ASSERT_EQ(journal.Events().size(), 1u);
+  EXPECT_EQ(journal.Events()[0].type, EventType::kDegradedEnter);
+}
+
+TEST(EventJournalTest, RenderJsonContainsTotalAndEvents) {
+  EventJournal journal(EventJournal::Options{});
+  journal.Append(EventType::kServiceStart, 7, "REINDEX");
+  const std::string json = journal.RenderJson();
+  EXPECT_NE(json.find("\"total_appended\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"service_start\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"events\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,96 @@
+// Renderer edge cases: label/JSON escaping and empty-histogram output. The
+// CI telemetry job feeds /metrics to a Prometheus-format check and the JSON
+// endpoints to a JSON parser; these tests pin the escaping rules those
+// checks depend on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+TEST(PrometheusEscapingTest, LabelValuesEscapeQuoteBackslashNewline) {
+  MetricsRegistry registry;
+  registry
+      .AddCounter("paths_total", "Paths.",
+                  {{"path", "C:\\tmp\\\"quoted\"\nnext"}})
+      ->Increment();
+  const std::string text = registry.RenderPrometheus();
+  // Prometheus label escaping: backslash -> \\, quote -> \", newline -> \n.
+  EXPECT_NE(text.find("C:\\\\tmp\\\\\\\"quoted\\\"\\nnext"), std::string::npos)
+      << text;
+  // No raw newline may survive inside the label value (it would split the
+  // exposition line).
+  const size_t value_start = text.find("path=\"");
+  ASSERT_NE(value_start, std::string::npos);
+  const size_t line_end = text.find('\n', value_start);
+  const std::string line = text.substr(value_start, line_end - value_start);
+  EXPECT_EQ(line.find("quoted\"\n"), std::string::npos);
+}
+
+TEST(PrometheusEscapingTest, EmptyHistogramRendersZeroSeriesWithoutNan) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat_us", "Latency.", {{"op", "probe"}});
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("lat_us_count"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_sum"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+}
+
+TEST(PrometheusEscapingTest, EmptyHistogramQuantilesAreZero) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat_us", "Latency.");
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 1u);
+  const Histogram& h = snapshot.metrics[0].histogram;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+}
+
+TEST(JsonEscapingTest, MetricsJsonEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .AddCounter("files_total", "Files.",
+                  {{"file", "a\"b\\c\nd\te"}})
+      ->Increment(2);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te"), std::string::npos) << json;
+  // The rendered document must not contain a raw newline inside any quoted
+  // string: every line break in the output separates whole JSON tokens.
+  for (size_t pos = json.find('\n'); pos != std::string::npos;
+       pos = json.find('\n', pos + 1)) {
+    size_t quotes = 0;
+    for (size_t i = 0; i < pos; ++i) {
+      if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0u) << "newline inside a quoted string at " << pos;
+  }
+}
+
+TEST(JsonEscapingTest, ControlCharactersBecomeUnicodeEscapes) {
+  MetricsRegistry registry;
+  std::string value = "bell";
+  value.push_back('\x07');
+  registry.AddCounter("c_total", "C.", {{"v", value}})->Increment();
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\\u0007"), std::string::npos) << json;
+}
+
+TEST(JsonEscapingTest, EmptyHistogramJsonHasZeroStats) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat_us", "Latency.");
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("lat_us"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

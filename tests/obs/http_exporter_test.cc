@@ -1,0 +1,230 @@
+#include "obs/http_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+/// Raw-socket HTTP client: sends `request` verbatim and returns everything
+/// the server writes until it closes the connection.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port,
+                    "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  HttpExporterTest() {
+    registry_.AddCounter("wavekit_test_total", "A counter.")->Increment(5);
+  }
+
+  HttpExporter::Options BaseOptions() {
+    HttpExporter::Options options;
+    options.registry = &registry_;
+    return options;
+  }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(HttpExporterTest, HandleRoutesMetricsEndpoints) {
+  HttpExporter exporter(BaseOptions());
+
+  const auto metrics = exporter.Handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("wavekit_test_total 5"), std::string::npos)
+      << metrics.body;
+
+  const auto json = exporter.Handle("GET", "/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(json.body.find("wavekit_test_total"), std::string::npos);
+
+  // Query strings are stripped before routing.
+  EXPECT_EQ(exporter.Handle("GET", "/metrics?refresh=1").status, 200);
+}
+
+TEST_F(HttpExporterTest, HandleRejectsUnknownPathAndMethod) {
+  HttpExporter exporter(BaseOptions());
+  EXPECT_EQ(exporter.Handle("GET", "/nope").status, 404);
+  EXPECT_EQ(exporter.Handle("POST", "/metrics").status, 405);
+  EXPECT_EQ(exporter.Handle("PUT", "/healthz").status, 405);
+}
+
+TEST_F(HttpExporterTest, UnconfiguredSourcesReturn404) {
+  HttpExporter exporter(BaseOptions());  // no collector/events/tracer
+  EXPECT_EQ(exporter.Handle("GET", "/timeseries.json").status, 404);
+  EXPECT_EQ(exporter.Handle("GET", "/events.json").status, 404);
+  EXPECT_EQ(exporter.Handle("GET", "/trace.json").status, 404);
+}
+
+TEST_F(HttpExporterTest, ConfiguredSourcesServeTheirJson) {
+  TimeSeriesCollector::Options collector_options;
+  collector_options.registry = &registry_;
+  TimeSeriesCollector collector(collector_options);
+  collector.SampleNow();
+  EventJournal journal(EventJournal::Options{});
+  journal.Append(EventType::kServiceStart, 7, "WATA*");
+  Tracer::Options tracer_options;
+  tracer_options.sample_rate = 1.0;
+  Tracer tracer(tracer_options);
+  { Span span = tracer.StartSpan("AdvanceDay"); }
+
+  HttpExporter::Options options = BaseOptions();
+  options.collector = &collector;
+  options.events = &journal;
+  options.tracer = &tracer;
+  HttpExporter exporter(std::move(options));
+
+  EXPECT_NE(exporter.Handle("GET", "/timeseries.json")
+                .body.find("\"samples_taken\": 1"),
+            std::string::npos);
+  EXPECT_NE(exporter.Handle("GET", "/events.json").body.find("service_start"),
+            std::string::npos);
+  EXPECT_NE(exporter.Handle("GET", "/trace.json").body.find("AdvanceDay"),
+            std::string::npos);
+}
+
+TEST_F(HttpExporterTest, HealthzReflectsHealthCallback) {
+  std::atomic<bool> healthy{true};
+  HttpExporter::Options options = BaseOptions();
+  options.health = [&healthy](std::string* detail) {
+    if (healthy.load()) return true;
+    *detail = "advance to day 9 failed";
+    return false;
+  };
+  HttpExporter exporter(std::move(options));
+
+  const auto ok = exporter.Handle("GET", "/healthz");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "ok\n");
+
+  healthy = false;
+  const auto degraded = exporter.Handle("GET", "/healthz");
+  EXPECT_EQ(degraded.status, 503);
+  EXPECT_NE(degraded.body.find("advance to day 9 failed"), std::string::npos);
+}
+
+TEST_F(HttpExporterTest, ServesOverRealSocket) {
+  HttpExporter::Options options = BaseOptions();
+  options.port = 0;  // ephemeral
+  HttpExporter exporter(std::move(options));
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_TRUE(exporter.running());
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string response = Get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("wavekit_test_total 5"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+
+  const std::string health = Get(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.Stop();  // idempotent
+}
+
+TEST_F(HttpExporterTest, ConcurrentScrapesAllSucceed) {
+  HttpExporter exporter(BaseOptions());
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsEach = 5;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    scrapers.emplace_back([port, &ok_count] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const std::string response = Get(port, "/metrics");
+        if (response.find("200 OK") != std::string::npos &&
+            response.find("wavekit_test_total") != std::string::npos) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : scrapers) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kRequestsEach);
+  EXPECT_EQ(exporter.requests_served(),
+            static_cast<uint64_t>(kThreads * kRequestsEach));
+  exporter.Stop();
+}
+
+TEST_F(HttpExporterTest, MalformedRequestsGet400AndDoNotWedgeTheServer) {
+  HttpExporter exporter(BaseOptions());
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+
+  EXPECT_NE(RawRequest(port, "GARBAGE\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(RawRequest(port, "\r\n\r\n").find("400"), std::string::npos);
+  // Method-only request line (no path): still a clean 400.
+  EXPECT_NE(RawRequest(port, "GET\r\n\r\n").find("400"), std::string::npos);
+
+  // The server survives the abuse and keeps serving real scrapes.
+  EXPECT_NE(Get(port, "/metrics").find("200 OK"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST_F(HttpExporterTest, IndexPageListsEndpoints) {
+  HttpExporter exporter(BaseOptions());
+  const auto index = exporter.Handle("GET", "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.body.find("/healthz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

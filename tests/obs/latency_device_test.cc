@@ -1,0 +1,123 @@
+#include "obs/latency_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/device.h"
+#include "storage/metered_device.h"
+#include "util/clock.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+class LatencyDeviceTest : public ::testing::Test {
+ protected:
+  LatencyDeviceTest()
+      : memory_(1 << 20),
+        latency_(&memory_, MakeOptions(&clock_)),
+        meter_(&latency_) {
+    latency_.set_phase_source(&meter_);
+  }
+
+  static LatencyTrackingDevice::Options MakeOptions(Clock* clock) {
+    LatencyTrackingDevice::Options options;
+    options.clock = clock;
+    return options;
+  }
+
+  SimClock clock_;
+  MemoryDevice memory_;
+  LatencyTrackingDevice latency_;
+  MeteredDevice meter_;
+  std::vector<std::byte> buf_ = std::vector<std::byte>(512);
+};
+
+TEST_F(LatencyDeviceTest, OpKindNames) {
+  EXPECT_STREQ(OpKindName(OpKind::kRead), "read");
+  EXPECT_STREQ(OpKindName(OpKind::kWrite), "write");
+  EXPECT_STREQ(OpKindName(OpKind::kReadBatch), "read_batch");
+  EXPECT_STREQ(OpKindName(OpKind::kWriteBatch), "write_batch");
+  EXPECT_STREQ(OpKindName(OpKind::kSync), "sync");
+}
+
+TEST_F(LatencyDeviceTest, RecordsEachOpUnderTheMeterPhase) {
+  meter_.set_phase(Phase::kQuery);
+  ASSERT_TRUE(meter_.Read(0, buf_).ok());
+  ASSERT_TRUE(meter_.Read(4096, buf_).ok());
+
+  meter_.set_phase(Phase::kTransition);
+  ASSERT_TRUE(meter_.Write(0, buf_).ok());
+  const std::vector<Extent> extents = {{0, 512}, {4096, 512}};
+  std::vector<std::byte> batch(1024);
+  ASSERT_TRUE(meter_.ReadBatch(extents, batch).ok());
+  ASSERT_TRUE(meter_.WriteBatch(extents, batch).ok());
+  ASSERT_TRUE(meter_.Sync().ok());
+
+  EXPECT_EQ(latency_.histogram(OpKind::kRead, Phase::kQuery).count(), 2u);
+  EXPECT_EQ(latency_.histogram(OpKind::kRead, Phase::kTransition).count(), 0u);
+  EXPECT_EQ(latency_.histogram(OpKind::kWrite, Phase::kTransition).count(), 1u);
+  EXPECT_EQ(latency_.histogram(OpKind::kReadBatch, Phase::kTransition).count(),
+            1u);
+  EXPECT_EQ(latency_.histogram(OpKind::kWriteBatch, Phase::kTransition).count(),
+            1u);
+  EXPECT_EQ(latency_.histogram(OpKind::kSync, Phase::kTransition).count(), 1u);
+}
+
+TEST_F(LatencyDeviceTest, SimClockDurationsClampToOneMicro) {
+  // The SimClock does not advance during an op, so every recorded duration
+  // clamps to the 1 us minimum — deterministic, never zero.
+  meter_.set_phase(Phase::kQuery);
+  ASSERT_TRUE(meter_.Read(0, buf_).ok());
+  const Histogram h = latency_.histogram(OpKind::kRead, Phase::kQuery);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1u);
+  EXPECT_DOUBLE_EQ(latency_.observed_seconds(Phase::kQuery), 1e-6);
+}
+
+TEST_F(LatencyDeviceTest, ObservedSecondsSumsAllOpsInPhase) {
+  meter_.set_phase(Phase::kPrecompute);
+  ASSERT_TRUE(meter_.Read(0, buf_).ok());
+  ASSERT_TRUE(meter_.Write(0, buf_).ok());
+  ASSERT_TRUE(meter_.Sync().ok());
+  // Three ops, 1 us each under the frozen SimClock.
+  EXPECT_DOUBLE_EQ(latency_.observed_seconds(Phase::kPrecompute), 3e-6);
+  EXPECT_DOUBLE_EQ(latency_.observed_seconds(Phase::kQuery), 0.0);
+}
+
+TEST_F(LatencyDeviceTest, NoPhaseSourceAttributesToOther) {
+  MemoryDevice memory(1 << 16);
+  LatencyTrackingDevice bare(&memory, MakeOptions(&clock_));
+  std::vector<std::byte> buf(64);
+  ASSERT_TRUE(bare.Read(0, buf).ok());
+  EXPECT_EQ(bare.histogram(OpKind::kRead, Phase::kOther).count(), 1u);
+}
+
+TEST_F(LatencyDeviceTest, ResetZeroesEveryCell) {
+  meter_.set_phase(Phase::kQuery);
+  ASSERT_TRUE(meter_.Read(0, buf_).ok());
+  ASSERT_TRUE(meter_.Sync().ok());
+  latency_.Reset();
+  EXPECT_EQ(latency_.histogram(OpKind::kRead, Phase::kQuery).count(), 0u);
+  EXPECT_EQ(latency_.histogram(OpKind::kSync, Phase::kQuery).count(), 0u);
+  EXPECT_DOUBLE_EQ(latency_.observed_seconds(Phase::kQuery), 0.0);
+}
+
+TEST_F(LatencyDeviceTest, ErrorsStillRecordAndPropagate) {
+  // Read past capacity: the inner device fails, the latency is still
+  // recorded (a slow failure is still time spent), and the status surfaces.
+  meter_.set_phase(Phase::kQuery);
+  const Status status = meter_.Read(memory_.capacity(), buf_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(latency_.histogram(OpKind::kRead, Phase::kQuery).count(), 1u);
+}
+
+TEST_F(LatencyDeviceTest, CapacityForwards) {
+  EXPECT_EQ(latency_.capacity(), memory_.capacity());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

@@ -1,0 +1,181 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace wavekit {
+namespace obs {
+namespace {
+
+TEST(MetricKeyTest, FormatsNameAndLabels) {
+  EXPECT_EQ(MetricKey("probes_total", {}), "probes_total");
+  EXPECT_EQ(MetricKey("io", {{"device", "data"}, {"phase", "query"}}),
+            "io{device=\"data\",phase=\"query\"}");
+}
+
+TEST(TimeSeriesCollectorTest, TickRespectsIntervalOnInjectedClock) {
+  MetricsRegistry registry;
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.interval_us = 1000;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+
+  // The first Tick always samples; further Ticks wait out the interval.
+  EXPECT_TRUE(collector.Tick());
+  EXPECT_FALSE(collector.Tick());
+  clock.Advance(999);
+  EXPECT_FALSE(collector.Tick());
+  clock.Advance(1);
+  EXPECT_TRUE(collector.Tick());
+  EXPECT_EQ(collector.samples_taken(), 2u);
+
+  const std::vector<TimeSeriesCollector::Sample> samples = collector.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].timestamp_us, 0u);
+  EXPECT_EQ(samples[1].timestamp_us, 1000u);
+}
+
+TEST(TimeSeriesCollectorTest, RingEvictsOldestSample) {
+  MetricsRegistry registry;
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.ring_capacity = 3;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+
+  for (int i = 0; i < 5; ++i) {
+    collector.SampleNow();
+    clock.Advance(10);
+  }
+  EXPECT_EQ(collector.samples_taken(), 5u);
+  const std::vector<TimeSeriesCollector::Sample> samples = collector.Samples();
+  ASSERT_EQ(samples.size(), 3u);
+  // Oldest first: timestamps 20, 30, 40 survive.
+  EXPECT_EQ(samples[0].timestamp_us, 20u);
+  EXPECT_EQ(samples[2].timestamp_us, 40u);
+}
+
+TEST(TimeSeriesCollectorTest, SeriesDerivesDeltasAndRates) {
+  MetricsRegistry registry;
+  Counter* probes = registry.AddCounter("probes_total", "Probes.");
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+
+  collector.SampleNow();
+  probes->Increment(10);
+  clock.Advance(2'000'000);  // 2 s
+  collector.SampleNow();
+  probes->Increment(30);
+  clock.Advance(1'000'000);  // 1 s
+  collector.SampleNow();
+
+  const std::vector<TimeSeriesCollector::Point> series =
+      collector.Series("probes_total", {});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].delta, 0.0);
+  EXPECT_DOUBLE_EQ(series[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(series[1].delta, 10.0);
+  EXPECT_DOUBLE_EQ(series[1].rate_per_sec, 5.0);
+  EXPECT_DOUBLE_EQ(series[2].value, 40.0);
+  EXPECT_DOUBLE_EQ(series[2].delta, 30.0);
+  EXPECT_DOUBLE_EQ(series[2].rate_per_sec, 30.0);
+}
+
+TEST(TimeSeriesCollectorTest, SeriesMatchesExactLabelsOnly) {
+  MetricsRegistry registry;
+  registry.AddCounter("io_total", "IO.", {{"phase", "query"}})->Increment(7);
+  registry.AddCounter("io_total", "IO.", {{"phase", "transition"}})
+      ->Increment(3);
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+  collector.SampleNow();
+
+  const auto query = collector.Series("io_total", {{"phase", "query"}});
+  ASSERT_EQ(query.size(), 1u);
+  EXPECT_DOUBLE_EQ(query[0].value, 7.0);
+  EXPECT_TRUE(collector.Series("io_total", {{"phase", "start"}}).empty());
+  EXPECT_TRUE(collector.Series("nope_total", {}).empty());
+}
+
+TEST(TimeSeriesCollectorTest, HistogramsFlattenToCumulativeCount) {
+  MetricsRegistry registry;
+  ConcurrentHistogram* latency = registry.AddHistogram("lat_us", "Latency.");
+  latency->Record(5);
+  latency->Record(9);
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+  collector.SampleNow();
+
+  const auto series = collector.Series("lat_us", {});
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].value, 2.0);  // cumulative count
+}
+
+TEST(TimeSeriesCollectorTest, RenderJsonContainsSamplesAndRates) {
+  MetricsRegistry registry;
+  Counter* probes = registry.AddCounter("probes_total", "Probes.");
+  SimClock clock;
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.interval_us = 500;
+  options.clock = &clock;
+  TimeSeriesCollector collector(options);
+
+  collector.SampleNow();
+  probes->Increment(4);
+  clock.Advance(1'000'000);
+  collector.SampleNow();
+
+  const std::string json = collector.RenderJson();
+  EXPECT_NE(json.find("\"interval_us\": 500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples_taken\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"probes_total\""), std::string::npos) << json;
+  // Rate between the last two samples: 4 increments over one second.
+  EXPECT_NE(json.find("\"rates\""), std::string::npos) << json;
+  EXPECT_NE(json.find("4"), std::string::npos) << json;
+}
+
+TEST(TimeSeriesCollectorTest, BackgroundThreadSamplesAndStops) {
+  MetricsRegistry registry;
+  registry.AddCounter("c_total", "C.");
+  TimeSeriesCollector::Options options;
+  options.registry = &registry;
+  options.interval_us = 1000;  // 1 ms
+  TimeSeriesCollector collector(options);
+
+  collector.Start();
+  collector.Start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (collector.samples_taken() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  collector.Stop();
+  collector.Stop();  // idempotent
+  EXPECT_GT(collector.samples_taken(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wavekit

@@ -130,6 +130,43 @@ TEST_F(MeteredDeviceTest, SnapshotCoversEveryPhaseWithNamesAndTotal) {
   EXPECT_EQ(snap.total.bytes_read, 40u);
 }
 
+TEST_F(MeteredDeviceTest, SyncIsChargedToThePhaseButNotTheCostModel) {
+  device_.set_phase(Phase::kTransition);
+  Write(0, 100);
+  ASSERT_TRUE(device_.Sync().ok());
+  ASSERT_TRUE(device_.Sync().ok());
+  device_.set_phase(Phase::kQuery);
+  ASSERT_TRUE(device_.Sync().ok());
+
+  EXPECT_EQ(device_.counters(Phase::kTransition).sync_ops, 2u);
+  EXPECT_EQ(device_.counters(Phase::kQuery).sync_ops, 1u);
+  EXPECT_EQ(device_.total().sync_ops, 3u);
+  EXPECT_EQ(device_.snapshot().total.sync_ops, 3u);
+
+  // Sync charges no seeks or bytes, and the paper's cost model (which has
+  // no fsync analogue) prices it at zero seconds.
+  const IoCounters query = device_.counters(Phase::kQuery);
+  EXPECT_EQ(query.seeks, 0u);
+  EXPECT_EQ(query.bytes_transferred(), 0u);
+  EXPECT_DOUBLE_EQ(CostModel{}.Seconds(query), 0.0);
+
+  // ToString mentions syncs only when present (zero-sync output unchanged).
+  EXPECT_NE(query.ToString().find("syncs=1"), std::string::npos);
+  EXPECT_EQ(IoCounters{}.ToString().find("syncs"), std::string::npos);
+
+  device_.Reset();
+  EXPECT_EQ(device_.total().sync_ops, 0u);
+}
+
+TEST(CostModelTest, SyncOpsFollowCounterArithmetic) {
+  IoCounters a;
+  a.sync_ops = 3;
+  IoCounters b;
+  b.sync_ops = 1;
+  EXPECT_EQ((a + b).sync_ops, 4u);
+  EXPECT_EQ((a - b).sync_ops, 2u);
+}
+
 TEST(CostModelTest, SecondsFormula) {
   CostModel cost;  // 14 ms seek, 10 MB/s
   IoCounters io;

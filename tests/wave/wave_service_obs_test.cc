@@ -1,0 +1,173 @@
+// WaveService telemetry wiring: the PR 7 observability pipeline end to end —
+// latency decorator, event journal, time-series collector, degraded flag —
+// all hanging off one service and one registry, including the /healthz flip
+// through an embedded HttpExporter.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/event_journal.h"
+#include "obs/http_exporter.h"
+#include "obs/latency_device.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "storage/fault_injecting_device.h"
+#include "testing/test_env.h"
+#include "wave/wave_service.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+
+WaveService::Options TelemetryOptions(obs::MetricsRegistry* registry) {
+  WaveService::Options options;
+  options.scheme = SchemeKind::kWata;
+  options.config.window = 6;
+  options.config.num_indexes = 3;
+  options.device_capacity = uint64_t{1} << 24;
+  options.metrics_registry = registry;
+  options.trace_sample_rate = 1.0;
+  options.track_device_latency = true;
+  options.event_ring_capacity = 128;
+  options.collector_interval_us = 1;  // every AdvanceDay tick samples
+  options.collector_ring_capacity = 64;
+  return options;
+}
+
+Result<std::unique_ptr<WaveService>> StartedService(
+    WaveService::Options options) {
+  WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<WaveService> service,
+                           WaveService::Create(std::move(options)));
+  std::vector<DayBatch> first;
+  for (Day d = 1; d <= 6; ++d) first.push_back(MakeMixedBatch(d));
+  WAVEKIT_RETURN_NOT_OK(service->Start(std::move(first)));
+  return service;
+}
+
+TEST(WaveServiceObsTest, TelemetryIsOffByDefault) {
+  WaveService::Options options;
+  options.config.window = 6;
+  options.config.num_indexes = 3;
+  options.device_capacity = uint64_t{1} << 24;
+  auto made = StartedService(std::move(options));
+  ASSERT_TRUE(made.ok()) << made.status();
+  WaveService& service = *made.ValueOrDie();
+  EXPECT_EQ(service.events(), nullptr);
+  EXPECT_EQ(service.collector(), nullptr);
+  EXPECT_EQ(service.latency_device(), nullptr);
+  EXPECT_FALSE(service.degraded());
+}
+
+TEST(WaveServiceObsTest, FullPipelineWiresAndJournalsLifecycle) {
+  obs::MetricsRegistry registry;
+  auto made = StartedService(TelemetryOptions(&registry));
+  ASSERT_TRUE(made.ok()) << made.status();
+  WaveService& service = *made.ValueOrDie();
+
+  ASSERT_NE(service.events(), nullptr);
+  ASSERT_NE(service.collector(), nullptr);
+  ASSERT_NE(service.latency_device(), nullptr);
+
+  ASSERT_OK(service.AdvanceDay(MakeMixedBatch(7)));
+  ASSERT_OK(service.AdvanceDay(MakeMixedBatch(8)));
+  std::vector<Entry> out;
+  ASSERT_OK(service.IndexProbe("alpha", &out));
+
+  // Lifecycle events: service_start, then (advance_start, advance_commit)
+  // per transition.
+  const std::vector<obs::Event> events = service.events()->Events();
+  ASSERT_GE(events.size(), 5u);
+  EXPECT_EQ(events[0].type, obs::EventType::kServiceStart);
+  EXPECT_EQ(events[1].type, obs::EventType::kAdvanceStart);
+  EXPECT_EQ(events[1].day, 7);
+  EXPECT_EQ(events[2].type, obs::EventType::kAdvanceCommit);
+  EXPECT_EQ(events[3].type, obs::EventType::kAdvanceStart);
+  EXPECT_EQ(events[3].day, 8);
+  EXPECT_EQ(events[4].type, obs::EventType::kAdvanceCommit);
+
+  // The collector ticked on the maintenance path.
+  EXPECT_GE(service.collector()->samples_taken(), 2u);
+
+  // The latency decorator saw real device traffic.
+  uint64_t recorded = 0;
+  for (int op = 0; op < obs::kNumOpKinds; ++op) {
+    for (size_t phase = 0; phase < kNumPhases; ++phase) {
+      recorded += service.latency_device()
+                      ->histogram(static_cast<obs::OpKind>(op),
+                                  static_cast<Phase>(phase))
+                      .count();
+    }
+  }
+  EXPECT_GT(recorded, 0u);
+
+  // The registry exports the whole pipeline, with backend identity labels.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("wavekit_device_latency_us"), std::string::npos);
+  EXPECT_NE(text.find("wavekit_device_observed_seconds"), std::string::npos);
+  EXPECT_NE(text.find("wavekit_device_latency_drift_ratio"),
+            std::string::npos);
+  EXPECT_NE(text.find("backend=\"memory\""), std::string::npos);
+  EXPECT_NE(text.find("wavekit_service_degraded"), std::string::npos);
+  EXPECT_NE(text.find("wavekit_events_appended_total"), std::string::npos);
+  EXPECT_NE(text.find("wavekit_timeseries_samples_total"), std::string::npos);
+}
+
+TEST(WaveServiceObsTest, FailedAdvanceFlipsDegradedAndHealthz) {
+  FaultInjectingDevice* faulty = nullptr;
+  obs::MetricsRegistry registry;
+  WaveService::Options options = TelemetryOptions(&registry);
+  options.device_interposer = [&faulty](Device* inner) {
+    auto device = std::make_unique<FaultInjectingDevice>(inner);
+    faulty = device.get();
+    return device;
+  };
+  auto made = StartedService(std::move(options));
+  ASSERT_TRUE(made.ok()) << made.status();
+  WaveService& service = *made.ValueOrDie();
+  ASSERT_NE(faulty, nullptr);
+  EXPECT_FALSE(service.degraded());
+
+  obs::HttpExporter::Options http;
+  http.registry = &registry;
+  http.health = [&service](std::string* detail) {
+    if (!service.degraded()) return true;
+    *detail = service.degraded_detail();
+    return false;
+  };
+  obs::HttpExporter exporter(std::move(http));
+  EXPECT_EQ(exporter.Handle("GET", "/healthz").status, 200);
+
+  faulty->set_write_error_rate(1.0);
+  const Status failed = service.AdvanceDay(MakeMixedBatch(7));
+  ASSERT_FALSE(failed.ok());
+  faulty->set_write_error_rate(0.0);
+
+  EXPECT_TRUE(service.degraded());
+  EXPECT_NE(service.degraded_detail().find("day 7"), std::string::npos)
+      << service.degraded_detail();
+
+  const auto health = exporter.Handle("GET", "/healthz");
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("degraded"), std::string::npos);
+
+  // The journal recorded the rollback and the degraded transition.
+  bool saw_rollback = false, saw_degraded = false;
+  for (const obs::Event& event : service.events()->Events()) {
+    saw_rollback |= event.type == obs::EventType::kAdvanceRollback;
+    saw_degraded |= event.type == obs::EventType::kDegradedEnter;
+  }
+  EXPECT_TRUE(saw_rollback);
+  EXPECT_TRUE(saw_degraded);
+
+  // The degraded gauge exports as 1.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("wavekit_service_degraded 1"), std::string::npos)
+      << text.substr(0, 400);
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -35,6 +35,30 @@
 //       per transition with child spans for each maintenance primitive the
 //       scheme ran, annotated with the seek/byte delta each drew.
 //
+//   wavectl top [same workload flags]
+//       Run the workload with full telemetry (latency decorator, event
+//       journal, time-series collector) and print a one-shot "top"-style
+//       summary: per-phase device I/O with observed-vs-modeled drift,
+//       query/advance latency percentiles, and the tail of the event journal.
+//
+//   wavectl export-trace [same workload flags] [--sample=1.0] [--ring=1024]
+//                        [--out=trace.json]
+//       Export the sampled span ring as Chrome trace-event JSON (loadable in
+//       chrome://tracing or Perfetto). Writes stdout unless --out is given.
+//
+//   wavectl events [same workload flags] [--ring=256] [--jsonl=events.jsonl]
+//                  [--format=table|json]
+//       Run the workload with the maintenance event journal enabled and dump
+//       it: advance start/commit/rollback, retries, degraded transitions.
+//
+//   wavectl serve-metrics [same workload flags] [--port=9464]
+//                         [--duration-s=30] [--interval-ms=1000]
+//       Run the workload, then serve the live telemetry over an embedded
+//       HTTP endpoint: /metrics (Prometheus), /metrics.json,
+//       /timeseries.json, /events.json, /trace.json, /healthz. The
+//       time-series collector keeps sampling in the background while
+//       serving. --duration-s=0 serves until killed.
+//
 //   wavectl bench-io [--backend=file|uring|mmap] [--path=/data/probe.dat]
 //                    [--direct] [--queue-depth=64] [--size-mb=64]
 //                    [--block=4096] [--batch=64] [--ops=2000] [--seed=42]
@@ -44,9 +68,12 @@
 //       in the units of the Section 5 cost model, for calibrating
 //       model::CaseParams::hardware to the machine actually underneath.
 //
-//   The metrics/trace workloads also accept --backend/--path/--direct/
+//   The workload-driven subcommands (metrics, trace, top, export-trace,
+//   events, serve-metrics) also accept --backend/--path/--direct/
 //   --queue-depth to serve from a real device instead of the modeled
 //   MemoryDevice.
+//
+//   Unknown subcommands or flags print usage and exit non-zero.
 
 #include <unistd.h>
 
@@ -54,18 +81,25 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "model/space_model.h"
 #include "storage/backend_registry.h"
 #include "util/random.h"
 #include "model/total_work.h"
+#include "obs/event_journal.h"
+#include "obs/http_exporter.h"
+#include "obs/latency_device.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace_export.h"
 #include "util/macros.h"
 #include "sim/csv.h"
 #include "sim/driver.h"
@@ -84,13 +118,17 @@ class Args {
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) continue;
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "true";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      if (arg.rfind("--", 0) != 0) {
+        // Commands take no positional operands; anything that is not a
+        // --flag is a mistake the dispatcher should reject.
+        stray_.push_back(arg);
+        continue;
       }
+      const size_t eq = arg.find('=');
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      values_[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+      seen_.push_back(key);
     }
   }
 
@@ -110,8 +148,25 @@ class Args {
     return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
 
+  /// Arguments this command does not understand: every --flag whose key is
+  /// absent from `allowed` (rendered back as "--key"), plus any stray
+  /// positional operands, in the order given.
+  std::vector<std::string> Unknown(
+      const std::vector<std::string>& allowed) const {
+    std::vector<std::string> unknown;
+    for (const std::string& key : seen_) {
+      if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+        unknown.push_back("--" + key);
+      }
+    }
+    unknown.insert(unknown.end(), stray_.begin(), stray_.end());
+    return unknown;
+  }
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> seen_;   // flag keys, in command-line order
+  std::vector<std::string> stray_;  // non-flag operands
 };
 
 model::CaseParams CaseByName(const std::string& name) {
@@ -341,10 +396,14 @@ std::string ScratchDevicePath(const Args& args) {
 /// Builds a WaveService wired to `registry`, serves a short synthetic
 /// Netnews workload through it (start window + `--days` transitions,
 /// `--probes` probes and `--scans` scans per day), and returns the service so
-/// callers can inspect the registry or the tracer.
+/// callers can inspect the registry or the tracer. `customize`, when set,
+/// gets a final look at the options before the service is created (the
+/// telemetry subcommands enable the latency decorator, event journal, and
+/// time-series collector through it).
 Result<std::unique_ptr<WaveService>> ServeSyntheticWorkload(
     const Args& args, obs::MetricsRegistry* registry, double sample_rate,
-    size_t ring_capacity, uint64_t slow_op_threshold_us) {
+    size_t ring_capacity, uint64_t slow_op_threshold_us,
+    const std::function<void(WaveService::Options*)>& customize = nullptr) {
   WaveService::Options options;
   WAVEKIT_ASSIGN_OR_RETURN(options.scheme,
                            SchemeKindFromName(args.Get("scheme", "wata")));
@@ -372,6 +431,7 @@ Result<std::unique_ptr<WaveService>> ServeSyntheticWorkload(
   options.trace_sample_rate = sample_rate;
   options.trace_ring_capacity = ring_capacity;
   options.slow_op_threshold_us = slow_op_threshold_us;
+  if (customize) customize(&options);
   WAVEKIT_ASSIGN_OR_RETURN(std::unique_ptr<WaveService> service,
                            WaveService::Create(options));
 
@@ -470,6 +530,231 @@ int Trace(const Args& args) {
   std::cout << "roots started=" << tracer->roots_started()
             << " sampled=" << tracer->roots_sampled()
             << " spans recorded=" << tracer->spans_recorded() << "\n";
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return 0;
+}
+
+/// Workload-option hook enabling the full telemetry pipeline: latency
+/// decorator under the meter, event journal, and time-series collector. The
+/// 1 ms collector interval means every AdvanceDay tick takes a sample.
+void EnableTelemetry(WaveService::Options* options) {
+  options->track_device_latency = true;
+  options->event_ring_capacity = 256;
+  options->collector_interval_us = 1000;
+  options->collector_ring_capacity = 256;
+}
+
+int Top(const Args& args) {
+  obs::MetricsRegistry registry;
+  auto service = ServeSyntheticWorkload(args, &registry, /*sample_rate=*/1.0,
+                                        /*ring_capacity=*/256,
+                                        /*slow_op_threshold_us=*/0,
+                                        EnableTelemetry);
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  WaveService& svc = *service.ValueOrDie();
+
+  // Per-phase device I/O: the meter's modeled seconds next to the latency
+  // decorator's measured wall-clock, and the ratio between them.
+  const MeteredDevice::Snapshot io = svc.device()->snapshot();
+  const CostModel model;
+  const obs::LatencyTrackingDevice* latency = svc.latency_device();
+  sim::TablePrinter device_table({"phase", "seeks", "read", "written", "syncs",
+                                  "modeled", "observed", "drift"});
+  device_table.SetTitle("device I/O by phase (backend=" +
+                        svc.storage_backend() + ")");
+  for (const auto& p : io.phases) {
+    if (p.io.seeks == 0 && p.io.sync_ops == 0) continue;
+    const double modeled = model.Seconds(p.io);
+    const double observed = latency->observed_seconds(p.phase);
+    device_table.AddRow(
+        {p.name, std::to_string(p.io.seeks), FormatBytes(p.io.bytes_read),
+         FormatBytes(p.io.bytes_written), std::to_string(p.io.sync_ops),
+         FormatSeconds(modeled), FormatSeconds(observed),
+         modeled > 0 ? FormatDouble(observed / modeled, 4) : "-"});
+  }
+  device_table.Print(std::cout);
+
+  const ServiceMetrics metrics = svc.Metrics();
+  sim::TablePrinter ops({"operation", "count", "p50", "p99", "max"});
+  const auto latency_row = [&ops](const std::string& name, uint64_t count,
+                                  const Histogram& h) {
+    ops.AddRow({name, std::to_string(count),
+                std::to_string(h.Percentile(0.5)) + " us",
+                std::to_string(h.Percentile(0.99)) + " us",
+                std::to_string(h.max()) + " us"});
+  };
+  latency_row("probe", metrics.probes, metrics.probe_latency_us);
+  latency_row("scan", metrics.scans, metrics.scan_latency_us);
+  latency_row("advance", metrics.days_advanced, metrics.advance_latency_us);
+  std::cout << "\n";
+  ops.Print(std::cout);
+
+  std::cout << "\nday=" << svc.current_day()
+            << " degraded=" << (svc.degraded() ? "yes" : "no")
+            << " failed_advances=" << metrics.degraded_advances
+            << " retries=" << metrics.faults.retries << " samples="
+            << (svc.collector() != nullptr ? svc.collector()->samples_taken()
+                                           : 0)
+            << " events="
+            << (svc.events() != nullptr ? svc.events()->total_appended() : 0)
+            << "\n";
+
+  if (svc.events() != nullptr) {
+    sim::TablePrinter events({"seq", "day", "event", "message"});
+    events.SetTitle("event journal (most recent last)");
+    const std::vector<obs::Event> ring = svc.events()->Events();
+    const size_t start = ring.size() > 10 ? ring.size() - 10 : 0;
+    for (size_t i = start; i < ring.size(); ++i) {
+      events.AddRow({std::to_string(ring[i].sequence),
+                     std::to_string(ring[i].day),
+                     obs::EventTypeName(ring[i].type), ring[i].message});
+    }
+    std::cout << "\n";
+    events.Print(std::cout);
+  }
+
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return 0;
+}
+
+int ExportTrace(const Args& args) {
+  obs::MetricsRegistry registry;
+  auto service = ServeSyntheticWorkload(
+      args, &registry, args.GetDouble("sample", 1.0),
+      static_cast<size_t>(args.GetInt("ring", 1024)),
+      static_cast<uint64_t>(args.GetInt("slow-us", 0)));
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  const std::string json =
+      obs::RenderChromeTrace(*service.ValueOrDie()->tracer());
+  int code = 0;
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream file(out, std::ios::trunc);
+    file << json;
+    file.close();
+    if (!file) {
+      std::cerr << "export-trace: cannot write " << out << "\n";
+      code = 1;
+    } else {
+      std::cout << "trace written to " << out << " ("
+                << service.ValueOrDie()->tracer()->CompletedSpans().size()
+                << " spans); open in chrome://tracing or Perfetto\n";
+    }
+  }
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return code;
+}
+
+int Events(const Args& args) {
+  obs::MetricsRegistry registry;
+  const size_t ring = static_cast<size_t>(args.GetInt("ring", 256));
+  const std::string jsonl = args.Get("jsonl", "");
+  auto service = ServeSyntheticWorkload(
+      args, &registry, /*sample_rate=*/0.0, /*ring_capacity=*/256,
+      /*slow_op_threshold_us=*/0, [&](WaveService::Options* options) {
+        options->event_ring_capacity = ring;
+        options->event_jsonl_path = jsonl;
+      });
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  const obs::EventJournal* journal = service.ValueOrDie()->events();
+  const std::string format = args.Get("format", "table");
+  int code = 0;
+  if (format == "json") {
+    std::cout << journal->RenderJson();
+  } else if (format == "table") {
+    sim::TablePrinter table({"seq", "t_us", "day", "event", "message"});
+    table.SetTitle("maintenance events (" +
+                   std::to_string(journal->total_appended()) +
+                   " appended, ring holds " +
+                   std::to_string(journal->Events().size()) + ")");
+    for (const obs::Event& event : journal->Events()) {
+      table.AddRow({std::to_string(event.sequence),
+                    std::to_string(event.timestamp_us),
+                    std::to_string(event.day), obs::EventTypeName(event.type),
+                    event.message});
+    }
+    table.Print(std::cout);
+    if (!jsonl.empty()) {
+      std::cout << "JSONL sink: " << jsonl
+                << (journal->sink_ok() ? "" : " (WRITE FAILED)") << "\n";
+    }
+  } else {
+    std::cerr << "unknown --format=" << format << " (table|json)\n";
+    code = 2;
+  }
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return code;
+}
+
+int ServeMetrics(const Args& args) {
+  obs::MetricsRegistry registry;
+  const uint64_t interval_us =
+      static_cast<uint64_t>(args.GetInt("interval-ms", 1000)) * 1000;
+  auto service = ServeSyntheticWorkload(
+      args, &registry, /*sample_rate=*/1.0, /*ring_capacity=*/256,
+      /*slow_op_threshold_us=*/0, [&](WaveService::Options* options) {
+        EnableTelemetry(options);
+        // Re-sample on wall-clock while the endpoint is being scraped, not
+        // just on AdvanceDay ticks.
+        options->collector_interval_us = interval_us > 0 ? interval_us : 1000;
+        options->collector_background_thread = true;
+      });
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  WaveService* svc = service.ValueOrDie().get();
+
+  obs::HttpExporter::Options http;
+  http.port = static_cast<uint16_t>(args.GetInt("port", 9464));
+  http.registry = &registry;
+  http.collector = svc->collector();
+  http.events = svc->events();
+  http.tracer = svc->tracer();
+  http.health = [svc](std::string* detail) {
+    if (!svc->degraded()) return true;
+    *detail = svc->degraded_detail();
+    return false;
+  };
+  obs::HttpExporter exporter(std::move(http));
+  Status started = exporter.Start();
+  if (!started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+  const int duration_s = args.GetInt("duration-s", 30);
+  std::cout << "serving telemetry on http://127.0.0.1:" << exporter.port()
+            << " (/metrics /metrics.json /timeseries.json /events.json "
+               "/trace.json /healthz)\n"
+            << "port=" << exporter.port() << "\n"
+            << (duration_s > 0
+                    ? "for " + std::to_string(duration_s) + "s...\n"
+                    : "until killed...\n")
+            << std::flush;
+  for (int elapsed = 0; duration_s == 0 || elapsed < duration_s; ++elapsed) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  exporter.Stop();
+  std::cout << "served " << exporter.requests_served() << " requests\n";
   service.ValueOrDie().reset();
   const std::string scratch = ScratchDevicePath(args);
   if (!scratch.empty()) std::remove(scratch.c_str());
@@ -676,21 +961,74 @@ int BenchIo(const Args& args) {
   return 0;
 }
 
+void PrintUsage(std::ostream& out) {
+  out << "usage: wavectl <schemes|run|model|advise|metrics|trace|top|"
+         "export-trace|events|serve-metrics|bench-io> [--flag=value ...]\n"
+         "see the header of tools/wavectl.cc for the full flag list\n";
+}
+
 int Main(int argc, char** argv) {
+  // Flags every workload-driven subcommand shares (the synthetic Netnews
+  // service behind metrics/trace/top/export-trace/events/serve-metrics).
+  const std::vector<std::string> workload = {
+      "scheme",       "window",  "indexes", "technique",   "records",
+      "probes",       "scans",   "days",    "threads",     "cache-blocks",
+      "backend",      "path",    "direct",  "queue-depth"};
+  const auto plus = [&workload](std::initializer_list<const char*> extra) {
+    std::vector<std::string> flags = workload;
+    flags.insert(flags.end(), extra.begin(), extra.end());
+    return flags;
+  };
+
+  struct Command {
+    std::function<int(const Args&)> handler;
+    std::vector<std::string> flags;
+  };
+  const std::map<std::string, Command> commands = {
+      {"schemes", {[](const Args&) { return Schemes(); }, {}}},
+      {"run",
+       {RunExperiment,
+        {"scheme", "window", "indexes", "technique", "workload", "days",
+         "records", "probes", "scans", "case", "disks", "per-day", "csv"}}},
+      {"model",
+       {Model, {"case", "scheme", "indexes", "technique", "window"}}},
+      {"advise",
+       {Advise,
+        {"case", "window", "hard-window", "no-packed-shadow", "no-delete",
+         "max-indexes", "max-probe-ms", "top"}}},
+      {"metrics", {Metrics, plus({"format"})}},
+      {"trace", {Trace, plus({"sample", "ring", "slow-us"})}},
+      {"top", {Top, plus({})}},
+      {"export-trace",
+       {ExportTrace, plus({"sample", "ring", "slow-us", "out"})}},
+      {"events", {Events, plus({"ring", "jsonl", "format"})}},
+      {"serve-metrics",
+       {ServeMetrics, plus({"port", "duration-s", "interval-ms"})}},
+      {"bench-io",
+       {BenchIo,
+        {"backend", "path", "direct", "queue-depth", "size-mb", "block",
+         "batch", "ops", "seed"}}},
+  };
+
   const std::string command = argc > 1 ? argv[1] : "";
+  const auto it = commands.find(command);
+  if (it == commands.end()) {
+    if (!command.empty()) {
+      std::cerr << "wavectl: unknown subcommand '" << command << "'\n";
+    }
+    PrintUsage(std::cerr);
+    return 2;
+  }
   Args args(argc, argv);
-  if (command == "schemes") return Schemes();
-  if (command == "run") return RunExperiment(args);
-  if (command == "model") return Model(args);
-  if (command == "advise") return Advise(args);
-  if (command == "metrics") return Metrics(args);
-  if (command == "trace") return Trace(args);
-  if (command == "bench-io") return BenchIo(args);
-  std::cerr << "usage: wavectl "
-               "<schemes|run|model|advise|metrics|trace|bench-io> "
-               "[--flag=value ...]\n"
-               "see the header of tools/wavectl.cc for the full flag list\n";
-  return 2;
+  const std::vector<std::string> unknown = args.Unknown(it->second.flags);
+  if (!unknown.empty()) {
+    std::cerr << "wavectl " << command << ": unknown argument";
+    for (const std::string& arg : unknown) std::cerr << " '" << arg << "'";
+    std::cerr << "\n";
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  return it->second.handler(args);
 }
 
 }  // namespace
