@@ -6,6 +6,7 @@
 
 #include "index/index_builder.h"
 #include "util/crash_point.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -27,14 +28,77 @@ ConstituentIndex::~ConstituentIndex() {
   }
 }
 
-Status ConstituentIndex::ReadBucketEntries(const BucketInfo& info,
+void ConstituentIndex::Quarantine() const {
+  const bool was_corrupt = corrupt_.exchange(true, std::memory_order_relaxed);
+  healthy_.store(false, std::memory_order_relaxed);
+  if (!was_corrupt && options_.integrity != nullptr) {
+    options_.integrity->quarantines.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status ConstituentIndex::VerifyBucketBytes(const Value& value,
+                                           const BucketInfo& info,
+                                           const std::byte* bytes) const {
+  if (!options_.verify_checksums) return Status::OK();
+  if (options_.integrity != nullptr) {
+    options_.integrity->verified_buckets.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  return CheckBucketBytes(value, info, bytes);
+}
+
+Status ConstituentIndex::CheckBucketBytes(const Value& value,
+                                          const BucketInfo& info,
+                                          const std::byte* bytes) const {
+  if (!options_.verify_checksums) return Status::OK();
+  const uint32_t actual = Crc32c(bytes, info.count * kEntrySize);
+  if (actual == info.crc) return Status::OK();
+  if (options_.integrity != nullptr) {
+    options_.integrity->corruptions_detected.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  Quarantine();
+  return Status::DataLoss("checksum mismatch in bucket '" + value +
+                          "' of index " + name_);
+}
+
+Status ConstituentIndex::ReadBucketEntries(const Value& value,
+                                           const BucketInfo& info,
                                            std::vector<Entry>* out) const {
   const size_t previous = out->size();
   out->resize(previous + info.count);
   if (info.count == 0) return Status::OK();
   auto* bytes = reinterpret_cast<std::byte*>(out->data() + previous);
-  return device_->Read(info.extent.offset,
-                       std::span<std::byte>(bytes, info.count * kEntrySize));
+  const std::span<std::byte> span(bytes, info.count * kEntrySize);
+  Status status;
+  if (options_.verify_checksums) {
+    // Verify at the trust boundary (storage/device.h ReadBatchTracked): a
+    // bucket served entirely from checksum-verified resident cache bytes
+    // skips re-hashing; a verified medium read promotes those bytes so the
+    // next probe of the same hot bucket can skip.
+    const Extent live{info.extent.offset, info.count * kEntrySize};
+    const std::span<const Extent> extents(&live, 1);
+    bool trusted = false;
+    uint64_t fill_token = 0;
+    status = device_->ReadBatchTracked(extents, span, &trusted, &fill_token);
+    if (status.ok()) {
+      if (trusted) {
+        if (options_.integrity != nullptr) {
+          options_.integrity->trusted_buckets.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      } else {
+        status = VerifyBucketBytes(value, info, bytes);
+        if (status.ok()) device_->MarkVerified(extents, fill_token);
+      }
+    }
+  } else {
+    status = device_->Read(info.extent.offset, span);
+  }
+  // A failed read or checksum must not hand unverified entries to the
+  // caller alongside the error.
+  if (!status.ok()) out->resize(previous);
+  return status;
 }
 
 Status ConstituentIndex::WriteEntriesAt(uint64_t offset,
@@ -56,10 +120,10 @@ Status ConstituentIndex::TimedProbe(const Value& value, const DayRange& range,
   if (info == nullptr) return Status::OK();
   if (range.Covers(time_set_)) {
     // All entries qualify; no per-entry timestamp check needed.
-    return ReadBucketEntries(*info, out);
+    return ReadBucketEntries(value, *info, out);
   }
   std::vector<Entry> bucket;
-  WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
+  WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(value, *info, &bucket));
   for (const Entry& e : bucket) {
     if (range.Contains(e.day)) out->push_back(e);
   }
@@ -78,32 +142,95 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
   // — one device round-trip (and, in a serving stack, one metering round)
   // per batch instead of per bucket.
   static constexpr uint64_t kScanBatchBytes = uint64_t{4} << 20;
-  struct PendingBucket {
-    const Value* value;
-    uint32_t count;
-  };
+  // Pending buckets in structure-of-arrays form so the fused verify+deliver
+  // loop below touches two small dense arrays, not a vector of structs.
   std::vector<Extent> extents;
-  std::vector<PendingBucket> pending;
+  std::vector<const Value*> pending_values;
+  std::vector<uint32_t> pending_lengths;  // live bytes per bucket
+  std::vector<uint32_t> pending_crcs;
   std::vector<Entry> buffer;
   uint64_t pending_bytes = 0;
 
   auto flush = [&]() -> Status {
-    if (pending.empty()) return Status::OK();
+    if (pending_values.empty()) return Status::OK();
     buffer.resize(static_cast<size_t>(pending_bytes / kEntrySize));
     auto* bytes = reinterpret_cast<std::byte*>(buffer.data());
-    WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(
-        extents,
-        std::span<std::byte>(bytes, static_cast<size_t>(pending_bytes))));
-    size_t at = 0;
-    for (const PendingBucket& b : pending) {
-      for (uint32_t i = 0; i < b.count; ++i) {
-        const Entry& e = buffer[at + i];
-        if (covered || range.Contains(e.day)) callback(*b.value, e);
+    const std::span<std::byte> out(bytes, static_cast<size_t>(pending_bytes));
+    // Verification happens at the trust boundary — the medium. A batch
+    // served wholly from cache blocks that MarkVerified promoted (every byte
+    // checksum-verified since it last crossed the medium) is delivered
+    // without re-verification: re-hashing DRAM-resident bytes on every scan
+    // catches nothing the background scrubber (which reads the medium,
+    // bypassing the cache) does not already cover, and would cost more than
+    // the scan itself on dense windows.
+    bool all_trusted = false;
+    uint64_t fill_token = 0;
+    if (options_.verify_checksums) {
+      WAVEKIT_RETURN_NOT_OK(
+          device_->ReadBatchTracked(extents, out, &all_trusted, &fill_token));
+    } else {
+      WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(extents, out));
+    }
+    // One fused pass: check bucket k, issue bucket k+1's checksum chain,
+    // THEN deliver bucket k. A bucket's entries are never delivered before
+    // its own checksum passes, and the next bucket's CRC — a serial
+    // dependency chain through a 3-cycle-latency instruction — retires in
+    // the out-of-order shadow of the current bucket's callback work instead
+    // of stalling a dedicated verification pass. (Buckets earlier in the
+    // batch have already been delivered when a later one turns out corrupt —
+    // the same exposure as a corrupt bucket in a later flush.) The
+    // verified-buckets stat is charged once per flush, not per bucket.
+    const size_t total = pending_values.size();
+    const bool verify = options_.verify_checksums && !all_trusted;
+    size_t bad = total;  // first corrupt bucket, or total when clean
+    size_t at = 0;       // entry offset of bucket k within the buffer
+    uint32_t actual = verify ? Crc32c(buffer.data(), pending_lengths[0]) : 0;
+    for (size_t k = 0; k < total; ++k) {
+      const uint32_t count = pending_lengths[k] / kEntrySize;
+      if (verify) {
+        if (actual != pending_crcs[k]) {
+          bad = k;
+          break;
+        }
+        if (k + 1 < total) {
+          actual = Crc32c(buffer.data() + at + count, pending_lengths[k + 1]);
+        }
       }
-      at += b.count;
+      const Value& value = *pending_values[k];
+      for (uint32_t i = 0; i < count; ++i) {
+        const Entry& e = buffer[at + i];
+        if (covered || range.Contains(e.day)) callback(value, e);
+      }
+      at += count;
+    }
+    if (options_.integrity != nullptr && options_.verify_checksums) {
+      if (verify) {
+        options_.integrity->verified_buckets.fetch_add(
+            bad == total ? total : bad + 1, std::memory_order_relaxed);
+      } else {
+        options_.integrity->trusted_buckets.fetch_add(
+            total, std::memory_order_relaxed);
+      }
+    }
+    if (bad != total) {
+      // Recheck the failing bucket through the usual path for the corruption
+      // accounting, the quarantine, and the error message. `at` is its
+      // offset: the loop broke before advancing past bucket `bad`.
+      const uint32_t count = pending_lengths[bad] / kEntrySize;
+      const BucketInfo probe{Extent{}, count, count, pending_crcs[bad]};
+      WAVEKIT_RETURN_NOT_OK(CheckBucketBytes(
+          *pending_values[bad], probe,
+          reinterpret_cast<const std::byte*>(buffer.data() + at)));
+    }
+    if (verify && bad == total) {
+      // Every byte of this batch checksummed clean: mark those bytes of
+      // still-resident cache blocks so the next scan over them can skip.
+      device_->MarkVerified(extents, fill_token);
     }
     extents.clear();
-    pending.clear();
+    pending_values.clear();
+    pending_lengths.clear();
+    pending_crcs.clear();
     pending_bytes = 0;
     return Status::OK();
   };
@@ -121,7 +248,9 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
     } else {
       extents.push_back(live);
     }
-    pending.push_back(PendingBucket{&value, info->count});
+    pending_values.push_back(&value);
+    pending_lengths.push_back(static_cast<uint32_t>(live.length));
+    pending_crcs.push_back(info->crc);
     pending_bytes += live.length;
     if (pending_bytes >= kScanBatchBytes) WAVEKIT_RETURN_NOT_OK(flush());
   }
@@ -144,6 +273,8 @@ Status ConstituentIndex::ForEachBucket(
 Status ConstituentIndex::AppendEntries(const Value& value,
                                        std::span<const Entry> entries) {
   if (entries.empty()) return Status::OK();
+  const auto* entry_bytes = reinterpret_cast<const std::byte*>(entries.data());
+  const size_t entry_byte_count = entries.size() * kEntrySize;
   BucketInfo* info = directory_->Find(value);
   if (info == nullptr) {
     const uint32_t capacity =
@@ -153,14 +284,16 @@ Status ConstituentIndex::AppendEntries(const Value& value,
     WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(extent.offset, entries));
     WAVEKIT_RETURN_NOT_OK(directory_->Insert(
         value, BucketInfo{extent, static_cast<uint32_t>(entries.size()),
-                          capacity}));
+                          capacity, Crc32c(entry_bytes, entry_byte_count)}));
     layout_order_.push_back(value);
     allocated_bytes_ += extent.length;
   } else if (info->count + entries.size() <= info->capacity) {
-    // Room in place: append after the existing entries.
+    // Room in place: append after the existing entries. The checksum extends
+    // over the new suffix without rereading the prefix.
     WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(
         info->extent.offset + info->count * kEntrySize, entries));
     info->count += static_cast<uint32_t>(entries.size());
+    info->crc = Crc32cExtend(info->crc, entry_bytes, entry_byte_count);
   } else {
     // CONTIGUOUS overflow: relocate to a g-times-larger extent.
     const uint32_t needed =
@@ -168,7 +301,7 @@ Status ConstituentIndex::AppendEntries(const Value& value,
     const uint32_t new_capacity =
         options_.growth.GrownCapacity(info->capacity, needed);
     std::vector<Entry> existing;
-    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &existing));
+    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(value, *info, &existing));
     WAVEKIT_ASSIGN_OR_RETURN(Extent new_extent,
                              allocator_->Allocate(new_capacity * kEntrySize));
     existing.insert(existing.end(), entries.begin(), entries.end());
@@ -179,6 +312,7 @@ Status ConstituentIndex::AppendEntries(const Value& value,
     info->extent = new_extent;
     info->count = needed;
     info->capacity = new_capacity;
+    info->crc = Crc32c(existing.data(), existing.size() * kEntrySize);
   }
   entry_count_ += entries.size();
   packed_ = false;
@@ -214,7 +348,7 @@ Status ConstituentIndex::DeleteDays(const TimeSet& days) {
                               "' in index " + name_);
     }
     bucket.clear();
-    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(*info, &bucket));
+    WAVEKIT_RETURN_NOT_OK(ReadBucketEntries(value, *info, &bucket));
     kept.clear();
     for (const Entry& e : bucket) {
       if (!days.contains(e.day)) kept.push_back(e);
@@ -243,6 +377,7 @@ Status ConstituentIndex::DeleteDays(const TimeSet& days) {
       WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(info->extent.offset, kept));
     }
     info->count = live;
+    info->crc = Crc32c(kept.data(), kept.size() * kEntrySize);
   }
   for (Day d : days) time_set_.erase(d);
   packed_ = false;
@@ -263,7 +398,8 @@ Status ConstituentIndex::RemoveValue(const Value& value) {
 }
 
 Status ConstituentIndex::InstallBucket(const Value& value, const Extent& extent,
-                                       uint32_t count, uint32_t capacity) {
+                                       uint32_t count, uint32_t capacity,
+                                       uint32_t crc) {
   if (extent.length != capacity * kEntrySize) {
     return Status::InvalidArgument("bucket extent does not match capacity");
   }
@@ -271,7 +407,7 @@ Status ConstituentIndex::InstallBucket(const Value& value, const Extent& extent,
     return Status::InvalidArgument("bucket count exceeds capacity");
   }
   WAVEKIT_RETURN_NOT_OK(
-      directory_->Insert(value, BucketInfo{extent, count, capacity}));
+      directory_->Insert(value, BucketInfo{extent, count, capacity, crc}));
   layout_order_.push_back(value);
   allocated_bytes_ += extent.length;
   entry_count_ += count;
@@ -307,10 +443,19 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
     // Copy the full capacity (slack included), preserving S' footprint.
     buffer.resize(info->extent.length);
     WAVEKIT_RETURN_NOT_OK(device_->Read(info->extent.offset, buffer));
+    // Verify before propagating: a clone must not launder corrupt bytes
+    // into a fresh extent with a recomputed checksum.
+    {
+      Status verified = VerifyBucketBytes(value, *info, buffer.data());
+      if (!verified.ok()) {
+        (void)allocator->Free(region);
+        return verified;
+      }
+    }
     WAVEKIT_RETURN_NOT_OK(device->Write(cursor, buffer));
     WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
         value, Extent{cursor, info->extent.length}, info->count,
-        info->capacity));
+        info->capacity, info->crc));
     cursor += info->extent.length;
   }
   clone->time_set_ = time_set_;
@@ -331,6 +476,7 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
     uint64_t target_offset;  // relative to the region start
     uint32_t count;
     uint32_t capacity;
+    uint32_t crc;
   };
   std::vector<CopyPlan> plan;
   plan.reserve(layout_order_.size());
@@ -342,7 +488,7 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
                               "' in index " + name_);
     }
     plan.push_back(CopyPlan{&value, info->extent, running, info->count,
-                            info->capacity});
+                            info->capacity, info->crc});
     running += info->extent.length;
   }
   WAVEKIT_ASSIGN_OR_RETURN(Extent region,
@@ -363,15 +509,28 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
         const size_t end = plan.size() * (p + 1) / parts;
         std::vector<Extent> sources;
         std::vector<Extent> targets;
+        std::vector<const CopyPlan*> batched;
         std::vector<std::byte> buffer;
         uint64_t pending = 0;
         auto flush = [&]() -> Status {
           if (sources.empty()) return Status::OK();
           buffer.resize(static_cast<size_t>(pending));
           WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(sources, buffer));
+          // Verify each bucket's live prefix in the batch before the copy
+          // lands anywhere (same rule as the serial clone).
+          uint64_t at = 0;
+          for (const CopyPlan* bucket : batched) {
+            const BucketInfo probe{Extent{}, bucket->count, bucket->capacity,
+                                   bucket->crc};
+            WAVEKIT_RETURN_NOT_OK(VerifyBucketBytes(
+                *bucket->value, probe,
+                buffer.data() + static_cast<size_t>(at)));
+            at += bucket->source.length;
+          }
           WAVEKIT_RETURN_NOT_OK(device->WriteBatch(targets, buffer));
           sources.clear();
           targets.clear();
+          batched.clear();
           pending = 0;
           return Status::OK();
         };
@@ -381,6 +540,7 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
           targets.push_back(
               Extent{region.offset + bucket.target_offset,
                      bucket.source.length});
+          batched.push_back(&bucket);
           pending += bucket.source.length;
           if (pending >= IndexBuilder::kWriteChunkBytes) {
             status = flush();
@@ -404,7 +564,7 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
     WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
         *bucket.value,
         Extent{region.offset + bucket.target_offset, bucket.source.length},
-        bucket.count, bucket.capacity));
+        bucket.count, bucket.capacity, bucket.crc));
   }
   clone->time_set_ = time_set_;
   clone->packed_ = packed_;

@@ -34,12 +34,37 @@ namespace wavekit {
 /// Visitor for scans; called once per live entry.
 using EntryCallback = std::function<void(const Value&, const Entry&)>;
 
+/// \brief Shared integrity counters, bumped by checksum verification and
+/// quarantine across all constituents wired to the same instance (the
+/// serving stack owns one and exports it as wavekit_* metrics). All fields
+/// are relaxed atomics: counts only, no ordering.
+struct IntegrityStats {
+  /// Buckets whose checksum was verified on a read path.
+  std::atomic<uint64_t> verified_buckets{0};
+  /// Buckets served wholly from verified-resident cache blocks, so batch
+  /// scans skipped re-verifying them (storage/device.h ReadBatchTracked).
+  std::atomic<uint64_t> trusted_buckets{0};
+  /// Checksum mismatches detected (read path or scrub).
+  std::atomic<uint64_t> corruptions_detected{0};
+  /// Constituents quarantined because of a checksum mismatch.
+  std::atomic<uint64_t> quarantines{0};
+};
+
 /// \brief One constituent index over a cluster of days.
 class ConstituentIndex {
  public:
   struct Options {
     DirectoryKind directory = DirectoryKind::kHash;
     GrowthPolicy growth;
+    /// When true (the default), every read path recomputes each bucket's
+    /// CRC-32C over the bytes the device returned and compares it to the
+    /// directory's BucketInfo::crc before delivering entries; a mismatch
+    /// quarantines the constituent and fails with Status::DataLoss.
+    /// Checksums are *maintained* regardless, so flipping this off (the
+    /// integrity-overhead benchmark's baseline) only skips verification.
+    bool verify_checksums = true;
+    /// Optional shared counters; may be null. Must outlive the index.
+    IntegrityStats* integrity = nullptr;
   };
 
   /// Creates an empty index. `device` and `allocator` must outlive it.
@@ -76,6 +101,19 @@ class ConstituentIndex {
   void set_healthy(bool healthy) {
     healthy_.store(healthy, std::memory_order_relaxed);
   }
+
+  /// True when the constituent was quarantined after a checksum mismatch
+  /// (read path, scrub, or recovery revalidation). A corrupt constituent is
+  /// always unhealthy; unlike a transiently-unhealthy one, retrying its I/O
+  /// never helps — it must be rebuilt from segment data (self-healing,
+  /// wave/scheme.h HealUnhealthy).
+  bool corrupt() const { return corrupt_.load(std::memory_order_relaxed); }
+
+  /// Quarantines the constituent: marks it corrupt and unhealthy and bumps
+  /// the integrity counters. Const because corruption is detected on const
+  /// read paths; the flags are the only mutable state touched. Idempotent
+  /// (counters bump once).
+  void Quarantine() const;
 
   /// Device bytes reserved by this index (sum of bucket capacities).
   uint64_t allocated_bytes() const { return allocated_bytes_; }
@@ -136,9 +174,10 @@ class ConstituentIndex {
   Status DeleteDays(const TimeSet& days);
 
   /// Installs a pre-written bucket (used by the packed builder and packed
-  /// shadow updater). The extent must already contain `count` entries.
+  /// shadow updater). The extent must already contain `count` entries whose
+  /// bytes checksum to `crc` (CRC-32C of the live prefix).
   Status InstallBucket(const Value& value, const Extent& extent,
-                       uint32_t count, uint32_t capacity);
+                       uint32_t count, uint32_t capacity, uint32_t crc);
 
   // --- Whole-index operations -------------------------------------------------
 
@@ -178,10 +217,21 @@ class ConstituentIndex {
       Device* device, ExtentAllocator* allocator, std::string name,
       const ParallelContext& parallel) const;
 
-  Status ReadBucketEntries(const BucketInfo& info,
+  Status ReadBucketEntries(const Value& value, const BucketInfo& info,
                            std::vector<Entry>* out) const;
   Status WriteEntriesAt(uint64_t offset, std::span<const Entry> entries);
   Status RemoveValue(const Value& value);
+
+  /// Verifies `info.crc` against the live-prefix bytes just read for
+  /// `value`'s bucket. OK when verification is disabled; on mismatch
+  /// quarantines the constituent and returns DataLoss.
+  Status VerifyBucketBytes(const Value& value, const BucketInfo& info,
+                           const std::byte* bytes) const;
+  /// VerifyBucketBytes without the per-bucket verified_buckets accounting —
+  /// batch read paths verify thousands of buckets per flush and charge the
+  /// stats atomic once instead of per bucket.
+  Status CheckBucketBytes(const Value& value, const BucketInfo& info,
+                          const std::byte* bytes) const;
 
   Device* device_;
   ExtentAllocator* allocator_;
@@ -190,7 +240,9 @@ class ConstituentIndex {
   std::unique_ptr<Directory> directory_;
   std::vector<Value> layout_order_;
   TimeSet time_set_;
-  std::atomic<bool> healthy_{true};
+  /// Mutable: corruption is detected (and must quarantine) on const reads.
+  mutable std::atomic<bool> healthy_{true};
+  mutable std::atomic<bool> corrupt_{false};
   bool packed_ = false;
   uint64_t entry_count_ = 0;
   uint64_t allocated_bytes_ = 0;

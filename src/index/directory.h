@@ -22,11 +22,17 @@ namespace wavekit {
 /// \brief Location and occupancy of one value's bucket on the device.
 ///
 /// `capacity` is the number of entry slots the extent can hold; `count` is
-/// how many are live. A packed bucket has count == capacity.
+/// how many are live. A packed bucket has count == capacity. `crc` is the
+/// CRC-32C (util/crc32c.h) of the live prefix — the first count * kEntrySize
+/// bytes of the extent; slack beyond the live prefix is not covered. Every
+/// mutation primitive keeps it current, the read paths verify it, and the
+/// checkpoint persists it (the "sidecar map" lives in the directory, so
+/// verification costs no extra I/O).
 struct BucketInfo {
   Extent extent;
   uint32_t count = 0;
   uint32_t capacity = 0;
+  uint32_t crc = 0;
 
   bool operator==(const BucketInfo& other) const = default;
 };

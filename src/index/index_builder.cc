@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/crash_point.h"
+#include "util/crc32c.h"
 #include "util/macros.h"
 
 namespace wavekit {
@@ -48,7 +49,7 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedSerial(
         device->Write(cursor, std::span<const std::byte>(bytes, length)));
     WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
         value, Extent{cursor, length}, static_cast<uint32_t>(entries.size()),
-        static_cast<uint32_t>(entries.size())));
+        static_cast<uint32_t>(entries.size()), Crc32c(bytes, length)));
     cursor += length;
   }
 
@@ -140,7 +141,10 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallel(
 
   // Stage 2: each value-range partition merges its buckets (entries in chunk
   // order) into chunk-sized buffers and writes them batched. Partitions
-  // cover disjoint, precomputed regions, so the writes never overlap.
+  // cover disjoint, precomputed regions, so the writes never overlap. Bucket
+  // checksums fall out of the merge (each task fills a disjoint slice):
+  // chunk order == batch order, so they equal the serial build's.
+  std::vector<uint32_t> crcs(values.size(), 0);
   const size_t value_parts = parallel.Partitions(values.size());
   std::vector<Status> write_status(std::max<size_t>(value_parts, 1),
                                    Status::OK());
@@ -174,6 +178,8 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallel(
                 reinterpret_cast<const std::byte*>(it->second.data());
             buffer.insert(buffer.end(), bytes,
                           bytes + it->second.size() * kEntrySize);
+            crcs[i] = Crc32cExtend(crcs[i], bytes,
+                                   it->second.size() * kEntrySize);
           }
           if (buffer.size() >= IndexBuilder::kWriteChunkBytes) {
             status = flush();
@@ -203,7 +209,8 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallel(
     WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
         values[i],
         Extent{region.offset + bucket_starts[i], counts[i] * kEntrySize},
-        static_cast<uint32_t>(counts[i]), static_cast<uint32_t>(counts[i])));
+        static_cast<uint32_t>(counts[i]), static_cast<uint32_t>(counts[i]),
+        crcs[i]));
   }
 
   for (const DayBatch* batch : batches) {

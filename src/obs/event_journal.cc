@@ -58,6 +58,18 @@ const char* EventTypeName(EventType type) {
       return "recovery_roll_back";
     case EventType::kServiceStart:
       return "service_start";
+    case EventType::kScrubStart:
+      return "scrub_start";
+    case EventType::kScrubComplete:
+      return "scrub_complete";
+    case EventType::kCorruptionDetected:
+      return "corruption_detected";
+    case EventType::kQuarantine:
+      return "quarantine";
+    case EventType::kHealStart:
+      return "heal_start";
+    case EventType::kHealComplete:
+      return "heal_complete";
   }
   return "?";
 }

@@ -42,6 +42,12 @@ enum class EventType {
   kRecoveryRollForward, ///< Restart recovery kept an interrupted transition.
   kRecoveryRollBack,    ///< Restart recovery discarded an interrupted one.
   kServiceStart,        ///< A serving process started (Start() succeeded).
+  kScrubStart,          ///< A background scrub pass over live extents began.
+  kScrubComplete,       ///< The scrub pass finished (fields: extents, bytes).
+  kCorruptionDetected,  ///< A bucket failed checksum verification.
+  kQuarantine,          ///< A corrupt constituent was taken out of serving.
+  kHealStart,           ///< Online rebuild of a quarantined constituent began.
+  kHealComplete,        ///< The rebuilt constituent was swapped back in.
 };
 
 const char* EventTypeName(EventType type);

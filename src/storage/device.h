@@ -69,6 +69,35 @@ class Device {
   virtual Status WriteBatch(std::span<const Extent> extents,
                             std::span<const std::byte> data);
 
+  /// ReadBatch with verified-residency tracking, for checksumming readers
+  /// that verify bytes at the trust boundary — the backing medium — rather
+  /// than on every logical read. On return `*all_trusted` is true only when
+  /// EVERY byte was served from cache blocks previously promoted by
+  /// MarkVerified (so each byte was checksum-verified since it last crossed
+  /// the medium boundary, and the caller may skip re-verifying the batch);
+  /// `*fill_token` receives an opaque token to pass back to MarkVerified.
+  /// The default — correct for every device that reads the medium directly —
+  /// reports nothing as trusted, so callers always verify.
+  virtual Status ReadBatchTracked(std::span<const Extent> extents,
+                                  std::span<std::byte> out, bool* all_trusted,
+                                  uint64_t* fill_token) {
+    *all_trusted = false;
+    *fill_token = 0;
+    return ReadBatch(extents, out);
+  }
+
+  /// Records that the caller checksum-verified every byte of `extents` as
+  /// read by the ReadBatchTracked call that returned `fill_token`. Caching
+  /// devices use this to mark exactly those bytes of still-resident blocks
+  /// as trusted; blocks (re)filled after the token was issued are never
+  /// promoted, so a concurrent refill cannot launder unverified medium bytes
+  /// into the trusted set. No-op by default.
+  virtual void MarkVerified(std::span<const Extent> extents,
+                            uint64_t fill_token) {
+    (void)extents;
+    (void)fill_token;
+  }
+
   /// Flushes all written data to stable storage. A no-op (OK) for volatile
   /// devices; durable backends (storage/file_device.h and friends) override
   /// it, and decorators forward it, so the durable-maintenance checkpoint

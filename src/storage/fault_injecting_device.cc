@@ -1,6 +1,8 @@
 #include "storage/fault_injecting_device.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "util/crash_point.h"
 #include "util/macros.h"
@@ -31,7 +33,26 @@ Status FaultInjectingDevice::Read(uint64_t offset, std::span<std::byte> out) {
     return Status::IOError("injected transient read error at offset " +
                            std::to_string(offset));
   }
-  return inner_->Read(offset, out);
+  // Silent-corruption modes: each rolls the RNG only when enabled, so
+  // arming one never shifts the replay stream of a scenario that predates
+  // it. Misdirection replaces the source offset; a bit flip corrupts the
+  // returned buffer after a correct transfer.
+  if (options_.misdirected_read_rate > 0 && !out.empty() &&
+      out.size() <= inner_->capacity() &&
+      rng_.Bernoulli(options_.misdirected_read_rate)) {
+    ++stats_.misdirected_reads;
+    const uint64_t wrong =
+        rng_.Uniform(inner_->capacity() - out.size() + 1);
+    return inner_->Read(wrong, out);
+  }
+  WAVEKIT_RETURN_NOT_OK(inner_->Read(offset, out));
+  if (options_.bit_flip_read_rate > 0 && !out.empty() &&
+      rng_.Bernoulli(options_.bit_flip_read_rate)) {
+    ++stats_.bit_flip_reads;
+    const uint64_t bit = rng_.Uniform(out.size() * 8);
+    out[static_cast<size_t>(bit / 8)] ^= std::byte{1} << (bit % 8);
+  }
+  return Status::OK();
 }
 
 Status FaultInjectingDevice::Write(uint64_t offset,
@@ -58,6 +79,12 @@ Status FaultInjectingDevice::Write(uint64_t offset,
     return Status::IOError("bad device range: write at offset " +
                            std::to_string(offset));
   }
+  if (write_budget_ == 0) {
+    ++stats_.budget_rejected_writes;
+    return Status::ResourceExhausted(
+        "injected disk full: no space left on device (write at offset " +
+        std::to_string(offset) + ")");
+  }
   if (options_.write_error_rate > 0 &&
       rng_.Bernoulli(options_.write_error_rate)) {
     ++stats_.injected_write_errors;
@@ -72,7 +99,51 @@ Status FaultInjectingDevice::Write(uint64_t offset,
     return Status::IOError("injected transient write error at offset " +
                            std::to_string(offset));
   }
+  // Silent write corruption: a lost write acknowledges without persisting;
+  // a bit-flip write persists a copy with one bit wrong. Each rolls the RNG
+  // only when enabled (replay-stream stability).
+  if (options_.lost_write_rate > 0 &&
+      rng_.Bernoulli(options_.lost_write_rate)) {
+    ++stats_.lost_writes;
+    if (write_budget_ > 0) --write_budget_;
+    return Status::OK();
+  }
+  if (options_.bit_flip_write_rate > 0 && !data.empty() &&
+      rng_.Bernoulli(options_.bit_flip_write_rate)) {
+    ++stats_.bit_flip_writes;
+    std::vector<std::byte> corrupt(data.begin(), data.end());
+    const uint64_t bit = rng_.Uniform(corrupt.size() * 8);
+    corrupt[static_cast<size_t>(bit / 8)] ^= std::byte{1} << (bit % 8);
+    if (write_budget_ > 0) --write_budget_;
+    return inner_->Write(offset, corrupt);
+  }
+  if (write_budget_ > 0) --write_budget_;
   return inner_->Write(offset, data);
+}
+
+Status FaultInjectingDevice::CorruptRange(const Extent& extent, uint64_t salt,
+                                          int bits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (extent.length == 0 || bits <= 0) {
+    return Status::InvalidArgument("CorruptRange needs a non-empty extent");
+  }
+  // A private stream derived from (device seed, salt): deterministic for
+  // the episode, independent of the main fault stream.
+  Rng local = Rng(options_.seed).Fork(salt);
+  std::vector<std::byte> bytes(static_cast<size_t>(extent.length));
+  WAVEKIT_RETURN_NOT_OK(inner_->Read(extent.offset, bytes));
+  // Distinct positions, so an even flip count can never cancel out and
+  // leave the range unchanged (the scenarios assert corruption happened).
+  std::vector<uint64_t> flipped;
+  for (int i = 0; i < bits; ++i) {
+    uint64_t bit = local.Uniform(extent.length * 8);
+    while (std::find(flipped.begin(), flipped.end(), bit) != flipped.end()) {
+      bit = (bit + 1) % (extent.length * 8);
+    }
+    flipped.push_back(bit);
+    bytes[static_cast<size_t>(bit / 8)] ^= std::byte{1} << (bit % 8);
+  }
+  return inner_->Write(extent.offset, bytes);
 }
 
 Status FaultInjectingDevice::Sync() {
@@ -89,6 +160,36 @@ void FaultInjectingDevice::set_read_error_rate(double rate) {
 void FaultInjectingDevice::set_write_error_rate(double rate) {
   std::lock_guard<std::mutex> lock(mutex_);
   options_.write_error_rate = rate;
+}
+
+void FaultInjectingDevice::set_bit_flip_read_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.bit_flip_read_rate = rate;
+}
+
+void FaultInjectingDevice::set_bit_flip_write_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.bit_flip_write_rate = rate;
+}
+
+void FaultInjectingDevice::set_lost_write_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.lost_write_rate = rate;
+}
+
+void FaultInjectingDevice::set_misdirected_read_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.misdirected_read_rate = rate;
+}
+
+void FaultInjectingDevice::SetWriteBudget(uint64_t writes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_budget_ = static_cast<int64_t>(writes);
+}
+
+void FaultInjectingDevice::ClearWriteBudget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_budget_ = -1;
 }
 
 void FaultInjectingDevice::AddBadRange(const Extent& extent) {

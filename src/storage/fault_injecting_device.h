@@ -3,10 +3,19 @@
 // Wraps any Device and injects, under seeded pseudo-random control:
 //   - transient read/write errors (IOError; a retry may succeed),
 //   - permanent bad ranges (every access failing, like a dead sector),
-//   - torn writes (a crash mid-write persists a random prefix), and
+//   - torn writes (a crash mid-write persists a random prefix),
 //   - crash-after-N-writes (the N-th write from arming "crashes the
 //     process": the triggering write is torn, and every subsequent I/O
-//     fails until ClearCrash() simulates a restart).
+//     fails until ClearCrash() simulates a restart),
+//   - SILENT corruption — the dangerous class that returns OK with wrong
+//     bytes: seeded bit flips on the read path (transient) or the write
+//     path (persisted), lost writes (the write is acknowledged but never
+//     lands, so later reads are stale), and misdirected reads (the bytes
+//     come from the wrong device offset),
+//   - targeted bit rot via CorruptRange() (deterministic in-place flips,
+//     the sim harness's bit-rot scenarios), and
+//   - a write budget modeling a full disk: once spent, every write fails
+//     with ResourceExhausted, like ENOSPC from a real filesystem.
 //
 // Everything is driven by util/random.h's Rng, so a (seed, operation
 // sequence) pair replays exactly — torture tests iterate seeds and get
@@ -42,6 +51,19 @@ class FaultInjectingDevice : public Device {
     /// When true, a failed or crashing write first persists a random prefix
     /// of the data (torn write), modeling a sector-granularity disk.
     bool torn_writes = true;
+    /// Probability that a Read succeeds but one bit of the returned buffer
+    /// is flipped (the device's copy stays intact — a transient flip in the
+    /// transfer path; only a checksum can catch it).
+    double bit_flip_read_rate = 0.0;
+    /// Probability that a Write succeeds but persists with one bit flipped
+    /// (silent media corruption at write time).
+    double bit_flip_write_rate = 0.0;
+    /// Probability that a Write is acknowledged but never persisted, so
+    /// later reads of the range return stale bytes.
+    double lost_write_rate = 0.0;
+    /// Probability that a Read returns the right number of bytes from the
+    /// WRONG (seeded-random) device offset — firmware misdirection.
+    double misdirected_read_rate = 0.0;
   };
 
   struct Stats {
@@ -51,6 +73,11 @@ class FaultInjectingDevice : public Device {
     uint64_t injected_write_errors = 0;
     uint64_t torn_writes = 0;
     uint64_t crashes = 0;
+    uint64_t bit_flip_reads = 0;
+    uint64_t bit_flip_writes = 0;
+    uint64_t lost_writes = 0;
+    uint64_t misdirected_reads = 0;
+    uint64_t budget_rejected_writes = 0;  ///< Writes failed for "disk full".
   };
 
   /// `inner` must outlive this device.
@@ -74,6 +101,24 @@ class FaultInjectingDevice : public Device {
   /// specific transition).
   void set_read_error_rate(double rate);
   void set_write_error_rate(double rate);
+  void set_bit_flip_read_rate(double rate);
+  void set_bit_flip_write_rate(double rate);
+  void set_lost_write_rate(double rate);
+  void set_misdirected_read_rate(double rate);
+
+  /// Deterministic targeted bit rot: flips `bits` distinct-ish bit positions
+  /// (derived from the device seed and `salt`, not from the main fault
+  /// stream — arming this never shifts other injected faults) within
+  /// `extent` directly on the inner device. The next read of the range
+  /// returns the corrupt bytes with OK status.
+  Status CorruptRange(const Extent& extent, uint64_t salt, int bits = 1);
+
+  /// Caps the number of further successful writes at `writes`; once spent,
+  /// every write fails with ResourceExhausted("injected disk full...") and
+  /// persists nothing — the ENOSPC model for disk-full tests. No RNG is
+  /// consumed, so arming a budget never shifts the fault stream.
+  void SetWriteBudget(uint64_t writes);
+  void ClearWriteBudget();
 
   /// Marks `extent` permanently bad: every Read or Write touching it fails
   /// (non-transient — retrying never helps).
@@ -104,6 +149,7 @@ class FaultInjectingDevice : public Device {
   std::vector<Extent> bad_ranges_;
   uint64_t crash_countdown_ = 0;  // 0 = disarmed
   bool crashed_ = false;
+  int64_t write_budget_ = -1;  // -1 = unlimited
   Stats stats_;
 };
 

@@ -52,6 +52,19 @@ bool IsAligned(uint64_t offset, size_t length, const void* ptr) {
          reinterpret_cast<uintptr_t>(ptr) % kDirectIoAlignment == 0;
 }
 
+/// errno -> Status for the syscall paths. Disk full (ENOSPC/EDQUOT) becomes
+/// ResourceExhausted — an operational condition retry policies must not
+/// treat as a transient fault; everything else stays IOError.
+Status PosixError(const std::string& what, const std::string& path) {
+  const int err = errno;
+  const std::string message =
+      what + " '" + path + "': " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::IOError(message);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
@@ -114,7 +127,7 @@ Status FileDevice::PlainRead(uint64_t offset, std::span<std::byte> out) {
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pread '" + path_ + "': " + std::strerror(errno));
+      return PosixError("pread", path_);
     }
     if (n == 0) {
       // Past EOF of a sparse file: unwritten bytes read as zero.
@@ -133,7 +146,7 @@ Status FileDevice::PlainWrite(uint64_t offset, std::span<const std::byte> data) 
                                static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pwrite '" + path_ + "': " + std::strerror(errno));
+      return PosixError("pwrite", path_);
     }
     done += static_cast<size_t>(n);
   }
@@ -147,8 +160,7 @@ Status FileDevice::AlignedRead(uint64_t offset, std::byte* out, size_t length) {
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pread(direct) '" + path_ + "': " +
-                             std::strerror(errno));
+      return PosixError("pread(direct)", path_);
     }
     if (n == 0) {
       std::memset(out + done, 0, length - done);
@@ -198,8 +210,7 @@ Status FileDevice::DirectWrite(uint64_t offset,
                                static_cast<off_t>(start + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pwrite(direct) '" + path_ + "': " +
-                             std::strerror(errno));
+      return PosixError("pwrite(direct)", path_);
     }
     done += static_cast<size_t>(n);
   }
@@ -292,8 +303,7 @@ Status FileDevice::ReadBatch(std::span<const Extent> extents,
                                  static_cast<off_t>(pos));
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError("preadv '" + path_ + "': " +
-                               std::strerror(errno));
+        return PosixError("preadv", path_);
       }
       if (n == 0) {
         // Past EOF: zero-fill everything left in this run.
@@ -413,8 +423,7 @@ Status FileDevice::WriteBatch(std::span<const Extent> extents,
                                   static_cast<off_t>(pos));
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError("pwritev '" + path_ + "': " +
-                               std::strerror(errno));
+        return PosixError("pwritev", path_);
       }
       pos += static_cast<uint64_t>(n);
       size_t advanced = static_cast<size_t>(n);
@@ -437,8 +446,7 @@ Status FileDevice::WriteBatch(std::span<const Extent> extents,
 
 Status FileDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
-    return Status::IOError("fdatasync '" + path_ + "': " +
-                           std::strerror(errno));
+    return PosixError("fdatasync", path_);
   }
   return Status::OK();
 }

@@ -7,6 +7,50 @@
 
 namespace wavekit {
 
+namespace {
+
+/// True when every bit of [begin, end) is set. An empty bitmap (never
+/// promoted) counts as all-clear. Word-masked so a whole-block check is a
+/// few dozen word compares, not thousands of bit tests.
+bool BitsAllSet(const std::vector<uint64_t>& bits, uint64_t begin,
+                uint64_t end) {
+  if (begin >= end) return true;
+  if (bits.empty()) return false;
+  const size_t first_word = static_cast<size_t>(begin >> 6);
+  const size_t last_word = static_cast<size_t>((end - 1) >> 6);
+  const uint64_t head = ~uint64_t{0} << (begin & 63);
+  const uint64_t tail = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    const uint64_t mask = head & tail;
+    return (bits[first_word] & mask) == mask;
+  }
+  if ((bits[first_word] & head) != head) return false;
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    if (~bits[w] != 0) return false;
+  }
+  return (bits[last_word] & tail) == tail;
+}
+
+/// Sets every bit of [begin, end). The bitmap must already be sized.
+void SetBits(std::vector<uint64_t>& bits, uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  const size_t first_word = static_cast<size_t>(begin >> 6);
+  const size_t last_word = static_cast<size_t>((end - 1) >> 6);
+  const uint64_t head = ~uint64_t{0} << (begin & 63);
+  const uint64_t tail = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    bits[first_word] |= head & tail;
+    return;
+  }
+  bits[first_word] |= head;
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    bits[w] = ~uint64_t{0};
+  }
+  bits[last_word] |= tail;
+}
+
+}  // namespace
+
 ShardedCachedDevice::ShardedCachedDevice(Device* inner, size_t capacity_blocks,
                                          uint64_t block_size,
                                          size_t num_shards)
@@ -21,17 +65,23 @@ ShardedCachedDevice::ShardedCachedDevice(Device* inner, size_t capacity_blocks,
 
 Status ShardedCachedDevice::ReadThroughBlock(uint64_t block_id,
                                              uint64_t within,
-                                             std::span<std::byte> out) {
+                                             std::span<std::byte> out,
+                                             bool* trusted_accum) {
   Shard& shard = ShardFor(block_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto hit = shard.index.find(block_id);
   if (hit != shard.index.end()) {
     ++shard.stats.hits;
+    if (trusted_accum != nullptr &&
+        !BitsAllSet(hit->second->trusted, within, within + out.size())) {
+      *trusted_accum = false;
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);  // MRU
     std::memcpy(out.data(), hit->second->bytes.data() + within, out.size());
     return Status::OK();
   }
   ++shard.stats.misses;
+  if (trusted_accum != nullptr) *trusted_accum = false;
   // Load from the device. The final block of the address range may be
   // partial; clamp the read and zero-fill the tail. Holding the shard lock
   // during the load serializes misses WITHIN one shard only; accesses to the
@@ -39,6 +89,7 @@ Status ShardedCachedDevice::ReadThroughBlock(uint64_t block_id,
   CachedBlock block;
   block.block_id = block_id;
   block.bytes.assign(static_cast<size_t>(block_size_), std::byte{0});
+  block.fill_gen = fill_counter_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t offset = block_id * block_size_;
   const uint64_t readable =
       std::min<uint64_t>(block_size_, inner_->capacity() - offset);
@@ -103,6 +154,9 @@ void ShardedCachedDevice::PatchCache(uint64_t offset,
       auto cached = shard.index.find(block_id);
       if (cached != shard.index.end()) {
         if (written_ok) {
+          // Trusted ranges are kept: the patched bytes are writer-authored
+          // (just accepted by the device), so the cached copy still equals
+          // what a verified medium read would return.
           std::memcpy(cached->second->bytes.data() + within,
                       data.data() + done, chunk);
         } else {
@@ -132,6 +186,78 @@ Status ShardedCachedDevice::WriteBatch(std::span<const Extent> extents,
     if (consumed >= data.size()) break;
   }
   return written;
+}
+
+Status ShardedCachedDevice::ReadBatchTracked(std::span<const Extent> extents,
+                                             std::span<std::byte> out,
+                                             bool* all_trusted,
+                                             uint64_t* fill_token) {
+  // The token is sampled BEFORE any block of this batch is (re)filled, so
+  // MarkVerified can tell this call's own fills — and any concurrent
+  // refill — apart from blocks that were already resident when the caller's
+  // verification pass read them.
+  *fill_token = fill_counter_.load(std::memory_order_relaxed);
+  *all_trusted = true;
+  size_t done = 0;
+  for (const Extent& extent : extents) {
+    if (extent.length > out.size() - done) {
+      return Status::InvalidArgument(
+          "ReadBatch output buffer smaller than the sum of extent lengths");
+    }
+    uint64_t offset = extent.offset;
+    uint64_t remaining = extent.length;
+    if (offset > capacity() || remaining > capacity() - offset) {
+      return Status::OutOfRange("sharded cached device read out of range");
+    }
+    while (remaining > 0) {
+      const uint64_t block_id = offset / block_size_;
+      const uint64_t within = offset % block_size_;
+      const size_t chunk =
+          static_cast<size_t>(std::min<uint64_t>(block_size_ - within,
+                                                 remaining));
+      WAVEKIT_RETURN_NOT_OK(ReadThroughBlock(
+          block_id, within, out.subspan(done, chunk), all_trusted));
+      offset += chunk;
+      remaining -= chunk;
+      done += chunk;
+    }
+  }
+  if (done != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatch output buffer larger than the sum of extent lengths");
+  }
+  return Status::OK();
+}
+
+void ShardedCachedDevice::MarkVerified(std::span<const Extent> extents,
+                                       uint64_t fill_token) {
+  const size_t words = static_cast<size_t>((block_size_ + 63) / 64);
+  for (const Extent& extent : extents) {
+    if (extent.empty()) continue;
+    // Mark, in each overlapped block, exactly the bytes this extent
+    // verified. A partially covered block holds neighbour bytes the caller
+    // never checksummed; their bits stay clear.
+    const uint64_t first_block = extent.offset / block_size_;
+    const uint64_t last_block = (extent.end() - 1) / block_size_;  // inclusive
+    for (uint64_t block_id = first_block; block_id <= last_block; ++block_id) {
+      const uint64_t block_start = block_id * block_size_;
+      const uint64_t seg_begin =
+          std::max(extent.offset, block_start) - block_start;
+      const uint64_t seg_end =
+          std::min<uint64_t>(extent.end(), block_start + block_size_) -
+          block_start;
+      Shard& shard = ShardFor(block_id);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto cached = shard.index.find(block_id);
+      if (cached == shard.index.end() ||
+          cached->second->fill_gen >= fill_token) {
+        continue;
+      }
+      CachedBlock& block = *cached->second;
+      if (block.trusted.empty()) block.trusted.assign(words, 0);
+      SetBits(block.trusted, seg_begin, seg_end);
+    }
+  }
 }
 
 CacheStats ShardedCachedDevice::stats() const {

@@ -17,6 +17,7 @@
 #ifndef WAVEKIT_STORAGE_SHARDED_CACHED_DEVICE_H_
 #define WAVEKIT_STORAGE_SHARDED_CACHED_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -53,6 +54,24 @@ class ShardedCachedDevice : public Device {
   // Write-through cache: the inner device holds every byte, so Sync forwards.
   Status Sync() override { return inner_->Sync(); }
 
+  /// Verified-residency tracking (see storage/device.h): blocks enter the
+  /// cache untrusted; MarkVerified records, per still-resident block that was
+  /// filled BEFORE the tracking read began (block.fill_gen < fill_token),
+  /// exactly the bytes the verified extents cover — a byte-granular bitmap,
+  /// not a whole-block bit, because bucket extents are byte-granular and
+  /// live prefixes are separated by slack, so whole-block (or single-range)
+  /// trust would leave most blocks permanently untrusted. A batch reports
+  /// all_trusted only when every byte it read is marked trusted. Because a
+  /// call's own fills carry generations >= its token, promotion needs two
+  /// verified passes: the first verifies the freshly filled bytes, the
+  /// second (an all-hit pass over unchanged blocks) promotes — and any block
+  /// refilled concurrently mid-pass is left untrusted.
+  Status ReadBatchTracked(std::span<const Extent> extents,
+                          std::span<std::byte> out, bool* all_trusted,
+                          uint64_t* fill_token) override;
+  void MarkVerified(std::span<const Extent> extents,
+                    uint64_t fill_token) override;
+
   /// Aggregated counters over all shards (each shard sampled under its own
   /// lock; the sum is a consistent-enough snapshot under concurrency).
   CacheStats stats() const;
@@ -79,6 +98,13 @@ class ShardedCachedDevice : public Device {
   struct CachedBlock {
     uint64_t block_id;
     std::vector<std::byte> bytes;
+    // Verified-residency state: the fill generation (from fill_counter_)
+    // stamped when the block was loaded, and one bit per block byte set
+    // once checksum verification has covered that byte since the fill.
+    // Lazily sized on first MarkVerified (empty = nothing trusted), so
+    // blocks that never serve a checksumming reader pay nothing.
+    uint64_t fill_gen = 0;
+    std::vector<uint64_t> trusted;
   };
   using LruList = std::list<CachedBlock>;
 
@@ -95,9 +121,12 @@ class ShardedCachedDevice : public Device {
 
   // Copies bytes [within, within + n) of `block_id` into `out`, loading the
   // block on miss. The copy happens under the shard lock so eviction or a
-  // concurrent write-through cannot tear it.
+  // concurrent write-through cannot tear it. When `trusted_accum` is
+  // non-null it is cleared unless every requested byte is marked trusted (a
+  // miss counts as untrusted).
   Status ReadThroughBlock(uint64_t block_id, uint64_t within,
-                          std::span<std::byte> out);
+                          std::span<std::byte> out,
+                          bool* trusted_accum = nullptr);
 
   // Patches cached blocks overlapping [offset, offset+data.size()) under
   // their shard locks after a device write, or evicts them when the write
@@ -110,6 +139,9 @@ class ShardedCachedDevice : public Device {
   uint64_t block_size_;
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
+  // Monotone count of block fills, stamped into CachedBlock::fill_gen so
+  // MarkVerified can reject blocks filled after its token was issued.
+  std::atomic<uint64_t> fill_counter_{1};
 };
 
 }  // namespace wavekit

@@ -34,6 +34,11 @@ std::string FaultEvent::ToString() const {
     case Kind::kDeviceCrash:
       return "day=" + std::to_string(day) +
              " device_crash_after_writes=" + std::to_string(countdown);
+    case Kind::kBitRot:
+      return "day=" + std::to_string(day) +
+             " bit_rot target=" + std::to_string(target) +
+             " bits=" + std::to_string(bits) +
+             (detect_via_scrub ? " detect=scrub" : " detect=query");
   }
   return "?";
 }
@@ -106,6 +111,39 @@ Scenario ScenarioGenerator::Generate(uint64_t episode) const {
     }
     s.faults.push_back(std::move(fault));
   }
+  return s;
+}
+
+Scenario ScenarioGenerator::GenerateBitRot(uint64_t episode) const {
+  Scenario s = Generate(episode);
+  // Pure-corruption family: no crashes, no transient errors. Every day's
+  // transition commits cleanly, then the medium rots under it. Mixing rot
+  // with crash/retry faults would make "healed within the episode" ambiguous
+  // (a crash can legitimately outrun the heal), so those axes stay separate.
+  s.faults.clear();
+  s.read_error_rate = 0.0;
+  s.write_error_rate = 0.0;
+  s.retry_attempts = 1;
+  // A stream of its own — offset far past any episode index so it can never
+  // collide with the Fork(episode) stream Generate() draws from. Keeping
+  // Generate() untouched keeps every existing episode trace byte-identical.
+  Rng rot = Rng(seed_).Fork((uint64_t{1} << 40) + episode);
+  const int strikes = 1 + static_cast<int>(rot.Uniform(3));  // 1..3
+  for (int i = 0; i < strikes; ++i) {
+    FaultEvent fault;
+    fault.kind = FaultEvent::Kind::kBitRot;
+    fault.day = static_cast<Day>(s.window) + 1 +
+                static_cast<Day>(rot.Uniform(static_cast<uint64_t>(s.days)));
+    fault.target = rot.Next();
+    fault.bits = 1 + static_cast<int>(rot.Uniform(3));  // 1..3 flipped bits
+    fault.detect_via_scrub = rot.Bernoulli(0.5);
+    s.faults.push_back(std::move(fault));
+  }
+  // Deterministic handling order when two strikes land on the same day.
+  std::stable_sort(s.faults.begin(), s.faults.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.day < b.day;
+                   });
   return s;
 }
 

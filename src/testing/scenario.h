@@ -29,12 +29,20 @@ struct FaultEvent {
     kCrashPoint,
     /// Arm FaultInjectingDevice::ArmCrashAfterWrites before the AdvanceDay.
     kDeviceCrash,
+    /// After the day's AdvanceDay commits, flip bits in one live bucket
+    /// extent (silent corruption: the write succeeded long ago, the medium
+    /// rotted). The harness then proves detection (scrub or read path),
+    /// quarantine, and online heal, all inside the episode.
+    kBitRot,
   };
 
   Day day = 0;
   Kind kind = Kind::kCrashPoint;
   std::string crash_point;  ///< kCrashPoint: which named point to arm.
   uint64_t countdown = 1;   ///< kDeviceCrash: writes until the crash fires.
+  uint64_t target = 0;      ///< kBitRot: constituent/bucket selector + salt.
+  int bits = 1;             ///< kBitRot: distinct bit positions to flip.
+  bool detect_via_scrub = true;  ///< kBitRot: scrub pass vs. query path.
 
   std::string ToString() const;
 };
@@ -85,6 +93,14 @@ class ScenarioGenerator {
 
   /// The scenario of episode `episode`.
   Scenario Generate(uint64_t episode) const;
+
+  /// The bit-rot variant of episode `episode`: the same base scenario (same
+  /// workload, geometry and query mix — drawn from the identical stream, so
+  /// Generate(e) stays byte-for-byte what it always was) with crash faults
+  /// and transient-error rates cleared, and 1..3 kBitRot events appended
+  /// from an independently forked stream. Pure corruption episodes: every
+  /// day commits, then rot strikes and must be detected + healed.
+  Scenario GenerateBitRot(uint64_t episode) const;
 
   uint64_t seed() const { return seed_; }
 

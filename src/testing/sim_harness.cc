@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "wave/checkpoint.h"
 #include "wave/recovery.h"
 #include "wave/scheme_factory.h"
+#include "wave/scrubber.h"
 
 namespace wavekit {
 namespace testing {
@@ -234,6 +237,161 @@ Status VerifyDay(const Scheme& scheme, const Scenario& scenario, Day day,
   return Status::OK();
 }
 
+// Multiset-inclusion check: every entry the wave delivered must exist in the
+// oracle's answer. Degraded (post-corruption) answers may be incomplete —
+// they must never be WRONG. Field-keyed (not sort-order-dependent) so it
+// cannot be fooled by a bit flip that lands inside a key.
+Status CheckSubsetOfOracle(const std::vector<Entry>& got,
+                           const std::vector<Entry>& want, Day day,
+                           const char* what) {
+  std::map<std::tuple<uint64_t, Day, uint32_t>, int> counts;
+  for (const Entry& e : want) ++counts[{e.record_id, e.day, e.aux}];
+  for (const Entry& e : got) {
+    auto it = counts.find({e.record_id, e.day, e.aux});
+    if (it == counts.end() || it->second == 0) {
+      return Status::Internal(
+          std::string("corrupt data served: ") + what + " at day " +
+          std::to_string(day) + " returned entry (" +
+          std::to_string(e.record_id) + "," + std::to_string(e.day) + "," +
+          std::to_string(e.aux) + ") the oracle does not have");
+    }
+    --it->second;
+  }
+  return Status::OK();
+}
+
+// One kBitRot strike against a committed day: flip bits in one live bucket
+// extent, prove the corruption is DETECTED (scrub pass or query path, per
+// the fault), that the wave never serves a wrong entry while degraded, then
+// heal online through the durable protocol and prove the wave is whole
+// again. The caller's VerifyDay afterwards re-asserts exact oracle equality.
+Status RunBitRot(const FaultEvent& fault, Incarnation* inc,
+                 FaultInjectingDevice* faulty, const Scenario& scenario,
+                 Day day, const OracleDB& oracle, obs::EventJournal* events,
+                 std::string* trace) {
+  const WaveIndex& wave = inc->scheme->wave();
+  const size_t n = wave.num_constituents();
+  if (n == 0) return Status::Internal("bit rot scheduled on an empty wave");
+
+  // Deterministic victim selection: constituent by target (linear-probing
+  // past empty ones), then one live bucket inside it.
+  const ConstituentIndex* victim = nullptr;
+  std::vector<std::pair<Value, Extent>> buckets;
+  for (size_t step = 0; step < n && victim == nullptr; ++step) {
+    const auto& candidate =
+        wave.constituents()[(fault.target + step) % n];
+    buckets.clear();
+    WAVEKIT_RETURN_NOT_OK(candidate->ForEachBucket(
+        [&](const Value& value, const BucketInfo& info) {
+          if (info.count == 0) return;
+          buckets.emplace_back(
+              value,
+              Extent{info.extent.offset, uint64_t{info.count} * kEntrySize});
+        }));
+    if (!buckets.empty()) victim = candidate.get();
+  }
+  if (victim == nullptr) {
+    // Every constituent is empty (legal for a tiny day shape): nothing to
+    // rot. Trace it so the episode stays byte-identical and explainable.
+    *trace += "day " + std::to_string(day) + " bit_rot skipped (no live buckets)\n";
+    return Status::OK();
+  }
+  const auto& [bucket_value, live] =
+      buckets[(fault.target / n) % buckets.size()];
+  WAVEKIT_RETURN_NOT_OK(faulty->CorruptRange(live, /*salt=*/fault.target,
+                                             fault.bits));
+  *trace += "day " + std::to_string(day) + " bit_rot idx=" + victim->name() +
+            " bucket=" + bucket_value +
+            " bytes=" + std::to_string(live.length) +
+            " bits=" + std::to_string(fault.bits) +
+            (fault.detect_via_scrub ? " via=scrub" : " via=query") + "\n";
+
+  // --- Detect ---------------------------------------------------------------
+  if (fault.detect_via_scrub) {
+    ScrubOptions scrub;
+    scrub.events = events;
+    scrub.day = day;
+    WAVEKIT_ASSIGN_OR_RETURN(ScrubReport report, ScrubWave(wave, scrub));
+    if (report.mismatches < 1) {
+      return Status::Internal("scrub missed injected corruption at day " +
+                              std::to_string(day) + " (verified " +
+                              std::to_string(report.buckets_verified) +
+                              " buckets)");
+    }
+  } else {
+    // Query-path detection: a full-window scan must hit the rotten bucket,
+    // fail its checksum, self-quarantine the constituent, and degrade to a
+    // PartialResult whose entries are a subset of the truth.
+    const DayRange window = DayRange::Window(day, scenario.window);
+    std::vector<Entry> got;
+    QueryStats stats;
+    Status scan = wave.TimedSegmentScan(
+        window, [&](const Value&, const Entry& e) { got.push_back(e); },
+        &stats);
+    if (!scan.ok() && !scan.IsPartialResult()) return scan;
+    if (stats.indexes_failed == 0 && stats.indexes_unhealthy == 0) {
+      return Status::Internal(
+          "query path missed injected corruption at day " +
+          std::to_string(day) + ": scan reported a fully healthy wave");
+    }
+    if (!scan.IsPartialResult()) {
+      return Status::Internal(
+          "degraded scan did not return PartialResult at day " +
+          std::to_string(day));
+    }
+    WAVEKIT_RETURN_NOT_OK(CheckSubsetOfOracle(got, oracle.ScanAll(window),
+                                              day, "degraded scan"));
+  }
+  if (!victim->corrupt() || victim->healthy()) {
+    return Status::Internal("detected corruption did not quarantine " +
+                            victim->name() + " at day " + std::to_string(day));
+  }
+
+  // Degraded probes must also stay subset-correct while the quarantine
+  // holds (the detection above may have been the scrub, which never queries).
+  for (const ProbePlan& plan : MakeScenarioProbes(scenario, day)) {
+    std::vector<Entry> got;
+    Status probed = wave.TimedIndexProbe(plan.range, plan.value, &got);
+    if (!probed.ok() && !probed.IsPartialResult()) return probed;
+    WAVEKIT_RETURN_NOT_OK(CheckSubsetOfOracle(
+        got, oracle.Probe(plan.value, plan.range), day, "degraded probe"));
+  }
+  *trace += "day " + std::to_string(day) + " quarantined=" + victim->name() +
+            "\n";
+
+  // --- Heal -----------------------------------------------------------------
+  // Re-stock the day store first: the rebuild needs the source batches of
+  // every day in the victim's time set, and maintenance may have pruned
+  // days that fell out of the window (soft-window schemes keep them
+  // indexed). The workload is a pure function of (seed, day), so this
+  // models re-fetching the segment data from the archive.
+  for (const auto& constituent : wave.constituents()) {
+    if (constituent->healthy()) continue;
+    for (Day d : constituent->time_set()) {
+      Status put = inc->day_store.Put(MakeScenarioDay(scenario, d));
+      if (!put.ok() && !put.IsAlreadyExists()) return put;
+    }
+  }
+  WAVEKIT_ASSIGN_OR_RETURN(Scheme::HealReport healed,
+                           inc->maintenance->Heal());
+  if (healed.healed < 1 || healed.skipped != 0) {
+    return Status::Internal(
+        "heal did not rebuild the quarantined constituent at day " +
+        std::to_string(day) + ": healed=" + std::to_string(healed.healed) +
+        " skipped=" + std::to_string(healed.skipped));
+  }
+  for (const auto& constituent : inc->scheme->wave().constituents()) {
+    if (!constituent->healthy()) {
+      return Status::Internal("constituent " + constituent->name() +
+                              " still unhealthy after heal at day " +
+                              std::to_string(day));
+    }
+  }
+  *trace += "day " + std::to_string(day) +
+            " healed=" + std::to_string(healed.healed) + "\n";
+  return Status::OK();
+}
+
 Status MakeSchemeIn(Incarnation* inc, SchemeKind kind,
                     const Scenario& scenario, Clock* clock,
                     obs::EventJournal* events) {
@@ -352,6 +510,9 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
       for (size_t i = 0; i < scenario.faults.size(); ++i) {
         const FaultEvent& fault = scenario.faults[i];
         if (fault.day != day || fault_consumed[i]) continue;
+        // Bit rot strikes AFTER the day commits (it corrupts data at rest,
+        // not the transition): handled in the success branch below.
+        if (fault.kind == FaultEvent::Kind::kBitRot) continue;
         fault_consumed[i] = true;
         if (fault.kind == FaultEvent::Kind::kCrashPoint) {
           CrashPoints::Arm(fault.crash_point);
@@ -378,6 +539,20 @@ Status RunScenarioImpl(SchemeKind kind, const Scenario& scenario,
     if (advanced.ok()) {
       fault_free_retry = false;
       oracle.AdvanceDay(MakeScenarioDay(scenario, day), window);
+      // Data-at-rest corruption lands on the freshly committed day:
+      // corrupt -> detect -> quarantine -> heal, and then the exact
+      // verification below must hold again on the healed wave.
+      for (size_t i = 0; i < scenario.faults.size(); ++i) {
+        const FaultEvent& fault = scenario.faults[i];
+        if (fault.day != day || fault_consumed[i] ||
+            fault.kind != FaultEvent::Kind::kBitRot) {
+          continue;
+        }
+        fault_consumed[i] = true;
+        WAVEKIT_RETURN_NOT_OK(RunBitRot(fault, inc.get(), &faulty, scenario,
+                                        day, oracle, telemetry.events.get(),
+                                        trace));
+      }
       WAVEKIT_RETURN_NOT_OK(
           VerifyDay(*inc->scheme, scenario, day, oracle, &memory, trace));
       // One simulated day elapsed: the collector's clock-driven Tick takes
@@ -519,6 +694,29 @@ EpisodeResult Simulator::RunMany(SchemeKind kind) const {
   EpisodeResult last;
   for (uint64_t e = 0; e < config_.episodes; ++e) {
     last = RunEpisode(kind, e);
+    if (!last.status.ok()) return last;
+  }
+  return last;
+}
+
+EpisodeResult Simulator::RunBitRotEpisode(SchemeKind kind,
+                                          uint64_t episode) const {
+  const ScenarioGenerator generator(config_.seed);
+  EpisodeResult result =
+      RunScenario(kind, generator.GenerateBitRot(episode),
+                  "bitrot_s" + std::to_string(config_.seed) + "_e" +
+                      std::to_string(episode));
+  result.episode = episode;
+  if (!result.status.ok()) {
+    result.repro = ReproCommand(config_.seed, kind, episode) + " --bitrot";
+  }
+  return result;
+}
+
+EpisodeResult Simulator::RunManyBitRot(SchemeKind kind) const {
+  EpisodeResult last;
+  for (uint64_t e = 0; e < config_.episodes; ++e) {
+    last = RunBitRotEpisode(kind, e);
     if (!last.status.ok()) return last;
   }
   return last;

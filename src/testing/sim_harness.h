@@ -83,6 +83,16 @@ class Simulator {
   /// the first failure, or the last (successful) episode's result.
   EpisodeResult RunMany(SchemeKind kind) const;
 
+  /// Runs the bit-rot variant of episode `episode`
+  /// (ScenarioGenerator::GenerateBitRot): silent data-at-rest corruption
+  /// after committed days, with detection (scrub or query path), quarantine,
+  /// subset-correct degraded serving, and online heal all asserted against
+  /// the oracle inside the episode.
+  EpisodeResult RunBitRotEpisode(SchemeKind kind, uint64_t episode) const;
+
+  /// RunMany over the bit-rot family.
+  EpisodeResult RunManyBitRot(SchemeKind kind) const;
+
   /// Greedily minimizes a failing scenario: truncates days, drops scheduled
   /// faults one at a time, and zeroes error rates, keeping every change that
   /// still fails, until a fixpoint (or `max_runs` re-executions).

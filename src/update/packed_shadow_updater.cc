@@ -7,6 +7,7 @@
 #include "update/in_place_updater.h"
 #include "update/simple_shadow_updater.h"
 #include "util/crash_point.h"
+#include "util/crc32c.h"
 #include "util/macros.h"
 
 namespace wavekit {
@@ -92,7 +93,7 @@ Status PackedShadowUpdater::Apply(std::shared_ptr<ConstituentIndex>* index,
           device->Write(cursor, std::span<const std::byte>(bytes, length)));
       WAVEKIT_RETURN_NOT_OK(packed->InstallBucket(
           value, Extent{cursor, length}, static_cast<uint32_t>(entries.size()),
-          static_cast<uint32_t>(entries.size())));
+          static_cast<uint32_t>(entries.size()), Crc32c(bytes, length)));
       cursor += length;
     }
   } else {
@@ -158,10 +159,12 @@ Status PackedShadowUpdater::Apply(std::shared_ptr<ConstituentIndex>* index,
     for (size_t i = 0; i < merged.size(); ++i) {
       const auto& [value, entries] = merged[i];
       if (entries.empty()) continue;
+      const auto* bytes = reinterpret_cast<const std::byte*>(entries.data());
       WAVEKIT_RETURN_NOT_OK(packed->InstallBucket(
           value, Extent{region.offset + starts[i], entries.size() * kEntrySize},
           static_cast<uint32_t>(entries.size()),
-          static_cast<uint32_t>(entries.size())));
+          static_cast<uint32_t>(entries.size()),
+          Crc32c(bytes, entries.size() * kEntrySize)));
     }
   }
 

@@ -1,0 +1,227 @@
+// CRC-32C (Castagnoli) out-of-line engines — see crc32c.h for the dispatch
+// story. The interesting piece here is the 3-way interleaved hardware loop:
+// the x86 `crc32` instruction has 3-cycle latency but 1-cycle throughput, so
+// a single serial chain runs at a third of peak. Splitting the buffer into
+// three lanes fills the pipeline; the per-lane CRCs are recombined with a
+// precomputed GF(2) "advance by N zero bytes" operator (CRC is linear over
+// GF(2), so state after A||B  ==  shift_|B|(state after A) XOR crc0(B)).
+
+#include "util/crc32c.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace wavekit {
+namespace crc32c_internal {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // reflected Castagnoli
+
+// kTables[0] is the classic byte table; kTables[k][i] advances a CRC whose
+// low byte is i through k additional zero bytes — together they let
+// slicing-by-8 consume a 64-bit word with eight independent lookups.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    tables[0][i] = crc;
+  }
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] = (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+uint32_t UpdateBytewise(uint32_t state, const unsigned char* bytes,
+                        size_t length) {
+  for (size_t i = 0; i < length; ++i) {
+    state = (state >> 8) ^ kTables[0][(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+[[maybe_unused]] uint32_t UpdateSlicing8(uint32_t state,
+                                         const unsigned char* bytes,
+                                         size_t length) {
+  while (length >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    word ^= state;
+    state = kTables[7][word & 0xFFu] ^ kTables[6][(word >> 8) & 0xFFu] ^
+            kTables[5][(word >> 16) & 0xFFu] ^
+            kTables[4][(word >> 24) & 0xFFu] ^
+            kTables[3][(word >> 32) & 0xFFu] ^
+            kTables[2][(word >> 40) & 0xFFu] ^
+            kTables[1][(word >> 48) & 0xFFu] ^
+            kTables[0][(word >> 56) & 0xFFu];
+    bytes += 8;
+    length -= 8;
+  }
+  return UpdateBytewise(state, bytes, length);
+}
+#else
+[[maybe_unused]] uint32_t UpdateSlicing8(uint32_t state,
+                                         const unsigned char* bytes,
+                                         size_t length) {
+  return UpdateBytewise(state, bytes, length);
+}
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WAVEKIT_CRC32C_X86 1
+
+// ---- GF(2) machinery for the 3-way recombine ----------------------------
+//
+// A 32x32 bit-matrix, stored as the images of the 32 basis vectors. All of
+// this runs at compile time; at runtime a recombine is eight table lookups.
+
+using Gf2Matrix = std::array<uint32_t, 32>;
+
+constexpr uint32_t Gf2Times(const Gf2Matrix& mat, uint32_t vec) {
+  uint32_t sum = 0;
+  for (int bit = 0; vec != 0; ++bit, vec >>= 1) {
+    if (vec & 1u) sum ^= mat[bit];
+  }
+  return sum;
+}
+
+constexpr Gf2Matrix Gf2Square(const Gf2Matrix& mat) {
+  Gf2Matrix squared{};
+  for (int bit = 0; bit < 32; ++bit) squared[bit] = Gf2Times(mat, mat[bit]);
+  return squared;
+}
+
+// The operator that advances a raw CRC state through ONE zero byte
+// (equivalently: eight reflected bit-steps with zero input).
+constexpr Gf2Matrix ZeroByteOperator() {
+  Gf2Matrix mat{};
+  for (int bit = 0; bit < 32; ++bit) {
+    uint32_t v = uint32_t{1} << bit;
+    for (int step = 0; step < 8; ++step) {
+      v = (v >> 1) ^ ((v & 1) ? kPolynomial : 0);
+    }
+    mat[bit] = v;
+  }
+  return mat;
+}
+
+using LaneShiftTables = std::array<std::array<uint32_t, 256>, 4>;
+
+// ZeroByteOperator() ** kLaneBytes, as 4x256 lookup tables: applying the
+// matrix to a 32-bit state is one lookup per state byte, XORed together.
+// `kLaneBytes` must be a power of two (the operator is built by repeated
+// squaring) and a multiple of 8.
+template <size_t kLaneBytes>
+constexpr LaneShiftTables MakeLaneShiftTables() {
+  Gf2Matrix mat = ZeroByteOperator();
+  for (size_t n = 1; n < kLaneBytes; n <<= 1) mat = Gf2Square(mat);
+  LaneShiftTables tables{};
+  for (size_t k = 0; k < 4; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      tables[k][b] = Gf2Times(mat, b << (8 * k));
+    }
+  }
+  return tables;
+}
+
+// Lane sizes graduated so mid-size buffers (a few hundred bytes — dense
+// postings buckets) still get three chains: a single serial chain is
+// latency-bound at a third of the instruction's throughput AND stalls
+// in-order retirement, which blocks the out-of-order overlap with the
+// caller's surrounding work that the fused scan loop relies on.
+constexpr LaneShiftTables kLaneShift1024 = MakeLaneShiftTables<1024>();
+constexpr LaneShiftTables kLaneShift256 = MakeLaneShiftTables<256>();
+constexpr LaneShiftTables kLaneShift64 = MakeLaneShiftTables<64>();
+
+// state advanced through the table's lane size in zero bytes.
+inline uint32_t ShiftLane(const LaneShiftTables& shift, uint32_t state) {
+  return shift[0][state & 0xFFu] ^ shift[1][(state >> 8) & 0xFFu] ^
+         shift[2][(state >> 16) & 0xFFu] ^ shift[3][state >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t UpdateHardware(
+    uint32_t state, const unsigned char* bytes, size_t length) {
+  uint64_t crc = state;
+  // Three independent dependency chains over three adjacent lanes, then a
+  // recombine: crc(L0||L1||L2) = shift(shift(c0) ^ c1) ^ c2, where c1 and
+  // c2 start from a zero state. Runs the largest lane size the remaining
+  // length supports, then steps down.
+  auto three_way = [&](size_t lane, const LaneShiftTables& shift) {
+    while (length >= 3 * lane) {
+      uint64_t c0 = crc;
+      uint64_t c1 = 0;
+      uint64_t c2 = 0;
+      const unsigned char* lane1 = bytes + lane;
+      const unsigned char* lane2 = bytes + 2 * lane;
+      for (size_t i = 0; i < lane; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, bytes + i, 8);
+        std::memcpy(&w1, lane1 + i, 8);
+        std::memcpy(&w2, lane2 + i, 8);
+        c0 = __builtin_ia32_crc32di(c0, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+      }
+      crc = ShiftLane(shift, ShiftLane(shift, static_cast<uint32_t>(c0)) ^
+                                 static_cast<uint32_t>(c1)) ^
+            static_cast<uint32_t>(c2);
+      bytes += 3 * lane;
+      length -= 3 * lane;
+    }
+  };
+  three_way(1024, kLaneShift1024);
+  three_way(256, kLaneShift256);
+  three_way(64, kLaneShift64);
+  while (length >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    crc = __builtin_ia32_crc32di(crc, word);
+    bytes += 8;
+    length -= 8;
+  }
+  auto crc32 = static_cast<uint32_t>(crc);
+  while (length > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *bytes);
+    ++bytes;
+    --length;
+  }
+  return crc32;
+}
+#endif  // x86-64
+
+#if !defined(__SSE4_2__)
+using UpdateFn = uint32_t (*)(uint32_t, const unsigned char*, size_t);
+
+UpdateFn PickEngine() {
+#if defined(WAVEKIT_CRC32C_X86)
+  // Built without -msse4.2: the instruction needs a runtime CPU check.
+  if (__builtin_cpu_supports("sse4.2")) return &UpdateHardware;
+#endif
+  return &UpdateSlicing8;
+}
+#endif  // !__SSE4_2__
+
+}  // namespace
+
+uint32_t UpdateOutOfLine(uint32_t state, const void* data, size_t length) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+#if defined(__SSE4_2__)
+  // The whole build targets SSE4.2 — no dispatch needed.
+  return UpdateHardware(state, bytes, length);
+#else
+  static const UpdateFn engine = PickEngine();
+  return engine(state, bytes, length);
+#endif
+}
+
+}  // namespace crc32c_internal
+}  // namespace wavekit

@@ -21,7 +21,16 @@ std::string ParentDirectory(const std::string& path) {
 }
 
 Status Errno(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+  const int err = errno;
+  const std::string message =
+      what + " '" + path + "': " + std::strerror(err);
+  // Disk full / quota exceeded is an operational condition the caller can
+  // act on (free space, stop advancing), not a generic I/O fault — surface
+  // it as ResourceExhausted so retry policies don't burn attempts on it.
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::IOError(message);
 }
 
 }  // namespace

@@ -29,6 +29,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kPartialResult:
       return "Partial result";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -30,6 +30,11 @@ enum class StatusCode : int {
   /// The operation produced usable but incomplete results (degraded-mode
   /// serving: some constituents were unhealthy or unreadable and skipped).
   kPartialResult = 10,
+  /// Stored bytes failed checksum verification: the device returned data,
+  /// but not the data that was written (bit rot, torn or misdirected I/O).
+  /// Unlike kIOError this is not transient — retrying rereads the same
+  /// corrupt bytes; the constituent must be quarantined and healed.
+  kDataLoss = 11,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode
@@ -83,6 +88,9 @@ class Status {
   static Status PartialResult(std::string msg) {
     return Status(StatusCode::kPartialResult, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -110,6 +118,7 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsPartialResult() const { return code() == StatusCode::kPartialResult; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/crc32.h"
+#include "util/crc32c.h"
 #include "util/fs.h"
 #include "util/macros.h"
 
@@ -15,15 +16,17 @@ namespace {
 // Line-oriented text format. Values are written length-prefixed so any byte
 // except '\n' is safe (and wavekit values never contain newlines):
 //
-//   wavekit-checkpoint 2
+//   wavekit-checkpoint 3
 //   constituents <n>
 //   constituent <len>:<name> packed <0|1> days <d1,d2,...> buckets <m>
-//   bucket <len>:<value> <offset> <count> <capacity>
+//   bucket <len>:<value> <offset> <count> <capacity> <crc32c>
 //   ...
 //   footer <body-length> <crc32-of-body>
 //
 // The footer covers every byte before it; it is validated (length first,
-// then CRC) before the body is parsed at all.
+// then CRC) before the body is parsed at all. Version-2 files have no
+// per-bucket <crc32c> column; loading one recomputes each checksum from the
+// bucket bytes on the device.
 
 void AppendLengthPrefixed(std::string* out, const std::string& s) {
   *out += std::to_string(s.size());
@@ -162,7 +165,8 @@ Result<std::string> SerializeCheckpoint(const WaveIndex& wave) {
           AppendLengthPrefixed(&out, value);
           out += " " + std::to_string(info.extent.offset) + " " +
                  std::to_string(info.count) + " " +
-                 std::to_string(info.capacity) + "\n";
+                 std::to_string(info.capacity) + " " +
+                 std::to_string(info.crc) + "\n";
         });
     WAVEKIT_RETURN_NOT_OK(status);
   }
@@ -182,11 +186,12 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
                                         ConstituentIndex::Options options) {
   // Header first (so a checkpoint from another format version gets a clear
   // version error, not a footer complaint), then footer integrity, then body.
+  int64_t version = 0;
   {
     Parser header(contents);
     WAVEKIT_RETURN_NOT_OK(header.Expect("wavekit-checkpoint"));
-    WAVEKIT_ASSIGN_OR_RETURN(int64_t version, header.Int());
-    if (version != kCheckpointVersion) {
+    WAVEKIT_ASSIGN_OR_RETURN(version, header.Int());
+    if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
       return Status::InvalidArgument("unsupported checkpoint version " +
                                      std::to_string(version));
     }
@@ -202,6 +207,7 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
   }
 
   WaveIndex wave;
+  std::vector<std::byte> upgrade_buffer;  // v2 crc recomputation scratch
   for (int64_t i = 0; i < num_constituents; ++i) {
     WAVEKIT_RETURN_NOT_OK(parser.Expect("constituent"));
     WAVEKIT_ASSIGN_OR_RETURN(std::string name, parser.LengthPrefixed());
@@ -220,6 +226,14 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
       WAVEKIT_ASSIGN_OR_RETURN(int64_t offset, parser.Int());
       WAVEKIT_ASSIGN_OR_RETURN(int64_t count, parser.Int());
       WAVEKIT_ASSIGN_OR_RETURN(int64_t capacity, parser.Int());
+      int64_t crc = 0;
+      if (version >= 3) {
+        WAVEKIT_ASSIGN_OR_RETURN(crc, parser.Int());
+        if (crc < 0 || crc > std::numeric_limits<uint32_t>::max()) {
+          return Status::InvalidArgument("corrupt bucket crc for '" + value +
+                                         "'");
+        }
+      }
       // Bounds before any cast: a corrupt offset/capacity must not wrap into
       // a plausible-looking extent.
       if (count < 0 || capacity < count || offset < 0 ||
@@ -232,9 +246,20 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
       WAVEKIT_RETURN_NOT_OK(
           allocator->Reserve(extent).WithContext("reserving bucket of '" +
                                                  value + "'"));
+      if (version < 3) {
+        // v2 -> v3 upgrade: the file carries no data checksum, so seed it
+        // from the bytes currently on the device. This trusts the device
+        // once (there is nothing else to trust) and protects every read
+        // from here on.
+        upgrade_buffer.resize(static_cast<size_t>(count) * kEntrySize);
+        WAVEKIT_RETURN_NOT_OK(
+            device->Read(extent.offset, upgrade_buffer)
+                .WithContext("recomputing v2 bucket crc of '" + value + "'"));
+        crc = Crc32c(upgrade_buffer.data(), upgrade_buffer.size());
+      }
       WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
           value, extent, static_cast<uint32_t>(count),
-          static_cast<uint32_t>(capacity)));
+          static_cast<uint32_t>(capacity), static_cast<uint32_t>(crc)));
     }
     if (days_csv != "-") {
       WAVEKIT_ASSIGN_OR_RETURN(index->mutable_time_set(), ParseDays(days_csv));

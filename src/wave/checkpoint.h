@@ -29,8 +29,15 @@ namespace wavekit {
 
 /// Current checkpoint format version. Version 2 added a trailing
 /// "footer <body-length> <crc32>" line so corrupt or truncated files are
-/// rejected outright instead of partially parsed.
-inline constexpr int kCheckpointVersion = 2;
+/// rejected outright instead of partially parsed. Version 3 added each
+/// bucket's data CRC-32C (BucketInfo::crc) to the bucket line, persisting
+/// the integrity map across restarts. Version-2 files still load: their
+/// bucket checksums are recomputed from the device (the one-time upgrade
+/// cost), and the next checkpoint writes version 3.
+inline constexpr int kCheckpointVersion = 3;
+
+/// Oldest version DeserializeCheckpoint still accepts.
+inline constexpr int kMinCheckpointVersion = 2;
 
 /// \brief Serializes `wave`'s metadata to a string (one checkpoint file's
 /// contents). Deterministic for a given wave index.

@@ -36,8 +36,6 @@ class KnownBoundWataScheme : public Scheme {
 
   Status ValidateConfig() const override;
 
-  Day OldestDayNeeded() const override { return current_day_; }
-
  protected:
   Status DoStart() override;
   Status DoTransition(const DayBatch& new_day) override;

@@ -5,6 +5,7 @@
 #include "util/crash_point.h"
 #include "util/fs.h"
 #include "util/macros.h"
+#include "wave/scrubber.h"
 
 namespace wavekit {
 
@@ -28,6 +29,21 @@ Status DurableMaintenance::Checkpoint() {
     WAVEKIT_RETURN_NOT_OK(CrashPoints::Check("checkpoint.after_data_sync"));
   }
   return WriteCheckpoint(scheme_->wave(), paths_.checkpoint);
+}
+
+Result<Scheme::HealReport> DurableMaintenance::Heal() {
+  // Pin for the same reason AdvanceDay does: until the post-heal checkpoint
+  // is the durable truth, the extents the last checkpoint references (the
+  // corrupt constituent's included — corrupt bytes are still the recovery
+  // baseline) must stay reserved. Kept on failure, released on commit.
+  pinned_ = scheme_->wave();
+  WAVEKIT_ASSIGN_OR_RETURN(Scheme::HealReport report,
+                           scheme_->HealUnhealthy());
+  if (report.healed > 0) {
+    WAVEKIT_RETURN_NOT_OK(Checkpoint());
+  }
+  pinned_ = WaveIndex();
+  return report;
 }
 
 Status DurableMaintenance::AdvanceDay(DayBatch new_day) {
@@ -74,6 +90,19 @@ Result<DurableMaintenance::RecoveredState> DurableMaintenance::Recover(
   RecoveredState state;
   state.current_day = *covered.rbegin();
   state.wave = std::move(wave);
+  if (options.verify_checksums) {
+    // Revalidate every live extent against the checkpoint's checksums before
+    // trusting the recovered wave. Corruption quarantines the constituent
+    // (degraded serving + online heal) instead of failing recovery: the
+    // healthy remainder of the window is still worth serving.
+    ScrubOptions scrub;
+    scrub.events = events;
+    scrub.integrity = options.integrity;
+    scrub.day = state.current_day;
+    WAVEKIT_ASSIGN_OR_RETURN(ScrubReport scrubbed,
+                             ScrubWave(state.wave, scrub));
+    state.quarantined = std::move(scrubbed.quarantined);
+  }
   if (intent.has_value() && *intent > state.current_day) {
     // The journaled transition never committed: serve the pre-transition
     // window and have the caller re-run the day.

@@ -61,6 +61,10 @@ class DurableMaintenance {
     /// Set when a transition to this day was journaled but never committed:
     /// after adopting `wave` at `current_day`, re-run AdvanceDay for it.
     std::optional<Day> interrupted_day;
+    /// Constituents whose extents failed checksum revalidation during
+    /// recovery (quarantined, not fatal: the wave serves degraded and the
+    /// caller heals them online — DurableMaintenance::Heal).
+    std::vector<std::string> quarantined;
   };
 
   /// `scheme` must outlive this object. When `data_device` is non-null it is
@@ -92,6 +96,16 @@ class DurableMaintenance {
   /// Writes a fresh durable checkpoint of the scheme's current wave (e.g.
   /// right after adopting a recovered one).
   Status Checkpoint();
+
+  /// Crash-safe online self-healing: pins the current constituent set,
+  /// rebuilds every unhealthy constituent from segment data
+  /// (Scheme::HealUnhealthy), and — when anything was healed — commits the
+  /// result with a fresh durable checkpoint before releasing the pin. Needs
+  /// no intent journal: healing is idempotent (rebuilds land on fresh
+  /// extents; the checkpoint rename is the atomic commit), so a crash at any
+  /// point leaves the previous checkpoint loadable and the heal simply
+  /// re-runs after recovery.
+  Result<Scheme::HealReport> Heal();
 
   /// Restart-time recovery: loads the last durable checkpoint from `paths`,
   /// applies the roll-forward/roll-back rule to any journaled intent, and

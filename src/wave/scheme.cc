@@ -7,6 +7,7 @@
 #include "update/in_place_updater.h"
 #include "update/packed_shadow_updater.h"
 #include "util/crash_point.h"
+#include "util/histogram.h"
 #include "util/macros.h"
 
 namespace wavekit {
@@ -47,7 +48,10 @@ const char* SchemeKindName(SchemeKind kind) {
 }
 
 Scheme::Scheme(SchemeEnv env, SchemeConfig config)
-    : env_(env), config_(config), updater_(MakeUpdater(config.technique)) {
+    : env_(env),
+      config_(config),
+      updater_(MakeUpdater(config.technique)),
+      jitter_rng_(env.retry.jitter_seed) {
   if (updater_ != nullptr) updater_->set_parallel(env_.maintenance);
 }
 
@@ -175,17 +179,89 @@ Status Scheme::RetryTransient(std::string_view op,
                            {"attempt", std::to_string(attempt)}});
     }
     if (backoff_us > 0) {
+      uint64_t sleep_us = backoff_us;
+      if (env_.retry.decorrelated_jitter) {
+        // Decorrelated jitter [Brooker, "Exponential Backoff and Jitter"]:
+        // draw from [initial, 3 * previous sleep], capped. Desynchronizes
+        // concurrent retry streams; the seeded stream keeps runs replayable.
+        const uint64_t lo = std::max<uint64_t>(env_.retry.initial_backoff_us, 1);
+        const uint64_t hi = std::max(lo, std::min(env_.retry.max_backoff_us,
+                                                  backoff_us * 3));
+        sleep_us = static_cast<uint64_t>(jitter_rng_.UniformRange(
+            static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+        backoff_us = sleep_us;
+      } else {
+        backoff_us = std::min(env_.retry.max_backoff_us, backoff_us * 2);
+      }
+      if (env_.retry_backoff_us != nullptr) {
+        env_.retry_backoff_us->Record(sleep_us);
+      }
       // Injected clock: real time in production, virtual (free) time under
       // the deterministic simulation harness.
       Clock* clock =
           env_.clock != nullptr ? env_.clock : RealClock::Instance();
-      clock->SleepUs(backoff_us);
-      backoff_us = std::min(env_.retry.max_backoff_us, backoff_us * 2);
+      clock->SleepUs(sleep_us);
     }
   }
   retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
   return status.WithContext(std::string(op) + " failed after " +
                             std::to_string(max_attempts) + " attempt(s)");
+}
+
+Result<Scheme::HealReport> Scheme::HealUnhealthy() {
+  if (!started_) {
+    return Status::FailedPrecondition("scheme not started");
+  }
+  if (needs_recovery_) {
+    return Status::FailedPrecondition(
+        "a previous transition failed partway; run checkpoint recovery "
+        "(wave/recovery.h) before healing");
+  }
+  HealReport report;
+  for (size_t j = 0; j < slots_.size(); ++j) {
+    ConstituentIndex* const sick = slots_[j].get();
+    if (sick == nullptr || sick->healthy()) continue;
+    if (!wave_.Contains(sick)) continue;
+    // The rebuild sources the slot's cluster from the day store. If any day
+    // was already pruned (or never re-fed after the corruption), there is
+    // nothing to rebuild from — leave the slot quarantined and report it.
+    bool have_all_days = true;
+    for (Day day : sick->time_set()) {
+      if (!env_.day_store->Has(day)) {
+        have_all_days = false;
+        break;
+      }
+    }
+    if (!have_all_days) {
+      ++report.skipped;
+      continue;
+    }
+    if (env_.events != nullptr) {
+      env_.events->Append(obs::EventType::kHealStart, current_day_,
+                          std::string(sick->name()),
+                          {{"slot", std::to_string(j)},
+                           {"days", std::to_string(sick->time_set().size())}});
+    }
+    // BuildIndex is the paper's primitive: a fresh packed index over the
+    // cluster's segment data, placed slot-stably (constituent j stays on
+    // disk j). The corrupt object keeps serving the healthy remainder of
+    // the wave until the swap; it is destroyed when the last query snapshot
+    // releases it.
+    WAVEKIT_ASSIGN_OR_RETURN(
+        std::shared_ptr<ConstituentIndex> rebuilt,
+        BuildIndex(sick->time_set(), std::string(sick->name()), Phase::kOther,
+                   static_cast<int>(j)));
+    WAVEKIT_RETURN_NOT_OK(ReplaceSlot(j, rebuilt));
+    ++report.healed;
+    report.healed_names.push_back(std::string(rebuilt->name()));
+    if (env_.events != nullptr) {
+      env_.events->Append(obs::EventType::kHealComplete, current_day_,
+                          std::string(rebuilt->name()),
+                          {{"slot", std::to_string(j)},
+                           {"entries", std::to_string(rebuilt->entry_count())}});
+    }
+  }
+  return report;
 }
 
 void Scheme::MarkUnhealthy(ConstituentIndex* index) {
@@ -251,10 +327,18 @@ Status Scheme::DoAdopt() {
 }
 
 Day Scheme::OldestDayNeeded() const {
-  // Default: the hard window plus the incoming day. Schemes that re-index
-  // (REINDEX family, RATA) need exactly this; WATA needs less but keeping
-  // the window is harmless.
-  return current_day_ - config_.window + 1;
+  // The hard window covers every re-index the scheme family may run
+  // (REINDEX family, RATA; WATA needs only the incoming day, but keeping
+  // the window is harmless). Self-healing adds a second consumer: a
+  // quarantined constituent is rebuilt from the batches of EVERY day it
+  // covers (HealUnhealthy), and soft-window constituents legitimately cover
+  // expired days, so retention extends to the wave's oldest covered day.
+  Day oldest = current_day_ - config_.window + 1;
+  const TimeSet covered = wave_.CoveredDays();
+  if (!covered.empty() && *covered.begin() < oldest) {
+    oldest = *covered.begin();
+  }
+  return oldest;
 }
 
 uint64_t Scheme::TemporaryBytes() const {
@@ -512,7 +596,8 @@ std::vector<TimeSet> Scheme::SplitWataWindow(int window, int num_indexes) {
 }
 
 ConstituentIndex::Options Scheme::IndexOptions() const {
-  return ConstituentIndex::Options{config_.directory, config_.growth};
+  return ConstituentIndex::Options{config_.directory, config_.growth,
+                                   config_.verify_checksums, env_.integrity};
 }
 
 SchemeEnv::Disk Scheme::NextDisk(int placement_hint) {

@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "storage/metered_device.h"
 #include "util/clock.h"
+#include "util/random.h"
 #include "update/update_technique.h"
 #include "wave/day_store.h"
 #include "wave/op_log.h"
@@ -66,6 +67,10 @@ struct SchemeConfig {
   /// window (the future knowledge Kleinberg et al. [KMRV97] assume). Must be
   /// > 0 for SchemeKind::kKnownBoundWata; ignored by every other scheme.
   uint64_t size_bound_entries = 0;
+  /// Verify each bucket's CRC-32C on every read path (see
+  /// ConstituentIndex::Options::verify_checksums). Checksums are maintained
+  /// either way; disabling only skips read-path verification.
+  bool verify_checksums = true;
 };
 
 /// \brief Bounded exponential backoff for transient I/O errors inside the
@@ -81,6 +86,16 @@ struct RetryPolicy {
   /// Sleep before the first retry; doubles (capped) for each further one.
   uint64_t initial_backoff_us = 100;
   uint64_t max_backoff_us = 10'000;
+  /// Opt-in decorrelated jitter: each sleep is drawn from
+  /// [initial_backoff_us, 3 * previous_sleep] (capped at max_backoff_us),
+  /// desynchronizing retry storms across concurrent maintenance streams.
+  /// Off by default so existing deterministic timing (plain doubling, exact
+  /// under SimClock) is preserved byte-for-byte.
+  bool decorrelated_jitter = false;
+  /// Seed for the jitter stream (only used when decorrelated_jitter): same
+  /// policy + same failure sequence = same sleeps, keeping even jittered
+  /// runs replayable.
+  uint64_t jitter_seed = 0x7E77;
 };
 
 /// \brief Counters of the retry/degradation machinery (relaxed-atomic
@@ -129,6 +144,16 @@ struct SchemeEnv {
 
   /// Retry behaviour for transient I/O errors inside maintenance primitives.
   RetryPolicy retry;
+
+  /// Optional: shared integrity counters threaded into every constituent
+  /// this scheme creates (checksum verifications, corruption detections,
+  /// quarantines). Must outlive the scheme.
+  IntegrityStats* integrity = nullptr;
+
+  /// Optional: when set, every retry backoff sleep is recorded here (in
+  /// microseconds) — exported as the wavekit_retry_backoff_seconds
+  /// histogram. Must outlive the scheme.
+  class ConcurrentHistogram* retry_backoff_us = nullptr;
 
   /// Time source for retry backoff sleeps. Defaults to the wall clock; the
   /// deterministic simulation harness injects a SimClock so backoff advances
@@ -213,6 +238,27 @@ class Scheme {
 
   /// Snapshot of the retry/degradation counters (thread-safe).
   FaultStats fault_stats() const;
+
+  /// \brief Outcome of one HealUnhealthy pass.
+  struct HealReport {
+    /// Constituents rebuilt from segment data and swapped back in healthy.
+    int healed = 0;
+    /// Unhealthy constituents left alone because the day store no longer
+    /// holds all their source days (production prunes aggressively; the
+    /// operator must restore from a replica or accept degraded serving).
+    int skipped = 0;
+    std::vector<std::string> healed_names;
+  };
+
+  /// Online self-healing: rebuilds every unhealthy (typically quarantined-
+  /// corrupt) constituent from the surviving segment data in the day store
+  /// — the paper's BuildIndex over the slot's cluster — and swaps it into
+  /// the slot. The old object is destroyed when the last query snapshot
+  /// releases it; queries keep serving throughout (degraded until the
+  /// caller republishes). Slot-stable placement: constituent j is rebuilt
+  /// on disk j. Journals heal_start/heal_complete per constituent. Refused
+  /// while needs_recovery() — run recovery first.
+  Result<HealReport> HealUnhealthy();
 
   const SchemeConfig& config() const { return config_; }
   const OpLog& op_log() const { return op_log_; }
@@ -353,6 +399,10 @@ class Scheme {
   std::unique_ptr<Updater> updater_;
   bool started_ = false;
   bool needs_recovery_ = false;
+  /// Jitter stream for decorrelated retry backoff (seeded from
+  /// env_.retry.jitter_seed in the constructor; untouched unless
+  /// RetryPolicy::decorrelated_jitter is on).
+  Rng jitter_rng_{0};
 
   // Fault/retry counters (atomic: metrics callbacks read them from exporter
   // threads while the maintenance thread writes).

@@ -1,0 +1,182 @@
+#include "wave/scrubber.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "index/entry.h"
+#include "util/crc32c.h"
+#include "util/macros.h"
+
+namespace wavekit {
+
+namespace {
+
+struct PendingBucket {
+  Value value;
+  Extent live;     // the bucket's live prefix (count * kEntrySize bytes)
+  uint32_t crc = 0;
+};
+
+// Verifies one batch of buckets: reads all live prefixes in one ReadBatch
+// (falling back to per-bucket reads when the batch fails, so one dead range
+// cannot mask the verdict on its neighbours), then compares checksums.
+// Returns true when the constituent was quarantined (caller stops).
+bool VerifyBatch(const ConstituentIndex& index,
+                 const std::vector<PendingBucket>& batch,
+                 const ScrubOptions& options, ScrubReport* report,
+                 std::vector<std::byte>* buffer) {
+  uint64_t total = 0;
+  for (const PendingBucket& bucket : batch) total += bucket.live.length;
+  buffer->resize(static_cast<size_t>(total));
+
+  std::vector<Extent> extents;
+  extents.reserve(batch.size());
+  for (const PendingBucket& bucket : batch) extents.push_back(bucket.live);
+
+  Device* device =
+      options.device != nullptr ? options.device : index.device();
+  std::vector<bool> have(batch.size(), false);
+  Status read = device->ReadBatch(extents, *buffer);
+  if (read.ok()) {
+    have.assign(batch.size(), true);
+  } else {
+    // Localize: re-read bucket by bucket so a transient failure only costs
+    // the buckets it actually hit.
+    uint64_t offset = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::span<std::byte> slice(buffer->data() + offset,
+                                 static_cast<size_t>(batch[i].live.length));
+      offset += batch[i].live.length;
+      if (device->Read(batch[i].live.offset, slice).ok()) {
+        have[i] = true;
+      } else {
+        ++report->read_errors;
+      }
+    }
+  }
+
+  uint64_t offset = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const PendingBucket& bucket = batch[i];
+    const std::byte* bytes = buffer->data() + offset;
+    offset += bucket.live.length;
+    if (!have[i]) continue;
+    report->bytes_read += bucket.live.length;
+    const uint32_t actual =
+        Crc32c(bytes, static_cast<size_t>(bucket.live.length));
+    ++report->buckets_verified;
+    if (options.integrity != nullptr) {
+      options.integrity->verified_buckets.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+    if (actual == bucket.crc) continue;
+    // Bit rot. Quarantine the whole constituent: its extents share a device
+    // region and a provenance, so one bad bucket condemns the object; the
+    // heal path rebuilds it wholesale from segment data.
+    ++report->mismatches;
+    if (options.integrity != nullptr) {
+      options.integrity->corruptions_detected.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    index.Quarantine();
+    report->quarantined.push_back(index.name());
+    if (options.events != nullptr) {
+      options.events->Append(
+          obs::EventType::kCorruptionDetected, options.day,
+          "scrub: checksum mismatch in bucket '" + bucket.value +
+              "' of index " + index.name(),
+          {{"index", index.name()},
+           {"bucket", bucket.value},
+           {"expected_crc", std::to_string(bucket.crc)},
+           {"actual_crc", std::to_string(actual)}});
+      options.events->Append(obs::EventType::kQuarantine, options.day,
+                             index.name(), {{"source", "scrub"}});
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ScrubConstituent(const ConstituentIndex& index,
+                        const ScrubOptions& options, ScrubReport* report) {
+  if (report == nullptr) {
+    return Status::InvalidArgument("ScrubConstituent needs a report");
+  }
+  if (!index.healthy()) {
+    ++report->constituents_skipped;
+    return Status::OK();
+  }
+  // Snapshot the directory metadata first (no device I/O), then verify in
+  // bounded batches.
+  std::vector<PendingBucket> all;
+  all.reserve(index.distinct_values());
+  WAVEKIT_RETURN_NOT_OK(
+      index.ForEachBucket([&](const Value& value, const BucketInfo& info) {
+        if (info.count == 0) return;
+        all.push_back(PendingBucket{
+            value,
+            Extent{info.extent.offset, uint64_t{info.count} * kEntrySize},
+            info.crc});
+      }));
+
+  const uint64_t batch_limit = std::max<uint64_t>(options.io_batch_bytes, 1);
+  std::vector<PendingBucket> batch;
+  std::vector<std::byte> buffer;
+  uint64_t batch_bytes = 0;
+  bool first_batch = true;
+  auto flush = [&]() -> bool {
+    if (batch.empty()) return false;
+    if (!first_batch && options.pause_us_per_batch > 0) {
+      Clock* clock =
+          options.clock != nullptr ? options.clock : RealClock::Instance();
+      clock->SleepUs(options.pause_us_per_batch);
+    }
+    first_batch = false;
+    const bool quarantined = VerifyBatch(index, batch, options, report, &buffer);
+    batch.clear();
+    batch_bytes = 0;
+    return quarantined;
+  };
+  for (PendingBucket& bucket : all) {
+    batch_bytes += bucket.live.length;
+    batch.push_back(std::move(bucket));
+    if (batch_bytes >= batch_limit) {
+      if (flush()) {
+        // Quarantined mid-pass: the remaining buckets are moot (the heal
+        // path rebuilds the whole constituent).
+        ++report->constituents_scrubbed;
+        return Status::OK();
+      }
+    }
+  }
+  flush();
+  ++report->constituents_scrubbed;
+  return Status::OK();
+}
+
+Result<ScrubReport> ScrubWave(const WaveIndex& wave,
+                              const ScrubOptions& options) {
+  ScrubReport report;
+  if (options.events != nullptr) {
+    options.events->Append(obs::EventType::kScrubStart, options.day, "",
+                           {{"constituents",
+                             std::to_string(wave.num_constituents())}});
+  }
+  for (const auto& constituent : wave.constituents()) {
+    WAVEKIT_RETURN_NOT_OK(ScrubConstituent(*constituent, options, &report));
+  }
+  if (options.events != nullptr) {
+    options.events->Append(
+        obs::EventType::kScrubComplete, options.day, "",
+        {{"buckets", std::to_string(report.buckets_verified)},
+         {"bytes", std::to_string(report.bytes_read)},
+         {"mismatches", std::to_string(report.mismatches)},
+         {"read_errors", std::to_string(report.read_errors)}});
+  }
+  return report;
+}
+
+}  // namespace wavekit

@@ -1,0 +1,92 @@
+// Background scrubber: proactive checksum verification of live extents.
+//
+// The read path only verifies buckets that queries actually touch; cold data
+// can rot silently for the whole window. ScrubWave walks every live bucket
+// of every healthy constituent in layout order, re-reads the live prefix in
+// bounded batches, and compares CRC-32C against the directory's sidecar
+// checksum — the same verification the read path performs, but exhaustive
+// and paced. A mismatch quarantines the constituent (queries keep answering
+// from the healthy remainder, reporting a partial result) and journals
+// corruption_detected / quarantine events; the serving layer then heals it
+// online (Scheme::HealUnhealthy).
+//
+// Pacing: at most `io_batch_bytes` are read per device batch, with an
+// optional injected-clock sleep between batches, so a scrub pass bounds its
+// interference with foreground traffic. Under the simulation harness the
+// clock is virtual and the pass is a deterministic function of the wave's
+// contents.
+
+#ifndef WAVEKIT_WAVE_SCRUBBER_H_
+#define WAVEKIT_WAVE_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/constituent_index.h"
+#include "obs/event_journal.h"
+#include "util/clock.h"
+#include "util/day.h"
+#include "util/result.h"
+#include "wave/wave_index.h"
+
+namespace wavekit {
+
+/// \brief Knobs for one scrub pass.
+struct ScrubOptions {
+  /// Max bytes read from the device per batch (one ReadBatch call). The
+  /// scrubber never holds more than this in memory.
+  uint64_t io_batch_bytes = uint64_t{1} << 20;  // 1 MiB
+  /// Sleep between batches (I/O rate bound: io_batch_bytes per pause).
+  /// 0 = no pacing.
+  uint64_t pause_us_per_batch = 0;
+  /// Time source for pacing; wall clock when null.
+  Clock* clock = nullptr;
+  /// Read through this device instead of the constituent's own. Set it to a
+  /// layer BENEATH any block cache: a scrub that reads cached copies
+  /// verifies the cache, not the medium, and rot under a warm cache stays
+  /// invisible until eviction. Null = the constituent's device.
+  Device* device = nullptr;
+  /// Optional: scrub_start/scrub_complete and corruption events land here.
+  obs::EventJournal* events = nullptr;
+  /// Optional: verified/corruption counters (typically the same instance the
+  /// constituents themselves are wired to).
+  IntegrityStats* integrity = nullptr;
+  /// Day label for journal events (the serving layer passes its current day).
+  Day day = 0;
+};
+
+/// \brief What one scrub pass found.
+struct ScrubReport {
+  uint64_t constituents_scrubbed = 0;
+  /// Constituents skipped because they were already unhealthy (a quarantined
+  /// constituent is awaiting heal; re-reading it proves nothing new).
+  uint64_t constituents_skipped = 0;
+  uint64_t buckets_verified = 0;
+  uint64_t bytes_read = 0;
+  /// Buckets whose live prefix failed checksum verification.
+  uint64_t mismatches = 0;
+  /// Transient read failures (IOError, not corruption): those buckets were
+  /// not verified this pass; the next pass retries them.
+  uint64_t read_errors = 0;
+  /// Names of constituents quarantined by this pass.
+  std::vector<std::string> quarantined;
+};
+
+/// Scrubs one constituent: verifies every live bucket's checksum in bounded
+/// batches. On the first mismatch the constituent is quarantined and the
+/// rest of its buckets are skipped (it is already condemned; the heal path
+/// rebuilds all of it). Accumulates into `*report`.
+Status ScrubConstituent(const ConstituentIndex& index,
+                        const ScrubOptions& options, ScrubReport* report);
+
+/// Scrubs every healthy constituent of `wave`. Journals scrub_start /
+/// scrub_complete around the pass. Corruption is reported via the report
+/// (and events), not as an error status; only infrastructure failures (e.g.
+/// a null-wave misuse) fail the call.
+Result<ScrubReport> ScrubWave(const WaveIndex& wave,
+                              const ScrubOptions& options);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_WAVE_SCRUBBER_H_

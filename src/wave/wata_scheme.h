@@ -32,9 +32,6 @@ class WataScheme : public Scheme {
   /// The slot index new days are currently appended to.
   size_t last_slot() const { return last_; }
 
-  /// WATA needs no past batches: only the incoming day is ever indexed.
-  Day OldestDayNeeded() const override { return current_day_; }
-
  protected:
   Status DoStart() override;
   Status DoTransition(const DayBatch& new_day) override;

@@ -34,20 +34,33 @@ Status DegradedStatus(const QueryStats& stats) {
 // I/O-failing directory probe is retried as a value-filtered sequential
 // scan. On a second I/O failure `out` is rolled back to its length at entry
 // and the IOError is returned for the caller to count; other errors
-// propagate unchanged.
+// propagate unchanged. A DataLoss (checksum mismatch) gets NO fallback: the
+// scan would reread the same corrupt bytes, and the constituent has already
+// quarantined itself — roll back and report it for the caller to drop.
 Status ProbeWithFallback(const ConstituentIndex& constituent,
                          const Value& value, const DayRange& range,
                          std::vector<Entry>* out, bool* used_fallback) {
   const size_t mark = out->size();
   Status status = constituent.TimedProbe(value, range, out);
+  if (status.IsDataLoss()) {
+    out->resize(mark);
+    return status;
+  }
   if (!status.IsIOError()) return status;
   out->resize(mark);
   *used_fallback = true;
   status = constituent.TimedScan(range, [&](const Value& v, const Entry& e) {
     if (v == value) out->push_back(e);
   });
-  if (status.IsIOError()) out->resize(mark);
+  if (!status.ok()) out->resize(mark);
   return status;
+}
+
+// An unreadable constituent — transiently (IOError) or permanently
+// (DataLoss, quarantined) — is dropped from the answer and counted in
+// indexes_failed.
+bool CountsAsFailed(const Status& status) {
+  return status.IsIOError() || status.IsDataLoss();
 }
 
 }  // namespace
@@ -108,7 +121,7 @@ Status WaveIndex::TimedIndexProbe(const DayRange& range, const Value& value,
     const Status status =
         ProbeWithFallback(*constituent, value, range, out, &used_fallback);
     if (used_fallback) ++local.probe_fallbacks;
-    if (status.IsIOError()) {
+    if (CountsAsFailed(status)) {
       ++local.indexes_failed;
       continue;
     }
@@ -143,9 +156,10 @@ Status WaveIndex::TimedSegmentScan(const DayRange& range,
           ++local.entries_returned;
           callback(v, e);
         });
-    if (status.IsIOError()) {
-      // Entries already delivered before the failure stand (scans stream);
-      // the rest of this constituent is missing — flagged via PartialResult.
+    if (CountsAsFailed(status)) {
+      // Entries already delivered before the failure stand (scans stream,
+      // and every delivered batch passed checksum verification); the rest
+      // of this constituent is missing — flagged via PartialResult.
       ++local.indexes_failed;
       continue;
     }
@@ -206,7 +220,7 @@ Status WaveIndex::ParallelTimedIndexProbe(ThreadPool* pool,
   remaining.wait();
   for (const ParallelSlot& slot : slots) {
     if (slot.used_fallback) ++local.probe_fallbacks;
-    if (slot.status.IsIOError()) {
+    if (CountsAsFailed(slot.status)) {
       ++local.indexes_failed;
       continue;
     }
@@ -252,7 +266,7 @@ Status WaveIndex::ParallelTimedSegmentScan(ThreadPool* pool,
   }
   remaining.wait();
   for (const ParallelSlot& slot : slots) {
-    if (slot.status.IsIOError()) {
+    if (CountsAsFailed(slot.status)) {
       // Buffered delivery means a failed constituent contributes nothing at
       // all (unlike the serial scan, which streams) — drop it and report a
       // partial result.

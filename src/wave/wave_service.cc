@@ -200,6 +200,74 @@ void WaveService::RegisterMetrics() {
       "wavekit_service_degraded",
       "1 while serving a stale snapshot after a failed AdvanceDay.", {},
       [this] { return degraded() ? 1.0 : 0.0; }, this);
+  registry->AddCounterCallback(
+      "wavekit_checksum_verified_buckets_total",
+      "Bucket extents whose CRC-32C was verified (read path + scrub).", {},
+      [this] {
+        return integrity_.verified_buckets.load(std::memory_order_relaxed);
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_checksum_trusted_buckets_total",
+      "Buckets served from verified-resident cache blocks (verification "
+      "skipped; the scrubber covers medium rot under them).",
+      {},
+      [this] {
+        return integrity_.trusted_buckets.load(std::memory_order_relaxed);
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_corruption_detected_total",
+      "Checksum mismatches detected on any path.", {},
+      [this] {
+        return integrity_.corruptions_detected.load(std::memory_order_relaxed);
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_quarantines_total",
+      "Constituent indexes quarantined after a checksum mismatch.", {},
+      [this] {
+        return integrity_.quarantines.load(std::memory_order_relaxed);
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_scrub_passes_total", "Completed background scrub passes.", {},
+      [this] { return scrub_passes_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_scrub_extents_total",
+      "Live bucket extents verified by the background scrubber.", {},
+      [this] { return scrub_extents_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_scrub_bytes_total",
+      "Bytes re-read from the device by the background scrubber.", {},
+      [this] { return scrub_bytes_.load(std::memory_order_relaxed); }, this);
+  registry->AddCounterCallback(
+      "wavekit_constituents_healed_total",
+      "Quarantined constituents rebuilt online from segment data.", {},
+      [this] { return constituents_healed_.load(std::memory_order_relaxed); },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_heals_skipped_total",
+      "Heal attempts skipped because the day store lacked the source days.",
+      {},
+      [this] { return heals_skipped_.load(std::memory_order_relaxed); }, this);
+  registry->AddHistogramCallback(
+      "wavekit_retry_backoff_us",
+      "Retry backoff sleeps in microseconds.", {},
+      [this] { return retry_backoff_us_.Snapshot(); }, this);
+  // The Prometheus-conventional seconds view of the same data (the integer
+  // histogram itself records microseconds).
+  registry->AddGaugeCallback(
+      "wavekit_retry_backoff_seconds_sum",
+      "Total seconds slept in retry backoff.", {},
+      [this] {
+        return static_cast<double>(retry_backoff_us_.Snapshot().sum()) / 1e6;
+      },
+      this);
+  registry->AddCounterCallback(
+      "wavekit_retry_backoff_seconds_count",
+      "Retry backoff sleeps recorded.", {},
+      [this] { return retry_backoff_us_.Snapshot().count(); }, this);
   if (events_ != nullptr) {
     registry->AddCounterCallback(
         "wavekit_events_appended_total",
@@ -261,6 +329,8 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
   env.tracer = service->tracer_.get();
   env.events = service->events_.get();  // nullptr = no retry journaling
   env.retry = options.retry;
+  env.integrity = &service->integrity_;
+  env.retry_backoff_us = &service->retry_backoff_us_;
   env.clock = service->clock_;
   if (service->maintenance_pool_ != nullptr) {
     env.maintenance.pool = service->maintenance_pool_.get();
@@ -273,6 +343,7 @@ Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {
 
 Status WaveService::Start(std::vector<DayBatch> first_window) {
   WAVEKIT_RETURN_NOT_OK(scheme_->Start(std::move(first_window)));
+  last_scrub_us_ = clock_->NowMicros();  // first pass one interval from now
   Publish();
   if (events_ != nullptr) {
     events_->Append(obs::EventType::kServiceStart, scheme_->current_day(),
@@ -353,10 +424,101 @@ Status WaveService::AdvanceDayLocked(DayBatch new_day) {
     events_->Append(obs::EventType::kAdvanceCommit, day, "");
   }
   SetDegraded(false, "", day);
+  // Proactive integrity: the scrub (and any auto-heal) runs INLINE on the
+  // maintenance path under advance_mutex_ — submitting it to a pool that a
+  // later AdvanceDay waits on while holding this mutex would deadlock.
+  MaybeScrubLocked();
   // Maintenance drives the deterministic sampling cadence: the injected
   // clock decides whether a sample is actually due.
   if (collector_ != nullptr) collector_->Tick();
   return Status::OK();
+}
+
+void WaveService::MaybeScrubLocked() {
+  if (options_.scrub_interval_us == 0) return;
+  const uint64_t now = clock_->NowMicros();
+  if (now - last_scrub_us_ < options_.scrub_interval_us) return;
+  last_scrub_us_ = now;
+  const Result<ScrubReport> scrubbed = ScrubLocked();
+  if (!scrubbed.ok()) {
+    // Infrastructure failure (not corruption — that is in the report):
+    // serving is unaffected, but surface it.
+    SetDegraded(true, "scrub failed: " + scrubbed.status().message(),
+                scheme_->current_day());
+  }
+}
+
+Result<ScrubReport> WaveService::Scrub() {
+  std::lock_guard<std::mutex> lock(advance_mutex_);
+  if (scheme_ == nullptr || Snapshot() == nullptr) {
+    return Status::FailedPrecondition("service not started");
+  }
+  return ScrubLocked();
+}
+
+Result<Scheme::HealReport> WaveService::Heal() {
+  std::lock_guard<std::mutex> lock(advance_mutex_);
+  if (scheme_ == nullptr || Snapshot() == nullptr) {
+    return Status::FailedPrecondition("service not started");
+  }
+  return HealLocked();
+}
+
+Result<ScrubReport> WaveService::ScrubLocked() {
+  ScrubOptions scrub;
+  scrub.io_batch_bytes = options_.scrub_io_batch_bytes;
+  scrub.pause_us_per_batch = options_.scrub_pause_us;
+  scrub.clock = clock_;
+  scrub.events = events_.get();
+  scrub.integrity = &integrity_;
+  scrub.day = scheme_->current_day();
+  // Scrub the medium, not the block cache: constituents read through the
+  // cache (env.io_device), which would happily serve clean pre-rot copies
+  // of every warm block. The meter sits directly above stable storage.
+  scrub.device = &device_;
+  WAVEKIT_ASSIGN_OR_RETURN(ScrubReport report,
+                           ScrubWave(scheme_->wave(), scrub));
+  scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+  scrub_extents_.fetch_add(report.buckets_verified, std::memory_order_relaxed);
+  scrub_bytes_.fetch_add(report.bytes_read, std::memory_order_relaxed);
+  if (!report.quarantined.empty()) {
+    std::string detail = "corruption quarantined:";
+    for (const std::string& name : report.quarantined) detail += " " + name;
+    SetDegraded(true, detail, scheme_->current_day());
+    if (options_.auto_heal) {
+      const Result<Scheme::HealReport> healed = HealLocked();
+      if (!healed.ok()) {
+        SetDegraded(true, detail + "; self-heal failed: " +
+                              healed.status().message(),
+                    scheme_->current_day());
+      }
+    }
+  }
+  return report;
+}
+
+Result<Scheme::HealReport> WaveService::HealLocked() {
+  WAVEKIT_ASSIGN_OR_RETURN(Scheme::HealReport report,
+                           scheme_->HealUnhealthy());
+  constituents_healed_.fetch_add(static_cast<uint64_t>(report.healed),
+                                 std::memory_order_relaxed);
+  heals_skipped_.fetch_add(static_cast<uint64_t>(report.skipped),
+                           std::memory_order_relaxed);
+  if (report.healed > 0) Publish();
+  // Whole again? Only a heal that left no unhealthy constituent clears the
+  // degraded flag; skipped slots (source days pruned) keep it raised.
+  std::vector<std::string> still_unhealthy;
+  for (const auto& constituent : scheme_->wave().constituents()) {
+    if (!constituent->healthy()) still_unhealthy.push_back(constituent->name());
+  }
+  if (still_unhealthy.empty()) {
+    SetDegraded(false, "", scheme_->current_day());
+  } else {
+    std::string detail = "unhealthy constituents awaiting heal:";
+    for (const std::string& name : still_unhealthy) detail += " " + name;
+    SetDegraded(true, detail, scheme_->current_day());
+  }
+  return report;
 }
 
 void WaveService::Publish() {
@@ -388,6 +550,20 @@ ServiceMetrics WaveService::Metrics() const {
   out.probe_latency_us = probe_latency_us_.Snapshot();
   out.scan_latency_us = scan_latency_us_.Snapshot();
   out.advance_latency_us = advance_latency_us_.Snapshot();
+  out.checksum_verified_buckets =
+      integrity_.verified_buckets.load(std::memory_order_relaxed);
+  out.checksum_trusted_buckets =
+      integrity_.trusted_buckets.load(std::memory_order_relaxed);
+  out.corruptions_detected =
+      integrity_.corruptions_detected.load(std::memory_order_relaxed);
+  out.quarantines = integrity_.quarantines.load(std::memory_order_relaxed);
+  out.scrub_passes = scrub_passes_.load(std::memory_order_relaxed);
+  out.scrub_extents = scrub_extents_.load(std::memory_order_relaxed);
+  out.scrub_bytes = scrub_bytes_.load(std::memory_order_relaxed);
+  out.constituents_healed =
+      constituents_healed_.load(std::memory_order_relaxed);
+  out.heals_skipped = heals_skipped_.load(std::memory_order_relaxed);
+  out.retry_backoff_us = retry_backoff_us_.Snapshot();
   return out;
 }
 
@@ -401,6 +577,16 @@ void WaveService::ResetMetrics() {
   probe_latency_us_.Reset();
   scan_latency_us_.Reset();
   advance_latency_us_.Reset();
+  integrity_.verified_buckets.store(0, std::memory_order_relaxed);
+  integrity_.trusted_buckets.store(0, std::memory_order_relaxed);
+  integrity_.corruptions_detected.store(0, std::memory_order_relaxed);
+  integrity_.quarantines.store(0, std::memory_order_relaxed);
+  scrub_passes_.store(0, std::memory_order_relaxed);
+  scrub_extents_.store(0, std::memory_order_relaxed);
+  scrub_bytes_.store(0, std::memory_order_relaxed);
+  constituents_healed_.store(0, std::memory_order_relaxed);
+  heals_skipped_.store(0, std::memory_order_relaxed);
+  retry_backoff_us_.Reset();
 }
 
 Status WaveService::TimedIndexProbe(const DayRange& range, const Value& value,

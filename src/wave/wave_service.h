@@ -39,6 +39,7 @@
 #include "util/thread_pool.h"
 #include "wave/day_store.h"
 #include "wave/scheme.h"
+#include "wave/scrubber.h"
 #include "wave/wave_index.h"
 
 namespace wavekit {
@@ -66,6 +67,27 @@ struct ServiceMetrics {
   Histogram scan_latency_us;
   /// Wall-clock AdvanceDay latency in microseconds.
   Histogram advance_latency_us;
+  /// Buckets whose CRC-32C was verified (read path + scrub + recovery).
+  uint64_t checksum_verified_buckets = 0;
+  /// Buckets served from verified-resident cache blocks, so batch scans
+  /// skipped re-verifying them (storage/device.h ReadBatchTracked).
+  uint64_t checksum_trusted_buckets = 0;
+  /// Checksum mismatches detected anywhere.
+  uint64_t corruptions_detected = 0;
+  /// Constituents quarantined after a mismatch.
+  uint64_t quarantines = 0;
+  /// Completed scrub passes / bucket extents verified / bytes re-read by the
+  /// background scrubber.
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_extents = 0;
+  uint64_t scrub_bytes = 0;
+  /// Constituents rebuilt from segment data by self-healing, and heals
+  /// skipped because the day store no longer held the source days.
+  uint64_t constituents_healed = 0;
+  uint64_t heals_skipped = 0;
+  /// Retry backoff sleeps in microseconds (exported as the
+  /// wavekit_retry_backoff_seconds summary).
+  Histogram retry_backoff_us;
 };
 
 /// \brief Concurrent wave-index server: one writer, many readers.
@@ -177,6 +199,27 @@ class WaveService {
     /// sim harness: thread pacing is wall-clock).
     bool collector_background_thread = false;
 
+    /// When > 0, a background-scrub pass (checksum verification of every
+    /// live extent, wave/scrubber.h) runs on the maintenance path after any
+    /// successful AdvanceDay once at least this many injected-clock
+    /// microseconds have passed since the last pass. Corruption quarantines
+    /// the constituent (degraded serving, queries keep answering) and — with
+    /// auto_heal — is repaired online immediately. 0 disables periodic
+    /// scrubbing; Scrub() always works.
+    uint64_t scrub_interval_us = 0;
+
+    /// Max bytes per scrub read batch (bounds the scrubber's I/O burst).
+    uint64_t scrub_io_batch_bytes = uint64_t{1} << 20;
+
+    /// Injected-clock sleep between scrub batches (rate limiting:
+    /// scrub_io_batch_bytes per pause).
+    uint64_t scrub_pause_us = 0;
+
+    /// When true, any scrub (periodic or manual) that quarantined
+    /// constituents immediately rebuilds them from segment data and
+    /// republishes (Scheme::HealUnhealthy) on the same maintenance path.
+    bool auto_heal = false;
+
     /// When > 0, the service owns an EventJournal recording maintenance
     /// lifecycle events (advance start/commit/rollback, retries,
     /// degraded-mode entry/exit) in a ring of this many events.
@@ -219,6 +262,19 @@ class WaveService {
   /// Blocks until every queued async advance has been applied (or dropped
   /// after a failure) and returns the sticky first failure, if any.
   Status WaitForMaintenance();
+
+  /// One manual scrub pass over the current constituent set (serialized with
+  /// AdvanceDay). Corruption is reported in the ScrubReport and quarantines
+  /// the constituent; with Options::auto_heal it is also healed and the new
+  /// snapshot published before this returns. Only infrastructure failures
+  /// fail the call.
+  Result<ScrubReport> Scrub();
+
+  /// Online self-healing: rebuilds every unhealthy (quarantined) constituent
+  /// whose source days the day store still holds, publishes the healed
+  /// snapshot, and clears the degraded flag when the wave is whole again.
+  /// Serialized with AdvanceDay.
+  Result<Scheme::HealReport> Heal();
 
   /// Async advances queued or running right now (gauge; any thread).
   int pending_advances() const {
@@ -277,9 +333,13 @@ class WaveService {
     return latency_.get();
   }
 
+  /// Shared integrity counters (read path + scrubber + recovery).
+  const IntegrityStats& integrity() const { return integrity_; }
+
   /// True while the service is serving a stale snapshot because the last
-  /// AdvanceDay failed (flips back on the next successful advance). The
-  /// /healthz endpoint keys off this.
+  /// AdvanceDay failed, or while a corrupt constituent is quarantined
+  /// awaiting heal (flips back on the next successful advance / completed
+  /// heal). The /healthz endpoint keys off this.
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   /// Why the service is degraded (empty when healthy).
@@ -302,6 +362,18 @@ class WaveService {
 
   /// The AdvanceDay body; caller holds advance_mutex_.
   Status AdvanceDayLocked(DayBatch new_day);
+
+  /// One scrub pass (caller holds advance_mutex_); quarantines + optional
+  /// auto-heal. Runs INLINE on the maintenance path — never submitted to a
+  /// pool, which could deadlock against advance_mutex_.
+  Result<ScrubReport> ScrubLocked();
+
+  /// Heal + republish (caller holds advance_mutex_).
+  Result<Scheme::HealReport> HealLocked();
+
+  /// Runs ScrubLocked when scrub_interval_us has elapsed since the last
+  /// pass (caller holds advance_mutex_).
+  void MaybeScrubLocked();
 
   void Publish();
   void RegisterMetrics();
@@ -369,6 +441,18 @@ class WaveService {
   mutable ConcurrentHistogram probe_latency_us_;
   mutable ConcurrentHistogram scan_latency_us_;
   ConcurrentHistogram advance_latency_us_;
+
+  // Integrity: shared counters every constituent and the scrubber write
+  // (atomics — query threads detect corruption too), the retry-backoff
+  // histogram the scheme records sleeps into, and the scrub/heal tallies.
+  IntegrityStats integrity_;
+  ConcurrentHistogram retry_backoff_us_;
+  uint64_t last_scrub_us_ = 0;  // guarded by advance_mutex_
+  std::atomic<uint64_t> scrub_passes_{0};
+  std::atomic<uint64_t> scrub_extents_{0};
+  std::atomic<uint64_t> scrub_bytes_{0};
+  std::atomic<uint64_t> constituents_healed_{0};
+  std::atomic<uint64_t> heals_skipped_{0};
 };
 
 }  // namespace wavekit

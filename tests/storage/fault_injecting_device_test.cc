@@ -159,6 +159,148 @@ TEST(FaultInjectingDeviceTest, ReadBatchPropagatesMidBatchError) {
       << status;
 }
 
+TEST(FaultInjectingDeviceTest, BitFlipReadIsSilentAndTransient) {
+  FaultInjectingDevice::Options options;
+  options.seed = 11;
+  options.bit_flip_read_rate = 0.5;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  ASSERT_OK(memory.Write(0, Bytes("abcdefgh")));
+  int flipped = 0, clean = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::byte> out(8);
+    ASSERT_OK(device.Read(0, out));  // silent: the status is ALWAYS ok
+    if (AsString(out) == "abcdefgh") {
+      ++clean;
+    } else {
+      ++flipped;
+      // Exactly one bit differs — the injected flip, nothing more.
+      int bits = 0;
+      for (size_t b = 0; b < out.size(); ++b) {
+        bits += __builtin_popcount(static_cast<unsigned>(out[b]) ^
+                                   static_cast<unsigned>("abcdefgh"[b]));
+      }
+      EXPECT_EQ(bits, 1);
+    }
+  }
+  EXPECT_GT(flipped, 0);
+  EXPECT_GT(clean, 0) << "flips must be transient, not sticky";
+  EXPECT_EQ(device.stats().bit_flip_reads, static_cast<uint64_t>(flipped));
+  // The device's own copy never changed.
+  std::vector<std::byte> raw(8);
+  ASSERT_OK(memory.Read(0, raw));
+  EXPECT_EQ(AsString(raw), "abcdefgh");
+}
+
+TEST(FaultInjectingDeviceTest, BitFlipWritePersistsTheCorruption) {
+  FaultInjectingDevice::Options options;
+  options.seed = 13;
+  options.bit_flip_write_rate = 1.0;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  ASSERT_OK(device.Write(0, Bytes("abcdefgh")));
+  EXPECT_EQ(device.stats().bit_flip_writes, 1u);
+  // The corruption landed on the medium: every later read (however many
+  // times) returns the same wrong bytes with OK status.
+  std::vector<std::byte> first(8), second(8);
+  ASSERT_OK(memory.Read(0, first));
+  EXPECT_NE(AsString(first), "abcdefgh");
+  ASSERT_OK(memory.Read(0, second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectingDeviceTest, LostWriteAcknowledgesButNeverLands) {
+  FaultInjectingDevice::Options options;
+  options.lost_write_rate = 1.0;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  ASSERT_OK(memory.Write(0, Bytes("original")));
+  ASSERT_OK(device.Write(0, Bytes("replaced")));  // acknowledged...
+  EXPECT_EQ(device.stats().lost_writes, 1u);
+  std::vector<std::byte> out(8);
+  ASSERT_OK(device.Read(0, out));
+  EXPECT_EQ(AsString(out), "original") << "...but never persisted";
+}
+
+TEST(FaultInjectingDeviceTest, MisdirectedReadReturnsWrongOffsetBytes) {
+  FaultInjectingDevice::Options options;
+  options.seed = 17;
+  options.misdirected_read_rate = 1.0;
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory, options);
+  // Fill the device so a misdirected read lands on recognizably-wrong bytes.
+  for (uint64_t off = 0; off + 8 <= 1024; off += 8) {
+    ASSERT_OK(memory.Write(off, Bytes("ZZZZZZZZ")));
+  }
+  ASSERT_OK(memory.Write(512, Bytes("thetruth")));
+  std::vector<std::byte> out(8);
+  ASSERT_OK(device.Read(512, out));  // OK status, wrong offset's bytes
+  EXPECT_EQ(device.stats().misdirected_reads, 1u);
+  EXPECT_NE(AsString(out), "thetruth");
+}
+
+TEST(FaultInjectingDeviceTest, CorruptRangeIsDeterministicAndOffStream) {
+  // Same (seed, extent, salt, bits) → same flips; and arming targeted rot
+  // must not consume the main fault stream, so a scheduled error sequence
+  // replays identically with or without the rot.
+  std::string baseline;
+  for (int with_rot = 0; with_rot < 2; ++with_rot) {
+    FaultInjectingDevice::Options options;
+    options.seed = 23;
+    options.read_error_rate = 0.4;
+    MemoryDevice memory(1024);
+    FaultInjectingDevice device(&memory, options);
+    ASSERT_OK(memory.Write(64, Bytes("payload!")));
+    if (with_rot) {
+      ASSERT_OK(device.CorruptRange(Extent{64, 8}, /*salt=*/5, /*bits=*/2));
+    }
+    std::string outcomes;
+    for (int i = 0; i < 50; ++i) {
+      std::vector<std::byte> out(8);
+      outcomes += device.Read(0, out).ok() ? 'o' : 'x';
+    }
+    if (!with_rot) {
+      baseline = outcomes;
+    } else {
+      EXPECT_EQ(outcomes, baseline) << "CorruptRange shifted the fault stream";
+    }
+  }
+
+  // Determinism of the flips themselves.
+  MemoryDevice memory_a(1024), memory_b(1024);
+  FaultInjectingDevice a(&memory_a), b(&memory_b);
+  ASSERT_OK(memory_a.Write(0, Bytes("samedata")));
+  ASSERT_OK(memory_b.Write(0, Bytes("samedata")));
+  ASSERT_OK(a.CorruptRange(Extent{0, 8}, 9, 3));
+  ASSERT_OK(b.CorruptRange(Extent{0, 8}, 9, 3));
+  std::vector<std::byte> out_a(8), out_b(8);
+  ASSERT_OK(memory_a.Read(0, out_a));
+  ASSERT_OK(memory_b.Read(0, out_b));
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_NE(AsString(out_a), "samedata");
+}
+
+TEST(FaultInjectingDeviceTest, WriteBudgetModelsDiskFull) {
+  MemoryDevice memory(1024);
+  FaultInjectingDevice device(&memory);
+  device.SetWriteBudget(2);
+  ASSERT_OK(device.Write(0, Bytes("one")));
+  ASSERT_OK(device.Write(16, Bytes("two")));
+  const Status full = device.Write(32, Bytes("three"));
+  ASSERT_TRUE(full.IsResourceExhausted()) << full;
+  EXPECT_NE(full.ToString().find("disk full"), std::string::npos) << full;
+  EXPECT_EQ(device.stats().budget_rejected_writes, 1u);
+  // A rejected write persists nothing.
+  std::vector<std::byte> out(5);
+  ASSERT_OK(memory.Read(32, out));
+  EXPECT_EQ(AsString(out), std::string(5, '\0'));
+  // Reads are unaffected by a spent budget (the disk is full, not dead).
+  ASSERT_OK(device.Read(0, out));
+  // Freeing space restores writes.
+  device.ClearWriteBudget();
+  ASSERT_OK(device.Write(32, Bytes("three")));
+}
+
 TEST(FaultInjectingDeviceTest, FailedCacheWriteThroughLeavesNoPhantomData) {
   // Regression: the write-through cache used to patch its cached blocks
   // BEFORE the device write, so a failed write left readers seeing bytes

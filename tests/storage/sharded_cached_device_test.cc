@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "storage/fault_injecting_device.h"
 #include "storage/metered_device.h"
 #include "testing/test_env.h"
 #include "util/random.h"
@@ -245,6 +246,187 @@ TEST_F(ShardedCachedDeviceTest, WriteThroughVisibleToConcurrentReaders) {
     EXPECT_EQ(AsString(out),
               std::string(kSlot, static_cast<char>('A' + s % 26)));
   }
+}
+
+// --- Verified-residency tracking (ReadBatchTracked / MarkVerified) ---------
+
+// One block-aligned extent over blocks 0..3. Reads return true data
+// throughout; only the trust reporting changes across passes.
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencyPromotesOnSecondPass) {
+  std::vector<std::byte> data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i);
+  }
+  ASSERT_OK(cached_.Write(0, data));
+  cached_.Invalidate();  // the write-through patch must not count as a fill
+  const std::vector<Extent> extents = {{0, 256}};
+  std::vector<std::byte> out(256);
+  bool trusted = true;
+  uint64_t token = 0;
+
+  // Pass 1: all misses. The batch is untrusted, and MarkVerified with its
+  // token promotes nothing — this call's own fills carry generations >= the
+  // token, so freshly loaded medium bytes cannot self-certify.
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_FALSE(trusted);
+  EXPECT_EQ(out, data);
+  cached_.MarkVerified(extents, token);
+  trusted = true;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_FALSE(trusted) << "own fills must not be promoted by pass 1";
+
+  // Pass 2 hit every block while it was already resident, so ITS MarkVerified
+  // promotes; pass 3 is served wholly from trusted bytes.
+  cached_.MarkVerified(extents, token);
+  trusted = false;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_TRUE(trusted);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencyTrustsOnlyVerifiedBytes) {
+  std::vector<std::byte> data(128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(255 - i);
+  }
+  ASSERT_OK(cached_.Write(0, data));
+  cached_.Invalidate();
+  // Verify (twice, to promote) only bytes [10, 30) of block 0.
+  const std::vector<Extent> verified = {{10, 20}};
+  std::vector<std::byte> out(20);
+  bool trusted = false;
+  uint64_t token = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_OK(cached_.ReadBatchTracked(verified, out, &trusted, &token));
+    cached_.MarkVerified(verified, token);
+  }
+  ASSERT_OK(cached_.ReadBatchTracked(verified, out, &trusted, &token));
+  EXPECT_TRUE(trusted);
+
+  // Any read reaching outside [10, 30) is untrusted: those neighbour bytes
+  // were resident but never checksummed.
+  const std::vector<Extent> wider = {{5, 20}};
+  trusted = true;
+  ASSERT_OK(cached_.ReadBatchTracked(
+      wider, std::span<std::byte>(out.data(), 20), &trusted, &token));
+  EXPECT_FALSE(trusted);
+
+  // An adjacent verified run merges: after [30, 64) is promoted too, the
+  // whole of [10, 64) is trusted — the edge-block case of two coalesced
+  // bucket runs meeting inside one cache block.
+  const std::vector<Extent> adjacent = {{30, 34}};
+  std::vector<std::byte> out2(34);
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_OK(cached_.ReadBatchTracked(adjacent, out2, &trusted, &token));
+    cached_.MarkVerified(adjacent, token);
+  }
+  const std::vector<Extent> merged = {{10, 54}};
+  std::vector<std::byte> out3(54);
+  trusted = false;
+  ASSERT_OK(cached_.ReadBatchTracked(merged, out3, &trusted, &token));
+  EXPECT_TRUE(trusted);
+  for (size_t i = 0; i < out3.size(); ++i) {
+    EXPECT_EQ(out3[i], data[10 + i]);
+  }
+}
+
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencyStaleTokenNeverPromotes) {
+  std::vector<std::byte> data(64, std::byte{7});
+  ASSERT_OK(cached_.Write(0, data));
+  cached_.Invalidate();
+  const std::vector<Extent> extents = {{0, 64}};
+  std::vector<std::byte> out(64);
+  bool trusted = false;
+  uint64_t stale_token = 0;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &stale_token));
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &stale_token));
+  // The block is dropped and refilled AFTER the stale token was issued (a
+  // concurrent eviction + refill): the old verification no longer describes
+  // the resident bytes, so the stale promotion must be refused.
+  cached_.Invalidate();
+  uint64_t token = 0;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  cached_.MarkVerified(extents, stale_token);
+  trusted = true;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_FALSE(trusted);
+}
+
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencyEvictionDropsTrust) {
+  std::vector<std::byte> data(64, std::byte{3});
+  ASSERT_OK(cached_.Write(0, data));
+  cached_.Invalidate();
+  const std::vector<Extent> extents = {{0, 64}};
+  std::vector<std::byte> out(64);
+  bool trusted = false;
+  uint64_t token = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+    cached_.MarkVerified(extents, token);
+  }
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  ASSERT_TRUE(trusted);
+  // Push block 0 out of its shard (shard 0 holds blocks {0, 4, 8, ...},
+  // per-shard capacity 32/4 = 8): the refilled block starts untrusted.
+  std::vector<std::byte> buf(1);
+  for (uint64_t b = 1; b <= 8; ++b) {
+    ASSERT_OK(cached_.Read(b * 4 * 64, buf));
+  }
+  trusted = true;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_FALSE(trusted) << "trust must not survive eviction + refill";
+}
+
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencySurvivesWriteThrough) {
+  std::vector<std::byte> data(64, std::byte{9});
+  ASSERT_OK(cached_.Write(0, data));
+  cached_.Invalidate();
+  const std::vector<Extent> extents = {{0, 64}};
+  std::vector<std::byte> out(64);
+  bool trusted = false;
+  uint64_t token = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+    cached_.MarkVerified(extents, token);
+  }
+  // A successful write-through patches the cached block with the writer's
+  // own (authoritative) bytes; the block stays trusted and serves them.
+  ASSERT_OK(cached_.Write(8, Bytes("fresh")));
+  trusted = false;
+  ASSERT_OK(cached_.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_TRUE(trusted);
+  EXPECT_EQ(AsString(std::vector<std::byte>(out.begin() + 8,
+                                            out.begin() + 13)),
+            "fresh");
+}
+
+TEST_F(ShardedCachedDeviceTest, VerifiedResidencyFailedWriteDropsBlock) {
+  FaultInjectingDevice::Options fault_options;
+  MemoryDevice memory(1 << 20);
+  FaultInjectingDevice faulty(&memory, fault_options);
+  ShardedCachedDevice cached(&faulty, /*capacity_blocks=*/32,
+                             /*block_size=*/64, /*num_shards=*/4);
+  std::vector<std::byte> data(64, std::byte{5});
+  ASSERT_OK(cached.Write(0, data));
+  cached.Invalidate();
+  const std::vector<Extent> extents = {{0, 64}};
+  std::vector<std::byte> out(64);
+  bool trusted = false;
+  uint64_t token = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_OK(cached.ReadBatchTracked(extents, out, &trusted, &token));
+    cached.MarkVerified(extents, token);
+  }
+  ASSERT_OK(cached.ReadBatchTracked(extents, out, &trusted, &token));
+  ASSERT_TRUE(trusted);
+  // A failed write leaves the device bytes unknown (possibly torn): the
+  // block is evicted, and the refilled copy must re-earn trust.
+  faulty.set_write_error_rate(1.0);
+  EXPECT_FALSE(cached.Write(0, data).ok());
+  faulty.set_write_error_rate(0.0);
+  trusted = true;
+  ASSERT_OK(cached.ReadBatchTracked(extents, out, &trusted, &token));
+  EXPECT_FALSE(trusted);
 }
 
 TEST_F(ShardedCachedDeviceTest, RandomizedEquivalenceWithUncachedDevice) {

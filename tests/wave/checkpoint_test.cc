@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 
 #include "index/index_builder.h"
 #include "storage/file_device.h"
 #include "testing/test_env.h"
+#include "util/crc32.h"
 #include "wave/scheme_factory.h"
 
 namespace wavekit {
@@ -51,7 +53,7 @@ TEST_F(CheckpointTest, SerializeIsDeterministic) {
   ASSERT_OK_AND_ASSIGN(std::string a, SerializeCheckpoint(wave_));
   ASSERT_OK_AND_ASSIGN(std::string b, SerializeCheckpoint(wave_));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("wavekit-checkpoint 2"), std::string::npos);
+  EXPECT_NE(a.find("wavekit-checkpoint 3"), std::string::npos);
   EXPECT_NE(a.find("packed-part"), std::string::npos);
   EXPECT_NE(a.find("\nfooter "), std::string::npos);
 }
@@ -165,7 +167,7 @@ TEST_F(CheckpointTest, CorruptCheckpointsAreRejected) {
                    .ok());
   // Bad version.
   std::string bad_version = contents;
-  bad_version.replace(bad_version.find(" 2\n"), 3, " 9\n");
+  bad_version.replace(bad_version.find(" 3\n"), 3, " 9\n");
   EXPECT_FALSE(DeserializeCheckpoint(bad_version, store_.device(), &fresh,
                                      Options())
                    .ok());
@@ -232,13 +234,175 @@ TEST_F(CheckpointTest, WrongVersionReportsVersion) {
   BuildWave();
   ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
   std::string bad_version = contents;
-  bad_version.replace(bad_version.find(" 2\n"), 3, " 9\n");
+  bad_version.replace(bad_version.find(" 3\n"), 3, " 9\n");
   ExtentAllocator fresh(store_.allocator()->capacity());
   auto loaded =
       DeserializeCheckpoint(bad_version, store_.device(), &fresh, Options());
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("version 9"), std::string::npos)
       << loaded.status();
+}
+
+// Re-seals a (possibly tampered) checkpoint body with a correct footer, so a
+// test can prove a deeper validation layer — not the footer CRC — rejects it.
+std::string Reseal(const std::string& body) {
+  return body + "footer " + std::to_string(body.size()) + " " +
+         std::to_string(Crc32(body)) + "\n";
+}
+
+// Doctors a serialized v3 checkpoint down to the v2 format: version header
+// rewritten, the per-bucket <crc32c> column stripped, footer recomputed.
+// This is byte-for-byte what a pre-upgrade deployment would have written.
+std::string DowngradeToV2(const std::string& v3) {
+  const size_t footer_at = v3.rfind("\nfooter ");
+  EXPECT_NE(footer_at, std::string::npos);
+  std::istringstream in(v3.substr(0, footer_at + 1));
+  std::string body, line;
+  while (std::getline(in, line)) {
+    if (line.rfind("wavekit-checkpoint ", 0) == 0) {
+      line = "wavekit-checkpoint 2";
+    } else if (line.rfind("bucket ", 0) == 0) {
+      line.erase(line.rfind(' '));  // drop the trailing <crc32c> column
+    }
+    body += line + "\n";
+  }
+  return Reseal(body);
+}
+
+TEST_F(CheckpointTest, V2CheckpointUpgradesWithRecomputedChecksums) {
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
+  const std::string v2 = DowngradeToV2(v3);
+  ASSERT_NE(v2, v3);
+  EXPECT_NE(v2.find("wavekit-checkpoint 2"), std::string::npos);
+
+  // A v2 file loads: checksums are seeded from the device bytes.
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(v2, store_.device(), &fresh, Options()));
+  std::vector<Entry> out;
+  ASSERT_OK(reopened.IndexProbe("alpha", &out));
+  ReferenceIndex::Sort(&out);
+  EXPECT_EQ(out, reference_.Probe("alpha", kDayNegInf, kDayPosInf));
+
+  // And the upgrade is complete, not cosmetic: re-serializing writes v3
+  // with the recomputed checksums, identical to the native v3 file.
+  ASSERT_OK_AND_ASSIGN(std::string resaved, SerializeCheckpoint(reopened));
+  EXPECT_EQ(resaved, v3);
+
+  // The seeded checksums have teeth: rot AFTER the upgrade is caught.
+  Extent live{0, 0};
+  ASSERT_OK(reopened.constituents()[0]->ForEachBucket(
+      [&](const Value& v, const BucketInfo& info) {
+        if (v == "alpha") {
+          live = Extent{info.extent.offset, uint64_t{info.count} * kEntrySize};
+        }
+      }));
+  ASSERT_GT(live.length, 0u);
+  std::vector<std::byte> buf(static_cast<size_t>(live.length));
+  ASSERT_OK(store_.device()->Read(live.offset, buf));
+  buf[0] ^= std::byte{0x04};
+  ASSERT_OK(store_.device()->Write(live.offset, buf));
+  out.clear();
+  EXPECT_TRUE(reopened.constituents()[0]->Probe("alpha", &out).IsDataLoss());
+}
+
+TEST_F(CheckpointTest, V3ChecksumColumnCatchesRotThatV2CannotSee) {
+  // Rot the medium AFTER the checkpoint was taken but BEFORE it is loaded —
+  // the at-rest window a restart cannot observe directly. The v3 file
+  // carries the pre-rot checksum and catches the rot on first read; the v2
+  // file has nothing to compare against and trusts the rotten bytes. This
+  // asymmetry is the reason the format grew the column.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
+  const std::string v2 = DowngradeToV2(v3);
+  Extent live{0, 0};
+  ASSERT_OK(wave_.constituents()[0]->ForEachBucket(
+      [&](const Value& v, const BucketInfo& info) {
+        if (v == "beta") {
+          live = Extent{info.extent.offset, uint64_t{info.count} * kEntrySize};
+        }
+      }));
+  ASSERT_GT(live.length, 0u);
+  std::vector<std::byte> buf(static_cast<size_t>(live.length));
+  ASSERT_OK(store_.device()->Read(live.offset, buf));
+  buf[buf.size() / 2] ^= std::byte{0x20};
+  ASSERT_OK(store_.device()->Write(live.offset, buf));
+
+  std::vector<Entry> out;
+  {
+    ExtentAllocator fresh(store_.allocator()->capacity());
+    ASSERT_OK_AND_ASSIGN(
+        WaveIndex from_v3,
+        DeserializeCheckpoint(v3, store_.device(), &fresh, Options()));
+    EXPECT_TRUE(from_v3.constituents()[0]->Probe("beta", &out).IsDataLoss());
+    EXPECT_TRUE(from_v3.constituents()[0]->corrupt());
+  }
+  {
+    ExtentAllocator fresh(store_.allocator()->capacity());
+    ASSERT_OK_AND_ASSIGN(
+        WaveIndex from_v2,
+        DeserializeCheckpoint(v2, store_.device(), &fresh, Options()));
+    out.clear();
+    EXPECT_OK(from_v2.constituents()[0]->Probe("beta", &out));  // trusted rot
+    EXPECT_FALSE(from_v2.constituents()[0]->corrupt());
+  }
+}
+
+TEST_F(CheckpointTest, DoctoredChecksumColumnIsCaughtOnFirstRead) {
+  // An attacker (or bug) that rewrites a bucket checksum AND re-seals the
+  // footer gets past the file-integrity layer by construction — the data
+  // checksum verification at read time is the layer that must catch it.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
+  const size_t footer_at = v3.rfind("\nfooter ");
+  std::istringstream in(v3.substr(0, footer_at + 1));
+  std::string body, line;
+  bool doctored = false;
+  while (std::getline(in, line)) {
+    if (!doctored && line.rfind("bucket ", 0) == 0) {
+      const size_t last_space = line.rfind(' ');
+      uint64_t crc = std::stoull(line.substr(last_space + 1));
+      line = line.substr(0, last_space + 1) +
+             std::to_string(crc ^ 0x00010000u);
+      doctored = true;
+    }
+    body += line + "\n";
+  }
+  ASSERT_TRUE(doctored);
+  const std::string tampered = Reseal(body);
+  ASSERT_NE(tampered, v3);
+
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(tampered, store_.device(), &fresh, Options()));
+  // The doctored bucket is the first one serialized for constituent 0; a
+  // full scan of that constituent must trip over it.
+  EXPECT_TRUE(reopened.constituents()[0]
+                  ->Scan([](const Value&, const Entry&) {})
+                  .IsDataLoss());
+  EXPECT_TRUE(reopened.constituents()[0]->corrupt());
+}
+
+TEST_F(CheckpointTest, TruncatedChecksumColumnIsRejected) {
+  // A v3 header whose bucket lines lost the checksum column (a bad partial
+  // upgrade, or v2 bucket lines pasted under a v3 header) must be rejected
+  // by the parser even with a correct footer — never silently read as v2.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
+  std::string v2_body_v3_header = DowngradeToV2(v3);
+  const size_t at = v2_body_v3_header.find("wavekit-checkpoint 2");
+  ASSERT_NE(at, std::string::npos);
+  v2_body_v3_header.replace(at, 20, "wavekit-checkpoint 3");
+  const size_t footer_at = v2_body_v3_header.rfind("\nfooter ");
+  const std::string resealed =
+      Reseal(v2_body_v3_header.substr(0, footer_at + 1));
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  EXPECT_FALSE(
+      DeserializeCheckpoint(resealed, store_.device(), &fresh, Options())
+          .ok());
 }
 
 TEST_F(CheckpointTest, ExtentOverlappingReservedRangeIsRejected) {

@@ -1,0 +1,253 @@
+// Background scrubber: exhaustive checksum verification of live extents,
+// quarantine-on-mismatch, skip-the-condemned, bounded-I/O pacing on the
+// injected clock, transient-read-error accounting, and the cache-bypass
+// principle — a scrub that reads through a warm block cache verifies the
+// cache, not the medium.
+
+#include "wave/scrubber.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "obs/event_journal.h"
+#include "storage/fault_injecting_device.h"
+#include "storage/sharded_cached_device.h"
+#include "testing/test_env.h"
+#include "util/clock.h"
+
+namespace wavekit {
+namespace {
+
+using testing::MakeMixedBatch;
+
+class ScrubberTest : public ::testing::Test {
+ protected:
+  ScrubberTest() : device_(uint64_t{1} << 24), allocator_(device_.capacity()) {}
+
+  // Two constituents over days 1-3 and 4-6, built on `device` (defaults to
+  // the raw memory device).
+  void BuildWave(Device* device = nullptr, ExtentAllocator* allocator = nullptr) {
+    if (device == nullptr) device = &device_;
+    if (allocator == nullptr) allocator = &allocator_;
+    for (int part = 0; part < 2; ++part) {
+      std::vector<DayBatch> batches;
+      for (Day d = 1 + 3 * part; d <= 3 + 3 * part; ++d) {
+        batches.push_back(MakeMixedBatch(d));
+      }
+      std::vector<const DayBatch*> ptrs;
+      for (const DayBatch& b : batches) ptrs.push_back(&b);
+      ConstituentIndex::Options options;
+      options.integrity = &stats_;
+      auto built = IndexBuilder::BuildPacked(device, allocator, options,
+                                             ptrs, "I" + std::to_string(part));
+      ASSERT_TRUE(built.ok()) << built.status();
+      wave_.AddIndex(std::move(built).ValueOrDie());
+    }
+  }
+
+  // Totals over the wave, for report cross-checks.
+  uint64_t TotalLiveBuckets() const {
+    uint64_t buckets = 0;
+    for (const auto& c : wave_.constituents()) {
+      EXPECT_OK(c->ForEachBucket([&](const Value&, const BucketInfo& info) {
+        if (info.count > 0) ++buckets;
+      }));
+    }
+    return buckets;
+  }
+  uint64_t TotalLiveBytes() const {
+    uint64_t bytes = 0;
+    for (const auto& c : wave_.constituents()) bytes += c->live_bytes();
+    return bytes;
+  }
+
+  // Flips one bit in the first live bucket of constituent `which`, directly
+  // on `medium` (the layer rot actually lives on).
+  void RotFirstBucket(int which, Device* medium = nullptr) {
+    if (medium == nullptr) medium = &device_;
+    Extent live{0, 0};
+    ASSERT_OK(wave_.constituents()[which]->ForEachBucket(
+        [&](const Value&, const BucketInfo& info) {
+          if (live.length == 0 && info.count > 0) {
+            live = Extent{info.extent.offset,
+                          uint64_t{info.count} * kEntrySize};
+          }
+        }));
+    ASSERT_GT(live.length, 0u);
+    std::vector<std::byte> buf(static_cast<size_t>(live.length));
+    ASSERT_OK(medium->Read(live.offset, buf));
+    buf[0] ^= std::byte{0x10};
+    ASSERT_OK(medium->Write(live.offset, buf));
+  }
+
+  MemoryDevice device_;
+  ExtentAllocator allocator_;
+  IntegrityStats stats_;
+  WaveIndex wave_;
+};
+
+TEST_F(ScrubberTest, CleanWaveVerifiesEverythingAndFindsNothing) {
+  BuildWave();
+  ScrubOptions options;
+  options.integrity = &stats_;
+  ASSERT_OK_AND_ASSIGN(ScrubReport report, ScrubWave(wave_, options));
+  EXPECT_EQ(report.constituents_scrubbed, 2u);
+  EXPECT_EQ(report.constituents_skipped, 0u);
+  EXPECT_EQ(report.buckets_verified, TotalLiveBuckets());
+  EXPECT_EQ(report.bytes_read, TotalLiveBytes());
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_EQ(report.read_errors, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(stats_.verified_buckets.load(), report.buckets_verified);
+}
+
+TEST_F(ScrubberTest, MismatchQuarantinesAndJournalsAndStopsTheConstituent) {
+  BuildWave();
+  RotFirstBucket(0);
+  obs::EventJournal::Options journal_options;
+  journal_options.ring_capacity = 64;
+  obs::EventJournal events(journal_options);
+  ScrubOptions options;
+  options.integrity = &stats_;
+  options.events = &events;
+  options.day = 6;
+  ASSERT_OK_AND_ASSIGN(ScrubReport report, ScrubWave(wave_, options));
+  EXPECT_EQ(report.mismatches, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], "I0");
+  EXPECT_TRUE(wave_.constituents()[0]->corrupt());
+  EXPECT_FALSE(wave_.constituents()[0]->healthy());
+  EXPECT_TRUE(wave_.constituents()[1]->healthy());
+  // I0 stops at the first condemned bucket; I1 is fully verified.
+  EXPECT_LT(report.buckets_verified, TotalLiveBuckets());
+  EXPECT_EQ(stats_.corruptions_detected.load(), 1u);
+  EXPECT_EQ(stats_.quarantines.load(), 1u);
+
+  // scrub_start, corruption_detected (with crc detail), quarantine,
+  // scrub_complete — in order.
+  std::vector<obs::EventType> types;
+  for (const obs::Event& e : events.Events()) types.push_back(e.type);
+  ASSERT_EQ(types.size(), 4u);
+  EXPECT_EQ(types[0], obs::EventType::kScrubStart);
+  EXPECT_EQ(types[1], obs::EventType::kCorruptionDetected);
+  EXPECT_EQ(types[2], obs::EventType::kQuarantine);
+  EXPECT_EQ(types[3], obs::EventType::kScrubComplete);
+  EXPECT_EQ(events.Events()[1].day, 6);
+}
+
+TEST_F(ScrubberTest, SecondPassSkipsTheQuarantined) {
+  BuildWave();
+  RotFirstBucket(0);
+  ScrubOptions options;
+  ASSERT_OK_AND_ASSIGN(ScrubReport first, ScrubWave(wave_, options));
+  ASSERT_EQ(first.quarantined.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(ScrubReport second, ScrubWave(wave_, options));
+  EXPECT_EQ(second.constituents_skipped, 1u);
+  EXPECT_EQ(second.constituents_scrubbed, 1u);
+  EXPECT_EQ(second.mismatches, 0u);  // re-reading the condemned proves nothing
+}
+
+TEST_F(ScrubberTest, PacingSleepsBetweenBatchesOnTheInjectedClock) {
+  BuildWave();
+  SimClock clock;
+  ScrubOptions options;
+  options.clock = &clock;
+  options.pause_us_per_batch = 250;
+  options.io_batch_bytes = kEntrySize;  // every bucket is its own batch
+  ASSERT_OK_AND_ASSIGN(ScrubReport report, ScrubWave(wave_, options));
+  EXPECT_EQ(report.mismatches, 0u);
+  // One pause between each pair of consecutive batches, per constituent
+  // (the first batch of each constituent never sleeps).
+  const uint64_t batches = report.buckets_verified;
+  ASSERT_GT(batches, 2u);
+  EXPECT_EQ(clock.NowMicros(), (batches - 2) * 250);
+
+  // No pacing configured: virtual time must not move at all.
+  SimClock still;
+  ScrubOptions unpaced;
+  unpaced.clock = &still;
+  ASSERT_OK(ScrubWave(wave_, unpaced).status());
+  EXPECT_EQ(still.NowMicros(), 0u);
+}
+
+TEST_F(ScrubberTest, TransientReadErrorsAreCountedNotFatal) {
+  MemoryDevice memory(uint64_t{1} << 24);
+  FaultInjectingDevice faulty(&memory);
+  ExtentAllocator allocator(memory.capacity());
+  BuildWave(&faulty, &allocator);
+
+  // Mark the first live bucket of I0 permanently unreadable.
+  Extent bad{0, 0};
+  ASSERT_OK(wave_.constituents()[0]->ForEachBucket(
+      [&](const Value&, const BucketInfo& info) {
+        if (bad.length == 0 && info.count > 0) {
+          bad = Extent{info.extent.offset, uint64_t{info.count} * kEntrySize};
+        }
+      }));
+  faulty.AddBadRange(bad);
+
+  ScrubOptions options;
+  ASSERT_OK_AND_ASSIGN(ScrubReport report, ScrubWave(wave_, options));
+  EXPECT_GE(report.read_errors, 1u);
+  EXPECT_EQ(report.mismatches, 0u);
+  // An unreadable bucket is NOT corruption: nothing is quarantined, the next
+  // pass retries it.
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_TRUE(wave_.constituents()[0]->healthy());
+  // The other buckets were still verified (per-bucket fallback localized the
+  // failure).
+  EXPECT_EQ(report.buckets_verified, TotalLiveBuckets() - 1);
+
+  // The constituents reference this test's local device and allocator;
+  // release them before the locals go out of scope.
+  wave_ = WaveIndex();
+}
+
+TEST_F(ScrubberTest, WarmCacheMasksRotUnlessScrubReadsTheMedium) {
+  // Build through a block cache, warm it with a full scan, then rot the
+  // MEDIUM beneath the cache. A scrub through the constituent's own device
+  // (the cache) sees only clean cached copies; a scrub pointed at the layer
+  // beneath (ScrubOptions::device) finds the rot. This is the reason
+  // WaveService scrubs through the meter, not the cache.
+  MemoryDevice memory(uint64_t{1} << 24);
+  ShardedCachedDevice cache(&memory, /*capacity_blocks=*/4096,
+                            /*block_size=*/64);
+  ExtentAllocator allocator(memory.capacity());
+  BuildWave(&cache, &allocator);
+  for (const auto& c : wave_.constituents()) {
+    ASSERT_OK(c->Scan([](const Value&, const Entry&) {}));  // warm the cache
+  }
+  RotFirstBucket(0, &memory);
+
+  ScrubOptions through_cache;
+  ASSERT_OK_AND_ASSIGN(ScrubReport masked, ScrubWave(wave_, through_cache));
+  EXPECT_EQ(masked.mismatches, 0u) << "cache hid the rot, as expected";
+  EXPECT_TRUE(wave_.constituents()[0]->healthy());
+
+  ScrubOptions through_medium;
+  through_medium.device = &memory;
+  ASSERT_OK_AND_ASSIGN(ScrubReport found, ScrubWave(wave_, through_medium));
+  EXPECT_EQ(found.mismatches, 1u);
+  ASSERT_EQ(found.quarantined.size(), 1u);
+  EXPECT_EQ(found.quarantined[0], "I0");
+
+  // The constituents reference this test's local device and allocator;
+  // release them before the locals go out of scope.
+  wave_ = WaveIndex();
+}
+
+TEST_F(ScrubberTest, ScrubConstituentRequiresReport) {
+  BuildWave();
+  EXPECT_FALSE(
+      ScrubConstituent(*wave_.constituents()[0], {}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace wavekit

@@ -2,7 +2,12 @@
 //
 //   sim_torture [--seed=1] [--episodes=64] [--scheme=all|del|reindex|...]
 //               [--episode=E] [--print-trace] [--shrink=1] [--tmp-dir=/tmp]
-//               [--inject-window-bug]
+//               [--inject-window-bug] [--bitrot]
+//
+// --bitrot switches to the bit-rot scenario family (GenerateBitRot): every
+// day commits cleanly, then silent data-at-rest corruption strikes and the
+// episode asserts detection (scrub or query path), quarantine,
+// subset-correct degraded answers, and online self-healing.
 //
 // Runs seed-derived torture episodes (testing/sim_harness.h) for the chosen
 // scheme(s): each episode drives a full maintenance life — crashes, device
@@ -117,13 +122,15 @@ int Main(int argc, char** argv) {
     kinds.push_back(parsed.ValueOrDie());
   }
 
+  const bool bitrot = args.GetBool("bitrot", false);
   const testing::Simulator simulator(config);
   bool failed = false;
   for (SchemeKind kind : kinds) {
     if (args.Has("episode")) {
       const uint64_t episode = args.GetU64("episode", 0);
       const testing::EpisodeResult result =
-          simulator.RunEpisode(kind, episode);
+          bitrot ? simulator.RunBitRotEpisode(kind, episode)
+                 : simulator.RunEpisode(kind, episode);
       if (print_trace) std::cout << result.trace;
       if (result.status.ok()) {
         std::cout << SchemeKindName(kind) << " episode " << episode
@@ -134,7 +141,8 @@ int Main(int argc, char** argv) {
       }
       continue;
     }
-    const testing::EpisodeResult result = simulator.RunMany(kind);
+    const testing::EpisodeResult result =
+        bitrot ? simulator.RunManyBitRot(kind) : simulator.RunMany(kind);
     if (result.status.ok()) {
       std::cout << SchemeKindName(kind) << ": " << config.episodes
                 << " episodes ok\n";
