@@ -1,0 +1,105 @@
+// Per-bucket codecs: compressed on-device bucket layouts.
+//
+// Probe and scan cost is dominated by bucket transfer (the Trans * S' term
+// of the paper's cost model), so shrinking on-device bucket bytes is a
+// direct speedup on both the modeled disk and the real backends. A bucket
+// holds `count` 16-byte entries; a codec re-encodes that entry sequence as a
+// smaller byte string. Three codecs exist:
+//
+//   kRaw     — the identity layout: count * kEntrySize bytes, appendable in
+//              place. The only codec simple (mutable) constituents use.
+//   kDelta   — columnar delta coding: zigzag deltas of record_id and day as
+//              LEB128 varints, aux as plain varints. Wins on packed buckets
+//              whose record ids arrive roughly sorted (the common case: day
+//              clusters assign ids in insertion order).
+//   kBitPack — columnar fixed-width bit packing: per column a base (min)
+//              and a bit width, then count fields of (value - base). Wins
+//              when values sit in a narrow range but are not sorted.
+//
+// Encoding is a pure function of the entry sequence — two builds of the same
+// bucket (serial or parallel) produce byte-identical extents, which the
+// deterministic sim harness and the serial-parity tests rely on. Selection
+// (`EncodeBucket` with CodecMode::kAuto) runs a cheap O(n) size probe per
+// candidate and encodes only the winner; a codec is chosen only when its
+// output is strictly smaller than raw, so kRaw remains the canonical form
+// for incompressible buckets.
+//
+// Decoding (`DecodeBucket`) is the trust boundary's companion: it must never
+// crash or overread on arbitrary bytes (fuzz_codec enforces this) and
+// returns Status::DataLoss on any malformed input. Per-bucket CRC-32C is
+// computed over the *stored* (compressed) bytes, so corruption is caught by
+// the existing checksum machinery before decode even runs; decode hardening
+// is defense in depth for verify_checksums=false configurations.
+
+#ifndef WAVEKIT_INDEX_CODEC_H_
+#define WAVEKIT_INDEX_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/entry.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace wavekit {
+
+/// \brief On-device bucket layout identifier. Stable: persisted in
+/// checkpoint v4 bucket lines as a small integer.
+enum class Codec : uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+  kBitPack = 2,
+};
+
+/// Number of codec ids (for per-codec stats arrays).
+inline constexpr int kNumCodecs = 3;
+
+/// \brief Build-time codec policy for an index. kRaw disables compression
+/// entirely (every path byte-identical to pre-codec builds). kAuto probes
+/// kDelta and kBitPack per bucket and keeps the smaller iff it beats raw.
+/// The forced modes consider only that codec (still falling back to kRaw
+/// when it does not beat raw) — useful for benchmarks and the sim harness.
+enum class CodecMode : uint8_t {
+  kRaw = 0,
+  kAuto = 1,
+  kDelta = 2,
+  kBitPack = 3,
+};
+
+const char* CodecName(Codec codec);
+const char* CodecModeName(CodecMode mode);
+
+/// Parses "raw" / "auto" / "delta" / "bitpack"; InvalidArgument otherwise.
+Result<CodecMode> CodecModeFromName(const std::string& name);
+
+/// Validates a persisted codec id; InvalidArgument if out of range.
+Result<Codec> CodecFromId(uint64_t id);
+
+/// \brief Result of encoding one bucket. For kRaw, `bytes` stays empty and
+/// callers use the raw entry bytes directly (no copy on the common path).
+struct EncodedBucket {
+  Codec codec = Codec::kRaw;
+  std::vector<std::byte> bytes;
+
+  /// Bytes this bucket occupies on the device.
+  uint64_t stored_length(size_t count) const {
+    return codec == Codec::kRaw ? count * kEntrySize : bytes.size();
+  }
+};
+
+/// \brief Encodes `entries[0..count)` under `mode`. Deterministic; returns
+/// kRaw (empty bytes) whenever no candidate beats the raw size strictly.
+EncodedBucket EncodeBucket(const Entry* entries, size_t count, CodecMode mode);
+
+/// \brief Decodes `size` stored bytes into exactly `count` entries at `out`
+/// (caller-sized). Never crashes or overreads on arbitrary input; returns
+/// Status::DataLoss on malformed/truncated/trailing bytes. For kRaw, `size`
+/// must equal count * kEntrySize.
+Status DecodeBucket(Codec codec, const std::byte* data, size_t size,
+                    size_t count, Entry* out);
+
+}  // namespace wavekit
+
+#endif  // WAVEKIT_INDEX_CODEC_H_

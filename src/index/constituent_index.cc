@@ -36,23 +36,23 @@ void ConstituentIndex::Quarantine() const {
   }
 }
 
-Status ConstituentIndex::VerifyBucketBytes(const Value& value,
-                                           const BucketInfo& info,
-                                           const std::byte* bytes) const {
+Status ConstituentIndex::VerifyBucketBytes(const Value& value, uint32_t crc,
+                                           const std::byte* bytes,
+                                           uint64_t length) const {
   if (!options_.verify_checksums) return Status::OK();
   if (options_.integrity != nullptr) {
     options_.integrity->verified_buckets.fetch_add(1,
                                                    std::memory_order_relaxed);
   }
-  return CheckBucketBytes(value, info, bytes);
+  return CheckBucketBytes(value, crc, bytes, length);
 }
 
-Status ConstituentIndex::CheckBucketBytes(const Value& value,
-                                          const BucketInfo& info,
-                                          const std::byte* bytes) const {
+Status ConstituentIndex::CheckBucketBytes(const Value& value, uint32_t crc,
+                                          const std::byte* bytes,
+                                          uint64_t length) const {
   if (!options_.verify_checksums) return Status::OK();
-  const uint32_t actual = Crc32c(bytes, info.count * kEntrySize);
-  if (actual == info.crc) return Status::OK();
+  const uint32_t actual = Crc32c(bytes, length);
+  if (actual == crc) return Status::OK();
   if (options_.integrity != nullptr) {
     options_.integrity->corruptions_detected.fetch_add(
         1, std::memory_order_relaxed);
@@ -62,22 +62,51 @@ Status ConstituentIndex::CheckBucketBytes(const Value& value,
                           "' of index " + name_);
 }
 
+Status ConstituentIndex::DecodeStoredBucket(const Value& value, Codec codec,
+                                            const std::byte* bytes,
+                                            uint64_t length, uint32_t count,
+                                            Entry* out) const {
+  Status status =
+      DecodeBucket(codec, bytes, static_cast<size_t>(length), count, out);
+  if (status.ok()) return status;
+  // The checksum over the stored bytes passed (or was disabled), yet the
+  // bytes do not decode: corruption the CRC could not see, or rot under a
+  // verify_checksums=false configuration. Same treatment as a mismatch.
+  if (options_.integrity != nullptr) {
+    options_.integrity->corruptions_detected.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  Quarantine();
+  return Status::DataLoss("bucket '" + value + "' of index " + name_ +
+                          " failed to decode: " + status.message());
+}
+
 Status ConstituentIndex::ReadBucketEntries(const Value& value,
                                            const BucketInfo& info,
                                            std::vector<Entry>* out) const {
   const size_t previous = out->size();
   out->resize(previous + info.count);
   if (info.count == 0) return Status::OK();
-  auto* bytes = reinterpret_cast<std::byte*>(out->data() + previous);
-  const std::span<std::byte> span(bytes, info.count * kEntrySize);
+
+  // Compressed buckets read the stored (encoded) bytes into scratch and
+  // decode at this boundary; raw buckets read entries straight into `out`.
+  std::vector<std::byte> scratch;
+  const Extent stored{info.extent.offset, info.stored_length()};
+  std::byte* bytes;
+  if (info.codec == Codec::kRaw) {
+    bytes = reinterpret_cast<std::byte*>(out->data() + previous);
+  } else {
+    scratch.resize(static_cast<size_t>(stored.length));
+    bytes = scratch.data();
+  }
+  const std::span<std::byte> span(bytes, static_cast<size_t>(stored.length));
   Status status;
   if (options_.verify_checksums) {
     // Verify at the trust boundary (storage/device.h ReadBatchTracked): a
     // bucket served entirely from checksum-verified resident cache bytes
     // skips re-hashing; a verified medium read promotes those bytes so the
     // next probe of the same hot bucket can skip.
-    const Extent live{info.extent.offset, info.count * kEntrySize};
-    const std::span<const Extent> extents(&live, 1);
+    const std::span<const Extent> extents(&stored, 1);
     bool trusted = false;
     uint64_t fill_token = 0;
     status = device_->ReadBatchTracked(extents, span, &trusted, &fill_token);
@@ -88,15 +117,19 @@ Status ConstituentIndex::ReadBucketEntries(const Value& value,
               1, std::memory_order_relaxed);
         }
       } else {
-        status = VerifyBucketBytes(value, info, bytes);
+        status = VerifyBucketBytes(value, info.crc, bytes, stored.length);
         if (status.ok()) device_->MarkVerified(extents, fill_token);
       }
     }
   } else {
-    status = device_->Read(info.extent.offset, span);
+    status = device_->Read(stored.offset, span);
   }
-  // A failed read or checksum must not hand unverified entries to the
-  // caller alongside the error.
+  if (status.ok() && info.codec != Codec::kRaw) {
+    status = DecodeStoredBucket(value, info.codec, bytes, stored.length,
+                                info.count, out->data() + previous);
+  }
+  // A failed read, checksum, or decode must not hand unverified entries to
+  // the caller alongside the error.
   if (!status.ok()) out->resize(previous);
   return status;
 }
@@ -143,19 +176,22 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
   // per batch instead of per bucket.
   static constexpr uint64_t kScanBatchBytes = uint64_t{4} << 20;
   // Pending buckets in structure-of-arrays form so the fused verify+deliver
-  // loop below touches two small dense arrays, not a vector of structs.
+  // loop below touches a few small dense arrays, not a vector of structs.
   std::vector<Extent> extents;
   std::vector<const Value*> pending_values;
-  std::vector<uint32_t> pending_lengths;  // live bytes per bucket
+  std::vector<uint32_t> pending_lengths;  // stored bytes per bucket
+  std::vector<uint32_t> pending_counts;   // live entries per bucket
+  std::vector<Codec> pending_codecs;
   std::vector<uint32_t> pending_crcs;
-  std::vector<Entry> buffer;
+  std::vector<std::byte> buffer;
+  std::vector<Entry> scratch;  // decode target for compressed buckets
   uint64_t pending_bytes = 0;
 
   auto flush = [&]() -> Status {
     if (pending_values.empty()) return Status::OK();
-    buffer.resize(static_cast<size_t>(pending_bytes / kEntrySize));
-    auto* bytes = reinterpret_cast<std::byte*>(buffer.data());
-    const std::span<std::byte> out(bytes, static_cast<size_t>(pending_bytes));
+    buffer.resize(static_cast<size_t>(pending_bytes));
+    const std::span<std::byte> out(buffer.data(),
+                                   static_cast<size_t>(pending_bytes));
     // Verification happens at the trust boundary — the medium. A batch
     // served wholly from cache blocks that MarkVerified promoted (every byte
     // checksum-verified since it last crossed the medium) is delivered
@@ -183,25 +219,45 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
     const size_t total = pending_values.size();
     const bool verify = options_.verify_checksums && !all_trusted;
     size_t bad = total;  // first corrupt bucket, or total when clean
-    size_t at = 0;       // entry offset of bucket k within the buffer
+    size_t at = 0;       // byte offset of bucket k within the buffer
     uint32_t actual = verify ? Crc32c(buffer.data(), pending_lengths[0]) : 0;
     for (size_t k = 0; k < total; ++k) {
-      const uint32_t count = pending_lengths[k] / kEntrySize;
+      const uint32_t length = pending_lengths[k];
       if (verify) {
         if (actual != pending_crcs[k]) {
           bad = k;
           break;
         }
         if (k + 1 < total) {
-          actual = Crc32c(buffer.data() + at + count, pending_lengths[k + 1]);
+          actual = Crc32c(buffer.data() + at + length, pending_lengths[k + 1]);
         }
       }
       const Value& value = *pending_values[k];
+      const uint32_t count = pending_counts[k];
+      const std::byte* stored = buffer.data() + at;
+      const Entry* bucket;
+      if (pending_codecs[k] == Codec::kRaw) {
+        // An all-raw batch keeps every bucket at an entry-aligned offset and
+        // delivers in place; a compressed predecessor can leave this one
+        // unaligned, in which case it is copied out first.
+        if (reinterpret_cast<uintptr_t>(stored) % alignof(Entry) == 0) {
+          bucket = reinterpret_cast<const Entry*>(stored);
+        } else {
+          scratch.resize(count);
+          std::memcpy(scratch.data(), stored, length);
+          bucket = scratch.data();
+        }
+      } else {
+        scratch.resize(count);
+        WAVEKIT_RETURN_NOT_OK(DecodeStoredBucket(
+            value, pending_codecs[k], stored, length, count, scratch.data()));
+        bucket = scratch.data();
+      }
       for (uint32_t i = 0; i < count; ++i) {
-        const Entry& e = buffer[at + i];
+        const Entry& e = bucket[i];
         if (covered || range.Contains(e.day)) callback(value, e);
       }
-      at += count;
+      at += length;
     }
     if (options_.integrity != nullptr && options_.verify_checksums) {
       if (verify) {
@@ -216,11 +272,10 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
       // Recheck the failing bucket through the usual path for the corruption
       // accounting, the quarantine, and the error message. `at` is its
       // offset: the loop broke before advancing past bucket `bad`.
-      const uint32_t count = pending_lengths[bad] / kEntrySize;
-      const BucketInfo probe{Extent{}, count, count, pending_crcs[bad]};
-      WAVEKIT_RETURN_NOT_OK(CheckBucketBytes(
-          *pending_values[bad], probe,
-          reinterpret_cast<const std::byte*>(buffer.data() + at)));
+      WAVEKIT_RETURN_NOT_OK(CheckBucketBytes(*pending_values[bad],
+                                             pending_crcs[bad],
+                                             buffer.data() + at,
+                                             pending_lengths[bad]));
     }
     if (verify && bad == total) {
       // Every byte of this batch checksummed clean: mark those bytes of
@@ -230,6 +285,8 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
     extents.clear();
     pending_values.clear();
     pending_lengths.clear();
+    pending_counts.clear();
+    pending_codecs.clear();
     pending_crcs.clear();
     pending_bytes = 0;
     return Status::OK();
@@ -242,7 +299,7 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
                               "' in index " + name_);
     }
     if (info->count == 0) continue;
-    const Extent live{info->extent.offset, info->count * kEntrySize};
+    const Extent live{info->extent.offset, info->stored_length()};
     if (!extents.empty() && extents.back().end() == live.offset) {
       extents.back().length += live.length;  // adjacent: extend the run
     } else {
@@ -250,6 +307,8 @@ Status ConstituentIndex::TimedScan(const DayRange& range,
     }
     pending_values.push_back(&value);
     pending_lengths.push_back(static_cast<uint32_t>(live.length));
+    pending_counts.push_back(info->count);
+    pending_codecs.push_back(info->codec);
     pending_crcs.push_back(info->crc);
     pending_bytes += live.length;
     if (pending_bytes >= kScanBatchBytes) WAVEKIT_RETURN_NOT_OK(flush());
@@ -295,7 +354,10 @@ Status ConstituentIndex::AppendEntries(const Value& value,
     info->count += static_cast<uint32_t>(entries.size());
     info->crc = Crc32cExtend(info->crc, entry_bytes, entry_byte_count);
   } else {
-    // CONTIGUOUS overflow: relocate to a g-times-larger extent.
+    // CONTIGUOUS overflow: relocate to a g-times-larger extent. A compressed
+    // bucket (count == capacity, so never appendable in place) lands here
+    // too: ReadBucketEntries decodes it and the rewrite is kRaw —
+    // rewrite-on-mutation keeps simple constituents appendable.
     const uint32_t needed =
         info->count + static_cast<uint32_t>(entries.size());
     const uint32_t new_capacity =
@@ -312,6 +374,7 @@ Status ConstituentIndex::AppendEntries(const Value& value,
     info->extent = new_extent;
     info->count = needed;
     info->capacity = new_capacity;
+    info->codec = Codec::kRaw;
     info->crc = Crc32c(existing.data(), existing.size() * kEntrySize);
   }
   entry_count_ += entries.size();
@@ -362,8 +425,11 @@ Status ConstituentIndex::DeleteDays(const TimeSet& days) {
     const uint32_t live = static_cast<uint32_t>(kept.size());
     const uint32_t shrunk =
         options_.growth.ShrunkCapacity(info->capacity, live);
-    if (shrunk != info->capacity) {
-      // Worth relocating to a smaller extent (CONTIGUOUS shrink).
+    if (shrunk != info->capacity || info->codec != Codec::kRaw) {
+      // Worth relocating to a smaller extent (CONTIGUOUS shrink). A
+      // compressed bucket always relocates: its extent is encoded bytes,
+      // too small for the surviving raw entries, so rewrite-on-mutation
+      // lands them in a fresh kRaw extent.
       WAVEKIT_ASSIGN_OR_RETURN(Extent new_extent,
                                allocator_->Allocate(shrunk * kEntrySize));
       WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(new_extent.offset, kept));
@@ -372,6 +438,7 @@ Status ConstituentIndex::DeleteDays(const TimeSet& days) {
       allocated_bytes_ -= info->extent.length;
       info->extent = new_extent;
       info->capacity = shrunk;
+      info->codec = Codec::kRaw;
     } else {
       // Compact in place.
       WAVEKIT_RETURN_NOT_OK(WriteEntriesAt(info->extent.offset, kept));
@@ -400,17 +467,38 @@ Status ConstituentIndex::RemoveValue(const Value& value) {
 Status ConstituentIndex::InstallBucket(const Value& value, const Extent& extent,
                                        uint32_t count, uint32_t capacity,
                                        uint32_t crc) {
-  if (extent.length != capacity * kEntrySize) {
-    return Status::InvalidArgument("bucket extent does not match capacity");
-  }
-  if (count > capacity) {
+  return InstallBucket(value, BucketInfo{extent, count, capacity, crc});
+}
+
+Status ConstituentIndex::InstallBucket(const Value& value,
+                                       const BucketInfo& info) {
+  if (info.count > info.capacity) {
     return Status::InvalidArgument("bucket count exceeds capacity");
   }
-  WAVEKIT_RETURN_NOT_OK(
-      directory_->Insert(value, BucketInfo{extent, count, capacity, crc}));
+  if (info.codec == Codec::kRaw) {
+    if (info.extent.length != info.capacity * kEntrySize) {
+      return Status::InvalidArgument("bucket extent does not match capacity");
+    }
+  } else {
+    // Compressed buckets are immutable on device: exactly filled, with an
+    // extent that is exactly the encoded bytes and strictly beats raw
+    // (selection keeps kRaw otherwise).
+    if (info.count != info.capacity) {
+      return Status::InvalidArgument(
+          "compressed bucket must be exactly filled");
+    }
+    if (info.count == 0 || info.extent.length == 0) {
+      return Status::InvalidArgument("compressed bucket must be non-empty");
+    }
+    if (info.extent.length >= uint64_t{info.count} * kEntrySize) {
+      return Status::InvalidArgument(
+          "compressed bucket is not smaller than raw");
+    }
+  }
+  WAVEKIT_RETURN_NOT_OK(directory_->Insert(value, info));
   layout_order_.push_back(value);
-  allocated_bytes_ += extent.length;
-  entry_count_ += count;
+  allocated_bytes_ += info.extent.length;
+  entry_count_ += info.count;
   return Status::OK();
 }
 
@@ -440,13 +528,16 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
       return Status::Internal("layout order lists unknown value '" + value +
                               "' in index " + name_);
     }
-    // Copy the full capacity (slack included), preserving S' footprint.
+    // Copy the full capacity (slack included), preserving S' footprint. A
+    // compressed extent is exactly its stored bytes; the clone keeps the
+    // codec (no decode/re-encode round trip on the copy path).
     buffer.resize(info->extent.length);
     WAVEKIT_RETURN_NOT_OK(device_->Read(info->extent.offset, buffer));
     // Verify before propagating: a clone must not launder corrupt bytes
     // into a fresh extent with a recomputed checksum.
     {
-      Status verified = VerifyBucketBytes(value, *info, buffer.data());
+      Status verified = VerifyBucketBytes(value, info->crc, buffer.data(),
+                                          info->stored_length());
       if (!verified.ok()) {
         (void)allocator->Free(region);
         return verified;
@@ -454,8 +545,8 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneTo(
     }
     WAVEKIT_RETURN_NOT_OK(device->Write(cursor, buffer));
     WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
-        value, Extent{cursor, info->extent.length}, info->count,
-        info->capacity, info->crc));
+        value, BucketInfo{Extent{cursor, info->extent.length}, info->count,
+                          info->capacity, info->crc, info->codec}));
     cursor += info->extent.length;
   }
   clone->time_set_ = time_set_;
@@ -474,9 +565,11 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
     const Value* value;
     Extent source;
     uint64_t target_offset;  // relative to the region start
+    uint64_t stored;         // checksummed bytes at the extent's start
     uint32_t count;
     uint32_t capacity;
     uint32_t crc;
+    Codec codec;
   };
   std::vector<CopyPlan> plan;
   plan.reserve(layout_order_.size());
@@ -487,8 +580,9 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
       return Status::Internal("layout order lists unknown value '" + value +
                               "' in index " + name_);
     }
-    plan.push_back(CopyPlan{&value, info->extent, running, info->count,
-                            info->capacity, info->crc});
+    plan.push_back(CopyPlan{&value, info->extent, running,
+                            info->stored_length(), info->count,
+                            info->capacity, info->crc, info->codec});
     running += info->extent.length;
   }
   WAVEKIT_ASSIGN_OR_RETURN(Extent region,
@@ -516,15 +610,13 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
           if (sources.empty()) return Status::OK();
           buffer.resize(static_cast<size_t>(pending));
           WAVEKIT_RETURN_NOT_OK(device_->ReadBatch(sources, buffer));
-          // Verify each bucket's live prefix in the batch before the copy
+          // Verify each bucket's stored bytes in the batch before the copy
           // lands anywhere (same rule as the serial clone).
           uint64_t at = 0;
           for (const CopyPlan* bucket : batched) {
-            const BucketInfo probe{Extent{}, bucket->count, bucket->capacity,
-                                   bucket->crc};
             WAVEKIT_RETURN_NOT_OK(VerifyBucketBytes(
-                *bucket->value, probe,
-                buffer.data() + static_cast<size_t>(at)));
+                *bucket->value, bucket->crc,
+                buffer.data() + static_cast<size_t>(at), bucket->stored));
             at += bucket->source.length;
           }
           WAVEKIT_RETURN_NOT_OK(device->WriteBatch(targets, buffer));
@@ -563,8 +655,9 @@ Result<std::unique_ptr<ConstituentIndex>> ConstituentIndex::CloneToParallel(
   for (const CopyPlan& bucket : plan) {
     WAVEKIT_RETURN_NOT_OK(clone->InstallBucket(
         *bucket.value,
-        Extent{region.offset + bucket.target_offset, bucket.source.length},
-        bucket.count, bucket.capacity, bucket.crc));
+        BucketInfo{
+            Extent{region.offset + bucket.target_offset, bucket.source.length},
+            bucket.count, bucket.capacity, bucket.crc, bucket.codec}));
   }
   clone->time_set_ = time_set_;
   clone->packed_ = packed_;
@@ -585,6 +678,16 @@ Status ConstituentIndex::Destroy() {
   allocated_bytes_ = 0;
   packed_ = false;
   return Status::OK();
+}
+
+ConstituentIndex::CodecBreakdown ConstituentIndex::CodecStats() const {
+  CodecBreakdown breakdown;
+  directory_->ForEach([&](const Value&, const BucketInfo& info) {
+    breakdown.buckets[static_cast<size_t>(info.codec)] += 1;
+    breakdown.stored_bytes += info.stored_length();
+    breakdown.uncompressed_bytes += uint64_t{info.count} * kEntrySize;
+  });
+  return breakdown;
 }
 
 Status ConstituentIndex::CheckPacked() const {
@@ -622,8 +725,18 @@ Status ConstituentIndex::CheckConsistency() const {
     if (info->count == 0) {
       return Status::Internal("empty bucket retained for '" + value + "'");
     }
-    if (info->extent.length != info->capacity * kEntrySize) {
-      return Status::Internal("extent length does not match capacity");
+    if (info->codec == Codec::kRaw) {
+      if (info->extent.length != info->capacity * kEntrySize) {
+        return Status::Internal("extent length does not match capacity");
+      }
+    } else {
+      if (info->count != info->capacity) {
+        return Status::Internal("compressed bucket not exactly filled");
+      }
+      if (info->extent.length == 0 ||
+          info->extent.length >= uint64_t{info->count} * kEntrySize) {
+        return Status::Internal("compressed extent not smaller than raw");
+      }
     }
     entries += info->count;
     bytes += info->extent.length;

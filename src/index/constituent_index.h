@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "index/codec.h"
 #include "index/directory.h"
 #include "index/entry.h"
 #include "index/growth_policy.h"
@@ -65,6 +66,12 @@ class ConstituentIndex {
     bool verify_checksums = true;
     /// Optional shared counters; may be null. Must outlive the index.
     IntegrityStats* integrity = nullptr;
+    /// Bucket codec policy for packed builds (index/codec.h). kRaw keeps
+    /// every layout byte-identical to pre-codec builds. Compressed buckets
+    /// are immutable on device: AppendEntries / DeleteDays decode and
+    /// rewrite them as kRaw (rewrite-on-mutation), so simple constituents
+    /// stay appendable.
+    CodecMode codec = CodecMode::kRaw;
   };
 
   /// Creates an empty index. `device` and `allocator` must outlive it.
@@ -131,6 +138,26 @@ class ConstituentIndex {
   Device* device() const { return device_; }
   ExtentAllocator* allocator() const { return allocator_; }
 
+  /// \brief Per-codec bucket census: how many buckets each codec holds,
+  /// stored (on-device) bytes vs. the raw bytes the same entries would
+  /// occupy. Directory metadata only, no device I/O.
+  struct CodecBreakdown {
+    uint64_t buckets[kNumCodecs] = {};
+    /// Live stored bytes (stored_length() summed; excludes kRaw slack).
+    uint64_t stored_bytes = 0;
+    /// The same entries at kEntrySize each.
+    uint64_t uncompressed_bytes = 0;
+
+    /// Compression ratio >= 1 (uncompressed / stored); 1.0 when empty.
+    double ratio() const {
+      return stored_bytes > 0
+                 ? static_cast<double>(uncompressed_bytes) /
+                       static_cast<double>(stored_bytes)
+                 : 1.0;
+    }
+  };
+  CodecBreakdown CodecStats() const;
+
   /// Values in on-device layout order (the order buckets were placed).
   const std::vector<Value>& layout_order() const { return layout_order_; }
 
@@ -179,6 +206,12 @@ class ConstituentIndex {
   Status InstallBucket(const Value& value, const Extent& extent,
                        uint32_t count, uint32_t capacity, uint32_t crc);
 
+  /// Installs a pre-written bucket with full metadata (codec included). For
+  /// a compressed codec the extent must be exactly the encoded bytes
+  /// (strictly smaller than raw) of a count == capacity bucket, and `crc`
+  /// covers those stored bytes.
+  Status InstallBucket(const Value& value, const BucketInfo& info);
+
   // --- Whole-index operations -------------------------------------------------
 
   /// The CP operation: copies every bucket (full capacity, preserving slack)
@@ -222,16 +255,24 @@ class ConstituentIndex {
   Status WriteEntriesAt(uint64_t offset, std::span<const Entry> entries);
   Status RemoveValue(const Value& value);
 
-  /// Verifies `info.crc` against the live-prefix bytes just read for
-  /// `value`'s bucket. OK when verification is disabled; on mismatch
+  /// Verifies `crc` against the `length` stored bytes just read for
+  /// `value`'s bucket (the live prefix for kRaw, the whole encoded extent
+  /// for compressed codecs). OK when verification is disabled; on mismatch
   /// quarantines the constituent and returns DataLoss.
-  Status VerifyBucketBytes(const Value& value, const BucketInfo& info,
-                           const std::byte* bytes) const;
+  Status VerifyBucketBytes(const Value& value, uint32_t crc,
+                           const std::byte* bytes, uint64_t length) const;
   /// VerifyBucketBytes without the per-bucket verified_buckets accounting —
   /// batch read paths verify thousands of buckets per flush and charge the
   /// stats atomic once instead of per bucket.
-  Status CheckBucketBytes(const Value& value, const BucketInfo& info,
-                          const std::byte* bytes) const;
+  Status CheckBucketBytes(const Value& value, uint32_t crc,
+                          const std::byte* bytes, uint64_t length) const;
+  /// Decodes a compressed bucket's stored bytes into `out` (exactly
+  /// `count` entries). A decode failure is corruption that slipped past (or
+  /// bypassed) the checksum: it bumps the corruption counters, quarantines
+  /// the constituent, and returns DataLoss.
+  Status DecodeStoredBucket(const Value& value, Codec codec,
+                            const std::byte* bytes, uint64_t length,
+                            uint32_t count, Entry* out) const;
 
   Device* device_;
   ExtentAllocator* allocator_;

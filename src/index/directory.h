@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 
+#include "index/codec.h"
+#include "index/entry.h"
 #include "index/record.h"
 #include "storage/device.h"
 #include "util/status.h"
@@ -21,18 +23,35 @@ namespace wavekit {
 
 /// \brief Location and occupancy of one value's bucket on the device.
 ///
-/// `capacity` is the number of entry slots the extent can hold; `count` is
-/// how many are live. A packed bucket has count == capacity. `crc` is the
-/// CRC-32C (util/crc32c.h) of the live prefix — the first count * kEntrySize
-/// bytes of the extent; slack beyond the live prefix is not covered. Every
-/// mutation primitive keeps it current, the read paths verify it, and the
-/// checkpoint persists it (the "sidecar map" lives in the directory, so
-/// verification costs no extra I/O).
+/// `capacity` is the number of entry slots the bucket holds; `count` is how
+/// many are live. A packed bucket has count == capacity.
+///
+/// `codec` names the on-device layout (index/codec.h). For kRaw the extent
+/// is capacity * kEntrySize bytes of verbatim entries, appendable in place.
+/// For a compressed codec the bucket is immutable-on-device: count ==
+/// capacity, and the extent is exactly the encoded byte string (strictly
+/// smaller than the raw form — selection never keeps a non-winning codec).
+/// Mutations of a compressed bucket decode and rewrite it as kRaw.
+///
+/// `crc` is the CRC-32C (util/crc32c.h) of the *stored* bytes — the first
+/// stored_length() bytes of the extent (the live prefix for kRaw, the whole
+/// encoded extent otherwise); kRaw slack beyond the live prefix is not
+/// covered. Every mutation primitive keeps it current, the read paths verify
+/// it, and the checkpoint persists it (the "sidecar map" lives in the
+/// directory, so verification costs no extra I/O).
 struct BucketInfo {
   Extent extent;
   uint32_t count = 0;
   uint32_t capacity = 0;
   uint32_t crc = 0;
+  Codec codec = Codec::kRaw;
+
+  /// Bytes the checksum covers and reads must transfer: the live prefix for
+  /// kRaw, the whole (exactly-sized) extent for compressed codecs.
+  uint64_t stored_length() const {
+    return codec == Codec::kRaw ? uint64_t{count} * kEntrySize
+                                : extent.length;
+  }
 
   bool operator==(const BucketInfo& other) const = default;
 };

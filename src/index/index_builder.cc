@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "index/codec.h"
 #include "util/crash_point.h"
 #include "util/crc32c.h"
 #include "util/macros.h"
@@ -13,6 +14,38 @@
 namespace wavekit {
 
 namespace {
+
+// One bucket of a codec-enabled build: the merged entries, the encoding
+// decision, and the checksum over the stored bytes. Encoding is a pure
+// function of the merged entry sequence, so the serial and parallel codec
+// builds emit byte-identical extents.
+struct CodecBuildBucket {
+  std::vector<Entry> entries;
+  EncodedBucket encoded;
+  uint64_t stored = 0;
+  uint32_t crc = 0;
+
+  const std::byte* bytes() const {
+    return encoded.codec == Codec::kRaw
+               ? reinterpret_cast<const std::byte*>(entries.data())
+               : encoded.bytes.data();
+  }
+};
+
+void EncodeForBuild(CodecMode mode, CodecBuildBucket* bucket) {
+  bucket->encoded =
+      EncodeBucket(bucket->entries.data(), bucket->entries.size(), mode);
+  bucket->stored = bucket->encoded.stored_length(bucket->entries.size());
+  bucket->crc = Crc32c(bucket->bytes(), bucket->stored);
+}
+
+Status InstallCodecBucket(ConstituentIndex* index, const Value& value,
+                          uint64_t offset, const CodecBuildBucket& bucket) {
+  const uint32_t n = static_cast<uint32_t>(bucket.entries.size());
+  return index->InstallBucket(
+      value, BucketInfo{Extent{offset, bucket.stored}, n, n, bucket.crc,
+                        bucket.encoded.codec});
+}
 
 // The original single-thread build, kept verbatim: with
 // num_maintenance_threads=1 the metered op sequence (one Write per bucket,
@@ -51,6 +84,59 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedSerial(
         value, Extent{cursor, length}, static_cast<uint32_t>(entries.size()),
         static_cast<uint32_t>(entries.size()), Crc32c(bytes, length)));
     cursor += length;
+  }
+
+  for (const DayBatch* batch : batches) {
+    index->mutable_time_set().insert(batch->day);
+  }
+  index->set_packed(true);
+  return index;
+}
+
+// Codec-enabled serial build: the same two-pass shape as BuildPackedSerial,
+// with an encode step between grouping and the write pass. Bucket offsets
+// are the running sums of *encoded* sizes (content-dependent), so layout is
+// computed only after every bucket is encoded.
+Result<std::unique_ptr<ConstituentIndex>> BuildPackedSerialCodec(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options,
+    std::span<const DayBatch* const> batches, std::string name) {
+  auto index = std::make_unique<ConstituentIndex>(device, allocator, options,
+                                                  std::move(name));
+  std::map<Value, std::vector<Entry>> grouped;
+  for (const DayBatch* batch : batches) {
+    for (const Record& record : batch->records) {
+      for (size_t i = 0; i < record.values.size(); ++i) {
+        grouped[record.values[i]].push_back(
+            Entry{record.record_id, batch->day, record.AuxFor(i)});
+      }
+    }
+  }
+
+  std::vector<const Value*> order;
+  std::vector<CodecBuildBucket> buckets;
+  order.reserve(grouped.size());
+  buckets.reserve(grouped.size());
+  uint64_t total_bytes = 0;
+  for (auto& [value, entries] : grouped) {
+    order.push_back(&value);
+    CodecBuildBucket bucket;
+    bucket.entries = std::move(entries);
+    EncodeForBuild(options.codec, &bucket);
+    total_bytes += bucket.stored;
+    buckets.push_back(std::move(bucket));
+  }
+
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region, allocator->Allocate(total_bytes));
+  uint64_t cursor = region.offset;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const CodecBuildBucket& bucket = buckets[i];
+    WAVEKIT_RETURN_NOT_OK(device->Write(
+        cursor, std::span<const std::byte>(bucket.bytes(),
+                                           static_cast<size_t>(bucket.stored))));
+    WAVEKIT_RETURN_NOT_OK(
+        InstallCodecBucket(index.get(), *order[i], cursor, bucket));
+    cursor += bucket.stored;
   }
 
   for (const DayBatch* batch : batches) {
@@ -220,6 +306,158 @@ Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallel(
   return index;
 }
 
+// Codec-enabled parallel build. Stage 1 (chunk grouping) is unchanged, but
+// the write stage is restructured: delta coding crosses chunk boundaries,
+// so each value-range partition first merges its buckets (chunk order ==
+// batch order, matching the serial build) and encodes them whole; a serial
+// prefix-sum over the encoded sizes then fixes the layout, and a final
+// parallel stage writes the encoded buckets batched. The resulting device
+// bytes are identical to BuildPackedSerialCodec's.
+Result<std::unique_ptr<ConstituentIndex>> BuildPackedParallelCodec(
+    Device* device, ExtentAllocator* allocator,
+    ConstituentIndex::Options options,
+    std::span<const DayBatch* const> batches, std::string name,
+    const ParallelContext& parallel) {
+  auto index = std::make_unique<ConstituentIndex>(device, allocator, options,
+                                                  std::move(name));
+
+  // Stage 1: concurrent grouping, one sorted map per batch chunk.
+  const size_t group_parts = parallel.Partitions(batches.size());
+  std::vector<std::map<Value, std::vector<Entry>>> local(
+      std::max<size_t>(group_parts, 1));
+  std::vector<Status> group_status(local.size(), Status::OK());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < group_parts; ++p) {
+      group.Submit([&, p]() {
+        Status crash = CrashPoints::Check("builder.parallel.group");
+        if (!crash.ok()) {
+          group_status[p] = std::move(crash);
+          return;
+        }
+        const size_t begin = batches.size() * p / group_parts;
+        const size_t end = batches.size() * (p + 1) / group_parts;
+        auto& mine = local[p];
+        for (size_t b = begin; b < end; ++b) {
+          const DayBatch* batch = batches[b];
+          for (const Record& record : batch->records) {
+            for (size_t i = 0; i < record.values.size(); ++i) {
+              mine[record.values[i]].push_back(
+                  Entry{record.record_id, batch->day, record.AuxFor(i)});
+            }
+          }
+        }
+      });
+    }
+    group.Wait();
+  }
+  for (Status& status : group_status) {
+    WAVEKIT_RETURN_NOT_OK(status);
+  }
+
+  std::set<Value> distinct;
+  for (const auto& m : local) {
+    for (const auto& [value, entries] : m) distinct.insert(value);
+  }
+  const std::vector<Value> values(distinct.begin(), distinct.end());
+
+  // Stage 2: merge + encode per value-range partition. Each task owns a
+  // disjoint slice of `buckets`, so no synchronization is needed.
+  std::vector<CodecBuildBucket> buckets(values.size());
+  const size_t value_parts = parallel.Partitions(values.size());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < value_parts; ++p) {
+      group.Submit([&, p]() {
+        const size_t vbegin = values.size() * p / value_parts;
+        const size_t vend = values.size() * (p + 1) / value_parts;
+        for (size_t i = vbegin; i < vend; ++i) {
+          auto& bucket = buckets[i];
+          for (const auto& m : local) {
+            auto it = m.find(values[i]);
+            if (it == m.end()) continue;
+            bucket.entries.insert(bucket.entries.end(), it->second.begin(),
+                                  it->second.end());
+          }
+          EncodeForBuild(options.codec, &bucket);
+        }
+      });
+    }
+    group.Wait();
+  }
+
+  // Serial layout: running sums of the encoded sizes.
+  std::vector<uint64_t> bucket_starts(values.size(), 0);
+  uint64_t total_bytes = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    bucket_starts[i] = total_bytes;
+    total_bytes += buckets[i].stored;
+  }
+  WAVEKIT_ASSIGN_OR_RETURN(Extent region, allocator->Allocate(total_bytes));
+
+  // Stage 3: batched writes of the encoded buckets, partitions covering
+  // disjoint precomputed regions (same all-or-nothing rule as the raw path).
+  std::vector<Status> write_status(std::max<size_t>(value_parts, 1),
+                                   Status::OK());
+  {
+    ThreadPool::WaitGroup group(parallel.pool);
+    for (size_t p = 0; p < value_parts; ++p) {
+      group.Submit([&, p]() {
+        Status status = CrashPoints::Check("builder.parallel.write");
+        if (!status.ok()) {
+          write_status[p] = std::move(status);
+          return;
+        }
+        const size_t vbegin = values.size() * p / value_parts;
+        const size_t vend = values.size() * (p + 1) / value_parts;
+        std::vector<Extent> extents;
+        std::vector<std::byte> buffer;
+        auto flush = [&]() -> Status {
+          if (extents.empty()) return Status::OK();
+          Status written = device->WriteBatch(extents, buffer);
+          extents.clear();
+          buffer.clear();
+          return written;
+        };
+        for (size_t i = vbegin; i < vend; ++i) {
+          const CodecBuildBucket& bucket = buckets[i];
+          extents.push_back(
+              Extent{region.offset + bucket_starts[i], bucket.stored});
+          buffer.insert(buffer.end(), bucket.bytes(),
+                        bucket.bytes() + bucket.stored);
+          if (buffer.size() >= IndexBuilder::kWriteChunkBytes) {
+            status = flush();
+            if (!status.ok()) break;
+          }
+        }
+        if (status.ok()) status = flush();
+        write_status[p] = std::move(status);
+      });
+    }
+    group.Wait();
+  }
+  Status failed = Status::OK();
+  for (Status& status : write_status) {
+    if (!status.ok() && failed.ok()) failed = std::move(status);
+  }
+  if (!failed.ok()) {
+    (void)allocator->Free(region);
+    return failed;
+  }
+
+  // Stage 4: serial metadata install in layout order.
+  for (size_t i = 0; i < values.size(); ++i) {
+    WAVEKIT_RETURN_NOT_OK(InstallCodecBucket(
+        index.get(), values[i], region.offset + bucket_starts[i], buckets[i]));
+  }
+
+  for (const DayBatch* batch : batches) {
+    index->mutable_time_set().insert(batch->day);
+  }
+  index->set_packed(true);
+  return index;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
@@ -227,6 +465,14 @@ Result<std::unique_ptr<ConstituentIndex>> IndexBuilder::BuildPacked(
     ConstituentIndex::Options options,
     std::span<const DayBatch* const> batches, std::string name,
     const ParallelContext& parallel) {
+  if (options.codec != CodecMode::kRaw) {
+    if (!parallel.enabled()) {
+      return BuildPackedSerialCodec(device, allocator, options, batches,
+                                    std::move(name));
+    }
+    return BuildPackedParallelCodec(device, allocator, options, batches,
+                                    std::move(name), parallel);
+  }
   if (!parallel.enabled()) {
     return BuildPackedSerial(device, allocator, options, batches,
                              std::move(name));

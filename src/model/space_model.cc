@@ -72,13 +72,25 @@ DayFootprint FootprintOf(SchemeKind scheme, int window, int num_indexes) {
 SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
                             const CaseParams& params, int window,
                             int num_indexes) {
+  return EstimateSpace(scheme, technique, params, window, num_indexes,
+                       /*compression_ratio=*/1.0);
+}
+
+SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
+                            const CaseParams& params, int window,
+                            int num_indexes, double compression_ratio) {
   const DayFootprint f = FootprintOf(scheme, window, num_indexes);
+  // Codecs only ever shrink packed extents (selection keeps kRaw when a
+  // codec does not strictly beat it), so the observed ratio is >= 1.
+  const double ratio = std::max(compression_ratio, 1.0);
+  const double packed_day_bytes = params.packed_day_bytes / ratio;
   const bool packed_constituents =
       scheme == SchemeKind::kReindex ||
       technique == UpdateTechniqueKind::kPackedShadow;
-  const double cons_bytes = packed_constituents ? params.packed_day_bytes
+  const double cons_bytes = packed_constituents ? packed_day_bytes
                                                 : params.unpacked_day_bytes;
-  // Temporaries are grown incrementally, hence unpacked.
+  // Temporaries are grown incrementally, hence unpacked (and kRaw: only
+  // packed builds emit compressed extents).
   const double temp_bytes = params.unpacked_day_bytes;
   // Shadows copy unpacked constituents (simple shadow) or write packed ones
   // (packed shadow); in-place updating needs no transient space at all.
@@ -91,12 +103,12 @@ SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
       shadow_bytes = params.unpacked_day_bytes;
       break;
     case UpdateTechniqueKind::kPackedShadow:
-      shadow_bytes = params.packed_day_bytes;
+      shadow_bytes = packed_day_bytes;
       break;
   }
   // REINDEX always stages its rebuilt (packed) cluster regardless of the
   // configured technique.
-  if (scheme == SchemeKind::kReindex) shadow_bytes = params.packed_day_bytes;
+  if (scheme == SchemeKind::kReindex) shadow_bytes = packed_day_bytes;
 
   SpaceEstimate out;
   out.avg_operation_bytes =

@@ -32,6 +32,17 @@ SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
                             const CaseParams& params, int window,
                             int num_indexes);
 
+/// EstimateSpace with an observed compression ratio (uncompressed bytes /
+/// stored bytes, >= 1 — e.g. ConstituentIndex::CodecBreakdown::ratio()) so
+/// the modeled S' tracks codec-enabled deployments. Only *packed* bytes are
+/// scaled: packed builds and packed-shadow flushes are the paths that emit
+/// compressed extents, while incrementally grown (unpacked) constituents and
+/// temporaries stay kRaw by the rewrite-on-mutation rule. Ratios < 1 are
+/// clamped to 1 (a codec is only kept when it beats raw).
+SpaceEstimate EstimateSpace(SchemeKind scheme, UpdateTechniqueKind technique,
+                            const CaseParams& params, int window,
+                            int num_indexes, double compression_ratio);
+
 }  // namespace model
 }  // namespace wavekit
 

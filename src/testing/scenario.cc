@@ -59,6 +59,7 @@ std::string Scenario::ToString() const {
   out += " zipf_theta=" + FormatDouble(zipf_theta, 3);
   out += " probes_per_day=" + std::to_string(probes_per_day);
   out += std::string(" scan_each_day=") + (scan_each_day ? "1" : "0");
+  out += std::string(" codec=") + CodecModeName(codec);
   out += " read_error_rate=" + FormatDouble(read_error_rate, 4);
   out += " write_error_rate=" + FormatDouble(write_error_rate, 4);
   out += " retry_attempts=" + std::to_string(retry_attempts);
@@ -144,6 +145,40 @@ Scenario ScenarioGenerator::GenerateBitRot(uint64_t episode) const {
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.day < b.day;
                    });
+  return s;
+}
+
+namespace {
+
+// Draws the episode's codec mode from a stream of its own (offset past the
+// bit-rot stream at 1<<40) so neither Generate() nor GenerateBitRot() is
+// perturbed: the pre-codec episode traces stay byte-identical.
+CodecMode DrawCodec(uint64_t seed, uint64_t episode) {
+  Rng rng = Rng(seed).Fork((uint64_t{1} << 41) + episode);
+  // Mostly the production policy (auto); forced modes keep each codec's
+  // decode path under load even on shapes auto would not pick it for.
+  const uint64_t draw = rng.Uniform(4);
+  switch (draw) {
+    case 0:
+      return CodecMode::kDelta;
+    case 1:
+      return CodecMode::kBitPack;
+    default:
+      return CodecMode::kAuto;
+  }
+}
+
+}  // namespace
+
+Scenario ScenarioGenerator::GenerateCodec(uint64_t episode) const {
+  Scenario s = Generate(episode);
+  s.codec = DrawCodec(seed_, episode);
+  return s;
+}
+
+Scenario ScenarioGenerator::GenerateCodecBitRot(uint64_t episode) const {
+  Scenario s = GenerateBitRot(episode);
+  s.codec = DrawCodec(seed_, episode);
   return s;
 }
 

@@ -66,6 +66,7 @@ SchemeConfig ConfigFor(SchemeKind kind, const Scenario& scenario) {
   config.window = scenario.window;
   config.num_indexes = scenario.num_indexes;
   config.technique = scenario.technique;
+  config.codec = scenario.codec;
   if (kind == SchemeKind::kKnownBoundWata) {
     // KB-WATA's "future knowledge": a sound upper bound on any window's
     // total entries, derived from the scenario's worst-case day shape.
@@ -285,8 +286,7 @@ Status RunBitRot(const FaultEvent& fault, Incarnation* inc,
         [&](const Value& value, const BucketInfo& info) {
           if (info.count == 0) return;
           buckets.emplace_back(
-              value,
-              Extent{info.extent.offset, uint64_t{info.count} * kEntrySize});
+              value, Extent{info.extent.offset, info.stored_length()});
         }));
     if (!buckets.empty()) victim = candidate.get();
   }
@@ -717,6 +717,53 @@ EpisodeResult Simulator::RunManyBitRot(SchemeKind kind) const {
   EpisodeResult last;
   for (uint64_t e = 0; e < config_.episodes; ++e) {
     last = RunBitRotEpisode(kind, e);
+    if (!last.status.ok()) return last;
+  }
+  return last;
+}
+
+EpisodeResult Simulator::RunCodecEpisode(SchemeKind kind,
+                                         uint64_t episode) const {
+  const ScenarioGenerator generator(config_.seed);
+  EpisodeResult result =
+      RunScenario(kind, generator.GenerateCodec(episode),
+                  "codec_s" + std::to_string(config_.seed) + "_e" +
+                      std::to_string(episode));
+  result.episode = episode;
+  if (!result.status.ok()) {
+    result.repro = ReproCommand(config_.seed, kind, episode) + " --codec";
+  }
+  return result;
+}
+
+EpisodeResult Simulator::RunManyCodec(SchemeKind kind) const {
+  EpisodeResult last;
+  for (uint64_t e = 0; e < config_.episodes; ++e) {
+    last = RunCodecEpisode(kind, e);
+    if (!last.status.ok()) return last;
+  }
+  return last;
+}
+
+EpisodeResult Simulator::RunCodecBitRotEpisode(SchemeKind kind,
+                                               uint64_t episode) const {
+  const ScenarioGenerator generator(config_.seed);
+  EpisodeResult result =
+      RunScenario(kind, generator.GenerateCodecBitRot(episode),
+                  "codecrot_s" + std::to_string(config_.seed) + "_e" +
+                      std::to_string(episode));
+  result.episode = episode;
+  if (!result.status.ok()) {
+    result.repro =
+        ReproCommand(config_.seed, kind, episode) + " --codec --bitrot";
+  }
+  return result;
+}
+
+EpisodeResult Simulator::RunManyCodecBitRot(SchemeKind kind) const {
+  EpisodeResult last;
+  for (uint64_t e = 0; e < config_.episodes; ++e) {
+    last = RunCodecBitRotEpisode(kind, e);
     if (!last.status.ok()) return last;
   }
   return last;

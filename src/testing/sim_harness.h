@@ -93,6 +93,22 @@ class Simulator {
   /// RunMany over the bit-rot family.
   EpisodeResult RunManyBitRot(SchemeKind kind) const;
 
+  /// Runs the codec variant of episode `episode`
+  /// (ScenarioGenerator::GenerateCodec): the same days and faults with a
+  /// per-episode bucket codec, so every oracle cross-check runs against
+  /// compressed constituents.
+  EpisodeResult RunCodecEpisode(SchemeKind kind, uint64_t episode) const;
+
+  /// RunMany over the codec family.
+  EpisodeResult RunManyCodec(SchemeKind kind) const;
+
+  /// Bit rot layered on the codec family: corrupted compressed buckets must
+  /// surface DataLoss (checksum or decode failure) and heal in-episode.
+  EpisodeResult RunCodecBitRotEpisode(SchemeKind kind, uint64_t episode) const;
+
+  /// RunMany over the codec bit-rot family.
+  EpisodeResult RunManyCodecBitRot(SchemeKind kind) const;
+
   /// Greedily minimizes a failing scenario: truncates days, drops scheduled
   /// faults one at a time, and zeroes error rates, keeping every change that
   /// still fails, until a fixpoint (or `max_runs` re-executions).

@@ -3,6 +3,9 @@
 #ifndef WAVEKIT_UPDATE_PACKED_SHADOW_UPDATER_H_
 #define WAVEKIT_UPDATE_PACKED_SHADOW_UPDATER_H_
 
+#include <utility>
+#include <vector>
+
 #include "update/update_technique.h"
 
 namespace wavekit {
@@ -25,6 +28,21 @@ class PackedShadowUpdater : public Updater {
   Status Apply(std::shared_ptr<ConstituentIndex>* index,
                std::span<const DayBatch* const> adds,
                const TimeSet& deletes) override;
+
+ private:
+  /// Flush tail for codec-enabled indexes: the merged layout is fixed, but
+  /// bucket offsets depend on the *encoded* sizes, so every surviving bucket
+  /// is encoded (in parallel when enabled) before the region is sized, then
+  /// written and installed with its codec. Finishes the update (time-set,
+  /// temp teardown, swap) like the raw flush does.
+  Status FlushMergedCodec(
+      Device* device, ExtentAllocator* allocator,
+      const ConstituentIndex::Options& options,
+      const std::vector<std::pair<Value, std::vector<Entry>>>& merged,
+      std::shared_ptr<ConstituentIndex> packed, ConstituentIndex* old_index,
+      std::span<const DayBatch* const> adds, const TimeSet& deletes,
+      const std::shared_ptr<ConstituentIndex>& temp,
+      std::shared_ptr<ConstituentIndex>* index);
 };
 
 }  // namespace wavekit

@@ -16,17 +16,20 @@ namespace {
 // Line-oriented text format. Values are written length-prefixed so any byte
 // except '\n' is safe (and wavekit values never contain newlines):
 //
-//   wavekit-checkpoint 3
+//   wavekit-checkpoint 4
 //   constituents <n>
 //   constituent <len>:<name> packed <0|1> days <d1,d2,...> buckets <m>
-//   bucket <len>:<value> <offset> <count> <capacity> <crc32c>
+//   bucket <len>:<value> <offset> <count> <capacity> <crc32c> <codec> <stored>
 //   ...
 //   footer <body-length> <crc32-of-body>
 //
 // The footer covers every byte before it; it is validated (length first,
-// then CRC) before the body is parsed at all. Version-2 files have no
-// per-bucket <crc32c> column; loading one recomputes each checksum from the
-// bucket bytes on the device.
+// then CRC) before the body is parsed at all. Version-4 bucket lines carry
+// the codec id (index/codec.h) and the stored byte length (the live prefix
+// for raw buckets, the exact encoded extent otherwise); version-3 files lack
+// both columns and load every bucket as kRaw. Version-2 files additionally
+// have no per-bucket <crc32c> column; loading one recomputes each checksum
+// from the bucket bytes on the device.
 
 void AppendLengthPrefixed(std::string* out, const std::string& s) {
   *out += std::to_string(s.size());
@@ -166,7 +169,9 @@ Result<std::string> SerializeCheckpoint(const WaveIndex& wave) {
           out += " " + std::to_string(info.extent.offset) + " " +
                  std::to_string(info.count) + " " +
                  std::to_string(info.capacity) + " " +
-                 std::to_string(info.crc) + "\n";
+                 std::to_string(info.crc) + " " +
+                 std::to_string(static_cast<int>(info.codec)) + " " +
+                 std::to_string(info.stored_length()) + "\n";
         });
     WAVEKIT_RETURN_NOT_OK(status);
   }
@@ -234,6 +239,18 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
                                          "'");
         }
       }
+      Codec codec = Codec::kRaw;
+      int64_t stored = -1;
+      if (version >= 4) {
+        WAVEKIT_ASSIGN_OR_RETURN(int64_t codec_id, parser.Int());
+        if (codec_id < 0) {
+          return Status::InvalidArgument("corrupt bucket codec for '" + value +
+                                         "'");
+        }
+        WAVEKIT_ASSIGN_OR_RETURN(
+            codec, CodecFromId(static_cast<uint64_t>(codec_id)));
+        WAVEKIT_ASSIGN_OR_RETURN(stored, parser.Int());
+      }
       // Bounds before any cast: a corrupt offset/capacity must not wrap into
       // a plausible-looking extent.
       if (count < 0 || capacity < count || offset < 0 ||
@@ -241,8 +258,29 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
         return Status::InvalidArgument("corrupt bucket bounds for '" + value +
                                        "'");
       }
-      const Extent extent{static_cast<uint64_t>(offset),
-                          static_cast<uint64_t>(capacity) * kEntrySize};
+      if (version >= 4) {
+        // The stored length must agree with the codec's invariants: raw
+        // buckets store exactly their live prefix inside a capacity-sized
+        // extent; compressed buckets are exactly filled and strictly beat
+        // the raw size.
+        if (codec == Codec::kRaw) {
+          if (stored != count * static_cast<int64_t>(kEntrySize)) {
+            return Status::InvalidArgument(
+                "corrupt stored length for raw bucket '" + value + "'");
+          }
+        } else {
+          if (count != capacity || stored <= 0 ||
+              stored >= count * static_cast<int64_t>(kEntrySize)) {
+            return Status::InvalidArgument(
+                "corrupt stored length for compressed bucket '" + value +
+                "'");
+          }
+        }
+      }
+      const Extent extent{
+          static_cast<uint64_t>(offset),
+          codec == Codec::kRaw ? static_cast<uint64_t>(capacity) * kEntrySize
+                               : static_cast<uint64_t>(stored)};
       WAVEKIT_RETURN_NOT_OK(
           allocator->Reserve(extent).WithContext("reserving bucket of '" +
                                                  value + "'"));
@@ -258,8 +296,10 @@ Result<WaveIndex> DeserializeCheckpoint(const std::string& contents,
         crc = Crc32c(upgrade_buffer.data(), upgrade_buffer.size());
       }
       WAVEKIT_RETURN_NOT_OK(index->InstallBucket(
-          value, extent, static_cast<uint32_t>(count),
-          static_cast<uint32_t>(capacity), static_cast<uint32_t>(crc)));
+          value,
+          BucketInfo{extent, static_cast<uint32_t>(count),
+                     static_cast<uint32_t>(capacity),
+                     static_cast<uint32_t>(crc), codec}));
     }
     if (days_csv != "-") {
       WAVEKIT_ASSIGN_OR_RETURN(index->mutable_time_set(), ParseDays(days_csv));

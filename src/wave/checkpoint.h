@@ -31,10 +31,12 @@ namespace wavekit {
 /// "footer <body-length> <crc32>" line so corrupt or truncated files are
 /// rejected outright instead of partially parsed. Version 3 added each
 /// bucket's data CRC-32C (BucketInfo::crc) to the bucket line, persisting
-/// the integrity map across restarts. Version-2 files still load: their
-/// bucket checksums are recomputed from the device (the one-time upgrade
-/// cost), and the next checkpoint writes version 3.
-inline constexpr int kCheckpointVersion = 3;
+/// the integrity map across restarts. Version 4 added the bucket codec id
+/// and stored byte length (index/codec.h), persisting compressed-extent
+/// geometry. Older files still load: version-3 buckets load as kRaw, and
+/// version-2 bucket checksums are recomputed from the device (the one-time
+/// upgrade cost); the next checkpoint writes version 4.
+inline constexpr int kCheckpointVersion = 4;
 
 /// Oldest version DeserializeCheckpoint still accepts.
 inline constexpr int kMinCheckpointVersion = 2;

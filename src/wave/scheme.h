@@ -71,6 +71,12 @@ struct SchemeConfig {
   /// ConstituentIndex::Options::verify_checksums). Checksums are maintained
   /// either way; disabling only skips read-path verification.
   bool verify_checksums = true;
+  /// Bucket codec policy for packed builds (index/codec.h). kRaw (the
+  /// default) keeps every on-device layout byte-identical to pre-codec
+  /// builds; kAuto picks the smaller of delta and bit-packed per bucket when
+  /// it beats raw. Applies to every scheme's packed builds, shadow applies,
+  /// clones, and HealUnhealthy rebuilds via Scheme::IndexOptions().
+  CodecMode codec = CodecMode::kRaw;
 };
 
 /// \brief Bounded exponential backoff for transient I/O errors inside the

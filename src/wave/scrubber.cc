@@ -14,7 +14,7 @@ namespace {
 
 struct PendingBucket {
   Value value;
-  Extent live;     // the bucket's live prefix (count * kEntrySize bytes)
+  Extent live;     // the bucket's stored bytes (BucketInfo::stored_length())
   uint32_t crc = 0;
 };
 
@@ -117,8 +117,7 @@ Status ScrubConstituent(const ConstituentIndex& index,
       index.ForEachBucket([&](const Value& value, const BucketInfo& info) {
         if (info.count == 0) return;
         all.push_back(PendingBucket{
-            value,
-            Extent{info.extent.offset, uint64_t{info.count} * kEntrySize},
+            value, Extent{info.extent.offset, info.stored_length()},
             info.crc});
       }));
 

@@ -296,6 +296,48 @@ void WaveService::RegisterMetrics() {
       "wavekit_service_advance_latency_us",
       "Wall-clock AdvanceDay latency in microseconds.", {},
       [this] { return advance_latency_us_.Snapshot(); }, this);
+  registry->AddGaugeCallback(
+      "wavekit_bucket_compressed_bytes",
+      "Live stored bucket bytes across the snapshot (compressed extents at "
+      "their encoded size, raw buckets at count * entry size).",
+      {},
+      [this] { return static_cast<double>(CodecTotals().stored_bytes); },
+      this);
+  registry->AddGaugeCallback(
+      "wavekit_bucket_uncompressed_bytes",
+      "The same live entries at the raw 16-byte layout.", {},
+      [this] {
+        return static_cast<double>(CodecTotals().uncompressed_bytes);
+      },
+      this);
+  registry->AddGaugeCallback(
+      "wavekit_bucket_compression_ratio",
+      "uncompressed_bytes / compressed_bytes over the snapshot (1.0 when "
+      "nothing is compressed).",
+      {}, [this] { return CodecTotals().ratio(); }, this);
+  for (int c = 0; c < kNumCodecs; ++c) {
+    registry->AddGaugeCallback(
+        "wavekit_bucket_codec_buckets",
+        "Live buckets stored under each codec.",
+        {{"codec", CodecName(static_cast<Codec>(c))}},
+        [this, c] {
+          return static_cast<double>(CodecTotals().buckets[c]);
+        },
+        this);
+  }
+}
+
+ConstituentIndex::CodecBreakdown WaveService::CodecTotals() const {
+  ConstituentIndex::CodecBreakdown totals;
+  const std::shared_ptr<const WaveIndex> snapshot = Snapshot();
+  if (snapshot == nullptr) return totals;
+  for (const auto& constituent : snapshot->constituents()) {
+    const ConstituentIndex::CodecBreakdown one = constituent->CodecStats();
+    for (int c = 0; c < kNumCodecs; ++c) totals.buckets[c] += one.buckets[c];
+    totals.stored_bytes += one.stored_bytes;
+    totals.uncompressed_bytes += one.uncompressed_bytes;
+  }
+  return totals;
 }
 
 Result<std::unique_ptr<WaveService>> WaveService::Create(Options options) {

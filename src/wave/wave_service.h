@@ -300,6 +300,10 @@ class WaveService {
   /// The snapshot queries would use right now (for inspection/tests).
   std::shared_ptr<const WaveIndex> Snapshot() const;
 
+  /// Per-codec bucket totals summed over the current snapshot's
+  /// constituents (see ConstituentIndex::CodecStats). Zeroes before Start.
+  ConstituentIndex::CodecBreakdown CodecTotals() const;
+
   /// A copy of the current operational metrics (thread-safe, lock-free).
   ServiceMetrics Metrics() const;
 

@@ -103,6 +103,50 @@ TEST_F(SpaceModelTest, SpaceShrinksWithMoreIndexes) {
   }
 }
 
+TEST_F(SpaceModelTest, CompressionRatioScalesPackedBytesOnly) {
+  // REINDEX constituents are packed: a 2x observed codec ratio halves both
+  // the operation window and the shadow's transition space.
+  SpaceEstimate plain = EstimateSpace(SchemeKind::kReindex,
+                                      UpdateTechniqueKind::kSimpleShadow,
+                                      params_, 10, 2);
+  SpaceEstimate packed = EstimateSpace(SchemeKind::kReindex,
+                                       UpdateTechniqueKind::kSimpleShadow,
+                                       params_, 10, 2, 2.0);
+  EXPECT_DOUBLE_EQ(packed.avg_operation_bytes, plain.avg_operation_bytes / 2);
+  EXPECT_DOUBLE_EQ(packed.max_transition_bytes,
+                   plain.max_transition_bytes / 2);
+
+  // DEL constituents grow unpacked (kRaw by rewrite-on-mutation): the codec
+  // ratio must not touch them.
+  SpaceEstimate del_plain = EstimateSpace(SchemeKind::kDel,
+                                          UpdateTechniqueKind::kSimpleShadow,
+                                          params_, 10, 2);
+  SpaceEstimate del_ratio = EstimateSpace(SchemeKind::kDel,
+                                          UpdateTechniqueKind::kSimpleShadow,
+                                          params_, 10, 2, 2.0);
+  EXPECT_DOUBLE_EQ(del_ratio.avg_operation_bytes,
+                   del_plain.avg_operation_bytes);
+  EXPECT_DOUBLE_EQ(del_ratio.max_transition_bytes,
+                   del_plain.max_transition_bytes);
+}
+
+TEST_F(SpaceModelTest, CompressionRatioDefaultsAndClamps) {
+  // The 5-arg overload is exactly ratio 1.0, and ratios below 1 clamp to 1
+  // (a codec is only kept when it beats raw).
+  for (SchemeKind kind : {SchemeKind::kReindex, SchemeKind::kWata}) {
+    SpaceEstimate plain = EstimateSpace(kind,
+                                        UpdateTechniqueKind::kPackedShadow,
+                                        params_, 10, 2);
+    SpaceEstimate unit = EstimateSpace(kind, UpdateTechniqueKind::kPackedShadow,
+                                       params_, 10, 2, 1.0);
+    SpaceEstimate clamped = EstimateSpace(kind,
+                                          UpdateTechniqueKind::kPackedShadow,
+                                          params_, 10, 2, 0.25);
+    EXPECT_DOUBLE_EQ(plain.avg_total(), unit.avg_total());
+    EXPECT_DOUBLE_EQ(plain.max_total(), clamped.max_total());
+  }
+}
+
 }  // namespace
 }  // namespace model
 }  // namespace wavekit

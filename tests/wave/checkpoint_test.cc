@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "index/codec.h"
 #include "index/index_builder.h"
 #include "storage/file_device.h"
 #include "testing/test_env.h"
@@ -53,7 +54,7 @@ TEST_F(CheckpointTest, SerializeIsDeterministic) {
   ASSERT_OK_AND_ASSIGN(std::string a, SerializeCheckpoint(wave_));
   ASSERT_OK_AND_ASSIGN(std::string b, SerializeCheckpoint(wave_));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("wavekit-checkpoint 3"), std::string::npos);
+  EXPECT_NE(a.find("wavekit-checkpoint 4"), std::string::npos);
   EXPECT_NE(a.find("packed-part"), std::string::npos);
   EXPECT_NE(a.find("\nfooter "), std::string::npos);
 }
@@ -167,7 +168,7 @@ TEST_F(CheckpointTest, CorruptCheckpointsAreRejected) {
                    .ok());
   // Bad version.
   std::string bad_version = contents;
-  bad_version.replace(bad_version.find(" 3\n"), 3, " 9\n");
+  bad_version.replace(bad_version.find(" 4\n"), 3, " 9\n");
   EXPECT_FALSE(DeserializeCheckpoint(bad_version, store_.device(), &fresh,
                                      Options())
                    .ok());
@@ -234,7 +235,7 @@ TEST_F(CheckpointTest, WrongVersionReportsVersion) {
   BuildWave();
   ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave_));
   std::string bad_version = contents;
-  bad_version.replace(bad_version.find(" 3\n"), 3, " 9\n");
+  bad_version.replace(bad_version.find(" 4\n"), 3, " 9\n");
   ExtentAllocator fresh(store_.allocator()->capacity());
   auto loaded =
       DeserializeCheckpoint(bad_version, store_.device(), &fresh, Options());
@@ -250,19 +251,38 @@ std::string Reseal(const std::string& body) {
          std::to_string(Crc32(body)) + "\n";
 }
 
-// Doctors a serialized v3 checkpoint down to the v2 format: version header
-// rewritten, the per-bucket <crc32c> column stripped, footer recomputed.
-// This is byte-for-byte what a pre-upgrade deployment would have written.
-std::string DowngradeToV2(const std::string& v3) {
-  const size_t footer_at = v3.rfind("\nfooter ");
+// Doctors a serialized v4 checkpoint down to the v2 format: version header
+// rewritten, the per-bucket <crc32c> <codec> <stored> columns stripped,
+// footer recomputed. This is byte-for-byte what a pre-upgrade deployment
+// would have written.
+std::string DowngradeToV2(const std::string& v4) {
+  const size_t footer_at = v4.rfind("\nfooter ");
   EXPECT_NE(footer_at, std::string::npos);
-  std::istringstream in(v3.substr(0, footer_at + 1));
+  std::istringstream in(v4.substr(0, footer_at + 1));
   std::string body, line;
   while (std::getline(in, line)) {
     if (line.rfind("wavekit-checkpoint ", 0) == 0) {
       line = "wavekit-checkpoint 2";
     } else if (line.rfind("bucket ", 0) == 0) {
-      line.erase(line.rfind(' '));  // drop the trailing <crc32c> column
+      for (int i = 0; i < 3; ++i) line.erase(line.rfind(' '));
+    }
+    body += line + "\n";
+  }
+  return Reseal(body);
+}
+
+// Same doctoring down to the v3 format: the <codec> <stored> columns are
+// dropped, keeping the checksum column.
+std::string DowngradeToV3(const std::string& v4) {
+  const size_t footer_at = v4.rfind("\nfooter ");
+  EXPECT_NE(footer_at, std::string::npos);
+  std::istringstream in(v4.substr(0, footer_at + 1));
+  std::string body, line;
+  while (std::getline(in, line)) {
+    if (line.rfind("wavekit-checkpoint ", 0) == 0) {
+      line = "wavekit-checkpoint 3";
+    } else if (line.rfind("bucket ", 0) == 0) {
+      for (int i = 0; i < 2; ++i) line.erase(line.rfind(' '));
     }
     body += line + "\n";
   }
@@ -271,9 +291,9 @@ std::string DowngradeToV2(const std::string& v3) {
 
 TEST_F(CheckpointTest, V2CheckpointUpgradesWithRecomputedChecksums) {
   BuildWave();
-  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
-  const std::string v2 = DowngradeToV2(v3);
-  ASSERT_NE(v2, v3);
+  ASSERT_OK_AND_ASSIGN(std::string v4, SerializeCheckpoint(wave_));
+  const std::string v2 = DowngradeToV2(v4);
+  ASSERT_NE(v2, v4);
   EXPECT_NE(v2.find("wavekit-checkpoint 2"), std::string::npos);
 
   // A v2 file loads: checksums are seeded from the device bytes.
@@ -286,10 +306,11 @@ TEST_F(CheckpointTest, V2CheckpointUpgradesWithRecomputedChecksums) {
   ReferenceIndex::Sort(&out);
   EXPECT_EQ(out, reference_.Probe("alpha", kDayNegInf, kDayPosInf));
 
-  // And the upgrade is complete, not cosmetic: re-serializing writes v3
-  // with the recomputed checksums, identical to the native v3 file.
+  // And the upgrade is complete, not cosmetic: re-serializing writes v4
+  // with the recomputed checksums, identical to the native v4 file (the
+  // buckets are raw, so the codec/stored columns are the trivial ones).
   ASSERT_OK_AND_ASSIGN(std::string resaved, SerializeCheckpoint(reopened));
-  EXPECT_EQ(resaved, v3);
+  EXPECT_EQ(resaved, v4);
 
   // The seeded checksums have teeth: rot AFTER the upgrade is caught.
   Extent live{0, 0};
@@ -315,8 +336,8 @@ TEST_F(CheckpointTest, V3ChecksumColumnCatchesRotThatV2CannotSee) {
   // file has nothing to compare against and trusts the rotten bytes. This
   // asymmetry is the reason the format grew the column.
   BuildWave();
-  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
-  const std::string v2 = DowngradeToV2(v3);
+  ASSERT_OK_AND_ASSIGN(std::string v4, SerializeCheckpoint(wave_));
+  const std::string v2 = DowngradeToV2(v4);
   Extent live{0, 0};
   ASSERT_OK(wave_.constituents()[0]->ForEachBucket(
       [&](const Value& v, const BucketInfo& info) {
@@ -334,10 +355,10 @@ TEST_F(CheckpointTest, V3ChecksumColumnCatchesRotThatV2CannotSee) {
   {
     ExtentAllocator fresh(store_.allocator()->capacity());
     ASSERT_OK_AND_ASSIGN(
-        WaveIndex from_v3,
-        DeserializeCheckpoint(v3, store_.device(), &fresh, Options()));
-    EXPECT_TRUE(from_v3.constituents()[0]->Probe("beta", &out).IsDataLoss());
-    EXPECT_TRUE(from_v3.constituents()[0]->corrupt());
+        WaveIndex from_v4,
+        DeserializeCheckpoint(v4, store_.device(), &fresh, Options()));
+    EXPECT_TRUE(from_v4.constituents()[0]->Probe("beta", &out).IsDataLoss());
+    EXPECT_TRUE(from_v4.constituents()[0]->corrupt());
   }
   {
     ExtentAllocator fresh(store_.allocator()->capacity());
@@ -355,24 +376,28 @@ TEST_F(CheckpointTest, DoctoredChecksumColumnIsCaughtOnFirstRead) {
   // footer gets past the file-integrity layer by construction — the data
   // checksum verification at read time is the layer that must catch it.
   BuildWave();
-  ASSERT_OK_AND_ASSIGN(std::string v3, SerializeCheckpoint(wave_));
-  const size_t footer_at = v3.rfind("\nfooter ");
-  std::istringstream in(v3.substr(0, footer_at + 1));
+  ASSERT_OK_AND_ASSIGN(std::string v4, SerializeCheckpoint(wave_));
+  const size_t footer_at = v4.rfind("\nfooter ");
+  std::istringstream in(v4.substr(0, footer_at + 1));
   std::string body, line;
   bool doctored = false;
   while (std::getline(in, line)) {
     if (!doctored && line.rfind("bucket ", 0) == 0) {
-      const size_t last_space = line.rfind(' ');
-      uint64_t crc = std::stoull(line.substr(last_space + 1));
-      line = line.substr(0, last_space + 1) +
-             std::to_string(crc ^ 0x00010000u);
+      // v4 bucket line: ... <crc32c> <codec> <stored>; the checksum is the
+      // third-from-last column.
+      size_t end = line.size();
+      for (int i = 0; i < 2; ++i) end = line.rfind(' ', end - 1);
+      const size_t crc_at = line.rfind(' ', end - 1) + 1;
+      uint64_t crc = std::stoull(line.substr(crc_at, end - crc_at));
+      line = line.substr(0, crc_at) + std::to_string(crc ^ 0x00010000u) +
+             line.substr(end);
       doctored = true;
     }
     body += line + "\n";
   }
   ASSERT_TRUE(doctored);
   const std::string tampered = Reseal(body);
-  ASSERT_NE(tampered, v3);
+  ASSERT_NE(tampered, v4);
 
   ExtentAllocator fresh(store_.allocator()->capacity());
   ASSERT_OK_AND_ASSIGN(
@@ -403,6 +428,101 @@ TEST_F(CheckpointTest, TruncatedChecksumColumnIsRejected) {
   EXPECT_FALSE(
       DeserializeCheckpoint(resealed, store_.device(), &fresh, Options())
           .ok());
+}
+
+TEST_F(CheckpointTest, V3CheckpointLoadsBucketsAsRaw) {
+  // v3 predates per-bucket codecs: every bucket loads as kRaw, and a resave
+  // upgrades the file to v4 with the trivial codec/stored columns.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v4, SerializeCheckpoint(wave_));
+  const std::string v3 = DowngradeToV3(v4);
+  ASSERT_NE(v3, v4);
+  EXPECT_NE(v3.find("wavekit-checkpoint 3"), std::string::npos);
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(v3, store_.device(), &fresh, Options()));
+  std::vector<Entry> out;
+  ASSERT_OK(reopened.IndexProbe("alpha", &out));
+  ReferenceIndex::Sort(&out);
+  EXPECT_EQ(out, reference_.Probe("alpha", kDayNegInf, kDayPosInf));
+  for (const auto& c : reopened.constituents()) {
+    ASSERT_OK(c->ForEachBucket([](const Value&, const BucketInfo& info) {
+      EXPECT_EQ(info.codec, Codec::kRaw);
+    }));
+  }
+  ASSERT_OK_AND_ASSIGN(std::string resaved, SerializeCheckpoint(reopened));
+  EXPECT_EQ(resaved, v4);
+}
+
+TEST_F(CheckpointTest, BadCodecColumnIsRejected) {
+  // An out-of-range codec id must be rejected at parse time, even under a
+  // correct footer — decoding with a nonsense codec would misread bytes.
+  BuildWave();
+  ASSERT_OK_AND_ASSIGN(std::string v4, SerializeCheckpoint(wave_));
+  const size_t footer_at = v4.rfind("\nfooter ");
+  std::istringstream in(v4.substr(0, footer_at + 1));
+  std::string body, line;
+  bool doctored = false;
+  while (std::getline(in, line)) {
+    if (!doctored && line.rfind("bucket ", 0) == 0) {
+      // Rewrite the <codec> column (second-from-last) to an unknown id.
+      const size_t end = line.rfind(' ');
+      const size_t codec_at = line.rfind(' ', end - 1) + 1;
+      line = line.substr(0, codec_at) + "9" + line.substr(end);
+      doctored = true;
+    }
+    body += line + "\n";
+  }
+  ASSERT_TRUE(doctored);
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  auto loaded = DeserializeCheckpoint(Reseal(body), store_.device(), &fresh,
+                                      Options());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("codec"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(CheckpointTest, CompressedBucketsRoundTrip) {
+  // v4's codec/stored columns are load-bearing: a compressed bucket's extent
+  // is its encoded length, not count * kEntrySize, and the reloaded index
+  // must reserve and verify exactly those bytes.
+  std::vector<DayBatch> batches;
+  ReferenceIndex reference;
+  for (Day d = 1; d <= 3; ++d) {
+    batches.push_back(MakeMixedBatch(d, /*num_records=*/64));
+    reference.Add(batches.back());
+  }
+  std::vector<const DayBatch*> ptrs;
+  for (const DayBatch& b : batches) ptrs.push_back(&b);
+  ConstituentIndex::Options options = Options();
+  options.codec = CodecMode::kAuto;
+  auto built = IndexBuilder::BuildPacked(store_.device(), store_.allocator(),
+                                         options, ptrs, "packed-codec");
+  ASSERT_TRUE(built.ok()) << built.status();
+  std::shared_ptr<ConstituentIndex> packed = std::move(built).ValueOrDie();
+  const ConstituentIndex::CodecBreakdown stats = packed->CodecStats();
+  ASSERT_GT(stats.buckets[1] + stats.buckets[2], 0u)
+      << "expected at least one compressed bucket";
+  WaveIndex wave;
+  wave.AddIndex(packed);
+  ASSERT_OK_AND_ASSIGN(std::string contents, SerializeCheckpoint(wave));
+
+  ExtentAllocator fresh(store_.allocator()->capacity());
+  ASSERT_OK_AND_ASSIGN(
+      WaveIndex reopened,
+      DeserializeCheckpoint(contents, store_.device(), &fresh, options));
+  std::vector<Entry> out;
+  ASSERT_OK(reopened.IndexProbe("alpha", &out));
+  ReferenceIndex::Sort(&out);
+  EXPECT_EQ(out, reference.Probe("alpha", kDayNegInf, kDayPosInf));
+  ASSERT_OK(reopened.constituents()[0]->CheckConsistency());
+  ASSERT_OK(reopened.constituents()[0]->CheckPacked());
+  EXPECT_EQ(fresh.allocated_bytes(), wave.AllocatedBytes());
+  const ConstituentIndex::CodecBreakdown reloaded =
+      reopened.constituents()[0]->CodecStats();
+  EXPECT_EQ(reloaded.stored_bytes, stats.stored_bytes);
+  EXPECT_EQ(reloaded.uncompressed_bytes, stats.uncompressed_bytes);
 }
 
 TEST_F(CheckpointTest, ExtentOverlappingReservedRangeIsRejected) {

@@ -2,12 +2,18 @@
 //
 //   sim_torture [--seed=1] [--episodes=64] [--scheme=all|del|reindex|...]
 //               [--episode=E] [--print-trace] [--shrink=1] [--tmp-dir=/tmp]
-//               [--inject-window-bug] [--bitrot]
+//               [--inject-window-bug] [--bitrot] [--codec]
 //
 // --bitrot switches to the bit-rot scenario family (GenerateBitRot): every
 // day commits cleanly, then silent data-at-rest corruption strikes and the
 // episode asserts detection (scrub or query path), quarantine,
 // subset-correct degraded answers, and online self-healing.
+//
+// --codec switches to the codec scenario family (GenerateCodec): each
+// episode builds its indexes under a per-episode bucket codec policy (auto
+// or one forced codec), so every oracle cross-check exercises compressed
+// probe/scan decode. Composes with --bitrot: rot then lands on compressed
+// extents and must still be detected and healed.
 //
 // Runs seed-derived torture episodes (testing/sim_harness.h) for the chosen
 // scheme(s): each episode drives a full maintenance life — crashes, device
@@ -123,14 +129,25 @@ int Main(int argc, char** argv) {
   }
 
   const bool bitrot = args.GetBool("bitrot", false);
+  const bool codec = args.GetBool("codec", false);
   const testing::Simulator simulator(config);
+  const auto run_episode = [&](SchemeKind kind, uint64_t episode) {
+    if (codec && bitrot) return simulator.RunCodecBitRotEpisode(kind, episode);
+    if (codec) return simulator.RunCodecEpisode(kind, episode);
+    if (bitrot) return simulator.RunBitRotEpisode(kind, episode);
+    return simulator.RunEpisode(kind, episode);
+  };
+  const auto run_many = [&](SchemeKind kind) {
+    if (codec && bitrot) return simulator.RunManyCodecBitRot(kind);
+    if (codec) return simulator.RunManyCodec(kind);
+    if (bitrot) return simulator.RunManyBitRot(kind);
+    return simulator.RunMany(kind);
+  };
   bool failed = false;
   for (SchemeKind kind : kinds) {
     if (args.Has("episode")) {
       const uint64_t episode = args.GetU64("episode", 0);
-      const testing::EpisodeResult result =
-          bitrot ? simulator.RunBitRotEpisode(kind, episode)
-                 : simulator.RunEpisode(kind, episode);
+      const testing::EpisodeResult result = run_episode(kind, episode);
       if (print_trace) std::cout << result.trace;
       if (result.status.ok()) {
         std::cout << SchemeKindName(kind) << " episode " << episode
@@ -141,8 +158,7 @@ int Main(int argc, char** argv) {
       }
       continue;
     }
-    const testing::EpisodeResult result =
-        bitrot ? simulator.RunManyBitRot(kind) : simulator.RunMany(kind);
+    const testing::EpisodeResult result = run_many(kind);
     if (result.status.ok()) {
       std::cout << SchemeKindName(kind) << ": " << config.episodes
                 << " episodes ok\n";

@@ -59,6 +59,13 @@
 //       time-series collector keeps sampling in the background while
 //       serving. --duration-s=0 serves until killed.
 //
+//   wavectl stats [same workload flags] [--format=table|json]
+//       Run the workload, then print the per-index storage/codec breakdown:
+//       buckets stored under each codec, stored vs uncompressed bytes, and
+//       the compression ratio (run with --codec=auto to see savings). The
+//       same totals are exported by `wavectl metrics` as the
+//       wavekit_bucket_* gauges.
+//
 //   wavectl scrub [same workload flags] [--corrupt] [--heal=true|false]
 //       Run the workload, then one operational scrub pass: verify every live
 //       bucket checksum, quarantine corrupt constituents, and (default)
@@ -81,9 +88,10 @@
 //       model::CaseParams::hardware to the machine actually underneath.
 //
 //   The workload-driven subcommands (metrics, trace, top, export-trace,
-//   events, serve-metrics) also accept --backend/--path/--direct/
-//   --queue-depth to serve from a real device instead of the modeled
-//   MemoryDevice.
+//   events, serve-metrics, stats, scrub, verify) also accept
+//   --backend/--path/--direct/--queue-depth to serve from a real device
+//   instead of the modeled MemoryDevice, and --codec=raw|auto|delta|bitpack
+//   to choose the bucket codec policy for every index the run builds.
 //
 //   Unknown subcommands or flags print usage and exit non-zero.
 
@@ -102,6 +110,7 @@
 #include <thread>
 #include <vector>
 
+#include "index/codec.h"
 #include "model/space_model.h"
 #include "storage/backend_registry.h"
 #include "util/random.h"
@@ -430,6 +439,8 @@ Result<std::unique_ptr<WaveService>> ServeSyntheticWorkload(
     options.config.size_bound_entries =
         records * 60 * static_cast<uint64_t>(options.config.window);
   }
+  WAVEKIT_ASSIGN_OR_RETURN(options.config.codec,
+                           CodecModeFromName(args.Get("codec", "raw")));
   options.num_query_threads = args.GetInt("threads", 1);
   options.cache_blocks = static_cast<size_t>(args.GetInt("cache-blocks", 1024));
   options.storage_backend = args.Get("backend", "memory");
@@ -773,6 +784,82 @@ int ServeMetrics(const Args& args) {
   return 0;
 }
 
+/// `wavectl stats`: the per-index storage/codec breakdown of the snapshot a
+/// run ends on. This is the operational "how much am I saving" view; the
+/// wavekit_bucket_* gauges export the totals row continuously.
+int Stats(const Args& args) {
+  obs::MetricsRegistry registry;
+  auto service = ServeSyntheticWorkload(args, &registry, /*sample_rate=*/0.0,
+                                        /*ring_capacity=*/256,
+                                        /*slow_op_threshold_us=*/0);
+  if (!service.ok()) {
+    std::cerr << service.status() << "\n";
+    return 1;
+  }
+  WaveService& svc = *service.ValueOrDie();
+  // Released before the service: the constituents return their extents to
+  // the service's allocator when the last reference drops.
+  std::shared_ptr<const WaveIndex> snapshot = svc.Snapshot();
+  int code = 0;
+  const std::string format = args.Get("format", "table");
+  const auto row_of = [](const std::string& name,
+                         const ConstituentIndex::CodecBreakdown& b) {
+    return std::vector<std::string>{
+        name,
+        std::to_string(b.buckets[0]),
+        std::to_string(b.buckets[1]),
+        std::to_string(b.buckets[2]),
+        FormatBytes(b.stored_bytes),
+        FormatBytes(b.uncompressed_bytes),
+        FormatDouble(b.ratio(), 3)};
+  };
+  const ConstituentIndex::CodecBreakdown totals = svc.CodecTotals();
+  if (format == "json") {
+    const auto json_of = [](const ConstituentIndex::CodecBreakdown& b) {
+      return std::string("{\"raw_buckets\":") + std::to_string(b.buckets[0]) +
+             ",\"delta_buckets\":" + std::to_string(b.buckets[1]) +
+             ",\"bitpack_buckets\":" + std::to_string(b.buckets[2]) +
+             ",\"stored_bytes\":" + std::to_string(b.stored_bytes) +
+             ",\"uncompressed_bytes\":" + std::to_string(b.uncompressed_bytes) +
+             ",\"ratio\":" + FormatDouble(b.ratio(), 4) + "}";
+    };
+    std::cout << "{\"indexes\":[";
+    bool first = true;
+    for (const auto& constituent : snapshot->constituents()) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "{\"name\":\"" << constituent->name() << "\",\"packed\":"
+                << (constituent->packed() ? "true" : "false")
+                << ",\"codecs\":" << json_of(constituent->CodecStats()) << "}";
+    }
+    std::cout << "],\"total\":" << json_of(totals) << "}\n";
+  } else if (format == "table") {
+    sim::TablePrinter table({"index", "raw", "delta", "bitpack", "stored",
+                             "uncompressed", "ratio"});
+    table.SetTitle("per-index bucket codec breakdown (codec=" +
+                   args.Get("codec", "raw") + ")");
+    for (const auto& constituent : snapshot->constituents()) {
+      table.AddRow(row_of(constituent->name() +
+                              (constituent->packed() ? " (packed)" : ""),
+                          constituent->CodecStats()));
+    }
+    table.AddRow(row_of("TOTAL", totals));
+    table.Print(std::cout);
+    std::cout << "day=" << svc.current_day() << " constituents="
+              << snapshot->num_constituents() << " saved="
+              << FormatBytes(totals.uncompressed_bytes - totals.stored_bytes)
+              << "\n";
+  } else {
+    std::cerr << "unknown --format=" << format << " (table|json)\n";
+    code = 2;
+  }
+  snapshot.reset();
+  service.ValueOrDie().reset();
+  const std::string scratch = ScratchDevicePath(args);
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return code;
+}
+
 /// Flips one byte in the first live bucket found in the service's wave, via
 /// the raw device — silent media corruption underneath a live service (the
 /// directory checksum keeps the pre-rot truth, so the next scrub or read
@@ -793,8 +880,7 @@ Result<std::string> CorruptOneBucket(WaveService* svc) {
     WAVEKIT_RETURN_NOT_OK(constituent->ForEachBucket(
         [&](const Value& value, const BucketInfo& info) {
           if (live.length == 0 && info.count > 0) {
-            live = Extent{info.extent.offset,
-                          uint64_t{info.count} * kEntrySize};
+            live = Extent{info.extent.offset, info.stored_length()};
             bucket = value;
           }
         }));
@@ -1130,7 +1216,7 @@ int BenchIo(const Args& args) {
 
 void PrintUsage(std::ostream& out) {
   out << "usage: wavectl <schemes|run|model|advise|metrics|trace|top|"
-         "export-trace|events|serve-metrics|scrub|verify|bench-io> "
+         "export-trace|events|serve-metrics|stats|scrub|verify|bench-io> "
          "[--flag=value ...]\n"
          "see the header of tools/wavectl.cc for the full flag list\n";
 }
@@ -1141,7 +1227,7 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> workload = {
       "scheme",       "window",  "indexes", "technique",   "records",
       "probes",       "scans",   "days",    "threads",     "cache-blocks",
-      "backend",      "path",    "direct",  "queue-depth"};
+      "backend",      "path",    "direct",  "queue-depth", "codec"};
   const auto plus = [&workload](std::initializer_list<const char*> extra) {
     std::vector<std::string> flags = workload;
     flags.insert(flags.end(), extra.begin(), extra.end());
@@ -1170,6 +1256,7 @@ int Main(int argc, char** argv) {
       {"export-trace",
        {ExportTrace, plus({"sample", "ring", "slow-us", "out"})}},
       {"events", {Events, plus({"ring", "jsonl", "format"})}},
+      {"stats", {Stats, plus({"format"})}},
       {"scrub", {Scrub, plus({"corrupt", "heal"})}},
       {"verify", {Verify, plus({"corrupt"})}},
       {"serve-metrics",
