@@ -1,15 +1,13 @@
 #include "obs/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 
 #include "obs/trace_export.h"
+#include "util/macros.h"
+#include "util/net.h"
 
 namespace wavekit {
 namespace obs {
@@ -27,16 +25,6 @@ std::string StatusLine(int status, const std::string& reason) {
   return "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
 }
 
-void SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to do
-    sent += static_cast<size_t>(n);
-  }
-}
-
 }  // namespace
 
 HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
@@ -46,47 +34,16 @@ HttpExporter::~HttpExporter() { Stop(); }
 Status HttpExporter::Start() {
   if (running()) return Status::OK();
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
+  WAVEKIT_ASSIGN_OR_RETURN(
+      const int fd, net::ListenTcp(options_.bind_address, options_.port));
+  auto port = net::LocalPort(fd);
+  if (!port.ok()) {
     ::close(fd);
-    return Status::InvalidArgument("bad bind address: " +
-                                   options_.bind_address);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const Status status =
-        Status::IOError(std::string("bind: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  if (::listen(fd, 64) != 0) {
-    const Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    const Status status =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
+    return port.status();
   }
 
   listen_fd_ = fd;
-  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  port_.store(*port, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -116,9 +73,7 @@ void HttpExporter::AcceptLoop() {
 }
 
 void HttpExporter::ServeClient(int client_fd) {
-  timeval timeout{};
-  timeout.tv_sec = kRecvTimeoutSec;
-  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  (void)net::SetRecvTimeoutSec(client_fd, kRecvTimeoutSec);
 
   // Read until the end of the request line; we never need the headers or a
   // body, so the first CRLF is enough.
@@ -127,9 +82,9 @@ void HttpExporter::ServeClient(int client_fd) {
   while (request.find("\r\n") == std::string::npos &&
          request.find('\n') == std::string::npos) {
     if (request.size() > kMaxRequestBytes) break;
-    const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
+    auto n = net::RecvSome(client_fd, buf, sizeof buf);
+    if (!n.ok() || *n == 0) break;
+    request.append(buf, *n);
   }
 
   // Parse "METHOD SP PATH SP VERSION" from the first line.
@@ -163,7 +118,9 @@ void HttpExporter::ServeClient(int client_fd) {
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
-  SendAll(client_fd, out);
+  // Best-effort: the client may already be gone, but SendAll survives EINTR
+  // and short writes so a signal cannot truncate a response mid-flush.
+  (void)net::SendAll(client_fd, out);
 }
 
 HttpExporter::Response HttpExporter::Handle(const std::string& method,

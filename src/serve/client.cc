@@ -1,0 +1,107 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/net.h"
+
+namespace wavekit {
+namespace serve {
+
+Result<std::unique_ptr<Client>> Client::Connect(Options options) {
+  auto client = std::unique_ptr<Client>(new Client(std::move(options)));
+  WAVEKIT_ASSIGN_OR_RETURN(
+      client->fd_, net::ConnectTcp(client->options_.host, client->options_.port));
+  (void)net::SetNoDelay(client->fd_);
+  if (client->options_.recv_timeout_sec > 0) {
+    WAVEKIT_RETURN_NOT_OK(
+        net::SetRecvTimeoutSec(client->fd_, client->options_.recv_timeout_sec));
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendFrame(const std::string& frame) {
+  return net::SendAll(fd_, frame);
+}
+
+Result<Frame> Client::ReadFrameBlocking() {
+  Frame frame;
+  while (!reader_.Next(&frame)) {
+    WAVEKIT_RETURN_NOT_OK(reader_.error());
+    char buf[64 * 1024];
+    WAVEKIT_ASSIGN_OR_RETURN(const size_t n,
+                             net::RecvSome(fd_, buf, sizeof buf));
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    WAVEKIT_RETURN_NOT_OK(reader_.Feed(buf, n));
+  }
+  return frame;
+}
+
+Result<QueryReply> Client::Probe(const DayRange& range, const Value& value) {
+  ProbeRequest request{range, value};
+  WAVEKIT_RETURN_NOT_OK(SendFrame(EncodeProbeRequest(
+      options_.tenant_id, next_request_id_++, request)));
+  WAVEKIT_ASSIGN_OR_RETURN(const Frame frame, ReadFrameBlocking());
+  QueryReply reply;
+  WAVEKIT_RETURN_NOT_OK(DecodeQueryReply(frame.payload, &reply));
+  return reply;
+}
+
+Result<QueryReply> Client::Scan(const DayRange& range, uint32_t max_entries) {
+  ScanRequest request{range, max_entries};
+  WAVEKIT_RETURN_NOT_OK(SendFrame(EncodeScanRequest(
+      options_.tenant_id, next_request_id_++, request)));
+  WAVEKIT_ASSIGN_OR_RETURN(const Frame frame, ReadFrameBlocking());
+  QueryReply reply;
+  WAVEKIT_RETURN_NOT_OK(DecodeQueryReply(frame.payload, &reply));
+  return reply;
+}
+
+Result<AdvanceReply> Client::Advance(DayBatch batch) {
+  AdvanceRequest request;
+  request.batch = std::move(batch);
+  WAVEKIT_RETURN_NOT_OK(SendFrame(EncodeAdvanceRequest(
+      options_.tenant_id, next_request_id_++, request)));
+  WAVEKIT_ASSIGN_OR_RETURN(const Frame frame, ReadFrameBlocking());
+  AdvanceReply reply;
+  WAVEKIT_RETURN_NOT_OK(DecodeAdvanceReply(frame.payload, &reply));
+  return reply;
+}
+
+Result<StatsReply> Client::Stats() {
+  WAVEKIT_RETURN_NOT_OK(
+      SendFrame(EncodeStatsRequest(options_.tenant_id, next_request_id_++)));
+  WAVEKIT_ASSIGN_OR_RETURN(const Frame frame, ReadFrameBlocking());
+  StatsReply reply;
+  WAVEKIT_RETURN_NOT_OK(DecodeStatsReply(frame.payload, &reply));
+  return reply;
+}
+
+Result<HealthReply> Client::Health() {
+  WAVEKIT_RETURN_NOT_OK(
+      SendFrame(EncodeHealthRequest(options_.tenant_id, next_request_id_++)));
+  WAVEKIT_ASSIGN_OR_RETURN(const Frame frame, ReadFrameBlocking());
+  HealthReply reply;
+  WAVEKIT_RETURN_NOT_OK(DecodeHealthReply(frame.payload, &reply));
+  return reply;
+}
+
+Result<uint32_t> Client::SendProbe(const DayRange& range, const Value& value) {
+  const uint32_t id = next_request_id_++;
+  ProbeRequest request{range, value};
+  WAVEKIT_RETURN_NOT_OK(
+      SendFrame(EncodeProbeRequest(options_.tenant_id, id, request)));
+  return id;
+}
+
+Result<Frame> Client::ReadReply() { return ReadFrameBlocking(); }
+
+}  // namespace serve
+}  // namespace wavekit

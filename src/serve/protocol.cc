@@ -1,0 +1,536 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace wavekit {
+namespace serve {
+namespace {
+
+// --- Little-endian primitives ----------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutBytes(std::string* out, const std::string& v) {
+  out->append(v);
+}
+
+/// Bounds-checked cursor over a decoder input. Every Get* returns false once
+/// the input is exhausted; error text is attached by the caller.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU16(uint16_t* v) {
+    uint8_t lo, hi;
+    if (!GetU8(&lo) || !GetU8(&hi)) return false;
+    *v = static_cast<uint16_t>(lo | (static_cast<uint16_t>(hi) << 8));
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    uint16_t lo, hi;
+    if (!GetU16(&lo) || !GetU16(&hi)) return false;
+    *v = lo | (static_cast<uint32_t>(hi) << 16);
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (!GetU32(&lo) || !GetU32(&hi)) return false;
+    *v = lo | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+  bool GetI32(int32_t* v) {
+    uint32_t u;
+    if (!GetU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool GetBytes(size_t n, std::string* v) {
+    if (remaining() < n) return false;
+    v->assign(data_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed frame payload: " + what);
+}
+
+std::string EncodeFrame(uint8_t type, uint16_t tenant_id, uint32_t request_id,
+                        const std::string& payload) {
+  return EncodeRawFrame(kProtocolVersion, type, tenant_id, request_id, payload);
+}
+
+void PutResult(std::string* out, const WireResult& result) {
+  // The detail is advisory; clamp rather than fail so a pathological message
+  // cannot make an (infallible) encoder produce an unparseable frame.
+  const size_t detail_len =
+      result.detail.size() > 0xFFFF ? 0xFFFF : result.detail.size();
+  PutU8(out, static_cast<uint8_t>(result.code));
+  PutU16(out, static_cast<uint16_t>(detail_len));
+  out->append(result.detail, 0, detail_len);
+}
+
+bool GetResult(WireReader* in, WireResult* out) {
+  uint8_t code;
+  uint16_t detail_len;
+  if (!in->GetU8(&code) || !in->GetU16(&detail_len)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) return false;
+  if (!in->GetBytes(detail_len, &out->detail)) return false;
+  out->code = static_cast<StatusCode>(code);
+  return true;
+}
+
+void PutStats(std::string* out, const QueryStats& stats) {
+  PutU32(out, static_cast<uint32_t>(stats.indexes_accessed));
+  PutU32(out, static_cast<uint32_t>(stats.indexes_skipped));
+  PutU32(out, static_cast<uint32_t>(stats.indexes_unhealthy));
+  PutU32(out, static_cast<uint32_t>(stats.indexes_failed));
+  PutU32(out, static_cast<uint32_t>(stats.probe_fallbacks));
+  PutU64(out, stats.entries_returned);
+}
+
+bool GetStats(WireReader* in, QueryStats* stats) {
+  uint32_t accessed, skipped, unhealthy, failed, fallbacks;
+  if (!in->GetU32(&accessed) || !in->GetU32(&skipped) ||
+      !in->GetU32(&unhealthy) || !in->GetU32(&failed) ||
+      !in->GetU32(&fallbacks) || !in->GetU64(&stats->entries_returned)) {
+    return false;
+  }
+  stats->indexes_accessed = static_cast<int>(accessed);
+  stats->indexes_skipped = static_cast<int>(skipped);
+  stats->indexes_unhealthy = static_cast<int>(unhealthy);
+  stats->indexes_failed = static_cast<int>(failed);
+  stats->probe_fallbacks = static_cast<int>(fallbacks);
+  return true;
+}
+
+}  // namespace
+
+bool IsRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kProbe) &&
+         type <= static_cast<uint8_t>(FrameType::kHealth);
+}
+
+std::string EncodeRawFrame(uint8_t version, uint8_t type, uint16_t tenant_id,
+                           uint32_t request_id, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU8(&out, version);
+  PutU8(&out, type);
+  PutU16(&out, tenant_id);
+  PutU32(&out, request_id);
+  PutBytes(&out, payload);
+  return out;
+}
+
+// --- Request encoders -------------------------------------------------------
+
+std::string EncodeProbeRequest(uint16_t tenant_id, uint32_t request_id,
+                               const ProbeRequest& request) {
+  std::string payload;
+  PutI32(&payload, request.range.lo);
+  PutI32(&payload, request.range.hi);
+  PutU32(&payload, static_cast<uint32_t>(request.value.size()));
+  PutBytes(&payload, request.value);
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kProbe), tenant_id,
+                     request_id, payload);
+}
+
+std::string EncodeScanRequest(uint16_t tenant_id, uint32_t request_id,
+                              const ScanRequest& request) {
+  std::string payload;
+  PutI32(&payload, request.range.lo);
+  PutI32(&payload, request.range.hi);
+  PutU32(&payload, request.max_entries);
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kScan), tenant_id,
+                     request_id, payload);
+}
+
+std::string EncodeAdvanceRequest(uint16_t tenant_id, uint32_t request_id,
+                                 const AdvanceRequest& request) {
+  std::string payload;
+  PutI32(&payload, request.batch.day);
+  PutU32(&payload, static_cast<uint32_t>(request.batch.records.size()));
+  for (const Record& record : request.batch.records) {
+    PutU64(&payload, record.record_id);
+    PutU16(&payload, static_cast<uint16_t>(record.values.size()));
+    for (size_t i = 0; i < record.values.size(); ++i) {
+      PutU32(&payload, static_cast<uint32_t>(record.values[i].size()));
+      PutBytes(&payload, record.values[i]);
+      PutU32(&payload, record.AuxFor(i));
+    }
+  }
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kAdvance), tenant_id,
+                     request_id, payload);
+}
+
+std::string EncodeStatsRequest(uint16_t tenant_id, uint32_t request_id) {
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kStats), tenant_id,
+                     request_id, std::string());
+}
+
+std::string EncodeHealthRequest(uint16_t tenant_id, uint32_t request_id) {
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kHealth), tenant_id,
+                     request_id, std::string());
+}
+
+// --- Reply encoders ---------------------------------------------------------
+
+std::string EncodeQueryReply(const FrameHeader& request,
+                             const QueryReply& reply) {
+  std::string payload;
+  PutResult(&payload, reply.result);
+  if (reply.result.has_body()) {
+    PutStats(&payload, reply.stats);
+    PutU32(&payload, static_cast<uint32_t>(reply.entries.size()));
+    for (const Entry& entry : reply.entries) {
+      PutU64(&payload, entry.record_id);
+      PutI32(&payload, entry.day);
+      PutU32(&payload, entry.aux);
+    }
+  }
+  const uint8_t type = request.type == static_cast<uint8_t>(FrameType::kScan)
+                           ? static_cast<uint8_t>(FrameType::kScanReply)
+                           : static_cast<uint8_t>(FrameType::kProbeReply);
+  return EncodeFrame(type, request.tenant_id, request.request_id, payload);
+}
+
+std::string EncodeAdvanceReply(const FrameHeader& request,
+                               const AdvanceReply& reply) {
+  std::string payload;
+  PutResult(&payload, reply.result);
+  if (reply.result.has_body()) PutI32(&payload, reply.current_day);
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kAdvanceReply),
+                     request.tenant_id, request.request_id, payload);
+}
+
+std::string EncodeStatsReply(const FrameHeader& request,
+                             const StatsReply& reply) {
+  std::string payload;
+  PutResult(&payload, reply.result);
+  if (reply.result.has_body()) {
+    PutU64(&payload, reply.probes);
+    PutU64(&payload, reply.scans);
+    PutU64(&payload, reply.days_advanced);
+    PutU64(&payload, reply.async_advances);
+    PutU64(&payload, reply.pending_advances);
+    PutU64(&payload, reply.degraded_advances);
+    PutU64(&payload, reply.partial_results);
+    PutI32(&payload, reply.current_day);
+    PutU8(&payload, reply.degraded ? 1 : 0);
+  }
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kStatsReply),
+                     request.tenant_id, request.request_id, payload);
+}
+
+std::string EncodeHealthReply(const FrameHeader& request,
+                              const HealthReply& reply) {
+  std::string payload;
+  PutResult(&payload, reply.result);
+  if (reply.result.has_body()) {
+    PutU8(&payload, reply.degraded ? 1 : 0);
+    PutU32(&payload, static_cast<uint32_t>(reply.detail.size()));
+    PutBytes(&payload, reply.detail);
+  }
+  return EncodeFrame(static_cast<uint8_t>(FrameType::kHealthReply),
+                     request.tenant_id, request.request_id, payload);
+}
+
+std::string EncodeErrorReply(const FrameHeader& request, FrameType type,
+                             StatusCode code, const std::string& detail) {
+  std::string payload;
+  WireResult result;
+  result.code = code == StatusCode::kOk ? StatusCode::kInternal : code;
+  result.detail = detail;
+  PutResult(&payload, result);
+  return EncodeFrame(static_cast<uint8_t>(type), request.tenant_id,
+                     request.request_id, payload);
+}
+
+// --- Request decoders -------------------------------------------------------
+
+Status DecodeProbeRequest(const std::string& payload, ProbeRequest* out) {
+  WireReader in(payload);
+  ProbeRequest parsed;
+  uint32_t value_len;
+  if (!in.GetI32(&parsed.range.lo) || !in.GetI32(&parsed.range.hi) ||
+      !in.GetU32(&value_len) || !in.GetBytes(value_len, &parsed.value)) {
+    return Malformed("truncated PROBE");
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after PROBE");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+Status DecodeScanRequest(const std::string& payload, ScanRequest* out) {
+  WireReader in(payload);
+  ScanRequest parsed;
+  if (!in.GetI32(&parsed.range.lo) || !in.GetI32(&parsed.range.hi) ||
+      !in.GetU32(&parsed.max_entries)) {
+    return Malformed("truncated SCAN");
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after SCAN");
+  *out = parsed;
+  return Status::OK();
+}
+
+Status DecodeAdvanceRequest(const std::string& payload, AdvanceRequest* out) {
+  WireReader in(payload);
+  AdvanceRequest parsed;
+  uint32_t record_count;
+  if (!in.GetI32(&parsed.batch.day) || !in.GetU32(&record_count)) {
+    return Malformed("truncated ADVANCE");
+  }
+  // A record costs at least 10 payload bytes (id + value count), so a count
+  // the remaining bytes cannot cover is rejected before reserving anything —
+  // a hostile count field cannot drive allocation.
+  if (record_count > in.remaining() / 10) {
+    return Malformed("ADVANCE record count exceeds payload");
+  }
+  parsed.batch.records.reserve(record_count);
+  for (uint32_t r = 0; r < record_count; ++r) {
+    Record record;
+    record.day = parsed.batch.day;
+    uint16_t num_values;
+    if (!in.GetU64(&record.record_id) || !in.GetU16(&num_values)) {
+      return Malformed("truncated ADVANCE record");
+    }
+    // Same guard: a value costs at least 8 bytes (len + aux).
+    if (num_values > in.remaining() / 8) {
+      return Malformed("ADVANCE value count exceeds payload");
+    }
+    record.values.reserve(num_values);
+    record.aux.reserve(num_values);
+    for (uint16_t v = 0; v < num_values; ++v) {
+      uint32_t value_len, aux;
+      Value value;
+      if (!in.GetU32(&value_len) || !in.GetBytes(value_len, &value) ||
+          !in.GetU32(&aux)) {
+        return Malformed("truncated ADVANCE value");
+      }
+      record.values.push_back(std::move(value));
+      record.aux.push_back(aux);
+    }
+    parsed.batch.records.push_back(std::move(record));
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after ADVANCE");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+// --- Reply decoders ---------------------------------------------------------
+
+Status DecodeResultPrefix(const std::string& payload, WireResult* out) {
+  WireReader in(payload);
+  WireResult result;
+  if (!GetResult(&in, &result)) return Malformed("truncated result prefix");
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status DecodeQueryReply(const std::string& payload, QueryReply* out) {
+  WireReader in(payload);
+  QueryReply parsed;
+  if (!GetResult(&in, &parsed.result)) {
+    return Malformed("truncated query reply result");
+  }
+  if (parsed.result.has_body()) {
+    uint32_t entry_count;
+    if (!GetStats(&in, &parsed.stats) || !in.GetU32(&entry_count)) {
+      return Malformed("truncated query reply stats");
+    }
+    if (entry_count > in.remaining() / 16) {
+      return Malformed("query reply entry count exceeds payload");
+    }
+    parsed.entries.reserve(entry_count);
+    for (uint32_t i = 0; i < entry_count; ++i) {
+      Entry entry;
+      if (!in.GetU64(&entry.record_id) || !in.GetI32(&entry.day) ||
+          !in.GetU32(&entry.aux)) {
+        return Malformed("truncated query reply entry");
+      }
+      parsed.entries.push_back(entry);
+    }
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after query reply");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+Status DecodeAdvanceReply(const std::string& payload, AdvanceReply* out) {
+  WireReader in(payload);
+  AdvanceReply parsed;
+  if (!GetResult(&in, &parsed.result)) {
+    return Malformed("truncated advance reply");
+  }
+  if (parsed.result.has_body() && !in.GetI32(&parsed.current_day)) {
+    return Malformed("truncated advance reply day");
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after advance reply");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+Status DecodeStatsReply(const std::string& payload, StatsReply* out) {
+  WireReader in(payload);
+  StatsReply parsed;
+  if (!GetResult(&in, &parsed.result)) return Malformed("truncated stats reply");
+  if (parsed.result.has_body()) {
+    uint8_t degraded;
+    if (!in.GetU64(&parsed.probes) || !in.GetU64(&parsed.scans) ||
+        !in.GetU64(&parsed.days_advanced) ||
+        !in.GetU64(&parsed.async_advances) ||
+        !in.GetU64(&parsed.pending_advances) ||
+        !in.GetU64(&parsed.degraded_advances) ||
+        !in.GetU64(&parsed.partial_results) ||
+        !in.GetI32(&parsed.current_day) || !in.GetU8(&degraded)) {
+      return Malformed("truncated stats reply body");
+    }
+    parsed.degraded = degraded != 0;
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after stats reply");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+Status DecodeHealthReply(const std::string& payload, HealthReply* out) {
+  WireReader in(payload);
+  HealthReply parsed;
+  if (!GetResult(&in, &parsed.result)) {
+    return Malformed("truncated health reply");
+  }
+  if (parsed.result.has_body()) {
+    uint8_t degraded;
+    uint32_t detail_len;
+    if (!in.GetU8(&degraded) || !in.GetU32(&detail_len) ||
+        !in.GetBytes(detail_len, &parsed.detail)) {
+      return Malformed("truncated health reply body");
+    }
+    parsed.degraded = degraded != 0;
+  }
+  if (!in.AtEnd()) return Malformed("trailing bytes after health reply");
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+// --- FrameReader ------------------------------------------------------------
+
+Status FrameReader::Feed(const void* data, size_t size) {
+  if (!error_.ok()) return error_;
+
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), size);
+
+  // Validate the next unconsumed header eagerly: a poisoned length field is
+  // caught before Next() is ever called and before payload bytes pile up.
+  if (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    const unsigned char* h =
+        reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+    FrameHeader header;
+    header.payload_len = static_cast<uint32_t>(h[0]) |
+                         (static_cast<uint32_t>(h[1]) << 8) |
+                         (static_cast<uint32_t>(h[2]) << 16) |
+                         (static_cast<uint32_t>(h[3]) << 24);
+    header.version = h[4];
+    header.type = h[5];
+    header.tenant_id =
+        static_cast<uint16_t>(h[6] | (static_cast<uint16_t>(h[7]) << 8));
+    header.request_id = static_cast<uint32_t>(h[8]) |
+                        (static_cast<uint32_t>(h[9]) << 8) |
+                        (static_cast<uint32_t>(h[10]) << 16) |
+                        (static_cast<uint32_t>(h[11]) << 24);
+    if (header.version != kProtocolVersion) {
+      error_ = Status::InvalidArgument(
+          "unsupported protocol version " + std::to_string(header.version));
+      error_header_ = header;
+    } else if (header.payload_len > max_payload_bytes_) {
+      error_ = Status::InvalidArgument(
+          "frame payload " + std::to_string(header.payload_len) +
+          " exceeds limit " + std::to_string(max_payload_bytes_));
+      error_header_ = header;
+    }
+    if (!error_.ok()) {
+      buffer_.clear();
+      consumed_ = 0;
+      return error_;
+    }
+  }
+  return Status::OK();
+}
+
+bool FrameReader::Next(Frame* out) {
+  if (!error_.ok()) return false;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  FrameHeader header;
+  header.payload_len = static_cast<uint32_t>(h[0]) |
+                       (static_cast<uint32_t>(h[1]) << 8) |
+                       (static_cast<uint32_t>(h[2]) << 16) |
+                       (static_cast<uint32_t>(h[3]) << 24);
+  header.version = h[4];
+  header.type = h[5];
+  header.tenant_id =
+      static_cast<uint16_t>(h[6] | (static_cast<uint16_t>(h[7]) << 8));
+  header.request_id = static_cast<uint32_t>(h[8]) |
+                      (static_cast<uint32_t>(h[9]) << 8) |
+                      (static_cast<uint32_t>(h[10]) << 16) |
+                      (static_cast<uint32_t>(h[11]) << 24);
+
+  if (available < kFrameHeaderBytes + header.payload_len) return false;
+
+  out->header = header;
+  out->payload.assign(buffer_, consumed_ + kFrameHeaderBytes,
+                      header.payload_len);
+  consumed_ += kFrameHeaderBytes + header.payload_len;
+
+  // The *following* frame's header may be the poisoned one; re-validate it
+  // now so error() flips as soon as the bad header is fully buffered.
+  if (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    (void)Feed("", 0);
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace wavekit

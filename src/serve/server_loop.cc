@@ -1,0 +1,335 @@
+#include "serve/server_loop.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/net.h"
+
+namespace wavekit {
+namespace serve {
+namespace {
+
+// epoll_wait granularity: also the idle-timeout sweep cadence, so timeouts
+// fire within ~this of their deadline even on a silent server.
+constexpr int kTickMs = 100;
+
+constexpr uint32_t kReadEvents = EPOLLIN | EPOLLRDHUP;
+
+}  // namespace
+
+ServerLoop::ServerLoop(Options options, ServerCore* core)
+    : options_(std::move(options)), core_(core) {}
+
+ServerLoop::~ServerLoop() { Stop(); }
+
+Status ServerLoop::Start() {
+  if (running()) return Status::OK();
+
+  WAVEKIT_ASSIGN_OR_RETURN(
+      listen_fd_, net::ListenTcp(options_.bind_address, options_.port));
+  auto cleanup_listen = [this] {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  };
+  auto port = net::LocalPort(listen_fd_);
+  if (!port.ok()) {
+    cleanup_listen();
+    return port.status();
+  }
+  Status nonblock = net::SetNonBlocking(listen_fd_);
+  if (!nonblock.ok()) {
+    cleanup_listen();
+    return nonblock;
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    Status s = net::ErrnoStatus("epoll_create1");
+    cleanup_listen();
+    return s;
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    Status s = net::ErrnoStatus("eventfd");
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    cleanup_listen();
+    return s;
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  port_.store(*port, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void ServerLoop::Drain() { Shutdown(/*drain=*/true); }
+
+void ServerLoop::Stop() { Shutdown(/*drain=*/false); }
+
+void ServerLoop::Shutdown(bool drain) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (drain) {
+    core_->BeginDrain();
+    draining_.store(true, std::memory_order_release);
+  } else {
+    running_.store(false, std::memory_order_release);
+  }
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof one);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+int64_t ServerLoop::NowMs() const {
+  // Transport timeouts are wall-clock by design: the deterministic sim
+  // drives ServerCore directly and never goes through this loop.
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ServerLoop::Run() {
+  bool accepting = true;
+  std::vector<epoll_event> events(64);
+  while (true) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (draining) {
+      if (accepting) {
+        // Stop admitting: the listener leaves the interest set, so pending
+        // SYNs get RST when the fd closes and new clients fail fast.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        accepting = false;
+      }
+      // Drain completes when every reply has been flushed. Requests already
+      // sitting in a connection's socket buffer are in flight — give each
+      // quiet connection one final read so they are answered, then close it
+      // once nothing is left to flush; the rest close as their pending
+      // buffers empty in HandleWritable.
+      std::vector<int> candidates;
+      candidates.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) candidates.push_back(fd);
+      for (const int fd : candidates) {
+        auto it = connections_.find(fd);
+        if (it == connections_.end() || !it->second.pending.empty()) continue;
+        HandleReadable(&it->second);  // may close (EOF) or queue replies
+        it = connections_.find(fd);
+        if (it != connections_.end() && it->second.pending.empty()) {
+          CloseConnection(fd);
+        }
+      }
+      if (connections_.empty()) break;
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), kTickMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drainv;
+        (void)!::read(wake_fd_, &drainv, sizeof drainv);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        if (accepting) AcceptNew();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = &it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd);
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        HandleWritable(conn);
+        if (connections_.find(fd) == connections_.end()) continue;
+      }
+      if (mask & (EPOLLIN | EPOLLRDHUP)) {
+        HandleReadable(conn);
+      }
+    }
+    if (!draining_.load(std::memory_order_acquire)) CloseIdleConnections();
+  }
+
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    const int fd = it->first;
+    ++it;
+    CloseConnection(fd);
+  }
+}
+
+void ServerLoop::AcceptNew() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN: drained the backlog. Anything else: spurious wakeup or a
+      // connection that died in the backlog; either way, try again later.
+      return;
+    }
+    auto session = core_->OpenSession();
+    if (!session.ok()) {
+      // Admission refused (session limit / draining). A frame-less close is
+      // the contract: the client sees EOF before sending anything.
+      ::close(fd);
+      continue;
+    }
+    (void)net::SetNonBlocking(fd);
+    (void)net::SetNoDelay(fd);
+    Connection conn;
+    conn.fd = fd;
+    conn.session = *session;
+    conn.last_activity_ms = NowMs();
+    connections_.emplace(fd, std::move(conn));
+    epoll_event ev{};
+    ev.events = kReadEvents;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServerLoop::HandleReadable(Connection* conn) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->last_activity_ms = NowMs();
+      std::string replies;
+      const Status status = core_->Ingest(conn->session, buf,
+                                          static_cast<size_t>(n), &replies);
+      if (!replies.empty()) QueueReply(conn, std::move(replies));
+      if (!status.ok()) {
+        // Unrecoverable stream (bad version / oversized frame): the final
+        // error reply is queued; close once it flushes.
+        conn->closing = true;
+        if (conn->pending.empty()) {
+          CloseConnection(conn->fd);
+          return;
+        }
+        // Stop reading a stream we can no longer parse.
+        epoll_event ev{};
+        ev.events = EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // clean EOF
+      CloseConnection(conn->fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(conn->fd);
+    return;
+  }
+}
+
+void ServerLoop::QueueReply(Connection* conn, std::string bytes) {
+  if (conn->pending.empty()) {
+    // Fast path: push as much as the kernel takes right now.
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(conn->fd, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN (buffer full) or a real error found by the next event
+    }
+    if (off == bytes.size()) return;
+    conn->pending.assign(bytes, off, bytes.size() - off);
+  } else {
+    conn->pending += bytes;
+  }
+  epoll_event ev{};
+  ev.events = (conn->closing ? 0u : kReadEvents) | EPOLLOUT;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void ServerLoop::HandleWritable(Connection* conn) {
+  size_t off = 0;
+  while (off < conn->pending.size()) {
+    const ssize_t n = ::send(conn->fd, conn->pending.data() + off,
+                             conn->pending.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn->fd);
+    return;
+  }
+  conn->pending.erase(0, off);
+  if (conn->pending.empty()) {
+    if (conn->closing || draining_.load(std::memory_order_acquire)) {
+      CloseConnection(conn->fd);
+      return;
+    }
+    epoll_event ev{};
+    ev.events = kReadEvents;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void ServerLoop::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  core_->CloseSession(it->second.session);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void ServerLoop::CloseIdleConnections() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const int64_t now = NowMs();
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    // A connection waiting for *us* to flush is not loafing; only silence on
+    // the read side counts (this is precisely the slow-loris signature).
+    if (conn.pending.empty() &&
+        now - conn.last_activity_ms > options_.idle_timeout_ms) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
+  }
+}
+
+}  // namespace serve
+}  // namespace wavekit

@@ -1,0 +1,116 @@
+// ServerLoop: the socket-owning half of waved.
+//
+// One background thread runs an epoll loop over non-blocking sockets:
+// accept, read, hand bytes to ServerCore::Ingest, flush the reply bytes it
+// produced. All protocol/tenant/rate-limit logic lives in the (transport-
+// free, sim-tested) core; this file only moves bytes and enforces the two
+// purely-transport policies a socket loop must own:
+//
+//   - idle timeout: a connection that sends nothing for idle_timeout_ms is
+//     closed (slow-loris defense — holding a socket open costs an attacker
+//     a heartbeat, not a server slot forever),
+//   - graceful drain: Drain() stops accepting, lets every in-flight request
+//     finish and flush, then closes. waved wires SIGTERM to it.
+//
+// Writes go through util/net's SendAll when the socket is writable and fall
+// back to a per-connection pending buffer + EPOLLOUT when the kernel buffer
+// fills, so one slow reader cannot block the loop.
+
+#ifndef WAVEKIT_SERVE_SERVER_LOOP_H_
+#define WAVEKIT_SERVE_SERVER_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "serve/server_core.h"
+#include "util/status.h"
+
+namespace wavekit {
+namespace serve {
+
+class ServerLoop {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back with port().
+    uint16_t port = 0;
+    /// Connections idle (no bytes received) longer than this are closed.
+    /// 0 disables the timeout.
+    int idle_timeout_ms = 30'000;
+  };
+
+  /// `core` must outlive the loop.
+  ServerLoop(Options options, ServerCore* core);
+  ~ServerLoop();
+
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  /// Binds, listens, and starts the loop thread.
+  Status Start();
+
+  /// Graceful drain: stop accepting, answer and flush everything already in
+  /// flight, close connections, stop the thread. Blocks until done (in-flight
+  /// requests are bounded by the request path, not by client behaviour).
+  void Drain();
+
+  /// Hard stop: close everything now. In-flight replies may be lost.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Connections accepted over the loop's lifetime.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the idle timeout.
+  uint64_t idle_closed() const {
+    return idle_closed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    ServerCore::Session* session = nullptr;
+    /// Reply bytes the kernel buffer would not take yet (EPOLLOUT pending).
+    std::string pending;
+    /// Loop-clock milliseconds of the last received byte.
+    int64_t last_activity_ms = 0;
+    /// Set when the core reported the connection unrecoverable; close as
+    /// soon as the final error reply flushes.
+    bool closing = false;
+  };
+
+  void Run();
+  void AcceptNew();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Queues `bytes` on the connection, writing as much as the socket takes.
+  void QueueReply(Connection* conn, std::string bytes);
+  void CloseConnection(int fd);
+  void CloseIdleConnections();
+  int64_t NowMs() const;
+  void Shutdown(bool drain);
+
+  Options options_;
+  ServerCore* core_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop()/Drain() kick the epoll_wait
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> idle_closed_{0};
+  std::map<int, Connection> connections_;  // loop thread only
+};
+
+}  // namespace serve
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SERVE_SERVER_LOOP_H_

@@ -1,0 +1,46 @@
+// SharedPool: lets many tenants' WaveServices fan queries out on ONE pool.
+//
+// WaveService::Options::pool_factory hands back a unique_ptr per role, and
+// each service destroys what it got — so tenants cannot literally share a
+// ThreadPool*. SharedPool is the adapter: a workerless forwarding shell
+// whose Submit/Wait delegate to a pool owned by the daemon. Destroying a
+// shell leaves the shared pool (and other tenants) untouched.
+//
+// Only the "query" role should be shared. Advance transitions rely on their
+// runner being a dedicated single worker for strict submission-order
+// application; waved gives every tenant its own.
+
+#ifndef WAVEKIT_SERVE_SHARED_POOL_H_
+#define WAVEKIT_SERVE_SHARED_POOL_H_
+
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace wavekit {
+namespace serve {
+
+class SharedPool : public ThreadPool {
+ public:
+  /// `inner` must outlive this shell (the daemon owns it).
+  explicit SharedPool(ThreadPool* inner) : inner_(inner) {}
+
+  void Submit(std::function<void()> task) override {
+    inner_->Submit(std::move(task));
+  }
+  // Waits for the WHOLE shared pool, other tenants' work included — safe
+  // (the contract only promises "at least my tasks"), just coarse. The query
+  // path joins per-probe WaitGroups, not pool-wide Waits, so this only runs
+  // at service destruction.
+  void Wait() override { inner_->Wait(); }
+  size_t queue_depth() const override { return inner_->queue_depth(); }
+  int in_flight() const override { return inner_->in_flight(); }
+
+ private:
+  ThreadPool* inner_;
+};
+
+}  // namespace serve
+}  // namespace wavekit
+
+#endif  // WAVEKIT_SERVE_SHARED_POOL_H_

@@ -1,0 +1,102 @@
+// Deterministic server simulation: the serving stack minus the sockets.
+//
+// ServerCore was split from the epoll loop precisely so that the request
+// brain — framing, dispatch, per-tenant rate limits, async-advance
+// acknowledgement, drain — can be driven byte-for-byte in process. An
+// episode here wires N tenants' WaveServices onto simulation seams
+// (SimExecutor pools, a SimClock) behind one ServerCore, opens one Session
+// per tenant as an in-memory loopback connection, and then interleaves:
+//
+//   - ADVANCE requests that queue through AdvanceDayAsync (the reply
+//     acknowledges the still-current day),
+//   - single-stepped advance executors (RunOne publishes exactly the next
+//     queued day), and
+//   - PROBE / SCAN / STATS requests issued *between* those steps, each
+//     decoded from the actual reply bytes and cross-checked against a
+//     brute-force OracleDB that is advanced in lockstep with the published
+//     (not the queued) days.
+//
+// Every episode ends with a drain rehearsal: BeginDrain must refuse new
+// sessions while buffered requests on open sessions keep being answered,
+// and WaitForMaintenance must land every queued advance.
+//
+// Determinism is the contract, not a best effort: an episode's entire
+// reply byte stream and trace are folded into a CRC-32 digest, and
+// RunEpisode(e) twice must produce the identical digest (RunMany asserts
+// this for every episode). Everything follows from (seed, episode): the
+// scheme, the workload, the interleaving, the probe values.
+
+#ifndef WAVEKIT_TESTING_SERVER_SIM_H_
+#define WAVEKIT_TESTING_SERVER_SIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace wavekit {
+namespace testing {
+
+/// \brief Server-simulation configuration. Behaviour follows entirely from
+/// `seed` and the episode number; the rest shapes the episode's size.
+struct ServerSimConfig {
+  /// Base seed: episode e of seed s replays the same scenario forever.
+  uint64_t seed = 1;
+  /// Episodes for RunMany (each runs twice: once to serve, once to confirm
+  /// the byte-identical digest).
+  uint64_t episodes = 8;
+  /// Tenants behind the simulated server (one loopback session each).
+  int tenants = 3;
+  /// Daily transitions per tenant per episode.
+  int days = 5;
+  /// Sliding-window width (and first-window bootstrap size).
+  int window = 4;
+  /// Synthetic Netnews articles per day per tenant.
+  uint64_t articles_per_day = 12;
+  /// Cross-checked probes issued at each interleave point.
+  int probes_per_step = 3;
+};
+
+/// \brief Outcome of one simulated serving episode.
+struct ServerEpisodeResult {
+  uint64_t episode = 0;
+  /// OK when every reply decoded, every cross-check matched, and the drain
+  /// rehearsal behaved.
+  Status status = Status::OK();
+  /// Deterministic episode trace: one line per request batch / publish /
+  /// drain step. Byte-identical across runs of the same (seed, episode).
+  std::string trace;
+  /// CRC-32 over the episode's full reply byte stream plus the trace.
+  uint32_t digest = 0;
+  /// Total requests the simulated server answered.
+  uint64_t requests = 0;
+  /// Non-empty on failure: the command that replays this exact episode.
+  std::string repro;
+};
+
+/// \brief Seed-reproducible in-process server simulator.
+class ServerSimulator {
+ public:
+  explicit ServerSimulator(ServerSimConfig config) : config_(config) {}
+
+  /// Runs episode `episode` of the configured seed.
+  ServerEpisodeResult RunEpisode(uint64_t episode) const;
+
+  /// Runs episodes 0..episodes-1, re-running each to assert the digest is
+  /// byte-identical; stops at and returns the first failure, or the last
+  /// (successful) result.
+  ServerEpisodeResult RunMany() const;
+
+  const ServerSimConfig& config() const { return config_; }
+
+ private:
+  ServerSimConfig config_;
+};
+
+/// \brief The repro command line for (seed, episode).
+std::string ServerReproCommand(uint64_t seed, uint64_t episode);
+
+}  // namespace testing
+}  // namespace wavekit
+
+#endif  // WAVEKIT_TESTING_SERVER_SIM_H_

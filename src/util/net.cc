@@ -1,0 +1,145 @@
+#include "util/net.h"
+
+#include "util/macros.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace wavekit {
+namespace net {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+namespace {
+
+Result<sockaddr_in> MakeAddr(const std::string& address, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (address.empty() || address == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& bind_address, uint16_t port,
+                      int backlog) {
+  WAVEKIT_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(bind_address, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    Status s = ErrnoStatus("setsockopt(SO_REUSEADDR)");
+    ::close(fd);
+    return s;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = ErrnoStatus("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status s = ErrnoStatus("listen");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  WAVEKIT_ASSIGN_OR_RETURN(
+      sockaddr_in addr, MakeAddr(host == "localhost" ? "127.0.0.1" : host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status s = ErrnoStatus("connect");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    // send() returning 0 on a stream socket would spin forever; treat it as
+    // a peer failure the same way a short read treats EOF.
+    if (n == 0) return Status::IOError("send: connection closed");
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t size) {
+  while (true) {
+    ssize_t n = ::recv(fd, buf, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("recv timeout");
+    }
+    return ErrnoStatus("recv");
+  }
+}
+
+Status SetRecvTimeoutSec(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  tv.tv_usec = 0;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace wavekit

@@ -1,0 +1,71 @@
+// Raw POSIX TCP plumbing shared by every embedded server in the tree.
+//
+// Extracted from obs/http_exporter.cc when waved (serve/server_loop.h)
+// arrived and needed the identical listen/bind/accept dance. Beyond
+// de-duplication, centralizing the socket calls fixes the robustness gaps a
+// copy tends to fossilize:
+//
+//   - SendAll retries EINTR and continues after short writes (a signal
+//     landing mid-flush used to truncate HTTP responses),
+//   - listeners always set SO_REUSEADDR, so a restart can rebind a port
+//     still in TIME_WAIT,
+//   - RecvSome retries EINTR so a timer signal cannot masquerade as EOF.
+//
+// Everything returns Status/Result with the errno text baked in; no
+// exceptions, no dependencies beyond <sys/socket.h>.
+
+#ifndef WAVEKIT_UTIL_NET_H_
+#define WAVEKIT_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace wavekit {
+namespace net {
+
+/// \brief Creates a TCP listening socket bound to `bind_address:port` with
+/// SO_REUSEADDR set (port 0 picks an ephemeral port; read it back with
+/// LocalPort). Returns the listening fd.
+Result<int> ListenTcp(const std::string& bind_address, uint16_t port,
+                      int backlog = 64);
+
+/// \brief The local port a bound socket resolved to.
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Blocking connect to `host:port` (numeric IPv4 address only — the
+/// serving stack never resolves names). Returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// \brief Writes all of `data`, retrying EINTR and continuing after short
+/// writes. Sends with MSG_NOSIGNAL so a dead peer yields EPIPE, not SIGPIPE.
+Status SendAll(int fd, const void* data, size_t size);
+inline Status SendAll(int fd, const std::string& data) {
+  return SendAll(fd, data.data(), data.size());
+}
+
+/// \brief One recv, retrying EINTR. Returns the byte count; 0 means the peer
+/// closed cleanly. A receive timeout (SetRecvTimeoutSec) surfaces as
+/// IOError("recv timeout").
+Result<size_t> RecvSome(int fd, void* buf, size_t size);
+
+/// \brief Arms SO_RCVTIMEO so a half-open peer cannot block a read forever.
+Status SetRecvTimeoutSec(int fd, int seconds);
+
+/// \brief O_NONBLOCK for event-loop sockets.
+Status SetNonBlocking(int fd);
+
+/// \brief TCP_NODELAY — every server here writes complete responses, so
+/// Nagle only adds latency.
+Status SetNoDelay(int fd);
+
+/// \brief Status::IOError with "<what>: <errno text>".
+Status ErrnoStatus(const std::string& what);
+
+}  // namespace net
+}  // namespace wavekit
+
+#endif  // WAVEKIT_UTIL_NET_H_

@@ -217,6 +217,27 @@ TEST_F(HttpExporterTest, MalformedRequestsGet400AndDoNotWedgeTheServer) {
   exporter.Stop();
 }
 
+TEST_F(HttpExporterTest, RestartRebindsSamePortImmediately) {
+  // Regression for the util/net extraction: SO_REUSEADDR on the listener
+  // means a restarted exporter can reclaim its port even though the previous
+  // instance's connections are still draining through TIME_WAIT.
+  auto options = BaseOptions();
+  uint16_t port = 0;
+  {
+    HttpExporter exporter(options);
+    ASSERT_TRUE(exporter.Start().ok());
+    port = exporter.port();
+    EXPECT_NE(Get(port, "/metrics").find("200 OK"), std::string::npos);
+    exporter.Stop();
+  }
+  options.port = port;
+  HttpExporter reborn(options);
+  ASSERT_TRUE(reborn.Start().ok());
+  EXPECT_EQ(reborn.port(), port);
+  EXPECT_NE(Get(port, "/metrics").find("200 OK"), std::string::npos);
+  reborn.Stop();
+}
+
 TEST_F(HttpExporterTest, IndexPageListsEndpoints) {
   HttpExporter exporter(BaseOptions());
   const auto index = exporter.Handle("GET", "/");

@@ -1,0 +1,59 @@
+// Deterministic server-simulation episodes in the test suite: a handful of
+// seeds through testing/server_sim.h, asserting every oracle cross-check
+// passes and that episodes replay byte-identically (the digest is the
+// contract — any nondeterminism in the serving path, down to reply byte
+// order, fails here).
+
+#include <gtest/gtest.h>
+
+#include "testing/server_sim.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace {
+
+testing::ServerSimConfig SmallConfig(uint64_t seed) {
+  testing::ServerSimConfig config;
+  config.seed = seed;
+  config.episodes = 4;
+  config.tenants = 2;
+  config.days = 3;
+  config.articles_per_day = 8;
+  config.probes_per_step = 2;
+  return config;
+}
+
+TEST(ServerSimTest, EpisodesPassAndReplayByteIdentically) {
+  // RunMany replays every episode and fails on digest divergence itself.
+  const testing::ServerSimulator simulator(SmallConfig(testing::TestSeed(0)));
+  const testing::ServerEpisodeResult result = simulator.RunMany();
+  EXPECT_OK(result.status) << "repro: " << result.repro << "\n"
+                           << result.trace;
+  EXPECT_GT(result.requests, 0u);
+}
+
+TEST(ServerSimTest, DifferentEpisodesDiverge) {
+  // Sanity on the digest itself: distinct episodes must not collide on both
+  // digest and trace (if they did, the digest proves nothing).
+  const testing::ServerSimulator simulator(SmallConfig(testing::TestSeed(1)));
+  const testing::ServerEpisodeResult a = simulator.RunEpisode(0);
+  const testing::ServerEpisodeResult b = simulator.RunEpisode(1);
+  ASSERT_OK(a.status);
+  ASSERT_OK(b.status);
+  EXPECT_TRUE(a.digest != b.digest || a.trace != b.trace);
+}
+
+TEST(ServerSimTest, FailureCarriesReproCommand) {
+  // An impossible config (zero-day episodes still run; use tenants=1 with
+  // days=0 to keep it cheap) — here we just assert the repro format from a
+  // constructed failure path: an episode that cannot fail returns no repro.
+  const testing::ServerSimulator simulator(SmallConfig(testing::TestSeed(2)));
+  const testing::ServerEpisodeResult ok = simulator.RunEpisode(0);
+  ASSERT_OK(ok.status);
+  EXPECT_TRUE(ok.repro.empty());
+  EXPECT_EQ(testing::ServerReproCommand(7, 3),
+            "sim_torture --serve --seed=7 --episode=3");
+}
+
+}  // namespace
+}  // namespace wavekit

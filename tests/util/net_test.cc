@@ -1,0 +1,215 @@
+// Regression tests for the socket helpers in util/net — in particular the
+// two latent bugs the extraction from obs/http_exporter.cc fixed: responses
+// truncated by EINTR/short writes, and EADDRINUSE when rebinding a port
+// whose previous connection is still in TIME_WAIT.
+
+#include "util/net.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <pthread.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/test_env.h"
+
+namespace wavekit {
+namespace net {
+namespace {
+
+struct ServerClientPair {
+  int listen_fd = -1;
+  int server_fd = -1;  // accepted end
+  int client_fd = -1;  // connected end
+  uint16_t port = 0;
+
+  ~ServerClientPair() {
+    if (client_fd >= 0) ::close(client_fd);
+    if (server_fd >= 0) ::close(server_fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+ServerClientPair Connect() {
+  ServerClientPair p;
+  auto listen_fd = ListenTcp("127.0.0.1", 0);
+  EXPECT_OK(listen_fd.status());
+  p.listen_fd = *listen_fd;
+  auto port = LocalPort(p.listen_fd);
+  EXPECT_OK(port.status());
+  p.port = *port;
+  auto client = ConnectTcp("127.0.0.1", p.port);
+  EXPECT_OK(client.status());
+  p.client_fd = *client;
+  p.server_fd = ::accept(p.listen_fd, nullptr, nullptr);
+  EXPECT_GE(p.server_fd, 0);
+  return p;
+}
+
+TEST(NetTest, ListenOnEphemeralPortReportsRealPort) {
+  auto fd = ListenTcp("127.0.0.1", 0);
+  ASSERT_OK(fd.status());
+  auto port = LocalPort(*fd);
+  ASSERT_OK(port.status());
+  EXPECT_GT(*port, 0);
+  ::close(*fd);
+}
+
+TEST(NetTest, ListenRejectsBadAddress) {
+  auto fd = ListenTcp("not-an-address", 0);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_TRUE(fd.status().IsInvalidArgument());
+}
+
+TEST(NetTest, ConnectToClosedPortFails) {
+  // Bind-then-close to find a port that is (almost certainly) not listening.
+  auto fd = ListenTcp("127.0.0.1", 0);
+  ASSERT_OK(fd.status());
+  auto port = LocalPort(*fd);
+  ASSERT_OK(port.status());
+  ::close(*fd);
+  auto client = ConnectTcp("127.0.0.1", *port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(NetTest, SendAllRoundTrip) {
+  ServerClientPair p = Connect();
+  const std::string payload = "hello over loopback";
+  ASSERT_OK(SendAll(p.client_fd, payload));
+  std::string got(payload.size(), '\0');
+  size_t off = 0;
+  while (off < got.size()) {
+    auto n = RecvSome(p.server_fd, got.data() + off, got.size() - off);
+    ASSERT_OK(n.status());
+    ASSERT_GT(*n, 0u);
+    off += *n;
+  }
+  EXPECT_EQ(got, payload);
+}
+
+TEST(NetTest, RecvSomeReportsCleanEof) {
+  ServerClientPair p = Connect();
+  ::close(p.client_fd);
+  p.client_fd = -1;
+  char buf[16];
+  auto n = RecvSome(p.server_fd, buf, sizeof buf);
+  ASSERT_OK(n.status());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(NetTest, RecvTimeoutSurfacesAsIOError) {
+  ServerClientPair p = Connect();
+  ASSERT_OK(SetRecvTimeoutSec(p.server_fd, 1));
+  char buf[16];
+  auto n = RecvSome(p.server_fd, buf, sizeof buf);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsIOError());
+  EXPECT_NE(n.status().message().find("timeout"), std::string::npos);
+}
+
+// The bug this guards against: the old exporter-local SendAll treated any
+// send() return <= 0 as "client went away", so an EINTR (e.g. a profiling
+// signal) silently truncated the response. Hammer the sending thread with
+// signals while it pushes a payload much larger than the socket buffer
+// through a deliberately slow reader; every byte must still arrive.
+TEST(NetTest, SendAllSurvivesSignalsAndShortWrites) {
+  ServerClientPair p = Connect();
+
+  // Shrink the send buffer so SendAll must loop through many short writes.
+  int small = 4096;
+  ::setsockopt(p.client_fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+
+  // A no-op handler installed *without* SA_RESTART so send() returns EINTR.
+  struct sigaction sa{}, old{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  const size_t kPayload = 4u << 20;
+  std::string payload(kPayload, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 23));
+  }
+
+  Status send_status;
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    send_status = SendAll(p.client_fd, payload);
+    done.store(true);
+  });
+  pthread_t sender_handle = sender.native_handle();
+
+  std::thread pest([&] {
+    while (!done.load()) {
+      ::pthread_kill(sender_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Drain slowly in small chunks so the sender keeps blocking (and keeps
+  // getting interrupted) instead of finishing in one burst.
+  std::string got;
+  got.reserve(kPayload);
+  char buf[8192];
+  while (got.size() < kPayload) {
+    auto n = RecvSome(p.server_fd, buf, sizeof buf);
+    ASSERT_OK(n.status());
+    ASSERT_GT(*n, 0u);
+    got.append(buf, *n);
+    if (got.size() < kPayload / 2) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  sender.join();
+  done.store(true);
+  pest.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+
+  ASSERT_OK(send_status);
+  EXPECT_EQ(got, payload);
+}
+
+// The other extraction fix: every listener sets SO_REUSEADDR, so a restart
+// can rebind its port even while the previous connection sits in TIME_WAIT.
+TEST(NetTest, RebindAfterActiveConnectionClose) {
+  uint16_t port = 0;
+  {
+    ServerClientPair p = Connect();
+    port = p.port;
+    // Server closes first, parking server-side state in TIME_WAIT.
+    const std::string bye = "bye";
+    ASSERT_OK(SendAll(p.server_fd, bye));
+    ::close(p.server_fd);
+    p.server_fd = -1;
+  }
+  auto again = ListenTcp("127.0.0.1", port);
+  ASSERT_OK(again.status());
+  ::close(*again);
+}
+
+TEST(NetTest, SetNonBlockingMakesRecvReturnImmediately) {
+  ServerClientPair p = Connect();
+  ASSERT_OK(SetNonBlocking(p.server_fd));
+  char buf[16];
+  auto n = RecvSome(p.server_fd, buf, sizeof buf);
+  // No data pending: EAGAIN maps onto the same "recv timeout" IOError.
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsIOError());
+}
+
+TEST(NetTest, SetNoDelaySucceedsOnTcpSocket) {
+  ServerClientPair p = Connect();
+  EXPECT_OK(SetNoDelay(p.client_fd));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace wavekit

@@ -1,6 +1,6 @@
 // sim_torture: seed-reproducible whole-system simulation torture.
 //
-//   sim_torture [--seed=1] [--episodes=64] [--scheme=all|del|reindex|...]
+//   sim_torture [--serve] [--seed=1] [--episodes=64] [--scheme=all|del|reindex|...]
 //               [--episode=E] [--print-trace] [--shrink=1] [--tmp-dir=/tmp]
 //               [--inject-window-bug] [--bitrot] [--codec]
 //
@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "testing/server_sim.h"
 #include "testing/sim_harness.h"
 #include "wave/scheme_factory.h"
 
@@ -99,9 +100,53 @@ void ReportFailure(const testing::Simulator& simulator,
   }
 }
 
+/// --serve: the in-process server simulation (testing/server_sim.h) —
+/// multi-tenant ServerCore over a loopback seam, probes interleaved with
+/// single-stepped async advances, replies cross-checked against the oracle,
+/// and every episode replayed to assert a byte-identical digest.
+int ServeMain(const Args& args) {
+  testing::ServerSimConfig config;
+  config.seed = args.GetU64("seed", 1);
+  config.episodes = args.GetU64("episodes", 8);
+  config.tenants = static_cast<int>(args.GetU64("tenants", 3));
+  config.days = static_cast<int>(args.GetU64("days", 5));
+  const bool print_trace = args.GetBool("print-trace", false);
+  const testing::ServerSimulator simulator(config);
+
+  if (args.Has("episode")) {
+    const uint64_t episode = args.GetU64("episode", 0);
+    const testing::ServerEpisodeResult result = simulator.RunEpisode(episode);
+    if (print_trace) std::cout << result.trace;
+    if (result.status.ok()) {
+      std::cout << "serve episode " << episode << ": ok (requests="
+                << result.requests << " digest=" << result.digest << ")\n";
+      return 0;
+    }
+    std::cout << "FAILED: serve episode " << episode << "\n"
+              << "status: " << result.status.ToString() << "\n";
+    if (!print_trace) std::cout << "trace:\n" << result.trace;
+    if (!result.repro.empty()) std::cout << "repro: " << result.repro << "\n";
+    return 1;
+  }
+
+  const testing::ServerEpisodeResult result = simulator.RunMany();
+  if (result.status.ok()) {
+    std::cout << "serve: " << config.episodes
+              << " episodes ok (byte-identical replays)\n";
+    return 0;
+  }
+  std::cout << "FAILED: serve episode " << result.episode << "\n"
+            << "status: " << result.status.ToString() << "\n"
+            << "trace:\n" << result.trace;
+  if (!result.repro.empty()) std::cout << "repro: " << result.repro << "\n";
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!args.ok()) return 2;
+
+  if (args.GetBool("serve", false)) return ServeMain(args);
 
   testing::SimConfig config;
   config.seed = args.GetU64("seed", 1);

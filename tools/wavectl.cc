@@ -127,6 +127,7 @@
 #include "sim/table_printer.h"
 #include "util/format.h"
 #include "wave/advisor.h"
+#include "serve/client.h"
 #include "wave/scheme_factory.h"
 #include "wave/wave_service.h"
 #include "workload/netnews.h"
@@ -1214,9 +1215,182 @@ int BenchIo(const Args& args) {
   return 0;
 }
 
+// --- waved client subcommands ----------------------------------------------
+//
+// wavectl is also the operator CLI for a running waved (tools/waved.cc):
+//   wavectl probe --port=P --value=w00000001 [--tenant=0] [--lo=..] [--hi=..]
+//   wavectl scan --port=P [--tenant=0] [--lo=..] [--hi=..] [--max=20]
+//   wavectl advance --port=P [--tenant=0] [--day=N] [--records=200] [--seed=..]
+//   wavectl server-stats --port=P [--tenant=0]
+//   wavectl server-health --port=P [--tenant=0]
+
+Result<std::unique_ptr<serve::Client>> ConnectToServer(const Args& args) {
+  serve::Client::Options options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(args.GetInt("port", 8787));
+  options.tenant_id = static_cast<uint16_t>(args.GetInt("tenant", 0));
+  return serve::Client::Connect(options);
+}
+
+DayRange RangeFromArgs(const Args& args) {
+  DayRange range = DayRange::All();
+  if (args.GetInt("lo", INT32_MIN) != INT32_MIN) {
+    range.lo = args.GetInt("lo", 0);
+  }
+  if (args.GetInt("hi", INT32_MIN) != INT32_MIN) {
+    range.hi = args.GetInt("hi", 0);
+  }
+  return range;
+}
+
+/// Prints a reply's result prefix; returns the exit code (0 for ok/partial).
+int ReportResult(const serve::WireResult& result) {
+  if (result.code == StatusCode::kOk) return 0;
+  std::cerr << StatusCodeToString(result.code)
+            << (result.detail.empty() ? "" : ": " + result.detail) << "\n";
+  return result.code == StatusCode::kPartialResult ? 0 : 1;
+}
+
+int RemoteProbe(const Args& args) {
+  const std::string value = args.Get("value", "");
+  if (value.empty()) {
+    std::cerr << "wavectl probe: --value is required\n";
+    return 2;
+  }
+  auto client = ConnectToServer(args);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  auto reply = (*client)->Probe(RangeFromArgs(args), value);
+  if (!reply.ok()) {
+    std::cerr << reply.status() << "\n";
+    return 1;
+  }
+  const int code = ReportResult(reply->result);
+  std::cout << "entries=" << reply->entries.size()
+            << " accessed=" << reply->stats.indexes_accessed
+            << " skipped=" << reply->stats.indexes_skipped
+            << " unhealthy=" << reply->stats.indexes_unhealthy << "\n";
+  const int limit = args.GetInt("limit", 10);
+  int shown = 0;
+  for (const Entry& entry : reply->entries) {
+    if (shown++ >= limit) {
+      std::cout << "  ... (" << reply->entries.size() - shown + 1
+                << " more)\n";
+      break;
+    }
+    std::cout << "  record=" << entry.record_id << " day=" << entry.day
+              << " aux=" << entry.aux << "\n";
+  }
+  return code;
+}
+
+int RemoteScan(const Args& args) {
+  auto client = ConnectToServer(args);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  auto reply = (*client)->Scan(RangeFromArgs(args),
+                               static_cast<uint32_t>(args.GetInt("max", 20)));
+  if (!reply.ok()) {
+    std::cerr << reply.status() << "\n";
+    return 1;
+  }
+  const int code = ReportResult(reply->result);
+  std::cout << "entries=" << reply->entries.size()
+            << " accessed=" << reply->stats.indexes_accessed << "\n";
+  for (const Entry& entry : reply->entries) {
+    std::cout << "  record=" << entry.record_id << " day=" << entry.day
+              << " aux=" << entry.aux << "\n";
+  }
+  return code;
+}
+
+int RemoteAdvance(const Args& args) {
+  auto client = ConnectToServer(args);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  // Day defaults to current_day + 1 (what a scheme will accept next).
+  Day day = args.GetInt("day", 0);
+  if (day == 0) {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) {
+      std::cerr << stats.status() << "\n";
+      return 1;
+    }
+    day = stats->current_day + 1;
+  }
+  workload::NetnewsConfig config;
+  config.articles_per_day = static_cast<uint64_t>(args.GetInt("records", 200));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42)) +
+                static_cast<uint64_t>(args.GetInt("tenant", 0)) * 1000003u;
+  workload::NetnewsGenerator netnews(config);
+  auto reply = (*client)->Advance(netnews.GenerateDay(day));
+  if (!reply.ok()) {
+    std::cerr << reply.status() << "\n";
+    return 1;
+  }
+  const int code = ReportResult(reply->result);
+  std::cout << "advanced to day " << day << " (server current_day="
+            << reply->current_day << ")\n";
+  return code;
+}
+
+int RemoteStats(const Args& args) {
+  auto client = ConnectToServer(args);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  auto reply = (*client)->Stats();
+  if (!reply.ok()) {
+    std::cerr << reply.status() << "\n";
+    return 1;
+  }
+  const int code = ReportResult(reply->result);
+  sim::TablePrinter table({"metric", "value"});
+  table.SetTitle("tenant " + std::to_string(args.GetInt("tenant", 0)));
+  table.AddRow({"current_day", std::to_string(reply->current_day)});
+  table.AddRow({"degraded", reply->degraded ? "yes" : "no"});
+  table.AddRow({"probes", std::to_string(reply->probes)});
+  table.AddRow({"scans", std::to_string(reply->scans)});
+  table.AddRow({"days_advanced", std::to_string(reply->days_advanced)});
+  table.AddRow({"async_advances", std::to_string(reply->async_advances)});
+  table.AddRow({"pending_advances", std::to_string(reply->pending_advances)});
+  table.AddRow({"degraded_advances", std::to_string(reply->degraded_advances)});
+  table.AddRow({"partial_results", std::to_string(reply->partial_results)});
+  table.Print(std::cout);
+  return code;
+}
+
+int RemoteHealth(const Args& args) {
+  auto client = ConnectToServer(args);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  auto reply = (*client)->Health();
+  if (!reply.ok()) {
+    std::cerr << reply.status() << "\n";
+    return 1;
+  }
+  if (reply->degraded) {
+    std::cout << "DEGRADED"
+              << (reply->detail.empty() ? "" : ": " + reply->detail) << "\n";
+    return 1;
+  }
+  std::cout << "ok\n";
+  return 0;
+}
+
 void PrintUsage(std::ostream& out) {
   out << "usage: wavectl <schemes|run|model|advise|metrics|trace|top|"
-         "export-trace|events|serve-metrics|stats|scrub|verify|bench-io> "
+         "export-trace|events|serve-metrics|stats|scrub|verify|bench-io|"
+         "probe|scan|advance|server-stats|server-health> "
          "[--flag=value ...]\n"
          "see the header of tools/wavectl.cc for the full flag list\n";
 }
@@ -1265,6 +1439,14 @@ int Main(int argc, char** argv) {
        {BenchIo,
         {"backend", "path", "direct", "queue-depth", "size-mb", "block",
          "batch", "ops", "seed"}}},
+      {"probe",
+       {RemoteProbe,
+        {"host", "port", "tenant", "value", "lo", "hi", "limit"}}},
+      {"scan", {RemoteScan, {"host", "port", "tenant", "lo", "hi", "max"}}},
+      {"advance",
+       {RemoteAdvance, {"host", "port", "tenant", "day", "records", "seed"}}},
+      {"server-stats", {RemoteStats, {"host", "port", "tenant"}}},
+      {"server-health", {RemoteHealth, {"host", "port", "tenant"}}},
   };
 
   const std::string command = argc > 1 ? argv[1] : "";

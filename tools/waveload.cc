@@ -1,0 +1,267 @@
+// waveload: multi-threaded load generator for waved.
+//
+//   waveload --port=P [--host=127.0.0.1] [--steps=1,2,4,8]
+//            [--probes=150000] [--pipeline=64] [--window=3] [--seed=42]
+//            [--out=BENCH_serving.json] [--smoke]
+//
+// For each step (a tenant count T) it opens one connection per tenant and
+// drives --probes pipelined PROBE requests per connection, keeping
+// --pipeline requests in flight. Probe values are Zipf-sampled from the same
+// synthetic Netnews vocabulary waved bootstraps its tenants with, so probes
+// hit real postings. Per-request latency (send to matching reply) feeds a
+// log-bucketed histogram; the JSON trajectory records throughput + p50/p99
+// per tenant count:
+//
+//   {"bench": "serving", "steps": [{"tenants": 4, "probes": 600000,
+//     "probes_per_sec": ..., "p50_us": ..., "p99_us": ...}, ...],
+//    "total_probes": ...}
+//
+// --smoke shrinks the run for CI (and tags the JSON so readers know).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload/netnews.h"
+
+namespace wavekit {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      values_[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return Get(key, "false") == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct WorkerResult {
+  uint64_t probes = 0;
+  uint64_t partials = 0;
+  uint64_t errors = 0;
+  uint64_t entries = 0;
+  Histogram latency_us;
+  std::string failure;  // transport/protocol breakage aborts the worker
+};
+
+/// One connection's worth of pipelined probes against tenant `tenant_id`.
+WorkerResult RunWorker(const std::string& host, uint16_t port,
+                       uint16_t tenant_id, uint64_t probes, int pipeline,
+                       int window, uint64_t seed) {
+  WorkerResult result;
+  serve::Client::Options options;
+  options.host = host;
+  options.port = port;
+  options.tenant_id = tenant_id;
+  auto client = serve::Client::Connect(options);
+  if (!client.ok()) {
+    result.failure = client.status().ToString();
+    return result;
+  }
+
+  // Same vocabulary shape the server's tenants were bootstrapped with;
+  // SampleWord only needs the Zipf, not the server's per-tenant seed.
+  workload::NetnewsGenerator netnews((workload::NetnewsConfig()));
+  Rng rng(seed + tenant_id * 7919u);
+
+  // Probes are timed; replies carry the current day so the range tracks
+  // server-side advances without a STATS round-trip per probe.
+  auto stats = (*client)->Stats();
+  if (!stats.ok()) {
+    result.failure = stats.status().ToString();
+    return result;
+  }
+  Day latest = stats->current_day;
+
+  std::map<uint32_t, uint64_t> in_flight;  // request id -> send time us
+  uint64_t sent = 0;
+  while (sent < probes || !in_flight.empty()) {
+    while (sent < probes &&
+           in_flight.size() < static_cast<size_t>(pipeline)) {
+      const DayRange range = DayRange::Window(latest, window);
+      auto id = (*client)->SendProbe(range, netnews.SampleWord(rng));
+      if (!id.ok()) {
+        result.failure = id.status().ToString();
+        return result;
+      }
+      in_flight[*id] = NowUs();
+      ++sent;
+    }
+    auto frame = (*client)->ReadReply();
+    if (!frame.ok()) {
+      result.failure = frame.status().ToString();
+      return result;
+    }
+    auto it = in_flight.find(frame->header.request_id);
+    if (it == in_flight.end()) {
+      result.failure = "reply for unknown request id " +
+                       std::to_string(frame->header.request_id);
+      return result;
+    }
+    result.latency_us.Record(std::max<uint64_t>(1, NowUs() - it->second));
+    in_flight.erase(it);
+
+    serve::QueryReply reply;
+    const Status decoded = serve::DecodeQueryReply(frame->payload, &reply);
+    if (!decoded.ok()) {
+      result.failure = decoded.ToString();
+      return result;
+    }
+    ++result.probes;
+    if (reply.result.code == StatusCode::kPartialResult) ++result.partials;
+    if (!reply.result.has_body()) ++result.errors;
+    result.entries += reply.entries.size();
+    for (const Entry& entry : reply.entries) {
+      if (entry.day > latest) latest = entry.day;
+    }
+  }
+  return result;
+}
+
+struct StepResult {
+  int tenants = 0;
+  uint64_t probes = 0;
+  uint64_t partials = 0;
+  uint64_t errors = 0;
+  uint64_t entries = 0;
+  double seconds = 0;
+  Histogram latency_us;
+};
+
+}  // namespace
+}  // namespace wavekit
+
+int main(int argc, char** argv) {
+  using namespace wavekit;
+  Args args(argc, argv);
+  const std::string host = args.Get("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(args.GetInt("port", 8787));
+  const bool smoke = args.GetBool("smoke");
+  const uint64_t probes_per_conn =
+      static_cast<uint64_t>(args.GetInt("probes", smoke ? 2000 : 150000));
+  const int pipeline = args.GetInt("pipeline", 64);
+  const int window = args.GetInt("window", 3);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out_path = args.Get("out", "BENCH_serving.json");
+
+  std::vector<int> steps;
+  {
+    std::stringstream ss(args.Get("steps", smoke ? "1,4" : "1,2,4,8"));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      const int t = std::atoi(token.c_str());
+      if (t > 0) steps.push_back(t);
+    }
+  }
+
+  std::vector<StepResult> results;
+  uint64_t total_probes = 0;
+  for (const int tenants : steps) {
+    std::vector<WorkerResult> workers(tenants);
+    std::vector<std::thread> threads;
+    const uint64_t start_us = NowUs();
+    for (int t = 0; t < tenants; ++t) {
+      threads.emplace_back([&, t] {
+        workers[t] = RunWorker(host, port, static_cast<uint16_t>(t),
+                               probes_per_conn, pipeline, window, seed);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = static_cast<double>(NowUs() - start_us) / 1e6;
+
+    StepResult step;
+    step.tenants = tenants;
+    step.seconds = seconds;
+    for (const WorkerResult& w : workers) {
+      if (!w.failure.empty()) {
+        std::cerr << "waveload: worker failed: " << w.failure << "\n";
+        return 1;
+      }
+      step.probes += w.probes;
+      step.partials += w.partials;
+      step.errors += w.errors;
+      step.entries += w.entries;
+      step.latency_us.Merge(w.latency_us);
+    }
+    total_probes += step.probes;
+    std::cout << "tenants=" << tenants << " probes=" << step.probes
+              << " elapsed=" << seconds << "s throughput="
+              << static_cast<uint64_t>(step.probes / std::max(1e-9, seconds))
+              << "/s p50=" << step.latency_us.Percentile(0.50)
+              << "us p99=" << step.latency_us.Percentile(0.99) << "us"
+              << std::endl;
+    results.push_back(std::move(step));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"serving\",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  json << "  \"probes_per_connection\": " << probes_per_conn << ",\n";
+  json << "  \"pipeline_depth\": " << pipeline << ",\n";
+  json << "  \"probe_window_days\": " << window << ",\n";
+  json << "  \"total_probes\": " << total_probes << ",\n";
+  json << "  \"steps\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const StepResult& step = results[i];
+    json << "    {\"tenants\": " << step.tenants
+         << ", \"probes\": " << step.probes
+         << ", \"seconds\": " << step.seconds << ", \"probes_per_sec\": "
+         << static_cast<uint64_t>(step.probes / std::max(1e-9, step.seconds))
+         << ", \"p50_us\": " << step.latency_us.Percentile(0.50)
+         << ", \"p99_us\": " << step.latency_us.Percentile(0.99)
+         << ", \"mean_us\": " << step.latency_us.mean()
+         << ", \"partial_results\": " << step.partials
+         << ", \"errors\": " << step.errors
+         << ", \"entries_returned\": " << step.entries << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::cout << "wrote " << out_path << " (total probes: " << total_probes
+            << ")" << std::endl;
+  return 0;
+}
